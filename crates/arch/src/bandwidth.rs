@@ -1,0 +1,110 @@
+//! Compute-bandwidth model: row-level SIMD width × subarray parallelism.
+//!
+//! The paper's Section V argument: a TBA executes one logic operation in
+//! *every cell of the activated row simultaneously* (65536 lanes for an
+//! 8 KB row), and independent subarrays can operate concurrently, so the
+//! aggregate bulk-bitwise bandwidth scales as
+//! `lanes × active_subarrays / op_latency`.
+
+use crate::energy::LatencyModel;
+use crate::geometry::MemoryGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate bulk-bitwise compute bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeBandwidth {
+    /// Bit-operations per second per subarray.
+    pub bitops_per_s_per_subarray: f64,
+    /// Aggregate bit-operations per second.
+    pub bitops_per_s: f64,
+    /// Aggregate bytes of operand data processed per second.
+    pub operand_bytes_per_s: f64,
+}
+
+/// Computes the bandwidth of a technology issuing one two-operand row
+/// operation every `cycles_per_op` cycles, with `active_subarrays`
+/// operating concurrently.
+///
+/// # Panics
+///
+/// Panics if `cycles_per_op` or `active_subarrays` is zero.
+pub fn compute_bandwidth(
+    geometry: &MemoryGeometry,
+    latency: &LatencyModel,
+    cycles_per_op: u64,
+    active_subarrays: u64,
+) -> ComputeBandwidth {
+    assert!(cycles_per_op > 0, "an operation takes at least one cycle");
+    assert!(active_subarrays > 0, "need at least one active subarray");
+    let op_time_s = latency.seconds(cycles_per_op);
+    let lanes = geometry.row_bits() as f64;
+    let per_subarray = lanes / op_time_s;
+    ComputeBandwidth {
+        bitops_per_s_per_subarray: per_subarray,
+        bitops_per_s: per_subarray * active_subarrays as f64,
+        // Two operand rows consumed per op.
+        operand_bytes_per_s: 2.0 * geometry.row_bytes as f64 / op_time_s * active_subarrays as f64,
+    }
+}
+
+/// Cycles per two-operand logic op for each technology under this
+/// crate's cost model (FeRAM ACP pair = 6; DRAM AAP chain = 12).
+pub mod op_cycles {
+    /// 2T-nC FeRAM NAND/NOR/AND/OR.
+    pub const FERAM_LOGIC: u64 = 6;
+    /// Ambit DRAM AND/OR (4 AAPs).
+    pub const DRAM_LOGIC: u64 = 12;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemoryGeometry, LatencyModel) {
+        (MemoryGeometry::paper_8gb(), LatencyModel::paper_default())
+    }
+
+    #[test]
+    fn single_subarray_feram_bandwidth() {
+        let (g, l) = setup();
+        let bw = compute_bandwidth(&g, &l, op_cycles::FERAM_LOGIC, 1);
+        // 65536 lanes / (6 × 50 ns) ≈ 218 Gbit-ops/s.
+        let expect = 65536.0 / (6.0 * 50e-9);
+        assert!((bw.bitops_per_s / expect - 1.0).abs() < 1e-12);
+        assert_eq!(bw.bitops_per_s, bw.bitops_per_s_per_subarray);
+    }
+
+    #[test]
+    fn feram_doubles_dram_bandwidth_per_subarray() {
+        let (g, l) = setup();
+        let f = compute_bandwidth(&g, &l, op_cycles::FERAM_LOGIC, 1);
+        let d = compute_bandwidth(&g, &l, op_cycles::DRAM_LOGIC, 1);
+        let ratio = f.bitops_per_s / d.bitops_per_s;
+        assert!((ratio - 2.0).abs() < 1e-12, "ACP/AAP cycle ratio");
+    }
+
+    #[test]
+    fn bandwidth_scales_linearly_with_subarrays() {
+        let (g, l) = setup();
+        let one = compute_bandwidth(&g, &l, 6, 1);
+        let all = compute_bandwidth(&g, &l, 6, g.subarrays());
+        assert!((all.bitops_per_s / one.bitops_per_s - g.subarrays() as f64).abs() < 1e-6);
+        // Full-chip FeRAM: 2048 subarrays × 218 G ≈ 447 Tbit-ops/s.
+        assert!(all.bitops_per_s > 4e14);
+    }
+
+    #[test]
+    fn operand_throughput_counts_both_rows() {
+        let (g, l) = setup();
+        let bw = compute_bandwidth(&g, &l, 6, 1);
+        let expect = 2.0 * 8192.0 / (6.0 * 50e-9);
+        assert!((bw.operand_bytes_per_s - expect).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn rejects_zero_cycles() {
+        let (g, l) = setup();
+        let _ = compute_bandwidth(&g, &l, 0, 1);
+    }
+}

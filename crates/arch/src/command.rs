@@ -1,0 +1,104 @@
+//! Row-level command vocabulary.
+//!
+//! The paper's primitives (Section VI):
+//!
+//! * **DRAM / Ambit** — `AAP` (ACTIVATE-ACTIVATE-PRECHARGE): the first
+//!   ACTIVATE performs a triple-row activation (MAJORITY), the second
+//!   triggers RowClone to move the result over the shared bitlines, the
+//!   PRECHARGE resets. NOT uses the dual-contact cell; operands must be
+//!   copied into the designated compute rows first (destructive reads).
+//! * **2T-nC FeRAM** — `ACP` (ACTIVATE-COPY-PRECHARGE): ACTIVATE performs
+//!   the TBA (MINORITY), COPY drives the RSL data into the destination row
+//!   through a tri-state buffer (RowClone does not apply — read and write
+//!   paths are separate), PRECHARGE resets the RSL buffer.
+
+use crate::geometry::RowId;
+use crate::stats::CommandClass;
+use serde::{Deserialize, Serialize};
+
+/// One row-level memory command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Plain single-row activation (read a row into the row buffer / RSL).
+    Activate(RowId),
+    /// Ambit triple-row activation: the three rows charge-share and
+    /// resolve to their bitwise MAJORITY, destroying all three.
+    TripleRowActivate(RowId, RowId, RowId),
+    /// 2T-nC triple-bit activation on a logic-group row: each cell senses
+    /// the MINORITY of its three capacitors (quasi-nondestructively).
+    TripleBitActivate(RowId),
+    /// The second ACTIVATE of an AAP: RowClone the row buffer into `dst`.
+    RowClone {
+        /// Destination row.
+        dst: RowId,
+    },
+    /// FeRAM tri-state-buffer copy of the RSL data into `dst`, optionally
+    /// complementing on the way (write drivers are differential, so
+    /// polarity choice is free).
+    Copy {
+        /// Destination row.
+        dst: RowId,
+        /// Whether the write drivers complement the data.
+        complement: bool,
+    },
+    /// Precharge / reset the row buffer or RSL buffer.
+    Precharge,
+    /// Host write of a full row.
+    WriteRow(RowId),
+    /// Host read of a full row.
+    ReadRow(RowId),
+    /// Refresh a batch of rows (DRAM only).
+    Refresh {
+        /// Number of rows refreshed.
+        rows: u64,
+    },
+}
+
+impl Command {
+    /// The accounting class of this command.
+    pub fn class(&self) -> CommandClass {
+        match self {
+            Command::Activate(_)
+            | Command::TripleRowActivate(..)
+            | Command::TripleBitActivate(_)
+            | Command::RowClone { .. } => CommandClass::Activate,
+            Command::Copy { .. } => CommandClass::Copy,
+            Command::Precharge => CommandClass::Precharge,
+            Command::WriteRow(_) => CommandClass::Write,
+            Command::ReadRow(_) => CommandClass::Read,
+            Command::Refresh { .. } => CommandClass::Refresh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_all_commands() {
+        let r = RowId(1);
+        assert_eq!(Command::Activate(r).class(), CommandClass::Activate);
+        assert_eq!(
+            Command::TripleRowActivate(r, r, r).class(),
+            CommandClass::Activate
+        );
+        assert_eq!(
+            Command::TripleBitActivate(r).class(),
+            CommandClass::Activate
+        );
+        assert_eq!(Command::RowClone { dst: r }.class(), CommandClass::Activate);
+        assert_eq!(
+            Command::Copy {
+                dst: r,
+                complement: true
+            }
+            .class(),
+            CommandClass::Copy
+        );
+        assert_eq!(Command::Precharge.class(), CommandClass::Precharge);
+        assert_eq!(Command::WriteRow(r).class(), CommandClass::Write);
+        assert_eq!(Command::ReadRow(r).class(), CommandClass::Read);
+        assert_eq!(Command::Refresh { rows: 4 }.class(), CommandClass::Refresh);
+    }
+}

@@ -1,0 +1,400 @@
+//! Ambit-style in-DRAM bulk-bitwise execution.
+//!
+//! Logic runs in designated compute rows (`T0`–`T2`), control rows (`C0` =
+//! all zeros, `C1` = all ones) and dual-contact-cell rows (`DCC`), exactly
+//! as in Seshadri et al.: because TRA destroys its operands and only works
+//! in the designated rows, every logic operation pays AAP copies to stage
+//! its operands — the overhead the paper's 2T-nC design eliminates.
+//!
+//! Cost model (from Section VI): `AAP = ACTIVATE + ACTIVATE + PRECHARGE`,
+//! 22.6 nJ per activate, 0.32 nJ per precharge, 1 cycle per primitive,
+//! plus whole-region refresh every 64 ms.
+
+use crate::command::Command;
+use crate::energy::{EnergyModel, LatencyModel};
+use crate::engine::{majority_words, RowStore};
+use crate::geometry::{MemoryGeometry, RowId};
+use crate::stats::ExecStats;
+use crate::BulkBackend;
+
+/// Number of rows reserved at the top of the address space for compute
+/// (T0–T2), control (C0, C1), DCC and general scratch.
+const RESERVED_ROWS: u64 = 16;
+
+/// The Ambit-style DRAM backend.
+#[derive(Debug, Clone)]
+pub struct DramBackend {
+    geometry: MemoryGeometry,
+    store: RowStore,
+    energy: EnergyModel,
+    latency: LatencyModel,
+    stats: ExecStats,
+    refreshed: bool,
+    command_log: Option<Vec<Command>>,
+}
+
+impl DramBackend {
+    /// Creates a backend over the given geometry with the paper's energy
+    /// and latency constants.
+    pub fn new(geometry: MemoryGeometry) -> Self {
+        let mut store = RowStore::new(geometry);
+        let mut backend = Self {
+            geometry,
+            energy: EnergyModel::dram(),
+            latency: LatencyModel::paper_default(),
+            stats: ExecStats::new(),
+            refreshed: false,
+            store: RowStore::new(geometry),
+            command_log: None,
+        };
+        // Control rows hold their constants from initialisation on.
+        store.fill(backend.c0(), 0);
+        store.fill(backend.c1(), !0);
+        backend.store = store;
+        backend
+    }
+
+    /// The paper's 8 GB configuration.
+    pub fn default_8gb() -> Self {
+        Self::new(MemoryGeometry::paper_8gb())
+    }
+
+    /// A small instance for tests.
+    pub fn tiny() -> Self {
+        Self::new(MemoryGeometry::tiny())
+    }
+
+    fn reserved_base(&self) -> u64 {
+        self.geometry.total_rows() - RESERVED_ROWS
+    }
+
+    fn t(&self, i: u64) -> RowId {
+        RowId(self.reserved_base() + i) // T0..T2
+    }
+
+    fn c0(&self) -> RowId {
+        RowId(self.reserved_base() + 3)
+    }
+
+    fn c1(&self) -> RowId {
+        RowId(self.reserved_base() + 4)
+    }
+
+    fn dcc(&self) -> RowId {
+        RowId(self.reserved_base() + 5)
+    }
+
+    /// First data row that user code must not exceed.
+    pub fn first_reserved_row(&self) -> RowId {
+        RowId(self.reserved_base())
+    }
+
+    fn issue(&mut self, cmd: Command) {
+        self.stats.record(
+            cmd.class(),
+            self.latency.cycles(&cmd),
+            self.energy.energy_nj(&cmd),
+        );
+        if let Some(log) = &mut self.command_log {
+            log.push(cmd);
+        }
+    }
+
+    /// Enables command-sequence logging (for inspection and tests).
+    pub fn with_command_log(mut self) -> Self {
+        self.command_log = Some(Vec::new());
+        self
+    }
+
+    /// The logged command sequence (empty slice if logging is off).
+    pub fn command_log(&self) -> &[Command] {
+        self.command_log.as_deref().unwrap_or(&[])
+    }
+
+    /// AAP copy: ACTIVATE(src) + RowClone(dst) + PRECHARGE.
+    fn aap_copy(&mut self, src: RowId, dst: RowId) {
+        self.issue(Command::Activate(src));
+        self.issue(Command::RowClone { dst });
+        self.issue(Command::Precharge);
+        let data = self.store.read(src);
+        self.store.write(dst, &data);
+    }
+
+    /// AAP with TRA: MAJORITY of (T0,T1,T2) cloned into `dst`; all three
+    /// compute rows are destroyed (left holding the result).
+    fn aap_tra(&mut self, dst: RowId) {
+        let (t0, t1, t2) = (self.t(0), self.t(1), self.t(2));
+        self.issue(Command::TripleRowActivate(t0, t1, t2));
+        self.issue(Command::RowClone { dst });
+        self.issue(Command::Precharge);
+        self.store.combine3(t0, t1, t2, dst, majority_words);
+        let result = self.store.read(dst);
+        for t in [t0, t1, t2] {
+            self.store.write(t, &result);
+        }
+    }
+
+    /// The MAJ-based two-operand op: stage `a`, `b` and the control row,
+    /// then TRA into `dst` — 4 AAPs total (12 cycles, 182.1 nJ).
+    fn maj_op(&mut self, a: RowId, b: RowId, control: RowId, dst: RowId) {
+        self.aap_copy(a, self.t(0));
+        self.aap_copy(b, self.t(1));
+        self.aap_copy(control, self.t(2));
+        self.aap_tra(dst);
+    }
+
+    /// Refresh statistics for a full-scale run of `runtime_s` seconds over
+    /// `live_rows` materialised rows: one whole-region refresh sweep per
+    /// elapsed 64 ms window. Exposed separately so workload drivers can
+    /// apply refresh to *extrapolated* runtimes.
+    pub fn refresh_stats(
+        energy: &EnergyModel,
+        latency: &LatencyModel,
+        runtime_s: f64,
+        live_rows: u64,
+    ) -> ExecStats {
+        let mut stats = ExecStats::new();
+        let windows = (runtime_s / latency.refresh_interval_s()).floor() as u64;
+        if windows > 0 && live_rows > 0 {
+            let cmd = Command::Refresh { rows: live_rows };
+            for _ in 0..windows {
+                stats.record(cmd.class(), latency.cycles(&cmd), energy.energy_nj(&cmd));
+            }
+        }
+        stats
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The latency model in use.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Rows materialised so far (the refresh-liable region).
+    pub fn live_rows(&self) -> u64 {
+        self.store.touched_rows()
+    }
+}
+
+impl BulkBackend for DramBackend {
+    fn geometry(&self) -> &MemoryGeometry {
+        &self.geometry
+    }
+
+    fn write_row(&mut self, row: RowId, data: &[u64]) {
+        self.issue(Command::WriteRow(row));
+        self.store.write(row, data);
+    }
+
+    fn install_row(&mut self, row: RowId, data: &[u64]) {
+        self.store.write(row, data);
+    }
+
+    fn read_row(&mut self, row: RowId) -> Vec<u64> {
+        self.issue(Command::ReadRow(row));
+        self.store.read(row)
+    }
+
+    fn not(&mut self, src: RowId, dst: RowId) {
+        // AAP(src → DCC); AAP(DCC̄ → dst): the dual-contact cell exposes
+        // the complemented plate on the second activation.
+        self.aap_copy(src, self.dcc());
+        let dcc = self.dcc();
+        self.issue(Command::Activate(dcc));
+        self.issue(Command::RowClone { dst });
+        self.issue(Command::Precharge);
+        self.store.map(dcc, dst, |w| !w);
+    }
+
+    fn and(&mut self, a: RowId, b: RowId, dst: RowId) {
+        self.maj_op(a, b, self.c0(), dst);
+    }
+
+    fn or(&mut self, a: RowId, b: RowId, dst: RowId) {
+        self.maj_op(a, b, self.c1(), dst);
+    }
+
+    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let t3 = RowId(self.reserved_base() + 6);
+        self.and(a, b, t3);
+        self.not(t3, dst);
+    }
+
+    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) {
+        let t3 = RowId(self.reserved_base() + 6);
+        self.or(a, b, t3);
+        self.not(t3, dst);
+    }
+
+    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) {
+        // or(and(a, !b), and(!a, b)) — Ambit's composition.
+        let na = RowId(self.reserved_base() + 7);
+        let nb = RowId(self.reserved_base() + 8);
+        let x = RowId(self.reserved_base() + 9);
+        let y = RowId(self.reserved_base() + 10);
+        self.not(a, na);
+        self.not(b, nb);
+        self.and(a, nb, x);
+        self.and(na, b, y);
+        self.or(x, y, dst);
+    }
+
+    fn copy(&mut self, src: RowId, dst: RowId) {
+        self.aap_copy(src, dst);
+    }
+
+    fn scratch_rows(&self, count: usize) -> Vec<RowId> {
+        assert!(count <= 5, "at most 5 general scratch rows");
+        (0..count as u64)
+            .map(|i| RowId(self.reserved_base() + 11 + i))
+            .collect()
+    }
+
+    fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn finish(&mut self) -> ExecStats {
+        if !self.refreshed {
+            let runtime = self.latency.seconds(self.stats.total_cycles());
+            let refresh = Self::refresh_stats(
+                &self.energy,
+                &self.latency,
+                runtime,
+                self.store.touched_rows(),
+            );
+            self.stats.merge(&refresh);
+            self.refreshed = true;
+        }
+        self.stats.clone()
+    }
+
+    fn tech_name(&self) -> &'static str {
+        "1T-1C DRAM (Ambit AAP)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CommandClass;
+
+    fn backend() -> DramBackend {
+        DramBackend::tiny()
+    }
+
+    fn row_of(backend: &DramBackend, word: u64) -> Vec<u64> {
+        vec![word; backend.geometry().row_words()]
+    }
+
+    #[test]
+    fn and_or_not_functional() {
+        let mut m = backend();
+        let (a, b, d) = (RowId(0), RowId(1), RowId(2));
+        m.write_row(a, &row_of(&m, 0b1100));
+        m.write_row(b, &row_of(&m, 0b1010));
+        m.and(a, b, d);
+        assert_eq!(m.read_row(d)[0], 0b1000);
+        m.or(a, b, d);
+        assert_eq!(m.read_row(d)[0], 0b1110);
+        m.not(a, d);
+        assert_eq!(m.read_row(d)[0], !0b1100u64);
+        m.nand(a, b, d);
+        assert_eq!(m.read_row(d)[0], !0b1000u64);
+        m.nor(a, b, d);
+        assert_eq!(m.read_row(d)[0], !0b1110u64);
+        m.xor(a, b, d);
+        assert_eq!(m.read_row(d)[0], 0b0110);
+    }
+
+    #[test]
+    fn operands_survive_logic_ops() {
+        // The whole point of the AAP staging: user rows are only read.
+        let mut m = backend();
+        let (a, b, d) = (RowId(0), RowId(1), RowId(2));
+        m.write_row(a, &row_of(&m, 0xDEAD));
+        m.write_row(b, &row_of(&m, 0xBEEF));
+        m.and(a, b, d);
+        assert_eq!(m.read_row(a)[0], 0xDEAD);
+        assert_eq!(m.read_row(b)[0], 0xBEEF);
+    }
+
+    #[test]
+    fn and_costs_four_aaps() {
+        let mut m = backend();
+        let (a, b, d) = (RowId(0), RowId(1), RowId(2));
+        m.write_row(a, &row_of(&m, 1));
+        m.write_row(b, &row_of(&m, 2));
+        let before = m.stats().clone();
+        m.and(a, b, d);
+        let act = m.stats().count(CommandClass::Activate) - before.count(CommandClass::Activate);
+        let pre = m.stats().count(CommandClass::Precharge) - before.count(CommandClass::Precharge);
+        assert_eq!(act, 8, "4 AAPs = 8 activates");
+        assert_eq!(pre, 4);
+        let d_cycles = m.stats().total_cycles() - before.total_cycles();
+        assert_eq!(d_cycles, 12);
+        let d_energy = m.stats().total_energy_nj() - before.total_energy_nj();
+        assert!((d_energy - 4.0 * 45.52).abs() < 1e-9, "got {d_energy}");
+    }
+
+    #[test]
+    fn not_costs_two_aaps() {
+        let mut m = backend();
+        m.write_row(RowId(0), &row_of(&m, 1));
+        let before = m.stats().total_cycles();
+        m.not(RowId(0), RowId(1));
+        assert_eq!(m.stats().total_cycles() - before, 6);
+    }
+
+    #[test]
+    fn copy_costs_one_aap() {
+        let mut m = backend();
+        m.write_row(RowId(0), &row_of(&m, 7));
+        let before = m.stats().total_cycles();
+        m.copy(RowId(0), RowId(1));
+        assert_eq!(m.stats().total_cycles() - before, 3);
+        assert_eq!(m.read_row(RowId(1))[0], 7);
+    }
+
+    #[test]
+    fn refresh_charged_per_window() {
+        let e = EnergyModel::dram();
+        let l = LatencyModel::paper_default();
+        // 0.5 s runtime → 7 windows of 64 ms; 100 live rows.
+        let s = DramBackend::refresh_stats(&e, &l, 0.5, 100);
+        assert_eq!(s.count(CommandClass::Refresh), 7);
+        assert!((s.total_energy_nj() - 7.0 * 100.0 * 22.92).abs() < 1e-6);
+        // Short runs refresh nothing.
+        let s = DramBackend::refresh_stats(&e, &l, 0.01, 100);
+        assert_eq!(s.total_cycles(), 0);
+    }
+
+    #[test]
+    fn finish_adds_refresh_once() {
+        let mut m = backend();
+        m.write_row(RowId(0), &row_of(&m, 1));
+        let s1 = m.finish();
+        let s2 = m.finish();
+        assert_eq!(s1, s2, "finish must be idempotent");
+    }
+
+    #[test]
+    fn scratch_rows_are_reserved_and_disjoint() {
+        let m = backend();
+        let s = m.scratch_rows(5);
+        assert_eq!(s.len(), 5);
+        for r in &s {
+            assert!(r.0 >= m.first_reserved_row().0);
+            assert!(m.geometry().contains(*r));
+        }
+    }
+
+    #[test]
+    fn tech_name_mentions_dram() {
+        assert!(backend().tech_name().contains("DRAM"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-command energy and latency constants.
+//!
+//! Values from the paper's cell-level SPICE study (Section VI):
+//!
+//! | command   | DRAM      | 2T-nC FeRAM |
+//! |-----------|-----------|-------------|
+//! | ACTIVATE  | 22.6 nJ   | 16.6 nJ     |
+//! | PRECHARGE | 0.32 nJ   | 0.32 nJ     |
+//! | latency   | 1 cycle per ACTIVATE / COPY / PRECHARGE |
+//!
+//! The QNRO mechanism is what buys the lower FeRAM ACTIVATE energy — no
+//! full polarization reversal on reads. Host row writes/reads are charged
+//! one activate-class operation; the FeRAM COPY drives the destination
+//! row's write path, so it carries write-class energy.
+
+use crate::command::Command;
+use crate::stats::CommandClass;
+use serde::{Deserialize, Serialize};
+
+/// Energy constants, in nJ per row-level command.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per ACTIVATE-class command (ACT, TRA, TBA, RowClone), nJ.
+    pub activate_nj: f64,
+    /// Energy per PRECHARGE, nJ.
+    pub precharge_nj: f64,
+    /// Energy per COPY (FeRAM tri-state-buffer row write), nJ.
+    pub copy_nj: f64,
+    /// Energy per host row write, nJ.
+    pub write_nj: f64,
+    /// Energy per host row read, nJ.
+    pub read_nj: f64,
+    /// Energy per refreshed row (ACT + PRE), nJ.
+    pub refresh_row_nj: f64,
+}
+
+impl EnergyModel {
+    /// The paper's DRAM constants.
+    pub fn dram() -> Self {
+        Self {
+            activate_nj: 22.6,
+            precharge_nj: 0.32,
+            // DRAM has no separate COPY — RowClone is activate-class.
+            copy_nj: 22.6,
+            write_nj: 22.6 + 0.32,
+            read_nj: 22.6 + 0.32,
+            refresh_row_nj: 22.6 + 0.32,
+        }
+    }
+
+    /// The paper's 2T-nC FeRAM constants.
+    ///
+    /// The 16.6 nJ figure is the QNRO ACTIVATE — no full polarization
+    /// reversal. COPY and host writes *do* fully switch the destination
+    /// row's capacitors, so they carry full-switching energy, calibrated
+    /// to the DRAM activate level (22.6 nJ/row; a full FE reversal moves
+    /// 2·Pr·A of charge per cell, comparable to restoring a DRAM row).
+    pub fn feram_2tnc() -> Self {
+        Self {
+            activate_nj: 16.6,
+            precharge_nj: 0.32,
+            copy_nj: 22.6,
+            write_nj: 22.6,
+            read_nj: 16.6 + 0.32,
+            refresh_row_nj: 0.0,
+        }
+    }
+
+    /// Energy of one command, in nJ.
+    pub fn energy_nj(&self, cmd: &Command) -> f64 {
+        match cmd.class() {
+            CommandClass::Activate => self.activate_nj,
+            CommandClass::Copy => self.copy_nj,
+            CommandClass::Precharge => self.precharge_nj,
+            CommandClass::Write => self.write_nj,
+            CommandClass::Read => self.read_nj,
+            CommandClass::Refresh => match cmd {
+                Command::Refresh { rows } => self.refresh_row_nj * *rows as f64,
+                _ => unreachable!("refresh class implies refresh command"),
+            },
+        }
+    }
+}
+
+/// Latency constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Cycles per primitive (the paper assumes a uniform 1).
+    pub cycles_per_primitive: u64,
+    /// Cycle time in ns (used to convert runtime to wall-clock for
+    /// refresh-window accounting).
+    pub cycle_time_ns: f64,
+    /// Refresh interval in ms (64 ms in the paper's DRAM model;
+    /// irrelevant for FeRAM).
+    pub refresh_interval_ms: f64,
+}
+
+impl LatencyModel {
+    /// The paper's uniform-latency model with a 50 ns memory cycle.
+    pub fn paper_default() -> Self {
+        Self {
+            cycles_per_primitive: 1,
+            cycle_time_ns: 50.0,
+            refresh_interval_ms: 64.0,
+        }
+    }
+
+    /// Cycles taken by one command.
+    pub fn cycles(&self, cmd: &Command) -> u64 {
+        match cmd {
+            // A refresh batch stalls one primitive slot per 2 rows (ACT
+            // and PRE pipelined across banks).
+            Command::Refresh { rows } => self.cycles_per_primitive * rows.div_ceil(2),
+            _ => self.cycles_per_primitive,
+        }
+    }
+
+    /// Wall-clock duration of `cycles`, in seconds.
+    pub fn seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.cycle_time_ns * 1e-9
+    }
+
+    /// Refresh interval in seconds.
+    pub fn refresh_interval_s(&self) -> f64 {
+        self.refresh_interval_ms * 1e-3
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::RowId;
+
+    #[test]
+    fn paper_constants() {
+        let d = EnergyModel::dram();
+        assert_eq!(d.activate_nj, 22.6);
+        assert_eq!(d.precharge_nj, 0.32);
+        let f = EnergyModel::feram_2tnc();
+        assert_eq!(f.activate_nj, 16.6);
+        assert_eq!(f.precharge_nj, 0.32);
+        assert_eq!(f.refresh_row_nj, 0.0, "FeRAM never refreshes");
+    }
+
+    #[test]
+    fn aap_energy_is_two_activates_plus_precharge() {
+        let d = EnergyModel::dram();
+        let r = RowId(0);
+        let aap = d.energy_nj(&Command::TripleRowActivate(r, r, r))
+            + d.energy_nj(&Command::RowClone { dst: r })
+            + d.energy_nj(&Command::Precharge);
+        assert!((aap - 45.52).abs() < 1e-9, "AAP = {aap} nJ");
+    }
+
+    #[test]
+    fn acp_energy_matches_feram_model() {
+        let f = EnergyModel::feram_2tnc();
+        let r = RowId(0);
+        let acp = f.energy_nj(&Command::TripleBitActivate(r))
+            + f.energy_nj(&Command::Copy {
+                dst: r,
+                complement: false,
+            })
+            + f.energy_nj(&Command::Precharge);
+        assert!((acp - 39.52).abs() < 1e-9, "ACP = {acp} nJ");
+    }
+
+    #[test]
+    fn refresh_energy_scales_with_rows() {
+        let d = EnergyModel::dram();
+        let e = d.energy_nj(&Command::Refresh { rows: 100 });
+        assert!((e - 100.0 * 22.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_uniform_one_cycle() {
+        let l = LatencyModel::paper_default();
+        let r = RowId(0);
+        assert_eq!(l.cycles(&Command::Activate(r)), 1);
+        assert_eq!(l.cycles(&Command::Precharge), 1);
+        assert_eq!(
+            l.cycles(&Command::Copy {
+                dst: r,
+                complement: false
+            }),
+            1
+        );
+        assert_eq!(l.cycles(&Command::Refresh { rows: 100 }), 50);
+    }
+
+    #[test]
+    fn time_conversions() {
+        let l = LatencyModel::paper_default();
+        assert!((l.seconds(20_000_000) - 1.0).abs() < 1e-12);
+        assert!((l.refresh_interval_s() - 0.064).abs() < 1e-12);
+    }
+}

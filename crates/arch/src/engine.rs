@@ -1,0 +1,198 @@
+//! Bit-accurate functional row store.
+//!
+//! Every simulated command also computes its real result, so workload
+//! outputs can be verified bit-for-bit against software references. Rows
+//! are lazily materialised (an 8 GB memory is addressable without 8 GB of
+//! host RAM).
+
+use crate::geometry::{MemoryGeometry, RowId};
+use std::collections::HashMap;
+
+/// Lazily-materialised storage for full memory rows.
+#[derive(Debug, Clone, Default)]
+pub struct RowStore {
+    geometry: MemoryGeometry,
+    rows: HashMap<u64, Vec<u64>>,
+}
+
+impl RowStore {
+    /// Creates an empty store over the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid.
+    pub fn new(geometry: MemoryGeometry) -> Self {
+        geometry.validate().expect("valid geometry");
+        Self {
+            geometry,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &MemoryGeometry {
+        &self.geometry
+    }
+
+    /// Number of rows ever touched (materialised).
+    pub fn touched_rows(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    fn assert_in_range(&self, row: RowId) {
+        assert!(
+            self.geometry.contains(row),
+            "{row} out of range ({} rows)",
+            self.geometry.total_rows()
+        );
+    }
+
+    /// Reads a row (zeros if never written).
+    pub fn read(&self, row: RowId) -> Vec<u64> {
+        self.assert_in_range(row);
+        self.rows
+            .get(&row.0)
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.geometry.row_words()])
+    }
+
+    /// Writes a full row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one row long or the row is out of
+    /// range.
+    pub fn write(&mut self, row: RowId, data: &[u64]) {
+        self.assert_in_range(row);
+        assert_eq!(
+            data.len(),
+            self.geometry.row_words(),
+            "row data must be exactly {} words",
+            self.geometry.row_words()
+        );
+        self.rows.insert(row.0, data.to_vec());
+    }
+
+    /// `dst[i] = f(a[i], b[i])` across the whole row.
+    pub fn combine(&mut self, a: RowId, b: RowId, dst: RowId, f: impl Fn(u64, u64) -> u64) {
+        let ra = self.read(a);
+        let rb = self.read(b);
+        let out: Vec<u64> = ra.iter().zip(rb.iter()).map(|(&x, &y)| f(x, y)).collect();
+        self.write(dst, &out);
+    }
+
+    /// `dst[i] = f(src[i])` across the whole row.
+    pub fn map(&mut self, src: RowId, dst: RowId, f: impl Fn(u64) -> u64) {
+        let r = self.read(src);
+        let out: Vec<u64> = r.iter().map(|&x| f(x)).collect();
+        self.write(dst, &out);
+    }
+
+    /// `dst[i] = f(a[i], b[i], c[i])` across the whole row (TRA/TBA).
+    pub fn combine3(
+        &mut self,
+        a: RowId,
+        b: RowId,
+        c: RowId,
+        dst: RowId,
+        f: impl Fn(u64, u64, u64) -> u64,
+    ) {
+        let ra = self.read(a);
+        let rb = self.read(b);
+        let rc = self.read(c);
+        let out: Vec<u64> = (0..ra.len()).map(|i| f(ra[i], rb[i], rc[i])).collect();
+        self.write(dst, &out);
+    }
+
+    /// Fills a row with a constant word.
+    pub fn fill(&mut self, row: RowId, word: u64) {
+        let data = vec![word; self.geometry.row_words()];
+        self.write(row, &data);
+    }
+}
+
+/// Bitwise MAJORITY of three words (the TRA function).
+pub fn majority_words(a: u64, b: u64, c: u64) -> u64 {
+    (a & b) | (b & c) | (a & c)
+}
+
+/// Bitwise MINORITY of three words (the TBA function).
+pub fn minority_words(a: u64, b: u64, c: u64) -> u64 {
+    !majority_words(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> RowStore {
+        RowStore::new(MemoryGeometry::tiny())
+    }
+
+    #[test]
+    fn unwritten_rows_read_zero() {
+        let s = store();
+        assert!(s.read(RowId(5)).iter().all(|&w| w == 0));
+        assert_eq!(s.touched_rows(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = store();
+        let data: Vec<u64> = (0..128).map(|i| i * 3).collect();
+        s.write(RowId(7), &data);
+        assert_eq!(s.read(RowId(7)), data);
+        assert_eq!(s.touched_rows(), 1);
+    }
+
+    #[test]
+    fn combine_and_map() {
+        let mut s = store();
+        s.fill(RowId(0), 0b1100);
+        s.fill(RowId(1), 0b1010);
+        s.combine(RowId(0), RowId(1), RowId(2), |a, b| a & b);
+        assert_eq!(s.read(RowId(2))[0], 0b1000);
+        s.map(RowId(2), RowId(3), |x| !x);
+        assert_eq!(s.read(RowId(3))[0], !0b1000u64);
+    }
+
+    #[test]
+    fn combine3_majority_minority() {
+        let mut s = store();
+        s.fill(RowId(0), 0b1100);
+        s.fill(RowId(1), 0b1010);
+        s.fill(RowId(2), 0b0110);
+        s.combine3(RowId(0), RowId(1), RowId(2), RowId(3), majority_words);
+        assert_eq!(s.read(RowId(3))[0], 0b1110);
+        s.combine3(RowId(0), RowId(1), RowId(2), RowId(4), minority_words);
+        assert_eq!(s.read(RowId(4))[0], !0b1110u64);
+    }
+
+    #[test]
+    fn word_functions_are_complementary() {
+        for v in 0..8u64 {
+            let (a, b, c) = (
+                if v & 4 != 0 { !0 } else { 0 },
+                if v & 2 != 0 { !0 } else { 0 },
+                if v & 1 != 0 { !0 } else { 0 },
+            );
+            assert_eq!(majority_words(a, b, c), !minority_words(a, b, c));
+            let expect = if v.count_ones() >= 2 { !0u64 } else { 0 };
+            assert_eq!(majority_words(a, b, c), expect, "pattern {v:03b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_rows() {
+        let s = store();
+        let _ = s.read(RowId(10_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn rejects_short_rows() {
+        let mut s = store();
+        s.write(RowId(0), &[1, 2, 3]);
+    }
+}

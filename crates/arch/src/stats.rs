@@ -1,0 +1,214 @@
+//! Execution statistics: cycles and energy with per-class breakdowns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Accounting class of a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CommandClass {
+    /// ACTIVATE-class (ACT, TRA, TBA, RowClone).
+    Activate,
+    /// FeRAM tri-state-buffer COPY.
+    Copy,
+    /// PRECHARGE.
+    Precharge,
+    /// Host row write.
+    Write,
+    /// Host row read.
+    Read,
+    /// DRAM refresh.
+    Refresh,
+}
+
+impl CommandClass {
+    /// All classes in display order.
+    pub const ALL: [CommandClass; 6] = [
+        CommandClass::Activate,
+        CommandClass::Copy,
+        CommandClass::Precharge,
+        CommandClass::Write,
+        CommandClass::Read,
+        CommandClass::Refresh,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CommandClass::Activate => 0,
+            CommandClass::Copy => 1,
+            CommandClass::Precharge => 2,
+            CommandClass::Write => 3,
+            CommandClass::Read => 4,
+            CommandClass::Refresh => 5,
+        }
+    }
+}
+
+impl fmt::Display for CommandClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommandClass::Activate => "activate",
+            CommandClass::Copy => "copy",
+            CommandClass::Precharge => "precharge",
+            CommandClass::Write => "write",
+            CommandClass::Read => "read",
+            CommandClass::Refresh => "refresh",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Cycle and energy totals with per-class breakdowns.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExecStats {
+    counts: [u64; 6],
+    cycles: [u64; 6],
+    energy_nj: [f64; 6],
+}
+
+impl ExecStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one command occurrence.
+    pub fn record(&mut self, class: CommandClass, cycles: u64, energy_nj: f64) {
+        let i = class.index();
+        self.counts[i] += 1;
+        self.cycles[i] += cycles;
+        self.energy_nj[i] += energy_nj;
+    }
+
+    /// Total cycles across all classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total energy in nJ.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy_nj.iter().sum()
+    }
+
+    /// Total energy in mJ.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.total_energy_nj() * 1e-6
+    }
+
+    /// Command count for a class.
+    pub fn count(&self, class: CommandClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Cycles spent in a class.
+    pub fn cycles(&self, class: CommandClass) -> u64 {
+        self.cycles[class.index()]
+    }
+
+    /// Energy spent in a class, nJ.
+    pub fn energy_nj(&self, class: CommandClass) -> f64 {
+        self.energy_nj[class.index()]
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for i in 0..6 {
+            self.counts[i] += other.counts[i];
+            self.cycles[i] += other.cycles[i];
+            self.energy_nj[i] += other.energy_nj[i];
+        }
+    }
+
+    /// Multiplies all totals by a scalar — used to extrapolate a scaled-
+    /// down functional simulation to the paper's full 1 GB workload size
+    /// (primitive counts scale exactly linearly in row count).
+    pub fn scaled(&self, factor: f64) -> ExecStats {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        let mut out = self.clone();
+        for i in 0..6 {
+            out.counts[i] = (out.counts[i] as f64 * factor).round() as u64;
+            out.cycles[i] = (out.cycles[i] as f64 * factor).round() as u64;
+            out.energy_nj[i] *= factor;
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total: {} cycles, {:.3} mJ",
+            self.total_cycles(),
+            self.total_energy_mj()
+        )?;
+        for class in CommandClass::ALL {
+            if self.count(class) > 0 {
+                writeln!(
+                    f,
+                    "  {:<10} n={:<10} cycles={:<10} energy={:.3} mJ",
+                    class.to_string(),
+                    self.count(class),
+                    self.cycles(class),
+                    self.energy_nj(class) * 1e-6
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = ExecStats::new();
+        s.record(CommandClass::Activate, 1, 22.6);
+        s.record(CommandClass::Activate, 1, 22.6);
+        s.record(CommandClass::Precharge, 1, 0.32);
+        assert_eq!(s.total_cycles(), 3);
+        assert!((s.total_energy_nj() - 45.52).abs() < 1e-9);
+        assert_eq!(s.count(CommandClass::Activate), 2);
+        assert_eq!(s.cycles(CommandClass::Precharge), 1);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ExecStats::new();
+        a.record(CommandClass::Write, 1, 16.6);
+        let mut b = ExecStats::new();
+        b.record(CommandClass::Write, 2, 33.2);
+        b.record(CommandClass::Refresh, 10, 100.0);
+        a.merge(&b);
+        assert_eq!(a.count(CommandClass::Write), 2);
+        assert_eq!(a.cycles(CommandClass::Write), 3);
+        assert_eq!(a.cycles(CommandClass::Refresh), 10);
+        assert!((a.total_energy_nj() - 149.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_extrapolates_linearly() {
+        let mut s = ExecStats::new();
+        s.record(CommandClass::Activate, 10, 226.0);
+        let big = s.scaled(128.0);
+        assert_eq!(big.cycles(CommandClass::Activate), 1280);
+        assert!((big.total_energy_nj() - 28928.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_lists_used_classes_only() {
+        let mut s = ExecStats::new();
+        s.record(CommandClass::Copy, 1, 16.6);
+        let text = s.to_string();
+        assert!(text.contains("copy"));
+        assert!(!text.contains("refresh"));
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(CommandClass::Activate.to_string(), "activate");
+        assert_eq!(CommandClass::Refresh.to_string(), "refresh");
+        assert_eq!(CommandClass::ALL.len(), 6);
+    }
+}

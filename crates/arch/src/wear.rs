@@ -1,0 +1,152 @@
+//! Write-endurance wear tracking.
+//!
+//! Ferroelectric capacitors endure ~10⁶–10⁸ full write cycles (Fig 4(f));
+//! a bulk-bitwise engine that funnels every result through the same
+//! scratch rows would wear them out orders of magnitude before the data
+//! rows. This module tracks per-row write counts and grades them against
+//! an endurance budget, so workloads can check their wear profile and
+//! future controllers could rotate scratch rows.
+
+use crate::geometry::RowId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-row write counters with an endurance budget.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WearTracker {
+    writes: HashMap<u64, u64>,
+    endurance_budget: u64,
+}
+
+/// Summary of a wear profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearReport {
+    /// Distinct rows ever written.
+    pub rows_written: u64,
+    /// Total writes recorded.
+    pub total_writes: u64,
+    /// Largest per-row write count.
+    pub max_row_writes: u64,
+    /// Fraction of the endurance budget consumed by the hottest row.
+    pub worst_budget_fraction: f64,
+    /// How many times the observed workload could repeat before the
+    /// hottest row reaches the budget (`inf` if nothing was written).
+    pub repeatable_runs: f64,
+}
+
+impl WearTracker {
+    /// A tracker with the paper's demonstrated 10⁶-cycle budget.
+    pub fn new() -> Self {
+        Self::with_budget(1_000_000)
+    }
+
+    /// A tracker with a custom endurance budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is zero.
+    pub fn with_budget(endurance_budget: u64) -> Self {
+        assert!(endurance_budget > 0, "endurance budget must be positive");
+        Self {
+            writes: HashMap::new(),
+            endurance_budget,
+        }
+    }
+
+    /// Records one full write of `row`.
+    pub fn record_write(&mut self, row: RowId) {
+        *self.writes.entry(row.0).or_insert(0) += 1;
+    }
+
+    /// Write count of a row.
+    pub fn writes(&self, row: RowId) -> u64 {
+        self.writes.get(&row.0).copied().unwrap_or(0)
+    }
+
+    /// The endurance budget.
+    pub fn budget(&self) -> u64 {
+        self.endurance_budget
+    }
+
+    /// Builds the wear report.
+    pub fn report(&self) -> WearReport {
+        let max = self.writes.values().copied().max().unwrap_or(0);
+        let total: u64 = self.writes.values().sum();
+        WearReport {
+            rows_written: self.writes.len() as u64,
+            total_writes: total,
+            max_row_writes: max,
+            worst_budget_fraction: max as f64 / self.endurance_budget as f64,
+            repeatable_runs: if max == 0 {
+                f64::INFINITY
+            } else {
+                self.endurance_budget as f64 / max as f64
+            },
+        }
+    }
+
+    /// Rows whose write count exceeds `fraction` of the budget — the
+    /// candidates for wear-levelling rotation.
+    pub fn hot_rows(&self, fraction: f64) -> Vec<RowId> {
+        let threshold = (self.endurance_budget as f64 * fraction) as u64;
+        let mut rows: Vec<RowId> = self
+            .writes
+            .iter()
+            .filter(|(_, &n)| n > threshold)
+            .map(|(&r, _)| RowId(r))
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_reports() {
+        let mut w = WearTracker::with_budget(100);
+        for _ in 0..10 {
+            w.record_write(RowId(1));
+        }
+        w.record_write(RowId(2));
+        assert_eq!(w.writes(RowId(1)), 10);
+        assert_eq!(w.writes(RowId(3)), 0);
+        let r = w.report();
+        assert_eq!(r.rows_written, 2);
+        assert_eq!(r.total_writes, 11);
+        assert_eq!(r.max_row_writes, 10);
+        assert!((r.worst_budget_fraction - 0.1).abs() < 1e-12);
+        assert!((r.repeatable_runs - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_is_immortal() {
+        let w = WearTracker::new();
+        let r = w.report();
+        assert_eq!(r.max_row_writes, 0);
+        assert!(r.repeatable_runs.is_infinite());
+        assert_eq!(w.budget(), 1_000_000);
+    }
+
+    #[test]
+    fn hot_rows_are_sorted_and_thresholded() {
+        let mut w = WearTracker::with_budget(10);
+        for _ in 0..9 {
+            w.record_write(RowId(7));
+        }
+        for _ in 0..9 {
+            w.record_write(RowId(3));
+        }
+        w.record_write(RowId(5));
+        assert_eq!(w.hot_rows(0.5), vec![RowId(3), RowId(7)]);
+        assert!(w.hot_rows(0.95).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn rejects_zero_budget() {
+        let _ = WearTracker::with_budget(0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the architecture-level row primitives on both
+//! backends (simulator throughput, rows/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use felim::arch::{BulkBackend, DramBackend, FeramBackend, MemoryGeometry, RowId};
+use std::hint::black_box;
+
+fn backends() -> Vec<(&'static str, Box<dyn BulkBackend>)> {
+    vec![
+        (
+            "feram",
+            Box::new(FeramBackend::new(MemoryGeometry::paper_8gb())),
+        ),
+        (
+            "dram",
+            Box::new(DramBackend::new(MemoryGeometry::paper_8gb())),
+        ),
+    ]
+}
+
+fn bench_row_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("row_ops");
+    for (name, mut backend) in backends() {
+        let words = backend.geometry().row_words();
+        backend.install_row(RowId(0), &vec![0xDEAD_BEEF_u64; words]);
+        backend.install_row(RowId(1), &vec![0x1234_5678_u64; words]);
+        g.throughput(Throughput::Bytes((words * 8) as u64));
+
+        g.bench_with_input(BenchmarkId::new("nand", name), &(), |b, _| {
+            b.iter(|| backend.nand(black_box(RowId(0)), RowId(1), RowId(2)))
+        });
+        g.bench_with_input(BenchmarkId::new("xor", name), &(), |b, _| {
+            b.iter(|| backend.xor(black_box(RowId(0)), RowId(1), RowId(3)))
+        });
+        g.bench_with_input(BenchmarkId::new("not", name), &(), |b, _| {
+            b.iter(|| backend.not(black_box(RowId(0)), RowId(4)))
+        });
+        g.bench_with_input(BenchmarkId::new("copy", name), &(), |b, _| {
+            b.iter(|| backend.copy(black_box(RowId(0)), RowId(5)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_row_store(c: &mut Criterion) {
+    use felim::arch::engine::{minority_words, RowStore};
+    let mut g = c.benchmark_group("row_store");
+    let geometry = MemoryGeometry::paper_8gb();
+    let mut store = RowStore::new(geometry);
+    let words = geometry.row_words();
+    store.write(RowId(0), &vec![0xAAAA_u64; words]);
+    store.write(RowId(1), &vec![0x5555_u64; words]);
+    store.write(RowId(2), &vec![0xF0F0_u64; words]);
+    g.throughput(Throughput::Bytes((words * 8) as u64));
+    g.bench_function("combine3_minority_8kb", |b| {
+        b.iter(|| {
+            store.combine3(
+                black_box(RowId(0)),
+                RowId(1),
+                RowId(2),
+                RowId(3),
+                minority_words,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_row_ops, bench_row_store);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the cell-level primitives: device pulses,
+//! QNRO reads, TBA, and writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use felim::cell::cell2tnc::{Cell2TnC, Cell2TnCParams};
+use felim::cell::Bit;
+use felim::ferro::{MfmCapacitor, MfmParams, Polarity};
+use std::hint::black_box;
+
+fn bench_device(c: &mut Criterion) {
+    let params = MfmParams::fabricated();
+    let mut g = c.benchmark_group("device");
+
+    g.bench_function("write_pulse", |b| {
+        let mut cap = MfmCapacitor::new(&params);
+        let mut bit = Polarity::Up;
+        b.iter(|| {
+            cap.write(black_box(bit));
+            bit = bit.flipped();
+        })
+    });
+
+    g.bench_function("qnro_read_pulse", |b| {
+        let mut cap = MfmCapacitor::new(&params);
+        cap.write(Polarity::Down);
+        b.iter(|| black_box(cap.read_pulse_charge(params.read_voltage(), 100e-9)))
+    });
+
+    g.bench_function("predict_charge", |b| {
+        let cap = MfmCapacitor::new(&params);
+        b.iter(|| black_box(cap.predict_charge(black_box(0.85), 10e-9)))
+    });
+    g.finish();
+}
+
+fn bench_cell(c: &mut Criterion) {
+    let params = Cell2TnCParams::default();
+    let mut g = c.benchmark_group("cell2tnc");
+
+    g.bench_function("construct_and_calibrate", |b| {
+        b.iter(|| black_box(Cell2TnC::new(&params)))
+    });
+
+    g.bench_function("qnro_read", |b| {
+        let mut cell = Cell2TnC::new(&params);
+        cell.write(0, Bit::Zero);
+        b.iter(|| black_box(cell.qnro_read(0)))
+    });
+
+    g.bench_function("tba_minority", |b| {
+        let mut cell = Cell2TnC::new(&params);
+        cell.write_bits(&[Bit::One, Bit::Zero, Bit::One]);
+        b.iter(|| black_box(cell.tba()))
+    });
+
+    g.bench_function("write_three_bits", |b| {
+        let mut cell = Cell2TnC::new(&params);
+        b.iter(|| cell.write_bits(black_box(&[Bit::One, Bit::Zero, Bit::One])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_device, bench_cell);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the two numerical engines: the MNA transient
+//! simulator and the thermal steady-state solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use felim::cell::netlists::{read_testbench, run, NetlistConfig};
+use felim::ferro::Polarity;
+use felim::spice::{Circuit, Element, TransientSpec, Waveform};
+use felim::thermal::{solve_steady_state, PowerMap, Stack};
+use std::hint::black_box;
+
+fn bench_spice(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spice");
+    g.sample_size(20);
+
+    g.bench_function("rc_transient_1000_steps", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let out = ckt.node("out");
+            ckt.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0, 0.0));
+            ckt.add("R1", Element::resistor(a, out, 1e3));
+            ckt.add("C1", Element::capacitor(out, Circuit::GND, 1e-9));
+            black_box(ckt.transient(&TransientSpec::new(5e-6, 5e-9)).unwrap())
+        })
+    });
+
+    g.bench_function("cell_qnro_read_transient", |b| {
+        let cfg = NetlistConfig::fast();
+        b.iter(|| {
+            let mut tb = read_testbench(&cfg, &[Polarity::Down; 3], &[0]);
+            black_box(run(&mut tb, &cfg).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thermal");
+    g.sample_size(20);
+    let stack = Stack::feram_on_compute_die(5);
+    for grid in [16usize, 32] {
+        let mut power = PowerMap::zeros(&stack, grid, grid);
+        power.add_uniform_layer(stack.compute_layer(), 28.0);
+        g.bench_function(format!("steady_state_{grid}x{grid}x12"), |b| {
+            b.iter(|| black_box(solve_steady_state(&stack, &power, 300.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spice, bench_thermal);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmarks of the eight workload kernels (simulation +
+//! verification throughput on the FeRAM backend).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use felim::arch::{FeramBackend, MemoryGeometry};
+use felim::workloads::all_workloads;
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.sample_size(10);
+    for w in all_workloads() {
+        g.bench_with_input(BenchmarkId::new("feram_16rows", w.name()), &(), |b, _| {
+            b.iter(|| {
+                let mut m = FeramBackend::new(MemoryGeometry::tiny());
+                black_box(w.execute(&mut m, 16, 42))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

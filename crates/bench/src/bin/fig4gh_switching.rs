@@ -1,0 +1,93 @@
+//! Fig 4(g,h) — switching dynamics vs pulse width and amplitude for
+//! positive and negative switching: the MFM switches with pulse widths
+//! under 300 ns at ±3 V, and the required width explodes near V_c.
+
+use felim::ferro::{MfmParams, PulseSweep};
+use felim_bench::{header, record, ExperimentRecord};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SwitchingMap {
+    widths_ns: Vec<f64>,
+    amplitudes_v: Vec<f64>,
+    /// switched fraction, indexed `(amplitude, width)`, positive branch.
+    positive: Vec<Vec<f64>>,
+    /// switched fraction, indexed `(amplitude, width)`, negative branch.
+    negative: Vec<Vec<f64>>,
+    t50_at_3v_ns: f64,
+}
+
+fn main() {
+    header("Figure 4(g,h)", "pulse switching dynamics, ±(1.5–3) V");
+    let sweep = PulseSweep::new(&MfmParams::fabricated());
+
+    let widths_ns = [10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0];
+    let amplitudes = [1.5, 2.0, 2.5, 3.0];
+
+    let mut positive = Vec::new();
+    let mut negative = Vec::new();
+    for branch in ["(g) positive switching", "(h) negative switching"] {
+        println!("{branch}");
+        print!("  |V| \\ width(ns)");
+        for w in widths_ns {
+            print!(" {w:>7.0}");
+        }
+        println!();
+        let sign = if branch.contains("positive") {
+            1.0
+        } else {
+            -1.0
+        };
+        for &a in &amplitudes {
+            print!("  {:>13.1} V", a * sign);
+            let mut row = Vec::new();
+            for &w in &widths_ns {
+                let frac = sweep.single(sign * a, w * 1e-9).switched_fraction;
+                print!(" {frac:>7.3}");
+                row.push(frac);
+            }
+            println!();
+            if sign > 0.0 {
+                positive.push(row);
+            } else {
+                negative.push(row);
+            }
+        }
+        println!();
+    }
+
+    let t50 = sweep.time_to_switch(3.0, 0.5).expect("switches at 3 V") * 1e9;
+    println!("50% switching time at +3 V: {t50:.1} ns  (paper: < 300 ns)");
+
+    let map = SwitchingMap {
+        widths_ns: widths_ns.to_vec(),
+        amplitudes_v: amplitudes.to_vec(),
+        positive,
+        negative,
+        t50_at_3v_ns: t50,
+    };
+    record(&ExperimentRecord {
+        id: "fig4gh",
+        artifact: "Figure 4(g,h)",
+        paper_claim: "switching with pulse widths under 300 ns at ±3 V; symmetric branches",
+        measured: &map,
+    });
+
+    assert!(map.t50_at_3v_ns < 300.0);
+    // Symmetry between the branches.
+    for (p, n) in map
+        .positive
+        .iter()
+        .flatten()
+        .zip(map.negative.iter().flatten())
+    {
+        assert!((p - n).abs() < 0.05, "branches must be symmetric");
+    }
+    // Monotone in both width and amplitude.
+    for row in &map.positive {
+        for w in row.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+    println!("\nshape check PASSED");
+}

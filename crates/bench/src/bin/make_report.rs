@@ -1,0 +1,71 @@
+//! Collates `results/experiments.jsonl` (written by the figure binaries)
+//! into a human-readable `results/REPORT.md` summary, keeping only the
+//! latest record per experiment id.
+
+use felim_bench::results_dir;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = results_dir();
+    let jsonl = dir.join("experiments.jsonl");
+    let text = fs::read_to_string(&jsonl).map_err(|e| {
+        format!(
+            "cannot read {} ({e}) — run the figure binaries first",
+            jsonl.display()
+        )
+    })?;
+
+    // Latest record per id wins.
+    let mut latest: BTreeMap<String, Value> = BTreeMap::new();
+    let mut parsed = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(line) {
+            Ok(v) => {
+                if let Some(id) = v.get("id").and_then(Value::as_str) {
+                    latest.insert(id.to_owned(), v);
+                    parsed += 1;
+                }
+            }
+            Err(e) => eprintln!("skipping malformed record: {e}"),
+        }
+    }
+
+    let mut md = String::new();
+    md.push_str("# felim experiment report\n\n");
+    md.push_str(&format!(
+        "{} records parsed, {} distinct experiments.\n\n",
+        parsed,
+        latest.len()
+    ));
+    md.push_str("| id | artifact | paper claim |\n|---|---|---|\n");
+    for (id, v) in &latest {
+        md.push_str(&format!(
+            "| `{id}` | {} | {} |\n",
+            v.get("artifact").and_then(Value::as_str).unwrap_or("?"),
+            v.get("paper_claim").and_then(Value::as_str).unwrap_or("?"),
+        ));
+    }
+    md.push_str("\n## Measured data\n");
+    for (id, v) in &latest {
+        md.push_str(&format!("\n### `{id}`\n\n```json\n"));
+        md.push_str(&serde_json::to_string_pretty(
+            v.get("measured").unwrap_or(&Value::Null),
+        )?);
+        md.push_str("\n```\n");
+    }
+
+    let out = dir.join("REPORT.md");
+    fs::write(&out, &md)?;
+    println!(
+        "wrote {} ({} experiments, {} bytes)",
+        out.display(),
+        latest.len(),
+        md.len()
+    );
+    Ok(())
+}

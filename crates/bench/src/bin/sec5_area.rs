@@ -1,0 +1,115 @@
+//! Section V — planar vs vertical 3-D integration: area per cell,
+//! footprint reduction (4.18× at n = 3), storage and compute density.
+
+use felim::AreaModel;
+use felim_bench::{header, record, ExperimentRecord};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AreaResult {
+    planar_2t1c_f2: f64,
+    planar_2t3c_f2: f64,
+    planar_2t3c_nm2: f64,
+    vertical_nm2: f64,
+    footprint_reduction_n3: f64,
+    vertical_density_mbit_mm2: f64,
+    planar_density_mbit_mm2: f64,
+    die_area_2gb_5layer_mm2: f64,
+}
+
+fn main() {
+    header(
+        "Section V",
+        "planar vs vertical 3-D integration (28 nm node)",
+    );
+    let m = AreaModel::paper_28nm();
+
+    println!(
+        "planar 2T-1C cell : {:>8.0} F²  = {:>8.0} nm²",
+        m.planar_cell_f2(1),
+        m.planar_cell_nm2(1)
+    );
+    println!(
+        "planar 2T-3C cell : {:>8.0} F²  = {:>8.0} nm²",
+        m.planar_cell_f2(3),
+        m.planar_cell_nm2(3)
+    );
+    println!(
+        "vertical 2T-3C    : 130×130 nm² = {:>8.0} nm²",
+        m.vertical_cell_nm2()
+    );
+    println!();
+    println!(
+        "footprint reduction at n = 3: {:.2}x  (paper: 4.18x)",
+        m.footprint_reduction(3)
+    );
+    println!();
+    println!("storage density (50% periphery overhead):");
+    println!(
+        "  planar  : {:>8.1} Mbit/mm²",
+        m.planar_storage_density_bits_mm2(3) / 1e6
+    );
+    println!(
+        "  vertical: {:>8.1} Mbit/mm²",
+        m.vertical_storage_density_bits_mm2(3) / 1e6
+    );
+    println!(
+        "LiM compute density: {:>8.1} Mcells/mm² (one MINORITY gate per string)",
+        m.vertical_compute_density_cells_mm2() / 1e6
+    );
+    println!();
+    println!("scaling with n (vertical footprint is n-independent):");
+    println!("  n | planar F² | reduction");
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        println!(
+            "  {n} | {:>8.0}  | {:>6.2}x",
+            m.planar_cell_f2(n),
+            m.footprint_reduction(n)
+        );
+    }
+
+    let die_area = m.vertical_die_area_mm2(2 << 30, 3, 5);
+    println!("\n2 GB / 5-layer vertical memory die (Fig 7 stack): {die_area:.1} mm²");
+
+    // Section V's bandwidth argument: row-SIMD × subarray parallelism.
+    use felim::arch::bandwidth::{compute_bandwidth, op_cycles};
+    use felim::arch::{LatencyModel, MemoryGeometry};
+    let g = MemoryGeometry::paper_8gb();
+    let l = LatencyModel::paper_default();
+    let f1 = compute_bandwidth(&g, &l, op_cycles::FERAM_LOGIC, 1);
+    let fall = compute_bandwidth(&g, &l, op_cycles::FERAM_LOGIC, g.subarrays());
+    let dall = compute_bandwidth(&g, &l, op_cycles::DRAM_LOGIC, g.subarrays());
+    println!("\ncompute bandwidth (two-operand row logic):");
+    println!(
+        "  FeRAM, 1 subarray    : {:>8.1} Gbit-op/s",
+        f1.bitops_per_s / 1e9
+    );
+    println!(
+        "  FeRAM, all subarrays : {:>8.1} Tbit-op/s",
+        fall.bitops_per_s / 1e12
+    );
+    println!(
+        "  DRAM,  all subarrays : {:>8.1} Tbit-op/s",
+        dall.bitops_per_s / 1e12
+    );
+
+    let result = AreaResult {
+        planar_2t1c_f2: m.planar_cell_f2(1),
+        planar_2t3c_f2: m.planar_cell_f2(3),
+        planar_2t3c_nm2: m.planar_cell_nm2(3),
+        vertical_nm2: m.vertical_cell_nm2(),
+        footprint_reduction_n3: m.footprint_reduction(3),
+        vertical_density_mbit_mm2: m.vertical_storage_density_bits_mm2(3) / 1e6,
+        planar_density_mbit_mm2: m.planar_storage_density_bits_mm2(3) / 1e6,
+        die_area_2gb_5layer_mm2: die_area,
+    };
+    record(&ExperimentRecord {
+        id: "sec5",
+        artifact: "Section V area analysis",
+        paper_claim: "30F2 per 2T-1C, ~90F2 per 2T-3C, 130x130nm2 vertical, 4.18x reduction",
+        measured: &result,
+    });
+
+    assert!((result.footprint_reduction_n3 - 4.18).abs() < 0.02);
+    println!("\nshape check PASSED");
+}

@@ -1,0 +1,262 @@
+//! The 2T-(n+1)C AND-OR cell of Xiao et al. (ISVLSI 2023) — the prior
+//! ferroelectric LiM cell the paper positions itself against.
+//!
+//! Topology: like the 2T-nC gain cell but with one *extra* logic
+//! capacitor on the storage node. Charge-sharing all `n` data capacitors
+//! plus the pre-biased logic capacitor produces a storage-node level that
+//! thresholds as AND or OR of the stored bits, depending on how the logic
+//! capacitor was programmed **before every operation** — that
+//! per-operation reprogramming is the "complex to program" overhead the
+//! paper's single-cell MINORITY scheme eliminates (and it cannot produce
+//! NAND/NOR/NOT at all without extra inversion hardware, since its
+//! sensing is non-inverting).
+
+use crate::senseamp::SenseAmp;
+use crate::Bit;
+use felim_ferro::{MfmCapacitor, MfmParams};
+use serde::{Deserialize, Serialize};
+
+/// Which of the two supported functions the logic capacitor is set up for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AndOr {
+    /// All stored bits must be 1.
+    And,
+    /// At least one stored bit must be 1.
+    Or,
+}
+
+/// Cost (in cell cycles) of one logic operation, split into the setup the
+/// scheme requires and the evaluation itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Logic-capacitor programming cycles before the evaluation.
+    pub setup_cycles: u64,
+    /// Evaluation (activate + sense) cycles.
+    pub eval_cycles: u64,
+}
+
+impl OpCost {
+    /// Total cycles.
+    pub fn total(&self) -> u64 {
+        self.setup_cycles + self.eval_cycles
+    }
+}
+
+/// Behavioural 2T-(n+1)C AND-OR cell.
+#[derive(Debug, Clone)]
+pub struct Cell2Tn1C {
+    data_caps: Vec<MfmCapacitor>,
+    logic_cap: MfmCapacitor,
+    /// Armed function for the next evaluation (consumed by it).
+    configured: Option<AndOr>,
+    /// Last function the logic capacitor was programmed for (persists
+    /// across evaluations; switching functions costs an extra cycle).
+    last_function: Option<AndOr>,
+    sa: SenseAmp,
+    n: usize,
+}
+
+impl Cell2Tn1C {
+    /// Builds a cell with `n` data capacitors plus the logic capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the parameters are invalid.
+    pub fn new(params: &MfmParams, n: usize) -> Self {
+        assert!(n > 0, "need at least one data capacitor");
+        params.validate().expect("valid MfmParams");
+        let mk = |i: usize| {
+            let mut p = params.clone();
+            p.seed = p.seed.wrapping_add(i as u64);
+            MfmCapacitor::new(&p)
+        };
+        let data_caps = (0..n).map(mk).collect();
+        let logic_cap = mk(n);
+        Self {
+            data_caps,
+            logic_cap,
+            configured: None,
+            last_function: None,
+            sa: SenseAmp::new(0.0),
+            n,
+        }
+    }
+
+    /// Number of data capacitors.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Writes the data bits (one per capacitor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bits than capacitors are supplied.
+    pub fn write_bits(&mut self, bits: &[Bit]) {
+        assert!(bits.len() <= self.n, "cell has {} data capacitors", self.n);
+        for (cap, &b) in self.data_caps.iter_mut().zip(bits) {
+            cap.write(b.polarity());
+        }
+    }
+
+    /// Programs the logic capacitor for the requested function — the
+    /// mandatory pre-operation step. Returns the setup cost (one write
+    /// cycle, plus one more when switching functions, for the
+    /// complementary pre-bias).
+    pub fn configure(&mut self, op: AndOr) -> u64 {
+        let cycles = match self.last_function {
+            Some(prev) if prev == op => 1, // refresh the bias
+            Some(_) => 2,                  // erase + reprogram
+            None => 1,
+        };
+        // The logic capacitor's polarity encodes the function: AND needs
+        // the cap biased against the data (demanding unanimity), OR along
+        // it (a single 1 suffices).
+        let pol = match op {
+            AndOr::And => felim_ferro::Polarity::Down,
+            AndOr::Or => felim_ferro::Polarity::Up,
+        };
+        self.logic_cap.write(pol);
+        self.configured = Some(op);
+        self.last_function = Some(op);
+        cycles
+    }
+
+    /// Evaluates the configured function over all stored bits by charge
+    /// sharing — non-inverting, and destructive for the logic capacitor
+    /// (it must be reconfigured before the next operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Cell2Tn1C::configure`] has not been called since the
+    /// last evaluation.
+    pub fn evaluate(&mut self) -> (Bit, OpCost) {
+        self.configured
+            .take()
+            .expect("2T-(n+1)C must be configured before every evaluation");
+        // Charge-sharing level: mean of data polarizations, offset by the
+        // logic capacitor's bias. The logic capacitor is sized for a
+        // coupling weight of (n−1)/n, which places the decision level
+        // between "all ones" and "one zero" (AND) or between "all zeros"
+        // and "one one" (OR) for any n.
+        let data_mean: f64 = self
+            .data_caps
+            .iter()
+            .map(MfmCapacitor::polarization)
+            .sum::<f64>()
+            / self.n as f64;
+        let logic = self.logic_cap.polarization();
+        let weight = (self.n as f64 - 1.0).max(0.5) / self.n as f64;
+        let level = data_mean + weight * logic;
+        let bit = self.sa.compare(level);
+        // The evaluation disturbs the logic capacitor (shared activation
+        // at full swing) — model as a destructive read of it.
+        self.logic_cap.write(felim_ferro::Polarity::Up);
+        self.configured = None;
+        (
+            bit,
+            OpCost {
+                setup_cycles: 1,
+                eval_cycles: 1,
+            },
+        )
+    }
+
+    /// Convenience: configure + evaluate, returning the result and the
+    /// true total cost.
+    pub fn logic(&mut self, op: AndOr, bits: &[Bit]) -> (Bit, OpCost) {
+        self.write_bits(bits);
+        let setup = self.configure(op);
+        let (bit, cost) = self.evaluate();
+        (
+            bit,
+            OpCost {
+                setup_cycles: setup,
+                eval_cycles: cost.eval_cycles,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell2tnc::{Cell2TnC, Cell2TnCParams};
+
+    fn cell(n: usize) -> Cell2Tn1C {
+        Cell2Tn1C::new(&MfmParams::scaled_45nm(), n)
+    }
+
+    fn bits2(v: u8) -> [Bit; 2] {
+        [Bit::from_bool(v & 2 != 0), Bit::from_bool(v & 1 != 0)]
+    }
+
+    #[test]
+    fn and_or_truth_tables() {
+        let mut c = cell(2);
+        for v in 0..4u8 {
+            let b = bits2(v);
+            let (and, _) = c.logic(AndOr::And, &b);
+            assert_eq!(and, Bit::from_bool(v == 0b11), "AND {v:02b}");
+            let (or, _) = c.logic(AndOr::Or, &b);
+            assert_eq!(or, Bit::from_bool(v != 0), "OR {v:02b}");
+        }
+    }
+
+    #[test]
+    fn three_input_and_or() {
+        let mut c = cell(3);
+        for v in 0..8u8 {
+            let b = [
+                Bit::from_bool(v & 4 != 0),
+                Bit::from_bool(v & 2 != 0),
+                Bit::from_bool(v & 1 != 0),
+            ];
+            let (and, _) = c.logic(AndOr::And, &b);
+            assert_eq!(and, Bit::from_bool(v == 0b111), "AND {v:03b}");
+            let (or, _) = c.logic(AndOr::Or, &b);
+            assert_eq!(or, Bit::from_bool(v != 0), "OR {v:03b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be configured")]
+    fn evaluation_requires_fresh_configuration() {
+        let mut c = cell(2);
+        c.write_bits(&[Bit::One, Bit::One]);
+        c.configure(AndOr::And);
+        let _ = c.evaluate();
+        // Second evaluation without reconfiguring: the destructive
+        // activation consumed the logic bias.
+        let _ = c.evaluate();
+    }
+
+    #[test]
+    fn per_op_setup_is_the_programming_overhead() {
+        // "…although it remains complex to program": every op pays a
+        // logic-capacitor write; function switches pay two.
+        let mut c = cell(2);
+        let (_, cost) = c.logic(AndOr::And, &[Bit::One, Bit::One]);
+        assert!(cost.setup_cycles >= 1);
+        c.write_bits(&[Bit::One, Bit::Zero]);
+        let switch_setup = c.configure(AndOr::Or);
+        assert_eq!(switch_setup, 2, "function switch reprograms twice");
+        let _ = c.evaluate();
+    }
+
+    #[test]
+    fn universal_logic_needs_the_2tnc_not_this_cell() {
+        // The 2T-(n+1)C provides AND/OR only (non-inverting sense); the
+        // paper's 2T-nC MINORITY gives NAND — functionally complete in
+        // one cell. Verify the coverage difference concretely: NAND(1,1)
+        // is simply not expressible here without external inversion.
+        let mut old = cell(2);
+        let (and_11, _) = old.logic(AndOr::And, &[Bit::One, Bit::One]);
+        assert_eq!(and_11, Bit::One, "best this cell can do is AND = 1");
+
+        let mut new = Cell2TnC::new(&Cell2TnCParams::default());
+        let nand_11 =
+            crate::ops::logic_in_cell(&mut new, crate::ops::LogicOp::Nand, Bit::One, Bit::One);
+        assert_eq!(nand_11, Bit::Zero, "MINORITY delivers the inverted form");
+    }
+}

@@ -1,0 +1,608 @@
+//! The 2T-nC FeRAM gain cell (behavioural model).
+//!
+//! Topology (Fig 3(a)): `n` MFM capacitors share a storage node SN. Each
+//! capacitor's far plate is its own write bit line WBL_i. SN connects
+//! through the write transistor T_W (gated by WWL) to the write plate line
+//! WPL, and drives the gate of the read transistor T_R whose drain/source
+//! sit between RBL and RSL.
+//!
+//! * **Write** — T_W on, SN held at WPL, the selected WBL driven to the
+//!   complementary rail: the full write voltage appears across the target
+//!   capacitor and programs its polarization.
+//! * **QNRO read** — T_W off (SN floats), a small read voltage V_R on the
+//!   selected WBL couples onto SN through the capacitor. A stored `'0'`
+//!   (polarization opposing the read field) presents a much larger
+//!   effective capacitance (reversible domain-wall response plus a little
+//!   irreversible tail switching), so V_int and hence the T_R current are
+//!   *high* for `'0'` and *low* for `'1'` — the readout inverts.
+//! * **TBA** — three WBLs raised together; V_int is monotone in the number
+//!   of stored zeros, so a single reference between the popcount-1 and
+//!   popcount-2 levels senses the MINORITY function.
+//!
+//! The model computes V_int by charge balance on the floating SN with
+//! state-dependent capacitances from [`felim_ferro::MfmCapacitor`], applies
+//! the genuine read-disturb to the device states, and evaluates the T_R
+//! current with the [`felim_spice::MosfetParams`] compact model. The
+//! transistor-level validation of the same behaviour lives in
+//! [`crate::netlists`].
+
+use crate::senseamp::SenseAmp;
+use crate::{minority, Bit};
+use felim_ferro::{MfmCapacitor, MfmParams, Polarity};
+use felim_spice::MosfetParams;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a 2T-nC cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell2TnCParams {
+    /// Ferroelectric capacitor device parameters (one per capacitor).
+    pub mfm: MfmParams,
+    /// Number of capacitors `n` in the cell (the paper uses n = 3 for
+    /// TBA logic; densities up to n = 8 are explored for storage).
+    pub n_caps: usize,
+    /// Read transistor compact model.
+    pub t_r: MosfetParams,
+    /// Extra parasitic capacitance on the storage node, in F (wiring plus
+    /// the off T_W junction).
+    pub sn_parasitic_f: f64,
+    /// QNRO read pulse width in s.
+    pub read_pulse_s: f64,
+    /// RBL drain bias during reads, in V.
+    pub rbl_bias_v: f64,
+}
+
+impl Default for Cell2TnCParams {
+    fn default() -> Self {
+        Self {
+            mfm: MfmParams::scaled_45nm(),
+            n_caps: 3,
+            t_r: MosfetParams::ptm45_nmos(),
+            sn_parasitic_f: 3.0e-15,
+            read_pulse_s: 100e-9,
+            rbl_bias_v: 0.7,
+        }
+    }
+}
+
+impl Cell2TnCParams {
+    /// Validates structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `n_caps` is zero or physical values are
+    /// non-positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_caps == 0 {
+            return Err("a 2T-nC cell needs at least one capacitor".into());
+        }
+        if self.sn_parasitic_f < 0.0 {
+            return Err("parasitic capacitance must be non-negative".into());
+        }
+        if self.read_pulse_s <= 0.0 || self.rbl_bias_v <= 0.0 {
+            return Err("read pulse and RBL bias must be positive".into());
+        }
+        self.mfm.validate().map_err(|e| e.to_string())
+    }
+}
+
+/// Analog levels produced by a (possibly multi-capacitor) QNRO sense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseLevels {
+    /// Floating storage-node voltage at the read plateau, in V.
+    pub v_int: f64,
+    /// Read-transistor (RSL) current, in A.
+    pub rsl_current_a: f64,
+}
+
+/// Result of a sensed cell operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadResult {
+    /// The sense-amplifier output bit. QNRO inverts: reading a stored
+    /// `'0'` yields `1` (this *is* the NOT operation); a TBA read yields
+    /// the MINORITY of the three stored bits.
+    pub sensed: Bit,
+    /// The analog levels behind the decision.
+    pub levels: SenseLevels,
+}
+
+/// Behavioural 2T-nC FeRAM cell.
+///
+/// ```
+/// use felim_cell::{Bit, cell2tnc::{Cell2TnC, Cell2TnCParams}};
+///
+/// let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+/// cell.write(0, Bit::Zero);
+/// // QNRO sensing inverts — this is a free NOT:
+/// assert_eq!(cell.qnro_read(0).sensed, Bit::One);
+/// // And the stored bit survives the read (quasi-nondestructive):
+/// assert_eq!(cell.stored(0), Some(Bit::Zero));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cell2TnC {
+    params: Cell2TnCParams,
+    caps: Vec<MfmCapacitor>,
+    not_reference_a: f64,
+    tba_reference_a: f64,
+}
+
+impl Cell2TnC {
+    /// Builds a cell with all capacitors freshly in the `'0'` state and
+    /// sense references calibrated per the paper (NOT: between the `'0'`
+    /// and `'1'` read currents; TBA: between the `'001'` and `'011'`
+    /// levels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`Cell2TnCParams::validate`].
+    pub fn new(params: &Cell2TnCParams) -> Self {
+        params.validate().expect("valid Cell2TnCParams");
+        let caps = (0..params.n_caps)
+            .map(|i| {
+                let mut p = params.mfm.clone();
+                // Distinct disorder per capacitor, deterministic per cell.
+                p.seed = p.seed.wrapping_add(i as u64);
+                MfmCapacitor::new(&p)
+            })
+            .collect();
+        let mut cell = Self {
+            params: params.clone(),
+            caps,
+            not_reference_a: 0.0,
+            tba_reference_a: 0.0,
+        };
+        cell.calibrate_references();
+        cell
+    }
+
+    /// The cell parameters.
+    pub fn params(&self) -> &Cell2TnCParams {
+        &self.params
+    }
+
+    /// Number of capacitors in the cell.
+    pub fn n_caps(&self) -> usize {
+        self.params.n_caps
+    }
+
+    /// Direct access to a capacitor's device state.
+    pub fn capacitor(&self, idx: usize) -> &MfmCapacitor {
+        &self.caps[idx]
+    }
+
+    /// Sets the operating temperature (K) of every capacitor in the cell
+    /// and re-calibrates the sense references at that temperature.
+    pub fn set_temperature(&mut self, t_k: f64) {
+        for cap in &mut self.caps {
+            cap.set_temperature(t_k);
+        }
+        self.calibrate_references();
+    }
+
+    /// Writes `bit` into capacitor `idx` with a physical write pulse
+    /// (T_W on, complementary WBL/WPL rails).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn write(&mut self, idx: usize, bit: Bit) {
+        self.caps[idx].write(bit.polarity());
+    }
+
+    /// Writes one bit per capacitor in a single cycle (the multi-write of
+    /// Fig 3(e) step 1). `bits.len()` must not exceed `n_caps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more bits than capacitors are supplied.
+    pub fn write_bits(&mut self, bits: &[Bit]) {
+        assert!(
+            bits.len() <= self.caps.len(),
+            "cell has {} capacitors, got {} bits",
+            self.caps.len(),
+            bits.len()
+        );
+        for (i, &b) in bits.iter().enumerate() {
+            self.write(i, b);
+        }
+    }
+
+    /// The stored logical state of capacitor `idx`, or `None` if the
+    /// polarization has degraded into the ambiguous band.
+    pub fn stored(&self, idx: usize) -> Option<Bit> {
+        self.caps[idx].stored_state(0.25).map(Bit::from_polarity)
+    }
+
+    /// All stored bits (None entries for degraded capacitors).
+    pub fn stored_bits(&self) -> Vec<Option<Bit>> {
+        (0..self.caps.len()).map(|i| self.stored(i)).collect()
+    }
+
+    /// Computes the analog sense levels for raising the given WBLs to the
+    /// read voltage, *without* disturbing the state.
+    pub fn sense_levels(&self, active: &[usize]) -> SenseLevels {
+        let v_r = self.params.mfm.read_voltage_v;
+        // Charge balance on the floating SN with bias-dependent
+        // capacitances: v_int = Σ_active C_i(V_R − v_int)·V_R / ΣC. The
+        // capacitances depend on the (unknown) v_int through the
+        // domain-wall depinning threshold, so iterate the fixed point —
+        // it converges in two or three rounds.
+        let c_fixed = self.params.sn_parasitic_f + self.params.t_r.gate_capacitance_f;
+        let mut v_int = 0.0;
+        for _ in 0..4 {
+            let mut c_drive = 0.0;
+            let mut c_total = c_fixed;
+            for (i, cap) in self.caps.iter().enumerate() {
+                if active.contains(&i) {
+                    // Active capacitor sees WBL high vs the rising SN.
+                    let c = cap.capacitance(v_r - v_int);
+                    c_drive += c;
+                    c_total += c;
+                } else {
+                    // Inactive capacitor is pulled negative by rising SN.
+                    c_total += cap.capacitance(-v_int);
+                }
+            }
+            v_int = v_r * c_drive / c_total;
+        }
+        let rsl_current_a = self.params.t_r.ids(v_int, self.params.rbl_bias_v);
+        SenseLevels {
+            v_int,
+            rsl_current_a,
+        }
+    }
+
+    /// QNRO read of a single capacitor: senses the inverted bit and
+    /// applies the physical read disturb to the device state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn qnro_read(&mut self, idx: usize) -> ReadResult {
+        let levels = self.sense_levels(&[idx]);
+        self.apply_read_disturb(&[idx], levels.v_int);
+        let sa = SenseAmp::new(self.not_reference_a);
+        ReadResult {
+            sensed: sa.compare(levels.rsl_current_a),
+            levels,
+        }
+    }
+
+    /// Triple-bit activation over capacitors 0, 1 and 2: senses the
+    /// MINORITY of the stored bits (NAND/NOR with the control bit in
+    /// capacitor 2) and applies read disturb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell has fewer than three capacitors.
+    pub fn tba(&mut self) -> ReadResult {
+        assert!(self.caps.len() >= 3, "TBA needs n >= 3 capacitors");
+        let active = [0, 1, 2];
+        let levels = self.sense_levels(&active);
+        self.apply_read_disturb(&active, levels.v_int);
+        let sa = SenseAmp::new(self.tba_reference_a);
+        ReadResult {
+            sensed: sa.compare(levels.rsl_current_a),
+            levels,
+        }
+    }
+
+    /// The expected MINORITY output from the currently stored bits
+    /// (ground truth for verification). `None` if any participating state
+    /// is degraded.
+    pub fn expected_minority(&self) -> Option<Bit> {
+        Some(minority(self.stored(0)?, self.stored(1)?, self.stored(2)?))
+    }
+
+    /// Number of QNRO reads the first capacitor has absorbed since its
+    /// last write (disturb bookkeeping).
+    pub fn reads_since_write(&self, idx: usize) -> u64 {
+        self.caps[idx].reads_since_write()
+    }
+
+    /// Re-writes every capacitor with its currently stored value — the
+    /// write-back that QNRO only occasionally requires. Returns the
+    /// refreshed bits.
+    pub fn write_back(&mut self) -> Vec<Option<Bit>> {
+        let bits = self.stored_bits();
+        for (i, bit) in bits.iter().enumerate() {
+            if let Some(b) = bit {
+                self.write(i, *b);
+            }
+        }
+        bits
+    }
+
+    /// The calibrated NOT-read sense reference, in A.
+    pub fn not_reference(&self) -> f64 {
+        self.not_reference_a
+    }
+
+    /// The calibrated TBA sense reference, in A (between the `'001'` and
+    /// `'011'` current levels, as in Fig 4(j)).
+    pub fn tba_reference(&self) -> f64 {
+        self.tba_reference_a
+    }
+
+    fn apply_read_disturb(&mut self, active: &[usize], v_int: f64) {
+        let v_r = self.params.mfm.read_voltage_v;
+        let dt = self.params.read_pulse_s;
+        for (i, cap) in self.caps.iter_mut().enumerate() {
+            if active.contains(&i) {
+                cap.apply_voltage(v_r - v_int, dt);
+                cap.count_read();
+            } else {
+                cap.apply_voltage(-v_int, dt);
+            }
+        }
+    }
+
+    fn calibrate_references(&mut self) {
+        // Scratch copies — calibration must not disturb the real state.
+        let mut probe = self.clone();
+        probe.caps_write_ideal(&[Bit::Zero, Bit::Zero, Bit::Zero]);
+        let i0 = probe.sense_levels(&[0]).rsl_current_a;
+        probe.caps_write_ideal(&[Bit::One, Bit::One, Bit::One]);
+        let i1 = probe.sense_levels(&[0]).rsl_current_a;
+        self.not_reference_a = (i0 * i1).sqrt();
+
+        if self.params.n_caps >= 3 {
+            probe.caps_write_ideal(&[Bit::Zero, Bit::Zero, Bit::One]);
+            let i_001 = probe.sense_levels(&[0, 1, 2]).rsl_current_a;
+            probe.caps_write_ideal(&[Bit::Zero, Bit::One, Bit::One]);
+            let i_011 = probe.sense_levels(&[0, 1, 2]).rsl_current_a;
+            self.tba_reference_a = (i_001 * i_011).sqrt();
+        }
+    }
+
+    fn caps_write_ideal(&mut self, bits: &[Bit]) {
+        for (i, &b) in bits.iter().enumerate() {
+            if i < self.caps.len() {
+                self.caps[i].write_ideal(b.polarity());
+            }
+        }
+    }
+}
+
+/// Helper: the polarity pattern for a 3-bit value `v` (bit 2 = A, bit 1 =
+/// B, bit 0 = C), used by tests and benches to enumerate Fig 3(f) states.
+pub fn pattern_bits(v: u8) -> [Bit; 3] {
+    [
+        Bit::from_bool(v & 0b100 != 0),
+        Bit::from_bool(v & 0b010 != 0),
+        Bit::from_bool(v & 0b001 != 0),
+    ]
+}
+
+/// Polarity form of [`pattern_bits`].
+pub fn pattern_polarities(v: u8) -> [Polarity; 3] {
+    let b = pattern_bits(v);
+    [b[0].polarity(), b[1].polarity(), b[2].polarity()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Cell2TnC {
+        Cell2TnC::new(&Cell2TnCParams::default())
+    }
+
+    #[test]
+    fn write_read_roundtrip_with_inversion() {
+        let mut c = cell();
+        c.write(0, Bit::Zero);
+        let r = c.qnro_read(0);
+        assert_eq!(r.sensed, Bit::One, "QNRO must invert");
+        assert_eq!(c.stored(0), Some(Bit::Zero), "state must survive");
+
+        c.write(0, Bit::One);
+        let r = c.qnro_read(0);
+        assert_eq!(r.sensed, Bit::Zero);
+        assert_eq!(c.stored(0), Some(Bit::One));
+    }
+
+    #[test]
+    fn read_current_contrast_is_large() {
+        let mut c = cell();
+        c.write(0, Bit::Zero);
+        let i0 = c.sense_levels(&[0]).rsl_current_a;
+        c.write(0, Bit::One);
+        let i1 = c.sense_levels(&[0]).rsl_current_a;
+        assert!(
+            i0 / i1 > 5.0,
+            "need a robust sense window, got i0/i1 = {}",
+            i0 / i1
+        );
+    }
+
+    #[test]
+    fn v_int_higher_for_stored_zero() {
+        let mut c = cell();
+        c.write(0, Bit::Zero);
+        let v0 = c.sense_levels(&[0]).v_int;
+        c.write(0, Bit::One);
+        let v1 = c.sense_levels(&[0]).v_int;
+        assert!(v0 > v1, "V_int('0') = {v0} must exceed V_int('1') = {v1}");
+        // And both stay below the read voltage (passive divider).
+        assert!(v0 < c.params().mfm.read_voltage_v);
+    }
+
+    #[test]
+    fn tba_implements_minority_for_all_eight_states() {
+        // Fig 3(e,f): exhaustive TBA truth table in a single cell.
+        for v in 0..8u8 {
+            let mut c = cell();
+            c.write_bits(&pattern_bits(v));
+            let expect = Bit::from_bool(v.count_ones() <= 1);
+            let got = c.tba();
+            assert_eq!(
+                got.sensed,
+                expect,
+                "pattern {v:03b}: current {:e}, ref {:e}",
+                got.levels.rsl_current_a,
+                c.tba_reference()
+            );
+            assert_eq!(c.expected_minority(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn tba_levels_monotone_in_zero_count() {
+        // Fig 4(i): RSL current rises with the number of stored zeros —
+        // the "opposite trend" vs 1T-1C FeRAM.
+        let mut by_popcount: Vec<(u32, f64)> = Vec::new();
+        for v in 0..8u8 {
+            let mut c = cell();
+            c.write_bits(&pattern_bits(v));
+            let lv = c.sense_levels(&[0, 1, 2]);
+            by_popcount.push((v.count_ones(), lv.rsl_current_a));
+        }
+        for &(pc_a, i_a) in &by_popcount {
+            for &(pc_b, i_b) in &by_popcount {
+                if pc_a < pc_b {
+                    assert!(
+                        i_a > i_b,
+                        "current must fall with popcount: {pc_a}→{i_a:e}, {pc_b}→{i_b:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tba_v_int_levels_roughly_linear() {
+        // Fig 4(i) reports linear level spacing; the capacitive divider
+        // gives adjacent-gap ratios within ~2.5×.
+        let mut levels = [0.0; 4];
+        for v in 0..8u8 {
+            let mut c = cell();
+            c.write_bits(&pattern_bits(v));
+            levels[v.count_ones() as usize] = c.sense_levels(&[0, 1, 2]).v_int;
+        }
+        let gaps: Vec<f64> = levels.windows(2).map(|w| w[0] - w[1]).collect();
+        for g in &gaps {
+            assert!(*g > 0.0, "levels must be strictly ordered");
+        }
+        let max_gap = gaps.iter().cloned().fold(f64::MIN, f64::max);
+        let min_gap = gaps.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max_gap / min_gap < 2.5, "gap spread too uneven: {gaps:?}");
+    }
+
+    #[test]
+    fn reads_are_quasi_nondestructive_but_accumulate() {
+        let mut c = cell();
+        c.write_bits(&[Bit::Zero, Bit::One, Bit::Zero]);
+        for _ in 0..20 {
+            let _ = c.tba();
+        }
+        // After 20 TBA reads all three states still decode.
+        assert_eq!(c.stored(0), Some(Bit::Zero));
+        assert_eq!(c.stored(1), Some(Bit::One));
+        assert_eq!(c.stored(2), Some(Bit::Zero));
+        // But the zero-state capacitors have genuinely drifted.
+        assert!(c.capacitor(0).polarization() > -1.0);
+    }
+
+    #[test]
+    fn write_back_restores_full_polarization() {
+        let mut c = cell();
+        c.write_bits(&[Bit::Zero, Bit::One, Bit::Zero]);
+        for _ in 0..50 {
+            let _ = c.tba();
+        }
+        let drifted = c.capacitor(0).polarization();
+        let bits = c.write_back();
+        assert_eq!(bits[0], Some(Bit::Zero));
+        assert!(c.capacitor(0).polarization() < drifted);
+        assert!(c.capacitor(0).polarization() < -0.95);
+    }
+
+    #[test]
+    fn multi_write_sets_all_caps() {
+        let mut c = cell();
+        c.write_bits(&[Bit::One, Bit::Zero, Bit::One]);
+        assert_eq!(
+            c.stored_bits(),
+            vec![Some(Bit::One), Some(Bit::Zero), Some(Bit::One)]
+        );
+    }
+
+    #[test]
+    fn references_are_between_the_levels_they_separate() {
+        let c = cell();
+        // NOT reference between the single-cap 0 and 1 currents.
+        let mut probe = c.clone();
+        probe.write(0, Bit::Zero);
+        let i0 = probe.sense_levels(&[0]).rsl_current_a;
+        probe.write(0, Bit::One);
+        let i1 = probe.sense_levels(&[0]).rsl_current_a;
+        assert!(c.not_reference() < i0 && c.not_reference() > i1);
+    }
+
+    #[test]
+    fn n_caps_beyond_three_still_store() {
+        let params = Cell2TnCParams {
+            n_caps: 6,
+            ..Cell2TnCParams::default()
+        };
+        let mut c = Cell2TnC::new(&params);
+        for i in 0..6 {
+            c.write(i, if i % 2 == 0 { Bit::One } else { Bit::Zero });
+        }
+        for i in 0..6 {
+            let expect = if i % 2 == 0 { Bit::One } else { Bit::Zero };
+            assert_eq!(c.stored(i), Some(expect));
+            let r = c.qnro_read(i);
+            assert_eq!(r.sensed, !expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacitor")]
+    fn rejects_zero_caps() {
+        let params = Cell2TnCParams {
+            n_caps: 0,
+            ..Cell2TnCParams::default()
+        };
+        let _ = Cell2TnC::new(&params);
+    }
+
+    #[test]
+    #[should_panic(expected = "TBA needs")]
+    fn tba_requires_three_caps() {
+        let params = Cell2TnCParams {
+            n_caps: 2,
+            ..Cell2TnCParams::default()
+        };
+        let mut c = Cell2TnC::new(&params);
+        let _ = c.tba();
+    }
+
+    #[test]
+    fn sensing_survives_the_thermal_operating_range() {
+        // Section VII closes with "these operating temperatures preserve
+        // the ferroelectric properties" — check the *sensing* does too:
+        // the TBA decision stays correct with the devices at the 352 K
+        // stack temperature and at the 390 K measurement extreme.
+        for t_k in [300.0, 351.88, 390.0] {
+            for v in 0..8u8 {
+                let mut params = Cell2TnCParams::default();
+                params.mfm.seed ^= u64::from(v); // fresh disorder per case
+                let mut hot = Cell2TnC::new(&params);
+                hot.set_temperature(t_k);
+                hot.write_bits(&pattern_bits(v));
+                let out = hot.tba();
+                let expect = Bit::from_bool(v.count_ones() <= 1);
+                assert_eq!(out.sensed, expect, "pattern {v:03b} at {t_k} K");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_helpers() {
+        assert_eq!(pattern_bits(0b101), [Bit::One, Bit::Zero, Bit::One]);
+        let p = pattern_polarities(0b100);
+        assert_eq!(p[0], Polarity::Up);
+        assert_eq!(p[1], Polarity::Down);
+    }
+}

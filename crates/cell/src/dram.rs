@@ -1,0 +1,260 @@
+//! 1T-1C DRAM cell and Ambit-style in-DRAM logic primitives.
+//!
+//! The DRAM baseline of the paper (Fig 1, Fig 2(a) context): volatile
+//! charge storage with leakage, destructive charge-sharing reads that
+//! require restore, triple-row-activation (TRA) MAJORITY logic
+//! (Seshadri et al., Ambit) and dual-contact-cell (DCC) NOT.
+
+use crate::Bit;
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of the DRAM cell and bitline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramParams {
+    /// Supply voltage in V.
+    pub vdd: f64,
+    /// Cell capacitance in F.
+    pub c_cell_f: f64,
+    /// Bitline capacitance in F.
+    pub c_bitline_f: f64,
+    /// Retention time constant in s (leakage decay toward 0).
+    pub retention_tau_s: f64,
+    /// Refresh interval in s (64 ms in the paper's model).
+    pub refresh_interval_s: f64,
+}
+
+impl Default for DramParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.2,
+            c_cell_f: 20e-15,
+            c_bitline_f: 100e-15,
+            retention_tau_s: 2.0,
+            refresh_interval_s: 64e-3,
+        }
+    }
+}
+
+/// A single 1T-1C DRAM cell.
+///
+/// ```
+/// use felim_cell::{Bit, dram::{DramCell, DramParams}};
+/// let p = DramParams::default();
+/// let mut cell = DramCell::new(&p);
+/// cell.write(Bit::One);
+/// let (read, _dv) = cell.read();
+/// assert_eq!(read, Bit::One);
+/// // The read destroyed the stored charge — a restore is mandatory.
+/// assert!(cell.needs_restore());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramCell {
+    params: DramParams,
+    /// Stored cell voltage in V.
+    v_cell: f64,
+    /// Time since the cell was last written/restored, in s.
+    age_s: f64,
+    needs_restore: bool,
+}
+
+impl DramCell {
+    /// A fresh cell storing `0`.
+    pub fn new(params: &DramParams) -> Self {
+        Self {
+            params: *params,
+            v_cell: 0.0,
+            age_s: 0.0,
+            needs_restore: false,
+        }
+    }
+
+    /// The stored cell voltage in V.
+    pub fn cell_voltage(&self) -> f64 {
+        self.v_cell
+    }
+
+    /// Writes a full level and resets leakage age.
+    pub fn write(&mut self, bit: Bit) {
+        self.v_cell = if bit.to_bool() { self.params.vdd } else { 0.0 };
+        self.age_s = 0.0;
+        self.needs_restore = false;
+    }
+
+    /// Advances wall-clock time: the stored high level leaks toward 0.
+    pub fn elapse(&mut self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "time must advance forward");
+        self.v_cell *= (-dt_s / self.params.retention_tau_s).exp();
+        self.age_s += dt_s;
+    }
+
+    /// Destructive charge-sharing read: the cell dumps onto the
+    /// half-VDD-precharged bitline. Returns the sensed bit and the bitline
+    /// deviation ΔV the sense amp saw. The cell is left at the shared
+    /// level and flagged for restore.
+    pub fn read(&mut self) -> (Bit, f64) {
+        let p = &self.params;
+        let v_pre = p.vdd / 2.0;
+        let v_shared =
+            (p.c_cell_f * self.v_cell + p.c_bitline_f * v_pre) / (p.c_cell_f + p.c_bitline_f);
+        let dv = v_shared - v_pre;
+        let bit = Bit::from_bool(dv > 0.0);
+        self.v_cell = v_shared;
+        self.needs_restore = true;
+        (bit, dv)
+    }
+
+    /// Does the cell hold a degraded level that must be rewritten?
+    pub fn needs_restore(&self) -> bool {
+        self.needs_restore
+    }
+
+    /// Restores the cell to the full level of `bit` (the SA-driven
+    /// write-back that follows every activation).
+    pub fn restore(&mut self, bit: Bit) {
+        self.write(bit);
+    }
+
+    /// Would the stored bit still read correctly after `dt_s` seconds
+    /// without refresh? (Sense threshold at VDD/2 for a stored `1`.)
+    pub fn survives_unrefreshed(&self, bit: Bit, dt_s: f64) -> bool {
+        match bit {
+            Bit::Zero => true,
+            Bit::One => {
+                let v = self.params.vdd * (-dt_s / self.params.retention_tau_s).exp();
+                v > self.params.vdd / 2.0
+            }
+        }
+    }
+}
+
+/// Triple-row activation: three cells dump onto one bitline; the SA
+/// resolves the MAJORITY and (destructively) overwrites all three cells
+/// with the result — exactly Ambit's TRA semantics.
+///
+/// Returns the majority bit.
+pub fn triple_row_activation(cells: &mut [DramCell; 3]) -> Bit {
+    let p = cells[0].params;
+    let v_pre = p.vdd / 2.0;
+    let q_cells: f64 = cells.iter().map(|c| c.v_cell * p.c_cell_f).sum();
+    let c_total = 3.0 * p.c_cell_f + p.c_bitline_f;
+    let v_shared = (q_cells + p.c_bitline_f * v_pre) / c_total;
+    let bit = Bit::from_bool(v_shared > v_pre);
+    // The SA drives the bitline (and all three connected cells) full-rail.
+    for c in cells.iter_mut() {
+        c.write(bit);
+    }
+    bit
+}
+
+/// Dual-contact-cell NOT: the DCC exposes the complemented plate of the
+/// source cell to the bitline, so a read of `src` senses `!src` — the
+/// external-circuit trick 1T-1C DRAM needs for inversion (the 2T-nC cell
+/// gets this for free from QNRO).
+pub fn dcc_not(src: &mut DramCell) -> Bit {
+    let (bit, _) = src.read();
+    !bit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::majority;
+
+    fn cell() -> DramCell {
+        DramCell::new(&DramParams::default())
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut c = cell();
+        for bit in [Bit::Zero, Bit::One] {
+            c.write(bit);
+            let (read, dv) = c.read();
+            assert_eq!(read, bit);
+            assert!(dv.abs() > 0.01, "sense swing too small: {dv}");
+            c.restore(read);
+        }
+    }
+
+    #[test]
+    fn read_is_destructive() {
+        let mut c = cell();
+        c.write(Bit::One);
+        let v_before = c.cell_voltage();
+        let _ = c.read();
+        // Charge sharing collapses the full level toward the half-VDD
+        // precharge: (C_cell·VDD + C_bl·VDD/2)/(C_cell + C_bl) = 0.7 V.
+        assert!(c.cell_voltage() < 0.75, "cell level collapsed");
+        assert!(c.cell_voltage() > 0.6);
+        assert!(c.cell_voltage() < v_before);
+        assert!(c.needs_restore());
+        c.restore(Bit::One);
+        assert!(!c.needs_restore());
+        assert_eq!(c.cell_voltage(), 1.2);
+    }
+
+    #[test]
+    fn leakage_decays_stored_one() {
+        let mut c = cell();
+        c.write(Bit::One);
+        c.elapse(0.5);
+        assert!(c.cell_voltage() < 1.2);
+        assert!(c.cell_voltage() > 0.8);
+        // Within the 64 ms refresh interval the bit is always safe.
+        assert!(c.survives_unrefreshed(Bit::One, 64e-3));
+        // Without refresh for many seconds it is not.
+        assert!(!c.survives_unrefreshed(Bit::One, 10.0));
+        assert!(c.survives_unrefreshed(Bit::Zero, 1e9));
+    }
+
+    #[test]
+    fn tra_majority_exhaustive() {
+        for v in 0..8u8 {
+            let bits = [
+                Bit::from_bool(v & 4 != 0),
+                Bit::from_bool(v & 2 != 0),
+                Bit::from_bool(v & 1 != 0),
+            ];
+            let mut cells = [cell(), cell(), cell()];
+            for (c, b) in cells.iter_mut().zip(bits) {
+                c.write(b);
+            }
+            let out = triple_row_activation(&mut cells);
+            assert_eq!(out, majority(bits[0], bits[1], bits[2]), "pattern {v:03b}");
+            // TRA destroys the three operands — all now hold the result.
+            for c in &mut cells {
+                let (b, _) = c.read();
+                assert_eq!(b, out);
+            }
+        }
+    }
+
+    #[test]
+    fn tra_with_leaked_cells_still_resolves() {
+        // Mild leakage must not flip the majority.
+        let mut cells = [cell(), cell(), cell()];
+        cells[0].write(Bit::One);
+        cells[1].write(Bit::One);
+        cells[2].write(Bit::Zero);
+        for c in &mut cells {
+            c.elapse(10e-3);
+        }
+        assert_eq!(triple_row_activation(&mut cells), Bit::One);
+    }
+
+    #[test]
+    fn dcc_not_inverts() {
+        for bit in [Bit::Zero, Bit::One] {
+            let mut c = cell();
+            c.write(bit);
+            assert_eq!(dcc_not(&mut c), !bit);
+            assert!(c.needs_restore(), "DCC read is still destructive");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time must advance")]
+    fn rejects_negative_time() {
+        cell().elapse(-1.0);
+    }
+}

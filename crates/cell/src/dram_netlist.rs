@@ -1,0 +1,121 @@
+//! Transistor-level validation of the 1T-1C DRAM behavioural model.
+//!
+//! Builds the classic cell: storage capacitor behind an NMOS access
+//! transistor, dumping onto a precharged bitline. The charge-sharing
+//! arithmetic the behavioural [`crate::dram::DramCell`] uses —
+//! `V_shared = (C_cell·V_cell + C_bl·V_pre)/(C_cell + C_bl)` — must match
+//! what the circuit actually does, including the destructive collapse of
+//! the stored level.
+
+use crate::dram::DramParams;
+use felim_spice::{Circuit, Element, MosfetParams, SpiceError, Trace, TransientSpec, Waveform};
+
+/// Node names used by the testbench.
+pub const CELL: &str = "cell";
+/// Bitline node.
+pub const BITLINE: &str = "bl";
+
+/// Builds a 1T-1C read testbench: the cell pre-charged to `v_cell`, the
+/// bitline to VDD/2, and the wordline pulsed (boosted) at 10 ns.
+pub fn read_testbench(params: &DramParams, v_cell: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let cell = ckt.node(CELL);
+    let bl = ckt.node(BITLINE);
+    let wl = ckt.node("wl");
+
+    // Boosted wordline so the NMOS passes a full level.
+    ckt.add_vsource(
+        "VWL",
+        wl,
+        Circuit::GND,
+        Waveform::single_pulse(params.vdd + 1.2, 10e-9, 200e-9),
+    );
+    let mut access = MosfetParams::ptm45_nmos();
+    // A strong access device keeps the share fast relative to the pulse.
+    access.beta_a_v2 *= 4.0;
+    ckt.add("MA", Element::mosfet(bl, wl, cell, access));
+    ckt.add(
+        "CC",
+        Element::capacitor(cell, Circuit::GND, params.c_cell_f),
+    );
+    ckt.add(
+        "CBL",
+        Element::capacitor(bl, Circuit::GND, params.c_bitline_f),
+    );
+    ckt.set_initial_voltage(cell, v_cell);
+    ckt.set_initial_voltage(bl, params.vdd / 2.0);
+    ckt
+}
+
+/// Runs the testbench and returns the trace.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run(ckt: &mut Circuit) -> Result<Trace, SpiceError> {
+    ckt.transient(&TransientSpec::new(400e-9, 2e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramCell;
+    use crate::Bit;
+
+    #[test]
+    fn charge_sharing_matches_behavioural_model() {
+        let params = DramParams::default();
+        for bit in [Bit::Zero, Bit::One] {
+            // Behavioural prediction.
+            let mut cell = DramCell::new(&params);
+            cell.write(bit);
+            let (_, dv_model) = cell.read();
+
+            // Transistor level.
+            let v0 = if bit.to_bool() { params.vdd } else { 0.0 };
+            let mut ckt = read_testbench(&params, v0);
+            let trace = run(&mut ckt).unwrap();
+            let v_bl = trace.voltage_at(BITLINE, 350e-9).unwrap();
+            let dv_circuit = v_bl - params.vdd / 2.0;
+
+            assert!(
+                (dv_circuit - dv_model).abs() < 0.02,
+                "{bit}: circuit ΔV {dv_circuit:.4} vs model {dv_model:.4}"
+            );
+            // Sign (and hence the sensed bit) must agree.
+            assert_eq!(dv_circuit > 0.0, dv_model > 0.0);
+        }
+    }
+
+    #[test]
+    fn read_collapses_the_stored_level() {
+        // The destructive-read premise at transistor level: after charge
+        // sharing the cell sits near the shared level, far from VDD.
+        let params = DramParams::default();
+        let mut ckt = read_testbench(&params, params.vdd);
+        let trace = run(&mut ckt).unwrap();
+        let v_cell_after = trace.voltage_at(CELL, 350e-9).unwrap();
+        assert!(
+            v_cell_after < 0.75 * params.vdd,
+            "stored level must collapse, got {v_cell_after}"
+        );
+        assert!(v_cell_after > 0.5 * params.vdd);
+    }
+
+    #[test]
+    fn closed_wordline_preserves_the_cell() {
+        // Without the wordline pulse the bitline stays at precharge and
+        // the cell keeps its level (modulo off-state leakage).
+        let params = DramParams::default();
+        let mut ckt = read_testbench(&params, params.vdd);
+        ckt.set_vsource("VWL", Waveform::dc(0.0)).unwrap();
+        let trace = run(&mut ckt).unwrap();
+        let v_cell = trace.voltage_at(CELL, 350e-9).unwrap();
+        let v_bl = trace.voltage_at(BITLINE, 350e-9).unwrap();
+        assert!((v_cell - params.vdd).abs() < 0.05, "cell held {v_cell}");
+        assert!(
+            (v_bl - params.vdd / 2.0).abs() < 0.02,
+            "bitline held {v_bl}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! 1T-1C FeRAM cell — the non-volatile but destructive-read baseline.
+//!
+//! Fig 2(a): reading applies a full plate-line pulse. If the stored
+//! polarization opposes the pulse it reverses completely, releasing a
+//! large switching charge (that *is* the sense signal); if aligned, only
+//! the linear charge flows. Either way the cell ends up in the
+//! pulse-aligned state, so a `'0'` is destroyed by reading and must be
+//! written back — the energy and latency overhead that motivates the
+//! 2T-nC QNRO design.
+
+use crate::Bit;
+use felim_ferro::{MfmCapacitor, MfmParams, Polarity};
+use serde::{Deserialize, Serialize};
+
+/// Result of a destructive 1T-1C FeRAM read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Feram1t1cRead {
+    /// The sensed (non-inverted) stored bit.
+    pub sensed: Bit,
+    /// Charge moved during the plate pulse, in C.
+    pub charge_c: f64,
+    /// Whether the read destroyed the stored state (stored `'0'` under a
+    /// positive plate pulse).
+    pub destroyed: bool,
+}
+
+/// A 1T-1C FeRAM cell (access transistor treated as ideal here — the
+/// paper's comparison is about the sensing scheme, not the access device).
+#[derive(Debug, Clone)]
+pub struct Feram1t1c {
+    cap: MfmCapacitor,
+    /// Sense threshold between the switching and non-switching charge, C.
+    charge_threshold_c: f64,
+}
+
+impl Feram1t1c {
+    /// Builds a cell from MFM device parameters; the charge threshold is
+    /// calibrated midway between the switching and non-switching read
+    /// charges.
+    pub fn new(params: &MfmParams) -> Self {
+        // Calibrate on scratch devices.
+        let mut down = MfmCapacitor::new(params);
+        down.write_ideal(Polarity::Down);
+        let q_switch = down
+            .apply_pulse(params.write_voltage_v, params.write_pulse_s)
+            .total_charge;
+        let mut up = MfmCapacitor::new(params);
+        up.write_ideal(Polarity::Up);
+        let q_lin = up
+            .apply_pulse(params.write_voltage_v, params.write_pulse_s)
+            .total_charge;
+        Self {
+            cap: MfmCapacitor::new(params),
+            charge_threshold_c: (q_switch + q_lin) / 2.0,
+        }
+    }
+
+    /// The underlying device state.
+    pub fn capacitor(&self) -> &MfmCapacitor {
+        &self.cap
+    }
+
+    /// The calibrated sense threshold in C.
+    pub fn charge_threshold(&self) -> f64 {
+        self.charge_threshold_c
+    }
+
+    /// Writes a bit with a full write pulse.
+    pub fn write(&mut self, bit: Bit) {
+        self.cap.write(bit.polarity());
+    }
+
+    /// The stored bit (None if degraded).
+    pub fn stored(&self) -> Option<Bit> {
+        self.cap.stored_state(0.25).map(Bit::from_polarity)
+    }
+
+    /// Destructive read: full positive plate pulse; large charge means the
+    /// polarization reversed, i.e. a `'0'` was stored. Non-inverting —
+    /// and the cell is left in the `'1'` state regardless.
+    pub fn read(&mut self) -> Feram1t1cRead {
+        let stored_zero = self.stored() == Some(Bit::Zero);
+        let params = self.cap.params().clone();
+        let r = self
+            .cap
+            .apply_pulse(params.write_voltage_v, params.write_pulse_s);
+        // The plate pulse leaves the cell in the '1' state; route the
+        // final programming through `write` so the endurance bookkeeping
+        // records the polarity reversal this destructive read caused.
+        self.cap.write(Polarity::Up);
+        let sensed = if r.total_charge > self.charge_threshold_c {
+            Bit::Zero
+        } else {
+            Bit::One
+        };
+        Feram1t1cRead {
+            sensed,
+            charge_c: r.total_charge,
+            destroyed: stored_zero,
+        }
+    }
+
+    /// Read followed by the mandatory write-back of the sensed value.
+    pub fn read_with_writeback(&mut self) -> Feram1t1cRead {
+        let r = self.read();
+        self.write(r.sensed);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Feram1t1c {
+        Feram1t1c::new(&MfmParams::fabricated())
+    }
+
+    #[test]
+    fn read_is_correct_and_non_inverting() {
+        let mut c = cell();
+        c.write(Bit::Zero);
+        assert_eq!(c.read().sensed, Bit::Zero, "non-inverting sense");
+        let mut c = cell();
+        c.write(Bit::One);
+        assert_eq!(c.read().sensed, Bit::One);
+    }
+
+    #[test]
+    fn reading_zero_destroys_it() {
+        let mut c = cell();
+        c.write(Bit::Zero);
+        let r = c.read();
+        assert!(r.destroyed);
+        // The cell now holds '1' — the stored '0' is gone.
+        assert_eq!(c.stored(), Some(Bit::One));
+    }
+
+    #[test]
+    fn reading_one_is_harmless_but_flagged_not_destroyed() {
+        let mut c = cell();
+        c.write(Bit::One);
+        let r = c.read();
+        assert!(!r.destroyed);
+        assert_eq!(c.stored(), Some(Bit::One));
+    }
+
+    #[test]
+    fn switching_read_charge_dominates() {
+        let mut c0 = cell();
+        c0.write(Bit::Zero);
+        let q0 = c0.read().charge_c;
+        let mut c1 = cell();
+        c1.write(Bit::One);
+        let q1 = c1.read().charge_c;
+        // Full polarization reversal (~2·Ps·A) vs linear-only charge.
+        assert!(q0 > 3.0 * q1, "q0 = {q0:e} vs q1 = {q1:e}");
+    }
+
+    #[test]
+    fn writeback_restores_state() {
+        let mut c = cell();
+        c.write(Bit::Zero);
+        let r = c.read_with_writeback();
+        assert_eq!(r.sensed, Bit::Zero);
+        assert_eq!(c.stored(), Some(Bit::Zero), "write-back restored the 0");
+    }
+
+    #[test]
+    fn repeated_reads_with_writeback_are_stable() {
+        let mut c = cell();
+        c.write(Bit::Zero);
+        for _ in 0..10 {
+            assert_eq!(c.read_with_writeback().sensed, Bit::Zero);
+        }
+        // Ten full write cycles of endurance wear were consumed doing so —
+        // the overhead QNRO avoids.
+        assert!(c.capacitor().cycles() >= 9.0);
+    }
+
+    #[test]
+    fn threshold_sits_between_levels() {
+        let c = cell();
+        let mut c0 = cell();
+        c0.write(Bit::Zero);
+        let q0 = c0.read().charge_c;
+        let mut c1 = cell();
+        c1.write(Bit::One);
+        let q1 = c1.read().charge_c;
+        assert!(c.charge_threshold() < q0);
+        assert!(c.charge_threshold() > q1);
+    }
+}

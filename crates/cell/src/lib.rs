@@ -1,0 +1,212 @@
+//! # felim-cell — memory cell library
+//!
+//! Cell-level models of the three memory technologies the paper compares
+//! (Fig 1), built on the [`felim_ferro`] device physics and validated with
+//! the [`felim_spice`] circuit simulator:
+//!
+//! * [`dram`] — 1T-1C DRAM: destructive charge-sharing reads, leakage and
+//!   refresh, triple-row-activation (TRA) MAJORITY logic, dual-contact-cell
+//!   (DCC) NOT (Ambit-style).
+//! * [`feram1t1c`] — 1T-1C FeRAM: non-volatile but destructive reads that
+//!   fully reverse the polarization and force a write-back.
+//! * [`cell2tnc`] — the paper's 2T-nC FeRAM gain cell: decoupled
+//!   read/write paths, quasi-nondestructive readout (QNRO) that *inverts*
+//!   on sensing, and triple-bit-activation (TBA) implementing the
+//!   MINORITY function for universal NAND/NOR in a single cell.
+//! * [`cell2tn1c`] — the prior 2T-(n+1)C AND-OR cell (Xiao et al.), the
+//!   related-work baseline whose per-operation logic-capacitor
+//!   programming the paper's scheme eliminates.
+//!
+//! [`ops`] exposes the cell-level logic operations (NOT, MINORITY, NAND,
+//! NOR) with exhaustive truth-table guarantees, and [`netlists`] builds the
+//! full transistor-level testbenches used to regenerate Fig 3(d) and
+//! Fig 3(f).
+//!
+//! ## Quickstart — universal logic in one cell
+//!
+//! ```
+//! use felim_cell::{Bit, cell2tnc::{Cell2TnC, Cell2TnCParams}};
+//!
+//! let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+//! // NAND via MINORITY with control bit C = 0:
+//! cell.write_bits(&[Bit::One, Bit::One, Bit::Zero]);
+//! assert_eq!(cell.tba().sensed, Bit::Zero); // 1 NAND 1 = 0
+//! // NOR via MINORITY with control bit C = 1:
+//! cell.write_bits(&[Bit::Zero, Bit::One, Bit::One]);
+//! assert_eq!(cell.tba().sensed, Bit::Zero); // 0 NOR 1 = 0
+//! ```
+//!
+//! See [`ops`] for the full NAND/NOR truth tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell2tn1c;
+pub mod cell2tnc;
+pub mod dram;
+pub mod dram_netlist;
+pub mod feram1t1c;
+pub mod margin;
+pub mod netlists;
+pub mod ops;
+pub mod senseamp;
+
+pub use cell2tnc::{Cell2TnC, Cell2TnCParams, SenseLevels};
+pub use margin::{monte_carlo_margin, MarginReport};
+pub use senseamp::SenseAmp;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// A logical bit stored in or produced by a memory cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Bit {
+    /// Logical 0 — negative remanent polarization in FeRAM cells.
+    Zero,
+    /// Logical 1 — positive remanent polarization in FeRAM cells.
+    One,
+}
+
+impl Bit {
+    /// Converts from `bool` (`true` → [`Bit::One`]).
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+
+    /// Converts to `bool` ([`Bit::One`] → `true`).
+    pub fn to_bool(self) -> bool {
+        self == Bit::One
+    }
+
+    /// The ferroelectric polarity encoding this bit (paper convention:
+    /// `'1'` ↔ positive polarization).
+    pub fn polarity(self) -> felim_ferro::Polarity {
+        felim_ferro::Polarity::from_bit(self.to_bool())
+    }
+
+    /// Decodes a polarity back to a bit.
+    pub fn from_polarity(p: felim_ferro::Polarity) -> Self {
+        Self::from_bool(p.to_bit())
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        Bit::from_bool(b)
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> Self {
+        b.to_bool()
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bit::Zero => write!(f, "0"),
+            Bit::One => write!(f, "1"),
+        }
+    }
+}
+
+/// The MINORITY function of three bits: `1` iff at most one input is `1`.
+///
+/// The paper's formulation: `MIN(A,B,C) = NOT(C·(A+B)) + NOT(C)·(A·B)`…
+/// which reduces to the complement of the majority. With the control bit
+/// `C` this yields NAND (`C = 0`) and NOR (`C = 1`) of `A` and `B`.
+///
+/// ```
+/// use felim_cell::{minority, Bit};
+/// assert_eq!(minority(Bit::One, Bit::One, Bit::Zero), Bit::Zero); // NAND(1,1)
+/// assert_eq!(minority(Bit::Zero, Bit::Zero, Bit::Zero), Bit::One);
+/// ```
+pub fn minority(a: Bit, b: Bit, c: Bit) -> Bit {
+    let ones = a.to_bool() as u8 + b.to_bool() as u8 + c.to_bool() as u8;
+    Bit::from_bool(ones <= 1)
+}
+
+/// The MAJORITY function of three bits: `1` iff at least two inputs are `1`
+/// (the DRAM TRA primitive of Ambit).
+///
+/// ```
+/// use felim_cell::{majority, Bit};
+/// assert_eq!(majority(Bit::One, Bit::One, Bit::Zero), Bit::One);
+/// assert_eq!(majority(Bit::Zero, Bit::One, Bit::Zero), Bit::Zero);
+/// ```
+pub fn majority(a: Bit, b: Bit, c: Bit) -> Bit {
+    !minority(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits3(v: u8) -> (Bit, Bit, Bit) {
+        (
+            Bit::from_bool(v & 4 != 0),
+            Bit::from_bool(v & 2 != 0),
+            Bit::from_bool(v & 1 != 0),
+        )
+    }
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        for b in [Bit::Zero, Bit::One] {
+            assert_eq!(Bit::from_bool(b.to_bool()), b);
+            assert_eq!(Bit::from_polarity(b.polarity()), b);
+            assert_eq!(!!b, b);
+        }
+        assert_eq!(Bit::from(true), Bit::One);
+        assert!(bool::from(Bit::One));
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+    }
+
+    #[test]
+    fn minority_truth_table_exhaustive() {
+        // MIN = 1 iff popcount(ones) <= 1 — all 8 states of Fig 3(e).
+        for v in 0..8u8 {
+            let (a, b, c) = bits3(v);
+            let expect = Bit::from_bool(v.count_ones() <= 1);
+            assert_eq!(minority(a, b, c), expect, "pattern {v:03b}");
+        }
+    }
+
+    #[test]
+    fn majority_is_complement_of_minority() {
+        for v in 0..8u8 {
+            let (a, b, c) = bits3(v);
+            assert_eq!(majority(a, b, c), !minority(a, b, c));
+        }
+    }
+
+    #[test]
+    fn minority_matches_paper_formula() {
+        // MIN(A,B,C) = NOT(C·(A+B)) AND NOT( NOT(C)·(A·B) )… the paper's
+        // expression written with the majority complement: verify against
+        // the boolean identity MIN = !MAJ = !(AB + BC + CA).
+        for v in 0..8u8 {
+            let (a, b, c) = bits3(v);
+            let ones = [a, b, c].iter().filter(|x| x.to_bool()).count();
+            let maj = ones >= 2;
+            assert_eq!(minority(a, b, c), Bit::from_bool(!maj));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Monte-Carlo sense-margin and yield analysis.
+//!
+//! The single-reference MINORITY scheme lives or dies by the separation
+//! between the popcount-1 and popcount-2 current levels across device-to-
+//! device variation and sense-amplifier offset. This module samples
+//! varied cell populations (via [`felim_ferro::variation`]) and reports
+//! the margin distribution and the read/TBA yield — the quantitative
+//! backing for the paper's "robust reliability" claim.
+
+use crate::cell2tnc::{pattern_bits, Cell2TnC, Cell2TnCParams};
+use crate::senseamp::SenseAmp;
+use crate::Bit;
+use felim_ferro::{DeviceSampler, VariationSpec};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Monte-Carlo margin study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginReport {
+    /// Cells sampled.
+    pub samples: usize,
+    /// Fraction of cells whose TBA decides all 8 patterns correctly.
+    pub tba_yield: f64,
+    /// Fraction of cells whose single-capacitor NOT reads correctly for
+    /// both stored values.
+    pub not_yield: f64,
+    /// Worst-case ratio I(popcount 1) / I(popcount 2) over the
+    /// population (must stay > 1 for a shared reference to exist).
+    pub worst_level_separation: f64,
+    /// Mean of the same ratio.
+    pub mean_level_separation: f64,
+}
+
+/// Monte-Carlo margin analysis over `samples` varied cells.
+///
+/// Each sampled cell uses devices drawn with `variation`; the sense
+/// amplifier carries a per-cell random offset of `sa_offset_sigma`
+/// (relative to the cell's own reference). The *shared global reference*
+/// case is modelled by reusing the nominal cell's reference for every
+/// sampled cell — the pessimistic deployment the paper's row-wise scheme
+/// implies.
+pub fn monte_carlo_margin(
+    params: &Cell2TnCParams,
+    variation: VariationSpec,
+    sa_offset_sigma: f64,
+    samples: usize,
+    seed: u64,
+) -> MarginReport {
+    assert!(samples > 0, "need at least one sample");
+    let nominal = Cell2TnC::new(params);
+    let global_tba_ref = nominal.tba_reference();
+    let global_not_ref = nominal.not_reference();
+
+    let mut sampler = DeviceSampler::new(&params.mfm, variation, seed);
+    // Deterministic gaussian offsets from a second stream.
+    let mut offset_stream = DeviceSampler::new(&params.mfm, VariationSpec::typical(), seed ^ 0x5a);
+
+    let mut tba_pass = 0usize;
+    let mut not_pass = 0usize;
+    let mut worst_sep = f64::INFINITY;
+    let mut sep_sum = 0.0;
+
+    for _ in 0..samples {
+        let mut cell_params = params.clone();
+        cell_params.mfm = sampler.sample();
+        let mut cell = Cell2TnC::new(&cell_params);
+        // SA offset as a lognormal multiplier on the reference (keeps the
+        // comparator current positive).
+        let offset_mul = offset_stream.sample().vc_mean_v / params.mfm.vc_mean_v; // reuse the sampled ratio as a unitless draw
+        let offset_mul = offset_mul.powf(sa_offset_sigma / 0.04);
+        let tba_sa = SenseAmp::new(global_tba_ref * offset_mul);
+        let not_sa = SenseAmp::new(global_not_ref * offset_mul);
+
+        // TBA across all 8 patterns.
+        let mut ok = true;
+        let mut i_pop1 = f64::INFINITY;
+        let mut i_pop2: f64 = 0.0;
+        for v in 0..8u8 {
+            cell.write_bits(&pattern_bits(v));
+            let i = cell.sense_levels(&[0, 1, 2]).rsl_current_a;
+            let sensed = tba_sa.compare(i);
+            if sensed != Bit::from_bool(v.count_ones() <= 1) {
+                ok = false;
+            }
+            match v.count_ones() {
+                1 => i_pop1 = i_pop1.min(i),
+                2 => i_pop2 = i_pop2.max(i),
+                _ => {}
+            }
+        }
+        if ok {
+            tba_pass += 1;
+        }
+        let sep = i_pop1 / i_pop2;
+        worst_sep = worst_sep.min(sep);
+        sep_sum += sep;
+
+        // Single-capacitor NOT for both stored values.
+        cell.write(0, Bit::Zero);
+        let r0 = not_sa.compare(cell.sense_levels(&[0]).rsl_current_a);
+        cell.write(0, Bit::One);
+        let r1 = not_sa.compare(cell.sense_levels(&[0]).rsl_current_a);
+        if r0 == Bit::One && r1 == Bit::Zero {
+            not_pass += 1;
+        }
+    }
+
+    MarginReport {
+        samples,
+        tba_yield: tba_pass as f64 / samples as f64,
+        not_yield: not_pass as f64 / samples as f64,
+        worst_level_separation: worst_sep,
+        mean_level_separation: sep_sum / samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_population_has_full_yield() {
+        let report = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::typical(),
+            0.0,
+            40,
+            11,
+        );
+        assert_eq!(report.samples, 40);
+        assert!(
+            report.tba_yield > 0.95,
+            "typical-corner TBA yield {}",
+            report.tba_yield
+        );
+        assert!(report.not_yield > 0.95, "NOT yield {}", report.not_yield);
+        assert!(report.worst_level_separation > 1.0);
+        assert!(report.mean_level_separation >= report.worst_level_separation);
+    }
+
+    #[test]
+    fn pessimistic_corner_degrades_but_does_not_collapse() {
+        let typical = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::typical(),
+            0.0,
+            30,
+            13,
+        );
+        let pessimistic = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::pessimistic(),
+            0.04,
+            30,
+            13,
+        );
+        assert!(pessimistic.worst_level_separation <= typical.worst_level_separation);
+        assert!(pessimistic.tba_yield > 0.5, "pessimistic yield collapsed");
+    }
+
+    #[test]
+    fn offset_hurts_yield_monotonically_in_expectation() {
+        let clean = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::typical(),
+            0.0,
+            30,
+            17,
+        );
+        let offset = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::typical(),
+            0.3,
+            30,
+            17,
+        );
+        assert!(offset.tba_yield <= clean.tba_yield);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn rejects_empty_study() {
+        let _ = monte_carlo_margin(
+            &Cell2TnCParams::default(),
+            VariationSpec::typical(),
+            0.0,
+            0,
+            1,
+        );
+    }
+}

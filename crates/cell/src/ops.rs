@@ -1,0 +1,213 @@
+//! Cell-level logic operations: NOT, MINORITY, NAND, NOR.
+//!
+//! These wrap the raw [`Cell2TnC`] primitives with the paper's operand
+//! conventions: operands A and B live in capacitors 0 and 1, the control
+//! bit C in capacitor 2; `C = 0` turns TBA into NAND, `C = 1` into NOR
+//! (Fig 3(e)).
+
+use crate::cell2tnc::Cell2TnC;
+use crate::Bit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two universal operations TBA provides, selected by the control bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicOp {
+    /// `NOT(A AND B)` — control bit `C = 0`.
+    Nand,
+    /// `NOT(A OR B)` — control bit `C = 1`.
+    Nor,
+}
+
+impl LogicOp {
+    /// The control bit that configures this operation.
+    pub fn control_bit(self) -> Bit {
+        match self {
+            LogicOp::Nand => Bit::Zero,
+            LogicOp::Nor => Bit::One,
+        }
+    }
+
+    /// Reference boolean evaluation.
+    pub fn eval(self, a: Bit, b: Bit) -> Bit {
+        match self {
+            LogicOp::Nand => !(Bit::from_bool(a.to_bool() && b.to_bool())),
+            LogicOp::Nor => !(Bit::from_bool(a.to_bool() || b.to_bool())),
+        }
+    }
+}
+
+impl fmt::Display for LogicOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicOp::Nand => write!(f, "NAND"),
+            LogicOp::Nor => write!(f, "NOR"),
+        }
+    }
+}
+
+/// In-place NOT: writes `a` into capacitor `idx` and QNRO-reads it; the
+/// inverting sense *is* the NOT (no DCC or any external circuit needed —
+/// the contrast with Ambit's DRAM NOT).
+pub fn not_in_cell(cell: &mut Cell2TnC, idx: usize, a: Bit) -> Bit {
+    cell.write(idx, a);
+    cell.qnro_read(idx).sensed
+}
+
+/// Single-cell NAND/NOR: writes `(A, B, C_op)` into capacitors 0–2 and
+/// performs a TBA. Returns the sensed result.
+pub fn logic_in_cell(cell: &mut Cell2TnC, op: LogicOp, a: Bit, b: Bit) -> Bit {
+    cell.write_bits(&[a, b, op.control_bit()]);
+    cell.tba().sensed
+}
+
+/// AND composed from NAND + NOT (two cell operations) — how the bulk
+/// engine derives the non-inverting ops.
+pub fn and_in_cell(cell: &mut Cell2TnC, a: Bit, b: Bit) -> Bit {
+    let nand = logic_in_cell(cell, LogicOp::Nand, a, b);
+    not_in_cell(cell, 0, nand)
+}
+
+/// OR composed from NOR + NOT.
+pub fn or_in_cell(cell: &mut Cell2TnC, a: Bit, b: Bit) -> Bit {
+    let nor = logic_in_cell(cell, LogicOp::Nor, a, b);
+    not_in_cell(cell, 0, nor)
+}
+
+/// XOR composed from four NANDs — demonstrates full functional
+/// completeness of the single-cell primitive.
+pub fn xor_in_cell(cell: &mut Cell2TnC, a: Bit, b: Bit) -> Bit {
+    let nab = logic_in_cell(cell, LogicOp::Nand, a, b);
+    let x = logic_in_cell(cell, LogicOp::Nand, a, nab);
+    let y = logic_in_cell(cell, LogicOp::Nand, b, nab);
+    logic_in_cell(cell, LogicOp::Nand, x, y)
+}
+
+/// One row of the Fig 3(e) state-transition table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TbaTransition {
+    /// Initial stored pattern, bit 2 = A, bit 1 = B, bit 0 = C.
+    pub pattern: u8,
+    /// RSL current at the TBA plateau, in A.
+    pub rsl_current_a: f64,
+    /// Internal node voltage, in V.
+    pub v_int: f64,
+    /// Sensed output (the MINORITY of the pattern).
+    pub output: Bit,
+}
+
+/// Enumerates all eight TBA transitions on fresh cells — the data behind
+/// Fig 3(e,f) and Fig 4(i,j).
+pub fn tba_truth_table(params: &crate::cell2tnc::Cell2TnCParams) -> Vec<TbaTransition> {
+    (0..8u8)
+        .map(|v| {
+            let mut cell = Cell2TnC::new(params);
+            cell.write_bits(&crate::cell2tnc::pattern_bits(v));
+            let r = cell.tba();
+            TbaTransition {
+                pattern: v,
+                rsl_current_a: r.levels.rsl_current_a,
+                v_int: r.levels.v_int,
+                output: r.sensed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell2tnc::Cell2TnCParams;
+
+    fn cell() -> Cell2TnC {
+        Cell2TnC::new(&Cell2TnCParams::default())
+    }
+
+    const ALL: [Bit; 2] = [Bit::Zero, Bit::One];
+
+    #[test]
+    fn nand_truth_table() {
+        let mut c = cell();
+        for a in ALL {
+            for b in ALL {
+                let got = logic_in_cell(&mut c, LogicOp::Nand, a, b);
+                let expect = Bit::from_bool(!(a.to_bool() && b.to_bool()));
+                assert_eq!(got, expect, "NAND({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        let mut c = cell();
+        for a in ALL {
+            for b in ALL {
+                let got = logic_in_cell(&mut c, LogicOp::Nor, a, b);
+                let expect = Bit::from_bool(!(a.to_bool() || b.to_bool()));
+                assert_eq!(got, expect, "NOR({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn not_via_qnro() {
+        let mut c = cell();
+        for a in ALL {
+            assert_eq!(not_in_cell(&mut c, 0, a), !a);
+        }
+    }
+
+    #[test]
+    fn derived_and_or_xor() {
+        let mut c = cell();
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(
+                    and_in_cell(&mut c, a, b),
+                    Bit::from_bool(a.to_bool() && b.to_bool())
+                );
+                assert_eq!(
+                    or_in_cell(&mut c, a, b),
+                    Bit::from_bool(a.to_bool() || b.to_bool())
+                );
+                assert_eq!(
+                    xor_in_cell(&mut c, a, b),
+                    Bit::from_bool(a.to_bool() ^ b.to_bool())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_eval_matches_control_bit_semantics() {
+        for op in [LogicOp::Nand, LogicOp::Nor] {
+            for a in ALL {
+                for b in ALL {
+                    // MIN(A, B, C_op) must equal the op's truth table.
+                    let via_min = crate::minority(a, b, op.control_bit());
+                    assert_eq!(via_min, op.eval(a, b), "{op}({a},{b})");
+                }
+            }
+        }
+        assert_eq!(LogicOp::Nand.to_string(), "NAND");
+        assert_eq!(LogicOp::Nor.to_string(), "NOR");
+    }
+
+    #[test]
+    fn truth_table_enumerates_fig3e() {
+        let table = tba_truth_table(&Cell2TnCParams::default());
+        assert_eq!(table.len(), 8);
+        for t in &table {
+            let expect = Bit::from_bool(t.pattern.count_ones() <= 1);
+            assert_eq!(t.output, expect, "pattern {:03b}", t.pattern);
+        }
+        // Currents strictly ordered by popcount (Fig 4(i) inverted trend).
+        for x in &table {
+            for y in &table {
+                if x.pattern.count_ones() < y.pattern.count_ones() {
+                    assert!(x.rsl_current_a > y.rsl_current_a);
+                }
+            }
+        }
+    }
+}

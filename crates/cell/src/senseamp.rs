@@ -1,0 +1,95 @@
+//! Current-comparing sense amplifier.
+//!
+//! The SA compares a sensed RSL current against a reference and resolves a
+//! bit. With QNRO the mapping is naturally inverting (high current = stored
+//! `'0'` = output `1`), which is what gives the 2T-nC cell its free NOT and
+//! MINORITY operations; the inversion semantics live in the *caller* — the
+//! SA itself is a plain comparator with optional input-referred offset and
+//! hysteresis, so margin studies can model non-ideal sensing.
+
+use crate::Bit;
+use serde::{Deserialize, Serialize};
+
+/// A comparator-style sense amplifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SenseAmp {
+    reference_a: f64,
+    offset_a: f64,
+}
+
+impl SenseAmp {
+    /// Creates an ideal SA with the given reference current (A).
+    pub fn new(reference_a: f64) -> Self {
+        Self {
+            reference_a,
+            offset_a: 0.0,
+        }
+    }
+
+    /// Adds an input-referred offset (A) modelling device mismatch;
+    /// positive offset biases the decision toward `0`.
+    pub fn with_offset(mut self, offset_a: f64) -> Self {
+        self.offset_a = offset_a;
+        self
+    }
+
+    /// The reference current in A.
+    pub fn reference(&self) -> f64 {
+        self.reference_a
+    }
+
+    /// Resolves a bit: `1` if the sensed current exceeds the (offset)
+    /// reference.
+    ///
+    /// ```
+    /// use felim_cell::{Bit, SenseAmp};
+    /// let sa = SenseAmp::new(1e-6);
+    /// assert_eq!(sa.compare(5e-6), Bit::One);
+    /// assert_eq!(sa.compare(0.1e-6), Bit::Zero);
+    /// ```
+    pub fn compare(&self, current_a: f64) -> Bit {
+        Bit::from_bool(current_a > self.reference_a + self.offset_a)
+    }
+
+    /// Sense margin of a given current against the reference, as a signed
+    /// ratio in decades: `log10(I / I_ref)`. Useful for disturb-budget
+    /// studies (how many QNRO reads before the margin collapses).
+    pub fn margin_decades(&self, current_a: f64) -> f64 {
+        (current_a.max(1e-30) / self.reference_a.max(1e-30)).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compares_against_reference() {
+        let sa = SenseAmp::new(1e-6);
+        assert_eq!(sa.compare(2e-6), Bit::One);
+        assert_eq!(sa.compare(0.5e-6), Bit::Zero);
+        assert_eq!(sa.reference(), 1e-6);
+    }
+
+    #[test]
+    fn boundary_resolves_to_zero() {
+        let sa = SenseAmp::new(1e-6);
+        assert_eq!(sa.compare(1e-6), Bit::Zero);
+    }
+
+    #[test]
+    fn offset_shifts_decision() {
+        let sa = SenseAmp::new(1e-6).with_offset(0.5e-6);
+        assert_eq!(sa.compare(1.2e-6), Bit::Zero, "offset eats the margin");
+        assert_eq!(sa.compare(2e-6), Bit::One);
+    }
+
+    #[test]
+    fn margin_in_decades() {
+        let sa = SenseAmp::new(1e-6);
+        assert!((sa.margin_decades(1e-5) - 1.0).abs() < 1e-12);
+        assert!((sa.margin_decades(1e-7) + 1.0).abs() < 1e-12);
+        // Degenerate inputs stay finite.
+        assert!(sa.margin_decades(0.0).is_finite());
+    }
+}

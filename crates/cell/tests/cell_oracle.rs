@@ -1,0 +1,109 @@
+//! Differential testing of the device-backed 2T-nC cell against a pure
+//! logical oracle: arbitrary interleavings of writes, QNRO reads, TBAs
+//! and write-backs must sense exactly what the boolean model predicts, as
+//! long as the disturb budget is respected.
+
+use felim_cell::cell2tnc::{Cell2TnC, Cell2TnCParams};
+use felim_cell::{minority, Bit};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(usize, bool),
+    QnroRead(usize),
+    Tba,
+    WriteBack,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, any::<bool>()).prop_map(|(i, b)| Op::Write(i, b)),
+        (0usize..3).prop_map(Op::QnroRead),
+        Just(Op::Tba),
+        Just(Op::WriteBack),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The physical cell tracks the boolean oracle through arbitrary
+    /// operation sequences (bounded well inside the disturb budget).
+    #[test]
+    fn cell_follows_boolean_oracle(ops in prop::collection::vec(op_strategy(), 1..24)) {
+        let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+        // Oracle state: the three stored bits (initially all 0 — fresh
+        // capacitors are in the down state).
+        let mut bits = [Bit::Zero; 3];
+        cell.write_bits(&bits);
+
+        for op in &ops {
+            match *op {
+                Op::Write(idx, b) => {
+                    let bit = Bit::from_bool(b);
+                    cell.write(idx, bit);
+                    bits[idx] = bit;
+                }
+                Op::QnroRead(idx) => {
+                    let r = cell.qnro_read(idx);
+                    prop_assert_eq!(r.sensed, !bits[idx], "QNRO must invert");
+                    // State survives.
+                    prop_assert_eq!(cell.stored(idx), Some(bits[idx]));
+                }
+                Op::Tba => {
+                    let r = cell.tba();
+                    prop_assert_eq!(
+                        r.sensed,
+                        minority(bits[0], bits[1], bits[2]),
+                        "TBA must sense the MINORITY"
+                    );
+                }
+                Op::WriteBack => {
+                    let restored = cell.write_back();
+                    for (i, b) in restored.iter().enumerate() {
+                        prop_assert_eq!(*b, Some(bits[i]));
+                    }
+                }
+            }
+        }
+        // Final state fully decodable.
+        for (i, b) in bits.iter().enumerate() {
+            prop_assert_eq!(cell.stored(i), Some(*b));
+        }
+    }
+
+    /// Reference calibration is stable across cells: a reference
+    /// calibrated on one cell instance decides correctly on another
+    /// (same parameters, different disturb history).
+    #[test]
+    fn references_transfer_between_cells(
+        history in prop::collection::vec((0usize..3, any::<bool>()), 0..8)
+    ) {
+        let params = Cell2TnCParams::default();
+        let reference_cell = Cell2TnC::new(&params);
+        let tba_ref = reference_cell.tba_reference();
+
+        let mut worn = Cell2TnC::new(&params);
+        for (idx, b) in history {
+            worn.write(idx, Bit::from_bool(b));
+            let _ = worn.qnro_read(idx);
+        }
+        // Now decide all 8 patterns on the worn cell with the foreign
+        // reference.
+        for v in 0..8u8 {
+            let pattern = [
+                Bit::from_bool(v & 4 != 0),
+                Bit::from_bool(v & 2 != 0),
+                Bit::from_bool(v & 1 != 0),
+            ];
+            worn.write_bits(&pattern);
+            let i = worn.sense_levels(&[0, 1, 2]).rsl_current_a;
+            let sensed = Bit::from_bool(i > tba_ref);
+            prop_assert_eq!(
+                sensed,
+                minority(pattern[0], pattern[1], pattern[2]),
+                "pattern {:03b} with transferred reference", v
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Section V: planar vs vertical 3-D integration area and density.
+//!
+//! Reported numbers (28 nm node, refs \[15\] and \[11\] of the paper):
+//!
+//! * planar 2T-1C FeRAM unit cell ≈ 30 F², each extra FE capacitor ≈ 1 F²,
+//! * the paper's planar 2T-3C estimate scales the whole cell: ≈ 90 F²,
+//! * the vertical 2T-3C string occupies ≈ 130 × 130 nm² regardless of `n`
+//!   (capacitors stack in the BEOL between T_R and T_W),
+//! * ⇒ footprint reduction ≈ 4.18× at n = 3,
+//! * Section VII adds 50 % peripheral-circuitry overhead for power/area
+//!   budgeting at subarray granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// Area/density model for 2T-nC cells at a given technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Feature size F in nm (the paper evaluates F = 28 nm).
+    pub feature_nm: f64,
+    /// Planar 2T-1C base cell area in F².
+    pub planar_2t1c_f2: f64,
+    /// Side length of the vertical 2T-nC string footprint, in nm.
+    pub vertical_side_nm: f64,
+    /// Peripheral circuitry overhead fraction (0.5 = +50 %).
+    pub peripheral_overhead: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper_28nm()
+    }
+}
+
+impl AreaModel {
+    /// The paper's 28 nm-node parameters.
+    pub fn paper_28nm() -> Self {
+        Self {
+            feature_nm: 28.0,
+            planar_2t1c_f2: 30.0,
+            vertical_side_nm: 130.0,
+            peripheral_overhead: 0.5,
+        }
+    }
+
+    /// Planar 2T-nC cell area in F² (the paper's linear whole-cell
+    /// scaling: `n`× the 2T-1C cell).
+    pub fn planar_cell_f2(&self, n_caps: usize) -> f64 {
+        self.planar_2t1c_f2 * n_caps as f64
+    }
+
+    /// Planar 2T-nC cell area in nm².
+    pub fn planar_cell_nm2(&self, n_caps: usize) -> f64 {
+        self.planar_cell_f2(n_caps) * self.feature_nm * self.feature_nm
+    }
+
+    /// Vertical 2T-nC string footprint in nm² (independent of `n` —
+    /// capacitors stack in the BEOL).
+    pub fn vertical_cell_nm2(&self) -> f64 {
+        self.vertical_side_nm * self.vertical_side_nm
+    }
+
+    /// Footprint reduction of the vertical string vs the planar cell.
+    ///
+    /// ```
+    /// let m = felim::AreaModel::paper_28nm();
+    /// let r = m.footprint_reduction(3);
+    /// assert!((r - 4.18).abs() < 0.02, "paper reports 4.18x, got {r}");
+    /// ```
+    pub fn footprint_reduction(&self, n_caps: usize) -> f64 {
+        self.planar_cell_nm2(n_caps) / self.vertical_cell_nm2()
+    }
+
+    /// Storage density in bits/mm² for a vertical 2T-nC array
+    /// (one bit per capacitor), including peripheral overhead.
+    pub fn vertical_storage_density_bits_mm2(&self, n_caps: usize) -> f64 {
+        let cell_mm2 = self.vertical_cell_nm2() * 1e-12 * (1.0 + self.peripheral_overhead);
+        n_caps as f64 / cell_mm2
+    }
+
+    /// Planar storage density in bits/mm², including peripheral overhead.
+    pub fn planar_storage_density_bits_mm2(&self, n_caps: usize) -> f64 {
+        let cell_mm2 = self.planar_cell_nm2(n_caps) * 1e-12 * (1.0 + self.peripheral_overhead);
+        n_caps as f64 / cell_mm2
+    }
+
+    /// LiM compute density: TBA-capable cells per mm² (each vertical
+    /// string is one MINORITY gate).
+    pub fn vertical_compute_density_cells_mm2(&self) -> f64 {
+        1.0 / (self.vertical_cell_nm2() * 1e-12 * (1.0 + self.peripheral_overhead))
+    }
+
+    /// Die area (mm²) needed for `bytes` of storage in a vertical array
+    /// with `n_caps` per cell and `layers` stacked memory dies.
+    pub fn vertical_die_area_mm2(&self, bytes: u64, n_caps: usize, layers: usize) -> f64 {
+        let bits = bytes as f64 * 8.0;
+        bits / (self.vertical_storage_density_bits_mm2(n_caps) * layers as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> AreaModel {
+        AreaModel::paper_28nm()
+    }
+
+    #[test]
+    fn planar_areas_match_section_v() {
+        let m = m();
+        assert_eq!(m.planar_cell_f2(1), 30.0);
+        assert_eq!(m.planar_cell_f2(3), 90.0);
+        // 90 F² at F = 28 nm = 70 560 nm².
+        assert!((m.planar_cell_nm2(3) - 70_560.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn vertical_footprint_and_reduction() {
+        let m = m();
+        assert_eq!(m.vertical_cell_nm2(), 16_900.0);
+        let r = m.footprint_reduction(3);
+        assert!((r - 4.175).abs() < 0.01, "paper: 4.18x, got {r}");
+    }
+
+    #[test]
+    fn reduction_grows_with_n() {
+        let m = m();
+        // The vertical footprint is n-independent, so more capacitors
+        // per cell mean a larger win over planar.
+        assert!(m.footprint_reduction(6) > 2.0 * m.footprint_reduction(3) * 0.99);
+    }
+
+    #[test]
+    fn densities_are_consistent() {
+        let m = m();
+        let v = m.vertical_storage_density_bits_mm2(3);
+        let p = m.planar_storage_density_bits_mm2(3);
+        assert!((v / p - m.footprint_reduction(3)).abs() < 1e-9);
+        // ~118 Mb/mm² vertical at n = 3 with 50 % periphery.
+        assert!((v / 1e6 - 118.3).abs() < 1.0, "v = {} Mb/mm²", v / 1e6);
+    }
+
+    #[test]
+    fn die_area_for_2gb_stack() {
+        let m = m();
+        // The paper's Fig 7 memory die: 2 GB over 5 layers.
+        let area = m.vertical_die_area_mm2(2 << 30, 3, 5);
+        assert!(area > 10.0 && area < 60.0, "2 GB stack die = {area} mm²");
+    }
+
+    #[test]
+    fn compute_density_matches_cell_footprint() {
+        let m = m();
+        let d = m.vertical_compute_density_cells_mm2();
+        let expect = 1.0 / (16_900.0 * 1e-12 * 1.5);
+        assert!((d - expect).abs() < 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! # felim — single-cell universal logic-in-memory using 2T-nC FeRAM
+//!
+//! A full-stack, from-scratch reproduction of *"Single-Cell Universal
+//! Logic-in-Memory Using 2T-nC FeRAM: An Area and Energy-Efficient
+//! Approach for Bulk Bitwise Computation"* (SOCC 2025): device physics →
+//! circuit simulation → cell operations → memory architecture → workload
+//! evaluation → 3-D integration and thermal analysis.
+//!
+//! ## The idea, in one paragraph
+//!
+//! A 2T-nC FeRAM gain cell stores `n` bits in ferroelectric capacitors
+//! sharing one storage node. Its quasi-nondestructive readout (QNRO)
+//! produces a *high* current for a stored `0` and a *low* current for a
+//! stored `1` — the sense amplifier output is inherently the logical NOT,
+//! with no extra circuitry. Activating three capacitors at once (TBA)
+//! makes the storage-node voltage monotone in the number of stored zeros,
+//! so one reference comparison computes the MINORITY function — which,
+//! with a control bit, is NAND or NOR: universal logic in a single cell.
+//! Scaled across rows this yields bulk-bitwise compute that beats
+//! Ambit-style DRAM by ~2× in performance and ~2.5× in energy, stacks
+//! vertically for 4.18× footprint reduction, and stays ferroelectrically
+//! stable on top of a 28 W compute die (peak ≈ 352 K).
+//!
+//! ## Crate map
+//!
+//! | layer | crate (re-exported as) | what it provides |
+//! |---|---|---|
+//! | device | [`ferro`] | multi-domain MFM capacitor physics |
+//! | circuit | [`spice`] | MNA transient simulator, MOSFETs, netlists |
+//! | cell | [`cell`] | 2T-nC / DRAM / 1T-1C FeRAM cells + LiM ops |
+//! | architecture | [`arch`] | Ambit-DRAM vs ACP-FeRAM PiM simulator |
+//! | applications | [`workloads`] | the eight Fig 6 workloads, verified |
+//! | thermal | [`thermal`] | HotSpot-class steady-state solver |
+//! | this crate | [`lim`], [`area`], [`compare`], [`evaluation`] | the byte-level `LimArray` API, the Section V area/density model, the Fig 1 comparison, and the Fig 6/Fig 7 evaluation drivers |
+//!
+//! ## Quickstart — universal logic in one cell
+//!
+//! ```
+//! use felim::cell::{Bit, ops::{logic_in_cell, LogicOp}};
+//! use felim::cell::cell2tnc::{Cell2TnC, Cell2TnCParams};
+//!
+//! let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+//! for (a, b) in [(Bit::Zero, Bit::Zero), (Bit::One, Bit::One)] {
+//!     let nand = logic_in_cell(&mut cell, LogicOp::Nand, a, b);
+//!     assert_eq!(nand, LogicOp::Nand.eval(a, b));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod compare;
+pub mod evaluation;
+pub mod lim;
+
+/// Architecture simulator (re-export of `felim-arch`).
+pub use felim_arch as arch;
+/// Cell library (re-export of `felim-cell`).
+pub use felim_cell as cell;
+/// Device-physics substrate (re-export of `felim-ferro`).
+pub use felim_ferro as ferro;
+/// Circuit-simulation substrate (re-export of `felim-spice`).
+pub use felim_spice as spice;
+/// Thermal solver (re-export of `felim-thermal`).
+pub use felim_thermal as thermal;
+/// Workload suite (re-export of `felim-workloads`).
+pub use felim_workloads as workloads;
+
+pub use area::AreaModel;
+pub use compare::{technology_comparison, TechSummary};
+pub use evaluation::{run_fig6, run_fig7, Fig6Row, Fig7Result};
+pub use lim::{LimArray, LimError, Region};

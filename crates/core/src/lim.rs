@@ -1,0 +1,518 @@
+//! `LimArray` — the byte-level public API for bulk logic-in-memory.
+//!
+//! Wraps the row-level [`felim_arch::BulkBackend`] machinery in the
+//! interface a software stack would actually program against: allocate
+//! byte regions, load data, issue region-wide bitwise operations, read
+//! results, inspect cost. Regions are whole-row aligned internally; the
+//! API hides rows entirely.
+//!
+//! ```
+//! use felim::lim::LimArray;
+//!
+//! # fn main() -> Result<(), felim::lim::LimError> {
+//! let mut lim = LimArray::feram_tiny();
+//! let a = lim.alloc(4096)?;
+//! let b = lim.alloc(4096)?;
+//! let out = lim.alloc(4096)?;
+//! lim.write(a, &vec![0b1100_1100u8; 4096])?;
+//! lim.write(b, &vec![0b1010_1010u8; 4096])?;
+//! lim.xor(a, b, out)?;
+//! assert!(lim.read(out)?.iter().all(|&x| x == 0b0110_0110));
+//! # Ok(())
+//! # }
+//! ```
+
+use felim_arch::{BulkBackend, DramBackend, ExecStats, FeramBackend, MemoryGeometry, RowId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte region inside a [`LimArray`] (whole rows, opaque handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    first_row: u64,
+    rows: u64,
+    bytes: u64,
+}
+
+impl Region {
+    /// Usable length in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Is the region empty?
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+}
+
+/// Errors from the byte-level LiM API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LimError {
+    /// The array is out of rows.
+    OutOfMemory {
+        /// Rows requested.
+        requested_rows: u64,
+        /// Rows remaining.
+        available_rows: u64,
+    },
+    /// A buffer length does not match the region it targets.
+    LengthMismatch {
+        /// Region length in bytes.
+        region_bytes: u64,
+        /// Supplied buffer length in bytes.
+        buffer_bytes: u64,
+    },
+    /// Two regions participating in one operation differ in size.
+    RegionSizeMismatch {
+        /// First region length.
+        a_bytes: u64,
+        /// Second region length.
+        b_bytes: u64,
+    },
+}
+
+impl fmt::Display for LimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimError::OutOfMemory {
+                requested_rows,
+                available_rows,
+            } => write!(
+                f,
+                "out of memory: requested {requested_rows} rows, {available_rows} available"
+            ),
+            LimError::LengthMismatch {
+                region_bytes,
+                buffer_bytes,
+            } => write!(
+                f,
+                "buffer length {buffer_bytes} does not match region length {region_bytes}"
+            ),
+            LimError::RegionSizeMismatch { a_bytes, b_bytes } => {
+                write!(f, "region sizes differ: {a_bytes} vs {b_bytes}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimError {}
+
+/// A logic-in-memory array with a byte-level interface.
+pub struct LimArray {
+    backend: Box<dyn BulkBackend>,
+    next_row: u64,
+    /// Rows at the top reserved by the backend for compute/scratch.
+    reserved_top_rows: u64,
+}
+
+impl fmt::Debug for LimArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LimArray")
+            .field("tech", &self.backend.tech_name())
+            .field("next_row", &self.next_row)
+            .finish()
+    }
+}
+
+impl LimArray {
+    /// A 2T-nC FeRAM array over the paper's 8 GB geometry.
+    pub fn feram_8gb() -> Self {
+        Self::from_backend(Box::new(FeramBackend::default_8gb()))
+    }
+
+    /// A small FeRAM array for tests and examples (1 MB).
+    pub fn feram_tiny() -> Self {
+        Self::from_backend(Box::new(FeramBackend::new(MemoryGeometry::tiny())))
+    }
+
+    /// A DRAM (Ambit) array over the paper's 8 GB geometry.
+    pub fn dram_8gb() -> Self {
+        Self::from_backend(Box::new(DramBackend::default_8gb()))
+    }
+
+    /// A small DRAM array for tests and examples (1 MB).
+    pub fn dram_tiny() -> Self {
+        Self::from_backend(Box::new(DramBackend::new(MemoryGeometry::tiny())))
+    }
+
+    /// Wraps an arbitrary backend.
+    pub fn from_backend(backend: Box<dyn BulkBackend>) -> Self {
+        Self {
+            backend,
+            next_row: 0,
+            reserved_top_rows: 16,
+        }
+    }
+
+    /// Technology name of the underlying backend.
+    pub fn tech_name(&self) -> &'static str {
+        self.backend.tech_name()
+    }
+
+    /// Row size in bytes (allocation granularity).
+    pub fn row_bytes(&self) -> u64 {
+        self.backend.geometry().row_bytes
+    }
+
+    /// Remaining allocatable bytes.
+    pub fn available_bytes(&self) -> u64 {
+        let total = self.backend.geometry().total_rows() - self.reserved_top_rows;
+        (total - self.next_row) * self.row_bytes()
+    }
+
+    /// Allocates a region of at least `bytes` (rounded up to whole rows).
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::OutOfMemory`] when the array is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Region, LimError> {
+        let rows = self.backend.geometry().rows_for_bytes(bytes).max(1);
+        let limit = self.backend.geometry().total_rows() - self.reserved_top_rows;
+        if self.next_row + rows > limit {
+            return Err(LimError::OutOfMemory {
+                requested_rows: rows,
+                available_rows: limit - self.next_row,
+            });
+        }
+        let region = Region {
+            first_row: self.next_row,
+            rows,
+            bytes,
+        };
+        self.next_row += rows;
+        Ok(region)
+    }
+
+    fn check_len(&self, region: Region, buffer_bytes: u64) -> Result<(), LimError> {
+        if region.bytes != buffer_bytes {
+            return Err(LimError::LengthMismatch {
+                region_bytes: region.bytes,
+                buffer_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_same_size(a: Region, b: Region) -> Result<(), LimError> {
+        if a.bytes != b.bytes {
+            return Err(LimError::RegionSizeMismatch {
+                a_bytes: a.bytes,
+                b_bytes: b.bytes,
+            });
+        }
+        Ok(())
+    }
+
+    fn row_words(&self) -> usize {
+        self.backend.geometry().row_words()
+    }
+
+    /// Writes `data` into the region (charged as host row writes).
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::LengthMismatch`] if `data.len() != region.len()`.
+    pub fn write(&mut self, region: Region, data: &[u8]) -> Result<(), LimError> {
+        self.check_len(region, data.len() as u64)?;
+        self.for_each_row_data(region, data, |backend, row, words| {
+            backend.write_row(row, words);
+        });
+        Ok(())
+    }
+
+    /// Installs pre-resident data (no cost — see
+    /// [`BulkBackend::install_row`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::LengthMismatch`] if `data.len() != region.len()`.
+    pub fn install(&mut self, region: Region, data: &[u8]) -> Result<(), LimError> {
+        self.check_len(region, data.len() as u64)?;
+        self.for_each_row_data(region, data, |backend, row, words| {
+            backend.install_row(row, words);
+        });
+        Ok(())
+    }
+
+    fn for_each_row_data(
+        &mut self,
+        region: Region,
+        data: &[u8],
+        mut f: impl FnMut(&mut dyn BulkBackend, RowId, &[u64]),
+    ) {
+        let row_bytes = self.row_bytes() as usize;
+        let row_words = self.row_words();
+        for r in 0..region.rows {
+            let start = (r as usize) * row_bytes;
+            let end = (start + row_bytes).min(data.len());
+            let mut words = vec![0u64; row_words];
+            for (i, chunk_byte) in data[start..end].iter().enumerate() {
+                words[i / 8] |= (*chunk_byte as u64) << (8 * (i % 8));
+            }
+            f(self.backend.as_mut(), RowId(region.first_row + r), &words);
+        }
+    }
+
+    /// Reads the region back as bytes.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid regions; returns `Result` for
+    /// forward compatibility.
+    pub fn read(&mut self, region: Region) -> Result<Vec<u8>, LimError> {
+        let row_bytes = self.row_bytes() as usize;
+        let mut out = Vec::with_capacity(region.bytes as usize);
+        for r in 0..region.rows {
+            let words = self.backend.read_row(RowId(region.first_row + r));
+            for i in 0..row_bytes {
+                if out.len() == region.bytes as usize {
+                    break;
+                }
+                out.push(((words[i / 8] >> (8 * (i % 8))) & 0xFF) as u8);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Region-wide `dst = a AND b`.
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::RegionSizeMismatch`] unless all regions are equal-sized.
+    pub fn and(&mut self, a: Region, b: Region, dst: Region) -> Result<(), LimError> {
+        self.binary_op(a, b, dst, |m, x, y, d| m.and(x, y, d))
+    }
+
+    /// Region-wide `dst = a OR b`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LimArray::and`].
+    pub fn or(&mut self, a: Region, b: Region, dst: Region) -> Result<(), LimError> {
+        self.binary_op(a, b, dst, |m, x, y, d| m.or(x, y, d))
+    }
+
+    /// Region-wide `dst = a XOR b`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LimArray::and`].
+    pub fn xor(&mut self, a: Region, b: Region, dst: Region) -> Result<(), LimError> {
+        self.binary_op(a, b, dst, |m, x, y, d| m.xor(x, y, d))
+    }
+
+    /// Region-wide `dst = NOT(a AND b)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LimArray::and`].
+    pub fn nand(&mut self, a: Region, b: Region, dst: Region) -> Result<(), LimError> {
+        self.binary_op(a, b, dst, |m, x, y, d| m.nand(x, y, d))
+    }
+
+    /// Region-wide `dst = NOT(a OR b)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`LimArray::and`].
+    pub fn nor(&mut self, a: Region, b: Region, dst: Region) -> Result<(), LimError> {
+        self.binary_op(a, b, dst, |m, x, y, d| m.nor(x, y, d))
+    }
+
+    /// Region-wide `dst = NOT src`.
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::RegionSizeMismatch`] unless both regions are equal.
+    pub fn not(&mut self, src: Region, dst: Region) -> Result<(), LimError> {
+        Self::check_same_size(src, dst)?;
+        for r in 0..src.rows {
+            self.backend
+                .not(RowId(src.first_row + r), RowId(dst.first_row + r));
+        }
+        Ok(())
+    }
+
+    /// Region copy.
+    ///
+    /// # Errors
+    ///
+    /// [`LimError::RegionSizeMismatch`] unless both regions are equal.
+    pub fn copy(&mut self, src: Region, dst: Region) -> Result<(), LimError> {
+        Self::check_same_size(src, dst)?;
+        for r in 0..src.rows {
+            self.backend
+                .copy(RowId(src.first_row + r), RowId(dst.first_row + r));
+        }
+        Ok(())
+    }
+
+    fn binary_op(
+        &mut self,
+        a: Region,
+        b: Region,
+        dst: Region,
+        op: impl Fn(&mut dyn BulkBackend, RowId, RowId, RowId),
+    ) -> Result<(), LimError> {
+        Self::check_same_size(a, b)?;
+        Self::check_same_size(a, dst)?;
+        for r in 0..a.rows {
+            op(
+                self.backend.as_mut(),
+                RowId(a.first_row + r),
+                RowId(b.first_row + r),
+                RowId(dst.first_row + r),
+            );
+        }
+        Ok(())
+    }
+
+    /// Cost statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        self.backend.stats()
+    }
+
+    /// Finalises background costs (DRAM refresh) and returns the stats.
+    pub fn finish(&mut self) -> ExecStats {
+        self.backend.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(len: usize, f: impl Fn(usize) -> u8) -> Vec<u8> {
+        (0..len).map(f).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_rows() {
+        let mut lim = LimArray::feram_tiny();
+        // 2.5 rows worth of data (rows are 1 KiB in the tiny geometry).
+        let bytes = 2560usize;
+        let region = lim.alloc(bytes as u64).unwrap();
+        let data = pattern(bytes, |i| (i * 7 + 3) as u8);
+        lim.write(region, &data).unwrap();
+        assert_eq!(lim.read(region).unwrap(), data);
+    }
+
+    #[test]
+    fn all_ops_match_byte_oracle() {
+        for mut lim in [LimArray::feram_tiny(), LimArray::dram_tiny()] {
+            let len = 1024usize;
+            let a = lim.alloc(len as u64).unwrap();
+            let b = lim.alloc(len as u64).unwrap();
+            let d = lim.alloc(len as u64).unwrap();
+            let av = pattern(len, |i| (i * 31) as u8);
+            let bv = pattern(len, |i| (i * 17 + 5) as u8);
+            lim.install(a, &av).unwrap();
+            lim.install(b, &bv).unwrap();
+
+            lim.and(a, b, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(av.iter().zip(&bv))
+                .all(|(&got, (&x, &y))| got == x & y));
+            lim.or(a, b, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(av.iter().zip(&bv))
+                .all(|(&got, (&x, &y))| got == x | y));
+            lim.xor(a, b, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(av.iter().zip(&bv))
+                .all(|(&got, (&x, &y))| got == x ^ y));
+            lim.nand(a, b, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(av.iter().zip(&bv))
+                .all(|(&got, (&x, &y))| got == !(x & y)));
+            lim.nor(a, b, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(av.iter().zip(&bv))
+                .all(|(&got, (&x, &y))| got == !(x | y)));
+            lim.not(a, d).unwrap();
+            assert!(lim
+                .read(d)
+                .unwrap()
+                .iter()
+                .zip(&av)
+                .all(|(&got, &x)| got == !x));
+            lim.copy(a, d).unwrap();
+            assert_eq!(lim.read(d).unwrap(), av);
+        }
+    }
+
+    #[test]
+    fn feram_cheaper_than_dram_through_the_api() {
+        let run = |mut lim: LimArray| {
+            let a = lim.alloc(2048).unwrap();
+            let b = lim.alloc(2048).unwrap();
+            let d = lim.alloc(2048).unwrap();
+            lim.install(a, &vec![1u8; 2048]).unwrap();
+            lim.install(b, &vec![2u8; 2048]).unwrap();
+            lim.xor(a, b, d).unwrap();
+            lim.finish().total_energy_nj()
+        };
+        let feram = run(LimArray::feram_tiny());
+        let dram = run(LimArray::dram_tiny());
+        assert!(dram > 2.0 * feram, "{dram} vs {feram}");
+    }
+
+    #[test]
+    fn allocation_exhaustion_is_reported() {
+        let mut lim = LimArray::feram_tiny();
+        // Tiny array: 1024 rows, 16 reserved.
+        let available = lim.available_bytes();
+        assert!(lim.alloc(available).is_ok());
+        let err = lim.alloc(1).unwrap_err();
+        assert!(matches!(err, LimError::OutOfMemory { .. }));
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn length_and_size_mismatches_are_rejected() {
+        let mut lim = LimArray::feram_tiny();
+        let a = lim.alloc(1024).unwrap();
+        let b = lim.alloc(2048).unwrap();
+        assert!(matches!(
+            lim.write(a, &[0u8; 100]),
+            Err(LimError::LengthMismatch { .. })
+        ));
+        let d = lim.alloc(1024).unwrap();
+        assert!(matches!(
+            lim.and(a, b, d),
+            Err(LimError::RegionSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            lim.not(a, b),
+            Err(LimError::RegionSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_row_regions_read_exact_length() {
+        let mut lim = LimArray::feram_tiny();
+        let r = lim.alloc(100).unwrap();
+        assert_eq!(r.len(), 100);
+        assert!(!r.is_empty());
+        lim.write(r, &pattern(100, |i| i as u8)).unwrap();
+        let back = lim.read(r).unwrap();
+        assert_eq!(back.len(), 100);
+        assert_eq!(back[99], 99);
+    }
+}

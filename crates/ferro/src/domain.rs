@@ -1,0 +1,303 @@
+//! Single ferroelectric domain with Merz-law switching kinetics.
+//!
+//! Each domain is a two-well system with a normalized polarization
+//! `p ∈ [-1, +1]`. Under an applied voltage `v` the domain relaxes toward
+//! `sign(v)` with a field-activated Merz time constant
+//!
+//! ```text
+//! τ(v) = τ₀ · exp(α · (V_c / |v|)ⁿ)
+//! ```
+//!
+//! so strong fields switch in nanoseconds while sub-coercive read pulses
+//! leave the bulk of the film untouched — except for the low-`V_c` tail of
+//! the disorder distribution, which is what produces the paper's
+//! *accumulative switching disturb* under QNRO reads.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Remanent polarization direction of a ferroelectric element.
+///
+/// The paper's bit convention (Section II) maps logical `'1'` to positive
+/// remanent polarization — the state that shows *minimal* switching under a
+/// positive read pulse — and `'0'` to negative polarization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Positive remanent polarization (logical `'1'`).
+    Up,
+    /// Negative remanent polarization (logical `'0'`).
+    Down,
+}
+
+impl Polarity {
+    /// Signed unit value: `+1.0` for [`Polarity::Up`], `-1.0` for
+    /// [`Polarity::Down`].
+    ///
+    /// ```
+    /// use felim_ferro::Polarity;
+    /// assert_eq!(Polarity::Up.sign(), 1.0);
+    /// assert_eq!(Polarity::Down.sign(), -1.0);
+    /// ```
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Up => 1.0,
+            Polarity::Down => -1.0,
+        }
+    }
+
+    /// The opposite polarity.
+    ///
+    /// ```
+    /// use felim_ferro::Polarity;
+    /// assert_eq!(Polarity::Up.flipped(), Polarity::Down);
+    /// ```
+    pub fn flipped(self) -> Polarity {
+        match self {
+            Polarity::Up => Polarity::Down,
+            Polarity::Down => Polarity::Up,
+        }
+    }
+
+    /// Maps the paper's bit convention: `true` (bit `1`) ↔ [`Polarity::Up`].
+    ///
+    /// ```
+    /// use felim_ferro::Polarity;
+    /// assert_eq!(Polarity::from_bit(true), Polarity::Up);
+    /// assert_eq!(Polarity::from_bit(false), Polarity::Down);
+    /// ```
+    pub fn from_bit(bit: bool) -> Polarity {
+        if bit {
+            Polarity::Up
+        } else {
+            Polarity::Down
+        }
+    }
+
+    /// Inverse of [`Polarity::from_bit`].
+    pub fn to_bit(self) -> bool {
+        self == Polarity::Up
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Up => write!(f, "P↑ ('1')"),
+            Polarity::Down => write!(f, "P↓ ('0')"),
+        }
+    }
+}
+
+/// One Monte-Carlo domain of the polycrystalline film.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    /// Coercive voltage of this domain at the reference temperature, in V.
+    vc_v: f64,
+    /// Normalized polarization in `[-1, +1]`.
+    p: f64,
+}
+
+/// Applied-voltage magnitudes below this fraction of a domain's coercive
+/// voltage are treated as non-switching (infinite τ). This keeps the model
+/// numerically benign at millivolt-level circuit noise while still letting
+/// genuine read pulses disturb the low-`V_c` tail.
+const FIELD_CUTOFF_FRACTION: f64 = 0.25;
+
+impl Domain {
+    /// Creates a domain with coercive voltage `vc_v` (V) in polarization
+    /// state `p` (normalized, clamped to `[-1, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc_v` is not strictly positive and finite.
+    pub fn new(vc_v: f64, p: f64) -> Self {
+        assert!(
+            vc_v > 0.0 && vc_v.is_finite(),
+            "domain coercive voltage must be positive, got {vc_v}"
+        );
+        Self {
+            vc_v,
+            p: p.clamp(-1.0, 1.0),
+        }
+    }
+
+    /// Coercive voltage at the reference temperature, in V.
+    pub fn coercive_voltage(&self) -> f64 {
+        self.vc_v
+    }
+
+    /// Current normalized polarization in `[-1, +1]`.
+    pub fn polarization(&self) -> f64 {
+        self.p
+    }
+
+    /// Forces the polarization state (clamped to `[-1, 1]`).
+    pub fn set_polarization(&mut self, p: f64) {
+        self.p = p.clamp(-1.0, 1.0);
+    }
+
+    /// Merz-law switching time constant (s) under applied voltage `v`,
+    /// with the coercive voltage scaled by `vc_scale` (temperature
+    /// dependence enters here).
+    ///
+    /// Returns `f64::INFINITY` below the activation cutoff.
+    pub fn tau(&self, v: f64, vc_scale: f64, tau0_s: f64, alpha: f64, n: f64) -> f64 {
+        let vc = self.vc_v * vc_scale;
+        let mag = v.abs();
+        if mag < FIELD_CUTOFF_FRACTION * vc {
+            return f64::INFINITY;
+        }
+        let arg = alpha * (vc / mag).powf(n);
+        // exp(700) overflows f64; anything that slow is effectively frozen.
+        if arg > 600.0 {
+            f64::INFINITY
+        } else {
+            tau0_s * arg.exp()
+        }
+    }
+
+    /// Evolves the domain for `dt` seconds under constant voltage `v`.
+    ///
+    /// The polarization relaxes exponentially toward `sign(v)`:
+    /// `p ← target + (p − target)·exp(−dt/τ)`. Returns the change in `p`.
+    pub fn step(&mut self, v: f64, dt: f64, vc_scale: f64, tau0_s: f64, alpha: f64, n: f64) -> f64 {
+        if v == 0.0 || dt <= 0.0 {
+            return 0.0;
+        }
+        let tau = self.tau(v, vc_scale, tau0_s, alpha, n);
+        if !tau.is_finite() {
+            return 0.0;
+        }
+        let target = v.signum();
+        let old = self.p;
+        let decay = (-dt / tau).exp();
+        self.p = target + (old - target) * decay;
+        self.p - old
+    }
+
+    /// Would a pulse of `width_s` seconds at voltage `v` switch (move the
+    /// polarization more than half way toward the target)?
+    pub fn switches_under(
+        &self,
+        v: f64,
+        width_s: f64,
+        vc_scale: f64,
+        tau0_s: f64,
+        alpha: f64,
+        n: f64,
+    ) -> bool {
+        let tau = self.tau(v, vc_scale, tau0_s, alpha, n);
+        tau.is_finite() && width_s / tau > std::f64::consts::LN_2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU0: f64 = 6.6e-9;
+    const ALPHA: f64 = 14.0;
+    const N: f64 = 2.0;
+
+    fn d() -> Domain {
+        Domain::new(1.05, -1.0)
+    }
+
+    #[test]
+    fn polarity_roundtrips() {
+        for bit in [true, false] {
+            assert_eq!(Polarity::from_bit(bit).to_bit(), bit);
+        }
+        assert_eq!(Polarity::Up.flipped().flipped(), Polarity::Up);
+        assert_eq!(Polarity::Up.sign() * Polarity::Down.sign(), -1.0);
+        assert!(Polarity::Down.to_string().contains('0'));
+    }
+
+    #[test]
+    fn strong_field_switches_fast() {
+        let dom = d();
+        let tau = dom.tau(3.0, 1.0, TAU0, ALPHA, N);
+        // Paper Fig 4(g,h): the MFM switches in < 300 ns at ±3 V.
+        assert!(tau < 300e-9, "tau at 3 V = {tau:e}");
+        assert!(dom.switches_under(3.0, 300e-9, 1.0, TAU0, ALPHA, N));
+    }
+
+    #[test]
+    fn weak_field_is_frozen() {
+        let dom = d();
+        // Millivolt noise: below cutoff, infinite tau.
+        assert_eq!(dom.tau(0.05, 1.0, TAU0, ALPHA, N), f64::INFINITY);
+        // Near-coercive bias: finite but extremely slow.
+        let tau = dom.tau(1.05, 1.0, TAU0, ALPHA, N);
+        assert!(tau > 1e-3, "tau at Vc should exceed 1 ms, got {tau:e}");
+    }
+
+    #[test]
+    fn tau_is_monotone_decreasing_in_field() {
+        let dom = d();
+        let mut last = f64::INFINITY;
+        for mv in (300..=3000).step_by(100) {
+            let v = mv as f64 / 1000.0;
+            let tau = dom.tau(v, 1.0, TAU0, ALPHA, N);
+            assert!(tau <= last, "tau must fall with |V| (v={v})");
+            last = tau;
+        }
+    }
+
+    #[test]
+    fn step_moves_toward_field_sign() {
+        let mut dom = d();
+        let dp = dom.step(3.0, 1e-6, 1.0, TAU0, ALPHA, N);
+        assert!(dp > 0.0);
+        assert!(dom.polarization() > 0.99, "1 µs at 3 V fully switches");
+        // And back.
+        dom.step(-3.0, 1e-6, 1.0, TAU0, ALPHA, N);
+        assert!(dom.polarization() < -0.99);
+    }
+
+    #[test]
+    fn step_conserves_bounds() {
+        let mut dom = d();
+        for _ in 0..100 {
+            dom.step(3.0, 1e-5, 1.0, TAU0, ALPHA, N);
+            let p = dom.polarization();
+            assert!((-1.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn aligned_field_is_a_no_op() {
+        let mut dom = Domain::new(1.05, 1.0);
+        let dp = dom.step(3.0, 1e-3, 1.0, TAU0, ALPHA, N);
+        assert!(dp.abs() < 1e-12, "field along P must not move charge");
+    }
+
+    #[test]
+    fn zero_voltage_or_time_is_a_no_op() {
+        let mut dom = d();
+        assert_eq!(dom.step(0.0, 1.0, 1.0, TAU0, ALPHA, N), 0.0);
+        assert_eq!(dom.step(3.0, 0.0, 1.0, TAU0, ALPHA, N), 0.0);
+        assert_eq!(dom.step(3.0, -1.0, 1.0, TAU0, ALPHA, N), 0.0);
+    }
+
+    #[test]
+    fn vc_scale_models_temperature() {
+        let dom = d();
+        // Lower effective Vc (hotter device) → faster switching.
+        let tau_cold = dom.tau(1.5, 1.0, TAU0, ALPHA, N);
+        let tau_hot = dom.tau(1.5, 0.8, TAU0, ALPHA, N);
+        assert!(tau_hot < tau_cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "coercive voltage")]
+    fn rejects_nonpositive_vc() {
+        let _ = Domain::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn clamps_initial_polarization() {
+        assert_eq!(Domain::new(1.0, 7.0).polarization(), 1.0);
+        assert_eq!(Domain::new(1.0, -7.0).polarization(), -1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Bipolar-cycling endurance (Fig 4(f)).
+//!
+//! The remanent polarization of HfO₂-family ferroelectrics first *wakes up*
+//! (domains de-pin over the first 10²–10³ cycles) and then fatigues
+//! logarithmically past an onset cycle count. The paper demonstrates the
+//! MFM withstands at least 10⁶ ±3 V / 10 µs bipolar cycles — the criterion
+//! that makes frequent in-memory computation viable.
+
+use crate::capacitor::MfmCapacitor;
+use crate::domain::Polarity;
+use crate::params::MfmParams;
+use serde::{Deserialize, Serialize};
+
+/// Relative Pr multiplier after `cycles` bipolar write cycles.
+///
+/// `factor = 1 + w·(1 − e^(−N/N_w)) − k·max(0, log₁₀(N/N_onset))`,
+/// clamped to `[0, 1 + w]`.
+///
+/// ```
+/// use felim_ferro::{endurance::pr_cycling_factor, MfmParams};
+/// let p = MfmParams::fabricated();
+/// let fresh = pr_cycling_factor(&p, 0.0);
+/// let million = pr_cycling_factor(&p, 1e6);
+/// assert!(million >= 1.0, "still healthy at the paper's 10^6 target");
+/// assert!(pr_cycling_factor(&p, 1e9) < million);
+/// let _ = fresh;
+/// ```
+pub fn pr_cycling_factor(params: &MfmParams, cycles: f64) -> f64 {
+    let n = cycles.max(0.0);
+    let wakeup = params.wakeup_amplitude * (1.0 - (-n / params.wakeup_cycles).exp());
+    let fatigue = if n > params.fatigue_onset_cycles {
+        params.fatigue_per_decade * (n / params.fatigue_onset_cycles).log10()
+    } else {
+        0.0
+    };
+    (1.0 + wakeup - fatigue).clamp(0.0, 1.0 + params.wakeup_amplitude)
+}
+
+/// One measurement point of an endurance run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceResult {
+    /// Cumulative bipolar cycles at this measurement.
+    pub cycles: f64,
+    /// Positive remanent polarization in µC/cm².
+    pub pr_pos_uc_cm2: f64,
+    /// Negative remanent polarization in µC/cm².
+    pub pr_neg_uc_cm2: f64,
+}
+
+impl EnduranceResult {
+    /// Mean |Pr| of the two states in µC/cm².
+    pub fn pr_mean(&self) -> f64 {
+        (self.pr_pos_uc_cm2.abs() + self.pr_neg_uc_cm2.abs()) / 2.0
+    }
+}
+
+/// Endurance measurement harness: cycles a device in logarithmic batches
+/// and records Pr after each batch, exactly like the Fig 4(f) measurement
+/// (multiple ±3 V, 10 µs bipolar pulses).
+#[derive(Debug, Clone)]
+pub struct EnduranceRun {
+    params: MfmParams,
+    /// Minimum readable |Pr| for the cell to still sense correctly,
+    /// in µC/cm².
+    pub sense_floor_uc_cm2: f64,
+}
+
+impl EnduranceRun {
+    /// Creates a run for the given device with a 10 µC/cm² sense floor.
+    pub fn new(params: &MfmParams) -> Self {
+        Self {
+            params: params.clone(),
+            sense_floor_uc_cm2: 10.0,
+        }
+    }
+
+    /// Cycles a fresh device through the given cumulative cycle counts
+    /// (must be non-decreasing) and measures Pr at each point.
+    ///
+    /// Bulk cycles are applied through the fatigue bookkeeping (not pulse
+    /// by pulse — 10⁶ explicit pulses would be pointless work), then each
+    /// measurement performs two real writes to capture the current device
+    /// response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoints` is not non-decreasing.
+    pub fn run(&self, checkpoints: &[f64]) -> Vec<EnduranceResult> {
+        let mut cap = MfmCapacitor::new(&self.params);
+        let mut done = 0.0;
+        checkpoints
+            .iter()
+            .map(|&target| {
+                assert!(target >= done, "checkpoints must be non-decreasing");
+                cap.add_fatigue_cycles(target - done);
+                done = target;
+                cap.write(Polarity::Up);
+                let pr_pos = cap.polarization_uc_cm2();
+                cap.write(Polarity::Down);
+                let pr_neg = cap.polarization_uc_cm2();
+                EnduranceResult {
+                    cycles: target,
+                    pr_pos_uc_cm2: pr_pos,
+                    pr_neg_uc_cm2: pr_neg,
+                }
+            })
+            .collect()
+    }
+
+    /// Standard log-spaced checkpoints 10⁰ … 10^`max_decade`.
+    pub fn log_checkpoints(max_decade: u32) -> Vec<f64> {
+        (0..=max_decade).map(|d| 10f64.powi(d as i32)).collect()
+    }
+
+    /// Largest checkpointed cycle count at which the device still senses
+    /// (mean |Pr| above the sense floor).
+    pub fn endurance_limit(&self, results: &[EnduranceResult]) -> Option<f64> {
+        results
+            .iter()
+            .take_while(|r| r.pr_mean() >= self.sense_floor_uc_cm2)
+            .last()
+            .map(|r| r.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_shows_wakeup_then_fatigue() {
+        let p = MfmParams::fabricated();
+        let fresh = pr_cycling_factor(&p, 0.0);
+        let woken = pr_cycling_factor(&p, 1e4);
+        let fatigued = pr_cycling_factor(&p, 1e9);
+        assert!((fresh - 1.0).abs() < 1e-12);
+        assert!(woken > fresh, "wake-up must raise Pr slightly");
+        assert!(fatigued < woken, "deep cycling must fatigue");
+        assert!(fatigued > 0.8, "3 decades past onset loses only ~15%");
+    }
+
+    #[test]
+    fn factor_never_negative_or_runaway() {
+        let p = MfmParams::fabricated();
+        for exp in 0..30 {
+            let f = pr_cycling_factor(&p, 10f64.powi(exp));
+            assert!((0.0..=1.0 + p.wakeup_amplitude).contains(&f));
+        }
+        assert_eq!(pr_cycling_factor(&p, -5.0), 1.0);
+    }
+
+    #[test]
+    fn survives_one_million_cycles() {
+        // The paper's headline endurance claim (Fig 4(f)).
+        let run = EnduranceRun::new(&MfmParams::fabricated());
+        let results = run.run(&EnduranceRun::log_checkpoints(6));
+        let limit = run
+            .endurance_limit(&results)
+            .expect("device dead at cycle 1");
+        assert!(limit >= 1e6, "endurance limit {limit:e} below 10^6");
+        let last = results.last().unwrap();
+        assert!(last.pr_mean() > 20.0, "Pr at 10^6 = {}", last.pr_mean());
+    }
+
+    #[test]
+    fn pr_states_remain_symmetric_through_cycling() {
+        let run = EnduranceRun::new(&MfmParams::fabricated());
+        for r in run.run(&EnduranceRun::log_checkpoints(6)) {
+            assert!(r.pr_pos_uc_cm2 > 0.0);
+            assert!(r.pr_neg_uc_cm2 < 0.0);
+            let asym = (r.pr_pos_uc_cm2 + r.pr_neg_uc_cm2).abs();
+            assert!(asym < 0.1 * r.pr_mean(), "states must stay symmetric");
+        }
+    }
+
+    #[test]
+    fn deep_fatigue_eventually_kills_sensing() {
+        let run = EnduranceRun::new(&MfmParams::fabricated());
+        // 10^16 cycles: 10 decades past onset at 5 %/decade → Pr halved+.
+        let results = run.run(&[1.0, 1e16]);
+        assert!(results[1].pr_mean() < results[0].pr_mean() * 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_unordered_checkpoints() {
+        let run = EnduranceRun::new(&MfmParams::fabricated());
+        let _ = run.run(&[100.0, 10.0]);
+    }
+
+    #[test]
+    fn log_checkpoints_shape() {
+        let cps = EnduranceRun::log_checkpoints(6);
+        assert_eq!(cps.len(), 7);
+        assert_eq!(cps[0], 1.0);
+        assert_eq!(cps[6], 1e6);
+    }
+}

@@ -1,0 +1,101 @@
+//! # felim-ferro — ferroelectric device physics
+//!
+//! Multi-domain nucleation-limited-switching (NLS) model of a
+//! metal–ferroelectric–metal (MFM) capacitor, the device substrate of the
+//! 2T-nC FeRAM logic-in-memory reproduction.
+//!
+//! The model follows the Monte-Carlo polycrystalline family of Alessandri
+//! et al. (IEEE TED 2019), which the paper uses (calibrated to Micron's
+//! NVDRAM cell): the film is split into independent domains, each with its
+//! own coercive voltage drawn from a lognormal distribution, and each domain
+//! switches under bias with a Merz-law field-activated time constant.
+//! On top of the irreversible domain switching the model adds a reversible
+//! domain-wall (Rayleigh-type) charge response, which is what makes
+//! quasi-nondestructive readout (QNRO) sense margin repeatable across reads
+//! while the slow irreversible component produces the *accumulative read
+//! disturb* the paper describes.
+//!
+//! What the crate reproduces from the paper:
+//!
+//! * P–V hysteresis loops with Pr ≈ 22.3 µC/cm² ([`pv`], Fig 4(e)),
+//! * coercive voltage decreasing with temperature while Pr stays nearly
+//!   constant ([`temperature`], Fig 4(e)),
+//! * pulse-switching dynamics maps — switching in < 300 ns at ±3 V
+//!   ([`pulse`], Fig 4(g,h)),
+//! * bipolar-cycling endurance beyond 10⁶ cycles ([`endurance`], Fig 4(f)),
+//! * polarization-dependent read charge ΔQ₀ ≫ ΔQ₁ and its accumulation
+//!   over repeated QNRO reads ([`capacitor`], Fig 2(b)).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use felim_ferro::{MfmCapacitor, MfmParams, Polarity};
+//!
+//! let params = MfmParams::fabricated();
+//! let mut cap = MfmCapacitor::new(&params);
+//!
+//! // Program the capacitor to logical '0' (negative remanent polarization).
+//! cap.write(Polarity::Down);
+//! assert!(cap.polarization() < -0.9);
+//!
+//! // A read pulse *against* the stored polarization moves much more charge
+//! // than one along it — the physical basis of QNRO inverting logic.
+//! let dq0 = cap.read_pulse_charge(params.read_voltage(), 100e-9);
+//! cap.write(Polarity::Up);
+//! let dq1 = cap.read_pulse_charge(params.read_voltage(), 100e-9);
+//! assert!(dq0 > 2.0 * dq1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitor;
+pub mod domain;
+pub mod endurance;
+pub mod imprint;
+pub mod params;
+pub mod pulse;
+pub mod pv;
+pub mod retention;
+pub mod temperature;
+pub mod variation;
+
+pub use capacitor::{MfmCapacitor, PulseResult};
+pub use domain::{Domain, Polarity};
+pub use endurance::{EnduranceResult, EnduranceRun};
+pub use imprint::ImprintModel;
+pub use params::{MfmParams, MfmParamsBuilder, ParamError};
+pub use pulse::{PulseSweep, SwitchingPoint};
+pub use pv::{first_order_reversal_curves, PvLoop, PvPoint, ReversalCurve};
+pub use retention::RetentionModel;
+pub use temperature::TemperatureModel;
+pub use variation::{DeviceSampler, VariationSpec};
+
+/// Vacuum permittivity in F/m.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Conversion factor from C/m² to µC/cm².
+///
+/// 1 C/m² = 100 µC/cm².
+pub const C_M2_TO_UC_CM2: f64 = 100.0;
+
+/// Converts a polarization expressed in C/m² to µC/cm².
+///
+/// ```
+/// assert_eq!(felim_ferro::c_m2_to_uc_cm2(0.223), 22.3);
+/// ```
+pub fn c_m2_to_uc_cm2(p: f64) -> f64 {
+    p * C_M2_TO_UC_CM2
+}
+
+/// Converts a polarization expressed in µC/cm² to C/m².
+///
+/// ```
+/// assert!((felim_ferro::uc_cm2_to_c_m2(22.3) - 0.223).abs() < 1e-12);
+/// ```
+pub fn uc_cm2_to_c_m2(p: f64) -> f64 {
+    p / C_M2_TO_UC_CM2
+}

@@ -1,0 +1,192 @@
+//! Pulse-switching dynamics (Fig 4(g,h)).
+//!
+//! Maps the switched polarization of a saturated device against write-pulse
+//! width and amplitude, for both positive (P↓→P↑) and negative (P↑→P↓)
+//! switching. Mirrors the paper's measurement: the MFM switches with pulse
+//! widths under 300 ns at ±3 V, and the required width grows steeply as the
+//! amplitude approaches the coercive voltage.
+
+use crate::capacitor::MfmCapacitor;
+use crate::domain::Polarity;
+use crate::params::MfmParams;
+use serde::{Deserialize, Serialize};
+
+/// One (width, amplitude) sample of a switching-dynamics map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchingPoint {
+    /// Pulse width in s.
+    pub width_s: f64,
+    /// Pulse amplitude in V (signed).
+    pub amplitude_v: f64,
+    /// Normalized switched polarization in [0, 2]: 0 = untouched,
+    /// 2 = full reversal from −Ps to +Ps (or vice versa).
+    pub delta_p: f64,
+    /// Switched fraction in [0, 1] (`delta_p / 2`).
+    pub switched_fraction: f64,
+}
+
+/// Sweeps pulse width × amplitude on fresh devices.
+#[derive(Debug, Clone)]
+pub struct PulseSweep {
+    params: MfmParams,
+    temperature_k: f64,
+}
+
+impl PulseSweep {
+    /// Creates a sweep harness for the given device at 300 K.
+    pub fn new(params: &MfmParams) -> Self {
+        Self {
+            params: params.clone(),
+            temperature_k: 300.0,
+        }
+    }
+
+    /// Sets the sweep temperature in K.
+    pub fn at_temperature(mut self, t_k: f64) -> Self {
+        self.temperature_k = t_k;
+        self
+    }
+
+    /// Switched polarization for a single pulse applied to a device
+    /// saturated opposite to the pulse direction.
+    pub fn single(&self, amplitude_v: f64, width_s: f64) -> SwitchingPoint {
+        let mut cap = MfmCapacitor::new(&self.params);
+        cap.set_temperature(self.temperature_k);
+        let start = if amplitude_v >= 0.0 {
+            Polarity::Down
+        } else {
+            Polarity::Up
+        };
+        cap.write_ideal(start);
+        let r = cap.apply_pulse(amplitude_v, width_s);
+        SwitchingPoint {
+            width_s,
+            amplitude_v,
+            delta_p: r.delta_p.abs(),
+            switched_fraction: (r.delta_p.abs() / 2.0).min(1.0),
+        }
+    }
+
+    /// Full map over the outer product of `widths_s` × `amplitudes_v`.
+    /// Points are ordered amplitude-major (all widths for the first
+    /// amplitude, then the next amplitude, …).
+    pub fn map(&self, widths_s: &[f64], amplitudes_v: &[f64]) -> Vec<SwitchingPoint> {
+        amplitudes_v
+            .iter()
+            .flat_map(|&a| widths_s.iter().map(move |&w| (a, w)))
+            .map(|(a, w)| self.single(a, w))
+            .collect()
+    }
+
+    /// Minimum pulse width achieving `fraction` switching at the given
+    /// amplitude, found by bisection over `[1 ns, 1 s]`. Returns `None` if
+    /// even a 1 s pulse does not reach the target.
+    pub fn time_to_switch(&self, amplitude_v: f64, fraction: f64) -> Option<f64> {
+        assert!(
+            (0.0..1.0).contains(&fraction.abs()) || fraction == 1.0,
+            "fraction must be in (0, 1], got {fraction}"
+        );
+        let (mut lo, mut hi) = (1e-9, 1.0);
+        if self.single(amplitude_v, hi).switched_fraction < fraction {
+            return None;
+        }
+        if self.single(amplitude_v, lo).switched_fraction >= fraction {
+            return Some(lo);
+        }
+        for _ in 0..60 {
+            let mid = (lo * hi).sqrt();
+            if self.single(amplitude_v, mid).switched_fraction >= fraction {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> PulseSweep {
+        PulseSweep::new(&MfmParams::fabricated())
+    }
+
+    #[test]
+    fn switches_under_300ns_at_3v_both_signs() {
+        // Paper Fig 4(g,h): switching with pulse widths < 300 ns at ±3 V.
+        let s = sweep();
+        let t_pos = s.time_to_switch(3.0, 0.5).expect("must switch");
+        let t_neg = s.time_to_switch(-3.0, 0.5).expect("must switch");
+        assert!(t_pos < 300e-9, "positive 50% switch at {t_pos:e}");
+        assert!(t_neg < 300e-9, "negative 50% switch at {t_neg:e}");
+    }
+
+    #[test]
+    fn switching_needs_exponentially_longer_near_vc() {
+        let s = sweep();
+        let t3 = s.time_to_switch(3.0, 0.5).unwrap();
+        let t2 = s.time_to_switch(2.0, 0.5).unwrap();
+        let t15 = s.time_to_switch(1.5, 0.5).unwrap();
+        assert!(t2 > 3.0 * t3, "t(2V)={t2:e} vs t(3V)={t3:e}");
+        assert!(t15 > 3.0 * t2, "t(1.5V)={t15:e} vs t(2V)={t2:e}");
+    }
+
+    #[test]
+    fn switched_fraction_monotone_in_width() {
+        let s = sweep();
+        let widths = [10e-9, 30e-9, 100e-9, 300e-9, 1e-6, 3e-6];
+        let mut last = -1.0;
+        for &w in &widths {
+            let frac = s.single(2.2, w).switched_fraction;
+            assert!(frac >= last, "fraction must grow with width");
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn switched_fraction_monotone_in_amplitude() {
+        let s = sweep();
+        let mut last = -1.0;
+        for mv in (1500..=3000).step_by(250) {
+            let frac = s.single(mv as f64 / 1000.0, 100e-9).switched_fraction;
+            assert!(frac >= last, "fraction must grow with amplitude");
+            last = frac;
+        }
+    }
+
+    #[test]
+    fn positive_negative_switching_symmetric() {
+        let s = sweep();
+        let p = s.single(2.5, 200e-9).switched_fraction;
+        let n = s.single(-2.5, 200e-9).switched_fraction;
+        assert!((p - n).abs() < 0.02, "pos {p} vs neg {n}");
+    }
+
+    #[test]
+    fn map_covers_grid_in_order() {
+        let s = sweep();
+        let m = s.map(&[1e-8, 1e-7], &[2.0, 3.0]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0].amplitude_v, 2.0);
+        assert_eq!(m[0].width_s, 1e-8);
+        assert_eq!(m[3].amplitude_v, 3.0);
+        assert_eq!(m[3].width_s, 1e-7);
+    }
+
+    #[test]
+    fn subcoercive_pulse_never_switches() {
+        let s = sweep();
+        assert_eq!(s.time_to_switch(0.2, 0.5), None);
+    }
+
+    #[test]
+    fn higher_temperature_switches_faster() {
+        let cold = PulseSweep::new(&MfmParams::fabricated());
+        let hot = PulseSweep::new(&MfmParams::fabricated()).at_temperature(390.0);
+        let tc = cold.time_to_switch(1.8, 0.5).unwrap();
+        let th = hot.time_to_switch(1.8, 0.5).unwrap();
+        assert!(th < tc, "hot {th:e} must beat cold {tc:e}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Quasi-static polarization–voltage hysteresis loop tracing (Fig 4(e)).
+//!
+//! A triangular voltage sweep is applied to an [`MfmCapacitor`] with a
+//! configurable per-step dwell time; the committed polarization is recorded
+//! at every step. Loop metrics (remanent polarization, coercive voltages)
+//! are extracted from the traced branches exactly as one would from a
+//! Sawyer–Tower measurement.
+
+use crate::capacitor::MfmCapacitor;
+use crate::params::MfmParams;
+use serde::{Deserialize, Serialize};
+
+/// One sample of a traced P–V loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvPoint {
+    /// Applied voltage in V.
+    pub voltage_v: f64,
+    /// Polarization in µC/cm².
+    pub polarization_uc_cm2: f64,
+}
+
+/// A traced hysteresis loop with extracted metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PvLoop {
+    /// Ascending branch: −V_max → +V_max.
+    pub ascending: Vec<PvPoint>,
+    /// Descending branch: +V_max → −V_max.
+    pub descending: Vec<PvPoint>,
+    /// Temperature at which the loop was traced, in K.
+    pub temperature_k: f64,
+    /// Positive remanent polarization (descending branch at V = 0), µC/cm².
+    pub pr_pos_uc_cm2: f64,
+    /// Negative remanent polarization (ascending branch at V = 0), µC/cm².
+    pub pr_neg_uc_cm2: f64,
+    /// Positive coercive voltage (ascending zero crossing), V.
+    pub vc_pos_v: f64,
+    /// Negative coercive voltage (descending zero crossing), V.
+    pub vc_neg_v: f64,
+}
+
+impl PvLoop {
+    /// Traces a loop on a fresh device built from `params` at temperature
+    /// `temperature_k`, sweeping ±`v_max` with `steps` samples per branch
+    /// and `dwell_s` seconds spent at each voltage step.
+    ///
+    /// The device is first saturated negative so the ascending branch
+    /// starts from a well-defined state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2`, or if `v_max` or `dwell_s` is not positive.
+    pub fn trace(
+        params: &MfmParams,
+        temperature_k: f64,
+        v_max: f64,
+        steps: usize,
+        dwell_s: f64,
+    ) -> Self {
+        assert!(steps >= 2, "need at least 2 steps per branch");
+        assert!(v_max > 0.0, "v_max must be positive");
+        assert!(dwell_s > 0.0, "dwell must be positive");
+        let mut cap = MfmCapacitor::new(params);
+        cap.set_temperature(temperature_k);
+        // Pre-saturate negative (several dwells at -v_max).
+        cap.apply_voltage(-v_max, 10.0 * dwell_s);
+
+        let sweep = |cap: &mut MfmCapacitor, from: f64, to: f64| -> Vec<PvPoint> {
+            (0..steps)
+                .map(|i| {
+                    let v = from + (to - from) * i as f64 / (steps - 1) as f64;
+                    cap.apply_voltage(v, dwell_s);
+                    PvPoint {
+                        voltage_v: v,
+                        polarization_uc_cm2: cap.polarization_uc_cm2(),
+                    }
+                })
+                .collect()
+        };
+
+        let ascending = sweep(&mut cap, -v_max, v_max);
+        let descending = sweep(&mut cap, v_max, -v_max);
+
+        let pr_pos = interpolate_at_v(&descending, 0.0);
+        let pr_neg = interpolate_at_v(&ascending, 0.0);
+        let vc_pos = zero_crossing_voltage(&ascending);
+        let vc_neg = zero_crossing_voltage(&descending);
+
+        Self {
+            ascending,
+            descending,
+            temperature_k,
+            pr_pos_uc_cm2: pr_pos,
+            pr_neg_uc_cm2: pr_neg,
+            vc_pos_v: vc_pos,
+            vc_neg_v: vc_neg,
+        }
+    }
+
+    /// Traces a loop with sensible defaults for the given device: ±`v_max`,
+    /// 120 steps per branch, 1 ms dwell (≈ 1 Hz triangular measurement).
+    pub fn trace_default(params: &MfmParams, temperature_k: f64, v_max: f64) -> Self {
+        Self::trace(params, temperature_k, v_max, 120, 1e-3)
+    }
+
+    /// Mean of |Pr+| and |Pr−| in µC/cm².
+    pub fn remanent_polarization(&self) -> f64 {
+        (self.pr_pos_uc_cm2.abs() + self.pr_neg_uc_cm2.abs()) / 2.0
+    }
+
+    /// Mean of |Vc+| and |Vc−| in V.
+    pub fn coercive_voltage(&self) -> f64 {
+        (self.vc_pos_v.abs() + self.vc_neg_v.abs()) / 2.0
+    }
+
+    /// All points of the loop in sweep order (ascending then descending).
+    pub fn points(&self) -> impl Iterator<Item = &PvPoint> {
+        self.ascending.iter().chain(self.descending.iter())
+    }
+}
+
+/// A first-order reversal curve: after negative saturation the voltage
+/// sweeps up to a reversal point `v_r < V_max` and back down — the family
+/// of these curves (FORC analysis) maps the switching distribution, the
+/// standard characterisation companion to the major loop of Fig 4(e).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReversalCurve {
+    /// The reversal voltage this curve turned around at, in V.
+    pub reversal_v: f64,
+    /// The descending branch from the reversal point, as `(V, P)` points.
+    pub descending: Vec<PvPoint>,
+}
+
+/// Traces a family of first-order reversal curves on fresh devices:
+/// one curve per reversal voltage, each starting from negative
+/// saturation at −`v_max`.
+///
+/// # Panics
+///
+/// Panics on empty `reversal_voltages` or non-positive sweep settings.
+pub fn first_order_reversal_curves(
+    params: &MfmParams,
+    temperature_k: f64,
+    v_max: f64,
+    reversal_voltages: &[f64],
+    steps: usize,
+    dwell_s: f64,
+) -> Vec<ReversalCurve> {
+    assert!(!reversal_voltages.is_empty(), "need at least one curve");
+    assert!(steps >= 2 && v_max > 0.0 && dwell_s > 0.0);
+    reversal_voltages
+        .iter()
+        .map(|&v_r| {
+            let mut cap = MfmCapacitor::new(params);
+            cap.set_temperature(temperature_k);
+            cap.apply_voltage(-v_max, 10.0 * dwell_s);
+            // Ascend to the reversal point.
+            for i in 0..steps {
+                let v = -v_max + (v_r + v_max) * i as f64 / (steps - 1) as f64;
+                cap.apply_voltage(v, dwell_s);
+            }
+            // Descend back to -v_max, recording.
+            let descending = (0..steps)
+                .map(|i| {
+                    let v = v_r - (v_r + v_max) * i as f64 / (steps - 1) as f64;
+                    cap.apply_voltage(v, dwell_s);
+                    PvPoint {
+                        voltage_v: v,
+                        polarization_uc_cm2: cap.polarization_uc_cm2(),
+                    }
+                })
+                .collect();
+            ReversalCurve {
+                reversal_v: v_r,
+                descending,
+            }
+        })
+        .collect()
+}
+
+/// Linear interpolation of polarization at voltage `v0` along a branch.
+fn interpolate_at_v(branch: &[PvPoint], v0: f64) -> f64 {
+    for w in branch.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let lo = a.voltage_v.min(b.voltage_v);
+        let hi = a.voltage_v.max(b.voltage_v);
+        if (lo..=hi).contains(&v0) && hi > lo {
+            let t = (v0 - a.voltage_v) / (b.voltage_v - a.voltage_v);
+            return a.polarization_uc_cm2 + t * (b.polarization_uc_cm2 - a.polarization_uc_cm2);
+        }
+    }
+    branch.last().map_or(0.0, |p| p.polarization_uc_cm2)
+}
+
+/// Voltage at which the branch polarization crosses zero.
+fn zero_crossing_voltage(branch: &[PvPoint]) -> f64 {
+    for w in branch.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if a.polarization_uc_cm2 == 0.0 {
+            return a.voltage_v;
+        }
+        if a.polarization_uc_cm2 * b.polarization_uc_cm2 < 0.0 {
+            let t = -a.polarization_uc_cm2 / (b.polarization_uc_cm2 - a.polarization_uc_cm2);
+            return a.voltage_v + t * (b.voltage_v - a.voltage_v);
+        }
+    }
+    f64::NAN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fab_loop(t_k: f64) -> PvLoop {
+        PvLoop::trace(&MfmParams::fabricated(), t_k, 3.0, 80, 1e-3)
+    }
+
+    #[test]
+    fn loop_is_hysteretic_and_saturates() {
+        let l = fab_loop(300.0);
+        // Saturated ends meet.
+        let asc_end = l.ascending.last().unwrap().polarization_uc_cm2;
+        let desc_start = l.descending.first().unwrap().polarization_uc_cm2;
+        assert!((asc_end - desc_start).abs() < 0.5);
+        assert!(asc_end > 20.0);
+        // Branches differ in the middle (hysteresis).
+        let pr_gap = l.pr_pos_uc_cm2 - l.pr_neg_uc_cm2;
+        assert!(pr_gap > 30.0, "loop must open: ΔPr = {pr_gap}");
+    }
+
+    #[test]
+    fn remanent_polarization_matches_fig4e() {
+        let l = fab_loop(300.0);
+        let pr = l.remanent_polarization();
+        assert!((pr - 22.3).abs() < 1.5, "Pr = {pr} µC/cm²");
+    }
+
+    #[test]
+    fn coercive_voltage_is_of_order_one_volt() {
+        let l = fab_loop(300.0);
+        let vc = l.coercive_voltage();
+        assert!((0.7..=1.8).contains(&vc), "Vc = {vc} V");
+        // Symmetric film: |Vc+| ≈ |Vc−|.
+        assert!((l.vc_pos_v + l.vc_neg_v).abs() < 0.2 * vc);
+    }
+
+    #[test]
+    fn coercive_voltage_decreases_with_temperature() {
+        // Fig 4(e): Vc falls from 300 K to 390 K, Pr nearly constant.
+        let cold = fab_loop(300.0);
+        let warm = fab_loop(350.0);
+        let hot = fab_loop(390.0);
+        assert!(warm.coercive_voltage() < cold.coercive_voltage());
+        assert!(hot.coercive_voltage() < warm.coercive_voltage());
+        let pr_drift = (hot.remanent_polarization() - cold.remanent_polarization()).abs();
+        assert!(
+            pr_drift / cold.remanent_polarization() < 0.06,
+            "Pr must stay nearly constant, drifted {pr_drift}"
+        );
+    }
+
+    #[test]
+    fn ascending_branch_is_monotone_nondecreasing() {
+        let l = fab_loop(300.0);
+        let mut last = f64::NEG_INFINITY;
+        for p in &l.ascending {
+            assert!(p.polarization_uc_cm2 >= last - 1e-9);
+            last = p.polarization_uc_cm2;
+        }
+    }
+
+    #[test]
+    fn points_iterator_covers_both_branches() {
+        let l = PvLoop::trace(&MfmParams::fabricated(), 300.0, 3.0, 10, 1e-3);
+        assert_eq!(l.points().count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 steps")]
+    fn rejects_degenerate_sweep() {
+        let _ = PvLoop::trace(&MfmParams::fabricated(), 300.0, 3.0, 1, 1e-3);
+    }
+
+    #[test]
+    fn forc_family_is_nested_and_ordered() {
+        // Curves with higher reversal voltages start from higher
+        // polarization and remain above curves with lower reversal points
+        // at every shared voltage (the defining FORC nesting property).
+        let mut params = MfmParams::fabricated();
+        params.n_domains = 64;
+        let curves =
+            first_order_reversal_curves(&params, 300.0, 3.0, &[0.8, 1.2, 1.6, 2.4], 40, 1e-3);
+        assert_eq!(curves.len(), 4);
+        for pair in curves.windows(2) {
+            let (lo, hi) = (&pair[0], &pair[1]);
+            assert!(hi.reversal_v > lo.reversal_v);
+            // Starting polarization grows with the reversal point.
+            assert!(
+                hi.descending[0].polarization_uc_cm2 >= lo.descending[0].polarization_uc_cm2 - 0.5
+            );
+        }
+        // Descending branches only creep up marginally right after the
+        // reversal point (domains still finishing their upward switch
+        // while V stays large); past that they fall monotonically to
+        // negative saturation.
+        for c in &curves {
+            let start = c.descending[0].polarization_uc_cm2;
+            let max = c
+                .descending
+                .iter()
+                .map(|p| p.polarization_uc_cm2)
+                .fold(f64::MIN, f64::max);
+            assert!(max <= start + 2.0, "non-physical rise on descent");
+            let final_p = c.descending.last().unwrap().polarization_uc_cm2;
+            assert!(final_p < -15.0, "must return to negative saturation");
+            // Monotone once the field has dropped below half the
+            // reversal voltage.
+            let mut last = f64::INFINITY;
+            for pt in &c.descending {
+                if pt.voltage_v < 0.5 * c.reversal_v {
+                    assert!(pt.polarization_uc_cm2 <= last + 1e-9);
+                    last = pt.polarization_uc_cm2;
+                }
+            }
+        }
+        // The highest-reversal curve approaches the major loop's Pr.
+        let top = &curves[3];
+        let p_at_zero = top
+            .descending
+            .iter()
+            .min_by(|a, b| a.voltage_v.abs().partial_cmp(&b.voltage_v.abs()).unwrap())
+            .unwrap();
+        assert!(p_at_zero.polarization_uc_cm2 > 15.0);
+    }
+
+    #[test]
+    fn interpolation_helpers() {
+        let branch = vec![
+            PvPoint {
+                voltage_v: -1.0,
+                polarization_uc_cm2: -10.0,
+            },
+            PvPoint {
+                voltage_v: 1.0,
+                polarization_uc_cm2: 10.0,
+            },
+        ];
+        assert!((interpolate_at_v(&branch, 0.0) - 0.0).abs() < 1e-12);
+        assert!((zero_crossing_voltage(&branch) - 0.0).abs() < 1e-12);
+        let no_cross = vec![
+            PvPoint {
+                voltage_v: 0.0,
+                polarization_uc_cm2: 5.0,
+            },
+            PvPoint {
+                voltage_v: 1.0,
+                polarization_uc_cm2: 6.0,
+            },
+        ];
+        assert!(zero_crossing_voltage(&no_cross).is_nan());
+    }
+}

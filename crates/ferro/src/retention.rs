@@ -1,0 +1,166 @@
+//! Non-volatile data retention.
+//!
+//! A ferroelectric bit decays through depolarization-field-driven
+//! relaxation of the weakest domains: the retained polarization follows a
+//! stretched-exponential (Kohlrausch) law
+//!
+//! ```text
+//! Pr(t) = Pr(0) · exp(−(t/τ_ret)^β)
+//! ```
+//!
+//! with a retention time constant τ_ret that is thermally activated
+//! (Arrhenius). This module quantifies the "non-volatile" row of the
+//! paper's Fig 1 comparison: years of retention at 300 K versus DRAM's
+//! 64 ms refresh interval, and it feeds the elevated-temperature check of
+//! Section VII (retention at the 352 K stack operating point).
+
+use crate::params::MfmParams;
+use crate::BOLTZMANN;
+use serde::{Deserialize, Serialize};
+
+/// Electron-volt in joules.
+const EV: f64 = 1.602_176_634e-19;
+
+/// Stretched-exponential retention model with Arrhenius temperature
+/// acceleration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Retention time constant at the reference temperature (300 K), s.
+    pub tau_300k_s: f64,
+    /// Kohlrausch stretching exponent β ∈ (0, 1].
+    pub beta: f64,
+    /// Activation energy of the depolarization process, eV.
+    pub activation_ev: f64,
+}
+
+impl RetentionModel {
+    /// HfO₂-class defaults, calibrated to the usual product spec of
+    /// ten-year retention at 85 °C (358 K): τ(300 K) ≈ 8 × 10¹¹ s,
+    /// β = 0.4, 1.1 eV activation.
+    pub fn hfo2_default() -> Self {
+        Self {
+            tau_300k_s: 8e11,
+            beta: 0.4,
+            activation_ev: 1.1,
+        }
+    }
+
+    /// Builds the model from device parameters (currently the HfO₂
+    /// defaults; the hook exists so parameter sets can carry their own
+    /// retention figures later).
+    pub fn from_params(_params: &MfmParams) -> Self {
+        Self::hfo2_default()
+    }
+
+    /// Temperature-accelerated retention time constant at `t_k`, s.
+    pub fn tau_s(&self, t_k: f64) -> f64 {
+        let ea = self.activation_ev * EV;
+        let t_k = t_k.max(1.0);
+        self.tau_300k_s * (ea / BOLTZMANN * (1.0 / t_k - 1.0 / 300.0)).exp()
+    }
+
+    /// Fraction of the remanent polarization retained after `t_s` seconds
+    /// at temperature `t_k`.
+    ///
+    /// ```
+    /// let m = felim_ferro::retention::RetentionModel::hfo2_default();
+    /// // Ten years at room temperature: still above the sense floor.
+    /// let ten_years = 10.0 * 365.25 * 86400.0;
+    /// assert!(m.retained_fraction(ten_years, 300.0) > 0.5);
+    /// ```
+    pub fn retained_fraction(&self, t_s: f64, t_k: f64) -> f64 {
+        if t_s <= 0.0 {
+            return 1.0;
+        }
+        let tau = self.tau_s(t_k);
+        (-(t_s / tau).powf(self.beta)).exp()
+    }
+
+    /// Time (s) until the retained fraction falls to `floor` at
+    /// temperature `t_k` — the retention figure of merit.
+    pub fn retention_time_s(&self, floor: f64, t_k: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&floor) && floor > 0.0,
+            "floor must be in (0, 1), got {floor}"
+        );
+        let tau = self.tau_s(t_k);
+        tau * (-floor.ln()).powf(1.0 / self.beta)
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self::hfo2_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const YEAR_S: f64 = 365.25 * 86400.0;
+
+    fn m() -> RetentionModel {
+        RetentionModel::hfo2_default()
+    }
+
+    #[test]
+    fn fresh_state_is_fully_retained() {
+        assert_eq!(m().retained_fraction(0.0, 300.0), 1.0);
+        assert_eq!(m().retained_fraction(-5.0, 300.0), 1.0);
+    }
+
+    #[test]
+    fn ten_year_retention_at_room_temperature() {
+        // The non-volatility claim of Fig 1, quantified.
+        let retained = m().retained_fraction(10.0 * YEAR_S, 300.0);
+        assert!(retained > 0.5, "10-year retention {retained}");
+        // And the 50 % retention time exceeds a decade.
+        assert!(m().retention_time_s(0.5, 300.0) > 10.0 * YEAR_S);
+    }
+
+    #[test]
+    fn retention_is_monotone_decreasing_in_time() {
+        let model = m();
+        let mut last = 1.1;
+        for exp in 0..12 {
+            let f = model.retained_fraction(10f64.powi(exp), 300.0);
+            assert!(f < last);
+            assert!(f > 0.0);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn temperature_accelerates_loss() {
+        let model = m();
+        let t = YEAR_S;
+        let cold = model.retained_fraction(t, 300.0);
+        let stack = model.retained_fraction(t, 352.0);
+        let hot = model.retained_fraction(t, 390.0);
+        assert!(cold > stack);
+        assert!(stack > hot);
+        // At the Fig 7 stack operating point data still holds for months:
+        assert!(model.retention_time_s(0.5, 352.0) > 30.0 * 86400.0);
+    }
+
+    #[test]
+    fn arrhenius_tau_is_consistent() {
+        let model = m();
+        assert!((model.tau_s(300.0) - model.tau_300k_s).abs() < 1e-3 * model.tau_300k_s);
+        assert!(model.tau_s(390.0) < model.tau_s(300.0));
+    }
+
+    #[test]
+    fn retention_dwarfs_dram_refresh_interval() {
+        // Fig 1 comparison: FeRAM retention time vs DRAM's 64 ms.
+        let feram = m().retention_time_s(0.9, 300.0);
+        assert!(feram / 64e-3 > 1e6, "FeRAM/DRAM retention ratio");
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be in")]
+    fn rejects_bad_floor() {
+        let _ = m().retention_time_s(1.5, 300.0);
+    }
+}

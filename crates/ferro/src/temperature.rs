@@ -1,0 +1,176 @@
+//! Temperature dependence of the ferroelectric film.
+//!
+//! Reproduces the experimental trend of Fig 4(e): between 300 K and 390 K
+//! the coercive voltage decreases markedly while the remanent polarization
+//! stays nearly constant. Approaching the Curie temperature the
+//! polarization collapses, which is what the thermal-viability argument of
+//! Section VII checks against (the 3-D stack peaks near 352 K, far below
+//! the collapse region).
+
+use crate::params::MfmParams;
+use serde::{Deserialize, Serialize};
+
+/// Temperature scaling laws for coercive voltage and polarization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureModel {
+    vc_coeff: f64,
+    pr_coeff: f64,
+    curie_k: f64,
+}
+
+/// Width (K) of the polarization-collapse window below the Curie point.
+const COLLAPSE_WINDOW_K: f64 = 100.0;
+
+/// Reference temperature (K) at which all parameters are specified.
+pub const REFERENCE_K: f64 = 300.0;
+
+impl TemperatureModel {
+    /// Builds the model from a device parameter set.
+    pub fn from_params(params: &MfmParams) -> Self {
+        Self {
+            vc_coeff: params.temp_vc_coeff,
+            pr_coeff: params.temp_pr_coeff,
+            curie_k: params.curie_k,
+        }
+    }
+
+    /// Multiplicative coercive-voltage scale at temperature `t_k`, relative
+    /// to 300 K. Monotone decreasing in `t_k`; clamped to `[0.05, ∞)` so
+    /// switching kinetics stay defined.
+    ///
+    /// ```
+    /// use felim_ferro::{MfmParams, TemperatureModel};
+    /// let m = TemperatureModel::from_params(&MfmParams::fabricated());
+    /// assert!(m.vc_scale(390.0) < m.vc_scale(300.0));
+    /// assert!((m.vc_scale(300.0) - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn vc_scale(&self, t_k: f64) -> f64 {
+        (1.0 - self.vc_coeff * (t_k - REFERENCE_K)).max(0.05)
+    }
+
+    /// Multiplicative spontaneous-polarization scale at temperature `t_k`.
+    ///
+    /// Nearly flat over the measurement window (300–390 K), with a smooth
+    /// collapse within a fixed window (100 K) below the Curie point and
+    /// zero above it.
+    ///
+    /// ```
+    /// use felim_ferro::{MfmParams, TemperatureModel};
+    /// let m = TemperatureModel::from_params(&MfmParams::fabricated());
+    /// // "remanent polarization remains nearly constant" to 390 K:
+    /// assert!(m.ps_scale(390.0) > 0.95);
+    /// assert_eq!(m.ps_scale(1000.0), 0.0);
+    /// ```
+    pub fn ps_scale(&self, t_k: f64) -> f64 {
+        if t_k >= self.curie_k {
+            return 0.0;
+        }
+        let linear = (1.0 - self.pr_coeff * (t_k - REFERENCE_K)).clamp(0.0, 1.1);
+        let collapse_start = self.curie_k - COLLAPSE_WINDOW_K;
+        if t_k <= collapse_start {
+            linear
+        } else {
+            // Landau-like square-root collapse over the final window.
+            let x = (self.curie_k - t_k) / COLLAPSE_WINDOW_K;
+            linear * x.sqrt()
+        }
+    }
+
+    /// The Curie temperature in K.
+    pub fn curie_k(&self) -> f64 {
+        self.curie_k
+    }
+
+    /// Returns `true` if the film retains robust ferroelectricity at
+    /// temperature `t_k` — the criterion used by the Section VII thermal
+    /// check (polarization scale above 90 % of its 300 K value).
+    ///
+    /// ```
+    /// use felim_ferro::{MfmParams, TemperatureModel};
+    /// let m = TemperatureModel::from_params(&MfmParams::fabricated());
+    /// assert!(m.is_stable_at(351.88)); // paper's peak stack temperature
+    /// assert!(!m.is_stable_at(660.0));
+    /// ```
+    pub fn is_stable_at(&self, t_k: f64) -> bool {
+        self.ps_scale(t_k) > 0.9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TemperatureModel {
+        TemperatureModel::from_params(&MfmParams::fabricated())
+    }
+
+    #[test]
+    fn vc_monotone_decreasing_300_to_390() {
+        let m = model();
+        let mut last = f64::INFINITY;
+        for t in (300..=390).step_by(10) {
+            let s = m.vc_scale(t as f64);
+            assert!(s < last, "Vc scale must fall with T");
+            last = s;
+        }
+        // ~20 % drop over 90 K with the default coefficient.
+        assert!((m.vc_scale(390.0) - 0.802).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pr_nearly_constant_in_measurement_window() {
+        let m = model();
+        for t in (300..=390).step_by(10) {
+            let s = m.ps_scale(t as f64);
+            assert!(
+                s > 0.95 && s <= 1.0,
+                "Pr must be nearly flat, got {s} at {t} K"
+            );
+        }
+    }
+
+    #[test]
+    fn pr_collapses_at_curie() {
+        let m = model();
+        assert_eq!(m.ps_scale(670.0), 0.0);
+        assert_eq!(m.ps_scale(700.0), 0.0);
+        let near = m.ps_scale(660.0);
+        assert!(near > 0.0 && near < 0.5);
+    }
+
+    #[test]
+    fn ps_scale_monotone_decreasing() {
+        let m = model();
+        let mut last = 2.0;
+        for t in (300..=700).step_by(10) {
+            let s = m.ps_scale(t as f64);
+            assert!(s <= last + 1e-12, "ps_scale must never increase with T");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn vc_scale_clamped_at_extreme_temperature() {
+        let m = model();
+        assert_eq!(m.vc_scale(5000.0), 0.05);
+    }
+
+    #[test]
+    fn stability_criterion_matches_paper_operating_point() {
+        let m = model();
+        // Peak stack temperature from Fig 7.
+        assert!(m.is_stable_at(351.88));
+        // Full measurement window of Fig 4(e).
+        assert!(m.is_stable_at(390.0));
+        // Collapse window.
+        assert!(!m.is_stable_at(640.0));
+    }
+
+    #[test]
+    fn reference_point_is_identity() {
+        let m = model();
+        assert!((m.vc_scale(REFERENCE_K) - 1.0).abs() < 1e-12);
+        assert!((m.ps_scale(REFERENCE_K) - 1.0).abs() < 1e-12);
+        assert_eq!(m.curie_k(), 670.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Device-to-device variation.
+//!
+//! The paper's MFM model is "calibrated to Micron's NVDRAM cell which
+//! accurately captures variation and stochastic switching". This
+//! module provides the population view: samples of [`MfmParams`] with
+//! die-level spread in coercive voltage, spontaneous polarization,
+//! thickness and area, for Monte-Carlo yield analysis of the sensing
+//! scheme (see `felim-cell`'s margin analysis).
+
+use crate::params::MfmParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Relative (1-sigma) device-to-device spreads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationSpec {
+    /// Coercive-voltage spread (lognormal sigma).
+    pub vc_sigma: f64,
+    /// Spontaneous-polarization spread (lognormal sigma).
+    pub ps_sigma: f64,
+    /// Film-thickness spread (lognormal sigma).
+    pub thickness_sigma: f64,
+    /// Electrode-area spread (lognormal sigma, litho variation).
+    pub area_sigma: f64,
+}
+
+impl VariationSpec {
+    /// Typical fab corner: 4 % Vc, 3 % Ps, 2 % thickness, 2 % area.
+    pub fn typical() -> Self {
+        Self {
+            vc_sigma: 0.04,
+            ps_sigma: 0.03,
+            thickness_sigma: 0.02,
+            area_sigma: 0.02,
+        }
+    }
+
+    /// A pessimistic corner with doubled spreads.
+    pub fn pessimistic() -> Self {
+        let t = Self::typical();
+        Self {
+            vc_sigma: 2.0 * t.vc_sigma,
+            ps_sigma: 2.0 * t.ps_sigma,
+            thickness_sigma: 2.0 * t.thickness_sigma,
+            area_sigma: 2.0 * t.area_sigma,
+        }
+    }
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Deterministic sampler of varied device parameter sets.
+#[derive(Debug)]
+pub struct DeviceSampler {
+    nominal: MfmParams,
+    spec: VariationSpec,
+    rng: StdRng,
+}
+
+impl DeviceSampler {
+    /// Creates a sampler around `nominal` with the given spreads, seeded
+    /// deterministically.
+    pub fn new(nominal: &MfmParams, spec: VariationSpec, seed: u64) -> Self {
+        Self {
+            nominal: nominal.clone(),
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn lognormal(&mut self, sigma: f64) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (sigma * z).exp()
+    }
+
+    /// Draws one varied device. Each draw also gets a fresh domain-
+    /// disorder seed so Monte-Carlo instances differ microscopically as
+    /// well as parametrically.
+    pub fn sample(&mut self) -> MfmParams {
+        let mut p = self.nominal.clone();
+        p.vc_mean_v *= self.lognormal(self.spec.vc_sigma);
+        p.ps_c_m2 *= self.lognormal(self.spec.ps_sigma);
+        p.thickness_m *= self.lognormal(self.spec.thickness_sigma);
+        p.area_m2 *= self.lognormal(self.spec.area_sigma);
+        p.seed = self.rng.gen();
+        p
+    }
+
+    /// Draws `n` varied devices.
+    pub fn sample_n(&mut self, n: usize) -> Vec<MfmParams> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacitor::MfmCapacitor;
+    use crate::domain::Polarity;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let nominal = MfmParams::fabricated();
+        let mut a = DeviceSampler::new(&nominal, VariationSpec::typical(), 5);
+        let mut b = DeviceSampler::new(&nominal, VariationSpec::typical(), 5);
+        assert_eq!(a.sample_n(4), b.sample_n(4));
+        let mut c = DeviceSampler::new(&nominal, VariationSpec::typical(), 6);
+        assert_ne!(a.sample(), c.sample());
+    }
+
+    #[test]
+    fn spread_statistics_match_spec() {
+        let nominal = MfmParams::fabricated();
+        let mut s = DeviceSampler::new(&nominal, VariationSpec::typical(), 1);
+        let samples = s.sample_n(2000);
+        let mean_vc: f64 = samples.iter().map(|p| p.vc_mean_v).sum::<f64>() / samples.len() as f64;
+        let var_vc: f64 = samples
+            .iter()
+            .map(|p| (p.vc_mean_v / nominal.vc_mean_v).ln().powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(
+            (mean_vc / nominal.vc_mean_v - 1.0).abs() < 0.01,
+            "mean centred"
+        );
+        assert!((var_vc.sqrt() - 0.04).abs() < 0.005, "sigma ≈ 4 %");
+    }
+
+    #[test]
+    fn sampled_devices_are_valid_and_functional() {
+        let nominal = MfmParams::fabricated();
+        let mut s = DeviceSampler::new(&nominal, VariationSpec::pessimistic(), 2);
+        for p in s.sample_n(20) {
+            p.validate().unwrap();
+            let mut cap = MfmCapacitor::new(&p);
+            cap.write(Polarity::Up);
+            assert!(cap.polarization() > 0.9, "varied device must still write");
+        }
+    }
+
+    #[test]
+    fn pessimistic_corner_doubles_spread() {
+        let t = VariationSpec::typical();
+        let p = VariationSpec::pessimistic();
+        assert_eq!(p.vc_sigma, 2.0 * t.vc_sigma);
+        assert_eq!(p.area_sigma, 2.0 * t.area_sigma);
+    }
+
+    #[test]
+    fn domain_seeds_differ_between_samples() {
+        let nominal = MfmParams::fabricated();
+        let mut s = DeviceSampler::new(&nominal, VariationSpec::typical(), 3);
+        let a = s.sample();
+        let b = s.sample();
+        assert_ne!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based validation of the ferroelectric device physics.
+
+use felim_ferro::{
+    DeviceSampler, MfmCapacitor, MfmParams, Polarity, PulseSweep, PvLoop, VariationSpec,
+};
+use proptest::prelude::*;
+
+fn small_device() -> MfmParams {
+    let mut p = MfmParams::fabricated();
+    p.n_domains = 48;
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hysteresis loops are point-symmetric: P(V) on the ascending branch
+    /// mirrors −P(−V) on the descending branch for a symmetric film.
+    #[test]
+    fn pv_loop_point_symmetry(vmax in 2.0f64..3.5) {
+        let l = PvLoop::trace(&small_device(), 300.0, vmax, 60, 1e-3);
+        // Branch sample i sits at voltage v on the ascending branch and
+        // −v on the descending branch; point symmetry demands the
+        // polarizations be opposite there.
+        for (up, down) in l.ascending.iter().zip(l.descending.iter()) {
+            prop_assert!((up.voltage_v + down.voltage_v).abs() < 1e-9 + vmax * 1e-9);
+            prop_assert!(
+                (up.polarization_uc_cm2 + down.polarization_uc_cm2).abs() < 2.0,
+                "P({}) = {} vs -P({}) = {}",
+                up.voltage_v, up.polarization_uc_cm2,
+                down.voltage_v, -down.polarization_uc_cm2
+            );
+        }
+    }
+
+    /// Switched fraction is monotone in pulse width for any amplitude
+    /// above the activation cutoff.
+    #[test]
+    fn switching_monotone_in_width(amp in 1.2f64..3.5) {
+        let sweep = PulseSweep::new(&small_device());
+        let mut last = -1.0;
+        for w_exp in -8..-4 {
+            let frac = sweep.single(amp, 10f64.powi(w_exp)).switched_fraction;
+            prop_assert!(frac >= last - 1e-12);
+            last = frac;
+        }
+    }
+
+    /// Energy bookkeeping: the irreversible switched charge of a pulse
+    /// never exceeds the full-reversal charge 2·Ps·A.
+    #[test]
+    fn switched_charge_is_bounded(
+        v in -3.5f64..3.5,
+        w_exp in -9.0f64..-4.0,
+    ) {
+        let p = small_device();
+        let mut cap = MfmCapacitor::new(&p);
+        cap.write_ideal(Polarity::Down);
+        let r = cap.apply_pulse(v, 10f64.powf(w_exp));
+        prop_assert!(r.switched_charge.abs() <= p.full_switching_charge() * 1.001);
+        prop_assert!(r.delta_p.abs() <= 2.0 + 1e-12);
+    }
+
+    /// Reading never moves more polarization than writing: the QNRO
+    /// disturb of one read is orders of magnitude below a write pulse.
+    #[test]
+    fn read_disturb_is_tiny_vs_write(_seed in 0u64..10) {
+        let p = small_device();
+        let mut cap = MfmCapacitor::new(&p);
+        cap.write(Polarity::Down);
+        let before = cap.polarization();
+        cap.read_pulse_charge(p.read_voltage(), 100e-9);
+        let read_move = (cap.polarization() - before).abs();
+        prop_assert!(read_move < 1e-3, "one read moved {read_move}");
+    }
+
+    /// Varied devices keep the QNRO contrast ordering (dq0 > dq1) at any
+    /// typical-corner sample.
+    #[test]
+    fn variation_preserves_qnro_ordering(seed in 0u64..200) {
+        let mut sampler = DeviceSampler::new(&small_device(), VariationSpec::typical(), seed);
+        let p = sampler.sample();
+        let mut c0 = MfmCapacitor::new(&p);
+        c0.write(Polarity::Down);
+        let dq0 = c0.read_pulse_charge(p.read_voltage(), 100e-9);
+        let mut c1 = MfmCapacitor::new(&p);
+        c1.write(Polarity::Up);
+        let dq1 = c1.read_pulse_charge(p.read_voltage(), 100e-9);
+        prop_assert!(dq0 > dq1, "sampled device lost contrast: {dq0:e} vs {dq1:e}");
+    }
+
+    /// The committed and predicted charge agree for any bias/step within
+    /// the operating range (the contract the circuit simulator relies on).
+    #[test]
+    fn predict_commit_consistency(
+        v in -3.0f64..3.0,
+        dt_exp in -9.0f64..-5.0,
+    ) {
+        let p = small_device();
+        let mut cap = MfmCapacitor::new(&p);
+        cap.write_ideal(Polarity::Down);
+        let dt = 10f64.powf(dt_exp);
+        let predicted_q = cap.predict_charge(v, dt);
+        let predicted_p = cap.predict_polarization(v, dt);
+        cap.apply_voltage(v, dt);
+        prop_assert!((cap.polarization() - predicted_p).abs() < 1e-12);
+        prop_assert!((cap.charge(v) - predicted_q).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,503 @@
+//! DC operating point and transient analyses.
+
+use crate::mna::{MnaSystem, StampMode};
+use crate::netlist::Circuit;
+use crate::probe::{DcPoint, Trace};
+use crate::SpiceError;
+
+/// Newton–Raphson controls shared by both analyses.
+const MAX_NR_ITERATIONS: usize = 200;
+const VOLTAGE_ABSTOL: f64 = 1e-6;
+const CURRENT_ABSTOL: f64 = 1e-9;
+const NR_DAMPING_V: f64 = 0.5;
+const GMIN: f64 = 1e-12;
+
+/// Transient analysis configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSpec {
+    /// Stop time in s.
+    pub t_stop_s: f64,
+    /// Nominal step size in s (adaptively halved on non-convergence).
+    pub dt_s: f64,
+    /// Conductance used to enforce `.ic` initial voltages during the
+    /// initialising DC solve.
+    pub ic_conductance_s: f64,
+    /// Use trapezoidal (second-order) integration for linear capacitors.
+    pub trapezoidal: bool,
+}
+
+impl TransientSpec {
+    /// A transient from 0 to `t_stop_s` with nominal step `dt_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < dt_s <= t_stop_s`.
+    pub fn new(t_stop_s: f64, dt_s: f64) -> Self {
+        assert!(
+            dt_s > 0.0 && dt_s <= t_stop_s,
+            "need 0 < dt ({dt_s}) <= t_stop ({t_stop_s})"
+        );
+        Self {
+            t_stop_s,
+            dt_s,
+            ic_conductance_s: 1e3,
+            trapezoidal: false,
+        }
+    }
+
+    /// Switches linear capacitors to trapezoidal integration.
+    pub fn with_trapezoidal(mut self) -> Self {
+        self.trapezoidal = true;
+        self
+    }
+}
+
+impl Circuit {
+    /// Solves the DC operating point (capacitors open, sources at t = 0).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NoConvergence`] if Newton–Raphson (with source
+    /// stepping fallback) fails; [`SpiceError::SingularMatrix`] for a
+    /// structurally defective netlist.
+    pub fn dc_operating_point(&self) -> Result<DcPoint, SpiceError> {
+        let x = self.solve_dc_internal(false)?;
+        Ok(self.make_dc_point(&x))
+    }
+
+    /// Runs a transient analysis, mutating element state (capacitor
+    /// history, ferroelectric polarization) as simulation time advances.
+    ///
+    /// The run starts from a DC solve honouring any
+    /// [`Circuit::set_initial_voltage`] directives; source waveform
+    /// corners are always hit exactly; steps are halved (down to
+    /// `dt/2²⁰`) when Newton–Raphson stalls.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`] as
+    /// for [`Circuit::dc_operating_point`].
+    pub fn transient(&mut self, spec: &TransientSpec) -> Result<Trace, SpiceError> {
+        let mut x = self.solve_dc_internal(true)?;
+        for (_, e) in &mut self.elements {
+            e.init_history(&x);
+        }
+
+        // Breakpoints from all source waveforms.
+        let mut breakpoints: Vec<f64> = self
+            .vsources
+            .iter()
+            .flat_map(|v| v.wave.breakpoints(spec.t_stop_s))
+            .filter(|&t| t > 0.0)
+            .collect();
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+
+        let mut trace = self.new_trace();
+        self.record(&mut trace, 0.0, &x, None);
+
+        let dt_min = spec.dt_s / (1 << 20) as f64;
+        let mut t = 0.0;
+        let mut h = spec.dt_s;
+        let mut next_bp = 0usize;
+        while t < spec.t_stop_s - 1e-18 {
+            while next_bp < breakpoints.len() && breakpoints[next_bp] <= t + 1e-15 {
+                next_bp += 1;
+            }
+            let mut t_next = (t + h).min(spec.t_stop_s);
+            if next_bp < breakpoints.len() && breakpoints[next_bp] < t_next - 1e-15 {
+                t_next = breakpoints[next_bp];
+            }
+            let dt = t_next - t;
+            let mode = StampMode::Transient {
+                dt,
+                trapezoidal: spec.trapezoidal,
+            };
+            match self.newton_solve(&x, mode, t_next) {
+                Ok(x_new) => {
+                    for (_, e) in &mut self.elements {
+                        e.commit(&x_new, dt, spec.trapezoidal);
+                    }
+                    x = x_new;
+                    t = t_next;
+                    self.record(&mut trace, t, &x, Some(dt));
+                    if h < spec.dt_s {
+                        h = (h * 2.0).min(spec.dt_s);
+                    }
+                }
+                Err(_) if h > dt_min => {
+                    h *= 0.5;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(trace)
+    }
+
+    fn solve_dc_internal(&self, with_ic: bool) -> Result<Vec<f64>, SpiceError> {
+        let x0 = vec![0.0; self.unknowns()];
+        // Plain Newton first; on failure, source-step from 10 % to 100 %.
+        match self.newton_solve_scaled(&x0, 1.0, with_ic) {
+            Ok(x) => Ok(x),
+            Err(_) => {
+                let mut x = x0;
+                for step in 1..=10 {
+                    let scale = step as f64 / 10.0;
+                    x = self.newton_solve_scaled(&x, scale, with_ic)?;
+                }
+                Ok(x)
+            }
+        }
+    }
+
+    fn newton_solve(
+        &self,
+        x0: &[f64],
+        mode: StampMode,
+        time_s: f64,
+    ) -> Result<Vec<f64>, SpiceError> {
+        self.newton_iterate(x0, mode, time_s, 1.0, false)
+    }
+
+    fn newton_solve_scaled(
+        &self,
+        x0: &[f64],
+        source_scale: f64,
+        with_ic: bool,
+    ) -> Result<Vec<f64>, SpiceError> {
+        self.newton_iterate(x0, StampMode::Dc, 0.0, source_scale, with_ic)
+    }
+
+    fn newton_iterate(
+        &self,
+        x0: &[f64],
+        mode: StampMode,
+        time_s: f64,
+        source_scale: f64,
+        with_ic: bool,
+    ) -> Result<Vec<f64>, SpiceError> {
+        let n_nodes = self.node_count();
+        let mut sys = MnaSystem::new(n_nodes, self.vsources.len());
+        let mut x = x0.to_vec();
+        let analysis = match mode {
+            StampMode::Dc => "dc",
+            StampMode::Transient { .. } => "transient",
+        };
+        for _ in 0..MAX_NR_ITERATIONS {
+            sys.reset(GMIN);
+            for (_, e) in &self.elements {
+                e.stamp(&x, &mut sys, mode, time_s);
+            }
+            for (k, v) in self.vsources.iter().enumerate() {
+                sys.stamp_vsource(k, v.p, v.n, v.wave.at(time_s) * source_scale);
+            }
+            if with_ic {
+                for &(node, volts) in &self.initial_voltages {
+                    if let Some(i) = node.index() {
+                        sys.matrix.add(i, i, self.ic_conductance());
+                        sys.rhs[i] += self.ic_conductance() * volts;
+                    }
+                }
+            }
+            let x_new = sys.solve().ok_or(SpiceError::SingularMatrix { time_s })?;
+
+            let mut max_dv: f64 = 0.0;
+            let mut max_di: f64 = 0.0;
+            for i in 0..x.len() {
+                let mut delta = x_new[i] - x[i];
+                if i < n_nodes {
+                    delta = delta.clamp(-NR_DAMPING_V, NR_DAMPING_V);
+                    max_dv = max_dv.max(delta.abs());
+                } else {
+                    max_di = max_di.max(delta.abs());
+                }
+                x[i] += delta;
+            }
+            if max_dv < VOLTAGE_ABSTOL && max_di < CURRENT_ABSTOL {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NoConvergence { analysis, time_s })
+    }
+
+    fn ic_conductance(&self) -> f64 {
+        1e3
+    }
+
+    fn new_trace(&self) -> Trace {
+        Trace {
+            times: Vec::new(),
+            node_names: self.node_names[1..].to_vec(),
+            node_data: vec![Vec::new(); self.node_count()],
+            source_names: self.vsources.iter().map(|v| v.name.clone()).collect(),
+            source_currents: vec![Vec::new(); self.vsources.len()],
+            element_names: self.elements.iter().map(|(n, _)| n.clone()).collect(),
+            element_currents: vec![Vec::new(); self.elements.len()],
+        }
+    }
+
+    fn record(&self, trace: &mut Trace, t: f64, x: &[f64], dt: Option<f64>) {
+        trace.times.push(t);
+        let n_nodes = self.node_count();
+        for (series, value) in trace.node_data.iter_mut().zip(&x[..n_nodes]) {
+            series.push(*value);
+        }
+        for (series, value) in trace.source_currents.iter_mut().zip(&x[n_nodes..]) {
+            series.push(*value);
+        }
+        for (idx, (_, e)) in self.elements.iter().enumerate() {
+            trace.element_currents[idx].push(e.branch_current(x, dt));
+        }
+    }
+
+    fn make_dc_point(&self, x: &[f64]) -> DcPoint {
+        let n_nodes = self.node_count();
+        DcPoint {
+            node_names: self.node_names[1..].to_vec(),
+            voltages: x[..n_nodes].to_vec(),
+            source_names: self.vsources.iter().map(|v| v.name.clone()).collect(),
+            source_currents: x[n_nodes..].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{Element, SwitchParams};
+    use crate::mosfet::MosfetParams;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn dc_voltage_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(3.0));
+        c.add("R1", Element::resistor(a, b, 2e3));
+        c.add("R2", Element::resistor(b, Circuit::GND, 1e3));
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-6);
+        assert!((op.source_current("V1").unwrap() + 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dc_nmos_inverter_rails() {
+        // NMOS with 10k pull-up: gate low → out high; gate high → out low.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let out = c.node("out");
+        let gate = c.node("gate");
+        c.add_vsource("VDD", vdd, Circuit::GND, Waveform::dc(1.2));
+        c.add_vsource("VG", gate, Circuit::GND, Waveform::dc(0.0));
+        c.add("RL", Element::resistor(vdd, out, 1e4));
+        c.add(
+            "M1",
+            Element::mosfet(out, gate, Circuit::GND, MosfetParams::ptm45_nmos()),
+        );
+        let op = c.dc_operating_point().unwrap();
+        assert!(op.voltage("out").unwrap() > 1.1, "off transistor → high");
+
+        c.set_vsource("VG", Waveform::dc(1.2)).unwrap();
+        let op = c.dc_operating_point().unwrap();
+        assert!(op.voltage("out").unwrap() < 0.2, "on transistor → low");
+    }
+
+    #[test]
+    fn transient_rc_charges_with_correct_tau() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0, 0.0));
+        c.add("R1", Element::resistor(a, b, 1e3));
+        c.add("C1", Element::capacitor(b, Circuit::GND, 1e-9));
+        let tr = c.transient(&TransientSpec::new(5e-6, 5e-9)).unwrap();
+        // After 1 τ (1 µs): 1 − 1/e ≈ 0.632.
+        let v_tau = tr.voltage_at("b", 1e-6 + 1e-9).unwrap();
+        assert!((v_tau - 0.632).abs() < 0.02, "v(τ) = {v_tau}");
+        assert!((tr.final_voltage("b").unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn transient_switch_gates_charging() {
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let out = c.node("out");
+        let ctl = c.node("ctl");
+        c.add_vsource("VS", src, Circuit::GND, Waveform::dc(1.0));
+        c.add_vsource(
+            "VC",
+            ctl,
+            Circuit::GND,
+            Waveform::single_pulse(1.0, 1e-6, 2e-6),
+        );
+        c.add(
+            "S1",
+            Element::switch(src, out, ctl, SwitchParams::default()),
+        );
+        c.add("C1", Element::capacitor(out, Circuit::GND, 1e-12));
+        // The floating output would otherwise start at the leakage
+        // divider point of the DC init — pin it like a real testbench.
+        c.set_initial_voltage(out, 0.0);
+        let tr = c.transient(&TransientSpec::new(5e-6, 10e-9)).unwrap();
+        // Before the control pulse the output stays near 0.
+        assert!(tr.voltage_at("out", 0.9e-6).unwrap() < 0.1);
+        // During the pulse the 1 mS switch charges 1 pF in ~ns.
+        assert!(tr.voltage_at("out", 2.5e-6).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn transient_hits_waveform_corners() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        // 100 ns pulse with a 1 µs nominal step: without breakpoint
+        // alignment the pulse would be skipped entirely.
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::single_pulse(1.0, 3e-6, 100e-9),
+        );
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        let tr = c.transient(&TransientSpec::new(10e-6, 1e-6)).unwrap();
+        assert!(tr.max_voltage("a").unwrap() > 0.99);
+    }
+
+    #[test]
+    fn initial_condition_is_honoured() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e6));
+        c.add("C1", Element::capacitor(a, Circuit::GND, 1e-9));
+        c.set_initial_voltage(a, 0.8);
+        let tr = c.transient(&TransientSpec::new(1e-6, 1e-9)).unwrap();
+        let v0 = tr.voltage("a").unwrap()[0];
+        assert!((v0 - 0.8).abs() < 1e-2, "IC start {v0}");
+        // Discharging through 1 MΩ: τ = 1 ms, barely moves in 1 µs.
+        assert!(tr.final_voltage("a").unwrap() > 0.79);
+    }
+
+    #[test]
+    fn fe_capacitor_switches_in_circuit() {
+        use felim_ferro::{MfmParams, Polarity};
+        let params = MfmParams::scaled_45nm();
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::single_pulse(params.write_voltage_v, 10e-9, 2e-6),
+        );
+        c.add("CF", Element::fe_capacitor(a, Circuit::GND, &params));
+        assert_eq!(
+            c.fe_capacitor("CF").unwrap().stored_state(0.5),
+            Some(Polarity::Down)
+        );
+        let _ = c.transient(&TransientSpec::new(3e-6, 5e-9)).unwrap();
+        // The positive pulse programmed the capacitor to '1'.
+        assert_eq!(
+            c.fe_capacitor("CF").unwrap().stored_state(0.5),
+            Some(Polarity::Up)
+        );
+    }
+
+    #[test]
+    fn source_current_sign_convention() {
+        // 1 V across 1 kΩ: 1 mA leaves the + terminal → i_source = −1 mA
+        // in MNA convention (current flows p→n *inside* the source).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.source_current("V1").unwrap() + 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_stop")]
+    fn rejects_bad_transient_spec() {
+        let _ = TransientSpec::new(1e-9, 1e-6);
+    }
+
+    #[test]
+    fn conflicting_sources_report_singular() {
+        // Two ideal sources forcing different voltages on the same node:
+        // the MNA system has no solution and the LU must flag it.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.add_vsource("V2", a, Circuit::GND, Waveform::dc(2.0));
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        let err = c.dc_operating_point().unwrap_err();
+        assert!(matches!(err, crate::SpiceError::SingularMatrix { .. }));
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn parallel_identical_sources_are_fine() {
+        // Same value twice is consistent (current split is determined by
+        // the pivoted LU); the solve must succeed.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        let op = c.dc_operating_point().unwrap();
+        assert!((op.voltage("a").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_display_formats() {
+        use crate::SpiceError;
+        let e = SpiceError::NoConvergence {
+            analysis: "dc",
+            time_s: 0.0,
+        };
+        assert!(e.to_string().contains("failed to converge"));
+        let e = SpiceError::NotFound { name: "X1".into() };
+        assert!(e.to_string().contains("X1"));
+        let e = SpiceError::BadParameter { what: "neg".into() };
+        assert!(e.to_string().contains("bad parameter"));
+    }
+
+    #[test]
+    fn trapezoidal_beats_backward_euler_at_coarse_steps() {
+        // RC charge with dt = tau/5: second-order trapezoidal must track
+        // the analytic exponential much more closely than first-order BE.
+        let build = || {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0, 0.0));
+            c.add("R1", Element::resistor(a, b, 1e3));
+            c.add("C1", Element::capacitor(b, Circuit::GND, 1e-9)); // tau 1us
+            c
+        };
+        let coarse = 0.2e-6;
+        let err = |trace: &crate::probe::Trace| -> f64 {
+            let mut worst: f64 = 0.0;
+            for &t in trace.times() {
+                if t < coarse {
+                    continue; // skip the source edge
+                }
+                let analytic = 1.0 - (-(t - 1e-9) / 1e-6).exp();
+                let got = trace.voltage_at("b", t).unwrap();
+                worst = worst.max((got - analytic).abs());
+            }
+            worst
+        };
+        let mut be = build();
+        let tr_be = be.transient(&TransientSpec::new(5e-6, coarse)).unwrap();
+        let mut tz = build();
+        let tr_tz = tz
+            .transient(&TransientSpec::new(5e-6, coarse).with_trapezoidal())
+            .unwrap();
+        let (e_be, e_tz) = (err(&tr_be), err(&tr_tz));
+        assert!(
+            e_tz < 0.4 * e_be,
+            "trapezoidal {e_tz:.4} must beat backward Euler {e_be:.4}"
+        );
+        // Both still converge to the right endpoint.
+        assert!((tr_tz.final_voltage("b").unwrap() - 1.0).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,428 @@
+//! Circuit elements and their MNA stamps.
+
+use crate::mna::{MnaSystem, StampMode};
+use crate::mosfet::MosfetParams;
+use crate::netlist::NodeId;
+use crate::waveform::Waveform;
+use felim_ferro::{MfmCapacitor, MfmParams};
+
+/// Parameters of a smooth voltage-controlled switch.
+///
+/// The conductance transitions from `g_off` to `g_on` as the control-node
+/// voltage crosses `threshold_v`, over a width of `transition_v` (a logistic
+/// ramp — keeps Newton–Raphson well behaved).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchParams {
+    /// On conductance in S.
+    pub g_on: f64,
+    /// Off conductance in S.
+    pub g_off: f64,
+    /// Control threshold in V.
+    pub threshold_v: f64,
+    /// Transition width in V.
+    pub transition_v: f64,
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        Self {
+            g_on: 1e-3,
+            g_off: 1e-12,
+            threshold_v: 0.5,
+            transition_v: 0.05,
+        }
+    }
+}
+
+impl SwitchParams {
+    /// Conductance at control voltage `vc`.
+    ///
+    /// Interpolates between `g_off` and `g_on` geometrically (log-space)
+    /// along a logistic ramp, so the off state genuinely reaches `g_off`
+    /// rather than a slowly-decaying linear tail.
+    pub fn conductance(&self, vc: f64) -> f64 {
+        let x = (vc - self.threshold_v) / self.transition_v;
+        let s = 1.0 / (1.0 + (-x).exp());
+        self.g_off.powf(1.0 - s) * self.g_on.powf(s)
+    }
+}
+
+/// A two- or three-terminal circuit element.
+///
+/// Construct via the associated functions ([`Element::resistor`],
+/// [`Element::capacitor`], …); the enum is public so cell libraries can
+/// pattern-match on element state after a simulation.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor.
+    Resistor {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Resistance in Ω.
+        ohms: f64,
+    },
+    /// Linear capacitor (backward-Euler or trapezoidal companion in
+    /// transient, open in DC).
+    Capacitor {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Capacitance in F.
+        farads: f64,
+        /// Branch voltage at the last committed step.
+        v_prev: f64,
+        /// Branch current at the last committed step (trapezoidal
+        /// history).
+        i_prev: f64,
+    },
+    /// Independent current source injecting into `p` and out of `n`.
+    CurrentSource {
+        /// Node receiving the current.
+        p: NodeId,
+        /// Node sourcing the current.
+        n: NodeId,
+        /// Source value over time, in A.
+        wave: Waveform,
+    },
+    /// EKV-style MOSFET.
+    Mosfet {
+        /// Drain.
+        d: NodeId,
+        /// Gate.
+        g: NodeId,
+        /// Source.
+        s: NodeId,
+        /// Compact-model parameters.
+        params: MosfetParams,
+        /// Gate–source voltage at the last committed step (for the lumped
+        /// gate-capacitance companion).
+        vgs_prev: f64,
+    },
+    /// Multi-domain ferroelectric capacitor (see [`felim_ferro`]).
+    FeCap {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Device state.
+        cap: MfmCapacitor,
+        /// Committed electrode charge, in C.
+        q_prev: f64,
+        /// Committed branch voltage, in V.
+        v_prev: f64,
+    },
+    /// Smooth voltage-controlled switch.
+    Switch {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Control node.
+        ctrl: NodeId,
+        /// Switch parameters.
+        params: SwitchParams,
+    },
+}
+
+impl Element {
+    /// Linear resistor between `p` and `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive.
+    pub fn resistor(p: NodeId, n: NodeId, ohms: f64) -> Self {
+        assert!(ohms > 0.0, "resistance must be positive, got {ohms}");
+        Element::Resistor { p, n, ohms }
+    }
+
+    /// Linear capacitor between `p` and `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not strictly positive.
+    pub fn capacitor(p: NodeId, n: NodeId, farads: f64) -> Self {
+        assert!(farads > 0.0, "capacitance must be positive, got {farads}");
+        Element::Capacitor {
+            p,
+            n,
+            farads,
+            v_prev: 0.0,
+            i_prev: 0.0,
+        }
+    }
+
+    /// Independent current source injecting into `p`.
+    pub fn current_source(p: NodeId, n: NodeId, wave: Waveform) -> Self {
+        Element::CurrentSource { p, n, wave }
+    }
+
+    /// MOSFET with terminals drain/gate/source.
+    pub fn mosfet(d: NodeId, g: NodeId, s: NodeId, params: MosfetParams) -> Self {
+        Element::Mosfet {
+            d,
+            g,
+            s,
+            params,
+            vgs_prev: 0.0,
+        }
+    }
+
+    /// Fresh ferroelectric capacitor built from device parameters
+    /// (all domains in the `'0'`/down state).
+    pub fn fe_capacitor(p: NodeId, n: NodeId, params: &MfmParams) -> Self {
+        Self::fe_capacitor_with_state(p, n, MfmCapacitor::new(params))
+    }
+
+    /// Ferroelectric capacitor adopting an existing device state.
+    pub fn fe_capacitor_with_state(p: NodeId, n: NodeId, cap: MfmCapacitor) -> Self {
+        let q0 = cap.charge(0.0);
+        Element::FeCap {
+            p,
+            n,
+            cap,
+            q_prev: q0,
+            v_prev: 0.0,
+        }
+    }
+
+    /// Voltage-controlled switch between `p` and `n`.
+    pub fn switch(p: NodeId, n: NodeId, ctrl: NodeId, params: SwitchParams) -> Self {
+        Element::Switch { p, n, ctrl, params }
+    }
+
+    /// Stamps the element's linearised contribution at candidate solution
+    /// `x` into the MNA system.
+    pub(crate) fn stamp(&self, x: &[f64], sys: &mut MnaSystem, mode: StampMode, time_s: f64) {
+        let v = |id: NodeId| id.index().map_or(0.0, |i| x[i]);
+        match self {
+            Element::Resistor { p, n, ohms } => {
+                sys.stamp_conductance(*p, *n, 1.0 / ohms);
+            }
+            Element::Capacitor {
+                p,
+                n,
+                farads,
+                v_prev,
+                i_prev,
+            } => {
+                if let StampMode::Transient { dt, trapezoidal } = mode {
+                    if trapezoidal {
+                        // i = (2C/dt)(v − v_prev) − i_prev
+                        let g = 2.0 * farads / dt;
+                        sys.stamp_conductance(*p, *n, g);
+                        sys.stamp_current(*p, *n, g * v_prev + i_prev);
+                    } else {
+                        let g = farads / dt;
+                        sys.stamp_conductance(*p, *n, g);
+                        sys.stamp_current(*p, *n, g * v_prev);
+                    }
+                }
+            }
+            Element::CurrentSource { p, n, wave } => {
+                sys.stamp_current(*p, *n, wave.at(time_s));
+            }
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                params,
+                vgs_prev,
+            } => {
+                let vgs = v(*g) - v(*s);
+                let vds = v(*d) - v(*s);
+                let ids = params.ids(vgs, vds);
+                let (gm, gds) = params.derivatives(vgs, vds);
+                sys.stamp_transconductance(*d, *g, *s, ids, gm.max(0.0), gds.max(1e-12), vgs, vds);
+                if let StampMode::Transient { dt, .. } = mode {
+                    // The lumped gate capacitance always integrates with
+                    // backward Euler (it is tiny; accuracy is set by the
+                    // channel model).
+                    if params.gate_capacitance_f > 0.0 {
+                        let gc = params.gate_capacitance_f / dt;
+                        sys.stamp_conductance(*g, *s, gc);
+                        sys.stamp_current(*g, *s, gc * vgs_prev);
+                    }
+                }
+            }
+            Element::FeCap {
+                p,
+                n,
+                cap,
+                q_prev,
+                v_prev,
+            } => {
+                match mode {
+                    StampMode::Dc => {
+                        // Open in DC; a tiny conductance keeps the node
+                        // bounded (the global g_min covers singularity).
+                    }
+                    // Backward Euler regardless of the requested method:
+                    // the charge model carries internal domain state.
+                    StampMode::Transient { dt, .. } => {
+                        let vb = v(*p) - v(*n);
+                        const H: f64 = 1e-4;
+                        let q0 = cap.predict_charge(vb, dt);
+                        let q1 = cap.predict_charge(vb + H, dt);
+                        let dqdv = ((q1 - q0) / H).max(1e-18);
+                        let geq = dqdv / dt;
+                        let i_star = (q0 - q_prev) / dt;
+                        // Norton: i = i* + geq·(v − v*)  ⇒ source geq·v* − i*.
+                        sys.stamp_conductance(*p, *n, geq);
+                        sys.stamp_current(*p, *n, geq * vb - i_star);
+                        let _ = v_prev;
+                    }
+                }
+            }
+            Element::Switch { p, n, ctrl, params } => {
+                let gc = params.conductance(v(*ctrl));
+                sys.stamp_conductance(*p, *n, gc);
+            }
+        }
+    }
+
+    /// Commits element state after an accepted transient step at converged
+    /// solution `x` with step size `dt`.
+    pub(crate) fn commit(&mut self, x: &[f64], dt: f64, trapezoidal: bool) {
+        let v = |id: NodeId| id.index().map_or(0.0, |i| x[i]);
+        match self {
+            Element::Capacitor {
+                p,
+                n,
+                farads,
+                v_prev,
+                i_prev,
+            } => {
+                let vb = v(*p) - v(*n);
+                *i_prev = if trapezoidal {
+                    2.0 * *farads / dt * (vb - *v_prev) - *i_prev
+                } else {
+                    *farads / dt * (vb - *v_prev)
+                };
+                *v_prev = vb;
+            }
+            Element::Mosfet { g, s, vgs_prev, .. } => {
+                *vgs_prev = v(*g) - v(*s);
+            }
+            Element::FeCap {
+                p,
+                n,
+                cap,
+                q_prev,
+                v_prev,
+            } => {
+                let vb = v(*p) - v(*n);
+                cap.apply_voltage(vb, dt);
+                *q_prev = cap.charge(vb);
+                *v_prev = vb;
+            }
+            _ => {}
+        }
+    }
+
+    /// Initialises element history from a DC solution (start of transient).
+    pub(crate) fn init_history(&mut self, x: &[f64]) {
+        let v = |id: NodeId| id.index().map_or(0.0, |i| x[i]);
+        match self {
+            Element::Capacitor {
+                p,
+                n,
+                v_prev,
+                i_prev,
+                ..
+            } => {
+                *v_prev = v(*p) - v(*n);
+                *i_prev = 0.0;
+            }
+            Element::Mosfet { g, s, vgs_prev, .. } => {
+                *vgs_prev = v(*g) - v(*s);
+            }
+            Element::FeCap {
+                p,
+                n,
+                cap,
+                q_prev,
+                v_prev,
+            } => {
+                let vb = v(*p) - v(*n);
+                *q_prev = cap.charge(vb);
+                *v_prev = vb;
+            }
+            _ => {}
+        }
+    }
+
+    /// Branch current (A) flowing p→n (drain→source for MOSFETs) at the
+    /// converged solution `x`, for probing. Pass the step size that
+    /// produced `x`; reactive elements need it for their companion current.
+    pub(crate) fn branch_current(&self, x: &[f64], dt: Option<f64>) -> f64 {
+        let v = |id: NodeId| id.index().map_or(0.0, |i| x[i]);
+        match self {
+            Element::Resistor { p, n, ohms } => (v(*p) - v(*n)) / ohms,
+            Element::Capacitor {
+                p,
+                n,
+                farads,
+                v_prev,
+                ..
+            } => match dt {
+                Some(dt) => farads * (v(*p) - v(*n) - v_prev) / dt,
+                None => 0.0,
+            },
+            Element::CurrentSource { .. } => 0.0,
+            Element::Mosfet {
+                d, g, s, params, ..
+            } => params.ids(v(*g) - v(*s), v(*d) - v(*s)),
+            Element::FeCap {
+                p, n, cap, q_prev, ..
+            } => match dt {
+                Some(dt) => (cap.predict_charge(v(*p) - v(*n), dt) - q_prev) / dt,
+                None => 0.0,
+            },
+            Element::Switch { p, n, ctrl, params } => {
+                params.conductance(v(*ctrl)) * (v(*p) - v(*n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_conductance_transitions() {
+        let s = SwitchParams::default();
+        assert!(s.conductance(0.0) < 1e-11);
+        assert!(s.conductance(1.0) > 0.9e-3);
+        // Log-space midpoint: geometric mean of on and off conductance.
+        let mid = s.conductance(0.5);
+        let geo = (s.g_on * s.g_off).sqrt();
+        assert!((mid / geo - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn switch_conductance_monotone() {
+        let s = SwitchParams::default();
+        let mut last = 0.0;
+        for mv in (-500..1500).step_by(50) {
+            let g = s.conductance(mv as f64 / 1000.0);
+            assert!(g >= last);
+            last = g;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn rejects_zero_resistance() {
+        let _ = Element::resistor(NodeId(1), NodeId(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn rejects_negative_capacitance() {
+        let _ = Element::capacitor(NodeId(1), NodeId(0), -1e-12);
+    }
+}

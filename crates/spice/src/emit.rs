@@ -1,0 +1,224 @@
+//! Netlist emission: dumping a [`Circuit`] back to the text card format
+//! of [`crate::parse`], so programmatically-built testbenches can be
+//! saved, diffed and re-simulated.
+//!
+//! Emission is lossy only where the in-memory model is richer than the
+//! card format (custom MOSFET parameter sets map to the nearest named
+//! model; ferroelectric capacitors to the nearest preset; switches to the
+//! default `SW` model).
+
+use crate::elements::Element;
+use crate::mosfet::{MosfetParams, MosfetType};
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+use std::fmt::Write as _;
+
+/// Renders a waveform as a source specification.
+fn emit_waveform(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {v}"),
+        Waveform::Pulse {
+            low,
+            high,
+            delay_s,
+            rise_s,
+            fall_s,
+            width_s,
+            period_s,
+        } => format!("PULSE({low} {high} {delay_s} {rise_s} {fall_s} {width_s} {period_s})"),
+        Waveform::Pwl(points) => {
+            let body: Vec<String> = points.iter().map(|(t, v)| format!("{t} {v}")).collect();
+            format!("PWL({})", body.join(" "))
+        }
+    }
+}
+
+/// The nearest named MOSFET model for emission.
+fn mosfet_model_name(p: &MosfetParams) -> &'static str {
+    match p.mos_type {
+        MosfetType::Pmos => "PMOS",
+        MosfetType::Nmos => {
+            if (p.subthreshold_swing_mv_dec() - 110.0).abs() < 5.0 {
+                "FABNMOS"
+            } else {
+                "NMOS"
+            }
+        }
+    }
+}
+
+impl Circuit {
+    /// Emits the circuit as a parseable netlist (see [`crate::parse`]).
+    ///
+    /// The optional `title` becomes the leading comment line. `.ic`
+    /// directives are included; analysis directives are the caller's to
+    /// append.
+    pub fn to_netlist_string(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "* {title}");
+        for v in &self.vsources {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                v.name,
+                self.node_name(v.p),
+                self.node_name(v.n),
+                emit_waveform(&v.wave)
+            );
+        }
+        for (name, e) in &self.elements {
+            let line = match e {
+                Element::Resistor { p, n, ohms } => {
+                    format!(
+                        "{name} {} {} {ohms}",
+                        self.node_name(*p),
+                        self.node_name(*n)
+                    )
+                }
+                Element::Capacitor { p, n, farads, .. } => {
+                    format!(
+                        "{name} {} {} {farads}",
+                        self.node_name(*p),
+                        self.node_name(*n)
+                    )
+                }
+                Element::CurrentSource { p, n, wave } => format!(
+                    "{name} {} {} {}",
+                    self.node_name(*p),
+                    self.node_name(*n),
+                    emit_waveform(wave)
+                ),
+                Element::Mosfet {
+                    d, g, s, params, ..
+                } => format!(
+                    "{name} {} {} {} {}",
+                    self.node_name(*d),
+                    self.node_name(*g),
+                    self.node_name(*s),
+                    mosfet_model_name(params)
+                ),
+                Element::FeCap { p, n, cap, .. } => {
+                    let preset = if cap.params().area_m2 > 1e-12 {
+                        "FABRICATED"
+                    } else {
+                        "SCALED"
+                    };
+                    format!(
+                        "{name} {} {} FECAP {preset}",
+                        self.node_name(*p),
+                        self.node_name(*n)
+                    )
+                }
+                Element::Switch { p, n, ctrl, .. } => format!(
+                    "{name} {} {} {} SW",
+                    self.node_name(*p),
+                    self.node_name(*n),
+                    self.node_name(*ctrl)
+                ),
+            };
+            let _ = writeln!(out, "{line}");
+        }
+        for (node, volts) in &self.initial_voltages {
+            let _ = writeln!(out, ".ic v({})={volts}", self.node_name(*node));
+        }
+        let _ = writeln!(out, ".end");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_netlist;
+    use crate::{Element, TransientSpec};
+    use felim_ferro::MfmParams;
+
+    #[test]
+    fn emitted_netlist_reparses_and_solves_identically() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GND, Waveform::dc(2.0));
+        ckt.add("R1", Element::resistor(a, b, 1e3));
+        ckt.add("R2", Element::resistor(b, Circuit::GND, 3e3));
+
+        let text = ckt.to_netlist_string("divider");
+        let reparsed = parse_netlist(&text).unwrap();
+        assert_eq!(reparsed.title.as_deref(), Some("divider"));
+        let op1 = ckt.dc_operating_point().unwrap();
+        let op2 = reparsed.circuit.dc_operating_point().unwrap();
+        assert!((op1.voltage("b").unwrap() - op2.voltage("b").unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrips_sources_and_transients() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::single_pulse(1.0, 10e-9, 100e-9),
+        );
+        ckt.add("R1", Element::resistor(a, b, 1e3));
+        ckt.add("C1", Element::capacitor(b, Circuit::GND, 1e-10));
+        ckt.set_initial_voltage(b, 0.25);
+
+        let text = ckt.to_netlist_string("rc pulse");
+        assert!(text.contains("PULSE("));
+        assert!(text.contains(".ic v(out)=0.25"));
+
+        let mut reparsed = parse_netlist(&text).unwrap().circuit;
+        let spec = TransientSpec::new(400e-9, 2e-9);
+        let t1 = ckt.transient(&spec).unwrap();
+        let t2 = reparsed.transient(&spec).unwrap();
+        for &t in [50e-9, 100e-9, 300e-9].iter() {
+            let v1 = t1.voltage_at("out", t).unwrap();
+            let v2 = t2.voltage_at("out", t).unwrap();
+            assert!((v1 - v2).abs() < 1e-9, "t={t}: {v1} vs {v2}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_mosfets_switches_and_fecaps() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        let p = ckt.node("p");
+        let sn = ckt.node("sn");
+        let ctl = ckt.node("ctl");
+        ckt.add_vsource("VD", d, Circuit::GND, Waveform::dc(1.0));
+        ckt.add_vsource("VG", g, Circuit::GND, Waveform::dc(1.0));
+        ckt.add_vsource("VP", p, Circuit::GND, Waveform::dc(0.0));
+        ckt.add_vsource("VC", ctl, Circuit::GND, Waveform::dc(1.0));
+        ckt.add(
+            "M1",
+            Element::mosfet(d, g, Circuit::GND, crate::MosfetParams::ptm45_nmos()),
+        );
+        ckt.add(
+            "M2",
+            Element::mosfet(d, g, Circuit::GND, crate::MosfetParams::fabricated_nmos()),
+        );
+        ckt.add(
+            "S1",
+            Element::switch(d, sn, ctl, crate::SwitchParams::default()),
+        );
+        ckt.add(
+            "XFE1",
+            Element::fe_capacitor(p, sn, &MfmParams::scaled_45nm()),
+        );
+
+        let text = ckt.to_netlist_string("cell-ish");
+        assert!(text.contains("M1 d g 0 NMOS"));
+        assert!(text.contains("M2 d g 0 FABNMOS"));
+        assert!(text.contains("S1 d sn ctl SW"));
+        assert!(text.contains("XFE1 p sn FECAP SCALED"));
+        let reparsed = parse_netlist(&text).unwrap();
+        assert!(reparsed.circuit.fe_capacitor("XFE1").is_some());
+        // Both solve to the same operating point.
+        let op1 = ckt.dc_operating_point().unwrap();
+        let op2 = reparsed.circuit.dc_operating_point().unwrap();
+        assert!((op1.voltage("sn").unwrap() - op2.voltage("sn").unwrap()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,113 @@
+//! # felim-spice — a compact MNA circuit simulator
+//!
+//! The paper validates the 2T-nC FeRAM cell with Cadence Spectre netlist
+//! simulations (45 nm PTM transistors + a calibrated MFM capacitor model).
+//! This crate is the from-scratch substitute: a modified-nodal-analysis
+//! (MNA) nonlinear circuit simulator with
+//!
+//! * dense LU linear solves (cell netlists are tens of nodes),
+//! * Newton–Raphson DC operating point with g_min regularisation,
+//! * backward-Euler transient integration with adaptive step halving,
+//! * elements: resistor, capacitor, voltage/current sources (DC/pulse/PWL),
+//!   an EKV-style MOSFET (continuous from subthreshold to saturation,
+//!   fit to 45 nm PTM-class parameters), a smooth voltage-controlled
+//!   switch, and the multi-domain ferroelectric capacitor from
+//!   [`felim_ferro`].
+//!
+//! ## Quickstart — an RC step response
+//!
+//! ```
+//! use felim_spice::{Circuit, Element, TransientSpec, Waveform};
+//!
+//! # fn main() -> Result<(), felim_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.add_vsource("V1", vin, Circuit::GND, Waveform::step(1.0, 0.0));
+//! ckt.add("R1", Element::resistor(vin, vout, 1e3));
+//! ckt.add("C1", Element::capacitor(vout, Circuit::GND, 1e-9));
+//!
+//! let tr = ckt.transient(&TransientSpec::new(10e-6, 10e-9))?;
+//! let v_end = *tr.voltage("out").unwrap().last().unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 RC
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod elements;
+pub mod emit;
+pub mod linear;
+pub mod mna;
+pub mod mosfet;
+pub mod netlist;
+pub mod parse;
+pub mod probe;
+pub mod sweep;
+pub mod waveform;
+
+pub use analysis::TransientSpec;
+pub use elements::{Element, SwitchParams};
+pub use mosfet::{MosfetParams, MosfetType};
+pub use netlist::{Circuit, NodeId};
+pub use parse::{parse_netlist, ParsedNetlist};
+pub use probe::{DcPoint, Trace};
+pub use waveform::Waveform;
+
+use std::fmt;
+
+/// Thermal voltage kT/q at 300 K, in volts.
+pub const THERMAL_VOLTAGE_300K: f64 = 0.025852;
+
+/// Error type for netlist construction and simulation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Newton–Raphson failed to converge.
+    NoConvergence {
+        /// Analysis that failed ("dc" or "transient").
+        analysis: &'static str,
+        /// Simulation time at failure (0 for DC).
+        time_s: f64,
+    },
+    /// The MNA matrix was singular (floating node or short loop).
+    SingularMatrix {
+        /// Simulation time at failure (0 for DC).
+        time_s: f64,
+    },
+    /// A named element or node was not found.
+    NotFound {
+        /// The missing name.
+        name: String,
+    },
+    /// An element was given a non-physical parameter.
+    BadParameter {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NoConvergence { analysis, time_s } => {
+                write!(
+                    f,
+                    "{analysis} analysis failed to converge at t = {time_s:e} s"
+                )
+            }
+            SpiceError::SingularMatrix { time_s } => {
+                write!(
+                    f,
+                    "singular MNA matrix at t = {time_s:e} s (floating node?)"
+                )
+            }
+            SpiceError::NotFound { name } => write!(f, "no element or node named `{name}`"),
+            SpiceError::BadParameter { what } => write!(f, "bad parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}

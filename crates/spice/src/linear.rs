@@ -1,0 +1,232 @@
+//! Dense LU factorisation with partial pivoting.
+//!
+//! Cell-level netlists have tens of unknowns; a dense solver is both
+//! simpler and faster than sparse machinery at that scale.
+
+/// A dense, row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n×n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Returns the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Sets the entry at (`row`, `col`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to the entry at (`row`, `col`) — the MNA stamp
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Solves `A·x = b` in place by LU factorisation with partial
+    /// pivoting. Destroys the matrix contents. Returns `None` if the
+    /// matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Option<()> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let a = &mut self.data;
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest |a[i][k]| for i >= k.
+            let mut pivot_row = k;
+            let mut pivot_val = a[perm[k] * n + k].abs();
+            for (i, &pi) in perm.iter().enumerate().skip(k + 1) {
+                let v = a[pi * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            perm.swap(k, pivot_row);
+            let pk = perm[k];
+            let diag = a[pk * n + k];
+            for &pi in perm.iter().skip(k + 1) {
+                let factor = a[pi * n + k] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[pi * n + k] = factor;
+                for j in (k + 1)..n {
+                    a[pi * n + j] -= factor * a[pk * n + j];
+                }
+            }
+        }
+
+        // Forward substitution (L has unit diagonal, stored below).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[perm[i]];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= a[perm[i] * n + j] * yj;
+            }
+            y[i] = sum;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in (i + 1)..n {
+                sum -= a[perm[i] * n + j] * b[j];
+            }
+            b[i] = sum / a[perm[i] * n + i];
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(mut m: DenseMatrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
+        m.solve_in_place(&mut b).map(|_| b)
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = solve(m, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1, 3]
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 2.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(1, 1, 3.0);
+        let x = solve(m, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] → x = [3, 2]
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 1.0);
+        let x = solve(m, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(0, 1, 2.0);
+        m.set(1, 0, 2.0);
+        m.set(1, 1, 4.0);
+        assert!(solve(m, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn add_accumulates_stamps() {
+        let mut m = DenseMatrix::zeros(1);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn random_spd_roundtrip() {
+        // Build A = Bᵀ·B + I (well conditioned), check A·x recovers b.
+        let n = 8;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        let b_mat: Vec<f64> = (0..n * n).map(|_| rnd()).collect();
+        let mut a = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    s += b_mat[k * n + i] * b_mat[k * n + j];
+                }
+                a.set(i, j, s);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let mut rhs = vec![0.0; n];
+        for (i, r) in rhs.iter_mut().enumerate() {
+            for (j, xt) in x_true.iter().enumerate() {
+                *r += a.get(i, j) * xt;
+            }
+        }
+        let x = solve(a, rhs).unwrap();
+        for (xi, xt) in x.iter().zip(&x_true) {
+            assert!((xi - xt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn rejects_wrong_rhs_length() {
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let mut b = vec![1.0];
+        let _ = m.solve_in_place(&mut b);
+    }
+}

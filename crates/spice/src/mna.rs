@@ -1,0 +1,197 @@
+//! Modified-nodal-analysis system assembly.
+//!
+//! The unknown vector is `[v_1 … v_N, i_V1 … i_VM]`: one voltage per
+//! non-ground node followed by one branch current per voltage source.
+//! Elements contribute through the `stamp_*` primitives; sign conventions
+//! follow standard MNA (currents leaving a node are positive).
+
+use crate::linear::DenseMatrix;
+use crate::netlist::NodeId;
+
+/// Analysis mode passed to element stamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StampMode {
+    /// DC operating point: capacitors open, inductors (none here) short.
+    Dc,
+    /// Transient step of size `dt`.
+    Transient {
+        /// Step size in seconds.
+        dt: f64,
+        /// Trapezoidal (second-order) companion models for linear
+        /// capacitors; backward Euler otherwise. State-dependent elements
+        /// (the ferroelectric capacitor) always integrate with backward
+        /// Euler.
+        trapezoidal: bool,
+    },
+}
+
+/// The assembled linear(ised) system `G·x = rhs` for one Newton iteration.
+#[derive(Debug)]
+pub struct MnaSystem {
+    /// Number of non-ground nodes.
+    n_nodes: usize,
+    /// System matrix.
+    pub(crate) matrix: DenseMatrix,
+    /// Right-hand side.
+    pub(crate) rhs: Vec<f64>,
+}
+
+impl MnaSystem {
+    /// Creates a zeroed system for `n_nodes` node voltages and
+    /// `n_vsources` source currents.
+    pub fn new(n_nodes: usize, n_vsources: usize) -> Self {
+        let n = n_nodes + n_vsources;
+        Self {
+            n_nodes,
+            matrix: DenseMatrix::zeros(n),
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// Clears the system for reassembly, then applies `g_min` from every
+    /// node to ground (regularises floating nodes).
+    pub fn reset(&mut self, gmin: f64) {
+        self.matrix.clear();
+        self.rhs.fill(0.0);
+        for i in 0..self.n_nodes {
+            self.matrix.add(i, i, gmin);
+        }
+    }
+
+    /// Stamps a conductance `g` between nodes `p` and `n`.
+    pub fn stamp_conductance(&mut self, p: NodeId, n: NodeId, g: f64) {
+        if let Some(i) = p.index() {
+            self.matrix.add(i, i, g);
+        }
+        if let Some(j) = n.index() {
+            self.matrix.add(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (p.index(), n.index()) {
+            self.matrix.add(i, j, -g);
+            self.matrix.add(j, i, -g);
+        }
+    }
+
+    /// Stamps a current source of `amps` injected into `p` and drawn out
+    /// of `n`.
+    pub fn stamp_current(&mut self, p: NodeId, n: NodeId, amps: f64) {
+        if let Some(i) = p.index() {
+            self.rhs[i] += amps;
+        }
+        if let Some(j) = n.index() {
+            self.rhs[j] -= amps;
+        }
+    }
+
+    /// Stamps a linearised MOSFET: drain current `ids` at the candidate
+    /// operating point `(vgs, vds)` with transconductance `gm` and output
+    /// conductance `gds`. Current flows d→s.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stamp_transconductance(
+        &mut self,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        ids: f64,
+        gm: f64,
+        gds: f64,
+        vgs: f64,
+        vds: f64,
+    ) {
+        // i_d(v) ≈ I0 + gm·(vg − vs) + gds·(vd − vs)
+        let i0 = ids - gm * vgs - gds * vds;
+        let add = |m: &mut DenseMatrix, r: Option<usize>, c: Option<usize>, val: f64| {
+            if let (Some(r), Some(c)) = (r, c) {
+                m.add(r, c, val);
+            }
+        };
+        let (di, gi, si) = (d.index(), g.index(), s.index());
+        // KCL at drain: +i_d.
+        add(&mut self.matrix, di, gi, gm);
+        add(&mut self.matrix, di, di, gds);
+        add(&mut self.matrix, di, si, -(gm + gds));
+        if let Some(i) = di {
+            self.rhs[i] -= i0;
+        }
+        // KCL at source: −i_d.
+        add(&mut self.matrix, si, gi, -gm);
+        add(&mut self.matrix, si, di, -gds);
+        add(&mut self.matrix, si, si, gm + gds);
+        if let Some(i) = si {
+            self.rhs[i] += i0;
+        }
+    }
+
+    /// Stamps voltage source `k` (0-based among sources) forcing
+    /// `v(p) − v(n) = volts`, with its branch-current unknown.
+    pub fn stamp_vsource(&mut self, k: usize, p: NodeId, n: NodeId, volts: f64) {
+        let row = self.n_nodes + k;
+        if let Some(i) = p.index() {
+            self.matrix.add(row, i, 1.0);
+            self.matrix.add(i, row, 1.0);
+        }
+        if let Some(j) = n.index() {
+            self.matrix.add(row, j, -1.0);
+            self.matrix.add(j, row, -1.0);
+        }
+        self.rhs[row] = volts;
+    }
+
+    /// Solves the assembled system, returning the unknown vector, or
+    /// `None` if singular. Consumes the assembled matrix contents.
+    pub fn solve(&mut self) -> Option<Vec<f64>> {
+        let mut x = self.rhs.clone();
+        self.matrix.solve_in_place(&mut x)?;
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_divider() {
+        // V1 = 2 V into R1 (1k) — R2 (1k) to ground: middle node at 1 V.
+        let a = NodeId(1);
+        let b = NodeId(2);
+        let mut sys = MnaSystem::new(2, 1);
+        sys.reset(1e-12);
+        sys.stamp_conductance(a, b, 1e-3);
+        sys.stamp_conductance(b, NodeId(0), 1e-3);
+        sys.stamp_vsource(0, a, NodeId(0), 2.0);
+        let x = sys.solve().unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        // Source current: 2 V across 2 kΩ = 1 mA flowing out of the source.
+        assert!((x[2] + 1e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_into_resistor() {
+        let a = NodeId(1);
+        let mut sys = MnaSystem::new(1, 0);
+        sys.reset(1e-12);
+        sys.stamp_conductance(a, NodeId(0), 1e-3);
+        sys.stamp_current(a, NodeId(0), 1e-3);
+        let x = sys.solve().unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gmin_rescues_floating_node() {
+        // No element touches the single node — without gmin this would be
+        // singular.
+        let mut sys = MnaSystem::new(1, 0);
+        sys.reset(1e-12);
+        let x = sys.solve().unwrap();
+        assert_eq!(x[0], 0.0);
+    }
+
+    #[test]
+    fn singular_without_gmin() {
+        let mut sys = MnaSystem::new(1, 0);
+        sys.reset(0.0);
+        assert!(sys.solve().is_none());
+    }
+}

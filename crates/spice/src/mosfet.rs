@@ -1,0 +1,270 @@
+//! EKV-style MOSFET compact model.
+//!
+//! A single continuous expression covers subthreshold, triode and
+//! saturation:
+//!
+//! ```text
+//! I_D = 2·n·β·V_t² · [ soft²(V_GS − V_TH) − soft²(V_GS − V_TH − n·V_DS) ]
+//!       · (1 + λ·V_DS)        with soft(u) = ln(1 + e^(u / 2nV_t))
+//! ```
+//!
+//! which reduces to the square law in strong inversion and to an
+//! exponential with subthreshold swing `SS = n·V_t·ln 10` below threshold.
+//! Parameters are provided for the 45 nm PTM-class transistors used in the
+//! paper's Spectre simulations and for the fabricated test transistor of
+//! Fig 4(d) (SS = 110 mV/dec, on/off = 10⁷).
+
+use crate::THERMAL_VOLTAGE_300K;
+use serde::{Deserialize, Serialize};
+
+/// MOSFET channel type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosfetType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Compact-model parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosfetParams {
+    /// Channel type.
+    pub mos_type: MosfetType,
+    /// Threshold voltage in V (positive for NMOS, negative for PMOS).
+    pub vth_v: f64,
+    /// Transconductance factor β = k'·W/L in A/V².
+    pub beta_a_v2: f64,
+    /// Subthreshold slope factor n (SS = n·V_t·ln 10).
+    pub slope_n: f64,
+    /// Channel-length modulation λ in 1/V.
+    pub lambda_1_v: f64,
+    /// Leakage floor in A — junction/gate leakage that bounds the
+    /// achievable on/off ratio.
+    pub leakage_floor_a: f64,
+    /// Gate–channel capacitance in F (lumped, for transient loading).
+    pub gate_capacitance_f: f64,
+}
+
+impl MosfetParams {
+    /// 45 nm PTM-class high-performance NMOS (V_TH ≈ 0.466 V), W/L = 2.
+    pub fn ptm45_nmos() -> Self {
+        Self {
+            mos_type: MosfetType::Nmos,
+            vth_v: 0.466,
+            beta_a_v2: 1.0e-3,
+            slope_n: 1.35,
+            lambda_1_v: 0.1,
+            leakage_floor_a: 1e-12,
+            gate_capacitance_f: 0.1e-15,
+        }
+    }
+
+    /// 45 nm PTM-class high-performance PMOS (V_TH ≈ −0.412 V), W/L = 4.
+    pub fn ptm45_pmos() -> Self {
+        Self {
+            mos_type: MosfetType::Pmos,
+            vth_v: -0.412,
+            beta_a_v2: 0.9e-3,
+            slope_n: 1.35,
+            lambda_1_v: 0.12,
+            leakage_floor_a: 1e-12,
+            gate_capacitance_f: 0.15e-15,
+        }
+    }
+
+    /// The fabricated test transistor of Fig 4(d): SS = 110 mV/dec and an
+    /// on/off ratio of 10⁷ over its measured gate sweep.
+    pub fn fabricated_nmos() -> Self {
+        Self {
+            mos_type: MosfetType::Nmos,
+            vth_v: 0.55,
+            beta_a_v2: 0.8e-3,
+            // n = 0.110 / (V_t · ln 10) ≈ 1.848 at 300 K.
+            slope_n: 0.110 / (THERMAL_VOLTAGE_300K * std::f64::consts::LN_10),
+            lambda_1_v: 0.05,
+            leakage_floor_a: 6.0e-11,
+            gate_capacitance_f: 1e-15,
+        }
+    }
+
+    /// Subthreshold swing in mV/decade at 300 K.
+    ///
+    /// ```
+    /// let p = felim_spice::MosfetParams::fabricated_nmos();
+    /// assert!((p.subthreshold_swing_mv_dec() - 110.0).abs() < 0.5);
+    /// ```
+    pub fn subthreshold_swing_mv_dec(&self) -> f64 {
+        self.slope_n * THERMAL_VOLTAGE_300K * std::f64::consts::LN_10 * 1e3
+    }
+
+    /// Drain current (A) flowing drain→source for an NMOS (source→drain
+    /// for a PMOS, returned with its natural sign), given gate–source and
+    /// drain–source voltages.
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        match self.mos_type {
+            MosfetType::Nmos => self.ids_n(vgs, vds),
+            // PMOS: mirror through sign reversal of all voltages/current.
+            MosfetType::Pmos => -self.ids_n_with(-vgs, -vds, -self.vth_v),
+        }
+    }
+
+    fn ids_n(&self, vgs: f64, vds: f64) -> f64 {
+        self.ids_n_with(vgs, vds, self.vth_v)
+    }
+
+    /// NMOS-convention current with an explicit threshold (used by the
+    /// PMOS mirror). Handles source/drain symmetry for negative `vds`.
+    fn ids_n_with(&self, vgs: f64, vds: f64, vth: f64) -> f64 {
+        if vds < 0.0 {
+            // Swap source and drain: Vgd = Vgs - Vds.
+            return -self.ids_n_with(vgs - vds, -vds, vth);
+        }
+        let vt = THERMAL_VOLTAGE_300K;
+        let n = self.slope_n;
+        let half = 2.0 * n * vt;
+        let qf = softlog((vgs - vth) / half);
+        let qr = softlog((vgs - vth - n * vds) / half);
+        let core = 2.0 * n * self.beta_a_v2 * vt * vt * (qf * qf - qr * qr);
+        let clm = 1.0 + self.lambda_1_v * vds;
+        let leak = self.leakage_floor_a * (1.0 - (-vds / vt).exp());
+        core * clm + leak
+    }
+
+    /// Numerical partial derivatives `(gm, gds)` of [`Self::ids`] used by
+    /// the Newton–Raphson stamps.
+    pub fn derivatives(&self, vgs: f64, vds: f64) -> (f64, f64) {
+        const H: f64 = 1e-6;
+        let base = self.ids(vgs, vds);
+        let gm = (self.ids(vgs + H, vds) - base) / H;
+        let gds = (self.ids(vgs, vds + H) - base) / H;
+        (gm, gds)
+    }
+}
+
+/// `ln(1 + e^u)`, numerically stable for large |u|.
+fn softlog(u: f64) -> f64 {
+    if u > 30.0 {
+        u
+    } else if u < -30.0 {
+        0.0
+    } else {
+        u.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softlog_limits() {
+        assert_eq!(softlog(100.0), 100.0);
+        assert_eq!(softlog(-100.0), 0.0);
+        assert!((softlog(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmos_off_when_gate_low() {
+        let p = MosfetParams::ptm45_nmos();
+        let off = p.ids(0.0, 1.0);
+        let on = p.ids(1.0, 1.0);
+        assert!(on / off > 1e4, "on/off = {}", on / off);
+    }
+
+    #[test]
+    fn nmos_square_law_in_saturation() {
+        let p = MosfetParams::ptm45_nmos();
+        // In saturation, I ∝ (Vgs−Vth)² approximately.
+        let i1 = p.ids(0.466 + 0.2, 1.2);
+        let i2 = p.ids(0.466 + 0.4, 1.2);
+        let ratio = i2 / i1;
+        assert!((3.0..5.5).contains(&ratio), "quadratic-ish ratio {ratio}");
+    }
+
+    #[test]
+    fn nmos_linear_in_triode() {
+        let p = MosfetParams::ptm45_nmos();
+        let i1 = p.ids(1.2, 0.01);
+        let i2 = p.ids(1.2, 0.02);
+        assert!((i2 / i1 - 2.0).abs() < 0.1, "ohmic at small Vds");
+    }
+
+    #[test]
+    fn current_saturates_with_vds() {
+        let p = MosfetParams::ptm45_nmos();
+        let i_sat1 = p.ids(1.0, 1.0);
+        let i_sat2 = p.ids(1.0, 1.2);
+        // Only channel-length modulation growth (~λ·ΔVds).
+        assert!((i_sat2 / i_sat1 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn subthreshold_swing_matches_slope_factor() {
+        let p = MosfetParams::fabricated_nmos();
+        // Measure SS from the model itself: decades per volt below Vth.
+        let v1 = 0.25;
+        let v2 = 0.35;
+        let i1 = p.ids(v1, 1.0);
+        let i2 = p.ids(v2, 1.0);
+        let ss_mv = (v2 - v1) / (i2.log10() - i1.log10()) * 1e3;
+        assert!((ss_mv - 110.0).abs() < 8.0, "measured SS = {ss_mv} mV/dec");
+    }
+
+    #[test]
+    fn fabricated_on_off_ratio_is_1e7() {
+        let p = MosfetParams::fabricated_nmos();
+        // Fig 4(d): gate sweep of the fabricated device.
+        let i_off = p.ids(-0.5, 1.0);
+        let i_on = p.ids(2.0, 1.0);
+        let ratio = i_on / i_off;
+        assert!(
+            (3e6..1e8).contains(&ratio),
+            "on/off ratio = {ratio:e}, want ~1e7"
+        );
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let p = MosfetParams::ptm45_pmos();
+        // PMOS on: gate below source.
+        let on = p.ids(-1.0, -1.0);
+        let off = p.ids(0.0, -1.0);
+        assert!(on < 0.0, "PMOS drain current flows source→drain: {on}");
+        assert!(on.abs() / off.abs() > 1e4);
+    }
+
+    #[test]
+    fn reverse_mode_antisymmetric() {
+        let p = MosfetParams::ptm45_nmos();
+        // Swapping drain and source with the same Vg-to-terminal voltages
+        // must reverse the current: Ids(vgs, vds) = -Ids(vgd, -vds).
+        let fwd = p.ids(1.0, 0.5);
+        let rev = p.ids(0.5, -0.5);
+        assert!((fwd + rev).abs() < 1e-12 + 1e-9 * fwd.abs());
+    }
+
+    #[test]
+    fn current_is_continuous_across_zero_vds() {
+        let p = MosfetParams::ptm45_nmos();
+        let below = p.ids(1.0, -1e-9);
+        let above = p.ids(1.0, 1e-9);
+        assert!((below + above).abs() < 1e-12 || (below - above).abs() < 1e-9);
+        assert!(p.ids(1.0, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference_signs() {
+        let p = MosfetParams::ptm45_nmos();
+        let (gm, gds) = p.derivatives(0.8, 0.6);
+        assert!(gm > 0.0, "gm must be positive in forward operation");
+        assert!(gds > 0.0, "gds must be positive");
+    }
+
+    #[test]
+    fn swing_helper_consistent() {
+        let p = MosfetParams::ptm45_nmos();
+        let expected = 1.35 * THERMAL_VOLTAGE_300K * std::f64::consts::LN_10 * 1e3;
+        assert!((p.subthreshold_swing_mv_dec() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Circuit construction: nodes, named elements, voltage sources.
+
+use crate::elements::Element;
+use crate::waveform::Waveform;
+use crate::SpiceError;
+use felim_ferro::MfmCapacitor;
+use std::collections::HashMap;
+
+/// Handle to a circuit node. Obtain via [`Circuit::node`]; ground is
+/// [`Circuit::GND`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Is this the ground node?
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// MNA matrix row for this node (`None` for ground).
+    pub(crate) fn index(self) -> Option<usize> {
+        self.0.checked_sub(1)
+    }
+}
+
+/// A voltage source entry (kept separate from [`Element`] because each one
+/// adds a branch-current unknown to the MNA system).
+#[derive(Debug, Clone)]
+pub(crate) struct VSource {
+    pub name: String,
+    pub p: NodeId,
+    pub n: NodeId,
+    pub wave: Waveform,
+}
+
+/// A circuit under construction (and, after analyses, the owner of all
+/// element state such as ferroelectric polarization).
+///
+/// See the [crate documentation](crate) for a complete example.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    pub(crate) node_names: Vec<String>,
+    node_lookup: HashMap<String, NodeId>,
+    pub(crate) elements: Vec<(String, Element)>,
+    pub(crate) vsources: Vec<VSource>,
+    pub(crate) initial_voltages: Vec<(NodeId, f64)>,
+}
+
+impl Circuit {
+    /// The ground (reference) node.
+    pub const GND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Self {
+            node_names: vec!["0".to_owned()],
+            node_lookup: HashMap::new(),
+            elements: Vec::new(),
+            vsources: Vec::new(),
+            initial_voltages: Vec::new(),
+        }
+    }
+
+    /// Returns the node with the given name, creating it on first use.
+    /// The names `"0"` and `"gnd"` always refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GND;
+        }
+        if let Some(&id) = self.node_lookup.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_owned());
+        self.node_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Self::GND);
+        }
+        self.node_lookup.get(name).copied()
+    }
+
+    /// The name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Number of non-ground nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// Adds a named element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by another element.
+    pub fn add(&mut self, name: &str, element: Element) {
+        assert!(
+            self.elements.iter().all(|(n, _)| n != name),
+            "duplicate element name `{name}`"
+        );
+        self.elements.push((name.to_owned(), element));
+    }
+
+    /// Adds an independent voltage source driving `p` relative to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by another voltage source.
+    pub fn add_vsource(&mut self, name: &str, p: NodeId, n: NodeId, wave: Waveform) {
+        assert!(
+            self.vsources.iter().all(|v| v.name != name),
+            "duplicate voltage source name `{name}`"
+        );
+        self.vsources.push(VSource {
+            name: name.to_owned(),
+            p,
+            n,
+            wave,
+        });
+    }
+
+    /// Replaces the waveform of an existing voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] if no source has that name.
+    pub fn set_vsource(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
+        match self.vsources.iter_mut().find(|v| v.name == name) {
+            Some(v) => {
+                v.wave = wave;
+                Ok(())
+            }
+            None => Err(SpiceError::NotFound {
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    /// The current waveform of a named voltage source.
+    pub fn vsource_waveform(&self, name: &str) -> Option<Waveform> {
+        self.vsources
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.wave.clone())
+    }
+
+    /// Sets an initial node voltage used when initialising a transient
+    /// analysis (a `.ic` directive).
+    pub fn set_initial_voltage(&mut self, node: NodeId, volts: f64) {
+        self.initial_voltages.push((node, volts));
+    }
+
+    /// Immutable access to a named element.
+    pub fn element(&self, name: &str) -> Option<&Element> {
+        self.elements
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+
+    /// Mutable access to a named element (e.g. to rewrite a ferroelectric
+    /// capacitor's state between analyses).
+    pub fn element_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.elements
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
+    }
+
+    /// The ferroelectric capacitor inside element `name`, if that element
+    /// is a [`Element::FeCap`].
+    pub fn fe_capacitor(&self, name: &str) -> Option<&MfmCapacitor> {
+        match self.element(name)? {
+            Element::FeCap { cap, .. } => Some(cap),
+            _ => None,
+        }
+    }
+
+    /// Mutable variant of [`Circuit::fe_capacitor`].
+    pub fn fe_capacitor_mut(&mut self, name: &str) -> Option<&mut MfmCapacitor> {
+        match self.element_mut(name)? {
+            Element::FeCap { cap, .. } => Some(cap),
+            _ => None,
+        }
+    }
+
+    /// Total number of MNA unknowns (node voltages + source currents).
+    pub(crate) fn unknowns(&self) -> usize {
+        self.node_count() + self.vsources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("0"), Circuit::GND);
+        assert_eq!(c.node("gnd"), Circuit::GND);
+        assert_eq!(c.node("GND"), Circuit::GND);
+        assert!(Circuit::GND.is_ground());
+    }
+
+    #[test]
+    fn nodes_are_interned() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn unknown_count_includes_sources() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        assert_eq!(c.unknowns(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn rejects_duplicate_element_names() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add("R1", Element::resistor(a, Circuit::GND, 1.0));
+        c.add("R1", Element::resistor(a, Circuit::GND, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate voltage source")]
+    fn rejects_duplicate_vsource_names() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(2.0));
+    }
+
+    #[test]
+    fn set_vsource_replaces_waveform() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.set_vsource("V1", Waveform::dc(2.0)).unwrap();
+        assert!(matches!(
+            c.set_vsource("V2", Waveform::dc(0.0)),
+            Err(SpiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn fe_capacitor_accessor_discriminates() {
+        use felim_ferro::MfmParams;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add("R1", Element::resistor(a, Circuit::GND, 1.0));
+        c.add(
+            "CF1",
+            Element::fe_capacitor(a, Circuit::GND, &MfmParams::scaled_45nm()),
+        );
+        assert!(c.fe_capacitor("CF1").is_some());
+        assert!(c.fe_capacitor("R1").is_none());
+        assert!(c.fe_capacitor("nope").is_none());
+        assert!(c.fe_capacitor_mut("CF1").is_some());
+    }
+}

@@ -1,0 +1,456 @@
+//! SPICE-style netlist parsing.
+//!
+//! A pragmatic subset of the classic card format, enough to express the
+//! paper's cell testbenches as plain text:
+//!
+//! ```text
+//! * 2T-nC read testbench
+//! VWBL0 wbl0 0 PULSE(0 0.55 50n 1n 1n 200n 0)
+//! VRBL  rbl  0 DC 0.7
+//! R1    rsl  0 1k
+//! C1    sn   0 3f
+//! M1    rbl  sn rsl NMOS
+//! XFE0  wbl0 sn FECAP SCALED
+//! .ic v(sn)=0
+//! .tran 10n 400n
+//! .end
+//! ```
+//!
+//! Element cards: `R` resistor, `C` capacitor, `V` source (`DC x`,
+//! `PULSE(low high delay rise fall width period)`, `PWL(t1 v1 t2 v2 …)`),
+//! `I` current source, `M` MOSFET (`NMOS` / `PMOS` / `FABNMOS`), `S`
+//! switch (`SW`), `XFE` ferroelectric capacitor (`FECAP FABRICATED` /
+//! `FECAP SCALED`). Directives: `.ic v(node)=value`, `.tran step stop
+//! [trap]`, `.end`. `*` or `;` start comments; values accept the usual
+//! engineering suffixes (`f p n u m k meg g t`).
+
+use crate::analysis::TransientSpec;
+use crate::elements::{Element, SwitchParams};
+use crate::mosfet::MosfetParams;
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+use felim_ferro::MfmParams;
+use std::fmt;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result of parsing a netlist.
+#[derive(Debug)]
+pub struct ParsedNetlist {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The `.tran` directive, if present.
+    pub transient: Option<TransientSpec>,
+    /// The netlist title (first line if it is a comment).
+    pub title: Option<String>,
+}
+
+/// Parses an engineering-notation value: `1k`, `3.3u`, `10MEG`, `2f`…
+///
+/// ```
+/// use felim_spice::parse::parse_value;
+/// assert_eq!(parse_value("1k").unwrap(), 1e3);
+/// assert_eq!(parse_value("10n").unwrap(), 10e-9);
+/// assert_eq!(parse_value("2.5meg").unwrap(), 2.5e6);
+/// ```
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    let (num, mult) = if let Some(stripped) = t.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = t.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else if let Some(stripped) = t.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = t.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = t.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = t.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = t.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = t.strip_suffix('g') {
+        (stripped, 1e9)
+    } else if let Some(stripped) = t.strip_suffix('t') {
+        (stripped, 1e12)
+    } else {
+        (t.as_str(), 1.0)
+    };
+    num.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("cannot parse value `{token}`"))
+}
+
+/// Parses a netlist into a circuit plus an optional transient directive.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending line.
+pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, ParseError> {
+    let mut circuit = Circuit::new();
+    let mut transient = None;
+    let mut title = None;
+    let mut trap = false;
+
+    let err = |line: usize, message: String| ParseError { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('*') {
+            if lineno == 1 {
+                title = Some(comment.trim().to_owned());
+            }
+            continue;
+        }
+
+        // Directives.
+        if let Some(rest) = line.strip_prefix('.') {
+            let lower = rest.to_ascii_lowercase();
+            if lower == "end" {
+                break;
+            } else if let Some(ic) = lower.strip_prefix("ic ") {
+                // .ic v(node)=value
+                let ic = ic.trim();
+                let inner = ic
+                    .strip_prefix("v(")
+                    .and_then(|s| s.split_once(')'))
+                    .ok_or_else(|| err(lineno, format!("bad .ic syntax `{ic}`")))?;
+                let node = circuit.node(inner.0.trim());
+                let value = inner
+                    .1
+                    .trim()
+                    .strip_prefix('=')
+                    .ok_or_else(|| err(lineno, "missing `=` in .ic".into()))
+                    .and_then(|v| parse_value(v).map_err(|m| err(lineno, m)))?;
+                circuit.set_initial_voltage(node, value);
+            } else if let Some(tran) = lower.strip_prefix("tran ") {
+                let parts: Vec<&str> = tran.split_whitespace().collect();
+                if parts.len() < 2 {
+                    return Err(err(lineno, ".tran needs `step stop`".into()));
+                }
+                let dt = parse_value(parts[0]).map_err(|m| err(lineno, m))?;
+                let stop = parse_value(parts[1]).map_err(|m| err(lineno, m))?;
+                trap = parts.get(2).is_some_and(|p| *p == "trap");
+                if !(dt > 0.0 && dt <= stop) {
+                    return Err(err(
+                        lineno,
+                        format!(".tran needs 0 < step <= stop, got {dt} {stop}"),
+                    ));
+                }
+                transient = Some(TransientSpec::new(stop, dt));
+            } else {
+                return Err(err(lineno, format!("unknown directive `.{rest}`")));
+            }
+            continue;
+        }
+
+        // Element cards.
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let name = tokens[0];
+        let kind = name.chars().next().unwrap().to_ascii_uppercase();
+        let need = |n: usize| -> Result<(), ParseError> {
+            if tokens.len() < n {
+                Err(err(lineno, format!("`{name}` needs at least {n} fields")))
+            } else {
+                Ok(())
+            }
+        };
+        match kind {
+            'R' => {
+                need(4)?;
+                let (p, n) = (circuit.node(tokens[1]), circuit.node(tokens[2]));
+                let ohms = parse_value(tokens[3]).map_err(|m| err(lineno, m))?;
+                if ohms <= 0.0 {
+                    return Err(err(lineno, "resistance must be positive".into()));
+                }
+                circuit.add(name, Element::resistor(p, n, ohms));
+            }
+            'C' => {
+                need(4)?;
+                let (p, n) = (circuit.node(tokens[1]), circuit.node(tokens[2]));
+                let farads = parse_value(tokens[3]).map_err(|m| err(lineno, m))?;
+                if farads <= 0.0 {
+                    return Err(err(lineno, "capacitance must be positive".into()));
+                }
+                circuit.add(name, Element::capacitor(p, n, farads));
+            }
+            'V' | 'I' => {
+                need(4)?;
+                let (p, n) = (circuit.node(tokens[1]), circuit.node(tokens[2]));
+                let spec = tokens[3..].join(" ");
+                let wave = parse_waveform(&spec).map_err(|m| err(lineno, m))?;
+                if kind == 'V' {
+                    circuit.add_vsource(name, p, n, wave);
+                } else {
+                    circuit.add(name, Element::current_source(p, n, wave));
+                }
+            }
+            'M' => {
+                need(5)?;
+                let d = circuit.node(tokens[1]);
+                let g = circuit.node(tokens[2]);
+                let s = circuit.node(tokens[3]);
+                let params = match tokens[4].to_ascii_uppercase().as_str() {
+                    "NMOS" => MosfetParams::ptm45_nmos(),
+                    "PMOS" => MosfetParams::ptm45_pmos(),
+                    "FABNMOS" => MosfetParams::fabricated_nmos(),
+                    other => return Err(err(lineno, format!("unknown MOSFET model `{other}`"))),
+                };
+                circuit.add(name, Element::mosfet(d, g, s, params));
+            }
+            'S' => {
+                need(5)?;
+                let p = circuit.node(tokens[1]);
+                let n = circuit.node(tokens[2]);
+                let ctrl = circuit.node(tokens[3]);
+                if !tokens[4].eq_ignore_ascii_case("sw") {
+                    return Err(err(lineno, format!("unknown switch model `{}`", tokens[4])));
+                }
+                circuit.add(name, Element::switch(p, n, ctrl, SwitchParams::default()));
+            }
+            'X' => {
+                need(5)?;
+                if !tokens[3].eq_ignore_ascii_case("fecap") {
+                    return Err(err(lineno, format!("unknown subcircuit `{}`", tokens[3])));
+                }
+                let p = circuit.node(tokens[1]);
+                let n = circuit.node(tokens[2]);
+                let params = match tokens[4].to_ascii_uppercase().as_str() {
+                    "FABRICATED" => MfmParams::fabricated(),
+                    "SCALED" => MfmParams::scaled_45nm(),
+                    other => return Err(err(lineno, format!("unknown FECAP preset `{other}`"))),
+                };
+                circuit.add(name, Element::fe_capacitor(p, n, &params));
+            }
+            other => {
+                return Err(err(lineno, format!("unknown element kind `{other}`")));
+            }
+        }
+    }
+
+    if trap {
+        transient = transient.map(|t| t.with_trapezoidal());
+    }
+    Ok(ParsedNetlist {
+        circuit,
+        transient,
+        title,
+    })
+}
+
+/// Parses a source specification: `DC x`, `PULSE(...)` or `PWL(...)`.
+fn parse_waveform(spec: &str) -> Result<Waveform, String> {
+    let s = spec.trim();
+    let lower = s.to_ascii_lowercase();
+    if let Some(v) = lower.strip_prefix("dc") {
+        return parse_value(v.trim()).map(Waveform::dc);
+    }
+    if lower.starts_with("pulse") {
+        let args = paren_args(s)?;
+        if args.len() != 7 {
+            return Err(format!(
+                "PULSE needs 7 arguments (low high delay rise fall width period), got {}",
+                args.len()
+            ));
+        }
+        return Ok(Waveform::Pulse {
+            low: args[0],
+            high: args[1],
+            delay_s: args[2],
+            rise_s: args[3].max(1e-12),
+            fall_s: args[4].max(1e-12),
+            width_s: args[5],
+            period_s: args[6],
+        });
+    }
+    if lower.starts_with("pwl") {
+        let args = paren_args(s)?;
+        if args.len() < 2 || args.len() % 2 != 0 {
+            return Err("PWL needs an even number of arguments (t v pairs)".into());
+        }
+        let points: Vec<(f64, f64)> = args.chunks(2).map(|c| (c[0], c[1])).collect();
+        if !points.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err("PWL times must be non-decreasing".into());
+        }
+        return Ok(Waveform::Pwl(points));
+    }
+    // A bare number is a DC value.
+    parse_value(s).map(Waveform::dc)
+}
+
+/// Extracts and parses the parenthesised argument list of `NAME(...)`.
+fn paren_args(s: &str) -> Result<Vec<f64>, String> {
+    let open = s.find('(').ok_or("missing `(`")?;
+    let close = s.rfind(')').ok_or("missing `)`")?;
+    s[open + 1..close]
+        .split([' ', ','])
+        .filter(|t| !t.is_empty())
+        .map(parse_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("100").unwrap(), 100.0);
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert_eq!(parse_value("2.2u").unwrap(), 2.2e-6);
+        assert!((parse_value("3f").unwrap() - 3e-15).abs() < 1e-27);
+        assert_eq!(parse_value("5MEG").unwrap(), 5e6);
+        assert_eq!(parse_value("-0.5m").unwrap(), -0.5e-3);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_divider_and_solves() {
+        let net = "* divider\nV1 a 0 DC 2.0\nR1 a b 1k\nR2 b 0 1k\n.end\n";
+        let parsed = parse_netlist(net).unwrap();
+        assert_eq!(parsed.title.as_deref(), Some("divider"));
+        let op = parsed.circuit.dc_operating_point().unwrap();
+        assert!((op.voltage("b").unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_rc_transient_with_directives() {
+        let net = "\
+* rc
+V1 a 0 PWL(0 0 1n 1)
+R1 a b 1k
+C1 b 0 1n
+.ic v(b)=0
+.tran 5n 5u
+.end
+";
+        let parsed = parse_netlist(net).unwrap();
+        let spec = parsed.transient.expect(".tran parsed");
+        assert!((spec.dt_s - 5e-9).abs() < 1e-20);
+        assert!((spec.t_stop_s - 5e-6).abs() < 1e-17);
+        let mut ckt = parsed.circuit;
+        let trace = ckt.transient(&spec).unwrap();
+        assert!((trace.final_voltage("b").unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn parses_pulse_source() {
+        let net = "V1 a 0 PULSE(0 1 10n 1n 1n 100n 0)\nR1 a 0 1k\n";
+        let parsed = parse_netlist(net).unwrap();
+        let w = parsed.circuit.vsource_waveform("V1").unwrap();
+        assert_eq!(w.at(50e-9), 1.0);
+        assert_eq!(w.at(0.0), 0.0);
+    }
+
+    #[test]
+    fn parses_mosfet_and_switch_and_fecap() {
+        let net = "\
+M1 d g 0 NMOS
+M2 d2 g 0 FABNMOS
+S1 a b ctl SW
+XFE1 p sn FECAP SCALED
+V1 d 0 DC 1
+V2 g 0 DC 1
+V3 d2 0 DC 1
+V4 a 0 DC 1
+V5 ctl 0 DC 1
+V6 p 0 DC 0
+";
+        let parsed = parse_netlist(net).unwrap();
+        assert!(parsed.circuit.fe_capacitor("XFE1").is_some());
+        let op = parsed.circuit.dc_operating_point().unwrap();
+        assert!(op.voltage("b").unwrap() > 0.9, "switch on pulls b up");
+    }
+
+    #[test]
+    fn trapezoidal_flag_in_tran() {
+        let net = "R1 a 0 1k\nV1 a 0 DC 1\n.tran 1n 1u trap\n";
+        let parsed = parse_netlist(net).unwrap();
+        assert!(parsed.transient.unwrap().trapezoidal);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_netlist("R1 a b 1k\nQ1 x y z\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown element"));
+
+        let e = parse_netlist("R1 a b\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("at least 4"));
+
+        let e = parse_netlist("R1 a b -5\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+
+        let e = parse_netlist(".tran 1u 1n\n").unwrap_err();
+        assert!(e.message.contains("step <= stop"));
+
+        let e = parse_netlist("V1 a 0 PULSE(1 2 3)\n").unwrap_err();
+        assert!(e.message.contains("7 arguments"));
+
+        let e = parse_netlist("M1 a b c BJT\n").unwrap_err();
+        assert!(e.message.contains("unknown MOSFET model"));
+    }
+
+    #[test]
+    fn comments_and_end_are_respected() {
+        let net = "\
+* title line
+; a comment
+R1 a 0 1k  ; trailing comment
+V1 a 0 DC 1
+.end
+R_garbage_after_end x y z
+";
+        let parsed = parse_netlist(net).unwrap();
+        let op = parsed.circuit.dc_operating_point().unwrap();
+        assert!((op.voltage("a").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_2tnc_read_testbench_from_text() {
+        // The module-doc example, end to end: stored '0' read through the
+        // parsed netlist shows the high-current QNRO response.
+        let net = "\
+* 2T-nC read testbench
+VWBL0 wbl0 0 PULSE(0 0.55 50n 1n 1n 200n 0)
+VRBL  rbl  0 DC 0.7
+VRSL  rsl  0 DC 0
+C1    sn   0 3f
+M1    rbl  sn rsl NMOS
+XFE0  wbl0 sn FECAP SCALED
+.ic v(sn)=0
+.tran 5n 400n
+.end
+";
+        let parsed = parse_netlist(net).unwrap();
+        let spec = parsed.transient.unwrap();
+        let mut ckt = parsed.circuit;
+        // Fresh FECAP is in the '0' (down) state → strong coupling.
+        let trace = ckt.transient(&spec).unwrap();
+        let v_sn = trace.voltage_at("sn", 200e-9).unwrap();
+        assert!(
+            v_sn > 0.05,
+            "stored-0 read must lift the storage node, got {v_sn}"
+        );
+    }
+}

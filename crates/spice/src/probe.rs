@@ -1,0 +1,279 @@
+//! Simulation results: waveform traces and measurement helpers.
+
+use crate::waveform::Waveform;
+use crate::SpiceError;
+
+/// A recorded transient waveform set.
+///
+/// Node voltages, voltage-source branch currents, and element branch
+/// currents are recorded at every accepted time step.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub(crate) times: Vec<f64>,
+    pub(crate) node_names: Vec<String>,
+    pub(crate) node_data: Vec<Vec<f64>>,
+    pub(crate) source_names: Vec<String>,
+    pub(crate) source_currents: Vec<Vec<f64>>,
+    pub(crate) element_names: Vec<String>,
+    pub(crate) element_currents: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// The time axis in seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Voltage samples of the named node (`"0"`/`"gnd"` returns zeros).
+    pub fn voltage(&self, node: &str) -> Option<&[f64]> {
+        self.node_names
+            .iter()
+            .position(|n| n == node)
+            .map(|i| self.node_data[i].as_slice())
+    }
+
+    /// Branch current of the named voltage source (positive = current
+    /// flowing from `p` through the source to `n`).
+    pub fn source_current(&self, source: &str) -> Option<&[f64]> {
+        self.source_names
+            .iter()
+            .position(|n| n == source)
+            .map(|i| self.source_currents[i].as_slice())
+    }
+
+    /// Branch current of the named element (p→n, drain→source for
+    /// MOSFETs).
+    pub fn element_current(&self, element: &str) -> Option<&[f64]> {
+        self.element_names
+            .iter()
+            .position(|n| n == element)
+            .map(|i| self.element_currents[i].as_slice())
+    }
+
+    /// Linear interpolation of a node voltage at time `t_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for an unknown node.
+    pub fn voltage_at(&self, node: &str, t_s: f64) -> Result<f64, SpiceError> {
+        let data = self.voltage(node).ok_or_else(|| SpiceError::NotFound {
+            name: node.to_owned(),
+        })?;
+        Ok(interp(&self.times, data, t_s))
+    }
+
+    /// Linear interpolation of an element current at time `t_s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for an unknown element.
+    pub fn element_current_at(&self, element: &str, t_s: f64) -> Result<f64, SpiceError> {
+        let data = self
+            .element_current(element)
+            .ok_or_else(|| SpiceError::NotFound {
+                name: element.to_owned(),
+            })?;
+        Ok(interp(&self.times, data, t_s))
+    }
+
+    /// Maximum of a node voltage over the whole trace.
+    pub fn max_voltage(&self, node: &str) -> Option<f64> {
+        self.voltage(node)?.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum of a node voltage over the whole trace.
+    pub fn min_voltage(&self, node: &str) -> Option<f64> {
+        self.voltage(node)?.iter().copied().reduce(f64::min)
+    }
+
+    /// Final sample of a node voltage.
+    pub fn final_voltage(&self, node: &str) -> Option<f64> {
+        self.voltage(node)?.last().copied()
+    }
+
+    /// Energy delivered by the named voltage source over the whole trace,
+    /// in joules: `E = ∫ V(t)·(−i(t)) dt` with trapezoidal integration
+    /// (the MNA convention has positive branch current flowing p→n
+    /// *inside* the source, so delivered power is `−V·i`).
+    ///
+    /// Pass the same waveform the source was built with — the trace
+    /// records currents, not the drive voltages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NotFound`] for an unknown source.
+    pub fn source_energy(&self, source: &str, wave: &Waveform) -> Result<f64, SpiceError> {
+        let current = self
+            .source_current(source)
+            .ok_or_else(|| SpiceError::NotFound {
+                name: source.to_owned(),
+            })?;
+        let mut energy = 0.0;
+        for k in 1..self.times.len() {
+            let dt = self.times[k] - self.times[k - 1];
+            let p0 = -wave.at(self.times[k - 1]) * current[k - 1];
+            let p1 = -wave.at(self.times[k]) * current[k];
+            energy += 0.5 * (p0 + p1) * dt;
+        }
+        Ok(energy)
+    }
+
+    /// First time at which the node voltage crosses `level` in the rising
+    /// direction, with linear interpolation.
+    pub fn rising_crossing(&self, node: &str, level: f64) -> Option<f64> {
+        let data = self.voltage(node)?;
+        for i in 1..data.len() {
+            if data[i - 1] < level && data[i] >= level {
+                let f = (level - data[i - 1]) / (data[i] - data[i - 1]);
+                return Some(self.times[i - 1] + f * (self.times[i] - self.times[i - 1]));
+            }
+        }
+        None
+    }
+}
+
+/// A DC operating point.
+#[derive(Debug, Clone, Default)]
+pub struct DcPoint {
+    pub(crate) node_names: Vec<String>,
+    pub(crate) voltages: Vec<f64>,
+    pub(crate) source_names: Vec<String>,
+    pub(crate) source_currents: Vec<f64>,
+}
+
+impl DcPoint {
+    /// Voltage of the named node.
+    pub fn voltage(&self, node: &str) -> Option<f64> {
+        if node == "0" || node.eq_ignore_ascii_case("gnd") {
+            return Some(0.0);
+        }
+        self.node_names
+            .iter()
+            .position(|n| n == node)
+            .map(|i| self.voltages[i])
+    }
+
+    /// Branch current of the named voltage source.
+    pub fn source_current(&self, source: &str) -> Option<f64> {
+        self.source_names
+            .iter()
+            .position(|n| n == source)
+            .map(|i| self.source_currents[i])
+    }
+}
+
+fn interp(times: &[f64], data: &[f64], t: f64) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    if t <= times[0] {
+        return data[0];
+    }
+    for i in 1..times.len() {
+        if t <= times[i] {
+            let span = times[i] - times[i - 1];
+            if span == 0.0 {
+                return data[i];
+            }
+            let f = (t - times[i - 1]) / span;
+            return data[i - 1] + f * (data[i] - data[i - 1]);
+        }
+    }
+    *data.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            times: vec![0.0, 1.0, 2.0],
+            node_names: vec!["a".into()],
+            node_data: vec![vec![0.0, 1.0, 0.5]],
+            source_names: vec!["V1".into()],
+            source_currents: vec![vec![0.1, 0.2, 0.3]],
+            element_names: vec!["R1".into()],
+            element_currents: vec![vec![1.0, 2.0, 3.0]],
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample_trace();
+        assert_eq!(t.voltage("a").unwrap()[1], 1.0);
+        assert!(t.voltage("b").is_none());
+        assert_eq!(t.source_current("V1").unwrap()[2], 0.3);
+        assert_eq!(t.element_current("R1").unwrap()[0], 1.0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn interpolation_midpoints_and_clamps() {
+        let t = sample_trace();
+        assert_eq!(t.voltage_at("a", 0.5).unwrap(), 0.5);
+        assert_eq!(t.voltage_at("a", 1.5).unwrap(), 0.75);
+        assert_eq!(t.voltage_at("a", -1.0).unwrap(), 0.0);
+        assert_eq!(t.voltage_at("a", 99.0).unwrap(), 0.5);
+        assert!(t.voltage_at("zzz", 0.0).is_err());
+        assert_eq!(t.element_current_at("R1", 0.5).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn extrema_and_final() {
+        let t = sample_trace();
+        assert_eq!(t.max_voltage("a"), Some(1.0));
+        assert_eq!(t.min_voltage("a"), Some(0.0));
+        assert_eq!(t.final_voltage("a"), Some(0.5));
+    }
+
+    #[test]
+    fn source_energy_integrates_power() {
+        // Constant 2 V source delivering a steady −1 mA branch current
+        // for 2 s: E = 2 V × 1 mA × 2 s = 4 mJ.
+        let t = Trace {
+            times: vec![0.0, 1.0, 2.0],
+            node_names: vec![],
+            node_data: vec![],
+            source_names: vec!["V1".into()],
+            source_currents: vec![vec![-1e-3, -1e-3, -1e-3]],
+            element_names: vec![],
+            element_currents: vec![],
+        };
+        let e = t.source_energy("V1", &Waveform::dc(2.0)).unwrap();
+        assert!((e - 4e-3).abs() < 1e-12);
+        assert!(t.source_energy("nope", &Waveform::dc(0.0)).is_err());
+    }
+
+    #[test]
+    fn rising_crossing_interpolates() {
+        let t = sample_trace();
+        assert_eq!(t.rising_crossing("a", 0.5), Some(0.5));
+        assert_eq!(t.rising_crossing("a", 2.0), None);
+    }
+
+    #[test]
+    fn dc_point_lookup() {
+        let p = DcPoint {
+            node_names: vec!["x".into()],
+            voltages: vec![1.5],
+            source_names: vec!["V1".into()],
+            source_currents: vec![-1e-3],
+        };
+        assert_eq!(p.voltage("x"), Some(1.5));
+        assert_eq!(p.voltage("gnd"), Some(0.0));
+        assert_eq!(p.voltage("nope"), None);
+        assert_eq!(p.source_current("V1"), Some(-1e-3));
+    }
+}

@@ -1,0 +1,141 @@
+//! DC parameter sweeps (the `.dc` analysis).
+
+use crate::netlist::Circuit;
+use crate::probe::DcPoint;
+use crate::waveform::Waveform;
+use crate::SpiceError;
+
+/// Evenly spaced sweep points from `from` to `to` inclusive.
+///
+/// ```
+/// let pts = felim_spice::sweep::linspace(0.0, 1.0, 5);
+/// assert_eq!(pts, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+pub fn linspace(from: f64, to: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    (0..points)
+        .map(|i| from + (to - from) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Sweeps the DC value of the named voltage source and solves the
+/// operating point at every step, restoring the original waveform
+/// afterwards. Returns `(value, operating point)` pairs.
+///
+/// # Errors
+///
+/// Propagates [`SpiceError::NotFound`] for an unknown source and any
+/// solver failure (the source waveform is still restored).
+pub fn dc_sweep(
+    circuit: &mut Circuit,
+    source: &str,
+    values: &[f64],
+) -> Result<Vec<(f64, DcPoint)>, SpiceError> {
+    let original = circuit
+        .vsource_waveform(source)
+        .ok_or_else(|| SpiceError::NotFound {
+            name: source.to_owned(),
+        })?;
+    let mut out = Vec::with_capacity(values.len());
+    let mut result = Ok(());
+    for &v in values {
+        circuit.set_vsource(source, Waveform::dc(v))?;
+        match circuit.dc_operating_point() {
+            Ok(op) => out.push((v, op)),
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    circuit.set_vsource(source, original)?;
+    result.map(|_| out)
+}
+
+/// Convenience: the (V_GS, I_D) transfer curve of a single MOSFET with
+/// the given drain bias — the Fig 4(d) measurement.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn mosfet_transfer_curve(
+    params: &crate::mosfet::MosfetParams,
+    vds: f64,
+    vgs_values: &[f64],
+) -> Result<Vec<(f64, f64)>, SpiceError> {
+    let mut ckt = Circuit::new();
+    let d = ckt.node("d");
+    let g = ckt.node("g");
+    ckt.add_vsource("VD", d, Circuit::GND, Waveform::dc(vds));
+    ckt.add_vsource("VG", g, Circuit::GND, Waveform::dc(0.0));
+    ckt.add(
+        "M1",
+        crate::elements::Element::mosfet(d, g, Circuit::GND, params.clone()),
+    );
+    let points = dc_sweep(&mut ckt, "VG", vgs_values)?;
+    Ok(points
+        .into_iter()
+        .map(|(vgs, op)| (vgs, -op.source_current("VD").unwrap_or(0.0)))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Element;
+    use crate::mosfet::MosfetParams;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(-1.0, 1.0, 3);
+        assert_eq!(v, vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn linspace_rejects_single_point() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn sweep_resistive_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
+        c.add("R1", Element::resistor(a, b, 1e3));
+        c.add("R2", Element::resistor(b, Circuit::GND, 1e3));
+        let points = dc_sweep(&mut c, "V1", &linspace(0.0, 2.0, 5)).unwrap();
+        assert_eq!(points.len(), 5);
+        for (v, op) in &points {
+            assert!((op.voltage("b").unwrap() - v / 2.0).abs() < 1e-6);
+        }
+        // Original waveform restored.
+        assert_eq!(c.vsource_waveform("V1"), Some(Waveform::dc(0.0)));
+    }
+
+    #[test]
+    fn sweep_unknown_source_errors() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(1.0));
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        assert!(matches!(
+            dc_sweep(&mut c, "VX", &[0.0, 1.0]),
+            Err(SpiceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_curve_is_monotone() {
+        let curve =
+            mosfet_transfer_curve(&MosfetParams::ptm45_nmos(), 1.0, &linspace(0.0, 1.2, 13))
+                .unwrap();
+        let mut last = -1.0;
+        for (_, id) in &curve {
+            assert!(*id >= last, "I_D must grow with V_GS");
+            last = *id;
+        }
+        assert!(curve.last().unwrap().1 > 1e-5, "on current");
+    }
+}

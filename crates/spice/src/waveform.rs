@@ -1,0 +1,258 @@
+//! Source waveforms: DC, step, rectangular pulse trains, and
+//! piecewise-linear (PWL) sequences.
+
+use serde::{Deserialize, Serialize};
+
+/// A time-dependent source value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// Piecewise-linear: `(time, value)` pairs with linear interpolation,
+    /// clamped at both ends. Points must be sorted by time.
+    Pwl(Vec<(f64, f64)>),
+    /// Periodic rectangular pulse.
+    Pulse {
+        /// Baseline value.
+        low: f64,
+        /// Plateau value.
+        high: f64,
+        /// Delay before the first rising edge, in s.
+        delay_s: f64,
+        /// Rise time, in s.
+        rise_s: f64,
+        /// Fall time, in s.
+        fall_s: f64,
+        /// Plateau width, in s.
+        width_s: f64,
+        /// Period, in s (0 = single pulse).
+        period_s: f64,
+    },
+}
+
+impl Waveform {
+    /// Constant waveform.
+    pub fn dc(value: f64) -> Self {
+        Waveform::Dc(value)
+    }
+
+    /// Step from 0 to `value` at `at_s` with a 1 ns edge.
+    pub fn step(value: f64, at_s: f64) -> Self {
+        Waveform::Pwl(vec![(at_s, 0.0), (at_s + 1e-9, value)])
+    }
+
+    /// Single rectangular pulse from 0 to `high` with 1 ns edges.
+    pub fn single_pulse(high: f64, delay_s: f64, width_s: f64) -> Self {
+        Waveform::Pulse {
+            low: 0.0,
+            high,
+            delay_s,
+            rise_s: 1e-9,
+            fall_s: 1e-9,
+            width_s,
+            period_s: 0.0,
+        }
+    }
+
+    /// Piecewise-linear waveform from `(time, value)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not sorted by time.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "PWL points must be sorted by time"
+        );
+        Waveform::Pwl(points)
+    }
+
+    /// The waveform value at time `t_s`.
+    pub fn at(&self, t_s: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pwl(points) => {
+                if t_s <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let ((t0, v0), (t1, v1)) = (w[0], w[1]);
+                    if t_s <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t_s - t0) / (t1 - t0);
+                    }
+                }
+                points.last().unwrap().1
+            }
+            Waveform::Pulse {
+                low,
+                high,
+                delay_s,
+                rise_s,
+                fall_s,
+                width_s,
+                period_s,
+            } => {
+                if t_s < *delay_s {
+                    return *low;
+                }
+                let mut t = t_s - delay_s;
+                if *period_s > 0.0 {
+                    t %= period_s;
+                }
+                if t < *rise_s {
+                    low + (high - low) * t / rise_s
+                } else if t < rise_s + width_s {
+                    *high
+                } else if t < rise_s + width_s + fall_s {
+                    high - (high - low) * (t - rise_s - width_s) / fall_s
+                } else {
+                    *low
+                }
+            }
+        }
+    }
+
+    /// Times at which the waveform has corners — the transient engine
+    /// aligns steps to these so edges are never skipped. Only corners in
+    /// `[0, t_stop]` are returned.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        match self {
+            Waveform::Dc(_) => Vec::new(),
+            Waveform::Pwl(points) => points
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| (0.0..=t_stop).contains(&t))
+                .collect(),
+            Waveform::Pulse {
+                delay_s,
+                rise_s,
+                fall_s,
+                width_s,
+                period_s,
+                ..
+            } => {
+                let mut out = Vec::new();
+                let mut base = *delay_s;
+                loop {
+                    for corner in [
+                        base,
+                        base + rise_s,
+                        base + rise_s + width_s,
+                        base + rise_s + width_s + fall_s,
+                    ] {
+                        if corner <= t_stop {
+                            out.push(corner);
+                        }
+                    }
+                    if *period_s <= 0.0 || base + period_s > t_stop {
+                        break;
+                    }
+                    base += period_s;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::dc(1.5);
+        assert_eq!(w.at(0.0), 1.5);
+        assert_eq!(w.at(1e9), 1.5);
+        assert!(w.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn step_transitions_sharply() {
+        let w = Waveform::step(2.0, 1e-6);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(0.99e-6), 0.0);
+        assert_eq!(w.at(1.1e-6), 2.0);
+        // Midpoint of the 1 ns edge.
+        assert!((w.at(1e-6 + 0.5e-9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::pwl(vec![(1.0, 0.0), (2.0, 10.0), (3.0, -10.0)]);
+        assert_eq!(w.at(0.0), 0.0); // clamp left
+        assert_eq!(w.at(1.5), 5.0);
+        assert_eq!(w.at(2.5), 0.0);
+        assert_eq!(w.at(99.0), -10.0); // clamp right
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn pwl_rejects_unsorted() {
+        let _ = Waveform::pwl(vec![(1.0, 0.0), (0.5, 1.0)]);
+    }
+
+    #[test]
+    fn single_pulse_shape() {
+        let w = Waveform::single_pulse(1.0, 10e-9, 100e-9);
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(50e-9), 1.0);
+        assert_eq!(w.at(200e-9), 0.0);
+    }
+
+    #[test]
+    fn periodic_pulse_repeats() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay_s: 0.0,
+            rise_s: 1e-9,
+            fall_s: 1e-9,
+            width_s: 48e-9,
+            period_s: 100e-9,
+        };
+        assert_eq!(w.at(25e-9), 1.0);
+        assert_eq!(w.at(75e-9), 0.0);
+        assert_eq!(w.at(125e-9), 1.0); // second period
+        assert_eq!(w.at(175e-9), 0.0);
+    }
+
+    #[test]
+    fn breakpoints_cover_edges() {
+        let w = Waveform::single_pulse(1.0, 10e-9, 100e-9);
+        let bps = w.breakpoints(1e-6);
+        let has = |t: f64| bps.iter().any(|&b| (b - t).abs() < 1e-15);
+        assert!(has(10e-9));
+        assert!(has(11e-9));
+        assert!(has(111e-9));
+        assert!(has(112e-9));
+    }
+
+    #[test]
+    fn breakpoints_respect_t_stop() {
+        let w = Waveform::single_pulse(1.0, 10e-9, 100e-9);
+        let bps = w.breakpoints(50e-9);
+        assert!(bps.iter().all(|&t| t <= 50e-9));
+        assert!(!bps.is_empty());
+    }
+
+    #[test]
+    fn periodic_breakpoints_bounded() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay_s: 0.0,
+            rise_s: 1e-9,
+            fall_s: 1e-9,
+            width_s: 8e-9,
+            period_s: 20e-9,
+        };
+        let bps = w.breakpoints(100e-9);
+        assert!(bps.len() >= 16);
+        assert!(bps.iter().all(|&t| t <= 100e-9));
+    }
+}

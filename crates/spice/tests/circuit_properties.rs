@@ -1,0 +1,162 @@
+//! Property-based validation of the MNA simulator against closed-form
+//! circuit theory.
+
+use felim_spice::sweep::{dc_sweep, linspace};
+use felim_spice::{Circuit, Element, TransientSpec, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A two-resistor divider must match V·R2/(R1+R2) for any values.
+    #[test]
+    fn divider_matches_formula(
+        r1 in 10.0f64..1e6,
+        r2 in 10.0f64..1e6,
+        v in -10.0f64..10.0,
+    ) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(v));
+        c.add("R1", Element::resistor(a, b, r1));
+        c.add("R2", Element::resistor(b, Circuit::GND, r2));
+        let op = c.dc_operating_point().unwrap();
+        let expect = v * r2 / (r1 + r2);
+        prop_assert!((op.voltage("b").unwrap() - expect).abs() < 1e-6 + 1e-6 * expect.abs());
+        // KCL: source current equals the ladder current.
+        let i = op.source_current("V1").unwrap();
+        prop_assert!((i + v / (r1 + r2)).abs() < 1e-9 + 1e-9 * (v / (r1 + r2)).abs());
+    }
+
+    /// Superposition: the response to two sources is the sum of the
+    /// responses to each alone.
+    #[test]
+    fn superposition_holds(
+        v1 in -5.0f64..5.0,
+        v2 in -5.0f64..5.0,
+        r in 100.0f64..1e5,
+    ) {
+        let solve = |va: f64, vb: f64| -> f64 {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            let mid = c.node("mid");
+            c.add_vsource("VA", a, Circuit::GND, Waveform::dc(va));
+            c.add_vsource("VB", b, Circuit::GND, Waveform::dc(vb));
+            c.add("R1", Element::resistor(a, mid, r));
+            c.add("R2", Element::resistor(b, mid, 2.0 * r));
+            c.add("R3", Element::resistor(mid, Circuit::GND, 3.0 * r));
+            c.dc_operating_point().unwrap().voltage("mid").unwrap()
+        };
+        let both = solve(v1, v2);
+        let sum = solve(v1, 0.0) + solve(0.0, v2);
+        prop_assert!((both - sum).abs() < 1e-6);
+    }
+
+    /// RC step response matches the analytic exponential at three
+    /// checkpoints for random R and C.
+    #[test]
+    fn rc_step_matches_exponential(
+        r_exp in 2.0f64..5.0,   // 100 Ω – 100 kΩ
+        c_exp in -10.0f64..-8.0, // 0.1 nF – 10 nF
+    ) {
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0, 0.0));
+        ckt.add("R1", Element::resistor(a, b, r));
+        ckt.add("C1", Element::capacitor(b, Circuit::GND, c));
+        let trace = ckt
+            .transient(&TransientSpec::new(4.0 * tau, tau / 200.0))
+            .unwrap();
+        for frac in [0.5, 1.0, 2.0] {
+            let t = frac * tau;
+            let analytic = 1.0 - (-(t - 1e-9) / tau).exp();
+            let got = trace.voltage_at("b", t).unwrap();
+            prop_assert!(
+                (got - analytic).abs() < 0.02,
+                "t={frac}tau: {got} vs {analytic}"
+            );
+        }
+    }
+
+    /// DC sweeps are linear in a linear network: the swept node voltage
+    /// is proportional to the source value.
+    #[test]
+    fn dc_sweep_linearity(r1 in 100.0f64..1e5, r2 in 100.0f64..1e5) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GND, Waveform::dc(0.0));
+        c.add("R1", Element::resistor(a, b, r1));
+        c.add("R2", Element::resistor(b, Circuit::GND, r2));
+        let points = dc_sweep(&mut c, "V1", &linspace(0.0, 4.0, 5)).unwrap();
+        let gain = points[4].1.voltage("b").unwrap() / 4.0;
+        for (v, op) in &points {
+            prop_assert!((op.voltage("b").unwrap() - gain * v).abs() < 1e-6);
+        }
+    }
+
+    /// Emit → parse roundtrip preserves the DC solution for random
+    /// resistive ladders with random sources.
+    #[test]
+    fn netlist_roundtrip_preserves_dc(
+        resistances in prop::collection::vec(10.0f64..1e5, 2..6),
+        v in -5.0f64..5.0,
+    ) {
+        use felim_spice::parse::parse_netlist;
+        let mut ckt = Circuit::new();
+        let top = ckt.node("n0");
+        ckt.add_vsource("V1", top, Circuit::GND, Waveform::dc(v));
+        let mut prev = top;
+        for (i, r) in resistances.iter().enumerate() {
+            let next = ckt.node(&format!("n{}", i + 1));
+            ckt.add(&format!("R{i}"), Element::resistor(prev, next, *r));
+            prev = next;
+        }
+        ckt.add("Rend", Element::resistor(prev, Circuit::GND, 1e3));
+
+        let text = ckt.to_netlist_string("ladder");
+        let reparsed = parse_netlist(&text).unwrap().circuit;
+        let op1 = ckt.dc_operating_point().unwrap();
+        let op2 = reparsed.dc_operating_point().unwrap();
+        for i in 0..=resistances.len() {
+            let name = format!("n{i}");
+            let (a, b) = (op1.voltage(&name).unwrap(), op2.voltage(&name).unwrap());
+            prop_assert!((a - b).abs() < 1e-9, "{name}: {a} vs {b}");
+        }
+    }
+
+    /// Charge conservation in a capacitive divider: after a step settles,
+    /// the series caps share the source voltage inversely to their values.
+    #[test]
+    fn capacitive_divider_final_value(
+        c1_exp in -10.0f64..-8.0,
+        c2_exp in -10.0f64..-8.0,
+    ) {
+        let c1 = 10f64.powf(c1_exp);
+        let c2 = 10f64.powf(c2_exp);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0, 0.0));
+        // Small series resistor to give the edge a time constant the
+        // stepper can resolve.
+        let r = 1e3;
+        let mid = ckt.node("mid");
+        ckt.add("R1", Element::resistor(a, mid, r));
+        ckt.add("C1", Element::capacitor(mid, b, c1));
+        ckt.add("C2", Element::capacitor(b, Circuit::GND, c2));
+        let tau = r * (c1 * c2) / (c1 + c2);
+        let trace = ckt
+            .transient(&TransientSpec::new(20.0 * tau + 20e-9, tau / 50.0))
+            .unwrap();
+        let expect = c1 / (c1 + c2);
+        let got = trace.final_voltage("b").unwrap();
+        prop_assert!((got - expect).abs() < 0.02, "{got} vs {expect}");
+    }
+}

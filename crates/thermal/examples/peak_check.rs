@@ -1,0 +1,8 @@
+fn main() {
+    let stack = felim_thermal::Stack::feram_on_compute_die(5);
+    let mut power = felim_thermal::PowerMap::zeros(&stack, 32, 32);
+    power.add_uniform_layer(stack.compute_layer(), 28.0);
+    power.add_memory_activity(&stack, 0.27, 0.25);
+    let f = felim_thermal::solve_steady_state(&stack, &power, 300.0);
+    println!("peak = {:.2} K (paper: 351.88 K)", f.peak_kelvin());
+}

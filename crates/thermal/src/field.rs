@@ -1,0 +1,122 @@
+//! Solved temperature fields and their measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// A steady-state temperature field over the stack grid, in K.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureField {
+    nx: usize,
+    ny: usize,
+    layers: usize,
+    kelvin: Vec<f64>,
+    ambient_k: f64,
+}
+
+impl TemperatureField {
+    pub(crate) fn new(
+        nx: usize,
+        ny: usize,
+        layers: usize,
+        kelvin: Vec<f64>,
+        ambient_k: f64,
+    ) -> Self {
+        assert_eq!(kelvin.len(), nx * ny * layers);
+        Self {
+            nx,
+            ny,
+            layers,
+            kelvin,
+            ambient_k,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers
+    }
+
+    /// Ambient temperature, K.
+    pub fn ambient_k(&self) -> f64 {
+        self.ambient_k
+    }
+
+    /// Temperature of one cell, K.
+    pub fn cell(&self, layer: usize, iy: usize, ix: usize) -> f64 {
+        assert!(layer < self.layers && iy < self.ny && ix < self.nx);
+        self.kelvin[(layer * self.ny + iy) * self.nx + ix]
+    }
+
+    /// Peak temperature over the whole stack, K.
+    pub fn peak_kelvin(&self) -> f64 {
+        self.kelvin.iter().copied().fold(f64::MIN, f64::max)
+    }
+
+    /// Minimum temperature over the whole stack, K.
+    pub fn min_kelvin(&self) -> f64 {
+        self.kelvin.iter().copied().fold(f64::MAX, f64::min)
+    }
+
+    /// Peak temperature within one layer, K.
+    pub fn layer_peak_kelvin(&self, layer: usize) -> f64 {
+        (0..self.ny)
+            .flat_map(|iy| (0..self.nx).map(move |ix| (iy, ix)))
+            .map(|(iy, ix)| self.cell(layer, iy, ix))
+            .fold(f64::MIN, f64::max)
+    }
+
+    /// Mean temperature within one layer, K.
+    pub fn layer_mean_kelvin(&self, layer: usize) -> f64 {
+        let sum: f64 = (0..self.ny)
+            .flat_map(|iy| (0..self.nx).map(move |ix| (iy, ix)))
+            .map(|(iy, ix)| self.cell(layer, iy, ix))
+            .sum();
+        sum / (self.nx * self.ny) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> TemperatureField {
+        // 2 layers of 2x2: layer 0 warm, layer 1 warmer at one corner.
+        TemperatureField::new(
+            2,
+            2,
+            2,
+            vec![310.0, 310.0, 310.0, 310.0, 320.0, 315.0, 315.0, 315.0],
+            300.0,
+        )
+    }
+
+    #[test]
+    fn extrema_and_means() {
+        let f = field();
+        assert_eq!(f.peak_kelvin(), 320.0);
+        assert_eq!(f.min_kelvin(), 310.0);
+        assert_eq!(f.layer_peak_kelvin(0), 310.0);
+        assert_eq!(f.layer_peak_kelvin(1), 320.0);
+        assert!((f.layer_mean_kelvin(1) - 316.25).abs() < 1e-12);
+        assert_eq!(f.ambient_k(), 300.0);
+        assert_eq!(f.grid(), (2, 2));
+        assert_eq!(f.layer_count(), 2);
+    }
+
+    #[test]
+    fn cell_indexing() {
+        let f = field();
+        assert_eq!(f.cell(1, 0, 0), 320.0);
+        assert_eq!(f.cell(1, 0, 1), 315.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_bounds() {
+        let _ = field().cell(2, 0, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # felim-thermal — steady-state 3-D thermal solver
+//!
+//! Section VII of the paper evaluates the thermal viability of the
+//! vertically-stacked 2T-nC FeRAM on a compute die using HotSpot: an
+//! (n+2)-layer memory stack on a 28 W edge-TPU-class die under natural
+//! convection at 300 K ambient, modelled at subarray granularity. The
+//! steady-state peak is 351.88 K.
+//!
+//! This crate is the HotSpot-class substitute: a finite-volume
+//! discretisation of the layered stack (lateral + vertical conduction, a
+//! lumped convective path from the top surface to ambient, adiabatic
+//! sides/bottom), solved matrix-free with conjugate gradients. The
+//! conduction/convection network is exactly HotSpot's steady-state grid
+//! model; the lumped package resistance is a calibration constant, as it
+//! is in HotSpot.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use felim_thermal::{Stack, PowerMap, solve_steady_state};
+//!
+//! let stack = Stack::feram_on_compute_die(5);
+//! let mut power = PowerMap::zeros(&stack, 16, 16);
+//! power.add_uniform_layer(stack.compute_layer(), 28.0); // 28 W TPU
+//! let field = solve_steady_state(&stack, &power, 300.0);
+//! let peak = field.peak_kelvin();
+//! assert!(peak > 340.0 && peak < 365.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod power;
+pub mod solve;
+pub mod stack;
+pub mod transient;
+
+pub use field::TemperatureField;
+pub use power::PowerMap;
+pub use solve::solve_steady_state;
+pub use stack::{Layer, Stack};
+pub use transient::{solve_transient, TransientResult};
+
+/// Ambient temperature used throughout the paper's analysis, in K.
+pub const AMBIENT_K: f64 = 300.0;

@@ -1,0 +1,167 @@
+//! Power maps: per-(layer, cell) heat injection.
+
+use crate::stack::Stack;
+use serde::{Deserialize, Serialize};
+
+/// Heat injection per finite-volume cell, in W.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    nx: usize,
+    ny: usize,
+    layers: usize,
+    /// Power per cell, indexed `(layer * ny + iy) * nx + ix`.
+    watts: Vec<f64>,
+}
+
+impl PowerMap {
+    /// A zero power map over an `nx × ny` grid per layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate grid.
+    pub fn zeros(stack: &Stack, nx: usize, ny: usize) -> Self {
+        assert!(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+        Self {
+            nx,
+            ny,
+            layers: stack.layer_count(),
+            watts: vec![0.0; stack.layer_count() * nx * ny],
+        }
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers
+    }
+
+    fn index(&self, layer: usize, iy: usize, ix: usize) -> usize {
+        assert!(layer < self.layers && iy < self.ny && ix < self.nx);
+        (layer * self.ny + iy) * self.nx + ix
+    }
+
+    /// Power of one cell, W.
+    pub fn cell(&self, layer: usize, iy: usize, ix: usize) -> f64 {
+        self.watts[self.index(layer, iy, ix)]
+    }
+
+    /// Adds power to one cell.
+    pub fn add_cell(&mut self, layer: usize, iy: usize, ix: usize, watts: f64) {
+        let i = self.index(layer, iy, ix);
+        self.watts[i] += watts;
+    }
+
+    /// Spreads `watts` uniformly over a whole layer.
+    pub fn add_uniform_layer(&mut self, layer: usize, watts: f64) {
+        let per_cell = watts / (self.nx * self.ny) as f64;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                self.add_cell(layer, iy, ix, per_cell);
+            }
+        }
+    }
+
+    /// Spreads `watts` over a rectangular block of cells (a subarray),
+    /// clamped to the grid.
+    pub fn add_block(
+        &mut self,
+        layer: usize,
+        (x0, y0): (usize, usize),
+        (w, h): (usize, usize),
+        watts: f64,
+    ) {
+        let x1 = (x0 + w).min(self.nx);
+        let y1 = (y0 + h).min(self.ny);
+        let cells = ((x1 - x0) * (y1 - y0)).max(1) as f64;
+        for iy in y0..y1 {
+            for ix in x0..x1 {
+                self.add_cell(layer, iy, ix, watts / cells);
+            }
+        }
+    }
+
+    /// Distributes a memory power budget across the stack's memory layers
+    /// at subarray granularity: each memory layer receives an equal share,
+    /// striped over `active_fraction` of its area (the activity footprint
+    /// of the running workload).
+    pub fn add_memory_activity(&mut self, stack: &Stack, total_watts: f64, active_fraction: f64) {
+        let frac = active_fraction.clamp(0.0, 1.0);
+        let mem = stack.memory_layers();
+        let per_layer = total_watts / mem.len() as f64;
+        for &layer in mem {
+            let active_cols = ((self.nx as f64 * frac).ceil() as usize).max(1);
+            self.add_block(layer, (0, 0), (active_cols, self.ny), per_layer);
+        }
+    }
+
+    /// Total injected power, W.
+    pub fn total_watts(&self) -> f64 {
+        self.watts.iter().sum()
+    }
+
+    /// Raw per-cell power slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> Stack {
+        Stack::feram_on_compute_die(5)
+    }
+
+    #[test]
+    fn uniform_layer_conserves_power() {
+        let s = stack();
+        let mut p = PowerMap::zeros(&s, 8, 8);
+        p.add_uniform_layer(s.compute_layer(), 28.0);
+        assert!((p.total_watts() - 28.0).abs() < 1e-9);
+        assert!((p.cell(0, 3, 3) - 28.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_injection_is_local_and_conserving() {
+        let s = stack();
+        let mut p = PowerMap::zeros(&s, 8, 8);
+        p.add_block(2, (1, 1), (2, 2), 1.0);
+        assert!((p.total_watts() - 1.0).abs() < 1e-12);
+        assert_eq!(p.cell(2, 0, 0), 0.0);
+        assert!((p.cell(2, 1, 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_clamps_at_grid_edge() {
+        let s = stack();
+        let mut p = PowerMap::zeros(&s, 8, 8);
+        p.add_block(0, (7, 7), (4, 4), 2.0);
+        assert!((p.total_watts() - 2.0).abs() < 1e-12);
+        assert!((p.cell(0, 7, 7) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_activity_spreads_over_memory_layers() {
+        let s = stack();
+        let mut p = PowerMap::zeros(&s, 8, 8);
+        p.add_memory_activity(&s, 1.0, 0.5);
+        assert!((p.total_watts() - 1.0).abs() < 1e-9);
+        // Only memory layers received power.
+        assert_eq!(p.cell(s.compute_layer(), 0, 0), 0.0);
+        let first_mem = s.memory_layers()[0];
+        assert!(p.cell(first_mem, 0, 0) > 0.0);
+        // Right half of the die is idle at 50 % activity.
+        assert_eq!(p.cell(first_mem, 0, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_grid() {
+        let _ = PowerMap::zeros(&stack(), 1, 8);
+    }
+}

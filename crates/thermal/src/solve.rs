@@ -1,0 +1,256 @@
+//! Matrix-free conjugate-gradient steady-state solve.
+//!
+//! Unknowns are cell temperatures relative to ambient. The conduction +
+//! convection operator is symmetric positive definite (a weighted graph
+//! Laplacian plus the positive convective diagonal), so plain CG
+//! converges; the grids used here (≤ 64×64×12) solve in milliseconds.
+
+use crate::field::TemperatureField;
+use crate::power::PowerMap;
+use crate::stack::Stack;
+
+/// Conductance network over the stack grid.
+pub(crate) struct Network {
+    nx: usize,
+    ny: usize,
+    layers: usize,
+    /// Lateral conductance within layer l (x direction), W/K.
+    g_lat_x: Vec<f64>,
+    /// Lateral conductance within layer l (y direction), W/K.
+    g_lat_y: Vec<f64>,
+    /// Vertical conductance between layer l and l+1, W/K (per cell).
+    g_vert: Vec<f64>,
+    /// Convective conductance from each top-layer cell to ambient, W/K.
+    g_conv: f64,
+}
+
+impl Network {
+    fn build(stack: &Stack, nx: usize, ny: usize) -> Self {
+        let dx = stack.width_m / nx as f64;
+        let dy = stack.depth_m / ny as f64;
+        let layers = stack.layer_count();
+        let g_lat_x: Vec<f64> = stack
+            .layers
+            .iter()
+            .map(|l| l.conductivity_w_mk * l.thickness_m * dy / dx)
+            .collect();
+        let g_lat_y: Vec<f64> = stack
+            .layers
+            .iter()
+            .map(|l| l.conductivity_w_mk * l.thickness_m * dx / dy)
+            .collect();
+        let cell_area = dx * dy;
+        let g_vert: Vec<f64> = stack
+            .layers
+            .windows(2)
+            .map(|w| {
+                let r = w[0].thickness_m / (2.0 * w[0].conductivity_w_mk * cell_area)
+                    + w[1].thickness_m / (2.0 * w[1].conductivity_w_mk * cell_area);
+                1.0 / r
+            })
+            .collect();
+        let g_conv = 1.0 / (stack.r_convec_k_w * (nx * ny) as f64);
+        Self {
+            nx,
+            ny,
+            layers,
+            g_lat_x,
+            g_lat_y,
+            g_vert,
+            g_conv,
+        }
+    }
+
+    fn idx(&self, l: usize, iy: usize, ix: usize) -> usize {
+        (l * self.ny + iy) * self.nx + ix
+    }
+
+    /// y = A·x where A is the conduction/convection operator.
+    pub(crate) fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
+        for l in 0..self.layers {
+            for iy in 0..self.ny {
+                for ix in 0..self.nx {
+                    let i = self.idx(l, iy, ix);
+                    let xi = x[i];
+                    let mut acc = 0.0;
+                    if ix + 1 < self.nx {
+                        let j = self.idx(l, iy, ix + 1);
+                        let g = self.g_lat_x[l];
+                        acc += g * (xi - x[j]);
+                        y[j] += g * (x[j] - xi);
+                    }
+                    if iy + 1 < self.ny {
+                        let j = self.idx(l, iy + 1, ix);
+                        let g = self.g_lat_y[l];
+                        acc += g * (xi - x[j]);
+                        y[j] += g * (x[j] - xi);
+                    }
+                    if l + 1 < self.layers {
+                        let j = self.idx(l + 1, iy, ix);
+                        let g = self.g_vert[l];
+                        acc += g * (xi - x[j]);
+                        y[j] += g * (x[j] - xi);
+                    }
+                    if l == self.layers - 1 {
+                        // Convection to ambient (x is relative to ambient).
+                        acc += self.g_conv * xi;
+                    }
+                    y[i] += acc;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the conductance network for the transient solver.
+pub(crate) fn network_for(stack: &Stack, nx: usize, ny: usize) -> Network {
+    Network::build(stack, nx, ny)
+}
+
+/// Solves the steady-state temperature field for `power` on `stack` with
+/// the given ambient temperature.
+///
+/// # Panics
+///
+/// Panics if the power map's layer count does not match the stack, or if
+/// CG fails to converge (it cannot for this SPD system unless the inputs
+/// are non-finite).
+pub fn solve_steady_state(stack: &Stack, power: &PowerMap, ambient_k: f64) -> TemperatureField {
+    assert_eq!(
+        power.layer_count(),
+        stack.layer_count(),
+        "power map and stack disagree on layer count"
+    );
+    let (nx, ny) = power.grid();
+    let net = Network::build(stack, nx, ny);
+    let n = nx * ny * stack.layer_count();
+    let b = power.as_slice();
+
+    // Conjugate gradients on A·x = b.
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    let b_norm: f64 = rs_old.sqrt().max(1e-30);
+
+    for _ in 0..(4 * n) {
+        if rs_old.sqrt() / b_norm < 1e-10 {
+            break;
+        }
+        net.apply(&p, &mut ap);
+        let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        assert!(
+            p_ap.is_finite() && p_ap > 0.0,
+            "CG lost positive-definiteness"
+        );
+        let alpha = rs_old / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+
+    let kelvin: Vec<f64> = x.iter().map(|dt| ambient_k + dt).collect();
+    TemperatureField::new(nx, ny, stack.layer_count(), kelvin, ambient_k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_power_is_ambient_everywhere() {
+        let stack = Stack::feram_on_compute_die(5);
+        let power = PowerMap::zeros(&stack, 8, 8);
+        let field = solve_steady_state(&stack, &power, 300.0);
+        assert!((field.peak_kelvin() - 300.0).abs() < 1e-6);
+        assert!((field.min_kelvin() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_power_matches_lumped_resistance() {
+        // With uniform heating, the solution approaches the 1-D lumped
+        // model: ΔT_top ≈ P · R_convec.
+        let stack = Stack::feram_on_compute_die(5);
+        let mut power = PowerMap::zeros(&stack, 8, 8);
+        let p_total = 10.0;
+        power.add_uniform_layer(stack.layer_count() - 1, p_total);
+        let field = solve_steady_state(&stack, &power, 300.0);
+        let expected = 300.0 + p_total * stack.r_convec_k_w;
+        let top_mean = field.layer_mean_kelvin(stack.layer_count() - 1);
+        assert!(
+            (top_mean - expected).abs() < 0.5,
+            "top mean {top_mean} vs lumped {expected}"
+        );
+    }
+
+    #[test]
+    fn heat_flows_up_through_the_stack() {
+        let stack = Stack::feram_on_compute_die(5);
+        let mut power = PowerMap::zeros(&stack, 8, 8);
+        power.add_uniform_layer(stack.compute_layer(), 28.0);
+        let field = solve_steady_state(&stack, &power, 300.0);
+        // The bottom (source) layer is hottest; temperature decreases
+        // monotonically toward the convectively cooled top.
+        let mut last = f64::INFINITY;
+        for l in 0..stack.layer_count() {
+            let t = field.layer_mean_kelvin(l);
+            assert!(t <= last + 1e-9, "layer {l} hotter than below");
+            assert!(t > 300.0);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn hotspot_spreads_laterally() {
+        let stack = Stack::feram_on_compute_die(5);
+        let mut power = PowerMap::zeros(&stack, 16, 16);
+        // Point-ish source in one corner of the compute die.
+        power.add_block(stack.compute_layer(), (0, 0), (2, 2), 5.0);
+        let field = solve_steady_state(&stack, &power, 300.0);
+        let near = field.cell(stack.compute_layer(), 0, 0);
+        let far = field.cell(stack.compute_layer(), 15, 15);
+        assert!(near > far, "corner source must be hottest");
+        assert!(far > 300.0, "heat still reaches the far corner");
+    }
+
+    #[test]
+    fn energy_balance_total_heat_exits_through_convection() {
+        let stack = Stack::feram_on_compute_die(5);
+        let mut power = PowerMap::zeros(&stack, 8, 8);
+        power.add_uniform_layer(stack.compute_layer(), 28.0);
+        let field = solve_steady_state(&stack, &power, 300.0);
+        // Mean top-layer rise × total convective conductance must equal
+        // the injected 28 W (steady state: everything leaves via the top).
+        let top = stack.layer_count() - 1;
+        let q_out = (field.layer_mean_kelvin(top) - 300.0) / stack.r_convec_k_w;
+        assert!((q_out - 28.0).abs() < 0.05, "q_out = {q_out}");
+    }
+
+    #[test]
+    fn ambient_offset_shifts_solution_linearly() {
+        let stack = Stack::feram_on_compute_die(3);
+        let mut power = PowerMap::zeros(&stack, 8, 8);
+        power.add_uniform_layer(stack.compute_layer(), 10.0);
+        let cold = solve_steady_state(&stack, &power, 280.0);
+        let warm = solve_steady_state(&stack, &power, 320.0);
+        assert!(((warm.peak_kelvin() - cold.peak_kelvin()) - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on layer count")]
+    fn rejects_mismatched_power_map() {
+        let stack5 = Stack::feram_on_compute_die(5);
+        let stack3 = Stack::feram_on_compute_die(3);
+        let power = PowerMap::zeros(&stack3, 8, 8);
+        let _ = solve_steady_state(&stack5, &power, 300.0);
+    }
+}

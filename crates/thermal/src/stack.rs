@@ -1,0 +1,160 @@
+//! Layered die-stack geometry and materials.
+
+use serde::{Deserialize, Serialize};
+
+/// One layer of the stack (bottom to top ordering in [`Stack::layers`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name.
+    pub name: String,
+    /// Thickness in m.
+    pub thickness_m: f64,
+    /// Thermal conductivity in W/(m·K).
+    pub conductivity_w_mk: f64,
+}
+
+impl Layer {
+    /// Creates a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive thickness or conductivity.
+    pub fn new(name: &str, thickness_m: f64, conductivity_w_mk: f64) -> Self {
+        assert!(thickness_m > 0.0, "thickness must be positive");
+        assert!(conductivity_w_mk > 0.0, "conductivity must be positive");
+        Self {
+            name: name.to_owned(),
+            thickness_m,
+            conductivity_w_mk,
+        }
+    }
+}
+
+/// A 3-D system-on-chip stack: compute die at the bottom, memory layers
+/// above, heat spreader on top, convective path to ambient from the top
+/// surface; sides and bottom adiabatic (worst case, as in the paper's
+/// natural-convection setup).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stack {
+    /// Layers, bottom to top.
+    pub layers: Vec<Layer>,
+    /// Die width (x) in m.
+    pub width_m: f64,
+    /// Die depth (y) in m.
+    pub depth_m: f64,
+    /// Lumped package/convective resistance from the top surface to
+    /// ambient, in K/W. Plays the role of HotSpot's `r_convec` package
+    /// parameter; the default is calibrated so a 28 W compute die under
+    /// the 5-layer memory stack peaks at the paper's 351.88 K.
+    pub r_convec_k_w: f64,
+    /// Index of the compute (heat-source) layer.
+    compute_layer: usize,
+    /// Indices of the memory layers, bottom to top.
+    memory_layers: Vec<usize>,
+}
+
+impl Stack {
+    /// The paper's Fig 7 configuration: a compute die (edge-TPU class),
+    /// a thermal interface, `n_memory_layers` stacked 2T-nC FeRAM layers
+    /// (the paper uses n+2 = 5 for a 2 GB die) and a copper spreader.
+    pub fn feram_on_compute_die(n_memory_layers: usize) -> Self {
+        assert!(n_memory_layers >= 1, "need at least one memory layer");
+        let mut layers = vec![
+            Layer::new("compute-die", 300e-6, 150.0), // silicon
+            Layer::new("tim", 40e-6, 4.0),            // thermal interface
+        ];
+        let compute_layer = 0;
+        let mut memory_layers = Vec::new();
+        for i in 0..n_memory_layers {
+            memory_layers.push(layers.len());
+            // Thin bonded FeRAM tier: silicon body + BEOL capacitor stack.
+            layers.push(Layer::new(&format!("feram-l{i}"), 60e-6, 110.0));
+            if i + 1 < n_memory_layers {
+                layers.push(Layer::new(&format!("bond-{i}"), 10e-6, 1.5));
+            }
+        }
+        layers.push(Layer::new("spreader", 500e-6, 400.0)); // copper
+        Self {
+            layers,
+            // Edge-TPU-class die footprint.
+            width_m: 10e-3,
+            depth_m: 10e-3,
+            r_convec_k_w: 1.42,
+            compute_layer,
+            memory_layers,
+        }
+    }
+
+    /// Index of the compute (heat-source) layer.
+    pub fn compute_layer(&self) -> usize {
+        self.compute_layer
+    }
+
+    /// Indices of the memory layers (bottom to top).
+    pub fn memory_layers(&self) -> &[usize] {
+        &self.memory_layers
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total stack thickness in m.
+    pub fn total_thickness_m(&self) -> f64 {
+        self.layers.iter().map(|l| l.thickness_m).sum()
+    }
+
+    /// One-dimensional conduction resistance of the whole stack (per unit
+    /// of full-die area), K/W — a sanity bound for the solver.
+    pub fn conduction_resistance_k_w(&self) -> f64 {
+        let area = self.width_m * self.depth_m;
+        self.layers
+            .iter()
+            .map(|l| l.thickness_m / (l.conductivity_w_mk * area))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stack_has_five_memory_layers() {
+        let s = Stack::feram_on_compute_die(5);
+        assert_eq!(s.memory_layers().len(), 5);
+        // compute + TIM + 5 memory + 4 bonds + spreader = 12 layers.
+        assert_eq!(s.layer_count(), 12);
+        assert_eq!(s.compute_layer(), 0);
+        assert!(s.total_thickness_m() < 2e-3);
+    }
+
+    #[test]
+    fn conduction_resistance_is_small_vs_package() {
+        let s = Stack::feram_on_compute_die(5);
+        // Vertical conduction through thin dies is cheap; the package
+        // convection dominates — same structure as HotSpot's model.
+        assert!(s.conduction_resistance_k_w() < 0.5 * s.r_convec_k_w);
+    }
+
+    #[test]
+    fn memory_layer_indices_point_at_feram_layers() {
+        let s = Stack::feram_on_compute_die(3);
+        for (i, &l) in s.memory_layers().iter().enumerate() {
+            assert!(s.layers[l].name.contains(&format!("feram-l{i}")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one memory layer")]
+    fn rejects_empty_memory_stack() {
+        let _ = Stack::feram_on_compute_die(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thickness must be positive")]
+    fn rejects_bad_layer() {
+        let _ = Layer::new("x", 0.0, 1.0);
+    }
+}

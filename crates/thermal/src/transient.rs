@@ -1,0 +1,212 @@
+//! Transient thermal analysis (implicit-Euler time stepping).
+//!
+//! Extends the steady-state network with per-cell thermal capacitance:
+//! `C·dT/dt = P − A·(T − T_amb)`, integrated with backward Euler (each
+//! step solves the SPD system `(C/Δt + A)·x = C/Δt·x_prev + P` with
+//! conjugate gradients). Used to answer the question the steady-state
+//! solve cannot: *how fast* does the stack heat up when a workload
+//! starts — the thermal time constant that governs burst-mode operation.
+
+use crate::field::TemperatureField;
+use crate::power::PowerMap;
+use crate::solve::solve_steady_state;
+use crate::stack::Stack;
+use serde::{Deserialize, Serialize};
+
+/// Volumetric heat capacity used for every layer, J/(m³·K)
+/// (silicon-class; thin stacks are dominated by the die material).
+pub const VOLUMETRIC_HEAT_CAPACITY: f64 = 1.63e6;
+
+/// One recorded instant of a transient run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientPoint {
+    /// Simulation time, s.
+    pub time_s: f64,
+    /// Peak temperature at this instant, K.
+    pub peak_k: f64,
+    /// Mean compute-layer temperature, K.
+    pub compute_mean_k: f64,
+}
+
+/// Result of a transient thermal run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Recorded trajectory.
+    pub trajectory: Vec<TransientPoint>,
+    /// Final temperature field.
+    pub final_field: TemperatureField,
+    /// Time to reach 63.2 % of the steady-state peak rise, s
+    /// (the dominant thermal time constant; `None` if never reached).
+    pub tau_63_s: Option<f64>,
+}
+
+/// Runs a transient from a uniform ambient start with constant `power`,
+/// stepping `dt_s` until `t_end_s` and recording every `record_every`
+/// steps.
+///
+/// # Panics
+///
+/// Panics on non-positive step/duration or mismatched power map.
+pub fn solve_transient(
+    stack: &Stack,
+    power: &PowerMap,
+    ambient_k: f64,
+    t_end_s: f64,
+    dt_s: f64,
+    record_every: usize,
+) -> TransientResult {
+    assert!(dt_s > 0.0 && t_end_s >= dt_s, "need 0 < dt <= t_end");
+    assert_eq!(power.layer_count(), stack.layer_count());
+    let (nx, ny) = power.grid();
+    let n = nx * ny * stack.layer_count();
+
+    // Per-cell heat capacity C = c_v · cell volume.
+    let dx = stack.width_m / nx as f64;
+    let dy = stack.depth_m / ny as f64;
+    let cap: Vec<f64> = (0..stack.layer_count())
+        .flat_map(|l| {
+            let c = VOLUMETRIC_HEAT_CAPACITY * dx * dy * stack.layers[l].thickness_m;
+            std::iter::repeat_n(c, nx * ny)
+        })
+        .collect();
+
+    // Steady-state target for the time-constant measurement.
+    let steady = solve_steady_state(stack, power, ambient_k);
+    let steady_rise = steady.peak_kelvin() - ambient_k;
+
+    let net = crate::solve::network_for(stack, nx, ny);
+    let mut x = vec![0.0; n]; // temperature rise above ambient
+    let b0 = power.as_slice();
+    let mut trajectory = Vec::new();
+    let mut tau_63 = None;
+
+    let steps = (t_end_s / dt_s).round() as usize;
+    let mut ax = vec![0.0; n];
+    for step in 1..=steps {
+        // Backward Euler: (C/dt + A)·x_new = C/dt·x + P. Solve by CG.
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            rhs[i] = cap[i] / dt_s * x[i] + b0[i];
+        }
+        // CG on the shifted operator.
+        let apply = |v: &[f64], out: &mut [f64]| {
+            net.apply(v, out);
+            for i in 0..n {
+                out[i] += cap[i] / dt_s * v[i];
+            }
+        };
+        let mut r = rhs.clone();
+        apply(&x, &mut ax);
+        for i in 0..n {
+            r[i] -= ax[i];
+        }
+        let mut p = r.clone();
+        let mut rs: f64 = r.iter().map(|v| v * v).sum();
+        let tol = rs.sqrt().max(1e-30) * 1e-8;
+        for _ in 0..n {
+            if rs.sqrt() < tol {
+                break;
+            }
+            apply(&p, &mut ax);
+            let pap: f64 = p.iter().zip(&ax).map(|(a, b)| a * b).sum();
+            let alpha = rs / pap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ax[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rs = rs_new;
+        }
+
+        let t_now = step as f64 * dt_s;
+        let peak_rise = x.iter().cloned().fold(f64::MIN, f64::max);
+        if tau_63.is_none() && steady_rise > 0.0 && peak_rise >= 0.632 * steady_rise {
+            tau_63 = Some(t_now);
+        }
+        if step % record_every.max(1) == 0 || step == steps {
+            let compute_mean = {
+                let l = stack.compute_layer();
+                let sum: f64 = x[l * nx * ny..(l + 1) * nx * ny].iter().sum();
+                ambient_k + sum / (nx * ny) as f64
+            };
+            trajectory.push(TransientPoint {
+                time_s: t_now,
+                peak_k: ambient_k + peak_rise,
+                compute_mean_k: compute_mean,
+            });
+        }
+    }
+
+    let kelvin: Vec<f64> = x.iter().map(|dt| ambient_k + dt).collect();
+    TransientResult {
+        trajectory,
+        final_field: TemperatureField::new(nx, ny, stack.layer_count(), kelvin, ambient_k),
+        tau_63_s: tau_63,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Stack, PowerMap) {
+        let stack = Stack::feram_on_compute_die(3);
+        let mut power = PowerMap::zeros(&stack, 8, 8);
+        power.add_uniform_layer(stack.compute_layer(), 28.0);
+        (stack, power)
+    }
+
+    #[test]
+    fn starts_at_ambient_and_heats_monotonically() {
+        let (stack, power) = setup();
+        let r = solve_transient(&stack, &power, 300.0, 0.2, 0.01, 2);
+        let mut last = 300.0;
+        for p in &r.trajectory {
+            assert!(p.peak_k >= last - 1e-9, "must heat monotonically");
+            last = p.peak_k;
+        }
+        assert!(r.trajectory[0].peak_k > 300.0);
+    }
+
+    #[test]
+    fn converges_to_the_steady_state() {
+        let (stack, power) = setup();
+        let steady = solve_steady_state(&stack, &power, 300.0).peak_kelvin();
+        // The stack's thermal time constant is sub-second (thin dies,
+        // small capacitance); a few seconds is deep steady state.
+        let r = solve_transient(&stack, &power, 300.0, 4.0, 0.02, 50);
+        let final_peak = r.final_field.peak_kelvin();
+        assert!(
+            (final_peak - steady).abs() < 0.5,
+            "transient end {final_peak} vs steady {steady}"
+        );
+    }
+
+    #[test]
+    fn reports_a_thermal_time_constant() {
+        let (stack, power) = setup();
+        let r = solve_transient(&stack, &power, 300.0, 4.0, 0.02, 50);
+        let tau = r.tau_63_s.expect("must cross 63% of steady rise");
+        assert!(tau > 0.0 && tau < 2.0, "tau = {tau} s");
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let stack = Stack::feram_on_compute_die(3);
+        let power = PowerMap::zeros(&stack, 8, 8);
+        let r = solve_transient(&stack, &power, 300.0, 0.1, 0.01, 1);
+        assert!((r.final_field.peak_kelvin() - 300.0).abs() < 1e-9);
+        assert!(r.tau_63_s.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < dt")]
+    fn rejects_bad_stepping() {
+        let (stack, power) = setup();
+        let _ = solve_transient(&stack, &power, 300.0, 0.1, 0.2, 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Validation of the thermal solver against closed-form 1-D conduction.
+
+use felim_thermal::{solve_steady_state, solve_transient, PowerMap, Stack};
+
+/// A uniform heat flux through a layered slab drops `q·R` across each
+/// layer; with laterally-uniform power the 3-D solver must reproduce the
+/// 1-D series-resistance solution layer by layer.
+#[test]
+fn uniform_flux_matches_series_resistance() {
+    let stack = {
+        let mut s = Stack::feram_on_compute_die(1);
+        s.r_convec_k_w = 2.0;
+        s
+    };
+    let p_total = 12.0;
+    let mut power = PowerMap::zeros(&stack, 16, 16);
+    power.add_uniform_layer(stack.compute_layer(), p_total);
+    let field = solve_steady_state(&stack, &power, 300.0);
+
+    let area = stack.width_m * stack.depth_m;
+    // Expected mean temperature of layer i (centre): ambient + P·R_conv +
+    // P · (resistance from layer-i centre to the top surface).
+    // Half-layer resistance of each layer plus full layers above it.
+    let r_above: Vec<f64> = (0..stack.layer_count())
+        .map(|i| {
+            let mut r =
+                stack.layers[i].thickness_m / (2.0 * stack.layers[i].conductivity_w_mk * area);
+            for layer in &stack.layers[i + 1..] {
+                r += layer.thickness_m / (layer.conductivity_w_mk * area);
+            }
+            r
+        })
+        .collect();
+    for (i, r) in r_above.iter().enumerate() {
+        if i < stack.compute_layer() {
+            continue;
+        }
+        let expect = 300.0 + p_total * (stack.r_convec_k_w + r);
+        let got = field.layer_mean_kelvin(i);
+        assert!(
+            (got - expect).abs() < 0.25,
+            "layer {i}: solver {got:.3} K vs 1-D {expect:.3} K"
+        );
+    }
+}
+
+/// The transient solution must never overshoot the steady state (pure
+/// RC diffusion is monotone for a step input).
+#[test]
+fn transient_never_overshoots_steady_state() {
+    let stack = Stack::feram_on_compute_die(3);
+    let mut power = PowerMap::zeros(&stack, 8, 8);
+    power.add_uniform_layer(stack.compute_layer(), 20.0);
+    let steady = solve_steady_state(&stack, &power, 300.0).peak_kelvin();
+    let result = solve_transient(&stack, &power, 300.0, 2.0, 0.02, 5);
+    for point in &result.trajectory {
+        assert!(
+            point.peak_k <= steady + 0.05,
+            "t = {}: {} K overshoots steady {} K",
+            point.time_s,
+            point.peak_k,
+            steady
+        );
+    }
+}
+
+/// Superposition: two sources solved together equal the sum of the
+/// individual solutions (the operator is linear).
+#[test]
+fn thermal_superposition() {
+    let stack = Stack::feram_on_compute_die(2);
+    let solve_rise = |build: &dyn Fn(&mut PowerMap)| {
+        let mut p = PowerMap::zeros(&stack, 8, 8);
+        build(&mut p);
+        let f = solve_steady_state(&stack, &p, 300.0);
+        (0..stack.layer_count())
+            .map(|l| f.layer_mean_kelvin(l) - 300.0)
+            .collect::<Vec<f64>>()
+    };
+    let a = solve_rise(&|p| p.add_uniform_layer(0, 7.0));
+    let b = solve_rise(&|p| p.add_block(2, (1, 1), (3, 3), 3.0));
+    let both = solve_rise(&|p| {
+        p.add_uniform_layer(0, 7.0);
+        p.add_block(2, (1, 1), (3, 3), 3.0);
+    });
+    for l in 0..stack.layer_count() {
+        assert!(
+            (both[l] - (a[l] + b[l])).abs() < 1e-6,
+            "layer {l}: superposition violated"
+        );
+    }
+}
+
+/// Grid-resolution convergence: the peak temperature must be stable as
+/// the lateral discretisation is refined (the 32×32 grid used for Fig 7
+/// is converged to well under a kelvin).
+#[test]
+fn grid_convergence() {
+    let stack = Stack::feram_on_compute_die(5);
+    let peak_at = |grid: usize| {
+        let mut power = PowerMap::zeros(&stack, grid, grid);
+        power.add_uniform_layer(stack.compute_layer(), 28.0);
+        solve_steady_state(&stack, &power, 300.0).peak_kelvin()
+    };
+    let p16 = peak_at(16);
+    let p32 = peak_at(32);
+    let p64 = peak_at(64);
+    assert!((p32 - p64).abs() < 0.2, "32→64 drift {}", (p32 - p64).abs());
+    assert!((p16 - p32).abs() < 0.5, "16→32 drift {}", (p16 - p32).abs());
+}

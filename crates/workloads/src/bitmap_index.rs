@@ -1,0 +1,91 @@
+//! Bitmap index query: evaluate `(A AND B) OR (C AND NOT D)` over four
+//! bitmap-index columns — the predicate shape of an analytics query
+//! (`WHERE (a AND b) OR (c AND NOT d)`) executed entirely as bulk-bitwise
+//! row operations.
+
+use crate::data::DataGen;
+use crate::Workload;
+use felim_arch::{BulkBackend, RowId};
+
+/// The bitmap-index-query workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitmapIndex;
+
+impl Workload for BitmapIndex {
+    fn name(&self) -> &'static str {
+        "Bitmap Index Query"
+    }
+
+    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+        let words = backend.geometry().row_words();
+        let mut gen = DataGen::new(seed, words);
+        // Four index columns, each data_rows/4 rows long.
+        let chunk = (data_rows / 4).max(1);
+        let cols: Vec<Vec<Vec<u64>>> = (0..4)
+            .map(|_| (0..chunk).map(|_| gen.sparse_row(0.2)).collect())
+            .collect();
+
+        for (c, col) in cols.iter().enumerate() {
+            for (i, r) in col.iter().enumerate() {
+                backend.install_row(RowId((c as u64) * chunk + i as u64), r);
+            }
+        }
+        let out_base = 4 * chunk;
+        let scratch = backend.scratch_rows(3);
+        let (t1, t2, t3) = (scratch[0], scratch[1], scratch[2]);
+        for i in 0..chunk {
+            let a = RowId(i);
+            let b = RowId(chunk + i);
+            let c = RowId(2 * chunk + i);
+            let d = RowId(3 * chunk + i);
+            backend.and(a, b, t1);
+            backend.not(d, t2);
+            backend.and(c, t2, t3);
+            backend.or(t1, t3, RowId(out_base + i));
+        }
+
+        for i in 0..chunk {
+            let iu = i as usize;
+            let expect: Vec<u64> = (0..words)
+                .map(|w| {
+                    let (a, b, c, d) = (
+                        cols[0][iu][w],
+                        cols[1][iu][w],
+                        cols[2][iu][w],
+                        cols[3][iu][w],
+                    );
+                    (a & b) | (c & !d)
+                })
+                .collect();
+            let got = backend.read_row(RowId(out_base + i));
+            assert_eq!(got, expect, "bitmap query row {i} mismatch");
+        }
+        4 * chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felim_arch::{DramBackend, FeramBackend, MemoryGeometry};
+
+    #[test]
+    fn verifies_on_both_backends() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(BitmapIndex.execute(&mut f, 16, 9), 16);
+        let mut d = DramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(BitmapIndex.execute(&mut d, 16, 9), 16);
+    }
+
+    #[test]
+    fn feram_advantage_holds() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        BitmapIndex.execute(&mut f, 32, 9);
+        let mut d = DramBackend::new(MemoryGeometry::tiny());
+        BitmapIndex.execute(&mut d, 32, 9);
+        let e_ratio = d.stats().total_energy_nj() / f.stats().total_energy_nj();
+        let c_ratio = d.stats().total_cycles() as f64 / f.stats().total_cycles() as f64;
+        assert!(e_ratio > 1.3, "energy ratio {e_ratio}");
+        assert!(c_ratio > 1.0, "cycle ratio {c_ratio}");
+    }
+}

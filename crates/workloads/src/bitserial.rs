@@ -1,0 +1,360 @@
+//! Bit-serial arithmetic over row-parallel lanes.
+//!
+//! In the bulk-bitwise paradigm every bit position of a row is an
+//! independent lane. Multi-bit arithmetic (the popcount/threshold in BNN
+//! inference) is done *bit-serially*: an integer per lane is represented
+//! by a vector of rows, one row per binary digit, and updated with
+//! row-wide half-adder sweeps.
+
+use felim_arch::{BulkBackend, RowId};
+
+/// A per-lane unsigned counter of fixed width, stored bit-sliced: row `k`
+/// holds bit `k` of every lane's count.
+#[derive(Debug, Clone)]
+pub struct LaneCounter {
+    digits: Vec<RowId>,
+    /// Scratch rows (need 2).
+    scratch: [RowId; 2],
+}
+
+impl LaneCounter {
+    /// Creates a counter of `width` digit rows. `rows` must provide
+    /// `width + 2` distinct free rows: the digits plus two scratch rows.
+    /// All supplied rows are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if too few rows are supplied.
+    pub fn new(backend: &mut dyn BulkBackend, rows: &[RowId], width: usize) -> Self {
+        assert!(
+            rows.len() >= width + 2,
+            "need {} rows, got {}",
+            width + 2,
+            rows.len()
+        );
+        let zeros = vec![0u64; backend.geometry().row_words()];
+        for &r in &rows[..width + 2] {
+            backend.write_row(r, &zeros);
+        }
+        Self {
+            digits: rows[..width].to_vec(),
+            scratch: [rows[width], rows[width + 1]],
+        }
+    }
+
+    /// Digit rows, least significant first.
+    pub fn digits(&self) -> &[RowId] {
+        &self.digits
+    }
+
+    /// Adds the per-lane indicator row (`0` or `1` per lane) to every
+    /// lane's count with a ripple half-adder sweep. Overflow beyond the
+    /// top digit is dropped (size the counter generously).
+    pub fn add_indicator(&mut self, backend: &mut dyn BulkBackend, indicator: RowId) {
+        let [carry, tmp] = self.scratch;
+        // carry = indicator (copied so we never clobber the caller's row)
+        backend.copy(indicator, carry);
+        for &digit in &self.digits.clone() {
+            // tmp = digit AND carry (next carry); digit = digit XOR carry.
+            backend.and(digit, carry, tmp);
+            backend.xor(digit, carry, digit);
+            backend.copy(tmp, carry);
+        }
+    }
+
+    /// Writes, into `dst`, a per-lane indicator of `count >= threshold`
+    /// (unsigned compare against a compile-time constant).
+    ///
+    /// Implements the standard MSB-first comparison:
+    /// `ge = OR_k (eq_above_k AND c_k AND !t_k)`, `eq` updated with
+    /// XNOR-matches. Requires 3 scratch rows from the backend.
+    pub fn compare_ge(&self, backend: &mut dyn BulkBackend, threshold: u64, dst: RowId) {
+        let scratch = backend.scratch_rows(3);
+        let (eq, t1, t2) = (scratch[0], scratch[1], scratch[2]);
+        let words = backend.geometry().row_words();
+        // ge (dst) = 0; eq = all ones.
+        backend.write_row(dst, &vec![0u64; words]);
+        backend.write_row(eq, &vec![!0u64; words]);
+        for (k, &digit) in self.digits.iter().enumerate().rev() {
+            let t_k = (threshold >> k) & 1 == 1;
+            if t_k {
+                // Lanes must have this bit set to stay equal.
+                backend.and(eq, digit, eq);
+            } else {
+                // Counter bit 1 where threshold bit 0 → strictly greater.
+                backend.and(eq, digit, t1);
+                backend.or(dst, t1, dst);
+                // eq &= !digit
+                backend.not(digit, t2);
+                backend.and(eq, t2, eq);
+            }
+        }
+        // counts equal to the threshold also satisfy >=.
+        backend.or(dst, eq, dst);
+    }
+}
+
+/// A bit-sliced unsigned integer vector: digit row `k` holds bit `k` of
+/// every lane's value.
+#[derive(Debug, Clone)]
+pub struct LaneVector {
+    digits: Vec<RowId>,
+}
+
+impl LaneVector {
+    /// Wraps existing digit rows (least significant first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty digit list.
+    pub fn new(digits: Vec<RowId>) -> Self {
+        assert!(!digits.is_empty(), "a lane vector needs at least one digit");
+        Self { digits }
+    }
+
+    /// Digit rows, least significant first.
+    pub fn digits(&self) -> &[RowId] {
+        &self.digits
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Loads per-lane values into the digit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the backend's lane count.
+    pub fn load(&self, backend: &mut dyn BulkBackend, values: &[u64]) {
+        let words = backend.geometry().row_words();
+        assert_eq!(values.len(), words * 64, "one value per lane");
+        for (k, &digit) in self.digits.iter().enumerate() {
+            let mut row = vec![0u64; words];
+            for (lane, &v) in values.iter().enumerate() {
+                if (v >> k) & 1 == 1 {
+                    row[lane / 64] |= 1 << (lane % 64);
+                }
+            }
+            backend.install_row(digit, &row);
+        }
+    }
+
+    /// Reads back per-lane values.
+    pub fn read(&self, backend: &mut dyn BulkBackend) -> Vec<u64> {
+        let words = backend.geometry().row_words();
+        let mut out = vec![0u64; words * 64];
+        for (k, &digit) in self.digits.iter().enumerate() {
+            let row = backend.read_row(digit);
+            for (lane, v) in out.iter_mut().enumerate() {
+                if (row[lane / 64] >> (lane % 64)) & 1 == 1 {
+                    *v |= 1 << k;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Lane-parallel ripple-carry addition: `sum = a + b` per lane (truncated
+/// to `sum`'s width). Classic full adder per digit — `s = a ⊕ b ⊕ c`,
+/// `c' = MAJ(a, b, c)` — built from the backend's bulk primitives, with
+/// MAJ obtained as NOT(MINORITY) exactly like the hardware does.
+///
+/// `work` provides 4 free rows for the carry chain and intermediates;
+/// they must be disjoint from the operand/sum digits (the backend's own
+/// `scratch_rows` are *not* usable here — the composed `xor` consumes
+/// them internally).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or `sum` is wider than `a + 1`.
+pub fn add_lane_vectors(
+    backend: &mut dyn BulkBackend,
+    a: &LaneVector,
+    b: &LaneVector,
+    sum: &LaneVector,
+    work: &[RowId; 4],
+) {
+    assert_eq!(a.width(), b.width(), "operand widths must match");
+    assert!(sum.width() <= a.width() + 1, "sum width too large");
+    let (carry, t_xor, t_maj, t2) = (work[0], work[1], work[2], work[3]);
+    let words = backend.geometry().row_words();
+    backend.write_row(carry, &vec![0u64; words]);
+    for k in 0..sum.width() {
+        if k >= a.width() {
+            // The extra sum digit is the final carry.
+            backend.copy(carry, sum.digits()[k]);
+            break;
+        }
+        let (da, db, ds) = (a.digits()[k], b.digits()[k], sum.digits()[k]);
+        // s = a ^ b ^ c ; c' = (a & b) | (c & (a ^ b)).
+        backend.xor(da, db, t_xor);
+        backend.and(da, db, t_maj);
+        backend.and(carry, t_xor, t2);
+        backend.xor(t_xor, carry, ds);
+        backend.or(t_maj, t2, carry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::lane_bits;
+    use felim_arch::{DramBackend, FeramBackend, MemoryGeometry};
+
+    fn free_rows(start: u64, n: u64) -> Vec<RowId> {
+        (start..start + n).map(RowId).collect()
+    }
+
+    fn run_count_test(backend: &mut dyn BulkBackend) {
+        let words = backend.geometry().row_words();
+        // 10 indicator rows with known patterns.
+        let indicators: Vec<RowId> = free_rows(0, 10);
+        let mut expected = vec![0u64; words * 64];
+        let mut gen = crate::data::DataGen::new(99, words);
+        let mut indicator_data = Vec::new();
+        for &r in &indicators {
+            let row = gen.sparse_row(0.5);
+            backend.write_row(r, &row);
+            indicator_data.push(row);
+        }
+        for (lane, e) in expected.iter_mut().enumerate() {
+            let bits = lane_bits(&indicator_data, lane);
+            *e = bits.iter().filter(|&&b| b).count() as u64;
+        }
+
+        let counter_rows = free_rows(100, 8);
+        let mut counter = LaneCounter::new(backend, &counter_rows, 5);
+        for &r in &indicators {
+            counter.add_indicator(backend, r);
+        }
+        // Read back the digits and reassemble per-lane counts.
+        let digit_rows: Vec<Vec<u64>> = counter
+            .digits()
+            .iter()
+            .map(|&d| backend.read_row(d))
+            .collect();
+        for (lane, e) in expected.iter().enumerate() {
+            let mut v = 0u64;
+            for (k, digits) in digit_rows.iter().enumerate() {
+                if lane_bits(std::slice::from_ref(digits), lane)[0] {
+                    v |= 1 << k;
+                }
+            }
+            assert_eq!(v, *e, "lane {lane}");
+        }
+
+        // Threshold comparison against the known counts.
+        let dst = RowId(200);
+        counter.compare_ge(backend, 5, dst);
+        let ge_row = backend.read_row(dst);
+        for (lane, e) in expected.iter().enumerate() {
+            let got = lane_bits(std::slice::from_ref(&ge_row), lane)[0];
+            assert_eq!(got, *e >= 5, "lane {lane} ge");
+        }
+    }
+
+    #[test]
+    fn counts_and_compares_on_feram() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        run_count_test(&mut m);
+    }
+
+    #[test]
+    fn counts_and_compares_on_dram() {
+        let mut m = DramBackend::new(MemoryGeometry::tiny());
+        run_count_test(&mut m);
+    }
+
+    #[test]
+    fn compare_ge_boundary_thresholds() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let words = m.geometry().row_words();
+        let rows = free_rows(100, 8);
+        let mut c = LaneCounter::new(&mut m, &rows, 5);
+        // Add exactly 3 all-ones indicators: every lane counts 3.
+        let ind = RowId(0);
+        m.write_row(ind, &vec![!0u64; words]);
+        for _ in 0..3 {
+            c.add_indicator(&mut m, ind);
+        }
+        let dst = RowId(200);
+        c.compare_ge(&mut m, 3, dst);
+        assert!(m.read_row(dst).iter().all(|&w| w == !0u64), ">= 3 true");
+        c.compare_ge(&mut m, 4, dst);
+        assert!(m.read_row(dst).iter().all(|&w| w == 0), ">= 4 false");
+        c.compare_ge(&mut m, 0, dst);
+        assert!(m.read_row(dst).iter().all(|&w| w == !0u64), ">= 0 true");
+    }
+
+    #[test]
+    fn lane_vector_roundtrip() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let lanes = m.geometry().row_words() * 64;
+        let v = LaneVector::new(free_rows(10, 6));
+        let values: Vec<u64> = (0..lanes as u64).map(|i| (i * 7) % 64).collect();
+        v.load(&mut m, &values);
+        assert_eq!(v.read(&mut m), values);
+    }
+
+    #[test]
+    fn lane_addition_matches_scalar_arithmetic() {
+        for backend in [
+            &mut FeramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+            &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+        ] {
+            let lanes = backend.geometry().row_words() * 64;
+            let a = LaneVector::new(free_rows(10, 6));
+            let b = LaneVector::new(free_rows(20, 6));
+            let s = LaneVector::new(free_rows(30, 7));
+            let av: Vec<u64> = (0..lanes as u64).map(|i| (i * 13 + 5) % 64).collect();
+            let bv: Vec<u64> = (0..lanes as u64).map(|i| (i * 29 + 11) % 64).collect();
+            a.load(backend, &av);
+            b.load(backend, &bv);
+            let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
+            add_lane_vectors(backend, &a, &b, &s, &work);
+            let sv = s.read(backend);
+            for lane in 0..lanes {
+                assert_eq!(sv[lane], av[lane] + bv[lane], "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_addition_truncates_to_sum_width() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let lanes = m.geometry().row_words() * 64;
+        let a = LaneVector::new(free_rows(10, 4));
+        let b = LaneVector::new(free_rows(20, 4));
+        let s = LaneVector::new(free_rows(30, 4));
+        let av = vec![15u64; lanes];
+        let bv = vec![1u64; lanes];
+        a.load(&mut m, &av);
+        b.load(&mut m, &bv);
+        let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
+        add_lane_vectors(&mut m, &a, &b, &s, &work);
+        // 15 + 1 = 16 overflows a 4-bit sum → 0.
+        assert!(s.read(&mut m).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn addition_rejects_mismatched_widths() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let a = LaneVector::new(free_rows(10, 4));
+        let b = LaneVector::new(free_rows(20, 5));
+        let s = LaneVector::new(free_rows(30, 4));
+        let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
+        add_lane_vectors(&mut m, &a, &b, &s, &work);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn rejects_insufficient_rows() {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let rows = free_rows(100, 3);
+        let _ = LaneCounter::new(&mut m, &rows, 5);
+    }
+}

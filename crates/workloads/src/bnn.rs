@@ -1,0 +1,118 @@
+//! Binarized-neural-network inference over row-parallel lanes.
+//!
+//! A binarized layer computes, per output neuron `j`,
+//! `y_j = [ popcount(XNOR(x, w_j)) >= threshold ]`. Bit-sliced over a row:
+//! every lane is one inference sample, input features are rows, and the
+//! popcount runs on a [`crate::bitserial::LaneCounter`]. Weights are
+//! compile-time constants, so `XNOR(x_f, w_jf)` is either `x_f` itself
+//! (`w = 1`) or `NOT x_f` (`w = 0`) — one optional row-NOT per feature.
+
+use crate::bitserial::LaneCounter;
+use crate::data::{lane_bits, DataGen};
+use crate::Workload;
+use felim_arch::{BulkBackend, RowId};
+
+/// Input features per sample (rows of bit-sliced input).
+const FEATURES: usize = 32;
+/// Output neurons in the evaluated layer.
+const NEURONS: usize = 4;
+/// Counter width: counts up to FEATURES.
+const COUNTER_WIDTH: usize = 6;
+/// Activation threshold: fire when at least half the features match.
+const THRESHOLD: u64 = (FEATURES / 2) as u64;
+
+/// The BNN-inference workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BnnInference;
+
+impl Workload for BnnInference {
+    fn name(&self) -> &'static str {
+        "BNN Inference"
+    }
+
+    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+        let words = backend.geometry().row_words();
+        let mut gen = DataGen::new(seed, words);
+        // Batches of FEATURE rows; each batch is one full inference pass
+        // over `lanes` parallel samples.
+        let batches = (data_rows as usize / FEATURES).max(1);
+        let mut consumed = 0u64;
+
+        for batch in 0..batches {
+            let features: Vec<Vec<u64>> = (0..FEATURES).map(|_| gen.row()).collect();
+            // Deterministic per-batch weights.
+            let weights: Vec<Vec<bool>> = (0..NEURONS)
+                .map(|_| (0..FEATURES).map(|_| gen.coin(0.5)).collect())
+                .collect();
+
+            let feat_base = 0u64;
+            for (f, row) in features.iter().enumerate() {
+                backend.install_row(RowId(feat_base + f as u64), row);
+            }
+            let xnor_row = RowId(FEATURES as u64);
+            let counter_base = FEATURES as u64 + 1;
+            let counter_rows: Vec<RowId> = (0..(COUNTER_WIDTH as u64 + 2))
+                .map(|k| RowId(counter_base + k))
+                .collect();
+            let out_base = counter_base + COUNTER_WIDTH as u64 + 2;
+
+            for (j, w) in weights.iter().enumerate() {
+                let mut counter = LaneCounter::new(backend, &counter_rows, COUNTER_WIDTH);
+                for (f, &wf) in w.iter().enumerate() {
+                    let x = RowId(feat_base + f as u64);
+                    if wf {
+                        // XNOR with weight 1 is the input itself.
+                        counter.add_indicator(backend, x);
+                    } else {
+                        backend.not(x, xnor_row);
+                        counter.add_indicator(backend, xnor_row);
+                    }
+                }
+                let out = RowId(out_base + j as u64);
+                counter.compare_ge(backend, THRESHOLD, out);
+
+                // Verify this neuron's activations lane by lane
+                // (sampled — full-lane checks run in the bitserial tests).
+                let got_row = backend.read_row(out);
+                let lanes = words * 64;
+                let step = (lanes / 127).max(1);
+                for lane in (0..lanes).step_by(step) {
+                    let x_bits = lane_bits(&features, lane);
+                    let matches = x_bits.iter().zip(w).filter(|(&x, &wf)| x == wf).count() as u64;
+                    let expect = matches >= THRESHOLD;
+                    let got = lane_bits(std::slice::from_ref(&got_row), lane)[0];
+                    assert_eq!(
+                        got, expect,
+                        "BNN batch {batch} neuron {j} lane {lane}: {matches} matches"
+                    );
+                }
+            }
+            consumed += FEATURES as u64;
+        }
+        consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felim_arch::{DramBackend, FeramBackend, MemoryGeometry};
+
+    #[test]
+    fn verifies_on_feram() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(BnnInference.execute(&mut f, 32, 13), 32);
+    }
+
+    #[test]
+    fn verifies_on_dram() {
+        let mut d = DramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(BnnInference.execute(&mut d, 32, 13), 32);
+    }
+
+    #[test]
+    fn small_inputs_round_up_to_one_batch() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(BnnInference.execute(&mut f, 5, 13), 32);
+    }
+}

@@ -1,0 +1,108 @@
+//! # felim-workloads — the eight bulk-bitwise applications
+//!
+//! Section VI of the paper evaluates eight real-world, data-intensive
+//! applications (following Ambit) on DRAM and 2T-nC FeRAM, each with a
+//! 1 GB workload:
+//!
+//! | module | application | dominant primitives |
+//! |---|---|---|
+//! | [`crc8`] | CRC8 checksums (bit-sliced lanes) | XOR |
+//! | [`xor_cipher`] | XOR stream cipher | XOR |
+//! | [`setops`] | set union | OR |
+//! | [`setops`] | set intersection | AND |
+//! | [`setops`] | set difference | AND + NOT |
+//! | [`masked_init`] | masked initialisation | AND/OR + NOT |
+//! | [`bitmap_index`] | bitmap index query | AND/OR |
+//! | [`bnn`] | binarized NN inference | XNOR + popcount |
+//!
+//! Every workload is implemented twice: once as a plain software
+//! reference and once compiled to row-level [`felim_arch::BulkBackend`]
+//! primitives. Execution *verifies the two bit-for-bit* — the simulator
+//! is functional, not just an event counter.
+//!
+//! [`driver`] runs a workload on a scaled-down row count, checks the
+//! result, and extrapolates primitive counts analytically to the paper's
+//! 1 GB size (bulk-bitwise primitive counts are exactly linear in row
+//! count), adding DRAM refresh for the extrapolated runtime.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use felim_workloads::{driver::{run_workload, Tech}, xor_cipher::XorCipher};
+//!
+//! let result = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 42);
+//! assert!(result.verified);
+//! assert!(result.scaled.total_energy_nj() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap_index;
+pub mod bitserial;
+pub mod bnn;
+pub mod crc8;
+pub mod data;
+pub mod driver;
+pub mod masked_init;
+pub mod query;
+pub mod setops;
+pub mod xor_cipher;
+
+use felim_arch::BulkBackend;
+
+/// A bulk-bitwise application that can execute on any backend.
+pub trait Workload {
+    /// Display name (as in Fig 6).
+    fn name(&self) -> &'static str;
+
+    /// Executes the workload over `data_rows` rows of deterministic
+    /// synthetic data drawn from `seed`, verifying the in-memory result
+    /// against the software reference.
+    ///
+    /// Returns the number of *input data rows* consumed — the quantity
+    /// that scales linearly with workload size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the in-memory computation disagrees with the software
+    /// reference (a simulator bug, never an expected outcome).
+    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64;
+}
+
+/// All eight paper workloads, in Fig 6 order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crc8::Crc8),
+        Box::new(xor_cipher::XorCipher),
+        Box::new(setops::SetUnion),
+        Box::new(setops::SetIntersection),
+        Box::new(setops::SetDifference),
+        Box::new(masked_init::MaskedInit),
+        Box::new(bitmap_index::BitmapIndex),
+        Box::new(bnn::BnnInference),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_eight_paper_workloads_are_present() {
+        let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "CRC8",
+                "XOR Cipher",
+                "Set Union",
+                "Set Intersection",
+                "Set Difference",
+                "Masked Initialization",
+                "Bitmap Index Query",
+                "BNN Inference",
+            ]
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Masked initialisation: `R_i ← (R_i AND NOT M) OR (P AND M)` — writes a
+//! pattern `P` into region rows only where the mask `M` is set (the bulk
+//! form of a masked memset).
+
+use crate::data::DataGen;
+use crate::Workload;
+use felim_arch::{BulkBackend, RowId};
+
+/// The masked-initialisation workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaskedInit;
+
+impl Workload for MaskedInit {
+    fn name(&self) -> &'static str {
+        "Masked Initialization"
+    }
+
+    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+        let words = backend.geometry().row_words();
+        let mut gen = DataGen::new(seed, words);
+        let mask = gen.sparse_row(0.4);
+        let pattern = gen.row();
+        let region = gen.rows(data_rows);
+
+        let mask_row = RowId(0);
+        let pattern_row = RowId(1);
+        backend.install_row(mask_row, &mask);
+        backend.install_row(pattern_row, &pattern);
+        let base = 2u64;
+        for (i, r) in region.iter().enumerate() {
+            backend.install_row(RowId(base + i as u64), r);
+        }
+
+        let scratch = backend.scratch_rows(3);
+        let (not_mask, p_and_m, tmp) = (scratch[0], scratch[1], scratch[2]);
+        // Hoisted invariants: NOT M and P AND M are computed once.
+        backend.not(mask_row, not_mask);
+        backend.and(pattern_row, mask_row, p_and_m);
+        for i in 0..data_rows {
+            let r = RowId(base + i);
+            backend.and(r, not_mask, tmp);
+            backend.or(tmp, p_and_m, r);
+        }
+
+        for (i, original) in region.iter().enumerate() {
+            let expect: Vec<u64> = original
+                .iter()
+                .zip(&mask)
+                .zip(&pattern)
+                .map(|((&r, &m), &p)| (r & !m) | (p & m))
+                .collect();
+            let got = backend.read_row(RowId(base + i as u64));
+            assert_eq!(got, expect, "masked init row {i} mismatch");
+        }
+        data_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felim_arch::{DramBackend, FeramBackend, MemoryGeometry};
+
+    #[test]
+    fn verifies_on_both_backends() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(MaskedInit.execute(&mut f, 12, 5), 12);
+        let mut d = DramBackend::new(MemoryGeometry::tiny());
+        assert_eq!(MaskedInit.execute(&mut d, 12, 5), 12);
+    }
+
+    #[test]
+    fn in_place_update_overwrites_region() {
+        // The destination *is* the region row — exercised above; also
+        // check stats show two ops per row plus the hoisted setup.
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        MaskedInit.execute(&mut f, 4, 5);
+        let mut f1 = FeramBackend::new(MemoryGeometry::tiny());
+        MaskedInit.execute(&mut f1, 8, 5);
+        // Doubling rows must not double the hoisted setup cost.
+        let delta = f1.stats().total_cycles() as i64 - f.stats().total_cycles() as i64;
+        let per_row = delta / 4;
+        assert!(per_row > 0);
+        let setup = f.stats().total_cycles() as i64 - 4 * per_row;
+        assert!(setup > 0, "hoisted NOT/AND must be visible as setup");
+    }
+}

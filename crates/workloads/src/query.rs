@@ -1,0 +1,392 @@
+//! A tiny predicate compiler for bitmap analytics.
+//!
+//! Parses boolean predicate expressions over named bitmap columns —
+//! `"(price & in_stock) | !discontinued"` — and compiles them to
+//! row-level bulk-bitwise programs on any [`BulkBackend`]. This is the
+//! software face of the bitmap-index-query workload: the strings a query
+//! engine would generate, executed entirely in memory.
+//!
+//! Grammar (precedence low→high): `|`, `^`, `&`, unary `!`, parentheses,
+//! identifiers (`[A-Za-z_][A-Za-z0-9_]*`).
+//!
+//! ```
+//! use felim_workloads::query::Predicate;
+//!
+//! let p = Predicate::parse("(a & b) | !c").unwrap();
+//! assert_eq!(p.columns(), vec!["a", "b", "c"]);
+//! assert!(p.eval(&[("a", true), ("b", false), ("c", false)].into()));
+//! ```
+
+use felim_arch::{BulkBackend, RowId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed boolean predicate over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    root: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Column(String),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+/// Parse failure with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryParseError {
+    /// Byte offset in the input.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "predicate parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    // or := xor ('|' xor)*
+    fn parse_or(&mut self) -> Result<Expr, QueryParseError> {
+        let mut left = self.parse_xor()?;
+        while self.peek() == Some(b'|') {
+            self.bump();
+            let right = self.parse_xor()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // xor := and ('^' and)*
+    fn parse_xor(&mut self) -> Result<Expr, QueryParseError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(b'^') {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Xor(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // and := unary ('&' unary)*
+    fn parse_and(&mut self) -> Result<Expr, QueryParseError> {
+        let mut left = self.parse_unary()?;
+        while self.peek() == Some(b'&') {
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QueryParseError> {
+        match self.peek() {
+            Some(b'!') => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(b'(') => {
+                self.bump();
+                let inner = self.parse_or()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.err("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("identifier bytes are ASCII");
+                Ok(Expr::Column(name.to_owned()))
+            }
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+impl Predicate {
+    /// Parses a predicate expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryParseError`] with the failing position.
+    pub fn parse(input: &str) -> Result<Predicate, QueryParseError> {
+        let mut p = Parser {
+            src: input.as_bytes(),
+            pos: 0,
+        };
+        let root = p.parse_or()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(Predicate { root })
+    }
+
+    /// The distinct column names, sorted.
+    pub fn columns(&self) -> Vec<String> {
+        fn walk(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Column(c) => {
+                    if !out.contains(c) {
+                        out.push(c.clone());
+                    }
+                }
+                Expr::Not(x) => walk(x, out),
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out.sort();
+        out
+    }
+
+    /// Scalar reference evaluation against a column→bool environment.
+    /// Missing columns read as `false`.
+    pub fn eval(&self, env: &BTreeMap<&str, bool>) -> bool {
+        fn walk(e: &Expr, env: &BTreeMap<&str, bool>) -> bool {
+            match e {
+                Expr::Column(c) => *env.get(c.as_str()).unwrap_or(&false),
+                Expr::Not(x) => !walk(x, env),
+                Expr::And(a, b) => walk(a, env) && walk(b, env),
+                Expr::Or(a, b) => walk(a, env) || walk(b, env),
+                Expr::Xor(a, b) => walk(a, env) ^ walk(b, env),
+            }
+        }
+        walk(&self.root, env)
+    }
+
+    /// Number of row-level logic operations the compiled program issues
+    /// (one per internal node).
+    pub fn op_count(&self) -> usize {
+        fn walk(e: &Expr) -> usize {
+            match e {
+                Expr::Column(_) => 0,
+                Expr::Not(x) => 1 + walk(x),
+                Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => 1 + walk(a) + walk(b),
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// Compiles and executes the predicate over bitmap column rows.
+    ///
+    /// `columns` maps each column name to its row; `dst` receives the
+    /// result bitmap. Intermediate results use rows allocated upward from
+    /// `scratch_base` (the caller guarantees `op_count()` free rows
+    /// there, disjoint from columns, dst and the backend's own scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced column is missing from `columns`.
+    pub fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        columns: &BTreeMap<String, RowId>,
+        scratch_base: RowId,
+        dst: RowId,
+    ) {
+        let mut next_scratch = scratch_base.0;
+        let result = Self::compile(&self.root, backend, columns, &mut next_scratch, Some(dst));
+        if result != dst {
+            backend.copy(result, dst);
+        }
+    }
+
+    /// Recursively evaluates `e`, placing the result in `prefer` (if the
+    /// node is an operation) or returning the column row directly.
+    fn compile(
+        e: &Expr,
+        backend: &mut dyn BulkBackend,
+        columns: &BTreeMap<String, RowId>,
+        next_scratch: &mut u64,
+        prefer: Option<RowId>,
+    ) -> RowId {
+        fn take_scratch(next_scratch: &mut u64, prefer: Option<RowId>) -> RowId {
+            prefer.unwrap_or_else(|| {
+                let r = RowId(*next_scratch);
+                *next_scratch += 1;
+                r
+            })
+        }
+        match e {
+            Expr::Column(c) => *columns
+                .get(c)
+                .unwrap_or_else(|| panic!("missing bitmap column `{c}`")),
+            Expr::Not(x) => {
+                let src = Self::compile(x, backend, columns, next_scratch, None);
+                let out = take_scratch(next_scratch, prefer);
+                backend.not(src, out);
+                out
+            }
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                let ra = Self::compile(a, backend, columns, next_scratch, None);
+                let rb = Self::compile(b, backend, columns, next_scratch, None);
+                let out = take_scratch(next_scratch, prefer);
+                match e {
+                    Expr::And(..) => backend.and(ra, rb, out),
+                    Expr::Or(..) => backend.or(ra, rb, out),
+                    Expr::Xor(..) => backend.xor(ra, rb, out),
+                    _ => unreachable!(),
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{lane_bits, DataGen};
+    use felim_arch::{DramBackend, FeramBackend, MemoryGeometry};
+
+    #[test]
+    fn parses_and_lists_columns() {
+        let p = Predicate::parse("(alpha & beta_2) | !gamma ^ alpha").unwrap();
+        assert_eq!(p.columns(), vec!["alpha", "beta_2", "gamma"]);
+        assert_eq!(p.op_count(), 4);
+    }
+
+    #[test]
+    fn precedence_is_or_xor_and_not() {
+        // a | b & c  ==  a | (b & c)
+        let p = Predicate::parse("a | b & c").unwrap();
+        let env = |a, b, c| {
+            let mut m = BTreeMap::new();
+            m.insert("a", a);
+            m.insert("b", b);
+            m.insert("c", c);
+            m
+        };
+        assert!(p.eval(&env(true, false, false)));
+        assert!(!p.eval(&env(false, true, false)));
+        assert!(p.eval(&env(false, true, true)));
+        // !a ^ b  ==  (!a) ^ b
+        let p = Predicate::parse("!a ^ b").unwrap();
+        assert!(p.eval(&env(false, false, false)));
+        assert!(!p.eval(&env(false, true, false)));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = Predicate::parse("a & ").unwrap_err();
+        assert!(e.message.contains("end of input"));
+        let e = Predicate::parse("(a | b").unwrap_err();
+        assert!(e.message.contains(")"));
+        let e = Predicate::parse("a b").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = Predicate::parse("a & 5").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn executes_bit_exactly_on_both_backends() {
+        let expr = "(price & in_stock) | !(discontinued ^ price)";
+        let p = Predicate::parse(expr).unwrap();
+        for backend in [
+            &mut FeramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+            &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+        ] {
+            let words = backend.geometry().row_words();
+            let mut gen = DataGen::new(33, words);
+            let mut columns = BTreeMap::new();
+            let mut data = BTreeMap::new();
+            for (i, name) in p.columns().into_iter().enumerate() {
+                let row = RowId(i as u64);
+                let bits = gen.sparse_row(0.4);
+                backend.install_row(row, &bits);
+                columns.insert(name.clone(), row);
+                data.insert(name, bits);
+            }
+            let dst = RowId(10);
+            p.execute(backend, &columns, RowId(20), dst);
+
+            let got = backend.read_row(dst);
+            for lane in 0..words * 64 {
+                let env: BTreeMap<&str, bool> = data
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), lane_bits(std::slice::from_ref(v), lane)[0]))
+                    .collect();
+                let expect = p.eval(&env);
+                let bit = lane_bits(std::slice::from_ref(&got), lane)[0];
+                assert_eq!(bit, expect, "lane {lane} of `{expr}`");
+            }
+        }
+    }
+
+    #[test]
+    fn single_column_predicate_copies() {
+        let p = Predicate::parse("only").unwrap();
+        assert_eq!(p.op_count(), 0);
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let words = m.geometry().row_words();
+        m.install_row(RowId(0), &vec![0xABu64; words]);
+        let mut columns = BTreeMap::new();
+        columns.insert("only".to_owned(), RowId(0));
+        p.execute(&mut m, &columns, RowId(20), RowId(1));
+        assert_eq!(m.read_row(RowId(1))[0], 0xAB);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing bitmap column")]
+    fn missing_column_panics() {
+        let p = Predicate::parse("ghost").unwrap();
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        p.execute(&mut m, &BTreeMap::new(), RowId(20), RowId(1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Thermal profile of the 3-D FeRAM-on-compute-die stack (Fig 7).
+//!
+//! Builds the (n+2)-layer vertical 2T-nC FeRAM stack on a 28 W edge-TPU
+//! class compute die, applies the bitmap-index-query memory activity,
+//! solves the steady state, prints the per-layer profile, and closes the
+//! loop with the ferroelectric stability check.
+//!
+//! Run with: `cargo run --release --example stacked_thermal`
+
+use felim::evaluation::run_fig7;
+use felim::thermal::{solve_transient, PowerMap, Stack};
+use felim::workloads::bitmap_index::BitmapIndex;
+
+fn main() {
+    println!("3-D SoC: 5-layer vertical 2T-nC FeRAM on a 28 W compute die");
+    println!("ambient 300 K, natural-convection package, subarray-granular power\n");
+
+    let r = run_fig7(&BitmapIndex, 32);
+
+    println!(
+        "memory self-power from bitmap index query: {:.3} W",
+        r.memory_power_w
+    );
+    println!(
+        "steady-state peak temperature: {:.2} K (paper: 351.88 K)\n",
+        r.peak_k
+    );
+
+    println!("layer profile (bottom -> top):");
+    let labels = [
+        "compute-die",
+        "tim",
+        "feram-l0",
+        "bond-0",
+        "feram-l1",
+        "bond-1",
+        "feram-l2",
+        "bond-2",
+        "feram-l3",
+        "bond-3",
+        "feram-l4",
+        "spreader",
+    ];
+    for (i, t) in r.layer_means_k.iter().enumerate() {
+        let name = labels.get(i).copied().unwrap_or("layer");
+        let bar_len = ((t - 300.0) * 1.2) as usize;
+        let bar: String = std::iter::repeat_n('#', bar_len).collect();
+        println!("  {name:<12} {t:7.2} K  {bar}");
+    }
+
+    // How fast does the stack get there? (transient heating)
+    let stack = Stack::feram_on_compute_die(5);
+    let mut power = PowerMap::zeros(&stack, 16, 16);
+    power.add_uniform_layer(stack.compute_layer(), 28.0);
+    let transient = solve_transient(&stack, &power, 300.0, 3.0, 0.02, 25);
+    println!();
+    println!("transient heating from a cold start:");
+    for p in transient.trajectory.iter().take(5) {
+        println!("  t = {:5.2} s : peak {:7.2} K", p.time_s, p.peak_k);
+    }
+    if let Some(tau) = transient.tau_63_s {
+        println!("  thermal time constant (63 % of steady rise): {tau:.2} s");
+    }
+
+    println!();
+    println!("memory peak: {:.2} K", r.memory_peak_k);
+    println!(
+        "ferroelectric polarization retained: {:.1} % of the 300 K value",
+        r.ps_scale_at_peak * 100.0
+    );
+    println!(
+        "ferroelectric stability at operating point: {}",
+        if r.ferroelectric_stable {
+            "CONFIRMED"
+        } else {
+            "VIOLATED"
+        }
+    );
+}

@@ -1,0 +1,116 @@
+//! Golden cost regression: the calibrated energy/cycle model behind the
+//! Fig 6 reproduction, pinned exactly. Any change to primitive costs,
+//! workload compilation or refresh accounting that moves these numbers
+//! must be deliberate (and EXPERIMENTS.md updated with it).
+
+use felim::evaluation::run_fig6;
+use felim::workloads::driver::geomean;
+
+const GB: u64 = 1 << 30;
+
+#[test]
+fn fig6_golden_numbers() {
+    let (rows, e_geo, c_geo) = run_fig6(64, GB, 42);
+
+    // Exact cycle counts (integers — must not drift at all).
+    let expect_cycles: &[(&str, u64, u64)] = &[
+        ("CRC8", 21_266_432, 9_863_168),
+        ("XOR Cipher", 7_077_888, 3_276_800),
+        ("Set Union", 851_968, 458_752),
+        ("Set Intersection", 851_968, 458_752),
+        ("Set Difference", 1_245_184, 655_360),
+        ("Masked Initialization", 3_575_808, 1_726_464),
+        ("Bitmap Index Query", 1_540_096, 720_896),
+        ("BNN Inference", 226_373_632, 108_296_192),
+    ];
+    for (row, (name, dram, feram)) in rows.iter().zip(expect_cycles) {
+        assert_eq!(&row.workload, name);
+        assert_eq!(row.dram_cycles, *dram, "{name} DRAM cycles drifted");
+        assert_eq!(row.feram_cycles, *feram, "{name} FeRAM cycles drifted");
+    }
+
+    // Energy within numerical noise of the recorded values (mJ).
+    let expect_energy: &[(f64, f64)] = &[
+        (383.23, 130.15),
+        (128.51, 43.66),
+        (13.43, 6.29),
+        (13.43, 6.29),
+        (19.40, 8.88),
+        (63.31, 23.27),
+        (27.64, 9.62),
+        (4079.37, 1428.23),
+    ];
+    for (row, (dram, feram)) in rows.iter().zip(expect_energy) {
+        assert!(
+            (row.dram_energy_mj - dram).abs() < 0.01,
+            "{}: DRAM {} vs golden {dram}",
+            row.workload,
+            row.dram_energy_mj
+        );
+        assert!(
+            (row.feram_energy_mj - feram).abs() < 0.01,
+            "{}: FeRAM {} vs golden {feram}",
+            row.workload,
+            row.feram_energy_mj
+        );
+    }
+
+    // The headline geomeans.
+    assert!((e_geo - 2.57).abs() < 0.01, "energy geomean {e_geo}");
+    assert!((c_geo - 2.02).abs() < 0.01, "cycle geomean {c_geo}");
+
+    // Cross-check geomean helper against the rows themselves.
+    let e2 = geomean(rows.iter().map(|r| r.energy_ratio));
+    assert!((e2 - e_geo).abs() < 1e-12);
+}
+
+#[test]
+fn primitive_cost_constants_are_pinned() {
+    use felim::arch::{BulkBackend, DramBackend, FeramBackend, RowId};
+    type RowOp = fn(&mut dyn BulkBackend, RowId, RowId, RowId);
+    // One op of each class on each backend — exact costs.
+    let table: &[(&str, RowOp, u64, u64, f64, f64)] = &[
+        ("and", |m, a, b, d| m.and(a, b, d), 12, 6, 182.08, 79.04),
+        ("or", |m, a, b, d| m.or(a, b, d), 12, 6, 182.08, 79.04),
+        ("nand", |m, a, b, d| m.nand(a, b, d), 18, 6, 273.12, 79.04),
+        ("nor", |m, a, b, d| m.nor(a, b, d), 18, 6, 273.12, 79.04),
+        ("xor", |m, a, b, d| m.xor(a, b, d), 48, 24, 728.32, 316.16),
+    ];
+    for (name, op, d_cyc, f_cyc, d_nj, f_nj) in table {
+        let mut d = DramBackend::tiny();
+        let mut f = FeramBackend::tiny();
+        for m in [
+            &mut d as &mut dyn BulkBackend,
+            &mut f as &mut dyn BulkBackend,
+        ] {
+            let words = m.geometry().row_words();
+            m.install_row(RowId(0), &vec![0xAAu64; words]);
+            m.install_row(RowId(1), &vec![0x55u64; words]);
+            op(m, RowId(0), RowId(1), RowId(2));
+        }
+        assert_eq!(d.stats().total_cycles(), *d_cyc, "DRAM {name} cycles");
+        assert_eq!(f.stats().total_cycles(), *f_cyc, "FeRAM {name} cycles");
+        assert!(
+            (d.stats().total_energy_nj() - d_nj).abs() < 1e-9,
+            "DRAM {name} energy"
+        );
+        assert!(
+            (f.stats().total_energy_nj() - f_nj).abs() < 1e-9,
+            "FeRAM {name} energy"
+        );
+    }
+    // NOT and COPY.
+    let mut d = DramBackend::tiny();
+    let mut f = FeramBackend::tiny();
+    for m in [
+        &mut d as &mut dyn BulkBackend,
+        &mut f as &mut dyn BulkBackend,
+    ] {
+        let words = m.geometry().row_words();
+        m.install_row(RowId(0), &vec![1u64; words]);
+        m.not(RowId(0), RowId(1));
+        m.copy(RowId(0), RowId(2));
+    }
+    assert_eq!(d.stats().total_cycles(), 6 + 3);
+    assert_eq!(f.stats().total_cycles(), 3 + 3);
+}

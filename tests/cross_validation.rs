@@ -1,0 +1,143 @@
+//! Cross-validation between abstraction levels: the behavioural models
+//! used for speed must agree with the slower, more physical ones.
+
+use felim::cell::cell2tnc::{Cell2TnC, Cell2TnCParams};
+use felim::cell::netlists::{not_testbench, run, sensed_current, tba_testbench, NetlistConfig};
+use felim::cell::Bit;
+use felim::ferro::{MfmCapacitor, MfmParams, Polarity};
+use felim::spice::{Circuit, Element, TransientSpec, Waveform};
+
+/// The transistor-level NOT testbench and the behavioural cell must agree
+/// on both the sensed bit and the preservation of the stored state.
+#[test]
+fn circuit_and_behavioural_not_agree() {
+    let cfg = NetlistConfig::fast();
+    let params = Cell2TnCParams {
+        mfm: cfg.mfm.clone(),
+        ..Default::default()
+    };
+
+    for bit in [Bit::Zero, Bit::One] {
+        // Behavioural.
+        let mut cell = Cell2TnC::new(&params);
+        cell.write(0, bit);
+        let behavioural = cell.qnro_read(0).sensed;
+        // Transistor level: currents for both states give the reference.
+        let mut tb = not_testbench(&cfg, bit);
+        let trace = run(&mut tb, &cfg).unwrap();
+        let i = sensed_current(&trace, &tb.schedule).unwrap();
+        let mut tb_o = not_testbench(&cfg, !bit);
+        let trace_o = run(&mut tb_o, &cfg).unwrap();
+        let i_o = sensed_current(&trace_o, &tb_o.schedule).unwrap();
+        let circuit_bit = Bit::from_bool(i > (i * i_o).sqrt());
+        assert_eq!(behavioural, circuit_bit, "NOT({bit})");
+        assert_eq!(behavioural, !bit);
+    }
+}
+
+/// TBA current ordering must match between the netlist and the
+/// behavioural model for every popcount class.
+#[test]
+fn circuit_and_behavioural_tba_orderings_agree() {
+    let cfg = NetlistConfig::fast();
+    let params = Cell2TnCParams {
+        mfm: cfg.mfm.clone(),
+        ..Default::default()
+    };
+
+    let mut behavioural = Vec::new();
+    let mut circuit = Vec::new();
+    for v in 0..8u8 {
+        let mut cell = Cell2TnC::new(&params);
+        cell.write_bits(&felim::cell::cell2tnc::pattern_bits(v));
+        behavioural.push(cell.sense_levels(&[0, 1, 2]).rsl_current_a);
+
+        let mut tb = tba_testbench(&cfg, v);
+        let trace = run(&mut tb, &cfg).unwrap();
+        circuit.push(sensed_current(&trace, &tb.schedule).unwrap());
+    }
+    for a in 0..8 {
+        for b in 0..8 {
+            let (pa, pb) = ((a as u8).count_ones(), (b as u8).count_ones());
+            if pa < pb {
+                assert!(
+                    behavioural[a] > behavioural[b],
+                    "behavioural {a:03b} vs {b:03b}"
+                );
+                assert!(circuit[a] > circuit[b], "circuit {a:03b} vs {b:03b}");
+            }
+        }
+    }
+}
+
+/// The spice-level FeCap element must preserve the standalone device
+/// model's state evolution: the same pulse gives the same polarization.
+#[test]
+fn fecap_element_matches_standalone_device() {
+    let params = MfmParams::scaled_45nm();
+    // Standalone device.
+    let mut standalone = MfmCapacitor::new(&params);
+    standalone.write_ideal(Polarity::Down);
+
+    // Same device inside a circuit, driven by an ideal source.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let mut dut = MfmCapacitor::new(&params);
+    dut.write_ideal(Polarity::Down);
+    ckt.add("CF", Element::fe_capacitor_with_state(a, Circuit::GND, dut));
+    let width = 2e-6;
+    ckt.add_vsource(
+        "V1",
+        a,
+        Circuit::GND,
+        Waveform::single_pulse(params.write_voltage_v, 10e-9, width),
+    );
+    let mut spec = TransientSpec::new(width + 200e-9, 5e-9);
+    spec.ic_conductance_s = 1e3;
+    let _ = ckt.transient(&spec).unwrap();
+    let in_circuit = ckt.fe_capacitor("CF").unwrap().polarization();
+
+    // Standalone: apply the same plateau for the same duration.
+    standalone.apply_voltage(params.write_voltage_v, width);
+    let direct = standalone.polarization();
+    assert!(
+        (in_circuit - direct).abs() < 0.05,
+        "circuit {in_circuit} vs direct {direct}"
+    );
+}
+
+/// Energy-model constants used by the architecture simulator are exactly
+/// the paper's numbers.
+#[test]
+fn section_vi_energy_constants() {
+    use felim::arch::{Command, EnergyModel, RowId};
+    let dram = EnergyModel::dram();
+    let feram = EnergyModel::feram_2tnc();
+    let r = RowId(0);
+    assert_eq!(dram.energy_nj(&Command::Activate(r)), 22.6);
+    assert_eq!(feram.energy_nj(&Command::TripleBitActivate(r)), 16.6);
+    assert_eq!(dram.energy_nj(&Command::Precharge), 0.32);
+    assert_eq!(feram.energy_nj(&Command::Precharge), 0.32);
+}
+
+/// QNRO read margin at the transistor level survives the disturb budget
+/// used by the architecture simulator (64 reads between write-backs).
+#[test]
+fn disturb_budget_is_conservative_at_device_level() {
+    let params = Cell2TnCParams::default();
+    let mut cell = Cell2TnC::new(&params);
+    cell.write_bits(&[Bit::Zero, Bit::One, Bit::Zero]);
+    let fresh_margin = {
+        let lv = cell.sense_levels(&[0, 1, 2]);
+        lv.rsl_current_a
+    };
+    for _ in 0..64 {
+        let r = cell.tba();
+        assert_eq!(r.sensed, Bit::One, "MIN(0,1,0) must stay correct");
+    }
+    let worn_margin = cell.sense_levels(&[0, 1, 2]).rsl_current_a;
+    // Margin drifts but stays within a factor of two of fresh — the
+    // 64-read budget is conservative.
+    assert!(worn_margin > 0.5 * fresh_margin);
+    assert!(worn_margin <= fresh_margin * 1.05);
+}

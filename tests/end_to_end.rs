@@ -1,0 +1,112 @@
+//! End-to-end integration: device physics through workload execution.
+
+use felim::arch::{BulkBackend, DramBackend, FeramBackend, MemoryGeometry, RowId};
+use felim::cell::cell2tnc::{pattern_bits, Cell2TnC, Cell2TnCParams};
+use felim::cell::ops::{logic_in_cell, LogicOp};
+use felim::cell::Bit;
+use felim::evaluation::{run_fig6, run_fig7};
+use felim::workloads::all_workloads;
+use felim::workloads::bitmap_index::BitmapIndex;
+
+/// The architectural TBA primitive and the device-backed cell must agree
+/// on every one of the eight input states — the chain that justifies
+/// using fast word-level MINORITY in the architecture simulator.
+#[test]
+fn device_cell_and_architecture_agree_on_minority() {
+    let params = Cell2TnCParams::default();
+    let mut arch = FeramBackend::new(MemoryGeometry::tiny());
+    let words = arch.geometry().row_words();
+    for v in 0..8u8 {
+        // Device-backed cell.
+        let mut cell = Cell2TnC::new(&params);
+        cell.write_bits(&pattern_bits(v));
+        let cell_out = cell.tba().sensed;
+
+        // Architecture-level: one NAND/NOR with the same operands.
+        let bits = pattern_bits(v);
+        let fill = |b: Bit| vec![if b.to_bool() { !0u64 } else { 0 }; words];
+        arch.install_row(RowId(0), &fill(bits[0]));
+        arch.install_row(RowId(1), &fill(bits[1]));
+        if bits[2] == Bit::Zero {
+            arch.nand(RowId(0), RowId(1), RowId(2));
+        } else {
+            arch.nor(RowId(0), RowId(1), RowId(2));
+        }
+        let word = arch.read_row(RowId(2))[0];
+        let arch_out = Bit::from_bool(word == !0u64);
+        assert!(word == 0 || word == !0u64, "row must be uniform");
+        assert_eq!(cell_out, arch_out, "pattern {v:03b}");
+    }
+}
+
+/// Every workload produces identical row contents on both backends —
+/// the technologies differ in cost, never in results.
+#[test]
+fn backends_compute_identical_results_for_all_workloads() {
+    for w in all_workloads() {
+        let mut f = FeramBackend::new(MemoryGeometry::tiny());
+        let consumed_f = w.execute(&mut f, 16, 99);
+        let mut d = DramBackend::new(MemoryGeometry::tiny());
+        let consumed_d = w.execute(&mut d, 16, 99);
+        // Same data consumed; execute() verifies outputs internally
+        // against the software reference on each backend.
+        assert_eq!(consumed_f, consumed_d, "{}", w.name());
+    }
+}
+
+/// The full Fig 6 pipeline reproduces the headline claim end to end.
+#[test]
+fn full_stack_headline_claim() {
+    let (rows, energy_geomean, cycle_geomean) = run_fig6(16, 1 << 28, 3);
+    assert_eq!(rows.len(), 8);
+    assert!(energy_geomean > 2.0, "energy geomean {energy_geomean}");
+    assert!(cycle_geomean > 1.6, "cycle geomean {cycle_geomean}");
+}
+
+/// The thermal loop closes: workload activity → power map → steady-state
+/// field → ferroelectric stability at the computed temperature.
+#[test]
+fn thermal_loop_closes_with_device_stability() {
+    let r = run_fig7(&BitmapIndex, 16);
+    assert!(r.peak_k < 360.0);
+    assert!(r.ferroelectric_stable);
+    // Compute die is the hottest layer; spreader coolest.
+    assert!(r.layer_means_k[0] >= *r.layer_means_k.last().unwrap());
+}
+
+/// Cell-level logic composed through the trait is self-consistent with
+/// the architectural composition of the same function.
+#[test]
+fn xor_composition_matches_across_levels() {
+    let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+    let mut arch = FeramBackend::new(MemoryGeometry::tiny());
+    let words = arch.geometry().row_words();
+    for (a, b) in [
+        (Bit::Zero, Bit::Zero),
+        (Bit::Zero, Bit::One),
+        (Bit::One, Bit::Zero),
+        (Bit::One, Bit::One),
+    ] {
+        let via_cell = felim::cell::ops::xor_in_cell(&mut cell, a, b);
+        let fill = |bit: Bit| vec![if bit.to_bool() { !0u64 } else { 0 }; words];
+        arch.install_row(RowId(0), &fill(a));
+        arch.install_row(RowId(1), &fill(b));
+        arch.xor(RowId(0), RowId(1), RowId(2));
+        let via_arch = Bit::from_bool(arch.read_row(RowId(2))[0] == !0u64);
+        assert_eq!(via_cell, via_arch, "XOR({a},{b})");
+        assert_eq!(via_cell, Bit::from_bool(a.to_bool() ^ b.to_bool()));
+    }
+}
+
+/// NAND/NOR at the cell level both derive from the same MINORITY read —
+/// swapping only the control bit, exactly as the architecture does.
+#[test]
+fn control_bit_is_the_only_difference_between_nand_and_nor() {
+    let mut cell = Cell2TnC::new(&Cell2TnCParams::default());
+    for (a, b) in [(Bit::Zero, Bit::One), (Bit::One, Bit::One)] {
+        let nand = logic_in_cell(&mut cell, LogicOp::Nand, a, b);
+        let nor = logic_in_cell(&mut cell, LogicOp::Nor, a, b);
+        assert_eq!(nand, LogicOp::Nand.eval(a, b));
+        assert_eq!(nor, LogicOp::Nor.eval(a, b));
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests on cross-crate invariants.
+
+use felim::arch::{BulkBackend, DramBackend, FeramBackend, MemoryGeometry, RowId};
+use felim::cell::{majority, minority, Bit};
+use felim::ferro::{MfmCapacitor, MfmParams, Polarity};
+use felim::thermal::{solve_steady_state, PowerMap, Stack};
+use proptest::prelude::*;
+
+fn tiny_rows(seed: u64, n: usize) -> Vec<Vec<u64>> {
+    use felim::workloads::data::DataGen;
+    let mut g = DataGen::new(seed, MemoryGeometry::tiny().row_words());
+    g.rows(n as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// De Morgan duality holds bit-for-bit on full rows for both backends.
+    #[test]
+    fn de_morgan_on_rows(seed in 0u64..1000) {
+        let rows = tiny_rows(seed, 2);
+        for backend in [
+            &mut FeramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+            &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+        ] {
+            let (a, b) = (RowId(0), RowId(1));
+            backend.install_row(a, &rows[0]);
+            backend.install_row(b, &rows[1]);
+            // NOT(a AND b) == NOT a OR NOT b
+            backend.nand(a, b, RowId(2));
+            backend.not(a, RowId(3));
+            backend.not(b, RowId(4));
+            backend.or(RowId(3), RowId(4), RowId(5));
+            prop_assert_eq!(backend.read_row(RowId(2)), backend.read_row(RowId(5)));
+        }
+    }
+
+    /// XOR is an involution: x ^ k ^ k == x, on any data, both backends.
+    #[test]
+    fn xor_involution(seed in 0u64..1000) {
+        let rows = tiny_rows(seed, 2);
+        for backend in [
+            &mut FeramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+            &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
+        ] {
+            let (x, k) = (RowId(0), RowId(1));
+            backend.install_row(x, &rows[0]);
+            backend.install_row(k, &rows[1]);
+            backend.xor(x, k, RowId(2));
+            backend.xor(RowId(2), k, RowId(3));
+            prop_assert_eq!(backend.read_row(RowId(3)), rows[0].clone());
+        }
+    }
+
+    /// MINORITY/MAJORITY duality and symmetry for all bit triples.
+    #[test]
+    fn minority_symmetric_and_dual(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        let (ba, bb, bc) = (Bit::from_bool(a), Bit::from_bool(b), Bit::from_bool(c));
+        prop_assert_eq!(minority(ba, bb, bc), minority(bc, ba, bb));
+        prop_assert_eq!(minority(ba, bb, bc), minority(bb, ba, bc));
+        prop_assert_eq!(minority(ba, bb, bc), !majority(ba, bb, bc));
+    }
+
+    /// Ferroelectric polarization stays in [-1, 1] under arbitrary pulse
+    /// trains, and opposite writes always restore a readable state.
+    #[test]
+    fn polarization_bounded_under_pulse_trains(
+        pulses in prop::collection::vec((-3.5f64..3.5, 1e-9f64..1e-5), 1..20)
+    ) {
+        let mut params = MfmParams::fabricated();
+        params.n_domains = 40;
+        let mut cap = MfmCapacitor::new(&params);
+        for (v, w) in pulses {
+            cap.apply_pulse(v, w);
+            let p = cap.polarization();
+            prop_assert!((-1.0..=1.0).contains(&p));
+        }
+        cap.write(Polarity::Up);
+        prop_assert!(cap.polarization() > 0.9);
+        cap.write(Polarity::Down);
+        prop_assert!(cap.polarization() < -0.9);
+    }
+
+    /// Sense contrast survives any prior state: after a write, the QNRO
+    /// read of 0 always out-drives the read of 1.
+    #[test]
+    fn qnro_contrast_after_arbitrary_history(
+        history in prop::collection::vec(any::<bool>(), 0..6)
+    ) {
+        let mut params = MfmParams::fabricated();
+        params.n_domains = 40;
+        let mut c0 = MfmCapacitor::new(&params);
+        let mut c1 = MfmCapacitor::new(&params);
+        for bit in history {
+            c0.write(Polarity::from_bit(bit));
+            c1.write(Polarity::from_bit(bit));
+        }
+        c0.write(Polarity::Down);
+        c1.write(Polarity::Up);
+        let dq0 = c0.read_pulse_charge(params.read_voltage(), 100e-9);
+        let dq1 = c1.read_pulse_charge(params.read_voltage(), 100e-9);
+        prop_assert!(dq0 > 1.5 * dq1, "dq0 {} vs dq1 {}", dq0, dq1);
+    }
+
+    /// Thermal solution scales linearly with power (pure conduction) and
+    /// never dips below ambient.
+    #[test]
+    fn thermal_linearity_and_positivity(watts in 1.0f64..50.0) {
+        let stack = Stack::feram_on_compute_die(3);
+        let mut p1 = PowerMap::zeros(&stack, 8, 8);
+        p1.add_uniform_layer(stack.compute_layer(), watts);
+        let f1 = solve_steady_state(&stack, &p1, 300.0);
+        prop_assert!(f1.min_kelvin() >= 300.0 - 1e-6);
+
+        let mut p2 = PowerMap::zeros(&stack, 8, 8);
+        p2.add_uniform_layer(stack.compute_layer(), 2.0 * watts);
+        let f2 = solve_steady_state(&stack, &p2, 300.0);
+        let rise1 = f1.peak_kelvin() - 300.0;
+        let rise2 = f2.peak_kelvin() - 300.0;
+        prop_assert!((rise2 / rise1 - 2.0).abs() < 1e-6);
+    }
+
+    /// Backend logic ops on arbitrary words match the word-level oracle.
+    #[test]
+    fn backend_ops_match_word_oracle(wa in any::<u64>(), wb in any::<u64>()) {
+        let mut m = FeramBackend::new(MemoryGeometry::tiny());
+        let words = m.geometry().row_words();
+        m.install_row(RowId(0), &vec![wa; words]);
+        m.install_row(RowId(1), &vec![wb; words]);
+        m.and(RowId(0), RowId(1), RowId(2));
+        prop_assert_eq!(m.read_row(RowId(2))[0], wa & wb);
+        m.or(RowId(0), RowId(1), RowId(3));
+        prop_assert_eq!(m.read_row(RowId(3))[0], wa | wb);
+        m.nand(RowId(0), RowId(1), RowId(4));
+        prop_assert_eq!(m.read_row(RowId(4))[0], !(wa & wb));
+        m.nor(RowId(0), RowId(1), RowId(5));
+        prop_assert_eq!(m.read_row(RowId(5))[0], !(wa | wb));
+        m.xor(RowId(0), RowId(1), RowId(6));
+        prop_assert_eq!(m.read_row(RowId(6))[0], wa ^ wb);
+        m.not(RowId(0), RowId(7));
+        prop_assert_eq!(m.read_row(RowId(7))[0], !wa);
+        // Operands untouched through it all.
+        prop_assert_eq!(m.read_row(RowId(0))[0], wa);
+        prop_assert_eq!(m.read_row(RowId(1))[0], wb);
+    }
+
+    /// The byte-level LimArray API matches the byte oracle on arbitrary
+    /// buffers (sizes crossing row boundaries included).
+    #[test]
+    fn lim_array_matches_byte_oracle(
+        len in 1usize..3000,
+        seed in any::<u64>(),
+    ) {
+        use felim::lim::LimArray;
+        let mut lim = LimArray::feram_tiny();
+        let a = lim.alloc(len as u64).unwrap();
+        let b = lim.alloc(len as u64).unwrap();
+        let d = lim.alloc(len as u64).unwrap();
+        let av: Vec<u8> = (0..len).map(|i| (seed >> (i % 56)) as u8 ^ i as u8).collect();
+        let bv: Vec<u8> = (0..len).map(|i| (seed >> ((i + 13) % 56)) as u8).collect();
+        lim.install(a, &av).unwrap();
+        lim.install(b, &bv).unwrap();
+        lim.xor(a, b, d).unwrap();
+        let got = lim.read(d).unwrap();
+        prop_assert_eq!(got.len(), len);
+        for i in 0..len {
+            prop_assert_eq!(got[i], av[i] ^ bv[i], "byte {}", i);
+        }
+        // Operands intact.
+        prop_assert_eq!(lim.read(a).unwrap(), av);
+        prop_assert_eq!(lim.read(b).unwrap(), bv);
+    }
+
+    /// The CRC8 software reference is linear: crc(a ^ b) == crc(a) ^ crc(b)
+    /// (CRC is a linear code over GF(2)).
+    #[test]
+    fn crc8_reference_is_linear(
+        a in prop::collection::vec(any::<bool>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        use felim::workloads::crc8::crc8_bits;
+        // Derive b deterministically with the same length as a.
+        let b: Vec<bool> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let xored: Vec<bool> = a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect();
+        prop_assert_eq!(
+            crc8_bits(&xored),
+            crc8_bits(&a) ^ crc8_bits(&b)
+        );
+    }
+}
