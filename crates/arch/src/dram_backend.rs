@@ -15,7 +15,7 @@ use crate::energy::{EnergyModel, LatencyModel};
 use crate::engine::{majority_words, RowStore};
 use crate::geometry::{MemoryGeometry, RowId};
 use crate::stats::ExecStats;
-use crate::BulkBackend;
+use crate::{ArchError, BulkBackend};
 
 /// Number of rows reserved at the top of the address space for compute
 /// (T0–T2), control (C0, C1), DCC and general scratch.
@@ -48,8 +48,12 @@ impl DramBackend {
             command_log: None,
         };
         // Control rows hold their constants from initialisation on.
-        store.fill(backend.c0(), 0);
-        store.fill(backend.c1(), !0);
+        store
+            .fill(backend.c0(), 0)
+            .expect("control row C0 in range");
+        store
+            .fill(backend.c1(), !0)
+            .expect("control row C1 in range");
         backend.store = store;
         backend
     }
@@ -112,35 +116,36 @@ impl DramBackend {
     }
 
     /// AAP copy: ACTIVATE(src) + RowClone(dst) + PRECHARGE.
-    fn aap_copy(&mut self, src: RowId, dst: RowId) {
+    fn aap_copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
         self.issue(Command::Activate(src));
         self.issue(Command::RowClone { dst });
         self.issue(Command::Precharge);
-        let data = self.store.read(src);
-        self.store.write(dst, &data);
+        let data = self.store.read(src)?;
+        self.store.write(dst, &data)
     }
 
     /// AAP with TRA: MAJORITY of (T0,T1,T2) cloned into `dst`; all three
     /// compute rows are destroyed (left holding the result).
-    fn aap_tra(&mut self, dst: RowId) {
+    fn aap_tra(&mut self, dst: RowId) -> Result<(), ArchError> {
         let (t0, t1, t2) = (self.t(0), self.t(1), self.t(2));
         self.issue(Command::TripleRowActivate(t0, t1, t2));
         self.issue(Command::RowClone { dst });
         self.issue(Command::Precharge);
-        self.store.combine3(t0, t1, t2, dst, majority_words);
-        let result = self.store.read(dst);
+        self.store.combine3(t0, t1, t2, dst, majority_words)?;
+        let result = self.store.read(dst)?;
         for t in [t0, t1, t2] {
-            self.store.write(t, &result);
+            self.store.write(t, &result)?;
         }
+        Ok(())
     }
 
     /// The MAJ-based two-operand op: stage `a`, `b` and the control row,
     /// then TRA into `dst` — 4 AAPs total (12 cycles, 182.1 nJ).
-    fn maj_op(&mut self, a: RowId, b: RowId, control: RowId, dst: RowId) {
-        self.aap_copy(a, self.t(0));
-        self.aap_copy(b, self.t(1));
-        self.aap_copy(control, self.t(2));
-        self.aap_tra(dst);
+    fn maj_op(&mut self, a: RowId, b: RowId, control: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.aap_copy(a, self.t(0))?;
+        self.aap_copy(b, self.t(1))?;
+        self.aap_copy(control, self.t(2))?;
+        self.aap_tra(dst)
     }
 
     /// Refresh statistics for a full-scale run of `runtime_s` seconds over
@@ -185,66 +190,66 @@ impl BulkBackend for DramBackend {
         &self.geometry
     }
 
-    fn write_row(&mut self, row: RowId, data: &[u64]) {
+    fn write_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
         self.issue(Command::WriteRow(row));
-        self.store.write(row, data);
+        self.store.write(row, data)
     }
 
-    fn install_row(&mut self, row: RowId, data: &[u64]) {
-        self.store.write(row, data);
+    fn install_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.store.write(row, data)
     }
 
-    fn read_row(&mut self, row: RowId) -> Vec<u64> {
+    fn read_row(&mut self, row: RowId) -> Result<Vec<u64>, ArchError> {
         self.issue(Command::ReadRow(row));
         self.store.read(row)
     }
 
-    fn not(&mut self, src: RowId, dst: RowId) {
+    fn not(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
         // AAP(src → DCC); AAP(DCC̄ → dst): the dual-contact cell exposes
         // the complemented plate on the second activation.
-        self.aap_copy(src, self.dcc());
+        self.aap_copy(src, self.dcc())?;
         let dcc = self.dcc();
         self.issue(Command::Activate(dcc));
         self.issue(Command::RowClone { dst });
         self.issue(Command::Precharge);
-        self.store.map(dcc, dst, |w| !w);
+        self.store.map(dcc, dst, |w| !w)
     }
 
-    fn and(&mut self, a: RowId, b: RowId, dst: RowId) {
-        self.maj_op(a, b, self.c0(), dst);
+    fn and(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.maj_op(a, b, self.c0(), dst)
     }
 
-    fn or(&mut self, a: RowId, b: RowId, dst: RowId) {
-        self.maj_op(a, b, self.c1(), dst);
+    fn or(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.maj_op(a, b, self.c1(), dst)
     }
 
-    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) {
+    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         let t3 = RowId(self.reserved_base() + 6);
-        self.and(a, b, t3);
-        self.not(t3, dst);
+        self.and(a, b, t3)?;
+        self.not(t3, dst)
     }
 
-    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) {
+    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         let t3 = RowId(self.reserved_base() + 6);
-        self.or(a, b, t3);
-        self.not(t3, dst);
+        self.or(a, b, t3)?;
+        self.not(t3, dst)
     }
 
-    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) {
+    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         // or(and(a, !b), and(!a, b)) — Ambit's composition.
         let na = RowId(self.reserved_base() + 7);
         let nb = RowId(self.reserved_base() + 8);
         let x = RowId(self.reserved_base() + 9);
         let y = RowId(self.reserved_base() + 10);
-        self.not(a, na);
-        self.not(b, nb);
-        self.and(a, nb, x);
-        self.and(na, b, y);
-        self.or(x, y, dst);
+        self.not(a, na)?;
+        self.not(b, nb)?;
+        self.and(a, nb, x)?;
+        self.and(na, b, y)?;
+        self.or(x, y, dst)
     }
 
-    fn copy(&mut self, src: RowId, dst: RowId) {
-        self.aap_copy(src, dst);
+    fn copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.aap_copy(src, dst)
     }
 
     fn scratch_rows(&self, count: usize) -> Vec<RowId> {
@@ -295,20 +300,20 @@ mod tests {
     fn and_or_not_functional() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 0b1100));
-        m.write_row(b, &row_of(&m, 0b1010));
-        m.and(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b1000);
-        m.or(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b1110);
-        m.not(a, d);
-        assert_eq!(m.read_row(d)[0], !0b1100u64);
-        m.nand(a, b, d);
-        assert_eq!(m.read_row(d)[0], !0b1000u64);
-        m.nor(a, b, d);
-        assert_eq!(m.read_row(d)[0], !0b1110u64);
-        m.xor(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b0110);
+        m.write_row(a, &row_of(&m, 0b1100)).unwrap();
+        m.write_row(b, &row_of(&m, 0b1010)).unwrap();
+        m.and(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b1000);
+        m.or(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b1110);
+        m.not(a, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1100u64);
+        m.nand(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1000u64);
+        m.nor(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1110u64);
+        m.xor(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b0110);
     }
 
     #[test]
@@ -316,21 +321,21 @@ mod tests {
         // The whole point of the AAP staging: user rows are only read.
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 0xDEAD));
-        m.write_row(b, &row_of(&m, 0xBEEF));
-        m.and(a, b, d);
-        assert_eq!(m.read_row(a)[0], 0xDEAD);
-        assert_eq!(m.read_row(b)[0], 0xBEEF);
+        m.write_row(a, &row_of(&m, 0xDEAD)).unwrap();
+        m.write_row(b, &row_of(&m, 0xBEEF)).unwrap();
+        m.and(a, b, d).unwrap();
+        assert_eq!(m.read_row(a).unwrap()[0], 0xDEAD);
+        assert_eq!(m.read_row(b).unwrap()[0], 0xBEEF);
     }
 
     #[test]
     fn and_costs_four_aaps() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 1));
-        m.write_row(b, &row_of(&m, 2));
+        m.write_row(a, &row_of(&m, 1)).unwrap();
+        m.write_row(b, &row_of(&m, 2)).unwrap();
         let before = m.stats().clone();
-        m.and(a, b, d);
+        m.and(a, b, d).unwrap();
         let act = m.stats().count(CommandClass::Activate) - before.count(CommandClass::Activate);
         let pre = m.stats().count(CommandClass::Precharge) - before.count(CommandClass::Precharge);
         assert_eq!(act, 8, "4 AAPs = 8 activates");
@@ -344,20 +349,20 @@ mod tests {
     #[test]
     fn not_costs_two_aaps() {
         let mut m = backend();
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         let before = m.stats().total_cycles();
-        m.not(RowId(0), RowId(1));
+        m.not(RowId(0), RowId(1)).unwrap();
         assert_eq!(m.stats().total_cycles() - before, 6);
     }
 
     #[test]
     fn copy_costs_one_aap() {
         let mut m = backend();
-        m.write_row(RowId(0), &row_of(&m, 7));
+        m.write_row(RowId(0), &row_of(&m, 7)).unwrap();
         let before = m.stats().total_cycles();
-        m.copy(RowId(0), RowId(1));
+        m.copy(RowId(0), RowId(1)).unwrap();
         assert_eq!(m.stats().total_cycles() - before, 3);
-        assert_eq!(m.read_row(RowId(1))[0], 7);
+        assert_eq!(m.read_row(RowId(1)).unwrap()[0], 7);
     }
 
     #[test]
@@ -376,7 +381,7 @@ mod tests {
     #[test]
     fn finish_adds_refresh_once() {
         let mut m = backend();
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         let s1 = m.finish();
         let s2 = m.finish();
         assert_eq!(s1, s2, "finish must be idempotent");
@@ -391,6 +396,20 @@ mod tests {
             assert!(r.0 >= m.first_reserved_row().0);
             assert!(m.geometry().contains(*r));
         }
+    }
+
+    #[test]
+    fn out_of_range_rows_are_typed_errors() {
+        let mut m = backend();
+        let far = RowId(m.geometry().total_rows() + 1);
+        assert!(matches!(
+            m.write_row(far, &row_of(&m, 0)),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.and(RowId(0), RowId(1), far),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
     }
 
     #[test]

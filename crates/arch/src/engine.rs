@@ -3,9 +3,11 @@
 //! Every simulated command also computes its real result, so workload
 //! outputs can be verified bit-for-bit against software references. Rows
 //! are lazily materialised (an 8 GB memory is addressable without 8 GB of
-//! host RAM).
+//! host RAM). Addressing mistakes surface as [`ArchError`]s rather than
+//! panics, so backends can propagate them as typed failures.
 
 use crate::geometry::{MemoryGeometry, RowId};
+use crate::ArchError;
 use std::collections::HashMap;
 
 /// Lazily-materialised storage for full memory rows.
@@ -39,56 +41,88 @@ impl RowStore {
         self.rows.len() as u64
     }
 
-    fn assert_in_range(&self, row: RowId) {
-        assert!(
-            self.geometry.contains(row),
-            "{row} out of range ({} rows)",
-            self.geometry.total_rows()
-        );
+    fn check_in_range(&self, row: RowId) -> Result<(), ArchError> {
+        if self.geometry.contains(row) {
+            Ok(())
+        } else {
+            Err(ArchError::RowOutOfRange {
+                row: row.0,
+                rows: self.geometry.total_rows(),
+            })
+        }
     }
 
     /// Reads a row (zeros if never written).
-    pub fn read(&self, row: RowId) -> Vec<u64> {
-        self.assert_in_range(row);
-        self.rows
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn read(&self, row: RowId) -> Result<Vec<u64>, ArchError> {
+        self.check_in_range(row)?;
+        Ok(self
+            .rows
             .get(&row.0)
             .cloned()
-            .unwrap_or_else(|| vec![0; self.geometry.row_words()])
+            .unwrap_or_else(|| vec![0; self.geometry.row_words()]))
     }
 
     /// Writes a full row.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data` is not exactly one row long or the row is out of
-    /// range.
-    pub fn write(&mut self, row: RowId, data: &[u64]) {
-        self.assert_in_range(row);
-        assert_eq!(
-            data.len(),
-            self.geometry.row_words(),
-            "row data must be exactly {} words",
-            self.geometry.row_words()
-        );
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry;
+    /// [`ArchError::RowSizeMismatch`] unless `data` is exactly one row.
+    pub fn write(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.check_in_range(row)?;
+        if data.len() != self.geometry.row_words() {
+            return Err(ArchError::RowSizeMismatch {
+                expected: self.geometry.row_words(),
+                got: data.len(),
+            });
+        }
         self.rows.insert(row.0, data.to_vec());
+        Ok(())
     }
 
     /// `dst[i] = f(a[i], b[i])` across the whole row.
-    pub fn combine(&mut self, a: RowId, b: RowId, dst: RowId, f: impl Fn(u64, u64) -> u64) {
-        let ra = self.read(a);
-        let rb = self.read(b);
+    ///
+    /// # Errors
+    ///
+    /// As for [`RowStore::read`] / [`RowStore::write`].
+    pub fn combine(
+        &mut self,
+        a: RowId,
+        b: RowId,
+        dst: RowId,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> Result<(), ArchError> {
+        let ra = self.read(a)?;
+        let rb = self.read(b)?;
         let out: Vec<u64> = ra.iter().zip(rb.iter()).map(|(&x, &y)| f(x, y)).collect();
-        self.write(dst, &out);
+        self.write(dst, &out)
     }
 
     /// `dst[i] = f(src[i])` across the whole row.
-    pub fn map(&mut self, src: RowId, dst: RowId, f: impl Fn(u64) -> u64) {
-        let r = self.read(src);
+    ///
+    /// # Errors
+    ///
+    /// As for [`RowStore::read`] / [`RowStore::write`].
+    pub fn map(
+        &mut self,
+        src: RowId,
+        dst: RowId,
+        f: impl Fn(u64) -> u64,
+    ) -> Result<(), ArchError> {
+        let r = self.read(src)?;
         let out: Vec<u64> = r.iter().map(|&x| f(x)).collect();
-        self.write(dst, &out);
+        self.write(dst, &out)
     }
 
     /// `dst[i] = f(a[i], b[i], c[i])` across the whole row (TRA/TBA).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RowStore::read`] / [`RowStore::write`].
     pub fn combine3(
         &mut self,
         a: RowId,
@@ -96,18 +130,22 @@ impl RowStore {
         c: RowId,
         dst: RowId,
         f: impl Fn(u64, u64, u64) -> u64,
-    ) {
-        let ra = self.read(a);
-        let rb = self.read(b);
-        let rc = self.read(c);
+    ) -> Result<(), ArchError> {
+        let ra = self.read(a)?;
+        let rb = self.read(b)?;
+        let rc = self.read(c)?;
         let out: Vec<u64> = (0..ra.len()).map(|i| f(ra[i], rb[i], rc[i])).collect();
-        self.write(dst, &out);
+        self.write(dst, &out)
     }
 
     /// Fills a row with a constant word.
-    pub fn fill(&mut self, row: RowId, word: u64) {
+    ///
+    /// # Errors
+    ///
+    /// As for [`RowStore::write`].
+    pub fn fill(&mut self, row: RowId, word: u64) -> Result<(), ArchError> {
         let data = vec![word; self.geometry.row_words()];
-        self.write(row, &data);
+        self.write(row, &data)
     }
 }
 
@@ -132,7 +170,7 @@ mod tests {
     #[test]
     fn unwritten_rows_read_zero() {
         let s = store();
-        assert!(s.read(RowId(5)).iter().all(|&w| w == 0));
+        assert!(s.read(RowId(5)).unwrap().iter().all(|&w| w == 0));
         assert_eq!(s.touched_rows(), 0);
     }
 
@@ -140,32 +178,34 @@ mod tests {
     fn write_read_roundtrip() {
         let mut s = store();
         let data: Vec<u64> = (0..128).map(|i| i * 3).collect();
-        s.write(RowId(7), &data);
-        assert_eq!(s.read(RowId(7)), data);
+        s.write(RowId(7), &data).unwrap();
+        assert_eq!(s.read(RowId(7)).unwrap(), data);
         assert_eq!(s.touched_rows(), 1);
     }
 
     #[test]
     fn combine_and_map() {
         let mut s = store();
-        s.fill(RowId(0), 0b1100);
-        s.fill(RowId(1), 0b1010);
-        s.combine(RowId(0), RowId(1), RowId(2), |a, b| a & b);
-        assert_eq!(s.read(RowId(2))[0], 0b1000);
-        s.map(RowId(2), RowId(3), |x| !x);
-        assert_eq!(s.read(RowId(3))[0], !0b1000u64);
+        s.fill(RowId(0), 0b1100).unwrap();
+        s.fill(RowId(1), 0b1010).unwrap();
+        s.combine(RowId(0), RowId(1), RowId(2), |a, b| a & b).unwrap();
+        assert_eq!(s.read(RowId(2)).unwrap()[0], 0b1000);
+        s.map(RowId(2), RowId(3), |x| !x).unwrap();
+        assert_eq!(s.read(RowId(3)).unwrap()[0], !0b1000u64);
     }
 
     #[test]
     fn combine3_majority_minority() {
         let mut s = store();
-        s.fill(RowId(0), 0b1100);
-        s.fill(RowId(1), 0b1010);
-        s.fill(RowId(2), 0b0110);
-        s.combine3(RowId(0), RowId(1), RowId(2), RowId(3), majority_words);
-        assert_eq!(s.read(RowId(3))[0], 0b1110);
-        s.combine3(RowId(0), RowId(1), RowId(2), RowId(4), minority_words);
-        assert_eq!(s.read(RowId(4))[0], !0b1110u64);
+        s.fill(RowId(0), 0b1100).unwrap();
+        s.fill(RowId(1), 0b1010).unwrap();
+        s.fill(RowId(2), 0b0110).unwrap();
+        s.combine3(RowId(0), RowId(1), RowId(2), RowId(3), majority_words)
+            .unwrap();
+        assert_eq!(s.read(RowId(3)).unwrap()[0], 0b1110);
+        s.combine3(RowId(0), RowId(1), RowId(2), RowId(4), minority_words)
+            .unwrap();
+        assert_eq!(s.read(RowId(4)).unwrap()[0], !0b1110u64);
     }
 
     #[test]
@@ -183,16 +223,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_out_of_range_rows() {
+    fn out_of_range_rows_are_typed_errors() {
         let s = store();
-        let _ = s.read(RowId(10_000));
+        let err = s.read(RowId(10_000)).unwrap_err();
+        assert!(matches!(err, ArchError::RowOutOfRange { row: 10_000, .. }));
+        assert!(err.to_string().contains("out of range"));
+        let mut s = store();
+        let err = s.fill(RowId(10_000), 1).unwrap_err();
+        assert!(matches!(err, ArchError::RowOutOfRange { .. }));
     }
 
     #[test]
-    #[should_panic(expected = "exactly")]
-    fn rejects_short_rows() {
+    fn short_rows_are_typed_errors() {
         let mut s = store();
-        s.write(RowId(0), &[1, 2, 3]);
+        let err = s.write(RowId(0), &[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            ArchError::RowSizeMismatch {
+                expected: s.geometry().row_words(),
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("exactly"));
     }
 }

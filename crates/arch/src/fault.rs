@@ -1,0 +1,427 @@
+//! Deterministic fault injection and graceful-degradation policy.
+//!
+//! The paper's reliability story rests on the sense-margin study
+//! (`felim-cell::margin`) and the endurance budget (Fig 4(f)). This
+//! module turns those cell-level numbers into architecture-level fault
+//! processes so the *system's* response can be exercised:
+//!
+//! * [`FaultSpec`] — the fault environment: per-bit flip probabilities on
+//!   the write path, the host read path and the TBA sense path, plus a
+//!   wear budget after which a row's cells die permanently. Everything is
+//!   driven by one seed, so a campaign reproduces bit-for-bit.
+//! * [`FaultInjector`] — the seeded sampler that applies a [`FaultSpec`]
+//!   to row data.
+//! * [`DegradationPolicy`] — what the memory controller does about
+//!   faults: verify-after-write with bounded retry, triple-modular
+//!   sensing/reading with majority vote, scratch-row rotation once wear
+//!   crosses a configurable fraction of the budget, and row retirement
+//!   with remapping into a spare pool.
+//! * [`ReliabilityStats`] — ground-truth bookkeeping. Because the
+//!   simulator computes the ideal result of every operation functionally,
+//!   it can tell *exactly* which injected faults were corrected, which
+//!   were surfaced as typed errors, and which escaped silently.
+//!
+//! The default policy ([`DegradationPolicy::none`]) disables every
+//! mitigation, so the calibrated cost model is untouched; campaigns use
+//! [`DegradationPolicy::hardened`].
+
+use felim_cell::margin::MarginReport;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// The fault environment for a backend, fully determined by `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSpec {
+    /// Seed for the injector's deterministic noise source.
+    pub seed: u64,
+    /// Per-bit flip probability on every charged host/controller write.
+    pub write_bitflip_rate: f64,
+    /// Per-bit flip probability on every host read (transient — the
+    /// stored data is unaffected).
+    pub read_bitflip_rate: f64,
+    /// Per-bit flip probability on each TBA sense (the minority decision
+    /// landing on the wrong side of the reference — the failure mode the
+    /// Monte-Carlo margin study quantifies).
+    pub sense_fault_rate: f64,
+    /// Writes a row survives before its cells die permanently
+    /// (subsequent writes silently fail to take). `0` disables wear-out.
+    pub wear_budget: u64,
+}
+
+impl FaultSpec {
+    /// A fault-free environment (the injector becomes a no-op).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            write_bitflip_rate: 0.0,
+            read_bitflip_rate: 0.0,
+            sense_fault_rate: 0.0,
+            wear_budget: 0,
+        }
+    }
+
+    /// Sense faults only, at the given per-bit rate — the legacy
+    /// `with_fault_injection` behaviour.
+    pub fn sense_only(rate: f64, seed: u64) -> Self {
+        Self {
+            sense_fault_rate: rate,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Derives a spec from a measured sense-failure rate (e.g.
+    /// `1 - tba_yield` out of `felim-cell`'s `monte_carlo_margin`): the
+    /// per-cell failure probability feeds the TBA sense path, a small
+    /// fraction of it models the weaker disturbances on the read and
+    /// write paths.
+    pub fn from_failure_rate(sense_failure_rate: f64, seed: u64) -> Self {
+        let p = sense_failure_rate.clamp(0.0, 1.0);
+        Self {
+            seed,
+            write_bitflip_rate: p / 10.0,
+            read_bitflip_rate: p / 10.0,
+            sense_fault_rate: p,
+            wear_budget: 0,
+        }
+    }
+
+    /// Derives a spec from a cell-level Monte-Carlo margin study: the
+    /// report's sense-failure rate (worst of the TBA and NOT yields)
+    /// feeds [`FaultSpec::from_failure_rate`].
+    pub fn from_margin(report: &MarginReport, seed: u64) -> Self {
+        Self::from_failure_rate(report.sense_failure_rate(), seed)
+    }
+
+    /// Sets the wear budget (writes per row before permanent death).
+    pub fn with_wear_budget(mut self, budget: u64) -> Self {
+        self.wear_budget = budget;
+        self
+    }
+
+    /// Is there anything to inject?
+    pub fn is_active(&self) -> bool {
+        self.write_bitflip_rate > 0.0
+            || self.read_bitflip_rate > 0.0
+            || self.sense_fault_rate > 0.0
+            || self.wear_budget > 0
+    }
+}
+
+/// The seeded sampler applying a [`FaultSpec`] to row data.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; the noise stream is determined by
+    /// `spec.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every rate in the spec satisfies `0 <= rate <= 1`.
+    pub fn new(spec: FaultSpec) -> Self {
+        for rate in [
+            spec.write_bitflip_rate,
+            spec.read_bitflip_rate,
+            spec.sense_fault_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        }
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Self { spec, rng }
+    }
+
+    /// The spec in force.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Flips each bit of `data` with probability `rate`; returns the
+    /// number of bits flipped.
+    fn corrupt(&mut self, data: &mut [u64], rate: f64) -> u64 {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let mut flips = 0;
+        for word in data.iter_mut() {
+            for bit in 0..64 {
+                if self.rng.gen_bool(rate) {
+                    *word ^= 1 << bit;
+                    flips += 1;
+                }
+            }
+        }
+        flips
+    }
+
+    /// Applies write-path corruption in place; returns bits flipped.
+    pub fn corrupt_write(&mut self, data: &mut [u64]) -> u64 {
+        let rate = self.spec.write_bitflip_rate;
+        self.corrupt(data, rate)
+    }
+
+    /// Applies read-path corruption in place; returns bits flipped.
+    pub fn corrupt_read(&mut self, data: &mut [u64]) -> u64 {
+        let rate = self.spec.read_bitflip_rate;
+        self.corrupt(data, rate)
+    }
+
+    /// Applies TBA sense corruption in place; returns bits flipped.
+    pub fn corrupt_sense(&mut self, data: &mut [u64]) -> u64 {
+        let rate = self.spec.sense_fault_rate;
+        self.corrupt(data, rate)
+    }
+
+    /// Triple-modular sampling: draws three independently corrupted
+    /// copies of `truth` at `rate` and majority-votes them per bit.
+    /// Returns `(voted, disagreeing_bits)` — a nonzero disagreement count
+    /// means at least one transient fault was outvoted.
+    fn vote3(&mut self, truth: &[u64], rate: f64) -> (Vec<u64>, u64) {
+        if rate <= 0.0 {
+            return (truth.to_vec(), 0);
+        }
+        let mut a = truth.to_vec();
+        let mut b = truth.to_vec();
+        let mut c = truth.to_vec();
+        self.corrupt(&mut a, rate);
+        self.corrupt(&mut b, rate);
+        self.corrupt(&mut c, rate);
+        let mut disagreements = 0;
+        let voted: Vec<u64> = (0..truth.len())
+            .map(|i| {
+                disagreements += ((a[i] ^ b[i]) | (a[i] ^ c[i])).count_ones() as u64;
+                (a[i] & b[i]) | (b[i] & c[i]) | (a[i] & c[i])
+            })
+            .collect();
+        (voted, disagreements)
+    }
+
+    /// Majority-of-three on the TBA sense path.
+    pub fn vote3_sense(&mut self, truth: &[u64]) -> (Vec<u64>, u64) {
+        let rate = self.spec.sense_fault_rate;
+        self.vote3(truth, rate)
+    }
+
+    /// Majority-of-three on the host read path.
+    pub fn vote3_read(&mut self, truth: &[u64]) -> (Vec<u64>, u64) {
+        let rate = self.spec.read_bitflip_rate;
+        self.vote3(truth, rate)
+    }
+}
+
+/// What the memory controller does about faults. The default
+/// ([`DegradationPolicy::none`]) disables every mitigation so the
+/// calibrated cycle/energy pins are untouched.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DegradationPolicy {
+    /// Read back every committed row and compare against the write
+    /// buffer, retrying on mismatch.
+    pub verify_writes: bool,
+    /// Write retries before the row is retired (or the op fails).
+    pub max_write_retries: u32,
+    /// Sense each TBA result three times and majority-vote.
+    pub redundant_sense: bool,
+    /// Issue each host read three times and majority-vote.
+    pub redundant_reads: bool,
+    /// Remap rows that keep failing verification into the spare pool.
+    pub retire_rows: bool,
+    /// Rotate a scratch row to a fresh spare once its wear crosses this
+    /// fraction of the wear budget (`>= 1.0` disables rotation).
+    pub scratch_rotation_fraction: f64,
+}
+
+impl DegradationPolicy {
+    /// No mitigation at all: faults land where they fall. This is the
+    /// default, and it leaves the cost model bit-identical to a backend
+    /// without any fault machinery.
+    pub fn none() -> Self {
+        Self {
+            verify_writes: false,
+            max_write_retries: 0,
+            redundant_sense: false,
+            redundant_reads: false,
+            retire_rows: false,
+            scratch_rotation_fraction: 1.0,
+        }
+    }
+
+    /// Every mitigation on: verify-after-write with 2 retries, triple
+    /// sensing and reading, row retirement, scratch rotation at half the
+    /// wear budget.
+    pub fn hardened() -> Self {
+        Self {
+            verify_writes: true,
+            max_write_retries: 2,
+            redundant_sense: true,
+            redundant_reads: true,
+            retire_rows: true,
+            scratch_rotation_fraction: 0.5,
+        }
+    }
+
+    /// Does this policy rotate scratch rows?
+    pub fn rotates_scratch(&self) -> bool {
+        self.scratch_rotation_fraction < 1.0
+    }
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Ground-truth reliability bookkeeping for one backend run.
+///
+/// Because the functional model knows the ideal result of every
+/// operation, the backend can classify each fault precisely; in
+/// particular [`ReliabilityStats::escaped_faults`] counts operations
+/// whose committed state diverged from the ideal result *without* an
+/// error being raised — the silent corruptions a campaign must drive to
+/// zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct ReliabilityStats {
+    /// Bits flipped by the injector on the write path.
+    pub injected_write_flips: u64,
+    /// Bits flipped by the injector on the host read path.
+    pub injected_read_flips: u64,
+    /// Bits flipped by the injector on the TBA sense path.
+    pub injected_sense_flips: u64,
+    /// Sense-path flips outvoted by triple sensing.
+    pub sense_faults_corrected: u64,
+    /// Read-path flips outvoted by triple reading.
+    pub read_faults_corrected: u64,
+    /// Write retries issued after a failed verification.
+    pub write_retries: u64,
+    /// Writes that verified clean only after at least one retry.
+    pub corrected_writes: u64,
+    /// Rows remapped to spares after persistent verification failure.
+    pub retired_rows: u64,
+    /// Scratch rows rotated to spares on wear.
+    pub scratch_rotations: u64,
+    /// Writes attempted on wear-dead rows (the write did not take).
+    pub dead_row_writes: u64,
+    /// Operations whose committed state diverged from the ideal result
+    /// without an error being raised — silent corruptions.
+    pub escaped_faults: u64,
+}
+
+impl ReliabilityStats {
+    /// Total injected fault events (bit flips plus dead-row writes).
+    pub fn injected(&self) -> u64 {
+        self.injected_write_flips
+            + self.injected_read_flips
+            + self.injected_sense_flips
+            + self.dead_row_writes
+    }
+
+    /// Total fault events the degradation machinery absorbed.
+    pub fn corrected(&self) -> u64 {
+        self.sense_faults_corrected
+            + self.read_faults_corrected
+            + self.corrected_writes
+            + self.retired_rows
+            + self.scratch_rotations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultSpec::sense_only(0.01, seed));
+            let mut data = vec![0u64; 16];
+            inj.corrupt_sense(&mut data);
+            data
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let mut inj = FaultInjector::new(FaultSpec::none(1));
+        let mut data = vec![0xAAu64; 8];
+        assert_eq!(inj.corrupt_write(&mut data), 0);
+        assert_eq!(inj.corrupt_read(&mut data), 0);
+        assert_eq!(inj.corrupt_sense(&mut data), 0);
+        assert!(data.iter().all(|&w| w == 0xAA));
+        assert!(!FaultSpec::none(1).is_active());
+    }
+
+    #[test]
+    fn corruption_count_matches_flips() {
+        let mut inj = FaultInjector::new(FaultSpec::sense_only(0.05, 7));
+        let mut data = vec![0u64; 64];
+        let flips = inj.corrupt_sense(&mut data);
+        let set_bits: u64 = data.iter().map(|w| w.count_ones() as u64).sum();
+        assert_eq!(flips, set_bits);
+        assert!(flips > 0, "at ~205 expected flips, zero is implausible");
+    }
+
+    #[test]
+    fn vote3_outvotes_single_faults() {
+        // With a modest rate, double faults on the same bit are rare, so
+        // the vote should recover the truth almost always — and report
+        // every disagreement it saw.
+        let mut inj = FaultInjector::new(FaultSpec::sense_only(0.01, 11));
+        let truth = vec![0x5555_5555_5555_5555u64; 32];
+        let (voted, disagreements) = inj.vote3_sense(&truth);
+        assert!(disagreements > 0, "some transient faults must occur");
+        let wrong: u64 = voted
+            .iter()
+            .zip(&truth)
+            .map(|(v, t)| (v ^ t).count_ones() as u64)
+            .sum();
+        assert!(
+            wrong * 50 < disagreements,
+            "vote must fix the vast majority ({wrong} wrong of {disagreements} seen)"
+        );
+    }
+
+    #[test]
+    fn from_failure_rate_clamps_and_scales() {
+        let spec = FaultSpec::from_failure_rate(0.2, 9);
+        assert!((spec.sense_fault_rate - 0.2).abs() < 1e-12);
+        assert!((spec.write_bitflip_rate - 0.02).abs() < 1e-12);
+        let spec = FaultSpec::from_failure_rate(7.0, 9);
+        assert!(spec.sense_fault_rate <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be a probability")]
+    fn rejects_bad_rates() {
+        let _ = FaultInjector::new(FaultSpec::sense_only(1.5, 0));
+    }
+
+    #[test]
+    fn policy_defaults_are_inert() {
+        let p = DegradationPolicy::default();
+        assert_eq!(p, DegradationPolicy::none());
+        assert!(!p.verify_writes && !p.redundant_sense && !p.redundant_reads);
+        assert!(!p.rotates_scratch());
+        let h = DegradationPolicy::hardened();
+        assert!(h.verify_writes && h.retire_rows && h.rotates_scratch());
+    }
+
+    #[test]
+    fn reliability_stats_aggregate() {
+        let stats = ReliabilityStats {
+            injected_write_flips: 2,
+            injected_read_flips: 3,
+            injected_sense_flips: 5,
+            dead_row_writes: 1,
+            sense_faults_corrected: 4,
+            corrected_writes: 2,
+            ..Default::default()
+        };
+        assert_eq!(stats.injected(), 11);
+        assert_eq!(stats.corrected(), 6);
+    }
+}

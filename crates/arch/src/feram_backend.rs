@@ -22,20 +22,37 @@
 //! reads-per-group and issues a write-back once the disturb budget is
 //! exhausted — the residual maintenance cost of the scheme (orders of
 //! magnitude rarer than DRAM refresh).
+//!
+//! ## Faults and graceful degradation
+//!
+//! A [`FaultInjector`] (see [`FeramBackend::with_faults`]) flips bits on
+//! the write, read and TBA sense paths and kills a row's cells once its
+//! wear crosses the spec's budget. A [`DegradationPolicy`] decides what
+//! the controller does about it: verify-after-write with bounded retry,
+//! triple-modular sensing and reading with majority vote, scratch-row
+//! rotation at a wear threshold, and retirement of persistently-failing
+//! rows into a spare pool carved out of the reserved region. With the
+//! default [`DegradationPolicy::none`] every mitigation is off and the
+//! backend's cost accounting is bit-identical to a fault-free one.
 
 use crate::command::Command;
 use crate::energy::{EnergyModel, LatencyModel};
 use crate::engine::{minority_words, RowStore};
+use crate::fault::{DegradationPolicy, FaultInjector, FaultSpec, ReliabilityStats};
 use crate::geometry::{MemoryGeometry, RowId};
 use crate::stats::ExecStats;
 use crate::wear::WearTracker;
-use crate::BulkBackend;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::{ArchError, BulkBackend};
 use std::collections::HashMap;
 
-/// Rows reserved at the top of the address space for scratch.
+/// Rows reserved at the top of the address space for scratch and spares.
 const RESERVED_ROWS: u64 = 16;
+
+/// General scratch rows live at `base+1 ..= base+SCRATCH_ROWS`.
+const SCRATCH_ROWS: u64 = 8;
+
+/// Spare rows for retirement/rotation at `base+9 ..= base+9+SPARE_ROWS-1`.
+const SPARE_ROWS: u64 = 7;
 
 /// Capacitors per cell.
 const N_CAPS: u64 = 3;
@@ -44,7 +61,7 @@ const N_CAPS: u64 = 3;
 #[derive(Debug, Clone)]
 pub struct FeramBackend {
     geometry: MemoryGeometry,
-    /// Bit-plane store: plane key = row * N_CAPS + slot.
+    /// Bit-plane store: plane key = physical row * N_CAPS + slot.
     planes: RowStore,
     energy: EnergyModel,
     latency: LatencyModel,
@@ -55,11 +72,18 @@ pub struct FeramBackend {
     disturb_budget: u32,
     /// Write-backs issued due to disturb exhaustion.
     writebacks: u64,
-    /// Per-row write-endurance bookkeeping.
+    /// Per-physical-row write-endurance bookkeeping.
     wear: WearTracker,
-    /// Optional sense-fault injection: per-bit flip probability on TBA
-    /// outputs, with its deterministic noise source.
-    fault_injection: Option<(f64, StdRng)>,
+    /// Optional deterministic fault injection.
+    faults: Option<FaultInjector>,
+    /// Controller response to faults.
+    policy: DegradationPolicy,
+    /// Ground-truth fault bookkeeping.
+    reliability: ReliabilityStats,
+    /// Logical → physical row remapping (retirement + scratch rotation).
+    remap: HashMap<u64, u64>,
+    /// Free physical spare rows (popped from the back).
+    spares: Vec<u64>,
     command_log: Option<Vec<Command>>,
 }
 
@@ -72,6 +96,10 @@ impl FeramBackend {
             capacity_bytes: geometry.capacity_bytes * N_CAPS,
             ..geometry
         };
+        let base = geometry.total_rows() - RESERVED_ROWS;
+        let spares: Vec<u64> = (base + 1 + SCRATCH_ROWS..base + 1 + SCRATCH_ROWS + SPARE_ROWS)
+            .rev()
+            .collect();
         Self {
             geometry,
             planes: RowStore::new(plane_geometry),
@@ -82,7 +110,11 @@ impl FeramBackend {
             disturb_budget: 64,
             writebacks: 0,
             wear: WearTracker::new(),
-            fault_injection: None,
+            faults: None,
+            policy: DegradationPolicy::none(),
+            reliability: ReliabilityStats::default(),
+            remap: HashMap::new(),
+            spares,
             command_log: None,
         }
     }
@@ -99,6 +131,10 @@ impl FeramBackend {
 
     /// Overrides the QNRO disturb budget (reads per group between
     /// write-backs) — ablation A4.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero budget.
     pub fn with_disturb_budget(mut self, budget: u32) -> Self {
         assert!(budget > 0, "disturb budget must be positive");
         self.disturb_budget = budget;
@@ -115,38 +151,51 @@ impl FeramBackend {
         &self.wear
     }
 
-    /// Enables sense-fault injection: every bit of every TBA output is
-    /// flipped with probability `rate` (deterministic from `seed`).
-    /// Models a sense amplifier operating past its margin; workload
-    /// verification catches the corruption, demonstrating the functional
-    /// simulation is a real end-to-end check.
+    /// Attaches a deterministic fault environment. If the spec carries a
+    /// wear budget, the wear tracker is rebuilt with it so endurance
+    /// reports and cell death agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every rate in the spec is a probability.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        if spec.wear_budget > 0 {
+            self.wear = WearTracker::with_budget(spec.wear_budget);
+        }
+        self.faults = Some(FaultInjector::new(spec));
+        self
+    }
+
+    /// Sets the controller's degradation policy.
+    pub fn with_policy(mut self, policy: DegradationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables sense-fault injection only: every bit of every TBA output
+    /// is flipped with probability `rate` (deterministic from `seed`).
+    /// Equivalent to `with_faults(FaultSpec::sense_only(rate, seed))`.
     ///
     /// # Panics
     ///
     /// Panics unless `0 <= rate <= 1`.
-    pub fn with_fault_injection(mut self, rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        self.fault_injection = Some((rate, StdRng::seed_from_u64(seed)));
-        self
+    pub fn with_fault_injection(self, rate: f64, seed: u64) -> Self {
+        self.with_faults(FaultSpec::sense_only(rate, seed))
     }
 
-    /// Applies the configured fault injection to a freshly-sensed plane.
-    fn maybe_corrupt(&mut self, plane: RowId) {
-        let Some((rate, rng)) = self.fault_injection.as_mut() else {
-            return;
-        };
-        if *rate <= 0.0 {
-            return;
-        }
-        let mut data = self.planes.read(plane);
-        for word in &mut data {
-            for bit in 0..64 {
-                if rng.gen_bool(*rate) {
-                    *word ^= 1 << bit;
-                }
-            }
-        }
-        self.planes.write(plane, &data);
+    /// Ground-truth reliability statistics for this run.
+    pub fn reliability_stats(&self) -> &ReliabilityStats {
+        &self.reliability
+    }
+
+    /// Logical rows currently remapped to spares.
+    pub fn remapped_rows(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// Spare rows still available for retirement/rotation.
+    pub fn spares_left(&self) -> usize {
+        self.spares.len()
     }
 
     /// The energy model in use.
@@ -163,9 +212,40 @@ impl FeramBackend {
         self.geometry.total_rows() - RESERVED_ROWS
     }
 
-    fn plane(&self, row: RowId, slot: u64) -> RowId {
+    /// Physical row a logical row currently maps to.
+    fn resolve(&self, row: RowId) -> u64 {
+        *self.remap.get(&row.0).unwrap_or(&row.0)
+    }
+
+    fn plane_of(&self, physical_row: u64, slot: u64) -> RowId {
         debug_assert!(slot < N_CAPS);
-        RowId(row.0 * N_CAPS + slot)
+        RowId(physical_row * N_CAPS + slot)
+    }
+
+    fn check_row(&self, row: RowId) -> Result<(), ArchError> {
+        if self.geometry.contains(row) {
+            Ok(())
+        } else {
+            Err(ArchError::RowOutOfRange {
+                row: row.0,
+                rows: self.geometry.total_rows(),
+            })
+        }
+    }
+
+    /// Has this physical row's cell population worn out?
+    fn is_dead(&self, physical_row: u64) -> bool {
+        match &self.faults {
+            Some(inj) if inj.spec().wear_budget > 0 => {
+                self.wear.writes(RowId(physical_row)) >= inj.spec().wear_budget
+            }
+            _ => false,
+        }
+    }
+
+    fn is_scratch(&self, row: RowId) -> bool {
+        let base = self.reserved_base();
+        (base + 1..=base + SCRATCH_ROWS).contains(&row.0)
     }
 
     fn issue(&mut self, cmd: Command) {
@@ -203,29 +283,150 @@ impl FeramBackend {
         }
     }
 
-    fn note_write(&mut self, row: RowId) {
-        self.reads_since_write.insert(row.0, 0);
-        self.wear.record_write(row);
+    /// Resets the disturb counter for a logical group and records wear on
+    /// the physical row actually written.
+    fn note_write(&mut self, logical: RowId, physical_row: u64) {
+        self.reads_since_write.insert(logical.0, 0);
+        self.wear.record_write(RowId(physical_row));
+    }
+
+    /// Rotates a scratch row to a fresh spare once its wear crosses the
+    /// policy's fraction of the wear budget.
+    fn maybe_rotate_scratch(&mut self, logical: RowId) {
+        if !self.policy.rotates_scratch() || !self.is_scratch(logical) {
+            return;
+        }
+        let physical = self.resolve(logical);
+        let threshold = self.policy.scratch_rotation_fraction * self.wear.budget() as f64;
+        if (self.wear.writes(RowId(physical)) as f64) < threshold {
+            return;
+        }
+        if let Some(spare) = self.spares.pop() {
+            self.remap.insert(logical.0, spare);
+            self.reliability.scratch_rotations += 1;
+        }
+        // Pool empty: keep using the worn row — retirement-on-failure is
+        // still behind it as the last line of defence.
+    }
+
+    /// What slot 0 of a physical row currently holds.
+    fn stored(&self, physical_row: u64) -> Result<Vec<u64>, ArchError> {
+        self.planes.read(self.plane_of(physical_row, 0))
+    }
+
+    /// Commits `intended` into slot 0 of `logical`, applying the fault
+    /// model (write flips, dead cells) and the degradation policy
+    /// (verify-after-write, bounded retry, retirement). The op-level
+    /// command cost is charged by the caller; only mitigation overhead
+    /// (verify reads, retry writes) is charged here.
+    fn commit_data(&mut self, logical: RowId, intended: &[u64]) -> Result<(), ArchError> {
+        self.check_row(logical)?;
+        self.maybe_rotate_scratch(logical);
+        let mut attempts: u32 = 0;
+        loop {
+            let physical = self.resolve(logical);
+            if self.is_dead(physical) {
+                self.reliability.dead_row_writes += 1;
+                // The cells no longer switch: stored data stays stale.
+            } else {
+                let mut written = intended.to_vec();
+                if let Some(inj) = self.faults.as_mut() {
+                    self.reliability.injected_write_flips += inj.corrupt_write(&mut written);
+                }
+                self.planes.write(self.plane_of(physical, 0), &written)?;
+            }
+            self.note_write(logical, physical);
+            attempts += 1;
+            if !self.policy.verify_writes {
+                return Ok(());
+            }
+            // Verify: read the row back and compare to the write buffer.
+            self.issue(Command::ReadRow(logical));
+            if self.stored(physical)? == intended {
+                if attempts > 1 {
+                    self.reliability.corrected_writes += 1;
+                }
+                return Ok(());
+            }
+            if attempts <= self.policy.max_write_retries {
+                self.reliability.write_retries += 1;
+                self.issue(Command::WriteRow(logical));
+                continue;
+            }
+            // Retries exhausted: retire the row to a spare, if allowed.
+            if !self.policy.retire_rows {
+                return Err(ArchError::UncorrectableWrite {
+                    row: logical.0,
+                    attempts,
+                });
+            }
+            match self.spares.pop() {
+                Some(spare) => {
+                    self.remap.insert(logical.0, spare);
+                    self.reliability.retired_rows += 1;
+                    attempts = 0;
+                    self.issue(Command::WriteRow(logical));
+                }
+                None => return Err(ArchError::SparesExhausted { row: logical.0 }),
+            }
+        }
+    }
+
+    /// Oracle check after a committed operation: if what ended up in
+    /// storage differs from the ideal result and no error was raised,
+    /// that is a silent corruption.
+    fn oracle_check(&mut self, logical: RowId, truth: &[u64]) -> Result<(), ArchError> {
+        if self.faults.is_none() {
+            return Ok(());
+        }
+        let physical = self.resolve(logical);
+        if self.stored(physical)? != truth {
+            self.reliability.escaped_faults += 1;
+        }
+        Ok(())
+    }
+
+    /// Samples the TBA sense path: single sense by default, triple
+    /// sense with majority vote under `policy.redundant_sense` (charged
+    /// as two extra activate/precharge pairs).
+    fn sense(&mut self, group: RowId, truth: &[u64]) -> Vec<u64> {
+        let Some(inj) = self.faults.as_mut() else {
+            return truth.to_vec();
+        };
+        if inj.spec().sense_fault_rate <= 0.0 {
+            return truth.to_vec();
+        }
+        if self.policy.redundant_sense {
+            let (voted, disagreements) = inj.vote3_sense(truth);
+            self.reliability.injected_sense_flips += disagreements;
+            self.reliability.sense_faults_corrected += disagreements;
+            // Two extra senses of the already-staged group.
+            self.issue(Command::TripleBitActivate(group));
+            self.issue(Command::Precharge);
+            self.issue(Command::TripleBitActivate(group));
+            self.issue(Command::Precharge);
+            voted
+        } else {
+            let mut sensed = truth.to_vec();
+            self.reliability.injected_sense_flips += inj.corrupt_sense(&mut sensed);
+            sensed
+        }
     }
 
     /// ACP move of a source row's slot-0 data into an arbitrary plane,
-    /// optionally complementing. 3 cycles.
-    fn acp_move(&mut self, src: RowId, dst_plane: RowId, invert: bool) {
-        self.issue(Command::Activate(src));
-        // QNRO sense inverts; the differential write drivers complement
-        // again unless an inverted result is wanted.
-        self.issue(Command::Copy {
-            dst: dst_plane,
-            complement: !invert,
-        });
-        self.issue(Command::Precharge);
+    /// optionally complementing. 3 cycles. Returns the moved data; the
+    /// caller decides whether the landing site is a staging slot (direct
+    /// write) or a data row (committed through the degradation path).
+    fn acp_read(&mut self, src: RowId, invert: bool) -> Result<Vec<u64>, ArchError> {
+        self.check_row(src)?;
         self.note_read(src);
-        let p_src = self.plane(src, 0);
-        if invert {
-            self.planes.map(p_src, dst_plane, |w| !w);
+        let p_src = self.plane_of(self.resolve(src), 0);
+        let data = self.planes.read(p_src)?;
+        Ok(if invert {
+            data.iter().map(|&w| !w).collect()
         } else {
-            self.planes.map(p_src, dst_plane, |w| w);
-        }
+            data
+        })
     }
 
     /// The TBA-based two-operand op (MINORITY with a control plane):
@@ -234,29 +435,55 @@ impl FeramBackend {
     /// either polarity for free: `complement = false` stores the MINORITY
     /// (NAND/NOR), `complement = true` stores the MAJORITY (AND/OR).
     /// 6 cycles, 79.0 nJ — vs 12 cycles / 182.1 nJ for the DRAM AAP chain.
-    fn tba_op(&mut self, a: RowId, b: RowId, control_word: u64, complement: bool, dst: RowId) {
+    fn tba_op(
+        &mut self,
+        a: RowId,
+        b: RowId,
+        control_word: u64,
+        complement: bool,
+        dst: RowId,
+    ) -> Result<(), ArchError> {
+        self.check_row(dst)?;
+        let phys_a = self.resolve(a);
         // 1. Co-locate operand B into slot 1 of group A; the same
         //    multi-cap write cycle drives the control bits into slot 2.
-        let slot1 = self.plane(a, 1);
-        self.acp_move(b, slot1, false);
-        let slot2 = self.plane(a, 2);
-        self.planes.fill(slot2, control_word);
-        self.note_write(a);
+        let slot1 = self.plane_of(phys_a, 1);
+        self.issue(Command::Activate(b));
+        self.issue(Command::Copy {
+            dst: slot1,
+            complement: true,
+        });
+        self.issue(Command::Precharge);
+        let moved = self.acp_read(b, false)?;
+        self.planes.write(slot1, &moved)?;
+        let slot2 = self.plane_of(phys_a, 2);
+        self.planes.fill(slot2, control_word)?;
+        self.note_write(a, phys_a);
         // 2. ACP: TBA + COPY(result → dst) + PRECHARGE.
+        let pd = self.plane_of(self.resolve(dst), 0);
         self.issue(Command::TripleBitActivate(a));
-        self.issue(Command::Copy { dst, complement });
+        self.issue(Command::Copy {
+            dst: pd,
+            complement,
+        });
         self.issue(Command::Precharge);
         self.note_read(a);
-        let (p0, p1, p2) = (self.plane(a, 0), slot1, slot2);
-        let pd = self.plane(dst, 0);
-        if complement {
-            self.planes
-                .combine3(p0, p1, p2, pd, |x, y, z| !minority_words(x, y, z));
-        } else {
-            self.planes.combine3(p0, p1, p2, pd, minority_words);
-        }
-        self.maybe_corrupt(pd);
-        self.note_write(dst);
+        let p0 = self.planes.read(self.plane_of(phys_a, 0))?;
+        let p1 = self.planes.read(slot1)?;
+        let p2 = self.planes.read(slot2)?;
+        let truth: Vec<u64> = (0..p0.len())
+            .map(|i| {
+                let m = minority_words(p0[i], p1[i], p2[i]);
+                if complement {
+                    !m
+                } else {
+                    m
+                }
+            })
+            .collect();
+        let sensed = self.sense(a, &truth);
+        self.commit_data(dst, &sensed)?;
+        self.oracle_check(dst, &truth)
     }
 }
 
@@ -265,58 +492,112 @@ impl BulkBackend for FeramBackend {
         &self.geometry
     }
 
-    fn write_row(&mut self, row: RowId, data: &[u64]) {
+    fn write_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.check_row(row)?;
+        if data.len() != self.geometry.row_words() {
+            return Err(ArchError::RowSizeMismatch {
+                expected: self.geometry.row_words(),
+                got: data.len(),
+            });
+        }
         self.issue(Command::WriteRow(row));
-        let p = self.plane(row, 0);
-        self.planes.write(p, data);
-        self.note_write(row);
+        self.commit_data(row, data)?;
+        self.oracle_check(row, data)
     }
 
-    fn install_row(&mut self, row: RowId, data: &[u64]) {
-        let p = self.plane(row, 0);
-        self.planes.write(p, data);
-        self.note_write(row);
+    fn install_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.check_row(row)?;
+        let physical = self.resolve(row);
+        let p = self.plane_of(physical, 0);
+        self.planes.write(p, data)?;
+        self.note_write(row, physical);
+        Ok(())
     }
 
-    fn read_row(&mut self, row: RowId) -> Vec<u64> {
+    fn read_row(&mut self, row: RowId) -> Result<Vec<u64>, ArchError> {
+        self.check_row(row)?;
         self.issue(Command::ReadRow(row));
         self.note_read(row);
-        self.planes.read(self.plane(row, 0))
+        let stored = self.stored(self.resolve(row))?;
+        let Some(inj) = self.faults.as_mut() else {
+            return Ok(stored);
+        };
+        if inj.spec().read_bitflip_rate <= 0.0 {
+            return Ok(stored);
+        }
+        if self.policy.redundant_reads {
+            // Two extra reads, majority vote across the three senses.
+            let (voted, disagreements) = inj.vote3_read(&stored);
+            self.reliability.injected_read_flips += disagreements;
+            self.reliability.read_faults_corrected += disagreements;
+            self.issue(Command::ReadRow(row));
+            self.note_read(row);
+            self.issue(Command::ReadRow(row));
+            self.note_read(row);
+            if voted != stored {
+                // A double fault slipped through the vote.
+                self.reliability.escaped_faults += 1;
+            }
+            Ok(voted)
+        } else {
+            let mut out = stored.clone();
+            self.reliability.injected_read_flips += inj.corrupt_read(&mut out);
+            if out != stored {
+                self.reliability.escaped_faults += 1;
+            }
+            Ok(out)
+        }
     }
 
-    fn not(&mut self, src: RowId, dst: RowId) {
+    fn not(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
         // The QNRO sense *is* the inversion: a single ACP, no DCC rows.
-        let pd = self.plane(dst, 0);
-        self.acp_move(src, pd, true);
-        self.note_write(dst);
+        self.check_row(dst)?;
+        let pd = self.plane_of(self.resolve(dst), 0);
+        self.issue(Command::Activate(src));
+        self.issue(Command::Copy {
+            dst: pd,
+            complement: false,
+        });
+        self.issue(Command::Precharge);
+        let truth = self.acp_read(src, true)?;
+        self.commit_data(dst, &truth)?;
+        self.oracle_check(dst, &truth)
     }
 
-    fn and(&mut self, a: RowId, b: RowId, dst: RowId) {
+    fn and(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         // MAJ(a, b, 0) = a AND b: the differential COPY complements the
         // sensed MINORITY for free.
-        self.tba_op(a, b, 0, true, dst);
+        self.tba_op(a, b, 0, true, dst)
     }
 
-    fn or(&mut self, a: RowId, b: RowId, dst: RowId) {
-        self.tba_op(a, b, !0, true, dst);
+    fn or(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.tba_op(a, b, !0, true, dst)
     }
 
-    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) {
-        self.tba_op(a, b, 0, false, dst);
+    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.tba_op(a, b, 0, false, dst)
     }
 
-    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) {
-        self.tba_op(a, b, !0, false, dst);
+    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.tba_op(a, b, !0, false, dst)
     }
 
-    fn copy(&mut self, src: RowId, dst: RowId) {
-        let pd = self.plane(dst, 0);
-        self.acp_move(src, pd, false);
-        self.note_write(dst);
+    fn copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.check_row(dst)?;
+        let pd = self.plane_of(self.resolve(dst), 0);
+        self.issue(Command::Activate(src));
+        self.issue(Command::Copy {
+            dst: pd,
+            complement: true,
+        });
+        self.issue(Command::Precharge);
+        let truth = self.acp_read(src, false)?;
+        self.commit_data(dst, &truth)?;
+        self.oracle_check(dst, &truth)
     }
 
     fn scratch_rows(&self, count: usize) -> Vec<RowId> {
-        assert!(count <= 8, "at most 8 general scratch rows");
+        assert!(count <= SCRATCH_ROWS as usize, "at most 8 general scratch rows");
         (0..count as u64)
             .map(|i| RowId(self.reserved_base() + 1 + i))
             .collect()
@@ -324,6 +605,10 @@ impl BulkBackend for FeramBackend {
 
     fn stats(&self) -> &ExecStats {
         &self.stats
+    }
+
+    fn reliability(&self) -> Option<&ReliabilityStats> {
+        Some(&self.reliability)
     }
 
     fn finish(&mut self) -> ExecStats {
@@ -353,44 +638,44 @@ mod tests {
     fn all_logic_ops_functional() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 0b1100));
-        m.write_row(b, &row_of(&m, 0b1010));
-        m.nand(a, b, d);
-        assert_eq!(m.read_row(d)[0], !0b1000u64);
-        m.nor(a, b, d);
-        assert_eq!(m.read_row(d)[0], !0b1110u64);
-        m.and(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b1000);
-        m.or(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b1110);
-        m.not(a, d);
-        assert_eq!(m.read_row(d)[0], !0b1100u64);
-        m.xor(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b0110);
-        m.copy(a, d);
-        assert_eq!(m.read_row(d)[0], 0b1100);
+        m.write_row(a, &row_of(&m, 0b1100)).unwrap();
+        m.write_row(b, &row_of(&m, 0b1010)).unwrap();
+        m.nand(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1000u64);
+        m.nor(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1110u64);
+        m.and(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b1000);
+        m.or(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b1110);
+        m.not(a, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], !0b1100u64);
+        m.xor(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b0110);
+        m.copy(a, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b1100);
     }
 
     #[test]
     fn operands_survive_logic_ops_in_place() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 0xAA));
-        m.write_row(b, &row_of(&m, 0x55));
-        m.nand(a, b, d);
+        m.write_row(a, &row_of(&m, 0xAA)).unwrap();
+        m.write_row(b, &row_of(&m, 0x55)).unwrap();
+        m.nand(a, b, d).unwrap();
         // QNRO: A stays in place, B is only read.
-        assert_eq!(m.read_row(a)[0], 0xAA);
-        assert_eq!(m.read_row(b)[0], 0x55);
+        assert_eq!(m.read_row(a).unwrap()[0], 0xAA);
+        assert_eq!(m.read_row(b).unwrap()[0], 0x55);
     }
 
     #[test]
     fn nand_costs_six_cycles() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 1));
-        m.write_row(b, &row_of(&m, 2));
+        m.write_row(a, &row_of(&m, 1)).unwrap();
+        m.write_row(b, &row_of(&m, 2)).unwrap();
         let before = m.stats().clone();
-        m.nand(a, b, d);
+        m.nand(a, b, d).unwrap();
         let d_cycles = m.stats().total_cycles() - before.total_cycles();
         assert_eq!(d_cycles, 6, "colocate+control ACP (3) + logic ACP (3)");
         let d_energy = m.stats().total_energy_nj() - before.total_energy_nj();
@@ -401,9 +686,9 @@ mod tests {
     #[test]
     fn not_costs_single_acp() {
         let mut m = backend();
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         let before = m.stats().total_cycles();
-        m.not(RowId(0), RowId(1));
+        m.not(RowId(0), RowId(1)).unwrap();
         assert_eq!(m.stats().total_cycles() - before, 3, "one ACP, no DCC");
     }
 
@@ -419,23 +704,23 @@ mod tests {
         ] {
             let data_a = vec![0xF0F0u64; m.geometry().row_words()];
             let data_b = vec![0x0FF0u64; m.geometry().row_words()];
-            m.write_row(a, &data_a);
-            m.write_row(b, &data_b);
-            m.nand(a, b, o);
+            m.write_row(a, &data_a).unwrap();
+            m.write_row(b, &data_b).unwrap();
+            m.nand(a, b, o).unwrap();
         }
         let (fs, ds) = (f.stats(), d.stats());
         assert!(ds.total_cycles() > fs.total_cycles());
         assert!(ds.total_energy_nj() > 2.0 * fs.total_energy_nj());
         // And both computed the same result.
-        assert_eq!(f.read_row(o), d.read_row(o));
+        assert_eq!(f.read_row(o).unwrap(), d.read_row(o).unwrap());
     }
 
     #[test]
     fn disturb_budget_triggers_writebacks() {
         let mut m = FeramBackend::tiny().with_disturb_budget(4);
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         for _ in 0..12 {
-            let _ = m.read_row(RowId(0));
+            let _ = m.read_row(RowId(0)).unwrap();
         }
         assert_eq!(m.writebacks(), 3, "12 reads / budget 4");
         let wb_writes = m.stats().count(CommandClass::Write);
@@ -445,10 +730,10 @@ mod tests {
     #[test]
     fn writes_reset_disturb_counter() {
         let mut m = FeramBackend::tiny().with_disturb_budget(4);
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         for _ in 0..3 {
-            let _ = m.read_row(RowId(0));
-            m.write_row(RowId(0), &row_of(&m, 1));
+            let _ = m.read_row(RowId(0)).unwrap();
+            m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         }
         assert_eq!(m.writebacks(), 0);
     }
@@ -456,7 +741,7 @@ mod tests {
     #[test]
     fn finish_adds_nothing() {
         let mut m = backend();
-        m.write_row(RowId(0), &row_of(&m, 1));
+        m.write_row(RowId(0), &row_of(&m, 1)).unwrap();
         let before = m.stats().clone();
         let after = m.finish();
         assert_eq!(before, after, "no refresh in FeRAM");
@@ -466,11 +751,11 @@ mod tests {
     fn xor_via_default_composition() {
         let mut m = backend();
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
-        m.write_row(a, &row_of(&m, 0b0110));
-        m.write_row(b, &row_of(&m, 0b0101));
+        m.write_row(a, &row_of(&m, 0b0110)).unwrap();
+        m.write_row(b, &row_of(&m, 0b0101)).unwrap();
         let before = m.stats().total_cycles();
-        m.xor(a, b, d);
-        assert_eq!(m.read_row(d)[0], 0b0011);
+        m.xor(a, b, d).unwrap();
+        assert_eq!(m.read_row(d).unwrap()[0], 0b0011);
         // 4 NANDs at 6 cycles each.
         assert_eq!(m.stats().total_cycles() - before - 1, 24);
     }
@@ -482,36 +767,59 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_rows_are_typed_errors() {
+        let mut m = backend();
+        let far = RowId(m.geometry().total_rows() + 5);
+        assert!(matches!(
+            m.write_row(far, &row_of(&m, 1)),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.read_row(far),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.nand(RowId(0), RowId(1), far),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+        let err = m.write_row(RowId(0), &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, ArchError::RowSizeMismatch { got: 3, .. }));
+    }
+
+    #[test]
     fn fault_injection_corrupts_results_detectably() {
         let (a, b, d) = (RowId(0), RowId(1), RowId(2));
         // Clean backend: correct NAND.
         let mut clean = FeramBackend::tiny();
-        clean.install_row(a, &row_of(&clean, 0xF0F0));
-        clean.install_row(b, &row_of(&clean, 0xFF00));
-        clean.nand(a, b, d);
-        assert_eq!(clean.read_row(d)[0], !0xF000u64);
+        clean.install_row(a, &row_of(&clean, 0xF0F0)).unwrap();
+        clean.install_row(b, &row_of(&clean, 0xFF00)).unwrap();
+        clean.nand(a, b, d).unwrap();
+        assert_eq!(clean.read_row(d).unwrap()[0], !0xF000u64);
         // Zero rate behaves exactly like no injection.
         let mut zero = FeramBackend::tiny().with_fault_injection(0.0, 9);
-        zero.install_row(a, &row_of(&zero, 0xF0F0));
-        zero.install_row(b, &row_of(&zero, 0xFF00));
-        zero.nand(a, b, d);
-        assert_eq!(zero.read_row(d), clean.read_row(d));
+        zero.install_row(a, &row_of(&zero, 0xF0F0)).unwrap();
+        zero.install_row(b, &row_of(&zero, 0xFF00)).unwrap();
+        zero.nand(a, b, d).unwrap();
+        assert_eq!(zero.read_row(d).unwrap(), clean.read_row(d).unwrap());
         // Aggressive rate: output must differ from the oracle somewhere.
         let mut faulty = FeramBackend::tiny().with_fault_injection(0.05, 9);
-        faulty.install_row(a, &row_of(&faulty, 0xF0F0));
-        faulty.install_row(b, &row_of(&faulty, 0xFF00));
-        faulty.nand(a, b, d);
-        assert_ne!(faulty.read_row(d), clean.read_row(d));
+        faulty.install_row(a, &row_of(&faulty, 0xF0F0)).unwrap();
+        faulty.install_row(b, &row_of(&faulty, 0xFF00)).unwrap();
+        faulty.nand(a, b, d).unwrap();
+        assert_ne!(faulty.read_row(d).unwrap(), clean.read_row(d).unwrap());
+        // The oracle saw the divergence: without a policy it escaped.
+        assert!(faulty.reliability_stats().escaped_faults > 0);
+        assert!(faulty.reliability_stats().injected_sense_flips > 0);
     }
 
     #[test]
     fn fault_injection_is_deterministic_per_seed() {
         let run = |seed| {
             let mut m = FeramBackend::tiny().with_fault_injection(0.02, seed);
-            m.install_row(RowId(0), &row_of(&m, 0xAB));
-            m.install_row(RowId(1), &row_of(&m, 0xCD));
-            m.nand(RowId(0), RowId(1), RowId(2));
-            m.read_row(RowId(2))
+            m.install_row(RowId(0), &row_of(&m, 0xAB)).unwrap();
+            m.install_row(RowId(1), &row_of(&m, 0xCD)).unwrap();
+            m.nand(RowId(0), RowId(1), RowId(2)).unwrap();
+            m.read_row(RowId(2)).unwrap()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
@@ -520,10 +828,10 @@ mod tests {
     #[test]
     fn wear_tracking_counts_destination_writes() {
         let mut m = FeramBackend::tiny();
-        m.install_row(RowId(0), &row_of(&m, 1));
-        m.install_row(RowId(1), &row_of(&m, 2));
+        m.install_row(RowId(0), &row_of(&m, 1)).unwrap();
+        m.install_row(RowId(1), &row_of(&m, 2)).unwrap();
         for _ in 0..5 {
-            m.nand(RowId(0), RowId(1), RowId(2));
+            m.nand(RowId(0), RowId(1), RowId(2)).unwrap();
         }
         // Destination written 5x; operand group A also wears (colocation
         // writes slots 1 and 2 each op).
@@ -537,5 +845,225 @@ mod tests {
     #[should_panic(expected = "rate must be a probability")]
     fn rejects_bad_fault_rate() {
         let _ = FeramBackend::tiny().with_fault_injection(1.5, 0);
+    }
+
+    #[test]
+    fn verify_after_write_corrects_write_flips() {
+        let spec = FaultSpec {
+            seed: 21,
+            write_bitflip_rate: 5e-5,
+            read_bitflip_rate: 0.0,
+            sense_fault_rate: 0.0,
+            wear_budget: 0,
+        };
+        let policy = DegradationPolicy {
+            verify_writes: true,
+            max_write_retries: 8,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let data = row_of(&m, 0xDEAD_BEEF);
+        for r in 0..20 {
+            m.write_row(RowId(r), &data).unwrap();
+            assert_eq!(m.read_row(RowId(r)).unwrap(), data, "row {r}");
+        }
+        let rel = m.reliability_stats();
+        assert!(rel.injected_write_flips > 0, "flips must have been injected");
+        assert!(rel.write_retries > 0, "some writes must have needed retry");
+        assert_eq!(rel.escaped_faults, 0, "verification must catch everything");
+    }
+
+    #[test]
+    fn unverified_write_flips_escape_and_are_counted() {
+        let spec = FaultSpec {
+            seed: 21,
+            write_bitflip_rate: 5e-5,
+            read_bitflip_rate: 0.0,
+            sense_fault_rate: 0.0,
+            wear_budget: 0,
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec);
+        let data = row_of(&m, 0xDEAD_BEEF);
+        for r in 0..20 {
+            m.write_row(RowId(r), &data).unwrap();
+        }
+        assert!(m.reliability_stats().escaped_faults > 0);
+    }
+
+    #[test]
+    fn dead_rows_are_retired_to_spares() {
+        // Tiny wear budget: rows die after 3 writes.
+        let spec = FaultSpec::none(3).with_wear_budget(3);
+        let policy = DegradationPolicy {
+            verify_writes: true,
+            max_write_retries: 1,
+            retire_rows: true,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let spares_before = m.spares_left();
+        for i in 0..8u64 {
+            let data = row_of(&m, i);
+            m.write_row(RowId(0), &data).unwrap();
+            assert_eq!(m.read_row(RowId(0)).unwrap(), data, "write {i}");
+        }
+        let rel = m.reliability_stats().clone();
+        assert!(rel.retired_rows >= 1, "row 0 must have been retired");
+        assert!(rel.dead_row_writes >= 1);
+        assert_eq!(rel.escaped_faults, 0);
+        assert!(m.spares_left() < spares_before);
+        assert!(m.remapped_rows() >= 1);
+    }
+
+    #[test]
+    fn retirement_disabled_surfaces_uncorrectable_write() {
+        let spec = FaultSpec::none(3).with_wear_budget(2);
+        let policy = DegradationPolicy {
+            verify_writes: true,
+            max_write_retries: 1,
+            retire_rows: false,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let mut saw_error = false;
+        for i in 0..6u64 {
+            // Vary the data so the dead row's stale contents cannot verify.
+            let data = row_of(&m, i + 7);
+            match m.write_row(RowId(0), &data) {
+                Ok(()) => {}
+                Err(ArchError::UncorrectableWrite { row: 0, .. }) => {
+                    saw_error = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_error, "the dead row must surface a typed error");
+    }
+
+    #[test]
+    fn spare_exhaustion_is_a_typed_error() {
+        let spec = FaultSpec::none(3).with_wear_budget(1);
+        let policy = DegradationPolicy {
+            verify_writes: true,
+            max_write_retries: 0,
+            retire_rows: true,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let mut last = Ok(());
+        for i in 0..40u64 {
+            // Vary the data so a dead (stale) row cannot pass verification.
+            let data = row_of(&m, i + 1);
+            last = m.write_row(RowId(0), &data);
+            if last.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(last, Err(ArchError::SparesExhausted { row: 0 })));
+        assert_eq!(m.spares_left(), 0);
+    }
+
+    #[test]
+    fn scratch_rotation_remaps_hot_scratch_rows() {
+        let spec = FaultSpec::none(3).with_wear_budget(100);
+        let policy = DegradationPolicy {
+            scratch_rotation_fraction: 0.1,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let (a, b) = (RowId(0), RowId(1));
+        m.install_row(a, &row_of(&m, 0xAA)).unwrap();
+        m.install_row(b, &row_of(&m, 0x55)).unwrap();
+        // xor hammers the scratch rows; 10 % of a 100-write budget → the
+        // scratch destinations rotate after ~10 writes each.
+        for _ in 0..30 {
+            m.xor(a, b, RowId(2)).unwrap();
+        }
+        let rel = m.reliability_stats();
+        assert!(rel.scratch_rotations >= 1, "hot scratch must rotate");
+        assert!(m.remapped_rows() >= 1);
+        // The results stay correct throughout.
+        assert_eq!(m.read_row(RowId(2)).unwrap()[0], 0xAA ^ 0x55);
+    }
+
+    #[test]
+    fn redundant_sense_outvotes_transient_faults() {
+        let spec = FaultSpec::sense_only(2e-4, 17);
+        let policy = DegradationPolicy {
+            redundant_sense: true,
+            verify_writes: true,
+            max_write_retries: 2,
+            retire_rows: true,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec).with_policy(policy);
+        let (a, b, d) = (RowId(0), RowId(1), RowId(2));
+        m.install_row(a, &row_of(&m, 0xF0F0)).unwrap();
+        m.install_row(b, &row_of(&m, 0xFF00)).unwrap();
+        for _ in 0..50 {
+            m.nand(a, b, d).unwrap();
+            assert_eq!(m.read_row(d).unwrap()[0], !0xF000u64);
+        }
+        let rel = m.reliability_stats();
+        assert!(rel.injected_sense_flips > 0, "faults must have fired");
+        assert_eq!(rel.sense_faults_corrected, rel.injected_sense_flips);
+        assert_eq!(rel.escaped_faults, 0);
+    }
+
+    #[test]
+    fn redundant_reads_outvote_read_flips() {
+        let spec = FaultSpec {
+            seed: 23,
+            write_bitflip_rate: 0.0,
+            read_bitflip_rate: 2e-4,
+            sense_fault_rate: 0.0,
+            wear_budget: 0,
+        };
+        let policy = DegradationPolicy {
+            redundant_reads: true,
+            ..DegradationPolicy::none()
+        };
+        let mut m = FeramBackend::tiny().with_faults(spec.clone()).with_policy(policy);
+        let data = row_of(&m, 0x1234_5678_9ABC_DEF0);
+        m.install_row(RowId(0), &data).unwrap();
+        for _ in 0..30 {
+            assert_eq!(m.read_row(RowId(0)).unwrap(), data);
+        }
+        let rel = m.reliability_stats();
+        assert!(rel.injected_read_flips > 0);
+        assert_eq!(rel.escaped_faults, 0);
+
+        // Without redundancy the same spec corrupts host reads.
+        let mut naked = FeramBackend::tiny().with_faults(spec);
+        naked.install_row(RowId(0), &data).unwrap();
+        let mut diverged = false;
+        for _ in 0..30 {
+            if naked.read_row(RowId(0)).unwrap() != data {
+                diverged = true;
+            }
+        }
+        assert!(diverged);
+        assert!(naked.reliability_stats().escaped_faults > 0);
+    }
+
+    #[test]
+    fn hardened_policy_keeps_costs_above_baseline() {
+        // Mitigation is not free: verify reads and redundant senses must
+        // show up in the cost accounting.
+        let run = |policy: DegradationPolicy| {
+            let mut m = FeramBackend::tiny()
+                .with_faults(FaultSpec::sense_only(0.001, 3))
+                .with_policy(policy);
+            m.install_row(RowId(0), &row_of(&m, 0xAA)).unwrap();
+            m.install_row(RowId(1), &row_of(&m, 0x55)).unwrap();
+            for _ in 0..10 {
+                m.nand(RowId(0), RowId(1), RowId(2)).unwrap();
+            }
+            m.stats().total_cycles()
+        };
+        let baseline = run(DegradationPolicy::none());
+        let hardened = run(DegradationPolicy::hardened());
+        assert!(hardened > baseline, "{hardened} vs {baseline}");
     }
 }

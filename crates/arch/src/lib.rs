@@ -19,25 +19,34 @@
 //! * [`feram_backend`] — 2T-nC execution: in-place TBA (MINORITY) via the
 //!   ACP primitive, free inverting reads, no refresh, QNRO disturb
 //!   tracking with occasional write-backs,
+//! * [`fault`] — deterministic fault injection (bit-flips on the read,
+//!   write and TBA sense paths, wear-out cell death) plus the graceful-
+//!   degradation policy knobs (verify-after-write, redundant sensing,
+//!   scratch-row rotation, row retirement),
 //! * [`stats`] — cycle and energy accounting with per-command breakdowns.
 //!
 //! Both backends implement the [`BulkBackend`] trait so workloads are
-//! written once and executed on either technology.
+//! written once and executed on either technology. Every operation is
+//! fallible: out-of-range rows, uncorrectable writes and spare-pool
+//! exhaustion surface as typed [`ArchError`]s instead of panics.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use felim_arch::{BulkBackend, feram_backend::FeramBackend, geometry::RowId};
 //!
+//! # fn main() -> Result<(), felim_arch::ArchError> {
 //! let mut mem = FeramBackend::default_8gb();
 //! let a = RowId(0);
 //! let b = RowId(1);
 //! let d = RowId(2);
-//! mem.write_row(a, &vec![0b1100; 1024]);
-//! mem.write_row(b, &vec![0b1010; 1024]);
-//! mem.nand(a, b, d);
-//! assert_eq!(mem.read_row(d)[0], !0b1000u64);
+//! mem.write_row(a, &vec![0b1100; 1024])?;
+//! mem.write_row(b, &vec![0b1010; 1024])?;
+//! mem.nand(a, b, d)?;
+//! assert_eq!(mem.read_row(d)?[0], !0b1000u64);
 //! assert!(mem.stats().total_energy_nj() > 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,6 +57,7 @@ pub mod command;
 pub mod dram_backend;
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod feram_backend;
 pub mod geometry;
 pub mod schedule;
@@ -58,6 +68,7 @@ pub use bandwidth::{compute_bandwidth, ComputeBandwidth};
 pub use command::Command;
 pub use dram_backend::DramBackend;
 pub use energy::{EnergyModel, LatencyModel};
+pub use fault::{DegradationPolicy, FaultInjector, FaultSpec, ReliabilityStats};
 pub use feram_backend::FeramBackend;
 pub use geometry::{MemoryGeometry, RowId};
 pub use schedule::{schedule, ScheduleReport};
@@ -70,6 +81,10 @@ pub use wear::{WearReport, WearTracker};
 /// operations are bitwise across entire rows. Implementations account
 /// energy and cycles for every primitive they issue and keep the row
 /// contents bit-accurate.
+///
+/// All data-touching operations return [`ArchError`] on out-of-range
+/// rows, mismatched row lengths, or — under fault injection — writes
+/// that could not be completed even after retry and row retirement.
 pub trait BulkBackend {
     /// The memory geometry.
     fn geometry(&self) -> &MemoryGeometry;
@@ -77,56 +92,101 @@ pub trait BulkBackend {
     /// Writes a full row of data (from the host), charged to the
     /// energy/cycle budget.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `data.len()` differs from the row word count.
-    fn write_row(&mut self, row: RowId, data: &[u64]);
+    /// [`ArchError::RowOutOfRange`] / [`ArchError::RowSizeMismatch`] for
+    /// bad addresses or lengths; under fault injection with verification
+    /// enabled, [`ArchError::UncorrectableWrite`] or
+    /// [`ArchError::SparesExhausted`] when degradation runs out of road.
+    fn write_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError>;
 
     /// Installs a row of *pre-resident* input data without charging any
     /// command cost. The paper's workloads operate on data already living
     /// in memory — loading it is not part of the evaluated kernel, and
     /// both technologies would pay the identical host-write cost anyway.
-    fn install_row(&mut self, row: RowId, data: &[u64]);
+    /// Installation bypasses the fault model (the data is presumed to
+    /// have been scrubbed into place before the kernel starts).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] / [`ArchError::RowSizeMismatch`].
+    fn install_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError>;
 
     /// Reads a full row of data (to the host).
-    fn read_row(&mut self, row: RowId) -> Vec<u64>;
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`].
+    fn read_row(&mut self, row: RowId) -> Result<Vec<u64>, ArchError>;
 
     /// `dst = NOT src`.
-    fn not(&mut self, src: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn not(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// `dst = a AND b`.
-    fn and(&mut self, a: RowId, b: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn and(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// `dst = a OR b`.
-    fn or(&mut self, a: RowId, b: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn or(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// `dst = NOT (a AND b)`.
-    fn nand(&mut self, a: RowId, b: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// `dst = NOT (a OR b)`.
-    fn nor(&mut self, a: RowId, b: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// `dst = a XOR b` (composed from the technology's primitives).
-    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) {
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         // Default composition: xor = (a NAND (a NAND b)) NAND (b NAND (a NAND b)).
         let scratch = self.scratch_rows(3);
         let (nab, x, y) = (scratch[0], scratch[1], scratch[2]);
-        self.nand(a, b, nab);
-        self.nand(a, nab, x);
-        self.nand(b, nab, y);
-        self.nand(x, y, dst);
+        self.nand(a, b, nab)?;
+        self.nand(a, nab, x)?;
+        self.nand(b, nab, y)?;
+        self.nand(x, y, dst)
     }
 
     /// `dst = NOT (a XOR b)`.
-    fn xnor(&mut self, a: RowId, b: RowId, dst: RowId) {
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn xnor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
         let scratch = self.scratch_rows(4);
         let t = scratch[3];
-        self.xor(a, b, t);
-        self.not(t, dst);
+        self.xor(a, b, t)?;
+        self.not(t, dst)
     }
 
     /// Copies a row.
-    fn copy(&mut self, src: RowId, dst: RowId);
+    ///
+    /// # Errors
+    ///
+    /// As for [`BulkBackend::write_row`].
+    fn copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError>;
 
     /// Rows reserved for intermediate results, disjoint from data rows.
     /// Implementations guarantee at least 8.
@@ -134,6 +194,12 @@ pub trait BulkBackend {
 
     /// Execution statistics so far.
     fn stats(&self) -> &ExecStats;
+
+    /// Reliability bookkeeping, for backends with a fault model attached
+    /// (`None` otherwise).
+    fn reliability(&self) -> Option<&ReliabilityStats> {
+        None
+    }
 
     /// Finalises background costs (e.g. DRAM refresh for the elapsed
     /// runtime) and returns the final statistics.
@@ -153,6 +219,26 @@ pub enum ArchError {
         /// Total rows available.
         rows: u64,
     },
+    /// Row data of the wrong length.
+    RowSizeMismatch {
+        /// Words a row must hold.
+        expected: usize,
+        /// Words supplied.
+        got: usize,
+    },
+    /// A write kept failing verification even after the configured
+    /// retries (and row retirement, if enabled, could not be applied).
+    UncorrectableWrite {
+        /// The logical row that could not be written.
+        row: u64,
+        /// Write attempts made before giving up.
+        attempts: u32,
+    },
+    /// A row needed to be retired but the spare-row pool is empty.
+    SparesExhausted {
+        /// The logical row that needed a spare.
+        row: u64,
+    },
 }
 
 impl std::fmt::Display for ArchError {
@@ -160,6 +246,18 @@ impl std::fmt::Display for ArchError {
         match self {
             ArchError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range (memory has {rows} rows)")
+            }
+            ArchError::RowSizeMismatch { expected, got } => {
+                write!(f, "row data must be exactly {expected} words, got {got}")
+            }
+            ArchError::UncorrectableWrite { row, attempts } => {
+                write!(
+                    f,
+                    "row {row} failed write verification after {attempts} attempts"
+                )
+            }
+            ArchError::SparesExhausted { row } => {
+                write!(f, "no spare rows left to retire row {row} to")
             }
         }
     }

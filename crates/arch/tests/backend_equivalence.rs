@@ -38,7 +38,9 @@ fn run_program(backend: &mut dyn BulkBackend, program: &[Step]) -> Vec<Vec<u64>>
     let words = backend.geometry().row_words();
     // Deterministic starting contents.
     for row in 0..ROWS {
-        backend.install_row(RowId(row), &vec![row.wrapping_mul(0x9E37_79B9); words]);
+        backend
+            .install_row(RowId(row), &vec![row.wrapping_mul(0x9E37_79B9); words])
+            .unwrap();
     }
     for step in program {
         match *step {
@@ -51,8 +53,11 @@ fn run_program(backend: &mut dyn BulkBackend, program: &[Step]) -> Vec<Vec<u64>>
             Step::Copy(a, d) => backend.copy(RowId(a), RowId(d)),
             Step::Write(a, w) => backend.write_row(RowId(a), &vec![w; words]),
         }
+        .unwrap();
     }
-    (0..ROWS).map(|r| backend.read_row(RowId(r))).collect()
+    (0..ROWS)
+        .map(|r| backend.read_row(RowId(r)).unwrap())
+        .collect()
 }
 
 /// Word-level software oracle of the same program.

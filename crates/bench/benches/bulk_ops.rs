@@ -22,8 +22,8 @@ fn bench_row_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("row_ops");
     for (name, mut backend) in backends() {
         let words = backend.geometry().row_words();
-        backend.install_row(RowId(0), &vec![0xDEAD_BEEF_u64; words]);
-        backend.install_row(RowId(1), &vec![0x1234_5678_u64; words]);
+        backend.install_row(RowId(0), &vec![0xDEAD_BEEF_u64; words]).unwrap();
+        backend.install_row(RowId(1), &vec![0x1234_5678_u64; words]).unwrap();
         g.throughput(Throughput::Bytes((words * 8) as u64));
 
         g.bench_with_input(BenchmarkId::new("nand", name), &(), |b, _| {
@@ -48,9 +48,9 @@ fn bench_row_store(c: &mut Criterion) {
     let geometry = MemoryGeometry::paper_8gb();
     let mut store = RowStore::new(geometry);
     let words = geometry.row_words();
-    store.write(RowId(0), &vec![0xAAAA_u64; words]);
-    store.write(RowId(1), &vec![0x5555_u64; words]);
-    store.write(RowId(2), &vec![0xF0F0_u64; words]);
+    store.write(RowId(0), &vec![0xAAAA_u64; words]).unwrap();
+    store.write(RowId(1), &vec![0x5555_u64; words]).unwrap();
+    store.write(RowId(2), &vec![0xF0F0_u64; words]).unwrap();
     g.throughput(Throughput::Bytes((words * 8) as u64));
     g.bench_function("combine3_minority_8kb", |b| {
         b.iter(|| {

@@ -23,7 +23,8 @@ fn main() {
     let mut summary = AblationSummary::default();
 
     header("Ablation A1", "DRAM refresh contribution (64 ms interval)");
-    let dram = run_workload(&XorCipher, Tech::Dram, 64, 1 << 30, 42);
+    let dram =
+        run_workload(&XorCipher, Tech::Dram, 64, 1 << 30, 42).expect("fault-free run must verify");
     let refresh_nj = dram.scaled.energy_nj(CommandClass::Refresh);
     let share = refresh_nj / dram.scaled.total_energy_nj();
     let refresh_cycles = dram.scaled.cycles(CommandClass::Refresh);
@@ -45,10 +46,10 @@ fn main() {
     // the designated rows (destructive TRA). Measure directly.
     let mut d = felim::arch::DramBackend::tiny();
     let words = d.geometry().row_words();
-    d.install_row(RowId(0), &vec![1u64; words]);
-    d.install_row(RowId(1), &vec![2u64; words]);
+    d.install_row(RowId(0), &vec![1u64; words]).unwrap();
+    d.install_row(RowId(1), &vec![2u64; words]).unwrap();
     let before = d.stats().total_cycles();
-    d.and(RowId(0), RowId(1), RowId(2));
+    d.and(RowId(0), RowId(1), RowId(2)).unwrap();
     let total = d.stats().total_cycles() - before;
     let staging = total - 3; // the final TRA-AAP is the only "real" work
     println!("  AND cost              : {total} cycles");
@@ -77,7 +78,8 @@ fn main() {
     println!("  budget | write-backs | extra energy (nJ) on 4096 reads");
     for budget in [4u32, 16, 64, 256, 1024] {
         let mut f = FeramBackend::new(MemoryGeometry::tiny()).with_disturb_budget(budget);
-        f.install_row(RowId(0), &vec![7u64; f.geometry().row_words()]);
+        f.install_row(RowId(0), &vec![7u64; f.geometry().row_words()])
+            .unwrap();
         let base = f.stats().total_energy_nj();
         for _ in 0..4096 {
             let _ = f.read_row(RowId(0));
@@ -146,11 +148,11 @@ fn main() {
     let words = m.geometry().row_words();
     let stripe = geometry.rows_per_subarray;
     let key = RowId(0);
-    m.install_row(key, &vec![0x5Au64; words]);
+    m.install_row(key, &vec![0x5Au64; words]).unwrap();
     for i in 0..32u64 {
         let row = RowId(1 + i * stripe); // one row per subarray
-        m.install_row(row, &vec![i; words]);
-        m.xor(row, key, row);
+        m.install_row(row, &vec![i; words]).unwrap();
+        m.xor(row, key, row).unwrap();
     }
     let latency = *m.latency_model();
     println!("  slots | makespan (cycles) | speedup");

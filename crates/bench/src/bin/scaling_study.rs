@@ -29,7 +29,7 @@ fn main() {
     println!(" size    | DRAM (mJ) | FeRAM (mJ) | E ratio | cyc ratio");
     for shift in [26u32, 28, 30, 32] {
         let bytes = 1u64 << shift;
-        let c = compare(&XorCipher, 32, bytes, 7);
+        let c = compare(&XorCipher, 32, bytes, 7).expect("fault-free run must verify");
         let p = ScalePoint {
             size_mb: bytes >> 20,
             dram_energy_mj: c.dram.energy_mj,

@@ -30,6 +30,16 @@ pub struct MarginReport {
     pub mean_level_separation: f64,
 }
 
+impl MarginReport {
+    /// The architecture-level transient sense-failure rate the study
+    /// implies: the failure probability of the *worse* of the TBA and
+    /// single-capacitor NOT decisions. Fault-injection campaigns
+    /// (`felim-arch::fault`) sample per-bit sense faults at this rate.
+    pub fn sense_failure_rate(&self) -> f64 {
+        (1.0 - self.tba_yield.min(self.not_yield)).clamp(0.0, 1.0)
+    }
+}
+
 /// Monte-Carlo margin analysis over `samples` varied cells.
 ///
 /// Each sampled cell uses devices drawn with `variation`; the sense

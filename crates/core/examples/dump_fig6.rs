@@ -1,0 +1,19 @@
+//! Dumps the Fig 6 table (cycles, energy, geomeans) for the golden seed,
+//! in the exact layout `tests/cost_regression.rs` pins. Run after any
+//! deliberate cost-model change to regenerate the golden constants.
+
+use felim::evaluation::run_fig6;
+
+fn main() {
+    let gb: u64 = 1 << 30;
+    let (rows, e_geo, c_geo) = run_fig6(64, gb, 42);
+    println!("// (name, dram_cycles, feram_cycles)");
+    for r in &rows {
+        println!("(\"{}\", {}, {}),", r.workload, r.dram_cycles, r.feram_cycles);
+    }
+    println!("// (dram_energy_mj, feram_energy_mj)");
+    for r in &rows {
+        println!("({:.2}, {:.2}),", r.dram_energy_mj, r.feram_energy_mj);
+    }
+    println!("// geomeans: energy {e_geo:.4}  cycles {c_geo:.4}");
+}

@@ -57,7 +57,8 @@ pub fn run_fig6(sim_rows: u64, workload_bytes: u64, seed: u64) -> (Vec<Fig6Row>,
                     // Each thread constructs its own workload instance —
                     // the trait objects are not shared across threads.
                     let w = &all_workloads()[i];
-                    let c = compare(w.as_ref(), sim_rows, workload_bytes, seed);
+                    let c = compare(w.as_ref(), sim_rows, workload_bytes, seed)
+                        .expect("fig6 workload must verify on a fault-free backend");
                     (i, Fig6Row::from(&c))
                 })
             })
@@ -108,7 +109,8 @@ pub fn run_fig7(workload: &dyn Workload, grid: usize) -> Fig7Result {
         64,
         1 << 30,
         42,
-    );
+    )
+    .expect("fig7 workload must verify on a fault-free backend");
     let memory_power_w = result.scaled.total_energy_nj() * 1e-9 / result.runtime_s.max(1e-9);
 
     let stack = Stack::feram_on_compute_die(5);
@@ -215,7 +217,8 @@ mod tests {
             32,
             1 << 30,
             7,
-        );
+        )
+        .unwrap();
         let share = refresh_energy_share(&r);
         assert!(share > 0.01 && share < 0.5, "refresh share {share}");
     }

@@ -22,7 +22,9 @@
 //! # }
 //! ```
 
-use felim_arch::{BulkBackend, DramBackend, ExecStats, FeramBackend, MemoryGeometry, RowId};
+use felim_arch::{
+    ArchError, BulkBackend, DramBackend, ExecStats, FeramBackend, MemoryGeometry, RowId,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -70,6 +72,15 @@ pub enum LimError {
         /// Second region length.
         b_bytes: u64,
     },
+    /// The underlying memory reported a fault (out-of-range row,
+    /// uncorrectable write, exhausted spares, …).
+    Arch(ArchError),
+}
+
+impl From<ArchError> for LimError {
+    fn from(e: ArchError) -> Self {
+        LimError::Arch(e)
+    }
 }
 
 impl fmt::Display for LimError {
@@ -92,11 +103,19 @@ impl fmt::Display for LimError {
             LimError::RegionSizeMismatch { a_bytes, b_bytes } => {
                 write!(f, "region sizes differ: {a_bytes} vs {b_bytes}")
             }
+            LimError::Arch(e) => write!(f, "memory fault: {e}"),
         }
     }
 }
 
-impl std::error::Error for LimError {}
+impl std::error::Error for LimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LimError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A logic-in-memory array with a byte-level interface.
 pub struct LimArray {
@@ -216,9 +235,8 @@ impl LimArray {
     pub fn write(&mut self, region: Region, data: &[u8]) -> Result<(), LimError> {
         self.check_len(region, data.len() as u64)?;
         self.for_each_row_data(region, data, |backend, row, words| {
-            backend.write_row(row, words);
-        });
-        Ok(())
+            backend.write_row(row, words)
+        })
     }
 
     /// Installs pre-resident data (no cost — see
@@ -230,17 +248,16 @@ impl LimArray {
     pub fn install(&mut self, region: Region, data: &[u8]) -> Result<(), LimError> {
         self.check_len(region, data.len() as u64)?;
         self.for_each_row_data(region, data, |backend, row, words| {
-            backend.install_row(row, words);
-        });
-        Ok(())
+            backend.install_row(row, words)
+        })
     }
 
     fn for_each_row_data(
         &mut self,
         region: Region,
         data: &[u8],
-        mut f: impl FnMut(&mut dyn BulkBackend, RowId, &[u64]),
-    ) {
+        mut f: impl FnMut(&mut dyn BulkBackend, RowId, &[u64]) -> Result<(), ArchError>,
+    ) -> Result<(), LimError> {
         let row_bytes = self.row_bytes() as usize;
         let row_words = self.row_words();
         for r in 0..region.rows {
@@ -250,21 +267,21 @@ impl LimArray {
             for (i, chunk_byte) in data[start..end].iter().enumerate() {
                 words[i / 8] |= (*chunk_byte as u64) << (8 * (i % 8));
             }
-            f(self.backend.as_mut(), RowId(region.first_row + r), &words);
+            f(self.backend.as_mut(), RowId(region.first_row + r), &words)?;
         }
+        Ok(())
     }
 
     /// Reads the region back as bytes.
     ///
     /// # Errors
     ///
-    /// Currently infallible for valid regions; returns `Result` for
-    /// forward compatibility.
+    /// [`LimError::Arch`] if the underlying memory faults.
     pub fn read(&mut self, region: Region) -> Result<Vec<u8>, LimError> {
         let row_bytes = self.row_bytes() as usize;
         let mut out = Vec::with_capacity(region.bytes as usize);
         for r in 0..region.rows {
-            let words = self.backend.read_row(RowId(region.first_row + r));
+            let words = self.backend.read_row(RowId(region.first_row + r))?;
             for i in 0..row_bytes {
                 if out.len() == region.bytes as usize {
                     break;
@@ -329,7 +346,7 @@ impl LimArray {
         Self::check_same_size(src, dst)?;
         for r in 0..src.rows {
             self.backend
-                .not(RowId(src.first_row + r), RowId(dst.first_row + r));
+                .not(RowId(src.first_row + r), RowId(dst.first_row + r))?;
         }
         Ok(())
     }
@@ -343,7 +360,7 @@ impl LimArray {
         Self::check_same_size(src, dst)?;
         for r in 0..src.rows {
             self.backend
-                .copy(RowId(src.first_row + r), RowId(dst.first_row + r));
+                .copy(RowId(src.first_row + r), RowId(dst.first_row + r))?;
         }
         Ok(())
     }
@@ -353,7 +370,7 @@ impl LimArray {
         a: Region,
         b: Region,
         dst: Region,
-        op: impl Fn(&mut dyn BulkBackend, RowId, RowId, RowId),
+        op: impl Fn(&mut dyn BulkBackend, RowId, RowId, RowId) -> Result<(), ArchError>,
     ) -> Result<(), LimError> {
         Self::check_same_size(a, b)?;
         Self::check_same_size(a, dst)?;
@@ -363,7 +380,7 @@ impl LimArray {
                 RowId(a.first_row + r),
                 RowId(b.first_row + r),
                 RowId(dst.first_row + r),
-            );
+            )?;
         }
         Ok(())
     }
@@ -502,6 +519,16 @@ mod tests {
             lim.not(a, b),
             Err(LimError::RegionSizeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn backend_faults_surface_as_lim_errors() {
+        use std::error::Error;
+        let arch_err = ArchError::RowOutOfRange { row: 99, rows: 10 };
+        let lim_err: LimError = arch_err.clone().into();
+        assert!(matches!(lim_err, LimError::Arch(_)));
+        assert!(lim_err.to_string().contains("memory fault"));
+        assert_eq!(lim_err.source().unwrap().to_string(), arch_err.to_string());
     }
 
     #[test]

@@ -12,6 +12,26 @@ const CURRENT_ABSTOL: f64 = 1e-9;
 const NR_DAMPING_V: f64 = 0.5;
 const GMIN: f64 = 1e-12;
 
+/// Solver effort bookkeeping, accumulated across an analysis run and
+/// attached to [`SpiceError::NoConvergence`] so callers can see *how*
+/// the solver failed (stalled Newton loop vs. exhausted step retries),
+/// not merely that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverDiagnostics {
+    /// Total Newton–Raphson iterations spent, over all attempted solves.
+    pub newton_iterations: u64,
+    /// Transient steps that converged and were committed.
+    pub accepted_steps: u64,
+    /// Transient steps that failed to converge and were retried with a
+    /// halved timestep.
+    pub rejected_steps: u64,
+    /// Largest Newton update remaining at any failed solve (V or A) —
+    /// how far from the tolerance the worst stall was.
+    pub worst_residual: f64,
+    /// Smallest timestep attempted (s); 0 for a DC-only failure.
+    pub min_dt_s: f64,
+}
+
 /// Transient analysis configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientSpec {
@@ -24,6 +44,10 @@ pub struct TransientSpec {
     pub ic_conductance_s: f64,
     /// Use trapezoidal (second-order) integration for linear capacitors.
     pub trapezoidal: bool,
+    /// Retry budget: total rejected (halved-and-retried) steps allowed
+    /// over the whole run before the analysis gives up with
+    /// [`SpiceError::NoConvergence`].
+    pub max_rejected_steps: u64,
 }
 
 impl TransientSpec {
@@ -42,12 +66,19 @@ impl TransientSpec {
             dt_s,
             ic_conductance_s: 1e3,
             trapezoidal: false,
+            max_rejected_steps: 512,
         }
     }
 
     /// Switches linear capacitors to trapezoidal integration.
     pub fn with_trapezoidal(mut self) -> Self {
         self.trapezoidal = true;
+        self
+    }
+
+    /// Overrides the rejected-step retry budget.
+    pub fn with_max_rejected_steps(mut self, n: u64) -> Self {
+        self.max_rejected_steps = n;
         self
     }
 }
@@ -61,7 +92,8 @@ impl Circuit {
     /// stepping fallback) fails; [`SpiceError::SingularMatrix`] for a
     /// structurally defective netlist.
     pub fn dc_operating_point(&self) -> Result<DcPoint, SpiceError> {
-        let x = self.solve_dc_internal(false)?;
+        let mut diag = SolverDiagnostics::default();
+        let x = self.solve_dc_internal(false, &mut diag)?;
         Ok(self.make_dc_point(&x))
     }
 
@@ -71,14 +103,20 @@ impl Circuit {
     /// The run starts from a DC solve honouring any
     /// [`Circuit::set_initial_voltage`] directives; source waveform
     /// corners are always hit exactly; steps are halved (down to
-    /// `dt/2²⁰`) when Newton–Raphson stalls.
+    /// `dt/2²⁰`, within the [`TransientSpec::max_rejected_steps`] retry
+    /// budget) when Newton–Raphson stalls. A final failure carries
+    /// [`SolverDiagnostics`] describing the effort spent.
     ///
     /// # Errors
     ///
     /// [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`] as
     /// for [`Circuit::dc_operating_point`].
     pub fn transient(&mut self, spec: &TransientSpec) -> Result<Trace, SpiceError> {
-        let mut x = self.solve_dc_internal(true)?;
+        let mut diag = SolverDiagnostics {
+            min_dt_s: spec.dt_s,
+            ..SolverDiagnostics::default()
+        };
+        let mut x = self.solve_dc_internal(true, &mut diag)?;
         for (_, e) in &mut self.elements {
             e.init_history(&x);
         }
@@ -90,7 +128,7 @@ impl Circuit {
             .flat_map(|v| v.wave.breakpoints(spec.t_stop_s))
             .filter(|&t| t > 0.0)
             .collect();
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breakpoints.sort_by(f64::total_cmp);
         breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
 
         let mut trace = self.new_trace();
@@ -109,24 +147,38 @@ impl Circuit {
                 t_next = breakpoints[next_bp];
             }
             let dt = t_next - t;
+            diag.min_dt_s = diag.min_dt_s.min(dt);
             let mode = StampMode::Transient {
                 dt,
                 trapezoidal: spec.trapezoidal,
             };
-            match self.newton_solve(&x, mode, t_next) {
+            match self.newton_solve(&x, mode, t_next, &mut diag) {
                 Ok(x_new) => {
                     for (_, e) in &mut self.elements {
                         e.commit(&x_new, dt, spec.trapezoidal);
                     }
                     x = x_new;
                     t = t_next;
+                    diag.accepted_steps += 1;
                     self.record(&mut trace, t, &x, Some(dt));
                     if h < spec.dt_s {
                         h = (h * 2.0).min(spec.dt_s);
                     }
                 }
-                Err(_) if h > dt_min => {
+                Err(_) if h > dt_min && diag.rejected_steps < spec.max_rejected_steps => {
+                    diag.rejected_steps += 1;
                     h *= 0.5;
+                }
+                Err(SpiceError::NoConvergence {
+                    analysis, time_s, ..
+                }) => {
+                    // Step floor or retry budget exhausted: surface the
+                    // accumulated solver effort with the failure.
+                    return Err(SpiceError::NoConvergence {
+                        analysis,
+                        time_s,
+                        diagnostics: diag,
+                    });
                 }
                 Err(e) => return Err(e),
             }
@@ -134,16 +186,20 @@ impl Circuit {
         Ok(trace)
     }
 
-    fn solve_dc_internal(&self, with_ic: bool) -> Result<Vec<f64>, SpiceError> {
+    fn solve_dc_internal(
+        &self,
+        with_ic: bool,
+        diag: &mut SolverDiagnostics,
+    ) -> Result<Vec<f64>, SpiceError> {
         let x0 = vec![0.0; self.unknowns()];
         // Plain Newton first; on failure, source-step from 10 % to 100 %.
-        match self.newton_solve_scaled(&x0, 1.0, with_ic) {
+        match self.newton_solve_scaled(&x0, 1.0, with_ic, diag) {
             Ok(x) => Ok(x),
             Err(_) => {
                 let mut x = x0;
                 for step in 1..=10 {
                     let scale = step as f64 / 10.0;
-                    x = self.newton_solve_scaled(&x, scale, with_ic)?;
+                    x = self.newton_solve_scaled(&x, scale, with_ic, diag)?;
                 }
                 Ok(x)
             }
@@ -155,8 +211,9 @@ impl Circuit {
         x0: &[f64],
         mode: StampMode,
         time_s: f64,
+        diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
-        self.newton_iterate(x0, mode, time_s, 1.0, false)
+        self.newton_iterate(x0, mode, time_s, 1.0, false, diag)
     }
 
     fn newton_solve_scaled(
@@ -164,8 +221,9 @@ impl Circuit {
         x0: &[f64],
         source_scale: f64,
         with_ic: bool,
+        diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
-        self.newton_iterate(x0, StampMode::Dc, 0.0, source_scale, with_ic)
+        self.newton_iterate(x0, StampMode::Dc, 0.0, source_scale, with_ic, diag)
     }
 
     fn newton_iterate(
@@ -175,6 +233,7 @@ impl Circuit {
         time_s: f64,
         source_scale: f64,
         with_ic: bool,
+        diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
         let n_nodes = self.node_count();
         let mut sys = MnaSystem::new(n_nodes, self.vsources.len());
@@ -183,7 +242,9 @@ impl Circuit {
             StampMode::Dc => "dc",
             StampMode::Transient { .. } => "transient",
         };
+        let mut last_residual: f64 = 0.0;
         for _ in 0..MAX_NR_ITERATIONS {
+            diag.newton_iterations += 1;
             sys.reset(GMIN);
             for (_, e) in &self.elements {
                 e.stamp(&x, &mut sys, mode, time_s);
@@ -216,8 +277,14 @@ impl Circuit {
             if max_dv < VOLTAGE_ABSTOL && max_di < CURRENT_ABSTOL {
                 return Ok(x);
             }
+            last_residual = max_dv.max(max_di);
         }
-        Err(SpiceError::NoConvergence { analysis, time_s })
+        diag.worst_residual = diag.worst_residual.max(last_residual);
+        Err(SpiceError::NoConvergence {
+            analysis,
+            time_s,
+            diagnostics: *diag,
+        })
     }
 
     fn ic_conductance(&self) -> f64 {
@@ -452,12 +519,83 @@ mod tests {
         let e = SpiceError::NoConvergence {
             analysis: "dc",
             time_s: 0.0,
+            diagnostics: SolverDiagnostics::default(),
         };
         assert!(e.to_string().contains("failed to converge"));
+        assert!(e.to_string().contains("Newton iterations"));
         let e = SpiceError::NotFound { name: "X1".into() };
         assert!(e.to_string().contains("X1"));
         let e = SpiceError::BadParameter { what: "neg".into() };
         assert!(e.to_string().contains("bad parameter"));
+    }
+
+    /// A resistive circuit asked to jump 2 kV *instantaneously* (a PWL
+    /// with two points at the same time — no finite edge to subdivide)
+    /// can never converge under the 0.5 V/iteration damping: halving
+    /// the step does not shrink the jump, so the solver must exhaust
+    /// its retries and report the effort it spent.
+    fn impossible_step_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::pwl(vec![(1e-6, 0.0), (1e-6, 2000.0)]),
+        );
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        c
+    }
+
+    #[test]
+    fn no_convergence_carries_solver_diagnostics() {
+        let mut c = impossible_step_circuit();
+        let err = c.transient(&TransientSpec::new(2e-6, 1e-7)).unwrap_err();
+        match err {
+            crate::SpiceError::NoConvergence {
+                analysis,
+                diagnostics,
+                ..
+            } => {
+                assert_eq!(analysis, "transient");
+                assert!(diagnostics.newton_iterations > 0, "{diagnostics:?}");
+                assert!(diagnostics.accepted_steps > 0, "steps before the edge");
+                assert!(diagnostics.rejected_steps > 0, "{diagnostics:?}");
+                assert!(diagnostics.worst_residual >= VOLTAGE_ABSTOL);
+                assert!(diagnostics.min_dt_s < 1e-7, "halving was attempted");
+            }
+            e => panic!("expected NoConvergence, got {e}"),
+        }
+    }
+
+    #[test]
+    fn rejected_step_budget_bounds_retries() {
+        let mut c = impossible_step_circuit();
+        let spec = TransientSpec::new(2e-6, 1e-7).with_max_rejected_steps(3);
+        let err = c.transient(&spec).unwrap_err();
+        match err {
+            crate::SpiceError::NoConvergence { diagnostics, .. } => {
+                assert_eq!(diagnostics.rejected_steps, 3, "budget honoured exactly");
+            }
+            e => panic!("expected NoConvergence, got {e}"),
+        }
+    }
+
+    #[test]
+    fn nan_breakpoints_do_not_panic_the_sort() {
+        // A PWL waveform accidentally built with a NaN corner must fail
+        // convergence or produce a trace — never abort the process in
+        // the breakpoint sort.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GND,
+            Waveform::Pwl(vec![(0.0, 0.0), (f64::NAN, 1.0), (2e-6, 0.5)]),
+        );
+        c.add("R1", Element::resistor(a, Circuit::GND, 1e3));
+        let _ = c.transient(&TransientSpec::new(1e-6, 1e-7));
     }
 
     #[test]

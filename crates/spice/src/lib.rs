@@ -49,7 +49,7 @@ pub mod probe;
 pub mod sweep;
 pub mod waveform;
 
-pub use analysis::TransientSpec;
+pub use analysis::{SolverDiagnostics, TransientSpec};
 pub use elements::{Element, SwitchParams};
 pub use mosfet::{MosfetParams, MosfetType};
 pub use netlist::{Circuit, NodeId};
@@ -71,6 +71,8 @@ pub enum SpiceError {
         analysis: &'static str,
         /// Simulation time at failure (0 for DC).
         time_s: f64,
+        /// Solver effort spent before giving up.
+        diagnostics: SolverDiagnostics,
     },
     /// The MNA matrix was singular (floating node or short loop).
     SingularMatrix {
@@ -92,10 +94,21 @@ pub enum SpiceError {
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SpiceError::NoConvergence { analysis, time_s } => {
+            SpiceError::NoConvergence {
+                analysis,
+                time_s,
+                diagnostics,
+            } => {
                 write!(
                     f,
-                    "{analysis} analysis failed to converge at t = {time_s:e} s"
+                    "{analysis} analysis failed to converge at t = {time_s:e} s \
+                     ({} Newton iterations, {} accepted / {} rejected steps, \
+                     worst residual {:e}, min dt {:e} s)",
+                    diagnostics.newton_iterations,
+                    diagnostics.accepted_steps,
+                    diagnostics.rejected_steps,
+                    diagnostics.worst_residual,
+                    diagnostics.min_dt_s
                 )
             }
             SpiceError::SingularMatrix { time_s } => {

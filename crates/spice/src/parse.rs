@@ -165,8 +165,13 @@ pub fn parse_netlist(text: &str) -> Result<ParsedNetlist, ParseError> {
 
         // Element cards.
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        let name = tokens[0];
-        let kind = name.chars().next().unwrap().to_ascii_uppercase();
+        let Some(&name) = tokens.first() else {
+            continue; // blank after comment stripping
+        };
+        let Some(first) = name.chars().next() else {
+            return Err(err(lineno, "empty element name".into()));
+        };
+        let kind = first.to_ascii_uppercase();
         let need = |n: usize| -> Result<(), ParseError> {
             if tokens.len() < n {
                 Err(err(lineno, format!("`{name}` needs at least {n} fields")))

@@ -173,13 +173,14 @@ impl DcPoint {
 }
 
 fn interp(times: &[f64], data: &[f64], t: f64) -> f64 {
-    if times.is_empty() {
+    let n = times.len().min(data.len());
+    if n == 0 {
         return 0.0;
     }
     if t <= times[0] {
         return data[0];
     }
-    for i in 1..times.len() {
+    for i in 1..n {
         if t <= times[i] {
             let span = times[i] - times[i - 1];
             if span == 0.0 {
@@ -189,7 +190,7 @@ fn interp(times: &[f64], data: &[f64], t: f64) -> f64 {
             return data[i - 1] + f * (data[i] - data[i - 1]);
         }
     }
-    *data.last().unwrap()
+    data[n - 1]
 }
 
 #[cfg(test)]

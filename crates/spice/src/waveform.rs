@@ -73,8 +73,13 @@ impl Waveform {
         match self {
             Waveform::Dc(v) => *v,
             Waveform::Pwl(points) => {
-                if t_s <= points[0].0 {
-                    return points[0].1;
+                // A hand-built (constructor-bypassing) empty PWL reads
+                // as 0 V rather than panicking mid-simulation.
+                let Some(&(t_first, v_first)) = points.first() else {
+                    return 0.0;
+                };
+                if t_s <= t_first {
+                    return v_first;
                 }
                 for w in points.windows(2) {
                     let ((t0, v0), (t1, v1)) = (w[0], w[1]);
@@ -85,7 +90,7 @@ impl Waveform {
                         return v0 + (v1 - v0) * (t_s - t0) / (t1 - t0);
                     }
                 }
-                points.last().unwrap().1
+                points.last().map_or(0.0, |p| p.1)
             }
             Waveform::Pulse {
                 low,

@@ -4,7 +4,7 @@
 //! row operations.
 
 use crate::data::DataGen;
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// The bitmap-index-query workload.
@@ -16,7 +16,12 @@ impl Workload for BitmapIndex {
         "Bitmap Index Query"
     }
 
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
         let words = backend.geometry().row_words();
         let mut gen = DataGen::new(seed, words);
         // Four index columns, each data_rows/4 rows long.
@@ -27,7 +32,7 @@ impl Workload for BitmapIndex {
 
         for (c, col) in cols.iter().enumerate() {
             for (i, r) in col.iter().enumerate() {
-                backend.install_row(RowId((c as u64) * chunk + i as u64), r);
+                backend.install_row(RowId((c as u64) * chunk + i as u64), r)?;
             }
         }
         let out_base = 4 * chunk;
@@ -38,10 +43,10 @@ impl Workload for BitmapIndex {
             let b = RowId(chunk + i);
             let c = RowId(2 * chunk + i);
             let d = RowId(3 * chunk + i);
-            backend.and(a, b, t1);
-            backend.not(d, t2);
-            backend.and(c, t2, t3);
-            backend.or(t1, t3, RowId(out_base + i));
+            backend.and(a, b, t1)?;
+            backend.not(d, t2)?;
+            backend.and(c, t2, t3)?;
+            backend.or(t1, t3, RowId(out_base + i))?;
         }
 
         for i in 0..chunk {
@@ -57,10 +62,15 @@ impl Workload for BitmapIndex {
                     (a & b) | (c & !d)
                 })
                 .collect();
-            let got = backend.read_row(RowId(out_base + i));
-            assert_eq!(got, expect, "bitmap query row {i} mismatch");
+            let got = backend.read_row(RowId(out_base + i))?;
+            if got != expect {
+                return Err(WorkloadError::Verification {
+                    workload: self.name(),
+                    detail: format!("query result row {i} mismatch"),
+                });
+            }
         }
-        4 * chunk
+        Ok(4 * chunk)
     }
 }
 
@@ -72,17 +82,17 @@ mod tests {
     #[test]
     fn verifies_on_both_backends() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(BitmapIndex.execute(&mut f, 16, 9), 16);
+        assert_eq!(BitmapIndex.execute(&mut f, 16, 9).unwrap(), 16);
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(BitmapIndex.execute(&mut d, 16, 9), 16);
+        assert_eq!(BitmapIndex.execute(&mut d, 16, 9).unwrap(), 16);
     }
 
     #[test]
     fn feram_advantage_holds() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        BitmapIndex.execute(&mut f, 32, 9);
+        BitmapIndex.execute(&mut f, 32, 9).unwrap();
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        BitmapIndex.execute(&mut d, 32, 9);
+        BitmapIndex.execute(&mut d, 32, 9).unwrap();
         let e_ratio = d.stats().total_energy_nj() / f.stats().total_energy_nj();
         let c_ratio = d.stats().total_cycles() as f64 / f.stats().total_cycles() as f64;
         assert!(e_ratio > 1.3, "energy ratio {e_ratio}");

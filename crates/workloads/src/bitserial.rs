@@ -6,7 +6,7 @@
 //! by a vector of rows, one row per binary digit, and updated with
 //! row-wide half-adder sweeps.
 
-use felim_arch::{BulkBackend, RowId};
+use felim_arch::{ArchError, BulkBackend, RowId};
 
 /// A per-lane unsigned counter of fixed width, stored bit-sliced: row `k`
 /// holds bit `k` of every lane's count.
@@ -25,7 +25,15 @@ impl LaneCounter {
     /// # Panics
     ///
     /// Panics if too few rows are supplied.
-    pub fn new(backend: &mut dyn BulkBackend, rows: &[RowId], width: usize) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults while clearing the rows.
+    pub fn new(
+        backend: &mut dyn BulkBackend,
+        rows: &[RowId],
+        width: usize,
+    ) -> Result<Self, ArchError> {
         assert!(
             rows.len() >= width + 2,
             "need {} rows, got {}",
@@ -34,12 +42,12 @@ impl LaneCounter {
         );
         let zeros = vec![0u64; backend.geometry().row_words()];
         for &r in &rows[..width + 2] {
-            backend.write_row(r, &zeros);
+            backend.write_row(r, &zeros)?;
         }
-        Self {
+        Ok(Self {
             digits: rows[..width].to_vec(),
             scratch: [rows[width], rows[width + 1]],
-        }
+        })
     }
 
     /// Digit rows, least significant first.
@@ -50,16 +58,25 @@ impl LaneCounter {
     /// Adds the per-lane indicator row (`0` or `1` per lane) to every
     /// lane's count with a ripple half-adder sweep. Overflow beyond the
     /// top digit is dropped (size the counter generously).
-    pub fn add_indicator(&mut self, backend: &mut dyn BulkBackend, indicator: RowId) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults.
+    pub fn add_indicator(
+        &mut self,
+        backend: &mut dyn BulkBackend,
+        indicator: RowId,
+    ) -> Result<(), ArchError> {
         let [carry, tmp] = self.scratch;
         // carry = indicator (copied so we never clobber the caller's row)
-        backend.copy(indicator, carry);
+        backend.copy(indicator, carry)?;
         for &digit in &self.digits.clone() {
             // tmp = digit AND carry (next carry); digit = digit XOR carry.
-            backend.and(digit, carry, tmp);
-            backend.xor(digit, carry, digit);
-            backend.copy(tmp, carry);
+            backend.and(digit, carry, tmp)?;
+            backend.xor(digit, carry, digit)?;
+            backend.copy(tmp, carry)?;
         }
+        Ok(())
     }
 
     /// Writes, into `dst`, a per-lane indicator of `count >= threshold`
@@ -68,29 +85,38 @@ impl LaneCounter {
     /// Implements the standard MSB-first comparison:
     /// `ge = OR_k (eq_above_k AND c_k AND !t_k)`, `eq` updated with
     /// XNOR-matches. Requires 3 scratch rows from the backend.
-    pub fn compare_ge(&self, backend: &mut dyn BulkBackend, threshold: u64, dst: RowId) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults.
+    pub fn compare_ge(
+        &self,
+        backend: &mut dyn BulkBackend,
+        threshold: u64,
+        dst: RowId,
+    ) -> Result<(), ArchError> {
         let scratch = backend.scratch_rows(3);
         let (eq, t1, t2) = (scratch[0], scratch[1], scratch[2]);
         let words = backend.geometry().row_words();
         // ge (dst) = 0; eq = all ones.
-        backend.write_row(dst, &vec![0u64; words]);
-        backend.write_row(eq, &vec![!0u64; words]);
+        backend.write_row(dst, &vec![0u64; words])?;
+        backend.write_row(eq, &vec![!0u64; words])?;
         for (k, &digit) in self.digits.iter().enumerate().rev() {
             let t_k = (threshold >> k) & 1 == 1;
             if t_k {
                 // Lanes must have this bit set to stay equal.
-                backend.and(eq, digit, eq);
+                backend.and(eq, digit, eq)?;
             } else {
                 // Counter bit 1 where threshold bit 0 → strictly greater.
-                backend.and(eq, digit, t1);
-                backend.or(dst, t1, dst);
+                backend.and(eq, digit, t1)?;
+                backend.or(dst, t1, dst)?;
                 // eq &= !digit
-                backend.not(digit, t2);
-                backend.and(eq, t2, eq);
+                backend.not(digit, t2)?;
+                backend.and(eq, t2, eq)?;
             }
         }
         // counts equal to the threshold also satisfy >=.
-        backend.or(dst, eq, dst);
+        backend.or(dst, eq, dst)
     }
 }
 
@@ -127,7 +153,11 @@ impl LaneVector {
     /// # Panics
     ///
     /// Panics if `values.len()` differs from the backend's lane count.
-    pub fn load(&self, backend: &mut dyn BulkBackend, values: &[u64]) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults.
+    pub fn load(&self, backend: &mut dyn BulkBackend, values: &[u64]) -> Result<(), ArchError> {
         let words = backend.geometry().row_words();
         assert_eq!(values.len(), words * 64, "one value per lane");
         for (k, &digit) in self.digits.iter().enumerate() {
@@ -137,23 +167,28 @@ impl LaneVector {
                     row[lane / 64] |= 1 << (lane % 64);
                 }
             }
-            backend.install_row(digit, &row);
+            backend.install_row(digit, &row)?;
         }
+        Ok(())
     }
 
     /// Reads back per-lane values.
-    pub fn read(&self, backend: &mut dyn BulkBackend) -> Vec<u64> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults.
+    pub fn read(&self, backend: &mut dyn BulkBackend) -> Result<Vec<u64>, ArchError> {
         let words = backend.geometry().row_words();
         let mut out = vec![0u64; words * 64];
         for (k, &digit) in self.digits.iter().enumerate() {
-            let row = backend.read_row(digit);
+            let row = backend.read_row(digit)?;
             for (lane, v) in out.iter_mut().enumerate() {
                 if (row[lane / 64] >> (lane % 64)) & 1 == 1 {
                     *v |= 1 << k;
                 }
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -170,32 +205,37 @@ impl LaneVector {
 /// # Panics
 ///
 /// Panics if the operand widths differ or `sum` is wider than `a + 1`.
+///
+/// # Errors
+///
+/// Propagates backend faults.
 pub fn add_lane_vectors(
     backend: &mut dyn BulkBackend,
     a: &LaneVector,
     b: &LaneVector,
     sum: &LaneVector,
     work: &[RowId; 4],
-) {
+) -> Result<(), ArchError> {
     assert_eq!(a.width(), b.width(), "operand widths must match");
     assert!(sum.width() <= a.width() + 1, "sum width too large");
     let (carry, t_xor, t_maj, t2) = (work[0], work[1], work[2], work[3]);
     let words = backend.geometry().row_words();
-    backend.write_row(carry, &vec![0u64; words]);
+    backend.write_row(carry, &vec![0u64; words])?;
     for k in 0..sum.width() {
         if k >= a.width() {
             // The extra sum digit is the final carry.
-            backend.copy(carry, sum.digits()[k]);
+            backend.copy(carry, sum.digits()[k])?;
             break;
         }
         let (da, db, ds) = (a.digits()[k], b.digits()[k], sum.digits()[k]);
         // s = a ^ b ^ c ; c' = (a & b) | (c & (a ^ b)).
-        backend.xor(da, db, t_xor);
-        backend.and(da, db, t_maj);
-        backend.and(carry, t_xor, t2);
-        backend.xor(t_xor, carry, ds);
-        backend.or(t_maj, t2, carry);
+        backend.xor(da, db, t_xor)?;
+        backend.and(da, db, t_maj)?;
+        backend.and(carry, t_xor, t2)?;
+        backend.xor(t_xor, carry, ds)?;
+        backend.or(t_maj, t2, carry)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -217,7 +257,7 @@ mod tests {
         let mut indicator_data = Vec::new();
         for &r in &indicators {
             let row = gen.sparse_row(0.5);
-            backend.write_row(r, &row);
+            backend.write_row(r, &row).unwrap();
             indicator_data.push(row);
         }
         for (lane, e) in expected.iter_mut().enumerate() {
@@ -226,15 +266,15 @@ mod tests {
         }
 
         let counter_rows = free_rows(100, 8);
-        let mut counter = LaneCounter::new(backend, &counter_rows, 5);
+        let mut counter = LaneCounter::new(backend, &counter_rows, 5).unwrap();
         for &r in &indicators {
-            counter.add_indicator(backend, r);
+            counter.add_indicator(backend, r).unwrap();
         }
         // Read back the digits and reassemble per-lane counts.
         let digit_rows: Vec<Vec<u64>> = counter
             .digits()
             .iter()
-            .map(|&d| backend.read_row(d))
+            .map(|&d| backend.read_row(d).unwrap())
             .collect();
         for (lane, e) in expected.iter().enumerate() {
             let mut v = 0u64;
@@ -248,8 +288,8 @@ mod tests {
 
         // Threshold comparison against the known counts.
         let dst = RowId(200);
-        counter.compare_ge(backend, 5, dst);
-        let ge_row = backend.read_row(dst);
+        counter.compare_ge(backend, 5, dst).unwrap();
+        let ge_row = backend.read_row(dst).unwrap();
         for (lane, e) in expected.iter().enumerate() {
             let got = lane_bits(std::slice::from_ref(&ge_row), lane)[0];
             assert_eq!(got, *e >= 5, "lane {lane} ge");
@@ -273,20 +313,29 @@ mod tests {
         let mut m = FeramBackend::new(MemoryGeometry::tiny());
         let words = m.geometry().row_words();
         let rows = free_rows(100, 8);
-        let mut c = LaneCounter::new(&mut m, &rows, 5);
+        let mut c = LaneCounter::new(&mut m, &rows, 5).unwrap();
         // Add exactly 3 all-ones indicators: every lane counts 3.
         let ind = RowId(0);
-        m.write_row(ind, &vec![!0u64; words]);
+        m.write_row(ind, &vec![!0u64; words]).unwrap();
         for _ in 0..3 {
-            c.add_indicator(&mut m, ind);
+            c.add_indicator(&mut m, ind).unwrap();
         }
         let dst = RowId(200);
-        c.compare_ge(&mut m, 3, dst);
-        assert!(m.read_row(dst).iter().all(|&w| w == !0u64), ">= 3 true");
-        c.compare_ge(&mut m, 4, dst);
-        assert!(m.read_row(dst).iter().all(|&w| w == 0), ">= 4 false");
-        c.compare_ge(&mut m, 0, dst);
-        assert!(m.read_row(dst).iter().all(|&w| w == !0u64), ">= 0 true");
+        c.compare_ge(&mut m, 3, dst).unwrap();
+        assert!(
+            m.read_row(dst).unwrap().iter().all(|&w| w == !0u64),
+            ">= 3 true"
+        );
+        c.compare_ge(&mut m, 4, dst).unwrap();
+        assert!(
+            m.read_row(dst).unwrap().iter().all(|&w| w == 0),
+            ">= 4 false"
+        );
+        c.compare_ge(&mut m, 0, dst).unwrap();
+        assert!(
+            m.read_row(dst).unwrap().iter().all(|&w| w == !0u64),
+            ">= 0 true"
+        );
     }
 
     #[test]
@@ -295,8 +344,8 @@ mod tests {
         let lanes = m.geometry().row_words() * 64;
         let v = LaneVector::new(free_rows(10, 6));
         let values: Vec<u64> = (0..lanes as u64).map(|i| (i * 7) % 64).collect();
-        v.load(&mut m, &values);
-        assert_eq!(v.read(&mut m), values);
+        v.load(&mut m, &values).unwrap();
+        assert_eq!(v.read(&mut m).unwrap(), values);
     }
 
     #[test]
@@ -311,11 +360,11 @@ mod tests {
             let s = LaneVector::new(free_rows(30, 7));
             let av: Vec<u64> = (0..lanes as u64).map(|i| (i * 13 + 5) % 64).collect();
             let bv: Vec<u64> = (0..lanes as u64).map(|i| (i * 29 + 11) % 64).collect();
-            a.load(backend, &av);
-            b.load(backend, &bv);
+            a.load(backend, &av).unwrap();
+            b.load(backend, &bv).unwrap();
             let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
-            add_lane_vectors(backend, &a, &b, &s, &work);
-            let sv = s.read(backend);
+            add_lane_vectors(backend, &a, &b, &s, &work).unwrap();
+            let sv = s.read(backend).unwrap();
             for lane in 0..lanes {
                 assert_eq!(sv[lane], av[lane] + bv[lane], "lane {lane}");
             }
@@ -331,12 +380,12 @@ mod tests {
         let s = LaneVector::new(free_rows(30, 4));
         let av = vec![15u64; lanes];
         let bv = vec![1u64; lanes];
-        a.load(&mut m, &av);
-        b.load(&mut m, &bv);
+        a.load(&mut m, &av).unwrap();
+        b.load(&mut m, &bv).unwrap();
         let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
-        add_lane_vectors(&mut m, &a, &b, &s, &work);
+        add_lane_vectors(&mut m, &a, &b, &s, &work).unwrap();
         // 15 + 1 = 16 overflows a 4-bit sum → 0.
-        assert!(s.read(&mut m).iter().all(|&v| v == 0));
+        assert!(s.read(&mut m).unwrap().iter().all(|&v| v == 0));
     }
 
     #[test]
@@ -347,7 +396,7 @@ mod tests {
         let b = LaneVector::new(free_rows(20, 5));
         let s = LaneVector::new(free_rows(30, 4));
         let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
-        add_lane_vectors(&mut m, &a, &b, &s, &work);
+        let _ = add_lane_vectors(&mut m, &a, &b, &s, &work);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::bitserial::LaneCounter;
 use crate::data::{lane_bits, DataGen};
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// Input features per sample (rows of bit-sliced input).
@@ -30,7 +30,12 @@ impl Workload for BnnInference {
         "BNN Inference"
     }
 
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
         let words = backend.geometry().row_words();
         let mut gen = DataGen::new(seed, words);
         // Batches of FEATURE rows; each batch is one full inference pass
@@ -47,7 +52,7 @@ impl Workload for BnnInference {
 
             let feat_base = 0u64;
             for (f, row) in features.iter().enumerate() {
-                backend.install_row(RowId(feat_base + f as u64), row);
+                backend.install_row(RowId(feat_base + f as u64), row)?;
             }
             let xnor_row = RowId(FEATURES as u64);
             let counter_base = FEATURES as u64 + 1;
@@ -57,23 +62,23 @@ impl Workload for BnnInference {
             let out_base = counter_base + COUNTER_WIDTH as u64 + 2;
 
             for (j, w) in weights.iter().enumerate() {
-                let mut counter = LaneCounter::new(backend, &counter_rows, COUNTER_WIDTH);
+                let mut counter = LaneCounter::new(backend, &counter_rows, COUNTER_WIDTH)?;
                 for (f, &wf) in w.iter().enumerate() {
                     let x = RowId(feat_base + f as u64);
                     if wf {
                         // XNOR with weight 1 is the input itself.
-                        counter.add_indicator(backend, x);
+                        counter.add_indicator(backend, x)?;
                     } else {
-                        backend.not(x, xnor_row);
-                        counter.add_indicator(backend, xnor_row);
+                        backend.not(x, xnor_row)?;
+                        counter.add_indicator(backend, xnor_row)?;
                     }
                 }
                 let out = RowId(out_base + j as u64);
-                counter.compare_ge(backend, THRESHOLD, out);
+                counter.compare_ge(backend, THRESHOLD, out)?;
 
                 // Verify this neuron's activations lane by lane
                 // (sampled — full-lane checks run in the bitserial tests).
-                let got_row = backend.read_row(out);
+                let got_row = backend.read_row(out)?;
                 let lanes = words * 64;
                 let step = (lanes / 127).max(1);
                 for lane in (0..lanes).step_by(step) {
@@ -81,15 +86,20 @@ impl Workload for BnnInference {
                     let matches = x_bits.iter().zip(w).filter(|(&x, &wf)| x == wf).count() as u64;
                     let expect = matches >= THRESHOLD;
                     let got = lane_bits(std::slice::from_ref(&got_row), lane)[0];
-                    assert_eq!(
-                        got, expect,
-                        "BNN batch {batch} neuron {j} lane {lane}: {matches} matches"
-                    );
+                    if got != expect {
+                        return Err(WorkloadError::Verification {
+                            workload: self.name(),
+                            detail: format!(
+                                "batch {batch} neuron {j} lane {lane}: \
+                                 got {got}, expected {expect} ({matches} matches)"
+                            ),
+                        });
+                    }
                 }
             }
             consumed += FEATURES as u64;
         }
-        consumed
+        Ok(consumed)
     }
 }
 
@@ -101,18 +111,18 @@ mod tests {
     #[test]
     fn verifies_on_feram() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(BnnInference.execute(&mut f, 32, 13), 32);
+        assert_eq!(BnnInference.execute(&mut f, 32, 13).unwrap(), 32);
     }
 
     #[test]
     fn verifies_on_dram() {
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(BnnInference.execute(&mut d, 32, 13), 32);
+        assert_eq!(BnnInference.execute(&mut d, 32, 13).unwrap(), 32);
     }
 
     #[test]
     fn small_inputs_round_up_to_one_batch() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(BnnInference.execute(&mut f, 5, 13), 32);
+        assert_eq!(BnnInference.execute(&mut f, 5, 13).unwrap(), 32);
     }
 }

@@ -14,7 +14,7 @@
 //! in a real bulk-bitwise deployment.
 
 use crate::data::{lane_bits, DataGen};
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// The CRC-8/ATM generator polynomial (without the implicit x⁸ term).
@@ -44,13 +44,18 @@ impl Workload for Crc8 {
         "CRC8"
     }
 
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
         let words = backend.geometry().row_words();
         let mut gen = DataGen::new(seed, words);
         let message_rows = gen.rows(data_rows);
         let data_base = 0u64;
         for (i, r) in message_rows.iter().enumerate() {
-            backend.install_row(RowId(data_base + i as u64), r);
+            backend.install_row(RowId(data_base + i as u64), r)?;
         }
 
         // Eight bit-sliced CRC state rows + feedback scratch, zeroed.
@@ -58,25 +63,28 @@ impl Workload for Crc8 {
         let zeros = vec![0u64; words];
         let mut state: Vec<RowId> = (0..8).map(|k| RowId(state_base + k)).collect();
         for &s in &state {
-            backend.write_row(s, &zeros);
+            backend.write_row(s, &zeros)?;
         }
         let fb = RowId(state_base + 8);
 
         for r in 0..data_rows {
             // fb = s7 XOR in
-            backend.xor(state[7], RowId(data_base + r), fb);
+            backend.xor(state[7], RowId(data_base + r), fb)?;
             // Logical shift: rotate the register file (free renaming),
             // then fix up the tapped positions.
             state.rotate_right(1);
             // After rotation: state[0] is the old s7 slot → must become fb.
-            backend.copy(fb, state[0]);
+            backend.copy(fb, state[0])?;
             // s1' = s0_old ⊕ fb lives at state[1]; s2' = s1_old ⊕ fb at [2].
-            backend.xor(state[1], fb, state[1]);
-            backend.xor(state[2], fb, state[2]);
+            backend.xor(state[1], fb, state[1])?;
+            backend.xor(state[2], fb, state[2])?;
         }
 
         // Verify: every lane's CRC against the software reference.
-        let state_rows: Vec<Vec<u64>> = state.iter().map(|&s| backend.read_row(s)).collect();
+        let mut state_rows: Vec<Vec<u64>> = Vec::with_capacity(8);
+        for &s in &state {
+            state_rows.push(backend.read_row(s)?);
+        }
         let lanes = words * 64;
         let sample_step = (lanes / 257).max(1); // spot-check ≥257 lanes
         for lane in (0..lanes).step_by(sample_step) {
@@ -88,9 +96,14 @@ impl Workload for Crc8 {
                     got |= 1 << k;
                 }
             }
-            assert_eq!(got, expect, "CRC8 lane {lane} mismatch");
+            if got != expect {
+                return Err(WorkloadError::Verification {
+                    workload: self.name(),
+                    detail: format!("lane {lane}: got {got:#04x}, expected {expect:#04x}"),
+                });
+            }
         }
-        data_rows
+        Ok(data_rows)
     }
 }
 
@@ -113,20 +126,20 @@ mod tests {
     #[test]
     fn verifies_on_feram() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(Crc8.execute(&mut f, 24, 11), 24);
+        assert_eq!(Crc8.execute(&mut f, 24, 11).unwrap(), 24);
     }
 
     #[test]
     fn verifies_on_dram() {
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(Crc8.execute(&mut d, 24, 11), 24);
+        assert_eq!(Crc8.execute(&mut d, 24, 11).unwrap(), 24);
     }
 
     #[test]
     fn cost_scales_linearly_with_message_length() {
         let cycles = |rows: u64| {
             let mut f = FeramBackend::new(MemoryGeometry::tiny());
-            Crc8.execute(&mut f, rows, 11);
+            Crc8.execute(&mut f, rows, 11).unwrap();
             f.stats().total_cycles()
         };
         let c8 = cycles(8);

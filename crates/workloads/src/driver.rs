@@ -1,9 +1,14 @@
 //! Workload driver: scaled execution + analytic extrapolation to the
 //! paper's 1 GB workload size, with DRAM refresh applied to the
-//! extrapolated runtime.
+//! extrapolated runtime — plus fault-injection campaigns that run every
+//! kernel under a configurable fault environment and degradation policy
+//! and classify the outcome of every injected fault.
 
-use crate::Workload;
-use felim_arch::{BulkBackend, DramBackend, ExecStats, FeramBackend, MemoryGeometry};
+use crate::{Workload, WorkloadError};
+use felim_arch::{
+    BulkBackend, DegradationPolicy, DramBackend, ExecStats, FaultSpec, FeramBackend,
+    MemoryGeometry, ReliabilityStats,
+};
 use serde::{Deserialize, Serialize};
 
 /// Memory technology under evaluation.
@@ -52,8 +57,8 @@ pub struct WorkloadResult {
     /// Extrapolated energy, in mJ.
     pub energy_mj: f64,
     /// Did the in-memory result match the software reference?
-    /// (Execution panics otherwise, so this is always true on return —
-    /// recorded for result serialisation.)
+    /// (Execution returns an error otherwise, so this is always true on
+    /// a successful return — recorded for result serialisation.)
     pub verified: bool,
 }
 
@@ -67,19 +72,23 @@ pub struct WorkloadResult {
 ///
 /// # Panics
 ///
-/// Panics if the in-memory result fails verification, or if `sim_rows`
-/// is zero.
+/// Panics if `sim_rows` is zero.
+///
+/// # Errors
+///
+/// Propagates backend faults and verification mismatches from the
+/// workload kernel.
 pub fn run_workload(
     workload: &dyn Workload,
     tech: Tech,
     sim_rows: u64,
     logical_bytes: u64,
     seed: u64,
-) -> WorkloadResult {
+) -> Result<WorkloadResult, WorkloadError> {
     assert!(sim_rows > 0, "need at least one simulated row");
     let geometry = MemoryGeometry::paper_8gb();
     let mut backend = make_backend(tech, geometry);
-    let consumed = workload.execute(backend.as_mut(), sim_rows, seed);
+    let consumed = workload.execute(backend.as_mut(), sim_rows, seed)?;
     let sim_stats = backend.stats().clone();
 
     let logical_rows = geometry.rows_for_bytes(logical_bytes);
@@ -102,7 +111,7 @@ pub fn run_workload(
     }
     let runtime_s = latency.seconds(scaled.total_cycles());
 
-    WorkloadResult {
+    Ok(WorkloadResult {
         workload: workload.name().to_owned(),
         tech,
         sim_stats,
@@ -111,7 +120,7 @@ pub fn run_workload(
         scaled,
         runtime_s,
         verified: true,
-    }
+    })
 }
 
 /// Side-by-side DRAM vs FeRAM comparison for one workload.
@@ -139,17 +148,21 @@ impl Comparison {
 }
 
 /// Runs one workload on both technologies.
+///
+/// # Errors
+///
+/// Propagates backend faults and verification mismatches.
 pub fn compare(
     workload: &dyn Workload,
     sim_rows: u64,
     logical_bytes: u64,
     seed: u64,
-) -> Comparison {
-    Comparison {
+) -> Result<Comparison, WorkloadError> {
+    Ok(Comparison {
         workload: workload.name().to_owned(),
-        dram: run_workload(workload, Tech::Dram, sim_rows, logical_bytes, seed),
-        feram: run_workload(workload, Tech::Feram, sim_rows, logical_bytes, seed),
-    }
+        dram: run_workload(workload, Tech::Dram, sim_rows, logical_bytes, seed)?,
+        feram: run_workload(workload, Tech::Feram, sim_rows, logical_bytes, seed)?,
+    })
 }
 
 /// Geometric mean of an iterator of ratios.
@@ -167,6 +180,90 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
+/// Outcome of one workload kernel under fault injection.
+///
+/// Every injected fault ends up in exactly one bucket:
+///
+/// * **corrected** — repaired in place by the degradation policy
+///   (verify-retry, triple sensing/reading) before it reached state;
+/// * **detected** — it corrupted state, and the corruption surfaced as a
+///   typed error or a verification failure (`error` holds the message);
+/// * **silent** — it corrupted state and the run still reported success.
+///   A robust memory never produces these.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CampaignOutcome {
+    /// Workload display name.
+    pub workload: String,
+    /// Did the kernel run to completion and verify?
+    pub completed: bool,
+    /// The surfaced error, if the run failed.
+    pub error: Option<String>,
+    /// Bits flipped by the injector across all fault paths.
+    pub injected_faults: u64,
+    /// Faults repaired by the policy before they corrupted state.
+    pub corrected_faults: u64,
+    /// State corruptions caught by an error or failed verification.
+    pub detected_faults: u64,
+    /// State corruptions that went unreported — must be zero.
+    pub silent_corruptions: u64,
+    /// The backend's full reliability ledger for this run.
+    pub reliability: ReliabilityStats,
+}
+
+/// Runs every paper workload on a fault-injecting FeRAM backend and
+/// classifies each injected fault as corrected, detected or silent.
+///
+/// Each kernel gets a fresh backend over the small test geometry with a
+/// per-workload injector seed derived deterministically from
+/// `spec.seed`, so the whole campaign is reproducible bit for bit from
+/// `(sim_rows, seed, spec, policy)`.
+pub fn run_fault_campaign(
+    sim_rows: u64,
+    seed: u64,
+    spec: &FaultSpec,
+    policy: &DegradationPolicy,
+) -> Vec<CampaignOutcome> {
+    crate::all_workloads()
+        .iter()
+        .enumerate()
+        .map(|(i, workload)| {
+            // Distinct but deterministic noise stream per kernel.
+            let kernel_spec = FaultSpec {
+                seed: spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..spec.clone()
+            };
+            let mut backend = FeramBackend::new(MemoryGeometry::tiny())
+                .with_faults(kernel_spec)
+                .with_policy(policy.clone());
+            let result = workload.execute(&mut backend, sim_rows, seed);
+            let reliability = backend.reliability_stats().clone();
+            let escaped = reliability.escaped_faults;
+            let (completed, error) = match result {
+                Ok(_) => (true, None),
+                Err(e) => (false, Some(e.to_string())),
+            };
+            CampaignOutcome {
+                workload: workload.name().to_owned(),
+                completed,
+                error,
+                injected_faults: reliability.injected(),
+                corrected_faults: reliability.corrected(),
+                // An escape either surfaced (run failed → detected) or
+                // it did not (run "succeeded" → silent corruption).
+                detected_faults: if completed { 0 } else { escaped },
+                silent_corruptions: if completed { escaped } else { 0 },
+                reliability,
+            }
+        })
+        .collect()
+}
+
+/// Total silent corruptions across a campaign — the headline robustness
+/// number, which must be zero under a hardened policy.
+pub fn campaign_silent_corruptions(outcomes: &[CampaignOutcome]) -> u64 {
+    outcomes.iter().map(|o| o.silent_corruptions).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,8 +271,8 @@ mod tests {
 
     #[test]
     fn scaling_is_linear_in_logical_size() {
-        let small = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 1);
-        let large = run_workload(&XorCipher, Tech::Feram, 16, 1 << 24, 1);
+        let small = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 1).unwrap();
+        let large = run_workload(&XorCipher, Tech::Feram, 16, 1 << 24, 1).unwrap();
         let ratio = large.energy_mj / small.energy_mj;
         assert!((ratio - 16.0).abs() < 0.5, "energy ratio {ratio}");
     }
@@ -185,15 +282,15 @@ mod tests {
         use felim_arch::CommandClass;
         // 1 GB XOR cipher on DRAM runs long enough to cross many 64 ms
         // refresh windows.
-        let r = run_workload(&XorCipher, Tech::Dram, 16, 1 << 30, 1);
+        let r = run_workload(&XorCipher, Tech::Dram, 16, 1 << 30, 1).unwrap();
         assert!(r.scaled.count(CommandClass::Refresh) > 0, "no refresh seen");
-        let f = run_workload(&XorCipher, Tech::Feram, 16, 1 << 30, 1);
+        let f = run_workload(&XorCipher, Tech::Feram, 16, 1 << 30, 1).unwrap();
         assert_eq!(f.scaled.count(CommandClass::Refresh), 0);
     }
 
     #[test]
     fn comparison_shows_feram_advantage() {
-        let c = compare(&XorCipher, 16, 1 << 30, 1);
+        let c = compare(&XorCipher, 16, 1 << 30, 1).unwrap();
         assert!(c.energy_ratio() > 1.5, "energy ratio {}", c.energy_ratio());
         assert!(c.cycle_ratio() > 1.2, "cycle ratio {}", c.cycle_ratio());
     }
@@ -203,5 +300,35 @@ mod tests {
         assert!((geomean([4.0, 1.0]) - 2.0).abs() < 1e-12);
         assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert!(geomean(std::iter::empty::<f64>()).is_nan());
+    }
+
+    #[test]
+    fn fault_campaign_is_reproducible() {
+        let spec = FaultSpec::from_failure_rate(2e-4, 42);
+        let policy = DegradationPolicy::hardened();
+        let a = run_fault_campaign(8, 7, &spec, &policy);
+        let b = run_fault_campaign(8, 7, &spec, &policy);
+        assert_eq!(a, b, "same seed must reproduce bit for bit");
+        assert!(a.iter().any(|o| o.injected_faults > 0), "no faults fired");
+    }
+
+    #[test]
+    fn unmitigated_faults_never_pass_silently_unnoticed_in_outcomes() {
+        // With every mitigation off and meaningful rates, kernels must
+        // either fail (detected) or any escape must be attributed.
+        let spec = FaultSpec::from_failure_rate(5e-3, 11);
+        let policy = DegradationPolicy::none();
+        let outcomes = run_fault_campaign(8, 7, &spec, &policy);
+        let detected: u64 = outcomes.iter().map(|o| o.detected_faults).sum();
+        let failed = outcomes.iter().filter(|o| !o.completed).count();
+        assert!(failed > 0, "such rates must break at least one kernel");
+        assert!(detected > 0, "failures must carry attributed faults");
+        for o in &outcomes {
+            assert!(
+                o.completed || o.error.is_some(),
+                "{}: failed runs must carry an error message",
+                o.workload
+            );
+        }
     }
 }

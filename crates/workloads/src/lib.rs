@@ -18,7 +18,10 @@
 //! Every workload is implemented twice: once as a plain software
 //! reference and once compiled to row-level [`felim_arch::BulkBackend`]
 //! primitives. Execution *verifies the two bit-for-bit* — the simulator
-//! is functional, not just an event counter.
+//! is functional, not just an event counter. Verification mismatches and
+//! backend faults surface as typed [`WorkloadError`]s, so fault-injection
+//! campaigns ([`driver::run_fault_campaign`]) can distinguish detected
+//! corruption from silent corruption.
 //!
 //! [`driver`] runs a workload on a scaled-down row count, checks the
 //! result, and extrapolates primitive counts analytically to the paper's
@@ -30,7 +33,7 @@
 //! ```
 //! use felim_workloads::{driver::{run_workload, Tech}, xor_cipher::XorCipher};
 //!
-//! let result = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 42);
+//! let result = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 42).unwrap();
 //! assert!(result.verified);
 //! assert!(result.scaled.total_energy_nj() > 0.0);
 //! ```
@@ -49,7 +52,49 @@ pub mod query;
 pub mod setops;
 pub mod xor_cipher;
 
-use felim_arch::BulkBackend;
+use felim_arch::{ArchError, BulkBackend};
+
+/// Failure of a workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The backend reported a fault (bad address, uncorrectable write,
+    /// spare exhaustion, ...).
+    Arch(ArchError),
+    /// The in-memory result disagreed with the software reference —
+    /// detected data corruption.
+    Verification {
+        /// Which workload detected the mismatch.
+        workload: &'static str,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl From<ArchError> for WorkloadError {
+    fn from(e: ArchError) -> Self {
+        WorkloadError::Arch(e)
+    }
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Arch(e) => write!(f, "backend fault: {e}"),
+            WorkloadError::Verification { workload, detail } => {
+                write!(f, "{workload} verification failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Arch(e) => Some(e),
+            WorkloadError::Verification { .. } => None,
+        }
+    }
+}
 
 /// A bulk-bitwise application that can execute on any backend.
 pub trait Workload {
@@ -63,11 +108,18 @@ pub trait Workload {
     /// Returns the number of *input data rows* consumed — the quantity
     /// that scales linearly with workload size.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the in-memory computation disagrees with the software
-    /// reference (a simulator bug, never an expected outcome).
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64;
+    /// [`WorkloadError::Verification`] if the in-memory computation
+    /// disagrees with the software reference (under fault injection, a
+    /// *detected* corruption; on a clean backend, a simulator bug);
+    /// [`WorkloadError::Arch`] if the backend itself faults.
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError>;
 }
 
 /// All eight paper workloads, in Fig 6 order.
@@ -104,5 +156,19 @@ mod tests {
                 "BNN Inference",
             ]
         );
+    }
+
+    #[test]
+    fn workload_error_display_and_source() {
+        let e = WorkloadError::Verification {
+            workload: "CRC8",
+            detail: "lane 3 mismatch".into(),
+        };
+        assert!(e.to_string().contains("CRC8"));
+        assert!(e.to_string().contains("lane 3"));
+        let e: WorkloadError = ArchError::SparesExhausted { row: 9 }.into();
+        assert!(e.to_string().contains("backend fault"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

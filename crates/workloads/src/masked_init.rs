@@ -3,7 +3,7 @@
 //! form of a masked memset).
 
 use crate::data::DataGen;
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// The masked-initialisation workload.
@@ -15,7 +15,12 @@ impl Workload for MaskedInit {
         "Masked Initialization"
     }
 
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
         let words = backend.geometry().row_words();
         let mut gen = DataGen::new(seed, words);
         let mask = gen.sparse_row(0.4);
@@ -24,22 +29,22 @@ impl Workload for MaskedInit {
 
         let mask_row = RowId(0);
         let pattern_row = RowId(1);
-        backend.install_row(mask_row, &mask);
-        backend.install_row(pattern_row, &pattern);
+        backend.install_row(mask_row, &mask)?;
+        backend.install_row(pattern_row, &pattern)?;
         let base = 2u64;
         for (i, r) in region.iter().enumerate() {
-            backend.install_row(RowId(base + i as u64), r);
+            backend.install_row(RowId(base + i as u64), r)?;
         }
 
         let scratch = backend.scratch_rows(3);
         let (not_mask, p_and_m, tmp) = (scratch[0], scratch[1], scratch[2]);
         // Hoisted invariants: NOT M and P AND M are computed once.
-        backend.not(mask_row, not_mask);
-        backend.and(pattern_row, mask_row, p_and_m);
+        backend.not(mask_row, not_mask)?;
+        backend.and(pattern_row, mask_row, p_and_m)?;
         for i in 0..data_rows {
             let r = RowId(base + i);
-            backend.and(r, not_mask, tmp);
-            backend.or(tmp, p_and_m, r);
+            backend.and(r, not_mask, tmp)?;
+            backend.or(tmp, p_and_m, r)?;
         }
 
         for (i, original) in region.iter().enumerate() {
@@ -49,10 +54,15 @@ impl Workload for MaskedInit {
                 .zip(&pattern)
                 .map(|((&r, &m), &p)| (r & !m) | (p & m))
                 .collect();
-            let got = backend.read_row(RowId(base + i as u64));
-            assert_eq!(got, expect, "masked init row {i} mismatch");
+            let got = backend.read_row(RowId(base + i as u64))?;
+            if got != expect {
+                return Err(WorkloadError::Verification {
+                    workload: self.name(),
+                    detail: format!("region row {i} mismatch"),
+                });
+            }
         }
-        data_rows
+        Ok(data_rows)
     }
 }
 
@@ -64,9 +74,9 @@ mod tests {
     #[test]
     fn verifies_on_both_backends() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(MaskedInit.execute(&mut f, 12, 5), 12);
+        assert_eq!(MaskedInit.execute(&mut f, 12, 5).unwrap(), 12);
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(MaskedInit.execute(&mut d, 12, 5), 12);
+        assert_eq!(MaskedInit.execute(&mut d, 12, 5).unwrap(), 12);
     }
 
     #[test]
@@ -74,9 +84,9 @@ mod tests {
         // The destination *is* the region row — exercised above; also
         // check stats show two ops per row plus the hoisted setup.
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        MaskedInit.execute(&mut f, 4, 5);
+        MaskedInit.execute(&mut f, 4, 5).unwrap();
         let mut f1 = FeramBackend::new(MemoryGeometry::tiny());
-        MaskedInit.execute(&mut f1, 8, 5);
+        MaskedInit.execute(&mut f1, 8, 5).unwrap();
         // Doubling rows must not double the hoisted setup cost.
         let delta = f1.stats().total_cycles() as i64 - f.stats().total_cycles() as i64;
         let per_row = delta / 4;

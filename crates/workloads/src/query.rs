@@ -17,7 +17,7 @@
 //! assert!(p.eval(&[("a", true), ("b", false), ("c", false)].into()));
 //! ```
 
-use felim_arch::{BulkBackend, RowId};
+use felim_arch::{ArchError, BulkBackend, RowId};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -232,18 +232,23 @@ impl Predicate {
     /// # Panics
     ///
     /// Panics if a referenced column is missing from `columns`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend faults.
     pub fn execute(
         &self,
         backend: &mut dyn BulkBackend,
         columns: &BTreeMap<String, RowId>,
         scratch_base: RowId,
         dst: RowId,
-    ) {
+    ) -> Result<(), ArchError> {
         let mut next_scratch = scratch_base.0;
-        let result = Self::compile(&self.root, backend, columns, &mut next_scratch, Some(dst));
+        let result = Self::compile(&self.root, backend, columns, &mut next_scratch, Some(dst))?;
         if result != dst {
-            backend.copy(result, dst);
+            backend.copy(result, dst)?;
         }
+        Ok(())
     }
 
     /// Recursively evaluates `e`, placing the result in `prefer` (if the
@@ -254,7 +259,7 @@ impl Predicate {
         columns: &BTreeMap<String, RowId>,
         next_scratch: &mut u64,
         prefer: Option<RowId>,
-    ) -> RowId {
+    ) -> Result<RowId, ArchError> {
         fn take_scratch(next_scratch: &mut u64, prefer: Option<RowId>) -> RowId {
             prefer.unwrap_or_else(|| {
                 let r = RowId(*next_scratch);
@@ -263,26 +268,26 @@ impl Predicate {
             })
         }
         match e {
-            Expr::Column(c) => *columns
+            Expr::Column(c) => Ok(*columns
                 .get(c)
-                .unwrap_or_else(|| panic!("missing bitmap column `{c}`")),
+                .unwrap_or_else(|| panic!("missing bitmap column `{c}`"))),
             Expr::Not(x) => {
-                let src = Self::compile(x, backend, columns, next_scratch, None);
+                let src = Self::compile(x, backend, columns, next_scratch, None)?;
                 let out = take_scratch(next_scratch, prefer);
-                backend.not(src, out);
-                out
+                backend.not(src, out)?;
+                Ok(out)
             }
             Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
-                let ra = Self::compile(a, backend, columns, next_scratch, None);
-                let rb = Self::compile(b, backend, columns, next_scratch, None);
+                let ra = Self::compile(a, backend, columns, next_scratch, None)?;
+                let rb = Self::compile(b, backend, columns, next_scratch, None)?;
                 let out = take_scratch(next_scratch, prefer);
                 match e {
-                    Expr::And(..) => backend.and(ra, rb, out),
-                    Expr::Or(..) => backend.or(ra, rb, out),
-                    Expr::Xor(..) => backend.xor(ra, rb, out),
+                    Expr::And(..) => backend.and(ra, rb, out)?,
+                    Expr::Or(..) => backend.or(ra, rb, out)?,
+                    Expr::Xor(..) => backend.xor(ra, rb, out)?,
                     _ => unreachable!(),
                 }
-                out
+                Ok(out)
             }
         }
     }
@@ -349,14 +354,14 @@ mod tests {
             for (i, name) in p.columns().into_iter().enumerate() {
                 let row = RowId(i as u64);
                 let bits = gen.sparse_row(0.4);
-                backend.install_row(row, &bits);
+                backend.install_row(row, &bits).unwrap();
                 columns.insert(name.clone(), row);
                 data.insert(name, bits);
             }
             let dst = RowId(10);
-            p.execute(backend, &columns, RowId(20), dst);
+            p.execute(backend, &columns, RowId(20), dst).unwrap();
 
-            let got = backend.read_row(dst);
+            let got = backend.read_row(dst).unwrap();
             for lane in 0..words * 64 {
                 let env: BTreeMap<&str, bool> = data
                     .iter()
@@ -375,11 +380,11 @@ mod tests {
         assert_eq!(p.op_count(), 0);
         let mut m = FeramBackend::new(MemoryGeometry::tiny());
         let words = m.geometry().row_words();
-        m.install_row(RowId(0), &vec![0xABu64; words]);
+        m.install_row(RowId(0), &vec![0xABu64; words]).unwrap();
         let mut columns = BTreeMap::new();
         columns.insert("only".to_owned(), RowId(0));
-        p.execute(&mut m, &columns, RowId(20), RowId(1));
-        assert_eq!(m.read_row(RowId(1))[0], 0xAB);
+        p.execute(&mut m, &columns, RowId(20), RowId(1)).unwrap();
+        assert_eq!(m.read_row(RowId(1)).unwrap()[0], 0xAB);
     }
 
     #[test]
@@ -387,6 +392,6 @@ mod tests {
     fn missing_column_panics() {
         let p = Predicate::parse("ghost").unwrap();
         let mut m = FeramBackend::new(MemoryGeometry::tiny());
-        p.execute(&mut m, &BTreeMap::new(), RowId(20), RowId(1));
+        let _ = p.execute(&mut m, &BTreeMap::new(), RowId(20), RowId(1));
     }
 }

@@ -3,7 +3,7 @@
 //! workloads.
 
 use crate::data::DataGen;
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// Which set operation to perform.
@@ -14,7 +14,13 @@ enum SetOp {
     Difference,
 }
 
-fn run_setop(op: SetOp, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+fn run_setop(
+    op: SetOp,
+    name: &'static str,
+    backend: &mut dyn BulkBackend,
+    data_rows: u64,
+    seed: u64,
+) -> Result<u64, WorkloadError> {
     let words = backend.geometry().row_words();
     let mut gen = DataGen::new(seed, words);
     // Two bitmap regions of `data_rows / 2` rows each.
@@ -26,21 +32,21 @@ fn run_setop(op: SetOp, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64
     let b_base = half;
     let out_base = 2 * half;
     for (i, r) in set_a.iter().enumerate() {
-        backend.install_row(RowId(a_base + i as u64), r);
+        backend.install_row(RowId(a_base + i as u64), r)?;
     }
     for (i, r) in set_b.iter().enumerate() {
-        backend.install_row(RowId(b_base + i as u64), r);
+        backend.install_row(RowId(b_base + i as u64), r)?;
     }
 
     let scratch = backend.scratch_rows(1)[0];
     for i in 0..half {
         let (a, b, d) = (RowId(a_base + i), RowId(b_base + i), RowId(out_base + i));
         match op {
-            SetOp::Union => backend.or(a, b, d),
-            SetOp::Intersection => backend.and(a, b, d),
+            SetOp::Union => backend.or(a, b, d)?,
+            SetOp::Intersection => backend.and(a, b, d)?,
             SetOp::Difference => {
-                backend.not(b, scratch);
-                backend.and(a, scratch, d);
+                backend.not(b, scratch)?;
+                backend.and(a, scratch, d)?;
             }
         }
     }
@@ -55,10 +61,15 @@ fn run_setop(op: SetOp, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64
                 SetOp::Difference => x & !y,
             })
             .collect();
-        let got = backend.read_row(RowId(out_base + i as u64));
-        assert_eq!(got, expect, "{op:?} row {i} mismatch");
+        let got = backend.read_row(RowId(out_base + i as u64))?;
+        if got != expect {
+            return Err(WorkloadError::Verification {
+                workload: name,
+                detail: format!("{op:?} row {i} mismatch"),
+            });
+        }
     }
-    2 * half
+    Ok(2 * half)
 }
 
 /// Set union — row-wise OR of two bitmaps.
@@ -69,8 +80,13 @@ impl Workload for SetUnion {
     fn name(&self) -> &'static str {
         "Set Union"
     }
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
-        run_setop(SetOp::Union, backend, data_rows, seed)
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
+        run_setop(SetOp::Union, self.name(), backend, data_rows, seed)
     }
 }
 
@@ -82,8 +98,13 @@ impl Workload for SetIntersection {
     fn name(&self) -> &'static str {
         "Set Intersection"
     }
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
-        run_setop(SetOp::Intersection, backend, data_rows, seed)
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
+        run_setop(SetOp::Intersection, self.name(), backend, data_rows, seed)
     }
 }
 
@@ -95,8 +116,13 @@ impl Workload for SetDifference {
     fn name(&self) -> &'static str {
         "Set Difference"
     }
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
-        run_setop(SetOp::Difference, backend, data_rows, seed)
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
+        run_setop(SetOp::Difference, self.name(), backend, data_rows, seed)
     }
 }
 
@@ -107,9 +133,9 @@ mod tests {
 
     fn both(w: &dyn Workload) {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(w.execute(&mut f, 16, 3), 16);
+        assert_eq!(w.execute(&mut f, 16, 3).unwrap(), 16);
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(w.execute(&mut d, 16, 3), 16);
+        assert_eq!(w.execute(&mut d, 16, 3).unwrap(), 16);
         assert!(d.stats().total_energy_nj() > f.stats().total_energy_nj());
     }
 
@@ -131,9 +157,9 @@ mod tests {
     #[test]
     fn odd_row_counts_round_down_to_pairs() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(SetUnion.execute(&mut f, 7, 3), 6);
+        assert_eq!(SetUnion.execute(&mut f, 7, 3).unwrap(), 6);
         // Degenerate single-row input still processes one pair.
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(SetUnion.execute(&mut f, 1, 3), 2);
+        assert_eq!(SetUnion.execute(&mut f, 1, 3).unwrap(), 2);
     }
 }

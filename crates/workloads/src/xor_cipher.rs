@@ -2,7 +2,7 @@
 //! row — the canonical XOR-dominated bulk workload.
 
 use crate::data::DataGen;
-use crate::Workload;
+use crate::{Workload, WorkloadError};
 use felim_arch::{BulkBackend, RowId};
 
 /// The XOR-cipher workload.
@@ -14,7 +14,12 @@ impl Workload for XorCipher {
         "XOR Cipher"
     }
 
-    fn execute(&self, backend: &mut dyn BulkBackend, data_rows: u64, seed: u64) -> u64 {
+    fn execute(
+        &self,
+        backend: &mut dyn BulkBackend,
+        data_rows: u64,
+        seed: u64,
+    ) -> Result<u64, WorkloadError> {
         let words = backend.geometry().row_words();
         let mut gen = DataGen::new(seed, words);
         let key = gen.row();
@@ -23,22 +28,27 @@ impl Workload for XorCipher {
         // Layout: key at row 0, plaintext rows after it, ciphertext rows
         // in a second region.
         let key_row = RowId(0);
-        backend.install_row(key_row, &key);
+        backend.install_row(key_row, &key)?;
         let data_base = 1u64;
         let out_base = 1 + data_rows;
         for (i, p) in plaintexts.iter().enumerate() {
-            backend.install_row(RowId(data_base + i as u64), p);
+            backend.install_row(RowId(data_base + i as u64), p)?;
         }
         for i in 0..data_rows {
-            backend.xor(RowId(data_base + i), key_row, RowId(out_base + i));
+            backend.xor(RowId(data_base + i), key_row, RowId(out_base + i))?;
         }
         // Verify every ciphertext row bit-for-bit.
         for (i, p) in plaintexts.iter().enumerate() {
             let expect: Vec<u64> = p.iter().zip(&key).map(|(&d, &k)| d ^ k).collect();
-            let got = backend.read_row(RowId(out_base + i as u64));
-            assert_eq!(got, expect, "XOR cipher row {i} mismatch");
+            let got = backend.read_row(RowId(out_base + i as u64))?;
+            if got != expect {
+                return Err(WorkloadError::Verification {
+                    workload: self.name(),
+                    detail: format!("ciphertext row {i} mismatch"),
+                });
+            }
         }
-        data_rows
+        Ok(data_rows)
     }
 }
 
@@ -50,17 +60,17 @@ mod tests {
     #[test]
     fn verifies_on_both_backends() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(XorCipher.execute(&mut f, 8, 1), 8);
+        assert_eq!(XorCipher.execute(&mut f, 8, 1).unwrap(), 8);
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        assert_eq!(XorCipher.execute(&mut d, 8, 1), 8);
+        assert_eq!(XorCipher.execute(&mut d, 8, 1).unwrap(), 8);
     }
 
     #[test]
     fn feram_wins_on_energy() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        XorCipher.execute(&mut f, 16, 2);
+        XorCipher.execute(&mut f, 16, 2).unwrap();
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        XorCipher.execute(&mut d, 16, 2);
+        XorCipher.execute(&mut d, 16, 2).unwrap();
         assert!(d.stats().total_energy_nj() > f.stats().total_energy_nj());
         assert!(d.stats().total_cycles() > f.stats().total_cycles());
     }
@@ -69,9 +79,18 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let mut f = FeramBackend::new(MemoryGeometry::tiny());
-            XorCipher.execute(&mut f, 4, 7);
+            XorCipher.execute(&mut f, 4, 7).unwrap();
             f.stats().clone()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injected_faults_are_detected_not_silent() {
+        // Without any degradation policy, aggressive sense faults must
+        // surface as a Verification error — never as a clean Ok.
+        let mut f = FeramBackend::new(MemoryGeometry::tiny()).with_fault_injection(0.05, 3);
+        let err = XorCipher.execute(&mut f, 8, 1).unwrap_err();
+        assert!(matches!(err, WorkloadError::Verification { .. }));
     }
 }

@@ -19,7 +19,7 @@ fn main() {
     println!("Bitmap index query, 1 GB of index columns, 8 GB / 8 KB-row memory");
     println!("(simulating 64 rows functionally, extrapolating analytically)\n");
 
-    let c = compare(&BitmapIndex, 64, gb, 2025);
+    let c = compare(&BitmapIndex, 64, gb, 2025).expect("fault-free run must verify");
 
     for result in [&c.dram, &c.feram] {
         let name = match result.tech {
@@ -60,12 +60,17 @@ WHERE {expr}"
     let mut columns = BTreeMap::new();
     for (i, name) in predicate.columns().into_iter().enumerate() {
         let row = RowId(i as u64);
-        mem.install_row(row, &gen.sparse_row(0.3));
+        mem.install_row(row, &gen.sparse_row(0.3)).unwrap();
         columns.insert(name, row);
     }
     let dst = RowId(10);
-    predicate.execute(&mut mem, &columns, RowId(20), dst);
-    let hits: u32 = mem.read_row(dst).iter().map(|w| w.count_ones()).sum();
+    predicate.execute(&mut mem, &columns, RowId(20), dst).unwrap();
+    let hits: u32 = mem
+        .read_row(dst)
+        .unwrap()
+        .iter()
+        .map(|w| w.count_ones())
+        .sum();
     println!(
         "compiled to {} row ops; {} of {} records match",
         predicate.op_count(),

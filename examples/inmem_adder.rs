@@ -22,16 +22,16 @@ fn main() {
     // Per-lane operands: a ramp against a pseudo-random pattern.
     let av: Vec<u64> = (0..lanes as u64).map(|i| i % 64).collect();
     let bv: Vec<u64> = (0..lanes as u64).map(|i| (i * 37 + 11) % 64).collect();
-    a.load(&mut mem, &av);
-    b.load(&mut mem, &bv);
+    a.load(&mut mem, &av).unwrap();
+    b.load(&mut mem, &bv).unwrap();
 
     let before = mem.stats().clone();
     let work = [RowId(40), RowId(41), RowId(42), RowId(43)];
-    add_lane_vectors(&mut mem, &a, &b, &sum, &work);
+    add_lane_vectors(&mut mem, &a, &b, &sum, &work).unwrap();
     let cycles = mem.stats().total_cycles() - before.total_cycles();
     let energy = (mem.stats().total_energy_nj() - before.total_energy_nj()) * 1e-6;
 
-    let sv = sum.read(&mut mem);
+    let sv = sum.read(&mut mem).unwrap();
     for lane in 0..lanes {
         assert_eq!(sv[lane], av[lane] + bv[lane], "lane {lane}");
     }

@@ -19,15 +19,15 @@ fn main() {
     let plaintext: Vec<Vec<u64>> = (0..rows).map(|_| gen.row()).collect();
 
     let key_row = RowId(0);
-    mem.install_row(key_row, &key);
+    mem.install_row(key_row, &key).unwrap();
     for (i, p) in plaintext.iter().enumerate() {
-        mem.install_row(RowId(1 + i as u64), p);
+        mem.install_row(RowId(1 + i as u64), p).unwrap();
     }
 
     // Encrypt: C_i = P_i XOR K (in place, plaintext overwritten).
     for i in 0..rows {
         let r = RowId(1 + i);
-        mem.xor(r, key_row, r);
+        mem.xor(r, key_row, r).unwrap();
     }
     let encrypt_stats = mem.stats().clone();
     println!(
@@ -39,19 +39,19 @@ fn main() {
     );
 
     // Ciphertext must differ from plaintext…
-    let cipher0 = mem.read_row(RowId(1));
+    let cipher0 = mem.read_row(RowId(1)).unwrap();
     assert_ne!(cipher0, plaintext[0]);
     assert_eq!(cipher0[0], plaintext[0][0] ^ key[0]);
 
     // Decrypt: P_i = C_i XOR K.
     for i in 0..rows {
         let r = RowId(1 + i);
-        mem.xor(r, key_row, r);
+        mem.xor(r, key_row, r).unwrap();
     }
 
     // …and the roundtrip must restore every row exactly.
     for (i, p) in plaintext.iter().enumerate() {
-        let got = mem.read_row(RowId(1 + i as u64));
+        let got = mem.read_row(RowId(1 + i as u64)).unwrap();
         assert_eq!(&got, p, "roundtrip failed at row {i}");
     }
     println!("decrypted and verified all {rows} rows bit-for-bit");

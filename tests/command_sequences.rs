@@ -11,9 +11,9 @@ fn fill(words: usize, w: u64) -> Vec<u64> {
 fn dram_and_is_exactly_four_aaps() {
     let mut m = DramBackend::new(MemoryGeometry::tiny()).with_command_log();
     let words = m.geometry().row_words();
-    m.install_row(RowId(0), &fill(words, 1));
-    m.install_row(RowId(1), &fill(words, 2));
-    m.and(RowId(0), RowId(1), RowId(2));
+    m.install_row(RowId(0), &fill(words, 1)).unwrap();
+    m.install_row(RowId(1), &fill(words, 2)).unwrap();
+    m.and(RowId(0), RowId(1), RowId(2)).unwrap();
 
     let log = m.command_log();
     assert_eq!(log.len(), 12, "4 AAPs = 12 commands");
@@ -33,8 +33,8 @@ fn dram_and_is_exactly_four_aaps() {
 fn dram_not_uses_the_dcc_chain() {
     let mut m = DramBackend::new(MemoryGeometry::tiny()).with_command_log();
     let words = m.geometry().row_words();
-    m.install_row(RowId(0), &fill(words, 0xFF));
-    m.not(RowId(0), RowId(1));
+    m.install_row(RowId(0), &fill(words, 0xFF)).unwrap();
+    m.not(RowId(0), RowId(1)).unwrap();
     let log = m.command_log();
     assert_eq!(log.len(), 6, "2 AAPs");
     assert!(matches!(log[0], Command::Activate(RowId(0))));
@@ -46,9 +46,9 @@ fn dram_not_uses_the_dcc_chain() {
 fn feram_nand_is_exactly_two_acps() {
     let mut m = FeramBackend::new(MemoryGeometry::tiny()).with_command_log();
     let words = m.geometry().row_words();
-    m.install_row(RowId(0), &fill(words, 1));
-    m.install_row(RowId(1), &fill(words, 2));
-    m.nand(RowId(0), RowId(1), RowId(2));
+    m.install_row(RowId(0), &fill(words, 1)).unwrap();
+    m.install_row(RowId(1), &fill(words, 2)).unwrap();
+    m.nand(RowId(0), RowId(1), RowId(2)).unwrap();
 
     let log = m.command_log();
     assert_eq!(log.len(), 6, "colocation ACP + logic ACP");
@@ -79,13 +79,13 @@ fn feram_and_differs_from_nand_only_in_copy_polarity() {
     let words = MemoryGeometry::tiny().row_words();
     let run = |op: fn(&mut FeramBackend, RowId, RowId, RowId)| {
         let mut m = FeramBackend::new(MemoryGeometry::tiny()).with_command_log();
-        m.install_row(RowId(0), &fill(words, 1));
-        m.install_row(RowId(1), &fill(words, 2));
+        m.install_row(RowId(0), &fill(words, 1)).unwrap();
+        m.install_row(RowId(1), &fill(words, 2)).unwrap();
         op(&mut m, RowId(0), RowId(1), RowId(2));
         m.command_log().to_vec()
     };
-    let nand = run(|m, a, b, d| m.nand(a, b, d));
-    let and = run(|m, a, b, d| m.and(a, b, d));
+    let nand = run(|m, a, b, d| m.nand(a, b, d).unwrap());
+    let and = run(|m, a, b, d| m.and(a, b, d).unwrap());
     assert_eq!(nand.len(), and.len());
     for (i, (x, y)) in nand.iter().zip(&and).enumerate() {
         if i == 4 {
@@ -113,8 +113,8 @@ fn feram_and_differs_from_nand_only_in_copy_polarity() {
 fn feram_not_is_one_acp_with_inverting_read_passthrough() {
     let mut m = FeramBackend::new(MemoryGeometry::tiny()).with_command_log();
     let words = m.geometry().row_words();
-    m.install_row(RowId(0), &fill(words, 0xAA));
-    m.not(RowId(0), RowId(1));
+    m.install_row(RowId(0), &fill(words, 0xAA)).unwrap();
+    m.not(RowId(0), RowId(1)).unwrap();
     let log = m.command_log();
     assert_eq!(log.len(), 3, "a single ACP — no DCC anywhere");
     assert!(matches!(log[0], Command::Activate(RowId(0))));
@@ -133,7 +133,7 @@ fn feram_not_is_one_acp_with_inverting_read_passthrough() {
 fn logging_off_means_empty_log() {
     let mut m = FeramBackend::new(MemoryGeometry::tiny());
     let words = m.geometry().row_words();
-    m.install_row(RowId(0), &fill(words, 1));
+    m.install_row(RowId(0), &fill(words, 1)).unwrap();
     let _ = m.read_row(RowId(0));
     assert!(m.command_log().is_empty());
 }

@@ -21,7 +21,12 @@ fn fig6_golden_numbers() {
         ("Set Difference", 1_245_184, 655_360),
         ("Masked Initialization", 3_575_808, 1_726_464),
         ("Bitmap Index Query", 1_540_096, 720_896),
-        ("BNN Inference", 226_373_632, 108_296_192),
+        // BNN cycle counts are weight-dependent (a 0-weight costs one
+        // extra row-NOT per feature), so they track the exact RNG stream.
+        // Re-pinned for the vendored deterministic RNG (vendor/rand, the
+        // offline stand-in); regenerate with `cargo run --release -p
+        // felim --example dump_fig6` after any deliberate change.
+        ("BNN Inference", 226_263_040, 108_240_896),
     ];
     for (row, (name, dram, feram)) in rows.iter().zip(expect_cycles) {
         assert_eq!(&row.workload, name);
@@ -38,7 +43,8 @@ fn fig6_golden_numbers() {
         (19.40, 8.88),
         (63.31, 23.27),
         (27.64, 9.62),
-        (4079.37, 1428.23),
+        // Weight-dependent, re-pinned with the BNN cycle counts above.
+        (4077.69, 1427.50),
     ];
     for (row, (dram, feram)) in rows.iter().zip(expect_energy) {
         assert!(
@@ -70,11 +76,11 @@ fn primitive_cost_constants_are_pinned() {
     type RowOp = fn(&mut dyn BulkBackend, RowId, RowId, RowId);
     // One op of each class on each backend — exact costs.
     let table: &[(&str, RowOp, u64, u64, f64, f64)] = &[
-        ("and", |m, a, b, d| m.and(a, b, d), 12, 6, 182.08, 79.04),
-        ("or", |m, a, b, d| m.or(a, b, d), 12, 6, 182.08, 79.04),
-        ("nand", |m, a, b, d| m.nand(a, b, d), 18, 6, 273.12, 79.04),
-        ("nor", |m, a, b, d| m.nor(a, b, d), 18, 6, 273.12, 79.04),
-        ("xor", |m, a, b, d| m.xor(a, b, d), 48, 24, 728.32, 316.16),
+        ("and", |m, a, b, d| m.and(a, b, d).unwrap(), 12, 6, 182.08, 79.04),
+        ("or", |m, a, b, d| m.or(a, b, d).unwrap(), 12, 6, 182.08, 79.04),
+        ("nand", |m, a, b, d| m.nand(a, b, d).unwrap(), 18, 6, 273.12, 79.04),
+        ("nor", |m, a, b, d| m.nor(a, b, d).unwrap(), 18, 6, 273.12, 79.04),
+        ("xor", |m, a, b, d| m.xor(a, b, d).unwrap(), 48, 24, 728.32, 316.16),
     ];
     for (name, op, d_cyc, f_cyc, d_nj, f_nj) in table {
         let mut d = DramBackend::tiny();
@@ -84,8 +90,8 @@ fn primitive_cost_constants_are_pinned() {
             &mut f as &mut dyn BulkBackend,
         ] {
             let words = m.geometry().row_words();
-            m.install_row(RowId(0), &vec![0xAAu64; words]);
-            m.install_row(RowId(1), &vec![0x55u64; words]);
+            m.install_row(RowId(0), &vec![0xAAu64; words]).unwrap();
+            m.install_row(RowId(1), &vec![0x55u64; words]).unwrap();
             op(m, RowId(0), RowId(1), RowId(2));
         }
         assert_eq!(d.stats().total_cycles(), *d_cyc, "DRAM {name} cycles");
@@ -107,9 +113,9 @@ fn primitive_cost_constants_are_pinned() {
         &mut f as &mut dyn BulkBackend,
     ] {
         let words = m.geometry().row_words();
-        m.install_row(RowId(0), &vec![1u64; words]);
-        m.not(RowId(0), RowId(1));
-        m.copy(RowId(0), RowId(2));
+        m.install_row(RowId(0), &vec![1u64; words]).unwrap();
+        m.not(RowId(0), RowId(1)).unwrap();
+        m.copy(RowId(0), RowId(2)).unwrap();
     }
     assert_eq!(d.stats().total_cycles(), 6 + 3);
     assert_eq!(f.stats().total_cycles(), 3 + 3);

@@ -19,12 +19,12 @@ fn costs_are_identical_across_seeds() {
         }
         let run_feram = |seed: u64| {
             let mut m = FeramBackend::new(MemoryGeometry::tiny());
-            w.execute(&mut m, 16, seed);
+            w.execute(&mut m, 16, seed).unwrap();
             (m.stats().total_cycles(), m.stats().total_energy_nj())
         };
         let run_dram = |seed: u64| {
             let mut m = DramBackend::new(MemoryGeometry::tiny());
-            w.execute(&mut m, 16, seed);
+            w.execute(&mut m, 16, seed).unwrap();
             (m.stats().total_cycles(), m.stats().total_energy_nj())
         };
         let f1 = run_feram(1);
@@ -59,9 +59,9 @@ fn bnn_costs_depend_on_weights_not_activations() {
     // case; here we document that the *scaling driver* always uses one
     // fixed seed so extrapolation stays exact.
     let mut a = FeramBackend::new(MemoryGeometry::tiny());
-    BnnInference.execute(&mut a, 32, 42);
+    BnnInference.execute(&mut a, 32, 42).unwrap();
     let mut b = FeramBackend::new(MemoryGeometry::tiny());
-    BnnInference.execute(&mut b, 32, 42);
+    BnnInference.execute(&mut b, 32, 42).unwrap();
     assert_eq!(a.stats(), b.stats());
 }
 
@@ -74,7 +74,7 @@ fn marginal_cost_is_linear_in_rows() {
             // BNN consumes whole 32-row batches; check batch linearity.
             let cycles = |rows| {
                 let mut m = FeramBackend::new(MemoryGeometry::tiny());
-                w.execute(&mut m, rows, 7);
+                w.execute(&mut m, rows, 7).unwrap();
                 m.stats().total_cycles() as i64
             };
             let c1 = cycles(32);
@@ -85,7 +85,7 @@ fn marginal_cost_is_linear_in_rows() {
         }
         let cycles = |rows| {
             let mut m = FeramBackend::new(MemoryGeometry::tiny());
-            w.execute(&mut m, rows, 7);
+            w.execute(&mut m, rows, 7).unwrap();
             m.stats().total_cycles() as i64
         };
         let c8 = cycles(8);

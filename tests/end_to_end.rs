@@ -25,14 +25,14 @@ fn device_cell_and_architecture_agree_on_minority() {
         // Architecture-level: one NAND/NOR with the same operands.
         let bits = pattern_bits(v);
         let fill = |b: Bit| vec![if b.to_bool() { !0u64 } else { 0 }; words];
-        arch.install_row(RowId(0), &fill(bits[0]));
-        arch.install_row(RowId(1), &fill(bits[1]));
+        arch.install_row(RowId(0), &fill(bits[0])).unwrap();
+        arch.install_row(RowId(1), &fill(bits[1])).unwrap();
         if bits[2] == Bit::Zero {
-            arch.nand(RowId(0), RowId(1), RowId(2));
+            arch.nand(RowId(0), RowId(1), RowId(2)).unwrap();
         } else {
-            arch.nor(RowId(0), RowId(1), RowId(2));
+            arch.nor(RowId(0), RowId(1), RowId(2)).unwrap();
         }
-        let word = arch.read_row(RowId(2))[0];
+        let word = arch.read_row(RowId(2)).unwrap()[0];
         let arch_out = Bit::from_bool(word == !0u64);
         assert!(word == 0 || word == !0u64, "row must be uniform");
         assert_eq!(cell_out, arch_out, "pattern {v:03b}");
@@ -45,9 +45,9 @@ fn device_cell_and_architecture_agree_on_minority() {
 fn backends_compute_identical_results_for_all_workloads() {
     for w in all_workloads() {
         let mut f = FeramBackend::new(MemoryGeometry::tiny());
-        let consumed_f = w.execute(&mut f, 16, 99);
+        let consumed_f = w.execute(&mut f, 16, 99).unwrap();
         let mut d = DramBackend::new(MemoryGeometry::tiny());
-        let consumed_d = w.execute(&mut d, 16, 99);
+        let consumed_d = w.execute(&mut d, 16, 99).unwrap();
         // Same data consumed; execute() verifies outputs internally
         // against the software reference on each backend.
         assert_eq!(consumed_f, consumed_d, "{}", w.name());
@@ -89,10 +89,10 @@ fn xor_composition_matches_across_levels() {
     ] {
         let via_cell = felim::cell::ops::xor_in_cell(&mut cell, a, b);
         let fill = |bit: Bit| vec![if bit.to_bool() { !0u64 } else { 0 }; words];
-        arch.install_row(RowId(0), &fill(a));
-        arch.install_row(RowId(1), &fill(b));
-        arch.xor(RowId(0), RowId(1), RowId(2));
-        let via_arch = Bit::from_bool(arch.read_row(RowId(2))[0] == !0u64);
+        arch.install_row(RowId(0), &fill(a)).unwrap();
+        arch.install_row(RowId(1), &fill(b)).unwrap();
+        arch.xor(RowId(0), RowId(1), RowId(2)).unwrap();
+        let via_arch = Bit::from_bool(arch.read_row(RowId(2)).unwrap()[0] == !0u64);
         assert_eq!(via_cell, via_arch, "XOR({a},{b})");
         assert_eq!(via_cell, Bit::from_bool(a.to_bool() ^ b.to_bool()));
     }

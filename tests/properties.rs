@@ -24,14 +24,17 @@ proptest! {
             &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
         ] {
             let (a, b) = (RowId(0), RowId(1));
-            backend.install_row(a, &rows[0]);
-            backend.install_row(b, &rows[1]);
+            backend.install_row(a, &rows[0]).unwrap();
+            backend.install_row(b, &rows[1]).unwrap();
             // NOT(a AND b) == NOT a OR NOT b
-            backend.nand(a, b, RowId(2));
-            backend.not(a, RowId(3));
-            backend.not(b, RowId(4));
-            backend.or(RowId(3), RowId(4), RowId(5));
-            prop_assert_eq!(backend.read_row(RowId(2)), backend.read_row(RowId(5)));
+            backend.nand(a, b, RowId(2)).unwrap();
+            backend.not(a, RowId(3)).unwrap();
+            backend.not(b, RowId(4)).unwrap();
+            backend.or(RowId(3), RowId(4), RowId(5)).unwrap();
+            prop_assert_eq!(
+                backend.read_row(RowId(2)).unwrap(),
+                backend.read_row(RowId(5)).unwrap()
+            );
         }
     }
 
@@ -44,11 +47,11 @@ proptest! {
             &mut DramBackend::new(MemoryGeometry::tiny()) as &mut dyn BulkBackend,
         ] {
             let (x, k) = (RowId(0), RowId(1));
-            backend.install_row(x, &rows[0]);
-            backend.install_row(k, &rows[1]);
-            backend.xor(x, k, RowId(2));
-            backend.xor(RowId(2), k, RowId(3));
-            prop_assert_eq!(backend.read_row(RowId(3)), rows[0].clone());
+            backend.install_row(x, &rows[0]).unwrap();
+            backend.install_row(k, &rows[1]).unwrap();
+            backend.xor(x, k, RowId(2)).unwrap();
+            backend.xor(RowId(2), k, RowId(3)).unwrap();
+            prop_assert_eq!(backend.read_row(RowId(3)).unwrap(), rows[0].clone());
         }
     }
 
@@ -125,23 +128,23 @@ proptest! {
     fn backend_ops_match_word_oracle(wa in any::<u64>(), wb in any::<u64>()) {
         let mut m = FeramBackend::new(MemoryGeometry::tiny());
         let words = m.geometry().row_words();
-        m.install_row(RowId(0), &vec![wa; words]);
-        m.install_row(RowId(1), &vec![wb; words]);
-        m.and(RowId(0), RowId(1), RowId(2));
-        prop_assert_eq!(m.read_row(RowId(2))[0], wa & wb);
-        m.or(RowId(0), RowId(1), RowId(3));
-        prop_assert_eq!(m.read_row(RowId(3))[0], wa | wb);
-        m.nand(RowId(0), RowId(1), RowId(4));
-        prop_assert_eq!(m.read_row(RowId(4))[0], !(wa & wb));
-        m.nor(RowId(0), RowId(1), RowId(5));
-        prop_assert_eq!(m.read_row(RowId(5))[0], !(wa | wb));
-        m.xor(RowId(0), RowId(1), RowId(6));
-        prop_assert_eq!(m.read_row(RowId(6))[0], wa ^ wb);
-        m.not(RowId(0), RowId(7));
-        prop_assert_eq!(m.read_row(RowId(7))[0], !wa);
+        m.install_row(RowId(0), &vec![wa; words]).unwrap();
+        m.install_row(RowId(1), &vec![wb; words]).unwrap();
+        m.and(RowId(0), RowId(1), RowId(2)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(2)).unwrap()[0], wa & wb);
+        m.or(RowId(0), RowId(1), RowId(3)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(3)).unwrap()[0], wa | wb);
+        m.nand(RowId(0), RowId(1), RowId(4)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(4)).unwrap()[0], !(wa & wb));
+        m.nor(RowId(0), RowId(1), RowId(5)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(5)).unwrap()[0], !(wa | wb));
+        m.xor(RowId(0), RowId(1), RowId(6)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(6)).unwrap()[0], wa ^ wb);
+        m.not(RowId(0), RowId(7)).unwrap();
+        prop_assert_eq!(m.read_row(RowId(7)).unwrap()[0], !wa);
         // Operands untouched through it all.
-        prop_assert_eq!(m.read_row(RowId(0))[0], wa);
-        prop_assert_eq!(m.read_row(RowId(1))[0], wb);
+        prop_assert_eq!(m.read_row(RowId(0)).unwrap()[0], wa);
+        prop_assert_eq!(m.read_row(RowId(1)).unwrap()[0], wb);
     }
 
     /// The byte-level LimArray API matches the byte oracle on arbitrary
@@ -169,6 +172,41 @@ proptest! {
         // Operands intact.
         prop_assert_eq!(lim.read(a).unwrap(), av);
         prop_assert_eq!(lim.read(b).unwrap(), bv);
+    }
+
+    /// Under the hardened degradation policy, sparse injected bit-flips
+    /// are either corrected in place or reported through an error /
+    /// verification failure — a run that claims success must have zero
+    /// escaped faults, on every kernel, for every injector seed.
+    #[test]
+    fn injected_faults_are_never_silent_under_hardened_policy(
+        kernel in 0usize..8,
+        fault_seed in any::<u64>(),
+    ) {
+        use felim::arch::{DegradationPolicy, FaultSpec};
+        let workloads = felim::workloads::all_workloads();
+        let workload = &workloads[kernel];
+        // Rates low enough that faults arrive as isolated single-bit
+        // flips, which the policy must always correct or surface.
+        let spec = FaultSpec {
+            seed: fault_seed,
+            write_bitflip_rate: 2e-6,
+            read_bitflip_rate: 2e-6,
+            sense_fault_rate: 2e-5,
+            wear_budget: 0,
+        };
+        let mut backend = FeramBackend::new(MemoryGeometry::tiny())
+            .with_faults(spec)
+            .with_policy(DegradationPolicy::hardened());
+        let result = workload.execute(&mut backend, 8, 42);
+        let reliability = backend.reliability_stats();
+        if result.is_ok() {
+            prop_assert_eq!(
+                reliability.escaped_faults, 0,
+                "{} reported success with {} silent corruptions",
+                workload.name(), reliability.escaped_faults
+            );
+        }
     }
 
     /// The CRC8 software reference is linear: crc(a ^ b) == crc(a) ^ crc(b)

@@ -1,0 +1,90 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::thread::scope` / `Scope::spawn` /
+//! `ScopedJoinHandle::join`. Since Rust 1.63 the standard library has
+//! scoped threads, so this crate is a thin adapter reproducing the
+//! crossbeam signatures (closures receive the scope as an argument,
+//! `scope` returns a `Result`) on top of `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads (crossbeam-utils compatible subset).
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned closures receive `&Scope` so they can
+    /// spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope (crossbeam convention; often ignored as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope; all threads spawned in it are joined before it
+    /// returns. Returns `Ok` unless the closure itself fails — panics in
+    /// spawned threads surface either through explicit `join()` results
+    /// or by propagating out of the scope (std semantics), which matches
+    /// how this workspace consumes the API (`.expect` at the call site).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| scope.spawn(move |_| x * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

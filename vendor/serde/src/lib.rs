@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of serde this workspace uses. Rather than the full
+//! `Serializer`-visitor architecture, [`Serialize`] writes JSON directly
+//! into a `String`; `serde_json::to_string` simply invokes it. That is
+//! observationally equivalent for every type the workspace serializes
+//! (numbers, strings, bools, options, sequences, maps, derived structs
+//! and externally-tagged enums).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Trait namespace mirroring real serde so `use serde::Serialize` picks up
+/// both the trait and the derive macro (Rust resolves them in separate
+/// namespaces, as with real serde).
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn json_write(&self, out: &mut String);
+}
+
+/// Marker trait implemented by `#[derive(Deserialize)]`. The workspace
+/// only ever deserializes `serde_json::Value`, which has its own parser,
+/// so no methods are needed here.
+pub trait Deserialize {}
+
+/// Escapes and appends a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` is the shortest round-trip representation.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // JSON has no NaN/Inf; serde_json emits null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn json_write(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_write(&self, out: &mut String) {
+        (**self).json_write(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_write(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.json_write(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        self.0.json_write(out);
+        out.push(',');
+        self.1.json_write(out);
+        out.push(',');
+        self.2.json_write(out);
+        out.push(']');
+    }
+}
+
+/// JSON object keys must be strings; mirror serde_json's behaviour of
+/// stringifying integer keys.
+pub trait JsonKey {
+    /// Appends this key as a JSON string.
+    fn write_key(&self, out: &mut String);
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn write_key(&self, out: &mut String) {
+                write_json_string(&self.to_string(), out);
+            }
+        }
+    )*};
+}
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl JsonKey for String {
+    fn write_key(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl JsonKey for &str {
+    fn write_key(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json_write(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.write_key(out);
+            out.push(':');
+            v.json_write(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    fn json_write(&self, out: &mut String) {
+        // Sort keys for deterministic output (real serde_json preserves
+        // HashMap iteration order, which is nondeterministic — sorted
+        // output is strictly friendlier for diffing reports).
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        out.push('{');
+        for (i, (k, v)) in entries.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.write_key(out);
+            out.push(':');
+            v.json_write(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        let mut out = String::new();
+        (1u64, -2i32).json_write(&mut out);
+        assert_eq!(out, "[1,-2]");
+
+        let mut out = String::new();
+        vec![Some(1.5f64), None].json_write(&mut out);
+        assert_eq!(out, "[1.5,null]");
+
+        let mut out = String::new();
+        "a\"b\n".json_write(&mut out);
+        assert_eq!(out, "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn maps_are_sorted_and_string_keyed() {
+        let mut m = HashMap::new();
+        m.insert(10u64, 1u64);
+        m.insert(2u64, 2u64);
+        let mut out = String::new();
+        m.json_write(&mut out);
+        assert_eq!(out, "{\"2\":2,\"10\":1}");
+    }
+}

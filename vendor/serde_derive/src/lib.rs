@@ -1,0 +1,516 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored minimal `serde` crate (whose `Serialize` trait writes
+//! JSON directly). The input item is parsed structurally from the
+//! `proc_macro::TokenTree` stream — no `syn`/`quote` dependency, which
+//! matters because this build environment cannot reach crates.io.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields → JSON objects in declaration order,
+//! * tuple structs → single-element newtype transparency, else arrays,
+//! * unit structs → `null`,
+//! * enums → externally tagged (`"Variant"`, `{"Variant": …}`), matching
+//!   serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: `name` for named fields, index for tuple fields.
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter list verbatim (without the angle brackets).
+    generics: String,
+    /// Generic argument list for the impl target (bounds stripped).
+    generic_args: String,
+    /// Type parameter idents (for added trait bounds).
+    type_params: Vec<String>,
+    /// `where` clause verbatim (without the `where` keyword), if any.
+    where_clause: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Derives the vendored `serde::Serialize` (JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::Struct(shape) => serialize_shape_body(shape, "self.", None),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    let bounds = item.serialize_bounds();
+    let code = format!(
+        "impl{} ::serde::Serialize for {}{} {} {{\n\
+             fn json_write(&self, out: &mut ::std::string::String) {{\n{}\n}}\n\
+         }}",
+        item.generics_decl(),
+        item.name,
+        item.generics_args(),
+        bounds,
+        body
+    );
+    code.parse().expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = format!(
+        "impl{} ::serde::Deserialize for {}{} {} {{}}",
+        item.generics_decl(),
+        item.name,
+        item.generics_args(),
+        item.plain_where()
+    );
+    code.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
+
+impl Item {
+    fn generics_decl(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics)
+        }
+    }
+
+    fn generics_args(&self) -> String {
+        if self.generic_args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_args)
+        }
+    }
+
+    /// `where` clause for the Serialize impl: the item's own clause plus
+    /// a `Serialize` bound on every type parameter.
+    fn serialize_bounds(&self) -> String {
+        let mut clauses: Vec<String> = Vec::new();
+        if !self.where_clause.is_empty() {
+            clauses.push(self.where_clause.clone());
+        }
+        for p in &self.type_params {
+            clauses.push(format!("{p}: ::serde::Serialize"));
+        }
+        if clauses.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", clauses.join(", "))
+        }
+    }
+
+    fn plain_where(&self) -> String {
+        if self.where_clause.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", self.where_clause)
+        }
+    }
+}
+
+/// Emits the statements serializing one shape. `access` prefixes field
+/// access (`self.` for structs, `` for bound match variables); for enum
+/// variants `tag` wraps the payload in `{"Variant": …}`.
+fn serialize_shape_body(shape: &Shape, access: &str, tag: Option<&str>) -> String {
+    let mut out = String::new();
+    if let Some(tag) = tag {
+        out.push_str(&format!(
+            "out.push_str(\"{{\\\"{tag}\\\":\");\n"
+        ));
+    }
+    match shape {
+        Shape::Unit => {
+            if let Some(tag) = tag {
+                // Unit enum variants: bare string tag (replace the wrapper).
+                return format!("out.push_str(\"\\\"{tag}\\\"\");");
+            }
+            out.push_str("out.push_str(\"null\");\n");
+        }
+        Shape::Tuple(1) => {
+            out.push_str(&format!(
+                "::serde::Serialize::json_write(&{access}0, out);\n"
+            ));
+        }
+        Shape::Tuple(n) => {
+            out.push_str("out.push('[');\n");
+            for i in 0..*n {
+                if i > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!(
+                    "::serde::Serialize::json_write(&{access}{i}, out);\n"
+                ));
+            }
+            out.push_str("out.push(']');\n");
+        }
+        Shape::Named(fields) => {
+            out.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!(
+                    "out.push_str(\"\\\"{}\\\":\");\n\
+                     ::serde::Serialize::json_write(&{access}{}, out);\n",
+                    f.name, f.name
+                ));
+            }
+            out.push_str("out.push('}');\n");
+        }
+    }
+    if tag.is_some() {
+        out.push_str("out.push('}');\n");
+    }
+    out
+}
+
+fn serialize_variant_arm(v: &Variant) -> String {
+    match &v.shape {
+        Shape::Unit => format!(
+            "Self::{} => {{ {} }}",
+            v.name,
+            serialize_shape_body(&Shape::Unit, "", Some(&v.name))
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            // Tuple payloads bind as __f0… and are accessed bare.
+            let mut body = serialize_shape_body(&v.shape, "__f_", Some(&v.name));
+            for (i, b) in binds.iter().enumerate() {
+                body = body.replace(&format!("&__f_{i}"), b);
+            }
+            format!("Self::{}({}) => {{ {} }}", v.name, binds.join(", "), body)
+        }
+        Shape::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let mut body = serialize_shape_body(&v.shape, "__bound_", Some(&v.name));
+            for f in fields {
+                body = body.replace(&format!("&__bound_{}", f.name), &f.name);
+            }
+            format!(
+                "Self::{} {{ {} }} => {{ {} }}",
+                v.name,
+                binds.join(", "),
+                body
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Structural parsing over proc_macro::TokenTree (no syn).
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind_word = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generics.
+    let mut generics_tokens: Vec<TokenTree> = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    generics_tokens.push(tokens[i].clone());
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        generics_tokens.push(tokens[i].clone());
+                    }
+                }
+                Some(t) => generics_tokens.push(t.clone()),
+                None => panic!("unterminated generics on {name}"),
+            }
+            i += 1;
+        }
+    }
+
+    // Optional where clause: everything up to the body group / semicolon.
+    let mut where_tokens: Vec<TokenTree> = Vec::new();
+    let mut body_group: Option<proc_macro::Group> = None;
+    let mut tuple_group: Option<proc_macro::Group> = None;
+    while let Some(t) = tokens.get(i) {
+        match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body_group = Some(g.clone());
+                break;
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Parenthesis && where_tokens.is_empty() =>
+            {
+                tuple_group = Some(g.clone());
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                i += 1;
+            }
+            other => {
+                where_tokens.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+
+    let (generics, generic_args, type_params) = split_generics(&generics_tokens);
+    let where_clause = tokens_to_string(&where_tokens);
+
+    let kind = match kind_word.as_str() {
+        "struct" => {
+            let shape = if let Some(g) = body_group {
+                Shape::Named(parse_named_fields(g.stream()))
+            } else if let Some(g) = tuple_group {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            } else {
+                Shape::Unit
+            };
+            ItemKind::Struct(shape)
+        }
+        "enum" => {
+            let g = body_group.expect("enum without a body");
+            ItemKind::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("derive targets must be struct or enum, found `{other}`"),
+    };
+
+    Item {
+        name,
+        generics,
+        generic_args,
+        type_params,
+        where_clause,
+        kind,
+    }
+}
+
+/// Splits generics tokens into (decl with bounds, args without bounds,
+/// type parameter names).
+fn split_generics(tokens: &[TokenTree]) -> (String, String, Vec<String>) {
+    if tokens.is_empty() {
+        return (String::new(), String::new(), Vec::new());
+    }
+    let decl = tokens_to_string(tokens);
+    let mut args: Vec<String> = Vec::new();
+    let mut type_params: Vec<String> = Vec::new();
+    let mut depth = 0usize;
+    let mut param_start = true;
+    let mut j = 0usize;
+    while j < tokens.len() {
+        match &tokens[j] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                param_start = true;
+                j += 1;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 0 && param_start => {
+                // Lifetime parameter: '<tick> <ident>'.
+                if let Some(TokenTree::Ident(id)) = tokens.get(j + 1) {
+                    args.push(format!("'{id}"));
+                }
+                param_start = false;
+                j += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if depth == 0 && param_start => {
+                let n = id.to_string();
+                if n == "const" {
+                    // const N: usize — the arg is the following ident.
+                    if let Some(TokenTree::Ident(cn)) = tokens.get(j + 1) {
+                        args.push(cn.to_string());
+                    }
+                    param_start = false;
+                    j += 2;
+                    continue;
+                }
+                args.push(n.clone());
+                type_params.push(n);
+                param_start = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (decl, args.join(", "), type_params)
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        let piece = t.to_string();
+        // No space after a lifetime tick (`' a` would not re-lex), nor
+        // before separators.
+        if !s.is_empty() && !s.ends_with('\'') && !matches!(piece.as_str(), "," | ">" | ";") {
+            s.push(' ');
+        }
+        s.push_str(&piece);
+    }
+    s.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes & visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                // Field name; must be followed by ':'.
+                if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    fields.push(Field {
+                        name: id.to_string(),
+                    });
+                    i += 2;
+                    // Skip the type up to the next top-level comma.
+                    let mut depth = 0usize;
+                    while i < tokens.len() {
+                        match &tokens[i] {
+                            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut depth = 0usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let shape = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an optional discriminant `= expr` and the comma.
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                        i += 1;
+                        break;
+                    }
+                    i += 1;
+                }
+                variants.push(Variant { name, shape });
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
