@@ -26,6 +26,7 @@
 //! [`DegradationPolicy::hardened`].
 
 use felim_cell::margin::MarginReport;
+use felim_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -310,6 +311,72 @@ pub struct ReliabilityStats {
 }
 
 impl ReliabilityStats {
+    /// Records injected write-path flips (mirrored to telemetry).
+    pub(crate) fn note_write_flips(&mut self, n: u64) {
+        self.injected_write_flips += n;
+        telemetry::counter("arch.reliability.injected_write_flips").add(n);
+    }
+
+    /// Records injected host-read-path flips (mirrored to telemetry).
+    pub(crate) fn note_read_flips(&mut self, n: u64) {
+        self.injected_read_flips += n;
+        telemetry::counter("arch.reliability.injected_read_flips").add(n);
+    }
+
+    /// Records injected sense-path flips (mirrored to telemetry).
+    pub(crate) fn note_sense_flips(&mut self, n: u64) {
+        self.injected_sense_flips += n;
+        telemetry::counter("arch.reliability.injected_sense_flips").add(n);
+    }
+
+    /// Records sense flips outvoted by triple sensing.
+    pub(crate) fn note_sense_corrected(&mut self, n: u64) {
+        self.sense_faults_corrected += n;
+        telemetry::counter("arch.reliability.sense_faults_corrected").add(n);
+    }
+
+    /// Records read flips outvoted by triple reading.
+    pub(crate) fn note_read_corrected(&mut self, n: u64) {
+        self.read_faults_corrected += n;
+        telemetry::counter("arch.reliability.read_faults_corrected").add(n);
+    }
+
+    /// Records one write retry after a failed verification.
+    pub(crate) fn note_write_retry(&mut self) {
+        self.write_retries += 1;
+        telemetry::counter("arch.reliability.write_retries").inc();
+    }
+
+    /// Records a write that verified clean after at least one retry.
+    pub(crate) fn note_corrected_write(&mut self) {
+        self.corrected_writes += 1;
+        telemetry::counter("arch.reliability.corrected_writes").inc();
+    }
+
+    /// Records a row remapped to a spare.
+    pub(crate) fn note_retired_row(&mut self) {
+        self.retired_rows += 1;
+        telemetry::counter("arch.reliability.retired_rows").inc();
+    }
+
+    /// Records a worn scratch row rotated to a spare.
+    pub(crate) fn note_scratch_rotation(&mut self) {
+        self.scratch_rotations += 1;
+        telemetry::counter("arch.reliability.scratch_rotations").inc();
+    }
+
+    /// Records a write attempted on a wear-dead row.
+    pub(crate) fn note_dead_row_write(&mut self) {
+        self.dead_row_writes += 1;
+        telemetry::counter("arch.reliability.dead_row_writes").inc();
+    }
+
+    /// Records a silent corruption that escaped every mitigation.
+    pub(crate) fn note_escaped_fault(&mut self) {
+        self.escaped_faults += 1;
+        telemetry::counter("arch.reliability.escaped_faults").inc();
+    }
+
     /// Total injected fault events (bit flips plus dead-row writes).
     pub fn injected(&self) -> u64 {
         self.injected_write_flips

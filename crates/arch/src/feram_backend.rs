@@ -303,7 +303,7 @@ impl FeramBackend {
         }
         if let Some(spare) = self.spares.pop() {
             self.remap.insert(logical.0, spare);
-            self.reliability.scratch_rotations += 1;
+            self.reliability.note_scratch_rotation();
         }
         // Pool empty: keep using the worn row — retirement-on-failure is
         // still behind it as the last line of defence.
@@ -326,12 +326,13 @@ impl FeramBackend {
         loop {
             let physical = self.resolve(logical);
             if self.is_dead(physical) {
-                self.reliability.dead_row_writes += 1;
+                self.reliability.note_dead_row_write();
                 // The cells no longer switch: stored data stays stale.
             } else {
                 let mut written = intended.to_vec();
                 if let Some(inj) = self.faults.as_mut() {
-                    self.reliability.injected_write_flips += inj.corrupt_write(&mut written);
+                    let flips = inj.corrupt_write(&mut written);
+                    self.reliability.note_write_flips(flips);
                 }
                 self.planes.write(self.plane_of(physical, 0), &written)?;
             }
@@ -344,12 +345,12 @@ impl FeramBackend {
             self.issue(Command::ReadRow(logical));
             if self.stored(physical)? == intended {
                 if attempts > 1 {
-                    self.reliability.corrected_writes += 1;
+                    self.reliability.note_corrected_write();
                 }
                 return Ok(());
             }
             if attempts <= self.policy.max_write_retries {
-                self.reliability.write_retries += 1;
+                self.reliability.note_write_retry();
                 self.issue(Command::WriteRow(logical));
                 continue;
             }
@@ -363,7 +364,7 @@ impl FeramBackend {
             match self.spares.pop() {
                 Some(spare) => {
                     self.remap.insert(logical.0, spare);
-                    self.reliability.retired_rows += 1;
+                    self.reliability.note_retired_row();
                     attempts = 0;
                     self.issue(Command::WriteRow(logical));
                 }
@@ -381,7 +382,7 @@ impl FeramBackend {
         }
         let physical = self.resolve(logical);
         if self.stored(physical)? != truth {
-            self.reliability.escaped_faults += 1;
+            self.reliability.note_escaped_fault();
         }
         Ok(())
     }
@@ -398,8 +399,8 @@ impl FeramBackend {
         }
         if self.policy.redundant_sense {
             let (voted, disagreements) = inj.vote3_sense(truth);
-            self.reliability.injected_sense_flips += disagreements;
-            self.reliability.sense_faults_corrected += disagreements;
+            self.reliability.note_sense_flips(disagreements);
+            self.reliability.note_sense_corrected(disagreements);
             // Two extra senses of the already-staged group.
             self.issue(Command::TripleBitActivate(group));
             self.issue(Command::Precharge);
@@ -408,7 +409,8 @@ impl FeramBackend {
             voted
         } else {
             let mut sensed = truth.to_vec();
-            self.reliability.injected_sense_flips += inj.corrupt_sense(&mut sensed);
+            let flips = inj.corrupt_sense(&mut sensed);
+            self.reliability.note_sense_flips(flips);
             sensed
         }
     }
@@ -528,22 +530,23 @@ impl BulkBackend for FeramBackend {
         if self.policy.redundant_reads {
             // Two extra reads, majority vote across the three senses.
             let (voted, disagreements) = inj.vote3_read(&stored);
-            self.reliability.injected_read_flips += disagreements;
-            self.reliability.read_faults_corrected += disagreements;
+            self.reliability.note_read_flips(disagreements);
+            self.reliability.note_read_corrected(disagreements);
             self.issue(Command::ReadRow(row));
             self.note_read(row);
             self.issue(Command::ReadRow(row));
             self.note_read(row);
             if voted != stored {
                 // A double fault slipped through the vote.
-                self.reliability.escaped_faults += 1;
+                self.reliability.note_escaped_fault();
             }
             Ok(voted)
         } else {
             let mut out = stored.clone();
-            self.reliability.injected_read_flips += inj.corrupt_read(&mut out);
+            let flips = inj.corrupt_read(&mut out);
+            self.reliability.note_read_flips(flips);
             if out != stored {
-                self.reliability.escaped_faults += 1;
+                self.reliability.note_escaped_fault();
             }
             Ok(out)
         }

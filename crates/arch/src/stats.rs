@@ -31,6 +31,31 @@ impl CommandClass {
         CommandClass::Refresh,
     ];
 
+    /// Static lower-case name, usable as a telemetry metric suffix
+    /// without allocating.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CommandClass::Activate => "activate",
+            CommandClass::Copy => "copy",
+            CommandClass::Precharge => "precharge",
+            CommandClass::Write => "write",
+            CommandClass::Read => "read",
+            CommandClass::Refresh => "refresh",
+        }
+    }
+
+    /// Telemetry counter name for occurrences of this class.
+    const fn telemetry_count_name(self) -> &'static str {
+        match self {
+            CommandClass::Activate => "arch.commands.activate",
+            CommandClass::Copy => "arch.commands.copy",
+            CommandClass::Precharge => "arch.commands.precharge",
+            CommandClass::Write => "arch.commands.write",
+            CommandClass::Read => "arch.commands.read",
+            CommandClass::Refresh => "arch.commands.refresh",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             CommandClass::Activate => 0,
@@ -45,15 +70,7 @@ impl CommandClass {
 
 impl fmt::Display for CommandClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CommandClass::Activate => "activate",
-            CommandClass::Copy => "copy",
-            CommandClass::Precharge => "precharge",
-            CommandClass::Write => "write",
-            CommandClass::Read => "read",
-            CommandClass::Refresh => "refresh",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", self.name())
     }
 }
 
@@ -72,11 +89,25 @@ impl ExecStats {
     }
 
     /// Records one command occurrence.
+    ///
+    /// This is the single choke point through which every simulated
+    /// command (both backends, including refresh) is accounted, so it is
+    /// also where telemetry hooks in: a per-class occurrence counter plus
+    /// global cycle and energy (pJ) counters, all no-ops without the
+    /// `telemetry` feature.
     pub fn record(&mut self, class: CommandClass, cycles: u64, energy_nj: f64) {
+        felim_telemetry::counter(class.telemetry_count_name()).inc();
+        felim_telemetry::counter("arch.cycles").add(cycles);
+        felim_telemetry::counter("arch.energy_pj").add((energy_nj * 1e3).round() as u64);
         let i = class.index();
         self.counts[i] += 1;
         self.cycles[i] += cycles;
         self.energy_nj[i] += energy_nj;
+    }
+
+    /// Total command count across all classes.
+    pub fn total_commands(&self) -> u64 {
+        self.counts.iter().sum()
     }
 
     /// Total cycles across all classes.

@@ -56,6 +56,8 @@ pub fn monte_carlo_margin(
     seed: u64,
 ) -> MarginReport {
     assert!(samples > 0, "need at least one sample");
+    let _span = felim_telemetry::span("cell.monte_carlo_margin");
+    felim_telemetry::counter("montecarlo.cell.samples").add(samples as u64);
     let nominal = Cell2TnC::new(params);
     let global_tba_ref = nominal.tba_reference();
     let global_not_ref = nominal.not_reference();

@@ -48,6 +48,7 @@ impl From<&Comparison> for Fig6Row {
 /// the rows in Fig 6 order plus the geometric-mean ratios
 /// `(energy, cycles)`.
 pub fn run_fig6(sim_rows: u64, workload_bytes: u64, seed: u64) -> (Vec<Fig6Row>, f64, f64) {
+    let _span = felim_telemetry::span("fig6");
     let n = all_workloads().len();
     let mut rows: Vec<Option<Fig6Row>> = vec![None; n];
     crossbeam::thread::scope(|scope| {
@@ -102,6 +103,7 @@ pub struct Fig7Result {
 /// idle power uniformly. The ferroelectric stability check closes the
 /// loop back to the device model.
 pub fn run_fig7(workload: &dyn Workload, grid: usize) -> Fig7Result {
+    let _span = felim_telemetry::span("fig7");
     // Memory activity power from the FeRAM run of the workload.
     let result = felim_workloads::driver::run_workload(
         workload,

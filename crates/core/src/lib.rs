@@ -62,6 +62,9 @@ pub use felim_cell as cell;
 pub use felim_ferro as ferro;
 /// Circuit-simulation substrate (re-export of `felim-spice`).
 pub use felim_spice as spice;
+/// Observability layer (re-export of `felim-telemetry`). All metrics
+/// compile to no-ops unless the workspace `telemetry` feature is on.
+pub use felim_telemetry as telemetry;
 /// Thermal solver (re-export of `felim-thermal`).
 pub use felim_thermal as thermal;
 /// Workload suite (re-export of `felim-workloads`).

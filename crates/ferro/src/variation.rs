@@ -84,6 +84,7 @@ impl DeviceSampler {
     /// disorder seed so Monte-Carlo instances differ microscopically as
     /// well as parametrically.
     pub fn sample(&mut self) -> MfmParams {
+        felim_telemetry::counter("montecarlo.ferro.samples").inc();
         let mut p = self.nominal.clone();
         p.vc_mean_v *= self.lognormal(self.spec.vc_sigma);
         p.ps_c_m2 *= self.lognormal(self.spec.ps_sigma);

@@ -4,6 +4,7 @@ use crate::mna::{MnaSystem, StampMode};
 use crate::netlist::Circuit;
 use crate::probe::{DcPoint, Trace};
 use crate::SpiceError;
+use felim_telemetry as telemetry;
 
 /// Newton–Raphson controls shared by both analyses.
 const MAX_NR_ITERATIONS: usize = 200;
@@ -30,6 +31,19 @@ pub struct SolverDiagnostics {
     pub worst_residual: f64,
     /// Smallest timestep attempted (s); 0 for a DC-only failure.
     pub min_dt_s: f64,
+}
+
+/// Publishes accumulated solver effort to the metrics registry. Compiles
+/// to nothing without the `telemetry` feature.
+fn record_solver_telemetry(diag: &SolverDiagnostics) {
+    telemetry::counter("spice.newton_iterations").add(diag.newton_iterations);
+    telemetry::counter("spice.accepted_steps").add(diag.accepted_steps);
+    telemetry::counter("spice.rejected_steps").add(diag.rejected_steps);
+    telemetry::counter("spice.solver_runs").inc();
+    if diag.worst_residual > 0.0 {
+        telemetry::gauge("spice.worst_residual").set(diag.worst_residual);
+    }
+    telemetry::histogram("spice.newton_iterations_per_run").record(diag.newton_iterations);
 }
 
 /// Transient analysis configuration.
@@ -92,8 +106,11 @@ impl Circuit {
     /// stepping fallback) fails; [`SpiceError::SingularMatrix`] for a
     /// structurally defective netlist.
     pub fn dc_operating_point(&self) -> Result<DcPoint, SpiceError> {
+        let _span = telemetry::span("spice.dc_operating_point");
         let mut diag = SolverDiagnostics::default();
-        let x = self.solve_dc_internal(false, &mut diag)?;
+        let result = self.solve_dc_internal(false, &mut diag);
+        record_solver_telemetry(&diag);
+        let x = result?;
         Ok(self.make_dc_point(&x))
     }
 
@@ -112,11 +129,22 @@ impl Circuit {
     /// [`SpiceError::NoConvergence`] / [`SpiceError::SingularMatrix`] as
     /// for [`Circuit::dc_operating_point`].
     pub fn transient(&mut self, spec: &TransientSpec) -> Result<Trace, SpiceError> {
+        let _span = telemetry::span("spice.transient");
         let mut diag = SolverDiagnostics {
             min_dt_s: spec.dt_s,
             ..SolverDiagnostics::default()
         };
-        let mut x = self.solve_dc_internal(true, &mut diag)?;
+        let result = self.transient_inner(spec, &mut diag);
+        record_solver_telemetry(&diag);
+        result
+    }
+
+    fn transient_inner(
+        &mut self,
+        spec: &TransientSpec,
+        diag: &mut SolverDiagnostics,
+    ) -> Result<Trace, SpiceError> {
+        let mut x = self.solve_dc_internal(true, diag)?;
         for (_, e) in &mut self.elements {
             e.init_history(&x);
         }
@@ -152,7 +180,7 @@ impl Circuit {
                 dt,
                 trapezoidal: spec.trapezoidal,
             };
-            match self.newton_solve(&x, mode, t_next, &mut diag) {
+            match self.newton_solve(&x, mode, t_next, diag) {
                 Ok(x_new) => {
                     for (_, e) in &mut self.elements {
                         e.commit(&x_new, dt, spec.trapezoidal);
@@ -177,7 +205,7 @@ impl Circuit {
                     return Err(SpiceError::NoConvergence {
                         analysis,
                         time_s,
-                        diagnostics: diag,
+                        diagnostics: *diag,
                     });
                 }
                 Err(e) => return Err(e),

@@ -140,6 +140,7 @@ impl MnaSystem {
     /// Solves the assembled system, returning the unknown vector, or
     /// `None` if singular. Consumes the assembled matrix contents.
     pub fn solve(&mut self) -> Option<Vec<f64>> {
+        felim_telemetry::counter("spice.lu_factorizations").inc();
         let mut x = self.rhs.clone();
         self.matrix.solve_in_place(&mut x)?;
         Some(x)

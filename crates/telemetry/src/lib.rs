@@ -1,0 +1,80 @@
+//! Zero-dependency, feature-gated observability for the felim workspace.
+//!
+//! The crate provides three instrument kinds plus RAII timing spans:
+//!
+//! - [`counter`] — monotonically increasing event counts (Newton
+//!   iterations, issued commands, injected faults, …)
+//! - [`gauge`] — last-value-wins measurements (final residual norm,
+//!   measured ops/s, …)
+//! - [`histogram`] — log2-bucketed `u64` distributions (span durations
+//!   in nanoseconds, per-call iteration counts, …)
+//! - [`span`] — an RAII scope that records its wall-clock duration into
+//!   a histogram named after the (per-thread, hierarchical) label path
+//!
+//! [`snapshot`] copies the whole registry into a plain-data
+//! [`Report`] that serialises to deterministic JSON or CSV.
+//!
+//! # Feature gating
+//!
+//! Everything is gated behind the `telemetry` cargo feature. With the
+//! feature **off** (the default) every function is an `#[inline(always)]`
+//! no-op returning a zero-sized handle: no registry, no atomics, no
+//! clock reads. This guarantees default builds — including the Fig 6
+//! goldens and the cost-model regression tests — are bit-identical to an
+//! uninstrumented tree. Use [`enabled`] to guard call sites that would
+//! otherwise pay for argument construction (e.g. `format!`ed names):
+//!
+//! ```
+//! use felim_telemetry as telemetry;
+//!
+//! telemetry::counter("demo.events").add(3);
+//! if telemetry::enabled() {
+//!     telemetry::counter(&format!("demo.kernel.{}", "CRC8")).inc();
+//! }
+//! let report = telemetry::snapshot();
+//! if telemetry::enabled() {
+//!     assert_eq!(report.counter("demo.events"), Some(3));
+//! } else {
+//!     assert!(report.is_empty());
+//! }
+//! ```
+//!
+//! # Spans
+//!
+//! ```
+//! use felim_telemetry as telemetry;
+//!
+//! {
+//!     let _outer = telemetry::span("phase");
+//!     let _inner = telemetry::span("step"); // records as "span.phase.step.ns"
+//! }
+//! let json = telemetry::snapshot().to_json();
+//! assert!(json.starts_with('{'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{HistogramSnapshot, Report};
+
+#[cfg(feature = "telemetry")]
+mod metrics;
+#[cfg(feature = "telemetry")]
+pub use metrics::{counter, gauge, histogram, reset, snapshot, span, Counter, Gauge, Histogram, Span};
+
+#[cfg(not(feature = "telemetry"))]
+mod noop;
+#[cfg(not(feature = "telemetry"))]
+pub use noop::{counter, gauge, histogram, reset, snapshot, span, Counter, Gauge, Histogram, Span};
+
+/// True when the crate was built with the `telemetry` feature, i.e. the
+/// instruments are live. Use this to guard call sites whose *arguments*
+/// are expensive to build (dynamic metric names, derived values); plain
+/// static-name calls need no guard because the no-op build inlines them
+/// away.
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}

@@ -1,0 +1,278 @@
+//! Live implementation of the metrics registry and span timers, compiled
+//! only with the `telemetry` feature. All instruments are lock-free after
+//! registration (plain relaxed atomics); registration itself takes a
+//! global mutex once per unique metric name and leaks the instrument so
+//! callers get a `&'static` handle they can cache.
+
+use crate::report::{
+    bucket_index, bucket_lower_bound, HistogramSnapshot, Report, HISTOGRAM_BUCKETS,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-log2-bucket histogram of `u64` samples (65 buckets: bucket 0
+/// holds the value 0, bucket `i` holds `[2^(i-1), 2^i)`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty; `count` disambiguates a real MAX sample.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((bucket_lower_bound(i), n));
+            }
+        }
+        let count = self.count();
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Slot {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Slot>>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Slot>> {
+    REGISTRY
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry();
+    match reg.get(name) {
+        Some(Slot::Counter(c)) => c,
+        Some(_) => panic!("metric {name:?} already registered with a different kind"),
+        None => {
+            let c: &'static Counter = Box::leak(Box::default());
+            reg.insert(name.to_owned(), Slot::Counter(c));
+            c
+        }
+    }
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry();
+    match reg.get(name) {
+        Some(Slot::Gauge(g)) => g,
+        Some(_) => panic!("metric {name:?} already registered with a different kind"),
+        None => {
+            let g: &'static Gauge = Box::leak(Box::default());
+            reg.insert(name.to_owned(), Slot::Gauge(g));
+            g
+        }
+    }
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry();
+    match reg.get(name) {
+        Some(Slot::Histogram(h)) => h,
+        Some(_) => panic!("metric {name:?} already registered with a different kind"),
+        None => {
+            let h: &'static Histogram = Box::leak(Box::default());
+            reg.insert(name.to_owned(), Slot::Histogram(h));
+            h
+        }
+    }
+}
+
+thread_local! {
+    static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII timer scope. Created by [`span`]; records its wall-clock duration
+/// (in nanoseconds) into a histogram named after the full label path when
+/// dropped.
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Ends the span explicitly (consumes it, recording the elapsed
+    /// time), for closing a span before the end of scope. Mirrors the
+    /// no-op build, where `drop()` would be rejected on a `Copy` type.
+    #[inline]
+    pub fn end(self) {}
+}
+
+/// Opens a timing span. Spans nest per thread: a span opened while
+/// another is live records under the concatenated label path, so
+/// `span("fig6")` containing `span("CRC8")` produces the histogram
+/// `span.fig6.CRC8.ns`.
+pub fn span(label: &'static str) -> Span {
+    SPAN_STACK.with(|s| s.borrow_mut().push(label));
+    Span {
+        start: Instant::now(),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join(".");
+            stack.pop();
+            path
+        });
+        histogram(&format!("span.{path}.ns")).record(elapsed_ns);
+    }
+}
+
+/// Copies the whole registry into a plain-data [`Report`].
+pub fn snapshot() -> Report {
+    let reg = registry();
+    let mut report = Report::default();
+    for (name, slot) in reg.iter() {
+        match slot {
+            Slot::Counter(c) => report.counters.push((name.clone(), c.get())),
+            Slot::Gauge(g) => report.gauges.push((name.clone(), g.get())),
+            Slot::Histogram(h) => report.histograms.push(h.snapshot(name)),
+        }
+    }
+    report
+}
+
+/// Zeroes every registered metric (instruments stay registered, handles
+/// stay valid). Call at the start of a measurement window.
+pub fn reset() {
+    let reg = registry();
+    for slot in reg.values() {
+        match slot {
+            Slot::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Slot::Gauge(g) => g.0.store(0f64.to_bits(), Ordering::Relaxed),
+            Slot::Histogram(h) => h.reset(),
+        }
+    }
+}

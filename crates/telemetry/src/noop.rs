@@ -1,0 +1,114 @@
+//! No-op implementation compiled when the `telemetry` feature is off.
+//!
+//! Every type is a zero-sized struct with `#[inline(always)]` empty
+//! methods, so call sites like `telemetry::counter("x").add(n)` compile
+//! to nothing: there is no registry, no atomics, no clock reads, and
+//! [`crate::snapshot`] returns an empty [`Report`]. This is what keeps
+//! the Fig 6 goldens and the cost model bit-identical in default builds.
+
+use crate::report::Report;
+
+/// No-op counter (zero-sized; feature `telemetry` is off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge (zero-sized; feature `telemetry` is off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _value: f64) {}
+
+    /// Always 0.0.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram (zero-sized; feature `telemetry` is off).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&self, _value: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op span (zero-sized, no `Drop` impl; feature `telemetry` is off).
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span;
+
+impl Span {
+    /// Ends the span explicitly (does nothing). Exists so call sites can
+    /// close a span before the end of scope without `drop()`, which
+    /// clippy rejects on this `Copy` zero-sized stand-in.
+    #[inline(always)]
+    pub fn end(self) {}
+}
+
+/// Returns a no-op counter.
+#[inline(always)]
+pub fn counter(_name: &str) -> Counter {
+    Counter
+}
+
+/// Returns a no-op gauge.
+#[inline(always)]
+pub fn gauge(_name: &str) -> Gauge {
+    Gauge
+}
+
+/// Returns a no-op histogram.
+#[inline(always)]
+pub fn histogram(_name: &str) -> Histogram {
+    Histogram
+}
+
+/// Returns a no-op span.
+#[inline(always)]
+pub fn span(_label: &'static str) -> Span {
+    Span
+}
+
+/// Always returns an empty [`Report`].
+#[inline(always)]
+pub fn snapshot() -> Report {
+    Report::default()
+}
+
+/// Does nothing.
+#[inline(always)]
+pub fn reset() {}

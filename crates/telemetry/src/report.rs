@@ -1,0 +1,259 @@
+//! Machine-readable snapshots of the metrics registry.
+//!
+//! A [`Report`] is a plain-data copy of every counter, gauge and
+//! histogram at the moment [`crate::snapshot`] was called. It is always
+//! compiled (even in the no-op build, where it is simply empty) so code
+//! that consumes reports does not need to be feature-gated. Serialisation
+//! is hand-rolled — this crate is a zero-dependency leaf — and emits
+//! deterministic output: entries are sorted by metric name and floats are
+//! formatted with Rust's shortest round-trip representation.
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (log2 bucketing).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (`0` for bucket 0, else `2^(i-1)`).
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 if empty).
+    pub min: u64,
+    /// Largest recorded value (0 if empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the whole metrics registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Counters as `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value)`, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Report {
+    /// True when no metric of any kind is present — always the case in
+    /// the no-op (feature-off) build.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Snapshot of a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialises the report as deterministic, pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(": ");
+            push_json_f64(&mut out, *value);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, &h.name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{lo}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Serialises the report as CSV with a `kind,name,field,value` header.
+    /// Histograms emit one row per summary field plus one per non-empty
+    /// bucket (`bucket_<lower bound>`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter,{name},value,{value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge,{name},value,{value}\n"));
+        }
+        for h in &self.histograms {
+            let name = &h.name;
+            out.push_str(&format!("histogram,{name},count,{}\n", h.count));
+            out.push_str(&format!("histogram,{name},sum,{}\n", h.sum));
+            out.push_str(&format!("histogram,{name},min,{}\n", h.min));
+            out.push_str(&format!("histogram,{name},max,{}\n", h.max));
+            for (lo, n) in &h.buckets {
+                out.push_str(&format!("histogram,{name},bucket_{lo},{n}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the JSON serialisation to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped; metric names are expected to be plain ASCII).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as JSON (non-finite values become `null`, which JSON
+/// cannot represent as a number).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_report_serialises() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert_eq!(
+            r.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(r.to_csv(), "kind,name,field,value\n");
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let r = Report {
+            gauges: vec![("bad".into(), f64::NAN)],
+            ..Report::default()
+        };
+        assert!(r.to_json().contains("null"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the live telemetry implementation. This target
+//! has `required-features = ["telemetry"]`, so it is skipped entirely in
+//! default (no-op) builds.
+//!
+//! The registry is process-global, so every test uses its own metric
+//! name prefix instead of relying on `reset()` ordering.
+
+use felim_telemetry as telemetry;
+use std::thread;
+
+#[test]
+fn counters_accumulate_across_threads() {
+    let c = telemetry::counter("test.counter.threads");
+    thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 4000);
+    assert_eq!(
+        telemetry::snapshot().counter("test.counter.threads"),
+        Some(4000)
+    );
+}
+
+#[test]
+fn gauge_is_last_value_wins() {
+    let g = telemetry::gauge("test.gauge.residual");
+    g.set(1.5);
+    g.set(-2.25);
+    assert_eq!(g.get(), -2.25);
+    assert_eq!(telemetry::snapshot().gauge("test.gauge.residual"), Some(-2.25));
+}
+
+#[test]
+fn histogram_buckets_edge_cases() {
+    let h = telemetry::histogram("test.hist.edges");
+    // Bucket boundaries: 0 | 1 | 2..3 | 4..7 | ... | 2^63..u64::MAX.
+    for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+        h.record(v);
+    }
+    let snap = telemetry::snapshot();
+    let hs = snap.histogram("test.hist.edges").expect("registered");
+    assert_eq!(hs.count, 10);
+    assert_eq!(hs.min, 0);
+    assert_eq!(hs.max, u64::MAX);
+    let bucket = |lo: u64| {
+        hs.buckets
+            .iter()
+            .find(|(b, _)| *b == lo)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert_eq!(bucket(0), 1); // 0
+    assert_eq!(bucket(1), 1); // 1
+    assert_eq!(bucket(2), 2); // 2, 3
+    assert_eq!(bucket(4), 2); // 4, 7
+    assert_eq!(bucket(8), 1); // 8
+    assert_eq!(bucket(512), 1); // 1023
+    assert_eq!(bucket(1024), 1); // 1024
+    assert_eq!(bucket(1u64 << 63), 1); // u64::MAX
+    // The sum accumulator wraps on overflow (fetch_add semantics).
+    let expected_sum: u64 = [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024]
+        .iter()
+        .sum::<u64>()
+        .wrapping_add(u64::MAX);
+    assert_eq!(hs.sum, expected_sum);
+}
+
+#[test]
+fn histogram_min_tracks_zero_samples() {
+    let h = telemetry::histogram("test.hist.minzero");
+    h.record(5);
+    h.record(0);
+    h.record(9);
+    let snap = telemetry::snapshot();
+    let hs = snap.histogram("test.hist.minzero").expect("registered");
+    assert_eq!(hs.min, 0);
+    assert_eq!(hs.max, 9);
+    assert_eq!(hs.count, 3);
+}
+
+#[test]
+fn spans_nest_hierarchically() {
+    {
+        let _outer = telemetry::span("test_outer");
+        {
+            let _inner = telemetry::span("test_inner");
+        }
+        {
+            let _inner = telemetry::span("test_inner");
+        }
+    }
+    let snap = telemetry::snapshot();
+    let inner = snap
+        .histogram("span.test_outer.test_inner.ns")
+        .expect("nested span path");
+    assert_eq!(inner.count, 2);
+    let outer = snap.histogram("span.test_outer.ns").expect("outer span path");
+    assert_eq!(outer.count, 1);
+    // Outer covers both inners, so its total time is at least as large.
+    assert!(outer.sum >= inner.sum);
+}
+
+#[test]
+fn spans_are_per_thread() {
+    let _outer = telemetry::span("test_main_thread");
+    thread::spawn(|| {
+        let _inner = telemetry::span("test_worker");
+    })
+    .join()
+    .unwrap();
+    drop(_outer);
+    let snap = telemetry::snapshot();
+    // The worker's span must NOT be nested under the main thread's span.
+    assert!(snap.histogram("span.test_worker.ns").is_some());
+    assert!(snap.histogram("span.test_main_thread.test_worker.ns").is_none());
+}
+
+#[test]
+fn report_serialisation_golden() {
+    telemetry::counter("test.golden.commands").add(42);
+    telemetry::gauge("test.golden.ratio").set(2.5);
+    let h = telemetry::histogram("test.golden.hist");
+    h.record(1);
+    h.record(6);
+    let snap = telemetry::snapshot();
+
+    let json = snap.to_json();
+    assert!(json.contains("\"test.golden.commands\": 42"));
+    assert!(json.contains("\"test.golden.ratio\": 2.5"));
+    assert!(json.contains(
+        "\"test.golden.hist\": {\"count\": 2, \"sum\": 7, \"min\": 1, \"max\": 6, \"buckets\": [[1, 1], [4, 1]]}"
+    ));
+
+    let csv = snap.to_csv();
+    assert!(csv.starts_with("kind,name,field,value\n"));
+    assert!(csv.contains("counter,test.golden.commands,value,42\n"));
+    assert!(csv.contains("gauge,test.golden.ratio,value,2.5\n"));
+    assert!(csv.contains("histogram,test.golden.hist,count,2\n"));
+    assert!(csv.contains("histogram,test.golden.hist,bucket_4,1\n"));
+
+    // Determinism: snapshots of the same state serialise identically.
+    assert_eq!(json, telemetry::snapshot().to_json());
+}
+
+#[test]
+fn snapshot_is_sorted_by_name() {
+    telemetry::counter("test.sorted.b").inc();
+    telemetry::counter("test.sorted.a").inc();
+    let snap = telemetry::snapshot();
+    let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}
+
+#[test]
+fn enabled_reports_feature_state() {
+    assert!(telemetry::enabled());
+}

@@ -9,6 +9,7 @@ use felim_arch::{
     BulkBackend, DegradationPolicy, DramBackend, ExecStats, FaultSpec, FeramBackend,
     MemoryGeometry, ReliabilityStats,
 };
+use felim_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Memory technology under evaluation.
@@ -78,6 +79,22 @@ pub struct WorkloadResult {
 ///
 /// Propagates backend faults and verification mismatches from the
 /// workload kernel.
+///
+/// # Examples
+///
+/// Run the XOR-cipher kernel on the FeRAM backend at a small simulated
+/// scale, extrapolated to 1 MiB:
+///
+/// ```
+/// use felim_workloads::driver::{run_workload, Tech};
+/// use felim_workloads::xor_cipher::XorCipher;
+///
+/// let r = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 7)?;
+/// assert_eq!(r.tech, Tech::Feram);
+/// assert!(r.verified);
+/// assert!(r.scaled.total_cycles() > r.sim_stats.total_cycles());
+/// # Ok::<(), felim_workloads::WorkloadError>(())
+/// ```
 pub fn run_workload(
     workload: &dyn Workload,
     tech: Tech,
@@ -88,8 +105,17 @@ pub fn run_workload(
     assert!(sim_rows > 0, "need at least one simulated row");
     let geometry = MemoryGeometry::paper_8gb();
     let mut backend = make_backend(tech, geometry);
-    let consumed = workload.execute(backend.as_mut(), sim_rows, seed)?;
+    let consumed = {
+        let _span = telemetry::span(workload.name());
+        workload.execute(backend.as_mut(), sim_rows, seed)?
+    };
     let sim_stats = backend.stats().clone();
+    telemetry::counter("workloads.runs").inc();
+    telemetry::counter("workloads.rows_simulated").add(consumed);
+    if telemetry::enabled() {
+        telemetry::counter(&format!("workloads.commands.{}", workload.name()))
+            .add(sim_stats.total_commands());
+    }
 
     let logical_rows = geometry.rows_for_bytes(logical_bytes);
     let factor = logical_rows as f64 / consumed as f64;
@@ -217,12 +243,27 @@ pub struct CampaignOutcome {
 /// per-workload injector seed derived deterministically from
 /// `spec.seed`, so the whole campaign is reproducible bit for bit from
 /// `(sim_rows, seed, spec, policy)`.
+///
+/// # Examples
+///
+/// The hardened degradation policy must leave no injected fault silent:
+///
+/// ```
+/// use felim_arch::{DegradationPolicy, FaultSpec};
+/// use felim_workloads::driver::run_fault_campaign;
+///
+/// let spec = FaultSpec::from_failure_rate(2e-4, 1);
+/// let outcomes = run_fault_campaign(16, 1, &spec, &DegradationPolicy::hardened());
+/// assert_eq!(outcomes.len(), 8); // one per paper workload
+/// assert!(outcomes.iter().all(|o| o.silent_corruptions == 0));
+/// ```
 pub fn run_fault_campaign(
     sim_rows: u64,
     seed: u64,
     spec: &FaultSpec,
     policy: &DegradationPolicy,
 ) -> Vec<CampaignOutcome> {
+    let _span = telemetry::span("fault_campaign");
     crate::all_workloads()
         .iter()
         .enumerate()
@@ -235,13 +276,22 @@ pub fn run_fault_campaign(
             let mut backend = FeramBackend::new(MemoryGeometry::tiny())
                 .with_faults(kernel_spec)
                 .with_policy(policy.clone());
-            let result = workload.execute(&mut backend, sim_rows, seed);
+            let result = {
+                let _span = telemetry::span(workload.name());
+                workload.execute(&mut backend, sim_rows, seed)
+            };
             let reliability = backend.reliability_stats().clone();
             let escaped = reliability.escaped_faults;
             let (completed, error) = match result {
                 Ok(_) => (true, None),
                 Err(e) => (false, Some(e.to_string())),
             };
+            telemetry::counter("campaign.kernels").inc();
+            telemetry::counter("campaign.injected_faults").add(reliability.injected());
+            telemetry::counter("campaign.corrected_faults").add(reliability.corrected());
+            if !completed {
+                telemetry::counter("campaign.failed_kernels").inc();
+            }
             CampaignOutcome {
                 workload: workload.name().to_owned(),
                 completed,

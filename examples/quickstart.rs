@@ -5,12 +5,18 @@
 //! MINORITY — NAND with control bit 0, NOR with control bit 1.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Built with `--features felim/telemetry` it also dumps a JSON report
+//! of everything the instrumented stack recorded (spans, counters,
+//! histograms) — see the telemetry quickstart in README.md.
 
 use felim::cell::cell2tnc::{pattern_bits, Cell2TnC, Cell2TnCParams};
 use felim::cell::ops::{logic_in_cell, not_in_cell, LogicOp};
 use felim::cell::Bit;
+use felim::telemetry;
 
 fn main() {
+    let _span = telemetry::span("quickstart");
     let params = Cell2TnCParams::default();
     let mut cell = Cell2TnC::new(&params);
 
@@ -53,4 +59,21 @@ fn main() {
     println!();
     println!("High current <=> minority of ones: one reference comparison");
     println!("between the '001' and '011' levels implements universal logic.");
+
+    // With the telemetry feature on, a quick Monte-Carlo margin study
+    // populates the registry and the whole report dumps as JSON. In the
+    // default (no-op) build the snapshot is empty and nothing prints.
+    _span.end();
+    if telemetry::enabled() {
+        let _ = felim::cell::monte_carlo_margin(
+            &params,
+            felim::ferro::VariationSpec::typical(),
+            0.04,
+            200,
+            42,
+        );
+        println!();
+        println!("== telemetry report (--features felim/telemetry) ==");
+        println!("{}", telemetry::snapshot().to_json());
+    }
 }

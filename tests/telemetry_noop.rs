@@ -1,0 +1,50 @@
+//! The telemetry layer's zero-overhead contract: in a default build
+//! (feature `telemetry` off) the instrumented hot paths must produce the
+//! exact same Fig 6 golden numbers as an uninstrumented tree, and the
+//! registry must stay completely empty.
+//!
+//! This test runs in the default tier-1 suite. When the whole workspace
+//! is built with `--features felim/telemetry` the bit-identity half
+//! still holds (telemetry only observes, never perturbs), and the
+//! emptiness half flips to asserting the counters actually populated.
+
+use felim::telemetry;
+use felim::workloads::driver::{run_workload, Tech};
+use felim::workloads::xor_cipher::XorCipher;
+
+#[test]
+fn instrumented_paths_keep_fig6_golden_bit_identical() {
+    let r_feram = run_workload(&XorCipher, Tech::Feram, 64, 1 << 30, 42).unwrap();
+    let r_dram = run_workload(&XorCipher, Tech::Dram, 64, 1 << 30, 42).unwrap();
+
+    // The XOR Cipher row of the Fig 6 golden table (tests/cost_regression.rs).
+    assert_eq!(r_feram.scaled.total_cycles(), 3_276_800);
+    assert_eq!(r_dram.scaled.total_cycles(), 7_077_888);
+    assert!((r_feram.energy_mj - 43.66).abs() < 0.01, "{}", r_feram.energy_mj);
+    assert!((r_dram.energy_mj - 128.51).abs() < 0.01, "{}", r_dram.energy_mj);
+}
+
+#[test]
+fn noop_build_keeps_the_registry_empty() {
+    let _span = telemetry::span("noop_test");
+    telemetry::counter("noop.counter").add(5);
+    telemetry::gauge("noop.gauge").set(1.0);
+    telemetry::histogram("noop.hist").record(7);
+    _span.end();
+    let _ = run_workload(&XorCipher, Tech::Feram, 16, 1 << 20, 1).unwrap();
+
+    let report = telemetry::snapshot();
+    if telemetry::enabled() {
+        // Feature-on run of the same test target: the instruments must
+        // be live instead.
+        assert_eq!(report.counter("noop.counter"), Some(5));
+        assert!(report.counter("workloads.runs").unwrap_or(0) >= 1);
+    } else {
+        assert!(report.is_empty(), "no-op build must record nothing");
+        assert_eq!(report.counter("noop.counter"), None);
+        assert_eq!(
+            report.to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+    }
+}
