@@ -120,8 +120,7 @@ impl DramBackend {
         self.issue(Command::Activate(src));
         self.issue(Command::RowClone { dst });
         self.issue(Command::Precharge);
-        let data = self.store.read(src)?;
-        self.store.write(dst, &data)
+        self.store.copy_row(src, dst)
     }
 
     /// AAP with TRA: MAJORITY of (T0,T1,T2) cloned into `dst`; all three
@@ -132,9 +131,8 @@ impl DramBackend {
         self.issue(Command::RowClone { dst });
         self.issue(Command::Precharge);
         self.store.combine3(t0, t1, t2, dst, majority_words)?;
-        let result = self.store.read(dst)?;
         for t in [t0, t1, t2] {
-            self.store.write(t, &result)?;
+            self.store.copy_row(dst, t)?;
         }
         Ok(())
     }

@@ -15,6 +15,9 @@ use std::collections::HashMap;
 pub struct RowStore {
     geometry: MemoryGeometry,
     rows: HashMap<u64, Vec<u64>>,
+    /// Reusable row buffer for the combine/map operations, so the
+    /// per-command hot path performs no heap allocation in steady state.
+    scratch: Vec<u64>,
 }
 
 impl RowStore {
@@ -28,6 +31,7 @@ impl RowStore {
         Self {
             geometry,
             rows: HashMap::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -66,7 +70,35 @@ impl RowStore {
             .unwrap_or_else(|| vec![0; self.geometry.row_words()]))
     }
 
-    /// Writes a full row.
+    /// Borrows a row's words without copying; `None` if the row was
+    /// never materialised (reads as zeros).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn row(&self, row: RowId) -> Result<Option<&[u64]>, ArchError> {
+        self.check_in_range(row)?;
+        Ok(self.rows.get(&row.0).map(Vec::as_slice))
+    }
+
+    /// Reads a row into a caller-owned buffer (cleared and refilled), so
+    /// repeated reads reuse one allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn read_into(&self, row: RowId, out: &mut Vec<u64>) -> Result<(), ArchError> {
+        self.check_in_range(row)?;
+        out.clear();
+        match self.rows.get(&row.0) {
+            Some(r) => out.extend_from_slice(r),
+            None => out.resize(self.geometry.row_words(), 0),
+        }
+        Ok(())
+    }
+
+    /// Writes a full row, reusing the row's existing buffer when it is
+    /// already materialised.
     ///
     /// # Errors
     ///
@@ -80,7 +112,38 @@ impl RowStore {
                 got: data.len(),
             });
         }
-        self.rows.insert(row.0, data.to_vec());
+        match self.rows.entry(row.0) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().copy_from_slice(data);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(data.to_vec());
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies one row onto another without an intermediate allocation in
+    /// steady state (the destination's existing buffer is reused).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn copy_row(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.check_in_range(src)?;
+        self.check_in_range(dst)?;
+        let words = self.geometry.row_words();
+        if src.0 == dst.0 {
+            self.rows.entry(dst.0).or_insert_with(|| vec![0; words]);
+            return Ok(());
+        }
+        let mut buf = self.rows.remove(&dst.0).unwrap_or_default();
+        buf.clear();
+        match self.rows.get(&src.0) {
+            Some(s) => buf.extend_from_slice(s),
+            None => buf.resize(words, 0),
+        }
+        self.rows.insert(dst.0, buf);
         Ok(())
     }
 
@@ -96,10 +159,24 @@ impl RowStore {
         dst: RowId,
         f: impl Fn(u64, u64) -> u64,
     ) -> Result<(), ArchError> {
-        let ra = self.read(a)?;
-        let rb = self.read(b)?;
-        let out: Vec<u64> = ra.iter().zip(rb.iter()).map(|(&x, &y)| f(x, y)).collect();
-        self.write(dst, &out)
+        self.check_in_range(a)?;
+        self.check_in_range(b)?;
+        let words = self.geometry.row_words();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        {
+            let ra = self.rows.get(&a.0);
+            let rb = self.rows.get(&b.0);
+            out.extend((0..words).map(|i| {
+                f(
+                    ra.map_or(0, |r| r[i]),
+                    rb.map_or(0, |r| r[i]),
+                )
+            }));
+        }
+        let result = self.write(dst, &out);
+        self.scratch = out;
+        result
     }
 
     /// `dst[i] = f(src[i])` across the whole row.
@@ -113,9 +190,73 @@ impl RowStore {
         dst: RowId,
         f: impl Fn(u64) -> u64,
     ) -> Result<(), ArchError> {
-        let r = self.read(src)?;
-        let out: Vec<u64> = r.iter().map(|&x| f(x)).collect();
-        self.write(dst, &out)
+        self.check_in_range(src)?;
+        let words = self.geometry.row_words();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        {
+            let r = self.rows.get(&src.0);
+            out.extend((0..words).map(|i| f(r.map_or(0, |r| r[i]))));
+        }
+        let result = self.write(dst, &out);
+        self.scratch = out;
+        result
+    }
+
+    /// `out[i] = f(a[i], b[i])` across the whole row, into a caller-owned
+    /// buffer (cleared and refilled) — a pure read, no store mutation.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn combine2_into(
+        &self,
+        a: RowId,
+        b: RowId,
+        out: &mut Vec<u64>,
+        f: impl Fn(u64, u64) -> u64,
+    ) -> Result<(), ArchError> {
+        self.check_in_range(a)?;
+        self.check_in_range(b)?;
+        let words = self.geometry.row_words();
+        let ra = self.rows.get(&a.0);
+        let rb = self.rows.get(&b.0);
+        out.clear();
+        out.extend((0..words).map(|i| f(ra.map_or(0, |r| r[i]), rb.map_or(0, |r| r[i]))));
+        Ok(())
+    }
+
+    /// `out[i] = f(a[i], b[i], c[i])` across the whole row, into a
+    /// caller-owned buffer (cleared and refilled) — the read side of
+    /// TRA/TBA without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] for rows outside the geometry.
+    pub fn combine3_into(
+        &self,
+        a: RowId,
+        b: RowId,
+        c: RowId,
+        out: &mut Vec<u64>,
+        f: impl Fn(u64, u64, u64) -> u64,
+    ) -> Result<(), ArchError> {
+        self.check_in_range(a)?;
+        self.check_in_range(b)?;
+        self.check_in_range(c)?;
+        let words = self.geometry.row_words();
+        let ra = self.rows.get(&a.0);
+        let rb = self.rows.get(&b.0);
+        let rc = self.rows.get(&c.0);
+        out.clear();
+        out.extend((0..words).map(|i| {
+            f(
+                ra.map_or(0, |r| r[i]),
+                rb.map_or(0, |r| r[i]),
+                rc.map_or(0, |r| r[i]),
+            )
+        }));
+        Ok(())
     }
 
     /// `dst[i] = f(a[i], b[i], c[i])` across the whole row (TRA/TBA).
@@ -131,21 +272,27 @@ impl RowStore {
         dst: RowId,
         f: impl Fn(u64, u64, u64) -> u64,
     ) -> Result<(), ArchError> {
-        let ra = self.read(a)?;
-        let rb = self.read(b)?;
-        let rc = self.read(c)?;
-        let out: Vec<u64> = (0..ra.len()).map(|i| f(ra[i], rb[i], rc[i])).collect();
-        self.write(dst, &out)
+        let mut out = std::mem::take(&mut self.scratch);
+        let result = self
+            .combine3_into(a, b, c, &mut out, f)
+            .and_then(|()| self.write(dst, &out));
+        self.scratch = out;
+        result
     }
 
-    /// Fills a row with a constant word.
+    /// Fills a row with a constant word, in place when materialised.
     ///
     /// # Errors
     ///
     /// As for [`RowStore::write`].
     pub fn fill(&mut self, row: RowId, word: u64) -> Result<(), ArchError> {
-        let data = vec![word; self.geometry.row_words()];
-        self.write(row, &data)
+        self.check_in_range(row)?;
+        let words = self.geometry.row_words();
+        self.rows
+            .entry(row.0)
+            .and_modify(|r| r.fill(word))
+            .or_insert_with(|| vec![word; words]);
+        Ok(())
     }
 }
 
@@ -220,6 +367,41 @@ mod tests {
             let expect = if v.count_ones() >= 2 { !0u64 } else { 0 };
             assert_eq!(majority_words(a, b, c), expect, "pattern {v:03b}");
         }
+    }
+
+    #[test]
+    fn borrow_and_buffer_reads_match_owned_reads() {
+        let mut s = store();
+        let data: Vec<u64> = (0..128).map(|i| i ^ 0x5A).collect();
+        s.write(RowId(3), &data).unwrap();
+        assert_eq!(s.row(RowId(3)).unwrap().unwrap(), &data[..]);
+        assert!(s.row(RowId(4)).unwrap().is_none(), "unmaterialised row");
+        let mut buf = vec![0xFFu64; 5]; // wrong size on purpose
+        s.read_into(RowId(3), &mut buf).unwrap();
+        assert_eq!(buf, data);
+        s.read_into(RowId(4), &mut buf).unwrap();
+        assert_eq!(buf, vec![0u64; s.geometry().row_words()]);
+    }
+
+    #[test]
+    fn copy_row_materialises_and_copies() {
+        let mut s = store();
+        let data: Vec<u64> = (0..128).map(|i| i * 7).collect();
+        s.write(RowId(0), &data).unwrap();
+        s.copy_row(RowId(0), RowId(1)).unwrap();
+        assert_eq!(s.read(RowId(1)).unwrap(), data);
+        // Copying an unmaterialised row writes zeros.
+        s.copy_row(RowId(9), RowId(1)).unwrap();
+        assert!(s.read(RowId(1)).unwrap().iter().all(|&w| w == 0));
+        // Self-copy is a materialising no-op.
+        s.copy_row(RowId(0), RowId(0)).unwrap();
+        assert_eq!(s.read(RowId(0)).unwrap(), data);
+        s.copy_row(RowId(5), RowId(5)).unwrap();
+        assert_eq!(s.touched_rows(), 3, "rows 0, 1, 5 and nothing else");
+        assert!(matches!(
+            s.copy_row(RowId(0), RowId(10_000)),
+            Err(ArchError::RowOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -85,6 +85,9 @@ pub struct FeramBackend {
     /// Free physical spare rows (popped from the back).
     spares: Vec<u64>,
     command_log: Option<Vec<Command>>,
+    /// Reusable row buffer for op results, so the fault-free op path
+    /// performs no per-op heap allocation in steady state.
+    row_buf: Vec<u64>,
 }
 
 impl FeramBackend {
@@ -116,6 +119,7 @@ impl FeramBackend {
             remap: HashMap::new(),
             spares,
             command_log: None,
+            row_buf: Vec::new(),
         }
     }
 
@@ -328,13 +332,17 @@ impl FeramBackend {
             if self.is_dead(physical) {
                 self.reliability.note_dead_row_write();
                 // The cells no longer switch: stored data stays stale.
-            } else {
+            } else if self.faults.is_some() {
                 let mut written = intended.to_vec();
                 if let Some(inj) = self.faults.as_mut() {
                     let flips = inj.corrupt_write(&mut written);
                     self.reliability.note_write_flips(flips);
                 }
                 self.planes.write(self.plane_of(physical, 0), &written)?;
+            } else {
+                // Fault-free: the intended data lands verbatim, straight
+                // into the plane's existing buffer.
+                self.planes.write(self.plane_of(physical, 0), intended)?;
             }
             self.note_write(logical, physical);
             attempts += 1;
@@ -343,7 +351,11 @@ impl FeramBackend {
             }
             // Verify: read the row back and compare to the write buffer.
             self.issue(Command::ReadRow(logical));
-            if self.stored(physical)? == intended {
+            let verified = match self.planes.row(self.plane_of(physical, 0))? {
+                Some(stored) => stored == intended,
+                None => intended.iter().all(|&w| w == 0),
+            };
+            if verified {
                 if attempts > 1 {
                     self.reliability.note_corrected_write();
                 }
@@ -381,7 +393,11 @@ impl FeramBackend {
             return Ok(());
         }
         let physical = self.resolve(logical);
-        if self.stored(physical)? != truth {
+        let matches = match self.planes.row(self.plane_of(physical, 0))? {
+            Some(stored) => stored == truth,
+            None => truth.iter().all(|&w| w == 0),
+        };
+        if !matches {
             self.reliability.note_escaped_fault();
         }
         Ok(())
@@ -415,20 +431,26 @@ impl FeramBackend {
         }
     }
 
-    /// ACP move of a source row's slot-0 data into an arbitrary plane,
-    /// optionally complementing. 3 cycles. Returns the moved data; the
-    /// caller decides whether the landing site is a staging slot (direct
-    /// write) or a data row (committed through the degradation path).
-    fn acp_read(&mut self, src: RowId, invert: bool) -> Result<Vec<u64>, ArchError> {
+    /// ACP move of a source row's slot-0 data into a caller buffer,
+    /// optionally complementing. 3 cycles. The caller decides whether
+    /// the landing site is a staging slot (direct write) or a data row
+    /// (committed through the degradation path).
+    fn acp_read_into(
+        &mut self,
+        src: RowId,
+        invert: bool,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ArchError> {
         self.check_row(src)?;
         self.note_read(src);
         let p_src = self.plane_of(self.resolve(src), 0);
-        let data = self.planes.read(p_src)?;
-        Ok(if invert {
-            data.iter().map(|&w| !w).collect()
-        } else {
-            data
-        })
+        self.planes.read_into(p_src, out)?;
+        if invert {
+            for w in out.iter_mut() {
+                *w = !*w;
+            }
+        }
+        Ok(())
     }
 
     /// The TBA-based two-operand op (MINORITY with a control plane):
@@ -456,10 +478,9 @@ impl FeramBackend {
             complement: true,
         });
         self.issue(Command::Precharge);
-        let moved = self.acp_read(b, false)?;
-        self.planes.write(slot1, &moved)?;
-        let slot2 = self.plane_of(phys_a, 2);
-        self.planes.fill(slot2, control_word)?;
+        self.check_row(b)?;
+        self.note_read(b);
+        let pb0 = self.plane_of(self.resolve(b), 0);
         self.note_write(a, phys_a);
         // 2. ACP: TBA + COPY(result → dst) + PRECHARGE.
         let pd = self.plane_of(self.resolve(dst), 0);
@@ -470,22 +491,38 @@ impl FeramBackend {
         });
         self.issue(Command::Precharge);
         self.note_read(a);
-        let p0 = self.planes.read(self.plane_of(phys_a, 0))?;
-        let p1 = self.planes.read(slot1)?;
-        let p2 = self.planes.read(slot2)?;
-        let truth: Vec<u64> = (0..p0.len())
-            .map(|i| {
-                let m = minority_words(p0[i], p1[i], p2[i]);
-                if complement {
-                    !m
-                } else {
-                    m
-                }
-            })
-            .collect();
-        let sensed = self.sense(a, &truth);
-        self.commit_data(dst, &sensed)?;
-        self.oracle_check(dst, &truth)
+        // Slots 1 and 2 of group A (the staged operand and control plane,
+        // `slot1` above) are only ever observed by the TBA that just
+        // staged them, so the functional model evaluates the minority
+        // directly from the operand planes and the constant control word
+        // instead of materialising the staging slots — the command stream
+        // and cost accounting above are identical either way.
+        let mut truth = std::mem::take(&mut self.row_buf);
+        let result = (|| {
+            self.planes.combine2_into(
+                self.plane_of(phys_a, 0),
+                pb0,
+                &mut truth,
+                |x, y| {
+                    let m = minority_words(x, y, control_word);
+                    if complement {
+                        !m
+                    } else {
+                        m
+                    }
+                },
+            )?;
+            if self.faults.is_some() {
+                let sensed = self.sense(a, &truth);
+                self.commit_data(dst, &sensed)?;
+                self.oracle_check(dst, &truth)
+            } else {
+                // Fault-free sense is the truth itself: commit directly.
+                self.commit_data(dst, &truth)
+            }
+        })();
+        self.row_buf = truth;
+        result
     }
 }
 
@@ -562,9 +599,14 @@ impl BulkBackend for FeramBackend {
             complement: false,
         });
         self.issue(Command::Precharge);
-        let truth = self.acp_read(src, true)?;
-        self.commit_data(dst, &truth)?;
-        self.oracle_check(dst, &truth)
+        let mut truth = std::mem::take(&mut self.row_buf);
+        let result = (|| {
+            self.acp_read_into(src, true, &mut truth)?;
+            self.commit_data(dst, &truth)?;
+            self.oracle_check(dst, &truth)
+        })();
+        self.row_buf = truth;
+        result
     }
 
     fn and(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
@@ -594,9 +636,14 @@ impl BulkBackend for FeramBackend {
             complement: true,
         });
         self.issue(Command::Precharge);
-        let truth = self.acp_read(src, false)?;
-        self.commit_data(dst, &truth)?;
-        self.oracle_check(dst, &truth)
+        let mut truth = std::mem::take(&mut self.row_buf);
+        let result = (|| {
+            self.acp_read_into(src, false, &mut truth)?;
+            self.commit_data(dst, &truth)?;
+            self.oracle_check(dst, &truth)
+        })();
+        self.row_buf = truth;
+        result
     }
 
     fn scratch_rows(&self, count: usize) -> Vec<RowId> {

@@ -44,18 +44,6 @@ impl CommandClass {
         }
     }
 
-    /// Telemetry counter name for occurrences of this class.
-    const fn telemetry_count_name(self) -> &'static str {
-        match self {
-            CommandClass::Activate => "arch.commands.activate",
-            CommandClass::Copy => "arch.commands.copy",
-            CommandClass::Precharge => "arch.commands.precharge",
-            CommandClass::Write => "arch.commands.write",
-            CommandClass::Read => "arch.commands.read",
-            CommandClass::Refresh => "arch.commands.refresh",
-        }
-    }
-
     fn index(self) -> usize {
         match self {
             CommandClass::Activate => 0,
@@ -94,12 +82,27 @@ impl ExecStats {
     /// command (both backends, including refresh) is accounted, so it is
     /// also where telemetry hooks in: a per-class occurrence counter plus
     /// global cycle and energy (pJ) counters, all no-ops without the
-    /// `telemetry` feature.
+    /// `telemetry` feature. The handles are
+    /// [`CachedCounter`](felim_telemetry::CachedCounter)s — resolved
+    /// against the registry once, then one relaxed atomic per event — so
+    /// instrumented builds do not pay a registry lookup per simulated
+    /// command.
     pub fn record(&mut self, class: CommandClass, cycles: u64, energy_nj: f64) {
-        felim_telemetry::counter(class.telemetry_count_name()).inc();
-        felim_telemetry::counter("arch.cycles").add(cycles);
-        felim_telemetry::counter("arch.energy_pj").add((energy_nj * 1e3).round() as u64);
+        use felim_telemetry::CachedCounter;
+        static CLASS_COUNTS: [CachedCounter; 6] = [
+            CachedCounter::new("arch.commands.activate"),
+            CachedCounter::new("arch.commands.copy"),
+            CachedCounter::new("arch.commands.precharge"),
+            CachedCounter::new("arch.commands.write"),
+            CachedCounter::new("arch.commands.read"),
+            CachedCounter::new("arch.commands.refresh"),
+        ];
+        static CYCLES: CachedCounter = CachedCounter::new("arch.cycles");
+        static ENERGY_PJ: CachedCounter = CachedCounter::new("arch.energy_pj");
         let i = class.index();
+        CLASS_COUNTS[i].inc();
+        CYCLES.add(cycles);
+        ENERGY_PJ.add((energy_nj * 1e3).round() as u64);
         self.counts[i] += 1;
         self.cycles[i] += cycles;
         self.energy_nj[i] += energy_nj;

@@ -1,0 +1,85 @@
+//! CI throughput-regression gate.
+//!
+//! ```text
+//! cargo run --release -p felim-bench --bin bench_gate -- \
+//!     results/BENCH_PR3.json /tmp/felim-bench/BENCH_PR3.json [tolerance]
+//! ```
+//!
+//! Recomputes the aggregate kernel throughput (total simulated commands /
+//! total wall-clock seconds) from the committed baseline and from a fresh
+//! run, and exits non-zero when the fresh number falls more than
+//! `tolerance` (default 0.10, i.e. 10 %) below the baseline. Aggregates
+//! are recomputed from the `kernels` array rather than read from the
+//! `aggregate_ops_per_s` field so the gate also accepts the PR 2 schema.
+
+use std::process::ExitCode;
+
+/// Total commands / total wall-clock seconds from a baseline's `kernels`
+/// array.
+fn aggregate_ops_per_s(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let kernels = json
+        .get("kernels")
+        .and_then(|k| k.as_array())
+        .ok_or_else(|| format!("{path}: no `kernels` array"))?;
+    let mut commands = 0.0;
+    let mut wall_s = 0.0;
+    for k in kernels {
+        let cmds = k
+            .get("sim_commands")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: kernel entry without `sim_commands`"))?;
+        let wall_ms = k
+            .get("wall_ms")
+            .and_then(serde_json::Value::as_f64)
+            .ok_or_else(|| format!("{path}: kernel entry without `wall_ms`"))?;
+        commands += cmds;
+        wall_s += wall_ms * 1e-3;
+    }
+    if wall_s <= 0.0 {
+        return Err(format!("{path}: zero total wall time"));
+    }
+    Ok(commands / wall_s)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() > 4 {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [tolerance]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = match args.get(3).map(|t| t.parse()) {
+        None => 0.10,
+        Some(Ok(t)) => t,
+        Some(Err(e)) => {
+            eprintln!("bench_gate: bad tolerance {:?}: {e}", args[3]);
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, fresh) = match (aggregate_ops_per_s(&args[1]), aggregate_ops_per_s(&args[2])) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let floor = baseline * (1.0 - tolerance);
+    let ratio = fresh / baseline;
+    println!(
+        "bench_gate: baseline {baseline:.0} ops/s, fresh {fresh:.0} ops/s \
+         ({ratio:.3}x, floor {floor:.0})"
+    );
+    if fresh < floor {
+        eprintln!(
+            "bench_gate: FAIL — fresh throughput is more than {:.0}% below the committed baseline",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: OK");
+    ExitCode::SUCCESS
+}

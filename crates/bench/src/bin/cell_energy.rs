@@ -10,7 +10,8 @@
 //! asymmetry — the physical mechanism behind the paper's energy claim —
 //! shows up directly.
 
-use felim::cell::netlists::{not_testbench, read_testbench, run, NetlistConfig};
+use felim::cell::netlists::NetlistConfig;
+use felim::cell::transients::{simulate, CellOp, TransientOutcome};
 use felim::cell::Bit;
 use felim::ferro::Polarity;
 use felim::spice::Waveform;
@@ -30,15 +31,10 @@ struct DerivedEnergy {
     write_to_read_ratio: f64,
 }
 
-fn total_drive_energy(
-    tb: &mut felim::cell::netlists::CellTestbench,
-    cfg: &NetlistConfig,
-    waves: &[(&str, Waveform)],
-) -> f64 {
-    let trace = run(tb, cfg).expect("transient converges");
+fn total_drive_energy(outcome: &TransientOutcome, waves: &[(&str, Waveform)]) -> f64 {
     waves
         .iter()
-        .map(|(name, wave)| trace.source_energy(name, wave).unwrap_or(0.0))
+        .map(|(name, wave)| outcome.trace.source_energy(name, wave).unwrap_or(0.0))
         .sum()
 }
 
@@ -55,7 +51,14 @@ fn main() {
     // QNRO read of stored '0' and stored '1'.
     let mut read_energy = [0.0f64; 2];
     for (k, pol) in [Polarity::Down, Polarity::Up].into_iter().enumerate() {
-        let mut tb = read_testbench(&cfg, &[pol; 3], &[0]);
+        let out = simulate(
+            &cfg,
+            &CellOp::Read {
+                initial: vec![pol; 3],
+                active: vec![0],
+            },
+        )
+        .expect("transient converges");
         let waves = [
             (
                 "VWBL0".to_owned(),
@@ -68,12 +71,12 @@ fn main() {
         ];
         let wave_refs: Vec<(&str, Waveform)> =
             waves.iter().map(|(n, w)| (n.as_str(), w.clone())).collect();
-        read_energy[k] = total_drive_energy(&mut tb, &cfg, &wave_refs);
+        read_energy[k] = total_drive_energy(&out, &wave_refs);
     }
 
     // Full write of a '1' (worst case: switching from '0').
     let write_energy = {
-        let mut tb = not_testbench(&cfg, Bit::One);
+        let out = simulate(&cfg, &CellOp::Not { bit: Bit::One }).expect("transient converges");
         // Only integrate the write-phase sources; the read tail adds the
         // same terms as above.
         let (t_w0, w) = (50e-9, cfg.write_width_s);
@@ -91,7 +94,7 @@ fn main() {
         ];
         let wave_refs: Vec<(&str, Waveform)> =
             waves.iter().map(|(n, w)| (n.as_str(), w.clone())).collect();
-        total_drive_energy(&mut tb, &cfg, &wave_refs)
+        total_drive_energy(&out, &wave_refs)
     };
 
     let result = DerivedEnergy {

@@ -2,7 +2,8 @@
 //! write '0'/'1' through T_W, then QNRO-read through T_R; the sensed
 //! current inverts while the stored state stays fairly intact.
 
-use felim::cell::netlists::{cap_name, not_testbench, run, sensed_current, NetlistConfig, SN};
+use felim::cell::netlists::{NetlistConfig, SN};
+use felim::cell::transients::{simulate, CellOp};
 use felim::cell::Bit;
 use felim_bench::{header, record, ExperimentRecord};
 use serde::Serialize;
@@ -26,23 +27,18 @@ fn main() {
     let mut results = Vec::new();
     let mut currents = Vec::new();
     for bit in [Bit::Zero, Bit::One] {
-        let mut tb = not_testbench(&cfg, bit);
-        let trace = run(&mut tb, &cfg).expect("transient must converge");
-        let i = sensed_current(&trace, &tb.schedule).unwrap();
-        let v_int = trace.voltage_at(SN, tb.schedule.t_sense_s).unwrap();
-        let p = tb
-            .circuit
-            .fe_capacitor(&cap_name(0))
-            .unwrap()
-            .polarization();
+        let out = simulate(&cfg, &CellOp::Not { bit }).expect("transient must converge");
+        let i = out.sensed_current_a;
+        let v_int = out.trace.voltage_at(SN, out.schedule.t_sense_s).unwrap();
+        let p = out.final_polarizations[0];
         currents.push(i);
-        results.push((bit, i, v_int, p, tb, trace));
+        results.push((bit, i, v_int, p, out));
     }
     let reference = (currents[0] * currents[1]).sqrt();
     println!("sense reference: {reference:.3e} A\n");
 
     let mut records = Vec::new();
-    for (bit, i, v_int, p, _tb, trace) in &results {
+    for (bit, i, v_int, p, out) in &results {
         let sensed = Bit::from_bool(*i > reference);
         println!("write '{bit}' -> read:");
         println!("  V_int at sense   : {v_int:.4} V");
@@ -57,7 +53,7 @@ fn main() {
         print!("  V(sn) samples    :");
         for k in 0..5 {
             let t = t0 + k as f64 * 75e-9;
-            print!(" {:.3}", trace.voltage_at(SN, t).unwrap());
+            print!(" {:.3}", out.trace.voltage_at(SN, t).unwrap());
         }
         println!(" V");
         println!();

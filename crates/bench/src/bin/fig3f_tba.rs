@@ -3,7 +3,8 @@
 //! follows the MINORITY of the initial states.
 
 use felim::cell::cell2tnc::pattern_bits;
-use felim::cell::netlists::{run, sensed_current, tba_testbench, NetlistConfig};
+use felim::cell::netlists::NetlistConfig;
+use felim::cell::transients::{simulate, CellOp};
 use felim::cell::Bit;
 use felim_bench::{header, record, ExperimentRecord};
 use serde::Serialize;
@@ -25,10 +26,8 @@ fn main() {
 
     let mut levels = Vec::new();
     for v in 0..8u8 {
-        let mut tb = tba_testbench(&cfg, v);
-        let trace = run(&mut tb, &cfg).expect("transient must converge");
-        let i = sensed_current(&trace, &tb.schedule).unwrap();
-        levels.push((v, i));
+        let out = simulate(&cfg, &CellOp::Tba { pattern: v }).expect("transient must converge");
+        levels.push((v, out.sensed_current_a));
     }
     // Reference between the '001' and '011' levels (as in Fig 4(j)).
     let i001 = levels.iter().find(|(v, _)| *v == 0b001).unwrap().1;

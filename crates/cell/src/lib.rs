@@ -50,9 +50,11 @@ pub mod margin;
 pub mod netlists;
 pub mod ops;
 pub mod senseamp;
+pub mod transients;
 
 pub use cell2tnc::{Cell2TnC, Cell2TnCParams, SenseLevels};
 pub use margin::{monte_carlo_margin, MarginReport};
+pub use transients::{simulate, CellOp, TransientOutcome};
 pub use senseamp::SenseAmp;
 
 use serde::{Deserialize, Serialize};

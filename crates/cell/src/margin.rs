@@ -40,6 +40,13 @@ impl MarginReport {
     }
 }
 
+/// Outcome of one sampled cell, reduced in index order afterwards.
+struct SampleOutcome {
+    tba_ok: bool,
+    not_ok: bool,
+    sep: f64,
+}
+
 /// Monte-Carlo margin analysis over `samples` varied cells.
 ///
 /// Each sampled cell uses devices drawn with `variation`; the sense
@@ -48,6 +55,13 @@ impl MarginReport {
 /// case is modelled by reusing the nominal cell's reference for every
 /// sampled cell — the pessimistic deployment the paper's row-wise scheme
 /// implies.
+///
+/// Samples fan out over the scoped thread pool: sample `i` draws from its
+/// own generators seeded with `derive_seed(seed, i)` (device stream) and
+/// `derive_seed(seed ^ 0x5a, i)` (SA-offset stream), so every sample
+/// depends only on its index and the report is bit-identical for any
+/// worker count, serial included. The scalar reduction runs in index
+/// order for the same reason.
 pub fn monte_carlo_margin(
     params: &Cell2TnCParams,
     variation: VariationSpec,
@@ -62,16 +76,16 @@ pub fn monte_carlo_margin(
     let global_tba_ref = nominal.tba_reference();
     let global_not_ref = nominal.not_reference();
 
-    let mut sampler = DeviceSampler::new(&params.mfm, variation, seed);
-    // Deterministic gaussian offsets from a second stream.
-    let mut offset_stream = DeviceSampler::new(&params.mfm, VariationSpec::typical(), seed ^ 0x5a);
-
-    let mut tba_pass = 0usize;
-    let mut not_pass = 0usize;
-    let mut worst_sep = f64::INFINITY;
-    let mut sep_sum = 0.0;
-
-    for _ in 0..samples {
+    let indices: Vec<u64> = (0..samples as u64).collect();
+    let outcomes = felim_exec::parallel_map(&indices, |_, &i| {
+        let mut sampler =
+            DeviceSampler::new(&params.mfm, variation, felim_exec::derive_seed(seed, i));
+        // Deterministic gaussian offsets from a second per-sample stream.
+        let mut offset_stream = DeviceSampler::new(
+            &params.mfm,
+            VariationSpec::typical(),
+            felim_exec::derive_seed(seed ^ 0x5a, i),
+        );
         let mut cell_params = params.clone();
         cell_params.mfm = sampler.sample();
         let mut cell = Cell2TnC::new(&cell_params);
@@ -99,21 +113,29 @@ pub fn monte_carlo_margin(
                 _ => {}
             }
         }
-        if ok {
-            tba_pass += 1;
-        }
-        let sep = i_pop1 / i_pop2;
-        worst_sep = worst_sep.min(sep);
-        sep_sum += sep;
 
         // Single-capacitor NOT for both stored values.
         cell.write(0, Bit::Zero);
         let r0 = not_sa.compare(cell.sense_levels(&[0]).rsl_current_a);
         cell.write(0, Bit::One);
         let r1 = not_sa.compare(cell.sense_levels(&[0]).rsl_current_a);
-        if r0 == Bit::One && r1 == Bit::Zero {
-            not_pass += 1;
+
+        SampleOutcome {
+            tba_ok: ok,
+            not_ok: r0 == Bit::One && r1 == Bit::Zero,
+            sep: i_pop1 / i_pop2,
         }
+    });
+
+    let mut tba_pass = 0usize;
+    let mut not_pass = 0usize;
+    let mut worst_sep = f64::INFINITY;
+    let mut sep_sum = 0.0;
+    for o in &outcomes {
+        tba_pass += usize::from(o.tba_ok);
+        not_pass += usize::from(o.not_ok);
+        worst_sep = worst_sep.min(o.sep);
+        sep_sum += o.sep;
     }
 
     MarginReport {

@@ -1,0 +1,311 @@
+//! Content-addressed memoization of transistor-level cell transients.
+//!
+//! The [`crate::netlists`] testbenches are the costliest simulations in
+//! the workspace: each one is a full Newton/MNA transient over a
+//! multi-domain ferroelectric stack. They are also *pure* — the trace,
+//! the sensed current and the post-run capacitor states are completely
+//! determined by the netlist configuration, the operation, the
+//! pre-programmed state tuple and the drive-pulse spec. That makes the
+//! whole run memoizable: two logically identical cell operations (same
+//! key) must produce bit-identical results, so the second can be served
+//! from a cache.
+//!
+//! The cache key mirrors that determinism argument field by field:
+//!
+//! * **netlist fingerprint** — a hash of the full [`NetlistConfig`]
+//!   (device models, domain counts, seeds, parasitics);
+//! * **operation** — which testbench, with its operands (active
+//!   capacitors, written bit, TBA pattern);
+//! * **stored-state tuple** — the polarities actually pre-programmed
+//!   into the capacitors before the run;
+//! * **pulse spec** — the drive voltages, pulse widths and timestep.
+//!
+//! Values depend only on their key, so the cache is deterministic under
+//! any thread interleaving; concurrent access is serialized by a mutex.
+//! Hits and misses are counted on the `cell.transient_hits` /
+//! `cell.transient_misses` telemetry counters.
+
+use crate::netlists::{
+    cap_name, not_testbench, read_testbench, run, sensed_current, tba_testbench, CellTestbench,
+    NetlistConfig, Schedule,
+};
+use crate::Bit;
+use felim_ferro::Polarity;
+use felim_spice::{SpiceError, Trace};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A memoizable cell operation (selects the testbench and its operands).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellOp {
+    /// QNRO read of the capacitors in `active`, with every capacitor
+    /// pre-programmed to the matching entry of `initial`.
+    Read {
+        /// Pre-programmed polarity of each capacitor.
+        initial: Vec<Polarity>,
+        /// Indices of the capacitors whose WBLs are pulsed.
+        active: Vec<usize>,
+    },
+    /// Fig 3(d): full write of `bit` into capacitor 0, then a QNRO read.
+    Not {
+        /// The bit written (the sense output is its inverse).
+        bit: Bit,
+    },
+    /// Fig 3(f): TBA over the 3-bit `pattern` (bit 2 = A, … bit 0 = C).
+    Tba {
+        /// The `(A, B, C)` pattern pre-programmed into capacitors 0–2.
+        pattern: u8,
+    },
+}
+
+impl CellOp {
+    fn build(&self, cfg: &NetlistConfig) -> CellTestbench {
+        match self {
+            Self::Read { initial, active } => read_testbench(cfg, initial, active),
+            Self::Not { bit } => not_testbench(cfg, *bit),
+            Self::Tba { pattern } => tba_testbench(cfg, *pattern),
+        }
+    }
+}
+
+/// Everything a consumer can observe from a cell transient: the full
+/// trace, the timing landmarks, the sensed RSL current and the
+/// capacitor states after the run (the circuit object itself is not
+/// retained — on a cache hit no circuit is ever simulated).
+#[derive(Debug, Clone)]
+pub struct TransientOutcome {
+    /// Timing landmarks of the testbench.
+    pub schedule: Schedule,
+    /// The full recorded waveform set.
+    pub trace: Trace,
+    /// RSL current at the sense instant, in A.
+    pub sensed_current_a: f64,
+    /// Normalized polarization of each capacitor after the run.
+    pub final_polarizations: Vec<f64>,
+    /// Stored state of each capacitor after the run, at the 0.25
+    /// normalized-polarization margin used throughout the tests.
+    pub final_states: Vec<Option<Polarity>>,
+}
+
+/// The stored-state margin used for [`TransientOutcome::final_states`].
+const STATE_MARGIN: f64 = 0.25;
+
+/// FNV-1a over a string — stable, dependency-free content hash.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints the full netlist configuration. The `Debug` rendering
+/// covers every field recursively (floats print in shortest round-trip
+/// form, which is injective), so two configs collide only if they are
+/// field-for-field identical.
+fn netlist_fingerprint(cfg: &NetlistConfig) -> u64 {
+    let mut repr = String::new();
+    let _ = write!(repr, "{cfg:?}");
+    fnv1a(&repr)
+}
+
+/// The drive-pulse spec portion of the key: every voltage level, pulse
+/// width and the integration timestep, bit-exact.
+fn pulse_spec(cfg: &NetlistConfig) -> [u64; 7] {
+    [
+        cfg.write_width_s.to_bits(),
+        cfg.read_width_s.to_bits(),
+        cfg.dt_s.to_bits(),
+        cfg.wwl_high_v.to_bits(),
+        cfg.rbl_bias_v.to_bits(),
+        cfg.mfm.read_voltage_v.to_bits(),
+        cfg.mfm.write_voltage_v.to_bits(),
+    ]
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct Key {
+    netlist_fp: u64,
+    op: CellOp,
+    initial: Vec<Option<Polarity>>,
+    pulse: [u64; 7],
+}
+
+/// Bound on cached transients. An outcome holds a full trace (tens of
+/// KiB at test resolution); the workspace-wide working set is the 8 TBA
+/// patterns plus a handful of NOT/read variants per config, so a small
+/// cap already captures every realistic reuse while bounding memory.
+const TRANSIENT_CACHE_CAP: usize = 256;
+
+fn transient_cache() -> &'static Mutex<HashMap<Key, Arc<TransientOutcome>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<TransientOutcome>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn capacitor_states(tb: &CellTestbench, n_caps: usize) -> Vec<Option<Polarity>> {
+    (0..n_caps)
+        .map(|i| {
+            tb.circuit
+                .fe_capacitor(&cap_name(i))
+                .and_then(|c| c.stored_state(STATE_MARGIN))
+        })
+        .collect()
+}
+
+/// Runs (or replays) a cell transient.
+///
+/// Builds the testbench for `op`, forms the content-addressed key and
+/// returns the cached [`TransientOutcome`] on a hit; on a miss the
+/// transient is simulated once, its observable results captured, and the
+/// outcome inserted for every later logically identical operation.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SpiceError`]) from the underlying
+/// transient. Failed runs are never cached.
+pub fn simulate(cfg: &NetlistConfig, op: &CellOp) -> Result<Arc<TransientOutcome>, SpiceError> {
+    // Building the circuit is the cheap part (no solving); it also yields
+    // the pre-programmed state tuple without duplicating builder logic.
+    let mut tb = op.build(cfg);
+    let key = Key {
+        netlist_fp: netlist_fingerprint(cfg),
+        op: op.clone(),
+        initial: capacitor_states(&tb, cfg.n_caps),
+        pulse: pulse_spec(cfg),
+    };
+    {
+        let cache = transient_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(hit) = cache.get(&key) {
+            felim_telemetry::counter("cell.transient_hits").inc();
+            return Ok(Arc::clone(hit));
+        }
+    }
+    felim_telemetry::counter("cell.transient_misses").inc();
+    let trace = run(&mut tb, cfg)?;
+    let sensed_current_a = sensed_current(&trace, &tb.schedule)?;
+    let final_polarizations = (0..cfg.n_caps)
+        .map(|i| {
+            tb.circuit
+                .fe_capacitor(&cap_name(i))
+                .map_or(0.0, felim_ferro::MfmCapacitor::polarization)
+        })
+        .collect();
+    let outcome = Arc::new(TransientOutcome {
+        schedule: tb.schedule,
+        trace,
+        sensed_current_a,
+        final_polarizations,
+        final_states: capacitor_states(&tb, cfg.n_caps),
+    });
+    let mut cache = transient_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if cache.len() < TRANSIENT_CACHE_CAP {
+        cache.insert(key, Arc::clone(&outcome));
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cfg() -> NetlistConfig {
+        NetlistConfig::fast()
+    }
+
+    /// Uncached reference: build + run the same testbench directly.
+    fn fresh(cfg: &NetlistConfig, op: &CellOp) -> (Trace, Schedule, f64, Vec<f64>) {
+        let mut tb = op.build(cfg);
+        let trace = run(&mut tb, cfg).unwrap();
+        let i = sensed_current(&trace, &tb.schedule).unwrap();
+        let pols = (0..cfg.n_caps)
+            .map(|k| tb.circuit.fe_capacitor(&cap_name(k)).unwrap().polarization())
+            .collect();
+        (trace, tb.schedule, i, pols)
+    }
+
+    fn assert_outcome_matches_fresh(cfg: &NetlistConfig, op: &CellOp) {
+        let memo = simulate(cfg, op).unwrap();
+        let (trace, schedule, i, pols) = fresh(cfg, op);
+        assert_eq!(memo.schedule, schedule);
+        assert_eq!(memo.sensed_current_a.to_bits(), i.to_bits(), "{op:?}");
+        assert_eq!(memo.trace.times(), trace.times(), "{op:?}");
+        for (a, b) in memo.final_polarizations.iter().zip(&pols) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_identical_outcome() {
+        let cfg = cfg();
+        let op = CellOp::Tba { pattern: 0b010 };
+        let first = simulate(&cfg, &op).unwrap();
+        let second = simulate(&cfg, &op).unwrap();
+        // A hit shares the allocation — the strongest form of
+        // "bit-identical".
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn distinct_operations_do_not_collide() {
+        let cfg = cfg();
+        let a = simulate(&cfg, &CellOp::Tba { pattern: 0b000 }).unwrap();
+        let b = simulate(&cfg, &CellOp::Tba { pattern: 0b111 }).unwrap();
+        assert!(a.sensed_current_a > b.sensed_current_a);
+        // A config change (different domain count) must miss as well.
+        let mut other = cfg.clone();
+        other.mfm.n_domains += 1;
+        let c = simulate(&other, &CellOp::Tba { pattern: 0b000 }).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn not_outcome_preserves_written_state() {
+        let cfg = cfg();
+        for bit in [Bit::Zero, Bit::One] {
+            let memo = simulate(&cfg, &CellOp::Not { bit }).unwrap();
+            assert_eq!(
+                memo.final_states[0].map(Bit::from_polarity),
+                Some(bit),
+                "stored bit must survive the memoized readout"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The memoized result of every reachable operation is
+        /// bit-identical to an uncached re-simulation — whether the
+        /// memoized call was the miss that populated the cache or a
+        /// replay of an earlier one.
+        #[test]
+        fn memoized_matches_uncached(selector in 0u8..13) {
+            let cfg = cfg();
+            let op = match selector {
+                0..=7 => CellOp::Tba { pattern: selector },
+                8 => CellOp::Not { bit: Bit::Zero },
+                9 => CellOp::Not { bit: Bit::One },
+                10 => CellOp::Read {
+                    initial: vec![Polarity::Down; 3],
+                    active: vec![0],
+                },
+                11 => CellOp::Read {
+                    initial: vec![Polarity::Up; 3],
+                    active: vec![0],
+                },
+                _ => CellOp::Read {
+                    initial: vec![Polarity::Down, Polarity::Up, Polarity::Down],
+                    active: vec![0, 1, 2],
+                },
+            };
+            assert_outcome_matches_fresh(&cfg, &op);
+        }
+    }
+}

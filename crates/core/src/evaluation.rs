@@ -43,34 +43,21 @@ impl From<&Comparison> for Fig6Row {
 
 /// Runs the full Fig 6 evaluation: all eight workloads, both
 /// technologies, extrapolated to `workload_bytes` (the paper uses 1 GB),
-/// simulating `sim_rows` rows per workload. The eight workloads run on
-/// parallel threads (they are fully independent simulations). Returns
-/// the rows in Fig 6 order plus the geometric-mean ratios
+/// simulating `sim_rows` rows per workload. The eight workloads are
+/// fully independent simulations, so they fan out over the scoped
+/// thread pool (`FELIM_THREADS` bounds the workers); every row depends
+/// only on `(workload, sim_rows, workload_bytes, seed)` and rows come
+/// back in Fig 6 order, so the result is bit-identical for any worker
+/// count. Returns the rows plus the geometric-mean ratios
 /// `(energy, cycles)`.
 pub fn run_fig6(sim_rows: u64, workload_bytes: u64, seed: u64) -> (Vec<Fig6Row>, f64, f64) {
     let _span = felim_telemetry::span("fig6");
-    let n = all_workloads().len();
-    let mut rows: Vec<Option<Fig6Row>> = vec![None; n];
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                scope.spawn(move |_| {
-                    // Each thread constructs its own workload instance —
-                    // the trait objects are not shared across threads.
-                    let w = &all_workloads()[i];
-                    let c = compare(w.as_ref(), sim_rows, workload_bytes, seed)
-                        .expect("fig6 workload must verify on a fault-free backend");
-                    (i, Fig6Row::from(&c))
-                })
-            })
-            .collect();
-        for h in handles {
-            let (i, row) = h.join().expect("workload thread panicked");
-            rows[i] = Some(row);
-        }
-    })
-    .expect("fig6 thread scope");
-    let rows: Vec<Fig6Row> = rows.into_iter().map(|r| r.expect("all ran")).collect();
+    let workloads = all_workloads();
+    let rows: Vec<Fig6Row> = felim_exec::parallel_map(&workloads, |_, w| {
+        let c = compare(w.as_ref(), sim_rows, workload_bytes, seed)
+            .expect("fig6 workload must verify on a fault-free backend");
+        Fig6Row::from(&c)
+    });
     let ge = geomean(rows.iter().map(|r| r.energy_ratio));
     let gc = geomean(rows.iter().map(|r| r.cycle_ratio));
     (rows, ge, gc)

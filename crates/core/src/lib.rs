@@ -58,6 +58,8 @@ pub mod lim;
 pub use felim_arch as arch;
 /// Cell library (re-export of `felim-cell`).
 pub use felim_cell as cell;
+/// Deterministic parallel execution engine (re-export of `felim-exec`).
+pub use felim_exec as exec;
 /// Device-physics substrate (re-export of `felim-ferro`).
 pub use felim_ferro as ferro;
 /// Circuit-simulation substrate (re-export of `felim-spice`).

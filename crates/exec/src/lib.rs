@@ -1,0 +1,230 @@
+//! Deterministic scoped-thread execution engine.
+//!
+//! Everything stochastic in the felim workspace is explicitly seeded, so
+//! parallelism must never change results. This crate provides the one
+//! primitive the rest of the stack fans out on — an order-preserving
+//! [`parallel_map`] — built so the output is **bit-identical to the
+//! serial loop regardless of thread count or scheduling**:
+//!
+//! - every task is identified by its index in the input, and the closure
+//!   receives that index so callers can derive a per-task RNG stream
+//!   (e.g. `splitmix(seed, index)`) instead of sharing one sequential
+//!   generator;
+//! - results land in their index slot, so the returned `Vec` is in input
+//!   order no matter which worker ran which task;
+//! - tasks are handed out through an atomic index counter (a minimal
+//!   work-stealing queue: idle workers keep pulling the next un-run
+//!   index), so an unlucky schedule costs wall-clock, never correctness.
+//!
+//! The worker count comes from [`thread_count`]: the `FELIM_THREADS`
+//! environment variable when set, otherwise the machine's available
+//! parallelism. With one thread (or one task) the map degenerates to the
+//! plain serial loop on the calling thread — no spawn, no atomics.
+//!
+//! Panics in tasks propagate to the caller (the scope joins all workers
+//! first), and the closure runs exactly once per input item.
+//!
+//! ```
+//! let doubled = felim_exec::parallel_map(&[1u64, 2, 3], |_idx, &x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Name of the thread-count override knob.
+pub const THREADS_ENV: &str = "FELIM_THREADS";
+
+/// The worker count used by [`parallel_map`]: `FELIM_THREADS` if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (1 if even that is unavailable).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`thread_count`] scoped threads,
+/// returning results in input order. `f` receives `(index, &item)`;
+/// callers that need randomness derive an independent stream from
+/// `index` so the output never depends on the schedule.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    parallel_map_threads(items, thread_count(), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (the determinism tests
+/// sweep this directly; production callers use the env-driven default).
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn parallel_map_threads<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    #[cfg(feature = "telemetry")]
+    {
+        felim_telemetry::counter("exec.tasks").add(n as u64);
+        felim_telemetry::gauge("exec.workers").set(workers as f64);
+    }
+    if workers <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Index-ordered result slots; each worker deposits finished batches
+    // under the mutex (contended once per batch, not once per item).
+    let slots: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots_ref = &slots;
+    let next_ref = &next;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                        // Flush periodically so one slow task at the end
+                        // does not hold every earlier result hostage.
+                        if local.len() >= 32 {
+                            let mut s = slots_ref
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            for (idx, v) in local.drain(..) {
+                                s[idx] = Some(v);
+                            }
+                        }
+                    }
+                    let mut s = slots_ref
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for (idx, v) in local.drain(..) {
+                        s[idx] = Some(v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    })
+    .expect("exec scope");
+
+    slots
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Splitmix64 — the standard 64-bit seed mixer (same finalizer the
+/// vendored `rand` uses to seed xoshiro). Used to derive independent
+/// per-task RNG seeds from a base seed and a task index: statistically
+/// decorrelated streams, stable under any thread count.
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8] {
+            let got = parallel_map_threads(&items, threads, |_i, &x| x * x + 1);
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map_threads(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |_i, &x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], |_i, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_index_and_base() {
+        let a: Vec<u64> = (0..64).map(|i| derive_seed(42, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| derive_seed(43, i)).collect();
+        let mut uniq = a.clone();
+        uniq.extend(&b);
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 128, "seed collisions across bases/indices");
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_threads(&[1u32, 2, 3, 4], 2, |_i, &x| {
+                assert!(x != 3, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        // Serialized via the env var name itself: tests in this module
+        // run on one process; the var is restored afterwards.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(thread_count() >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(thread_count() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(thread_count() >= 1);
+    }
+}

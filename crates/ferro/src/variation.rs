@@ -100,6 +100,26 @@ impl DeviceSampler {
     }
 }
 
+/// Draws a population of `n` varied devices on the scoped thread pool.
+///
+/// Unlike [`DeviceSampler::sample_n`] — which advances one sequential
+/// stream — device `i` here is the first draw of its own generator seeded
+/// with `derive_seed(seed, i)`. Each device therefore depends only on
+/// `(nominal, spec, seed, i)`, so the population is bit-identical for any
+/// worker count (including serial) and workers never contend on shared
+/// state.
+pub fn sample_population(
+    nominal: &MfmParams,
+    spec: VariationSpec,
+    seed: u64,
+    n: usize,
+) -> Vec<MfmParams> {
+    let indices: Vec<u64> = (0..n as u64).collect();
+    felim_exec::parallel_map(&indices, |_, &i| {
+        DeviceSampler::new(nominal, spec, felim_exec::derive_seed(seed, i)).sample()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +172,22 @@ mod tests {
         let p = VariationSpec::pessimistic();
         assert_eq!(p.vc_sigma, 2.0 * t.vc_sigma);
         assert_eq!(p.area_sigma, 2.0 * t.area_sigma);
+    }
+
+    #[test]
+    fn population_is_invariant_to_worker_count() {
+        let nominal = MfmParams::fabricated();
+        let spec = VariationSpec::typical();
+        let pop = sample_population(&nominal, spec, 9, 12);
+        assert_eq!(pop.len(), 12);
+        // Serial reference: sample i is the first draw at its derived seed.
+        for (i, p) in pop.iter().enumerate() {
+            let mut s =
+                DeviceSampler::new(&nominal, spec, felim_exec::derive_seed(9, i as u64));
+            assert_eq!(*p, s.sample(), "sample {i}");
+        }
+        // Distinct indices give distinct devices.
+        assert_ne!(pop[0], pop[1]);
     }
 
     #[test]

@@ -108,7 +108,8 @@ impl Circuit {
     pub fn dc_operating_point(&self) -> Result<DcPoint, SpiceError> {
         let _span = telemetry::span("spice.dc_operating_point");
         let mut diag = SolverDiagnostics::default();
-        let result = self.solve_dc_internal(false, &mut diag);
+        let mut sys = MnaSystem::new(self.node_count(), self.vsources.len());
+        let result = self.solve_dc_internal(&mut sys, false, &mut diag);
         record_solver_telemetry(&diag);
         let x = result?;
         Ok(self.make_dc_point(&x))
@@ -144,7 +145,10 @@ impl Circuit {
         spec: &TransientSpec,
         diag: &mut SolverDiagnostics,
     ) -> Result<Trace, SpiceError> {
-        let mut x = self.solve_dc_internal(true, diag)?;
+        // One system for the whole analysis: the DC init, every Newton
+        // iteration and every timestep re-stamp it in place.
+        let mut sys = MnaSystem::new(self.node_count(), self.vsources.len());
+        let mut x = self.solve_dc_internal(&mut sys, true, diag)?;
         for (_, e) in &mut self.elements {
             e.init_history(&x);
         }
@@ -180,7 +184,7 @@ impl Circuit {
                 dt,
                 trapezoidal: spec.trapezoidal,
             };
-            match self.newton_solve(&x, mode, t_next, diag) {
+            match self.newton_solve(&mut sys, &x, mode, t_next, diag) {
                 Ok(x_new) => {
                     for (_, e) in &mut self.elements {
                         e.commit(&x_new, dt, spec.trapezoidal);
@@ -216,18 +220,19 @@ impl Circuit {
 
     fn solve_dc_internal(
         &self,
+        sys: &mut MnaSystem,
         with_ic: bool,
         diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
         let x0 = vec![0.0; self.unknowns()];
         // Plain Newton first; on failure, source-step from 10 % to 100 %.
-        match self.newton_solve_scaled(&x0, 1.0, with_ic, diag) {
+        match self.newton_solve_scaled(sys, &x0, 1.0, with_ic, diag) {
             Ok(x) => Ok(x),
             Err(_) => {
                 let mut x = x0;
                 for step in 1..=10 {
                     let scale = step as f64 / 10.0;
-                    x = self.newton_solve_scaled(&x, scale, with_ic, diag)?;
+                    x = self.newton_solve_scaled(sys, &x, scale, with_ic, diag)?;
                 }
                 Ok(x)
             }
@@ -236,26 +241,30 @@ impl Circuit {
 
     fn newton_solve(
         &self,
+        sys: &mut MnaSystem,
         x0: &[f64],
         mode: StampMode,
         time_s: f64,
         diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
-        self.newton_iterate(x0, mode, time_s, 1.0, false, diag)
+        self.newton_iterate(sys, x0, mode, time_s, 1.0, false, diag)
     }
 
     fn newton_solve_scaled(
         &self,
+        sys: &mut MnaSystem,
         x0: &[f64],
         source_scale: f64,
         with_ic: bool,
         diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
-        self.newton_iterate(x0, StampMode::Dc, 0.0, source_scale, with_ic, diag)
+        self.newton_iterate(sys, x0, StampMode::Dc, 0.0, source_scale, with_ic, diag)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn newton_iterate(
         &self,
+        sys: &mut MnaSystem,
         x0: &[f64],
         mode: StampMode,
         time_s: f64,
@@ -264,7 +273,6 @@ impl Circuit {
         diag: &mut SolverDiagnostics,
     ) -> Result<Vec<f64>, SpiceError> {
         let n_nodes = self.node_count();
-        let mut sys = MnaSystem::new(n_nodes, self.vsources.len());
         let mut x = x0.to_vec();
         let analysis = match mode {
             StampMode::Dc => "dc",
@@ -275,7 +283,7 @@ impl Circuit {
             diag.newton_iterations += 1;
             sys.reset(GMIN);
             for (_, e) in &self.elements {
-                e.stamp(&x, &mut sys, mode, time_s);
+                e.stamp(&x, &mut *sys, mode, time_s);
             }
             for (k, v) in self.vsources.iter().enumerate() {
                 sys.stamp_vsource(k, v.p, v.n, v.wave.at(time_s) * source_scale);
@@ -288,7 +296,12 @@ impl Circuit {
                     }
                 }
             }
-            let x_new = sys.solve().ok_or(SpiceError::SingularMatrix { time_s })?;
+            let x_new = sys
+                .solve()
+                .map_err(|s| SpiceError::SingularMatrix {
+                    time_s,
+                    pivot: s.pivot,
+                })?;
 
             let mut max_dv: f64 = 0.0;
             let mut max_di: f64 = 0.0;

@@ -78,6 +78,10 @@ pub enum SpiceError {
     SingularMatrix {
         /// Simulation time at failure (0 for DC).
         time_s: f64,
+        /// 0-based elimination column where the pivot vanished: the
+        /// unknown (node voltage, then source currents in declaration
+        /// order) the system carries no information about.
+        pivot: usize,
     },
     /// A named element or node was not found.
     NotFound {
@@ -111,10 +115,11 @@ impl fmt::Display for SpiceError {
                     diagnostics.min_dt_s
                 )
             }
-            SpiceError::SingularMatrix { time_s } => {
+            SpiceError::SingularMatrix { time_s, pivot } => {
                 write!(
                     f,
-                    "singular MNA matrix at t = {time_s:e} s (floating node?)"
+                    "singular MNA matrix at t = {time_s:e} s \
+                     (no pivot for unknown {pivot} — floating node or source loop?)"
                 )
             }
             SpiceError::NotFound { name } => write!(f, "no element or node named `{name}`"),

@@ -1,13 +1,70 @@
 //! Dense LU factorisation with partial pivoting.
 //!
 //! Cell-level netlists have tens of unknowns; a dense solver is both
-//! simpler and faster than sparse machinery at that scale.
+//! simpler and faster than sparse machinery at that scale. The solver is
+//! built for re-use on the Newton hot path: pivot bookkeeping lives in a
+//! caller-owned [`LuWorkspace`], and [`DenseMatrix::clear`] re-zeroes
+//! only the entries actually stamped since the last full clear (the MNA
+//! stamp pattern is identical every iteration), so a steady-state solve
+//! performs no heap allocation at all.
+
+/// Numerical singularity report: the elimination step at which no usable
+/// pivot remained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularPivot {
+    /// 0-based elimination column whose pivot column was numerically zero
+    /// — in MNA terms, the unknown (node voltage or source current) the
+    /// system carries no information about.
+    pub pivot: usize,
+}
+
+/// Reusable scratch for [`DenseMatrix::solve_in_place_with`]: the pivot
+/// permutation and the forward-substitution vector. Allocate once per
+/// analysis, reuse across every Newton iteration and timestep.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    perm: Vec<usize>,
+    y: Vec<f64>,
+}
+
+impl LuWorkspace {
+    /// Creates a workspace for `n×n` systems (grows on demand if a
+    /// larger system is solved later).
+    pub fn new(n: usize) -> Self {
+        Self {
+            perm: (0..n).collect(),
+            y: vec![0.0; n],
+        }
+    }
+
+    fn prepare(&mut self, n: usize) {
+        self.perm.clear();
+        self.perm.extend(0..n);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+    }
+}
 
 /// A dense, row-major square matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DenseMatrix {
     n: usize,
     data: Vec<f64>,
+    /// Linear indices written through `set`/`add` since the last full
+    /// clear — the stamp pattern. `clear` re-zeroes only these.
+    touched: Vec<u32>,
+    /// Membership mask for `touched` (one flag per entry).
+    touch_mask: Vec<bool>,
+    /// An in-place factorisation scribbled over `data` outside the
+    /// recorded pattern; the next `clear` must fall back to a full wipe.
+    destroyed: bool,
+}
+
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Pattern bookkeeping is an optimisation detail, not value state.
+        self.n == other.n && self.data == other.data
+    }
 }
 
 impl DenseMatrix {
@@ -16,6 +73,9 @@ impl DenseMatrix {
         Self {
             n,
             data: vec![0.0; n * n],
+            touched: Vec::new(),
+            touch_mask: vec![false; n * n],
+            destroyed: false,
         }
     }
 
@@ -34,6 +94,14 @@ impl DenseMatrix {
         self.data[row * self.n + col]
     }
 
+    #[inline]
+    fn touch(&mut self, idx: usize) {
+        if !self.touch_mask[idx] {
+            self.touch_mask[idx] = true;
+            self.touched.push(idx as u32);
+        }
+    }
+
     /// Sets the entry at (`row`, `col`).
     ///
     /// # Panics
@@ -41,7 +109,9 @@ impl DenseMatrix {
     /// Panics if out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.n && col < self.n, "index out of bounds");
-        self.data[row * self.n + col] = value;
+        let idx = row * self.n + col;
+        self.touch(idx);
+        self.data[idx] = value;
     }
 
     /// Adds `value` to the entry at (`row`, `col`) — the MNA stamp
@@ -52,26 +122,78 @@ impl DenseMatrix {
     /// Panics if out of bounds.
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.n && col < self.n, "index out of bounds");
-        self.data[row * self.n + col] += value;
+        let idx = row * self.n + col;
+        self.touch(idx);
+        self.data[idx] += value;
     }
 
-    /// Resets every entry to zero, keeping the allocation.
+    /// Resets every entry to zero, keeping the allocation — and, after
+    /// the first assembly, keeping the recorded stamp pattern so only the
+    /// entries actually used are re-zeroed.
     pub fn clear(&mut self) {
-        self.data.fill(0.0);
+        if self.destroyed {
+            // An in-place solve scribbled outside the pattern.
+            self.data.fill(0.0);
+            self.destroyed = false;
+        } else {
+            for &idx in &self.touched {
+                self.data[idx as usize] = 0.0;
+            }
+        }
+    }
+
+    /// Copies another matrix's values into this one (same dimension),
+    /// reusing this allocation. Used to preserve the stamped system while
+    /// the copy is destroyed by factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn copy_values_from(&mut self, src: &DenseMatrix) {
+        assert_eq!(self.n, src.n, "dimension mismatch");
+        self.data.copy_from_slice(&src.data);
+        self.destroyed = true;
     }
 
     /// Solves `A·x = b` in place by LU factorisation with partial
-    /// pivoting. Destroys the matrix contents. Returns `None` if the
+    /// pivoting, allocating a fresh workspace. Destroys the matrix
+    /// contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularPivot`] with the failing elimination column if the
     /// matrix is numerically singular.
     ///
     /// # Panics
     ///
     /// Panics if `b.len() != n`.
-    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Option<()> {
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SingularPivot> {
+        let mut ws = LuWorkspace::new(self.n);
+        self.solve_in_place_with(b, &mut ws)
+    }
+
+    /// [`DenseMatrix::solve_in_place`] with caller-owned scratch — the
+    /// zero-allocation hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularPivot`] with the failing elimination column if the
+    /// matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve_in_place_with(
+        &mut self,
+        b: &mut [f64],
+        ws: &mut LuWorkspace,
+    ) -> Result<(), SingularPivot> {
         let n = self.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
+        self.destroyed = true;
         let a = &mut self.data;
-        let mut perm: Vec<usize> = (0..n).collect();
+        ws.prepare(n);
+        let perm = &mut ws.perm;
 
         for k in 0..n {
             // Partial pivot: largest |a[i][k]| for i >= k.
@@ -85,7 +207,7 @@ impl DenseMatrix {
                 }
             }
             if pivot_val < 1e-300 {
-                return None;
+                return Err(SingularPivot { pivot: k });
             }
             perm.swap(k, pivot_row);
             let pk = perm[k];
@@ -103,7 +225,7 @@ impl DenseMatrix {
         }
 
         // Forward substitution (L has unit diagonal, stored below).
-        let mut y = vec![0.0; n];
+        let y = &mut ws.y;
         for i in 0..n {
             let mut sum = b[perm[i]];
             for (j, &yj) in y.iter().enumerate().take(i) {
@@ -119,7 +241,7 @@ impl DenseMatrix {
             }
             b[i] = sum / a[perm[i] * n + i];
         }
-        Some(())
+        Ok(())
     }
 }
 
@@ -127,8 +249,8 @@ impl DenseMatrix {
 mod tests {
     use super::*;
 
-    fn solve(mut m: DenseMatrix, mut b: Vec<f64>) -> Option<Vec<f64>> {
-        m.solve_in_place(&mut b).map(|_| b)
+    fn solve(mut m: DenseMatrix, mut b: Vec<f64>) -> Result<Vec<f64>, SingularPivot> {
+        m.solve_in_place(&mut b).map(|()| b)
     }
 
     #[test]
@@ -166,13 +288,75 @@ mod tests {
     }
 
     #[test]
-    fn detects_singularity() {
+    fn detects_singularity_with_pivot() {
         let mut m = DenseMatrix::zeros(2);
         m.set(0, 0, 1.0);
         m.set(0, 1, 2.0);
         m.set(1, 0, 2.0);
         m.set(1, 1, 4.0);
-        assert!(solve(m, vec![1.0, 2.0]).is_none());
+        // Row 2 = 2×row 1: elimination dies at the second pivot.
+        assert_eq!(solve(m, vec![1.0, 2.0]), Err(SingularPivot { pivot: 1 }));
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solves() {
+        let mut ws = LuWorkspace::new(2);
+        for rhs in [[5.0, 10.0], [1.0, 0.0], [-2.0, 7.0]] {
+            let mut m = DenseMatrix::zeros(2);
+            m.set(0, 0, 2.0);
+            m.set(0, 1, 1.0);
+            m.set(1, 0, 1.0);
+            m.set(1, 1, 3.0);
+            let mut b_ws = rhs.to_vec();
+            m.solve_in_place_with(&mut b_ws, &mut ws).unwrap();
+
+            let mut m2 = DenseMatrix::zeros(2);
+            m2.set(0, 0, 2.0);
+            m2.set(0, 1, 1.0);
+            m2.set(1, 0, 1.0);
+            m2.set(1, 1, 3.0);
+            let mut b_fresh = rhs.to_vec();
+            m2.solve_in_place(&mut b_fresh).unwrap();
+            assert_eq!(b_ws, b_fresh, "workspace reuse must not change results");
+        }
+    }
+
+    #[test]
+    fn pattern_clear_equals_full_clear() {
+        // Stamp a pattern, clear, restamp: identical to a fresh matrix.
+        let mut m = DenseMatrix::zeros(3);
+        m.add(0, 0, 2.0);
+        m.add(1, 2, -1.0);
+        m.clear();
+        m.add(0, 0, 5.0);
+        let mut fresh = DenseMatrix::zeros(3);
+        fresh.add(0, 0, 5.0);
+        assert_eq!(m, fresh);
+        // After a destructive solve the full wipe path restores zeros.
+        let mut sys = DenseMatrix::zeros(2);
+        sys.set(0, 0, 1.0);
+        sys.set(0, 1, 3.0);
+        sys.set(1, 0, 2.0);
+        sys.set(1, 1, 1.0);
+        let mut b = vec![1.0, 1.0];
+        sys.solve_in_place(&mut b).unwrap();
+        sys.clear();
+        assert_eq!(sys, DenseMatrix::zeros(2));
+    }
+
+    #[test]
+    fn copy_values_preserves_source() {
+        let mut src = DenseMatrix::zeros(2);
+        src.set(0, 0, 4.0);
+        src.set(1, 1, 2.0);
+        let mut dst = DenseMatrix::zeros(2);
+        dst.copy_values_from(&src);
+        let mut b = vec![8.0, 4.0];
+        dst.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![2.0, 2.0]);
+        // The source still holds the stamped system.
+        assert_eq!(src.get(0, 0), 4.0);
+        assert_eq!(src.get(1, 1), 2.0);
     }
 
     #[test]

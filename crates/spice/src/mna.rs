@@ -5,7 +5,7 @@
 //! Elements contribute through the `stamp_*` primitives; sign conventions
 //! follow standard MNA (currents leaving a node are positive).
 
-use crate::linear::DenseMatrix;
+use crate::linear::{DenseMatrix, LuWorkspace, SingularPivot};
 use crate::netlist::NodeId;
 
 /// Analysis mode passed to element stamps.
@@ -25,15 +25,26 @@ pub enum StampMode {
     },
 }
 
-/// The assembled linear(ised) system `G·x = rhs` for one Newton iteration.
+/// The assembled linear(ised) system `G·x = rhs` for one Newton
+/// iteration, together with all factorisation scratch. Allocated **once
+/// per analysis** and re-stamped in place every iteration and timestep:
+/// the solver hot path performs no heap allocation.
 #[derive(Debug)]
 pub struct MnaSystem {
     /// Number of non-ground nodes.
     n_nodes: usize,
-    /// System matrix.
+    /// System matrix (survives each solve; only `factors` is destroyed).
     pub(crate) matrix: DenseMatrix,
     /// Right-hand side.
     pub(crate) rhs: Vec<f64>,
+    /// Factorisation buffer: the stamped matrix is copied here and the
+    /// LU scribbles over the copy, so the stamp pattern in `matrix`
+    /// stays valid for the next pattern-reuse clear.
+    factors: DenseMatrix,
+    /// Solution buffer (rhs copy, overwritten by the solve).
+    x: Vec<f64>,
+    /// Pivot permutation + substitution scratch.
+    lu: LuWorkspace,
 }
 
 impl MnaSystem {
@@ -41,11 +52,20 @@ impl MnaSystem {
     /// `n_vsources` source currents.
     pub fn new(n_nodes: usize, n_vsources: usize) -> Self {
         let n = n_nodes + n_vsources;
+        felim_telemetry::counter("spice.mna_allocations").inc();
         Self {
             n_nodes,
             matrix: DenseMatrix::zeros(n),
             rhs: vec![0.0; n],
+            factors: DenseMatrix::zeros(n),
+            x: vec![0.0; n],
+            lu: LuWorkspace::new(n),
         }
+    }
+
+    /// Total unknowns (`n_nodes + n_vsources`).
+    pub fn dim(&self) -> usize {
+        self.rhs.len()
     }
 
     /// Clears the system for reassembly, then applies `g_min` from every
@@ -137,13 +157,24 @@ impl MnaSystem {
         self.rhs[row] = volts;
     }
 
-    /// Solves the assembled system, returning the unknown vector, or
-    /// `None` if singular. Consumes the assembled matrix contents.
-    pub fn solve(&mut self) -> Option<Vec<f64>> {
-        felim_telemetry::counter("spice.lu_factorizations").inc();
-        let mut x = self.rhs.clone();
-        self.matrix.solve_in_place(&mut x)?;
-        Some(x)
+    /// Solves the assembled system, returning the unknown vector (a view
+    /// into the internal solution buffer, valid until the next stamp or
+    /// solve). The stamped matrix itself is preserved — the LU runs on
+    /// the internal factor buffer — so the system can be pattern-cleared
+    /// and re-stamped without reallocation.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularPivot`] naming the dead elimination column if the
+    /// system is numerically singular.
+    pub fn solve(&mut self) -> Result<&[f64], SingularPivot> {
+        static LU_FACTORIZATIONS: felim_telemetry::CachedCounter =
+            felim_telemetry::CachedCounter::new("spice.lu_factorizations");
+        LU_FACTORIZATIONS.inc();
+        self.factors.copy_values_from(&self.matrix);
+        self.x.copy_from_slice(&self.rhs);
+        self.factors.solve_in_place_with(&mut self.x, &mut self.lu)?;
+        Ok(&self.x)
     }
 }
 
@@ -190,9 +221,32 @@ mod tests {
     }
 
     #[test]
-    fn singular_without_gmin() {
+    fn singular_without_gmin_names_the_pivot() {
         let mut sys = MnaSystem::new(1, 0);
         sys.reset(0.0);
-        assert!(sys.solve().is_none());
+        assert_eq!(sys.solve().unwrap_err().pivot, 0);
+    }
+
+    #[test]
+    fn restamping_after_solve_matches_fresh_system() {
+        // The zero-allocation path: one system, two different circuits.
+        let a = NodeId(1);
+        let mut sys = MnaSystem::new(1, 0);
+        sys.reset(1e-12);
+        sys.stamp_conductance(a, NodeId(0), 1e-3);
+        sys.stamp_current(a, NodeId(0), 1e-3);
+        let first = sys.solve().unwrap().to_vec();
+        assert!((first[0] - 1.0).abs() < 1e-6);
+        // Re-stamp in place with doubled conductance.
+        sys.reset(1e-12);
+        sys.stamp_conductance(a, NodeId(0), 2e-3);
+        sys.stamp_current(a, NodeId(0), 1e-3);
+        let second = sys.solve().unwrap().to_vec();
+        assert!((second[0] - 0.5).abs() < 1e-6, "got {}", second[0]);
+        // And solving the identical system twice is bit-identical.
+        sys.reset(1e-12);
+        sys.stamp_conductance(a, NodeId(0), 2e-3);
+        sys.stamp_current(a, NodeId(0), 1e-3);
+        assert_eq!(sys.solve().unwrap(), &second[..]);
     }
 }

@@ -62,12 +62,18 @@ pub use report::{HistogramSnapshot, Report};
 #[cfg(feature = "telemetry")]
 mod metrics;
 #[cfg(feature = "telemetry")]
-pub use metrics::{counter, gauge, histogram, reset, snapshot, span, Counter, Gauge, Histogram, Span};
+pub use metrics::{
+    counter, gauge, histogram, reset, snapshot, span, CachedCounter, Counter, Gauge, Histogram,
+    Span,
+};
 
 #[cfg(not(feature = "telemetry"))]
 mod noop;
 #[cfg(not(feature = "telemetry"))]
-pub use noop::{counter, gauge, histogram, reset, snapshot, span, Counter, Gauge, Histogram, Span};
+pub use noop::{
+    counter, gauge, histogram, reset, snapshot, span, CachedCounter, Counter, Gauge, Histogram,
+    Span,
+};
 
 /// True when the crate was built with the `telemetry` feature, i.e. the
 /// instruments are live. Use this to guard call sites whose *arguments*

@@ -204,6 +204,61 @@ pub fn histogram(name: &str) -> &'static Histogram {
     }
 }
 
+/// A counter handle that resolves its registry slot once and then costs a
+/// single atomic load per use — for hot paths that would otherwise pay
+/// the registration mutex and name lookup on every event. Declare it as a
+/// `static`:
+///
+/// ```
+/// use felim_telemetry::CachedCounter;
+///
+/// static EVENTS: CachedCounter = CachedCounter::new("demo.cached.events");
+/// EVENTS.inc();
+/// EVENTS.add(2);
+/// ```
+///
+/// Caching is sound across [`reset`], which zeroes values but keeps every
+/// registered instrument (and thus every leaked handle) valid.
+#[derive(Debug)]
+pub struct CachedCounter {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl CachedCounter {
+    /// Creates an unresolved handle; the registry is first consulted on
+    /// first use, not at construction.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn handle(&self) -> &'static Counter {
+        self.slot.get_or_init(|| counter(self.name))
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.handle().inc();
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.handle().add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.handle().get()
+    }
+}
+
 thread_local! {
     static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> =
         const { std::cell::RefCell::new(Vec::new()) };

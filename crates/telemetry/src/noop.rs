@@ -66,6 +66,34 @@ impl Histogram {
     }
 }
 
+/// No-op cached counter (zero-sized; feature `telemetry` is off). The
+/// live build resolves the registry slot once and then costs one atomic
+/// load per use; here every method compiles to nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedCounter;
+
+impl CachedCounter {
+    /// Creates a no-op handle.
+    #[inline(always)]
+    pub const fn new(_name: &'static str) -> Self {
+        Self
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
 /// No-op span (zero-sized, no `Drop` impl; feature `telemetry` is off).
 #[must_use = "a span measures the scope it is bound to — bind it to a variable"]
 #[derive(Debug, Clone, Copy, Default)]

@@ -28,6 +28,42 @@ fn counters_accumulate_across_threads() {
 }
 
 #[test]
+fn registration_storm_under_concurrency_loses_nothing() {
+    // The parallel engine's workers hit the registry from many threads at
+    // once — including the registration path, not just the post-
+    // registration atomics. Eight threads race first-use registration of
+    // overlapping counter names, per-thread gauges and one shared
+    // histogram, with snapshots taken mid-storm; afterwards every
+    // instrument must hold exactly the writes aimed at it.
+    thread::scope(|s| {
+        for t in 0..8u64 {
+            s.spawn(move || {
+                for i in 0..160u64 {
+                    telemetry::counter(&format!("test.storm.c{}", i % 16)).inc();
+                    telemetry::gauge(&format!("test.storm.g{t}")).set(i as f64);
+                    telemetry::histogram("test.storm.h").record(i);
+                    if i % 40 == 0 {
+                        // Concurrent reads must never deadlock or tear.
+                        let _ = telemetry::snapshot();
+                    }
+                }
+            });
+        }
+    });
+    let snap = telemetry::snapshot();
+    for i in 0..16 {
+        // Each thread hits each of the 16 names 160/16 = 10 times.
+        assert_eq!(snap.counter(&format!("test.storm.c{i}")), Some(80));
+    }
+    for t in 0..8 {
+        assert_eq!(snap.gauge(&format!("test.storm.g{t}")), Some(159.0));
+    }
+    let h = snap.histogram("test.storm.h").expect("registered");
+    assert_eq!(h.count, 8 * 160);
+    assert_eq!(h.sum, 8 * (0..160).sum::<u64>());
+}
+
+#[test]
 fn gauge_is_last_value_wins() {
     let g = telemetry::gauge("test.gauge.residual");
     g.set(1.5);

@@ -242,7 +242,9 @@ pub struct CampaignOutcome {
 /// Each kernel gets a fresh backend over the small test geometry with a
 /// per-workload injector seed derived deterministically from
 /// `spec.seed`, so the whole campaign is reproducible bit for bit from
-/// `(sim_rows, seed, spec, policy)`.
+/// `(sim_rows, seed, spec, policy)`. The kernels are fully independent
+/// trials, so they fan out over the scoped thread pool; outcomes come
+/// back in workload order regardless of the worker count.
 ///
 /// # Examples
 ///
@@ -264,48 +266,45 @@ pub fn run_fault_campaign(
     policy: &DegradationPolicy,
 ) -> Vec<CampaignOutcome> {
     let _span = telemetry::span("fault_campaign");
-    crate::all_workloads()
-        .iter()
-        .enumerate()
-        .map(|(i, workload)| {
-            // Distinct but deterministic noise stream per kernel.
-            let kernel_spec = FaultSpec {
-                seed: spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..spec.clone()
-            };
-            let mut backend = FeramBackend::new(MemoryGeometry::tiny())
-                .with_faults(kernel_spec)
-                .with_policy(policy.clone());
-            let result = {
-                let _span = telemetry::span(workload.name());
-                workload.execute(&mut backend, sim_rows, seed)
-            };
-            let reliability = backend.reliability_stats().clone();
-            let escaped = reliability.escaped_faults;
-            let (completed, error) = match result {
-                Ok(_) => (true, None),
-                Err(e) => (false, Some(e.to_string())),
-            };
-            telemetry::counter("campaign.kernels").inc();
-            telemetry::counter("campaign.injected_faults").add(reliability.injected());
-            telemetry::counter("campaign.corrected_faults").add(reliability.corrected());
-            if !completed {
-                telemetry::counter("campaign.failed_kernels").inc();
-            }
-            CampaignOutcome {
-                workload: workload.name().to_owned(),
-                completed,
-                error,
-                injected_faults: reliability.injected(),
-                corrected_faults: reliability.corrected(),
-                // An escape either surfaced (run failed → detected) or
-                // it did not (run "succeeded" → silent corruption).
-                detected_faults: if completed { 0 } else { escaped },
-                silent_corruptions: if completed { escaped } else { 0 },
-                reliability,
-            }
-        })
-        .collect()
+    let workloads = crate::all_workloads();
+    felim_exec::parallel_map(&workloads, |i, workload| {
+        // Distinct but deterministic noise stream per kernel.
+        let kernel_spec = FaultSpec {
+            seed: spec.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..spec.clone()
+        };
+        let mut backend = FeramBackend::new(MemoryGeometry::tiny())
+            .with_faults(kernel_spec)
+            .with_policy(policy.clone());
+        let result = {
+            let _span = telemetry::span(workload.name());
+            workload.execute(&mut backend, sim_rows, seed)
+        };
+        let reliability = backend.reliability_stats().clone();
+        let escaped = reliability.escaped_faults;
+        let (completed, error) = match result {
+            Ok(_) => (true, None),
+            Err(e) => (false, Some(e.to_string())),
+        };
+        telemetry::counter("campaign.kernels").inc();
+        telemetry::counter("campaign.injected_faults").add(reliability.injected());
+        telemetry::counter("campaign.corrected_faults").add(reliability.corrected());
+        if !completed {
+            telemetry::counter("campaign.failed_kernels").inc();
+        }
+        CampaignOutcome {
+            workload: workload.name().to_owned(),
+            completed,
+            error,
+            injected_faults: reliability.injected(),
+            corrected_faults: reliability.corrected(),
+            // An escape either surfaced (run failed → detected) or
+            // it did not (run "succeeded" → silent corruption).
+            detected_faults: if completed { 0 } else { escaped },
+            silent_corruptions: if completed { escaped } else { 0 },
+            reliability,
+        }
+    })
 }
 
 /// Total silent corruptions across a campaign — the headline robustness

@@ -97,7 +97,7 @@ impl std::error::Error for WorkloadError {
 }
 
 /// A bulk-bitwise application that can execute on any backend.
-pub trait Workload {
+pub trait Workload: Send + Sync {
     /// Display name (as in Fig 6).
     fn name(&self) -> &'static str;
 

@@ -2,7 +2,8 @@
 //! used for speed must agree with the slower, more physical ones.
 
 use felim::cell::cell2tnc::{Cell2TnC, Cell2TnCParams};
-use felim::cell::netlists::{not_testbench, run, sensed_current, tba_testbench, NetlistConfig};
+use felim::cell::netlists::NetlistConfig;
+use felim::cell::transients::{simulate, CellOp};
 use felim::cell::Bit;
 use felim::ferro::{MfmCapacitor, MfmParams, Polarity};
 use felim::spice::{Circuit, Element, TransientSpec, Waveform};
@@ -22,13 +23,12 @@ fn circuit_and_behavioural_not_agree() {
         let mut cell = Cell2TnC::new(&params);
         cell.write(0, bit);
         let behavioural = cell.qnro_read(0).sensed;
-        // Transistor level: currents for both states give the reference.
-        let mut tb = not_testbench(&cfg, bit);
-        let trace = run(&mut tb, &cfg).unwrap();
-        let i = sensed_current(&trace, &tb.schedule).unwrap();
-        let mut tb_o = not_testbench(&cfg, !bit);
-        let trace_o = run(&mut tb_o, &cfg).unwrap();
-        let i_o = sensed_current(&trace_o, &tb_o.schedule).unwrap();
+        // Transistor level: currents for both states give the reference
+        // (the second loop iteration replays both from the memo cache).
+        let i = simulate(&cfg, &CellOp::Not { bit }).unwrap().sensed_current_a;
+        let i_o = simulate(&cfg, &CellOp::Not { bit: !bit })
+            .unwrap()
+            .sensed_current_a;
         let circuit_bit = Bit::from_bool(i > (i * i_o).sqrt());
         assert_eq!(behavioural, circuit_bit, "NOT({bit})");
         assert_eq!(behavioural, !bit);
@@ -52,9 +52,7 @@ fn circuit_and_behavioural_tba_orderings_agree() {
         cell.write_bits(&felim::cell::cell2tnc::pattern_bits(v));
         behavioural.push(cell.sense_levels(&[0, 1, 2]).rsl_current_a);
 
-        let mut tb = tba_testbench(&cfg, v);
-        let trace = run(&mut tb, &cfg).unwrap();
-        circuit.push(sensed_current(&trace, &tb.schedule).unwrap());
+        circuit.push(simulate(&cfg, &CellOp::Tba { pattern: v }).unwrap().sensed_current_a);
     }
     for a in 0..8 {
         for b in 0..8 {

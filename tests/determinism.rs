@@ -1,0 +1,93 @@
+//! Worker-count determinism of the parallel engine.
+//!
+//! Every parallel fan-out site in the workspace derives its per-item
+//! random streams from the *item index* (`felim_exec::derive_seed`) and
+//! reduces results in index order, so the thread count must only affect
+//! scheduling — never values. These tests serialize each report to JSON
+//! under 1 worker and under 4 workers and compare the bytes.
+//!
+//! The worker count is driven through the `FELIM_THREADS` environment
+//! knob; a process-wide lock serializes the override. Other tests that
+//! happen to run a parallel region while the override is active are
+//! unaffected — by the very property established here.
+
+use felim::arch::{DegradationPolicy, FaultSpec};
+use felim::cell::{monte_carlo_margin, Cell2TnCParams};
+use felim::evaluation::run_fig6;
+use felim::exec::THREADS_ENV;
+use felim::ferro::{variation::sample_population, MfmParams, VariationSpec};
+use felim::workloads::driver::run_fault_campaign;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(THREADS_ENV, n.to_string());
+    let out = f();
+    std::env::remove_var(THREADS_ENV);
+    out
+}
+
+#[test]
+fn margin_report_bytes_identical_1_vs_4_threads() {
+    let run = |threads| {
+        with_threads(threads, || {
+            let report = monte_carlo_margin(
+                &Cell2TnCParams::default(),
+                VariationSpec::pessimistic(),
+                0.04,
+                64,
+                42,
+            );
+            serde_json::to_string(&report).expect("margin report serializes")
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn fault_campaign_bytes_identical_1_vs_4_threads() {
+    let spec = FaultSpec::from_failure_rate(2e-4, 42);
+    let policy = DegradationPolicy::hardened();
+    let run = |threads| {
+        with_threads(threads, || {
+            serde_json::to_string(&run_fault_campaign(8, 7, &spec, &policy))
+                .expect("campaign outcomes serialize")
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn fig6_bytes_identical_1_vs_4_threads() {
+    let run = |threads| {
+        with_threads(threads, || {
+            let (rows, ge, gc) = run_fig6(16, 1 << 30, 42);
+            format!(
+                "{}|{:016x}|{:016x}",
+                serde_json::to_string(&rows).expect("fig6 rows serialize"),
+                ge.to_bits(),
+                gc.to_bits()
+            )
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn variation_population_bytes_identical_1_vs_4_threads() {
+    let nominal = MfmParams::fabricated();
+    let run = |threads| {
+        with_threads(threads, || {
+            serde_json::to_string(&sample_population(
+                &nominal,
+                VariationSpec::typical(),
+                11,
+                48,
+            ))
+            .expect("population serializes")
+        })
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -36,6 +36,7 @@ pub trait Standard: Sized {
 macro_rules! impl_standard_int {
     ($($t:ty),*) => {$(
         impl Standard for $t {
+            #[inline]
             fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
                 rng.next_u64() as $t
             }
@@ -45,12 +46,14 @@ macro_rules! impl_standard_int {
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Standard for bool {
+    #[inline]
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         rng.next_u64() & 1 == 1
     }
 }
 
 impl Standard for f64 {
+    #[inline]
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         // 53 random mantissa bits → uniform in [0, 1).
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -58,6 +61,7 @@ impl Standard for f64 {
 }
 
 impl Standard for f32 {
+    #[inline]
     fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
         (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
     }
@@ -75,6 +79,7 @@ macro_rules! impl_sample_range_int {
     ($($t:ty),*) => {$(
         impl SampleRange for Range<$t> {
             type Output = $t;
+            #[inline]
             fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
@@ -83,6 +88,7 @@ macro_rules! impl_sample_range_int {
         }
         impl SampleRange for RangeInclusive<$t> {
             type Output = $t;
+            #[inline]
             fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
@@ -100,6 +106,7 @@ impl_sample_range_int!(u8, u16, u32, u64, usize, i32, i64);
 
 impl SampleRange for Range<f64> {
     type Output = f64;
+    #[inline]
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "cannot sample empty range");
         let unit = f64::draw(rng);
@@ -109,6 +116,7 @@ impl SampleRange for Range<f64> {
 
 impl SampleRange for RangeInclusive<f64> {
     type Output = f64;
+    #[inline]
     fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "cannot sample empty range");
@@ -120,6 +128,7 @@ impl SampleRange for RangeInclusive<f64> {
 /// [`RngCore`] (mirroring `rand::Rng`).
 pub trait Rng: RngCore {
     /// Draws a value of any [`Standard`] type.
+    #[inline]
     fn gen<T: Standard>(&mut self) -> T
     where
         Self: Sized,
@@ -132,6 +141,7 @@ pub trait Rng: RngCore {
     /// # Panics
     ///
     /// Panics unless `0 <= p <= 1`.
+    #[inline]
     fn gen_bool(&mut self, p: f64) -> bool
     where
         Self: Sized,
@@ -141,6 +151,7 @@ pub trait Rng: RngCore {
     }
 
     /// Uniform draw from a range.
+    #[inline]
     fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
     where
         Self: Sized,
@@ -165,12 +176,32 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = *state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
+    }
+
+    impl StdRng {
+        /// The full generator state. Together with [`StdRng::from_state`]
+        /// this supports exact checkpoint/replay: the state before a draw
+        /// sequence uniquely determines both the outputs and the state
+        /// after, which is what content-addressed result caches key on.
+        #[inline]
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a generator from a previously captured state.
+        #[inline]
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -187,6 +218,7 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1]
                 .wrapping_mul(5)
