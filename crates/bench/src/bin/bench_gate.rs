@@ -5,43 +5,47 @@
 //!     results/BENCH_PR3.json /tmp/felim-bench/BENCH_PR3.json [tolerance]
 //! ```
 //!
-//! Recomputes the aggregate kernel throughput (total simulated commands /
-//! total wall-clock seconds) from the committed baseline and from a fresh
+//! Recomputes the aggregate throughput (total work units / total
+//! wall-clock seconds) from the committed baseline and from a fresh
 //! run, and exits non-zero when the fresh number falls more than
 //! `tolerance` (default 0.10, i.e. 10 %) below the baseline. Aggregates
-//! are recomputed from the `kernels` array rather than read from the
-//! `aggregate_ops_per_s` field so the gate also accepts the PR 2 schema.
+//! are recomputed from the per-entry arrays rather than read from any
+//! precomputed field, so the gate accepts every baseline schema: the
+//! PR 2/PR 3 `kernels` array (`sim_commands` per entry) and the PR 4
+//! `modes` array (`samples` per entry).
 
 use std::process::ExitCode;
 
-/// Total commands / total wall-clock seconds from a baseline's `kernels`
-/// array.
+/// Total work units / total wall-clock seconds from a baseline's
+/// `kernels` (simulated commands) or `modes` (cell transients) array.
 fn aggregate_ops_per_s(path: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let json: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-    let kernels = json
+    let entries = json
         .get("kernels")
+        .or_else(|| json.get("modes"))
         .and_then(|k| k.as_array())
-        .ok_or_else(|| format!("{path}: no `kernels` array"))?;
-    let mut commands = 0.0;
+        .ok_or_else(|| format!("{path}: no `kernels` or `modes` array"))?;
+    let mut work = 0.0;
     let mut wall_s = 0.0;
-    for k in kernels {
-        let cmds = k
+    for k in entries {
+        let units = k
             .get("sim_commands")
+            .or_else(|| k.get("samples"))
             .and_then(serde_json::Value::as_f64)
-            .ok_or_else(|| format!("{path}: kernel entry without `sim_commands`"))?;
+            .ok_or_else(|| format!("{path}: entry without `sim_commands` or `samples`"))?;
         let wall_ms = k
             .get("wall_ms")
             .and_then(serde_json::Value::as_f64)
-            .ok_or_else(|| format!("{path}: kernel entry without `wall_ms`"))?;
-        commands += cmds;
+            .ok_or_else(|| format!("{path}: entry without `wall_ms`"))?;
+        work += units;
         wall_s += wall_ms * 1e-3;
     }
     if wall_s <= 0.0 {
         return Err(format!("{path}: zero total wall time"));
     }
-    Ok(commands / wall_s)
+    Ok(work / wall_s)
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,183 @@
+//! PR 4 performance baseline: uncached Monte-Carlo transient throughput
+//! with the legacy solver knobs vs the adaptive/modified-Newton fast
+//! path.
+//!
+//! This binary requires the `telemetry` feature and is the documented
+//! one-command producer of `results/BENCH_PR4.json`:
+//!
+//! ```text
+//! FELIM_THREADS=1 cargo run --release -p felim-bench --features telemetry --bin bench_pr4
+//! ```
+//!
+//! The workload is [`felim::cell::monte_carlo_transients`]: full
+//! transistor-level TBA read transients, each over a *freshly varied*
+//! device, so the PR 3 memo cache never serves a hit — every cell-op is
+//! paid at solver price. Both modes run the identical sample set; the
+//! committed baseline is captured with `FELIM_THREADS=1` so the number
+//! on record is the single-thread win. Each mode gets one un-timed
+//! warm-up pass (lazy telemetry registration, allocator growth), then
+//! the best wall-clock of three recorded passes — shared runners are
+//! noisy and the best-of is the least-noise estimator of the machine's
+//! actual capability. Solver-effort counters are captured around the
+//! first recorded pass (they are deterministic, so any pass reports the
+//! same deltas).
+
+use felim::cell::netlists::{NetlistConfig, SolverOptions};
+use felim::cell::{monte_carlo_transients, McTransientReport};
+use felim::ferro::VariationSpec;
+use felim::telemetry;
+use felim_bench::{header, results_dir};
+use serde::Serialize;
+use std::time::Instant;
+
+const SAMPLES: usize = 48;
+const SEED: u64 = 42;
+const REPS: usize = 3;
+
+/// One solver mode's throughput and effort over the common sample set.
+#[derive(Debug, Serialize)]
+struct ModeBaseline {
+    mode: &'static str,
+    /// Cell transients per recorded pass.
+    samples: u64,
+    /// Best-of-`REPS` wall-clock time of one pass, in milliseconds.
+    wall_ms: f64,
+    /// Cell transients per wall-clock second (from the best pass).
+    cells_per_s: f64,
+    /// Mean recorded time points per transient.
+    mean_time_points: f64,
+    /// Population-mean sensed RSL current, in A (accuracy cross-check).
+    mean_sensed_current_a: f64,
+    newton_iterations: u64,
+    lu_factorizations: u64,
+    lu_reuse_hits: u64,
+    lte_rejected_steps: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: &'static str,
+    samples: u64,
+    seed: u64,
+    /// Worker count the campaign ran with (`FELIM_THREADS`-bounded).
+    threads: usize,
+    /// Optimized-mode cells/s over legacy-mode cells/s — the PR 4 claim.
+    speedup_optimized_vs_legacy: f64,
+    modes: Vec<ModeBaseline>,
+}
+
+/// Difference of a counter between two snapshots.
+fn delta(after: &telemetry::Report, before: &telemetry::Report, name: &str) -> u64 {
+    after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0)
+}
+
+fn run_mode(
+    cfg: &NetlistConfig,
+    mode: &'static str,
+    solver: &SolverOptions,
+) -> (ModeBaseline, McTransientReport) {
+    // Un-timed warm-up pass.
+    monte_carlo_transients(cfg, VariationSpec::typical(), SAMPLES, SEED, solver)
+        .expect("baseline campaign must converge");
+
+    let mut best_wall = f64::INFINITY;
+    let mut report = None;
+    let mut effort = None;
+    for _ in 0..REPS {
+        let before = telemetry::snapshot();
+        let start = Instant::now();
+        let r = monte_carlo_transients(cfg, VariationSpec::typical(), SAMPLES, SEED, solver)
+            .expect("baseline campaign must converge");
+        let wall = start.elapsed().as_secs_f64();
+        let after = telemetry::snapshot();
+        best_wall = best_wall.min(wall);
+        effort.get_or_insert_with(|| {
+            (
+                delta(&after, &before, "spice.newton_iterations"),
+                delta(&after, &before, "spice.lu_factorizations"),
+                delta(&after, &before, "spice.lu_reuse_hits"),
+                delta(&after, &before, "spice.lte_rejected_steps"),
+            )
+        });
+        report = Some(r);
+    }
+    let report = report.expect("at least one recorded pass");
+    let (newton, lu, reuse, lte) = effort.expect("at least one recorded pass");
+    (
+        ModeBaseline {
+            mode,
+            samples: SAMPLES as u64,
+            wall_ms: best_wall * 1e3,
+            cells_per_s: SAMPLES as f64 / best_wall.max(1e-9),
+            mean_time_points: report.mean_time_points,
+            mean_sensed_current_a: report.mean_sensed_current_a,
+            newton_iterations: newton,
+            lu_factorizations: lu,
+            lu_reuse_hits: reuse,
+            lte_rejected_steps: lte,
+        },
+        report,
+    )
+}
+
+fn main() {
+    assert!(
+        telemetry::enabled(),
+        "bench_pr4 must be built with --features telemetry"
+    );
+    header(
+        "BENCH_PR4",
+        "uncached cell-op transient throughput, legacy vs adaptive solver",
+    );
+    telemetry::reset();
+
+    let cfg = NetlistConfig::standard();
+    let (legacy, legacy_report) = run_mode(&cfg, "legacy", &SolverOptions::default());
+    let (optimized, optimized_report) =
+        run_mode(&cfg, "optimized", &SolverOptions::optimized());
+
+    // The fast path must stay on the same physics: population-mean
+    // sensed current within 5 % of the dense fixed-step reference.
+    let drift = (optimized_report.mean_sensed_current_a - legacy_report.mean_sensed_current_a)
+        .abs()
+        / legacy_report.mean_sensed_current_a.abs().max(1e-30);
+    assert!(drift < 0.05, "fast path drifted {drift:.4} from legacy");
+
+    let speedup = optimized.cells_per_s / legacy.cells_per_s.max(1e-9);
+    println!(
+        "  {:<10} {:>9} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "mode", "cells", "wall ms", "cells/s", "points", "newton", "LU"
+    );
+    for m in [&legacy, &optimized] {
+        println!(
+            "  {:<10} {:>9} {:>10.2} {:>12.1} {:>10.1} {:>12} {:>10}",
+            m.mode,
+            m.samples,
+            m.wall_ms,
+            m.cells_per_s,
+            m.mean_time_points,
+            m.newton_iterations,
+            m.lu_factorizations
+        );
+    }
+    println!(
+        "  speedup: {speedup:.2}x (LU reuse {} hits, {} LTE rejections, drift {drift:.2e})",
+        optimized.lu_reuse_hits, optimized.lte_rejected_steps
+    );
+
+    let baseline = Baseline {
+        schema: "felim-bench-pr4/v1",
+        samples: SAMPLES as u64,
+        seed: SEED,
+        threads: felim::exec::thread_count(),
+        speedup_optimized_vs_legacy: speedup,
+        modes: vec![legacy, optimized],
+    };
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_PR4.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PR4.json");
+    println!("\nwrote {}", path.display());
+}

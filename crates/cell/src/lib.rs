@@ -47,6 +47,7 @@ pub mod dram;
 pub mod dram_netlist;
 pub mod feram1t1c;
 pub mod margin;
+pub mod mc_transient;
 pub mod netlists;
 pub mod ops;
 pub mod senseamp;
@@ -54,7 +55,8 @@ pub mod transients;
 
 pub use cell2tnc::{Cell2TnC, Cell2TnCParams, SenseLevels};
 pub use margin::{monte_carlo_margin, MarginReport};
-pub use transients::{simulate, CellOp, TransientOutcome};
+pub use mc_transient::{monte_carlo_transients, McTransientReport};
+pub use transients::{simulate, simulate_with_solver, CellOp, TransientOutcome};
 pub use senseamp::SenseAmp;
 
 use serde::{Deserialize, Serialize};

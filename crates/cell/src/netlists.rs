@@ -13,7 +13,10 @@
 //! these netlists (see the cross-validation tests at the bottom).
 
 use felim_ferro::{MfmCapacitor, MfmParams, Polarity};
-use felim_spice::{Circuit, Element, MosfetParams, SpiceError, Trace, TransientSpec, Waveform};
+use felim_spice::{
+    AdaptiveSpec, Circuit, Element, MosfetParams, NewtonPolicy, SpiceError, Trace, TransientSpec,
+    Waveform,
+};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the transistor-level cell testbench.
@@ -248,14 +251,62 @@ fn read_testbench_with_initial(
     read_testbench(cfg, initial, active)
 }
 
+/// Transient-solver options for [`run_with_solver`].
+///
+/// The default (`adaptive: None`, full Newton) is the dense fixed-step
+/// schedule every figure golden was captured with — bit-identical to the
+/// seed engine. [`SolverOptions::optimized`] turns on the LTE-controlled
+/// adaptive stepping and LU-factor reuse used by the Monte-Carlo
+/// campaigns, where per-sample waveforms are statistics (not goldens)
+/// and throughput dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverOptions {
+    /// LTE-controlled adaptive stepping; `None` keeps the fixed schedule.
+    pub adaptive: Option<AdaptiveSpec>,
+    /// LU-factor reuse policy for the transient Newton loop.
+    pub newton: NewtonPolicy,
+}
+
+impl SolverOptions {
+    /// Adaptive stepping plus modified Newton — the campaign fast path.
+    pub fn optimized() -> Self {
+        Self {
+            adaptive: Some(AdaptiveSpec::default()),
+            newton: NewtonPolicy::Modified,
+        }
+    }
+
+    /// The transient spec these options produce for a given schedule.
+    pub fn spec(&self, t_stop_s: f64, dt_s: f64) -> TransientSpec {
+        let mut spec = TransientSpec::new(t_stop_s, dt_s).with_newton(self.newton);
+        if let Some(a) = self.adaptive {
+            spec = spec.with_adaptive(a);
+        }
+        spec
+    }
+}
+
 /// Runs a testbench to completion and returns the trace.
 ///
 /// # Errors
 ///
 /// Propagates simulator failures ([`SpiceError`]).
 pub fn run(tb: &mut CellTestbench, cfg: &NetlistConfig) -> Result<Trace, SpiceError> {
+    run_with_solver(tb, cfg, &SolverOptions::default())
+}
+
+/// [`run`] with explicit transient-solver options.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SpiceError`]).
+pub fn run_with_solver(
+    tb: &mut CellTestbench,
+    cfg: &NetlistConfig,
+    solver: &SolverOptions,
+) -> Result<Trace, SpiceError> {
     tb.circuit
-        .transient(&TransientSpec::new(tb.schedule.t_stop_s, cfg.dt_s))
+        .transient(&solver.spec(tb.schedule.t_stop_s, cfg.dt_s))
 }
 
 /// The RSL current sampled at the sense instant.

@@ -26,8 +26,8 @@
 //! `cell.transient_misses` telemetry counters.
 
 use crate::netlists::{
-    cap_name, not_testbench, read_testbench, run, sensed_current, tba_testbench, CellTestbench,
-    NetlistConfig, Schedule,
+    cap_name, not_testbench, read_testbench, run, run_with_solver, sensed_current, tba_testbench,
+    CellTestbench, NetlistConfig, Schedule, SolverOptions,
 };
 use crate::Bit;
 use felim_ferro::Polarity;
@@ -186,6 +186,47 @@ pub fn simulate(cfg: &NetlistConfig, op: &CellOp) -> Result<Arc<TransientOutcome
     }
     felim_telemetry::counter("cell.transient_misses").inc();
     let trace = run(&mut tb, cfg)?;
+    let outcome = Arc::new(capture(&tb, cfg, trace)?);
+    let mut cache = transient_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if cache.len() < TRANSIENT_CACHE_CAP {
+        cache.insert(key, Arc::clone(&outcome));
+    }
+    Ok(outcome)
+}
+
+/// Runs a cell transient with explicit transient-solver options.
+///
+/// With the default options this is exactly [`simulate`] — cached, and
+/// bit-identical to the seed engine. Non-default options (the adaptive /
+/// modified-Newton fast path of [`SolverOptions::optimized`]) change the
+/// recorded step schedule, so those runs bypass the content-addressed
+/// cache entirely rather than poison it with solver-dependent traces.
+///
+/// # Errors
+///
+/// Propagates simulator failures ([`SpiceError`]) from the underlying
+/// transient.
+pub fn simulate_with_solver(
+    cfg: &NetlistConfig,
+    op: &CellOp,
+    solver: &SolverOptions,
+) -> Result<Arc<TransientOutcome>, SpiceError> {
+    if *solver == SolverOptions::default() {
+        return simulate(cfg, op);
+    }
+    let mut tb = op.build(cfg);
+    let trace = run_with_solver(&mut tb, cfg, solver)?;
+    Ok(Arc::new(capture(&tb, cfg, trace)?))
+}
+
+/// Captures everything observable from a finished run into an outcome.
+fn capture(
+    tb: &CellTestbench,
+    cfg: &NetlistConfig,
+    trace: Trace,
+) -> Result<TransientOutcome, SpiceError> {
     let sensed_current_a = sensed_current(&trace, &tb.schedule)?;
     let final_polarizations = (0..cfg.n_caps)
         .map(|i| {
@@ -194,20 +235,13 @@ pub fn simulate(cfg: &NetlistConfig, op: &CellOp) -> Result<Arc<TransientOutcome
                 .map_or(0.0, felim_ferro::MfmCapacitor::polarization)
         })
         .collect();
-    let outcome = Arc::new(TransientOutcome {
+    Ok(TransientOutcome {
         schedule: tb.schedule,
         trace,
         sensed_current_a,
         final_polarizations,
-        final_states: capacitor_states(&tb, cfg.n_caps),
-    });
-    let mut cache = transient_cache()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if cache.len() < TRANSIENT_CACHE_CAP {
-        cache.insert(key, Arc::clone(&outcome));
-    }
-    Ok(outcome)
+        final_states: capacitor_states(tb, cfg.n_caps),
+    })
 }
 
 #[cfg(test)]
@@ -276,6 +310,31 @@ mod tests {
                 "stored bit must survive the memoized readout"
             );
         }
+    }
+
+    #[test]
+    fn solver_aware_entry_point_agrees_and_keeps_the_cache_clean() {
+        let cfg = cfg();
+        let op = CellOp::Tba { pattern: 0b101 };
+        // Default options route through the memo cache: same allocation.
+        let cached = simulate(&cfg, &op).unwrap();
+        let via_solver = simulate_with_solver(&cfg, &op, &SolverOptions::default()).unwrap();
+        assert!(Arc::ptr_eq(&cached, &via_solver));
+        // The optimized path is uncached (its trace depends on the
+        // solver options, which the cache key does not encode) but must
+        // agree on the physically meaningful readout.
+        let fast = simulate_with_solver(&cfg, &op, &SolverOptions::optimized()).unwrap();
+        assert!(!Arc::ptr_eq(&cached, &fast));
+        let tol = 0.05 * cached.sensed_current_a.abs() + 1e-15;
+        assert!(
+            (fast.sensed_current_a - cached.sensed_current_a).abs() <= tol,
+            "optimized {:e} vs dense {:e}",
+            fast.sensed_current_a,
+            cached.sensed_current_a,
+        );
+        // And it must not have poisoned the cache for the default path.
+        let again = simulate(&cfg, &op).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
     }
 
     proptest! {

@@ -18,7 +18,7 @@
 //! * slow accumulative read disturb through the low-V_c tail of the domain
 //!   distribution (the reason QNRO still eventually needs a write-back).
 
-use crate::domain::{Domain, Polarity};
+use crate::domain::{merz_tau, Domain, DomainBank, Polarity};
 use crate::endurance::pr_cycling_factor;
 use crate::params::MfmParams;
 use crate::temperature::TemperatureModel;
@@ -46,7 +46,9 @@ pub struct PulseResult {
 pub struct MfmCapacitor {
     params: MfmParams,
     temperature: TemperatureModel,
-    domains: Vec<Domain>,
+    /// Domain population in structure-of-arrays form: the per-iteration
+    /// charge predictions sweep these as contiguous `f64` slices.
+    domains: DomainBank,
     temperature_k: f64,
     /// Accumulated bipolar write cycles (two opposite writes = one cycle).
     cycles: f64,
@@ -69,7 +71,7 @@ impl MfmCapacitor {
             .expect("MfmCapacitor requires valid parameters");
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mu = params.vc_mean_v.ln();
-        let domains = (0..params.n_domains)
+        let domains: DomainBank = (0..params.n_domains)
             .map(|_| {
                 // Box–Muller standard normal from two uniforms.
                 let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -107,7 +109,7 @@ impl MfmCapacitor {
 
     /// Mean normalized polarization `p̄ ∈ [-1, +1]`.
     pub fn polarization(&self) -> f64 {
-        let sum: f64 = self.domains.iter().map(Domain::polarization).sum();
+        let sum: f64 = self.domains.p_slice().iter().sum();
         sum / self.domains.len() as f64
     }
 
@@ -158,8 +160,9 @@ impl MfmCapacitor {
         }
         let sum: f64 = self
             .domains
+            .p_slice()
             .iter()
-            .map(|d| (1.0 - d.polarization() * v_sign.signum()) * 0.5)
+            .map(|&p| (1.0 - p * v_sign.signum()) * 0.5)
             .sum();
         sum / self.domains.len() as f64
     }
@@ -190,6 +193,9 @@ impl MfmCapacitor {
 
     /// Evolves the domain state for `dt` seconds at constant voltage `v`.
     /// Returns the change in mean normalized polarization.
+    ///
+    /// One fused stride-1 sweep over the domain bank, same scalar kernel
+    /// per domain as [`Domain::step`].
     pub fn apply_voltage(&mut self, v: f64, dt: f64) -> f64 {
         let vc_scale = self.vc_scale();
         let (tau0, alpha, n) = (
@@ -197,12 +203,23 @@ impl MfmCapacitor {
             self.params.merz_alpha,
             self.params.merz_exp,
         );
-        let total: f64 = self
-            .domains
-            .iter_mut()
-            .map(|d| d.step(v, dt, vc_scale, tau0, alpha, n))
-            .sum();
-        total / self.domains.len() as f64
+        let count = self.domains.len() as f64;
+        if v == 0.0 || dt <= 0.0 {
+            return 0.0;
+        }
+        let target = v.signum();
+        let (vc, ps) = self.domains.vc_and_p_mut();
+        let mut total = 0.0;
+        for (&vc_v, p) in vc.iter().zip(ps) {
+            let tau = merz_tau(vc_v, v, vc_scale, tau0, alpha, n);
+            if tau.is_finite() {
+                let old = *p;
+                let decay = (-dt / tau).exp();
+                *p = target + (old - target) * decay;
+                total += *p - old;
+            }
+        }
+        total / count
     }
 
     /// Predicts — without mutating state — the mean polarization after `dt`
@@ -221,13 +238,15 @@ impl MfmCapacitor {
         let target = v.signum();
         let sum: f64 = self
             .domains
+            .vc_slice()
             .iter()
-            .map(|d| {
-                let tau = d.tau(v, vc_scale, tau0, alpha, n);
+            .zip(self.domains.p_slice())
+            .map(|(&vc_v, &p)| {
+                let tau = merz_tau(vc_v, v, vc_scale, tau0, alpha, n);
                 if tau.is_finite() {
-                    target + (d.polarization() - target) * (-dt / tau).exp()
+                    target + (p - target) * (-dt / tau).exp()
                 } else {
-                    d.polarization()
+                    p
                 }
             })
             .sum();
@@ -250,15 +269,15 @@ impl MfmCapacitor {
         let target = if v == 0.0 { 0.0 } else { v.signum() };
         let mut p_sum = 0.0;
         let mut opp_sum = 0.0;
-        for d in &self.domains {
+        for (&vc_v, &p) in self.domains.vc_slice().iter().zip(self.domains.p_slice()) {
             let p_new = if v == 0.0 || dt <= 0.0 {
-                d.polarization()
+                p
             } else {
-                let tau = d.tau(v, vc_scale, tau0, alpha, n);
+                let tau = merz_tau(vc_v, v, vc_scale, tau0, alpha, n);
                 if tau.is_finite() {
-                    target + (d.polarization() - target) * (-dt / tau).exp()
+                    target + (p - target) * (-dt / tau).exp()
                 } else {
-                    d.polarization()
+                    p
                 }
             };
             p_sum += p_new;
@@ -269,6 +288,65 @@ impl MfmCapacitor {
         let cap = self.params.background_capacitance()
             + self.params.domain_wall_capacitance() * opposition * self.dw_weight(v);
         cap * v + self.params.area_m2 * self.ps_eff() * p_sum / count
+    }
+
+    /// Predicted electrode charges at two voltages `v_a` and `v_b` after
+    /// the same `dt`, in one fused pass over the domain bank.
+    ///
+    /// Bit-identical to calling [`Self::predict_charge`] twice — each
+    /// voltage keeps its own accumulators, updated per domain in the same
+    /// order — but evaluates the Merz kernel sweep once instead of
+    /// twice-over. This is the circuit simulator's inner loop: every
+    /// Newton iteration needs `Q(v)` and `Q(v + h)` for the finite-
+    /// difference companion conductance.
+    pub fn predict_charge_pair(&self, v_a: f64, v_b: f64, dt: f64) -> (f64, f64) {
+        let vc_scale = self.vc_scale();
+        let (tau0, alpha, n) = (
+            self.params.tau0_s,
+            self.params.merz_alpha,
+            self.params.merz_exp,
+        );
+        let target_a = if v_a == 0.0 { 0.0 } else { v_a.signum() };
+        let target_b = if v_b == 0.0 { 0.0 } else { v_b.signum() };
+        let (mut p_sum_a, mut opp_sum_a) = (0.0, 0.0);
+        let (mut p_sum_b, mut opp_sum_b) = (0.0, 0.0);
+        for (&vc_v, &p) in self.domains.vc_slice().iter().zip(self.domains.p_slice()) {
+            let p_new_a = if v_a == 0.0 || dt <= 0.0 {
+                p
+            } else {
+                let tau = merz_tau(vc_v, v_a, vc_scale, tau0, alpha, n);
+                if tau.is_finite() {
+                    target_a + (p - target_a) * (-dt / tau).exp()
+                } else {
+                    p
+                }
+            };
+            p_sum_a += p_new_a;
+            opp_sum_a += (1.0 - p_new_a * target_a) * 0.5;
+            let p_new_b = if v_b == 0.0 || dt <= 0.0 {
+                p
+            } else {
+                let tau = merz_tau(vc_v, v_b, vc_scale, tau0, alpha, n);
+                if tau.is_finite() {
+                    target_b + (p - target_b) * (-dt / tau).exp()
+                } else {
+                    p
+                }
+            };
+            p_sum_b += p_new_b;
+            opp_sum_b += (1.0 - p_new_b * target_b) * 0.5;
+        }
+        let count = self.domains.len() as f64;
+        let charge = |v: f64, p_sum: f64, opp_sum: f64| {
+            let opposition = if v == 0.0 { 0.0 } else { opp_sum / count };
+            let cap = self.params.background_capacitance()
+                + self.params.domain_wall_capacitance() * opposition * self.dw_weight(v);
+            cap * v + self.params.area_m2 * self.ps_eff() * p_sum / count
+        };
+        (
+            charge(v_a, p_sum_a, opp_sum_a),
+            charge(v_b, p_sum_b, opp_sum_b),
+        )
     }
 
     /// Evolves the domain state *stochastically*: instead of the mean-
@@ -291,15 +369,16 @@ impl MfmCapacitor {
         let target = v.signum();
         let count = self.domains.len() as f64;
         let mut delta = 0.0;
-        for d in &mut self.domains {
-            let tau = d.tau(v, vc_scale, tau0, alpha, n);
+        let (vc, ps) = self.domains.vc_and_p_mut();
+        for (&vc_v, p) in vc.iter().zip(ps) {
+            let tau = merz_tau(vc_v, v, vc_scale, tau0, alpha, n);
             if !tau.is_finite() {
                 continue;
             }
             let p_flip = 1.0 - (-dt / tau).exp();
             if rng.gen_bool(p_flip.clamp(0.0, 1.0)) {
-                let old = d.polarization();
-                d.set_polarization(target);
+                let old = *p;
+                *p = target;
                 delta += target - old;
             }
         }
@@ -352,9 +431,7 @@ impl MfmCapacitor {
     /// models. Performs the same endurance/disturb bookkeeping as
     /// [`Self::write`].
     pub fn write_ideal(&mut self, polarity: Polarity) {
-        for d in &mut self.domains {
-            d.set_polarization(polarity.sign());
-        }
+        self.domains.p_slice_mut().fill(polarity.sign());
         if let Some(prev) = self.last_write {
             if prev != polarity {
                 self.cycles += 0.5;
@@ -385,9 +462,15 @@ impl MfmCapacitor {
         self.cycles += n;
     }
 
-    /// Iterates over the domains (read-only).
-    pub fn domains(&self) -> impl Iterator<Item = &Domain> {
+    /// Iterates over the domains (by value; the backing store is
+    /// structure-of-arrays).
+    pub fn domains(&self) -> impl Iterator<Item = Domain> + '_ {
         self.domains.iter()
+    }
+
+    /// The domain population in structure-of-arrays form.
+    pub fn domain_bank(&self) -> &DomainBank {
+        &self.domains
     }
 }
 

@@ -103,6 +103,141 @@ pub struct Domain {
 /// genuine read pulses disturb the low-`V_c` tail.
 const FIELD_CUTOFF_FRACTION: f64 = 0.25;
 
+/// Merz-law switching time constant (s) for a domain with coercive
+/// voltage `vc_v` under applied voltage `v`, with the coercive voltage
+/// scaled by `vc_scale`. Returns `f64::INFINITY` below the activation
+/// cutoff. This is the scalar kernel shared by [`Domain::tau`] and the
+/// vectorized [`DomainBank`] sweeps.
+#[inline]
+pub(crate) fn merz_tau(vc_v: f64, v: f64, vc_scale: f64, tau0_s: f64, alpha: f64, n: f64) -> f64 {
+    let vc = vc_v * vc_scale;
+    let mag = v.abs();
+    if mag < FIELD_CUTOFF_FRACTION * vc {
+        return f64::INFINITY;
+    }
+    let arg = alpha * (vc / mag).powf(n);
+    // exp(700) overflows f64; anything that slow is effectively frozen.
+    if arg > 600.0 {
+        f64::INFINITY
+    } else {
+        tau0_s * arg.exp()
+    }
+}
+
+/// Structure-of-arrays storage for the domain population of one MFM
+/// capacitor.
+///
+/// The solver-facing hot loops (charge prediction inside every Newton
+/// iteration, relaxation on every committed step) sweep all domains with
+/// the same scalar kernel; splitting coercive voltages and polarizations
+/// into two contiguous `f64` slices lets those sweeps run as fused,
+/// stride-1 passes the compiler can unroll and vectorize, instead of
+/// hopping over interleaved `{vc, p}` pairs.
+///
+/// Per-index values round-trip through [`Domain`] by value; the JSON
+/// serialization is element-wise and therefore identical to what the
+/// old `Vec<Domain>` field produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DomainBank {
+    vc_v: Vec<f64>,
+    p: Vec<f64>,
+}
+
+impl DomainBank {
+    /// An empty bank with capacity for `n` domains.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            vc_v: Vec::with_capacity(n),
+            p: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a domain.
+    pub fn push(&mut self, d: Domain) {
+        self.vc_v.push(d.vc_v);
+        self.p.push(d.p);
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.vc_v.len()
+    }
+
+    /// Whether the bank holds no domains.
+    pub fn is_empty(&self) -> bool {
+        self.vc_v.is_empty()
+    }
+
+    /// The `i`-th domain, by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Domain {
+        Domain {
+            vc_v: self.vc_v[i],
+            p: self.p[i],
+        }
+    }
+
+    /// Iterates over the domains by value.
+    pub fn iter(&self) -> impl Iterator<Item = Domain> + '_ {
+        self.vc_v
+            .iter()
+            .zip(&self.p)
+            .map(|(&vc_v, &p)| Domain { vc_v, p })
+    }
+
+    /// Coercive voltages (V), one per domain.
+    pub fn vc_slice(&self) -> &[f64] {
+        &self.vc_v
+    }
+
+    /// Normalized polarizations in `[-1, 1]`, one per domain.
+    pub fn p_slice(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Mutable polarizations (callers must keep values in `[-1, 1]`).
+    pub(crate) fn p_slice_mut(&mut self) -> &mut [f64] {
+        &mut self.p
+    }
+
+    /// Borrows the coercive voltages and mutable polarizations together
+    /// (the committed-relaxation sweep needs both at once).
+    pub(crate) fn vc_and_p_mut(&mut self) -> (&[f64], &mut [f64]) {
+        (&self.vc_v, &mut self.p)
+    }
+}
+
+impl FromIterator<Domain> for DomainBank {
+    fn from_iter<I: IntoIterator<Item = Domain>>(iter: I) -> Self {
+        let mut bank = DomainBank::default();
+        for d in iter {
+            bank.push(d);
+        }
+        bank
+    }
+}
+
+// Written as a JSON sequence of `{"vc_v": …, "p": …}` objects — the exact
+// encoding the previous `Vec<Domain>` representation produced. (The
+// vendored serde derive cannot express this flattening, hence manual.)
+impl Serialize for DomainBank {
+    fn json_write(&self, out: &mut String) {
+        out.push('[');
+        for i in 0..self.len() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.get(i).json_write(out);
+        }
+        out.push(']');
+    }
+}
+
+impl Deserialize for DomainBank {}
+
 impl Domain {
     /// Creates a domain with coercive voltage `vc_v` (V) in polarization
     /// state `p` (normalized, clamped to `[-1, 1]`).
@@ -142,18 +277,7 @@ impl Domain {
     ///
     /// Returns `f64::INFINITY` below the activation cutoff.
     pub fn tau(&self, v: f64, vc_scale: f64, tau0_s: f64, alpha: f64, n: f64) -> f64 {
-        let vc = self.vc_v * vc_scale;
-        let mag = v.abs();
-        if mag < FIELD_CUTOFF_FRACTION * vc {
-            return f64::INFINITY;
-        }
-        let arg = alpha * (vc / mag).powf(n);
-        // exp(700) overflows f64; anything that slow is effectively frozen.
-        if arg > 600.0 {
-            f64::INFINITY
-        } else {
-            tau0_s * arg.exp()
-        }
+        merz_tau(self.vc_v, v, vc_scale, tau0_s, alpha, n)
     }
 
     /// Evolves the domain for `dt` seconds under constant voltage `v`.

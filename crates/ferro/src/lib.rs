@@ -61,7 +61,7 @@ pub mod temperature;
 pub mod variation;
 
 pub use capacitor::{MfmCapacitor, PulseResult};
-pub use domain::{Domain, Polarity};
+pub use domain::{Domain, DomainBank, Polarity};
 pub use endurance::{EnduranceResult, EnduranceRun};
 pub use imprint::ImprintModel;
 pub use params::{MfmParams, MfmParamsBuilder, ParamError};

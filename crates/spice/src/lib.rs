@@ -49,7 +49,7 @@ pub mod probe;
 pub mod sweep;
 pub mod waveform;
 
-pub use analysis::{SolverDiagnostics, TransientSpec};
+pub use analysis::{AdaptiveSpec, NewtonPolicy, SolverDiagnostics, TransientSpec};
 pub use elements::{Element, SwitchParams};
 pub use mosfet::{MosfetParams, MosfetType};
 pub use netlist::{Circuit, NodeId};
@@ -106,11 +106,13 @@ impl fmt::Display for SpiceError {
                 write!(
                     f,
                     "{analysis} analysis failed to converge at t = {time_s:e} s \
-                     ({} Newton iterations, {} accepted / {} rejected steps, \
-                     worst residual {:e}, min dt {:e} s)",
+                     ({} Newton iterations, {} accepted / {} rejected / \
+                     {} LTE-rejected steps, worst residual {:e}, \
+                     min accepted dt {:e} s)",
                     diagnostics.newton_iterations,
                     diagnostics.accepted_steps,
                     diagnostics.rejected_steps,
+                    diagnostics.lte_rejections,
                     diagnostics.worst_residual,
                     diagnostics.min_dt_s
                 )

@@ -188,8 +188,24 @@ impl DenseMatrix {
         b: &mut [f64],
         ws: &mut LuWorkspace,
     ) -> Result<(), SingularPivot> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        self.factorize_with(ws)?;
+        self.substitute_with(b, ws);
+        Ok(())
+    }
+
+    /// Factorises the matrix in place (partial-pivot LU), leaving `L` and
+    /// `U` stored under the permutation recorded in `ws`. The factors can
+    /// then be applied to any number of right-hand sides with
+    /// [`DenseMatrix::substitute_with`] — the modified-Newton reuse path.
+    /// Destroys the matrix contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SingularPivot`] with the failing elimination column if the
+    /// matrix is numerically singular.
+    pub fn factorize_with(&mut self, ws: &mut LuWorkspace) -> Result<(), SingularPivot> {
         let n = self.n;
-        assert_eq!(b.len(), n, "rhs length mismatch");
         self.destroyed = true;
         let a = &mut self.data;
         ws.prepare(n);
@@ -223,9 +239,24 @@ impl DenseMatrix {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Applies an existing factorisation (produced by
+    /// [`DenseMatrix::factorize_with`] with the *same* workspace) to the
+    /// right-hand side `b` in place. Infallible: every pivot was already
+    /// checked during factorisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn substitute_with(&self, b: &mut [f64], ws: &mut LuWorkspace) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let a = &self.data;
+        let LuWorkspace { perm, y } = ws;
 
         // Forward substitution (L has unit diagonal, stored below).
-        let y = &mut ws.y;
         for i in 0..n {
             let mut sum = b[perm[i]];
             for (j, &yj) in y.iter().enumerate().take(i) {
@@ -241,7 +272,17 @@ impl DenseMatrix {
             }
             b[i] = sum / a[perm[i] * n + i];
         }
-        Ok(())
+    }
+
+    /// Borrows row `r` as a contiguous slice (used by the residual
+    /// evaluation of the modified-Newton path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= n`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.n, "row index out of bounds");
+        &self.data[r * self.n..(r + 1) * self.n]
     }
 }
 

@@ -25,6 +25,21 @@ pub enum StampMode {
     },
 }
 
+/// One recorded stamp primitive. The static half of a stamp split is
+/// captured as a sequence of these on the first Newton iteration of a
+/// solve and replayed verbatim — identical values, identical order, so
+/// the assembled system is byte-exact with a full re-stamp — on every
+/// later iteration.
+#[derive(Debug, Clone, Copy)]
+enum StampOp {
+    /// `matrix[row][col] += val`.
+    MatAdd { row: u32, col: u32, val: f64 },
+    /// `rhs[idx] += val`.
+    RhsAdd { idx: u32, val: f64 },
+    /// `rhs[idx] = val` (voltage-source rows).
+    RhsSet { idx: u32, val: f64 },
+}
+
 /// The assembled linear(ised) system `G·x = rhs` for one Newton
 /// iteration, together with all factorisation scratch. Allocated **once
 /// per analysis** and re-stamped in place every iteration and timestep:
@@ -45,6 +60,14 @@ pub struct MnaSystem {
     x: Vec<f64>,
     /// Pivot permutation + substitution scratch.
     lu: LuWorkspace,
+    /// Recorded static-stamp primitives (flat arena).
+    ops: Vec<StampOp>,
+    /// Per-slot ranges into `ops`, in recording order.
+    slots: Vec<(u32, u32)>,
+    /// Primitive calls are being appended to `ops`.
+    recording: bool,
+    /// `factors`/`lu` hold a usable factorisation from a previous solve.
+    factors_valid: bool,
 }
 
 impl MnaSystem {
@@ -60,6 +83,10 @@ impl MnaSystem {
             factors: DenseMatrix::zeros(n),
             x: vec![0.0; n],
             lu: LuWorkspace::new(n),
+            ops: Vec::new(),
+            slots: Vec::new(),
+            recording: false,
+            factors_valid: false,
         }
     }
 
@@ -78,17 +105,98 @@ impl MnaSystem {
         }
     }
 
+    /// The matrix-add primitive: applies immediately and, while a static
+    /// slot is being recorded, logs the operation for replay.
+    #[inline]
+    fn mat_add(&mut self, row: usize, col: usize, val: f64) {
+        self.matrix.add(row, col, val);
+        if self.recording {
+            self.ops.push(StampOp::MatAdd {
+                row: row as u32,
+                col: col as u32,
+                val,
+            });
+        }
+    }
+
+    /// The rhs-accumulate primitive (recorded like [`Self::mat_add`]).
+    #[inline]
+    fn rhs_add(&mut self, idx: usize, val: f64) {
+        self.rhs[idx] += val;
+        if self.recording {
+            self.ops.push(StampOp::RhsAdd {
+                idx: idx as u32,
+                val,
+            });
+        }
+    }
+
+    /// The rhs-assign primitive (recorded like [`Self::mat_add`]).
+    #[inline]
+    fn rhs_set(&mut self, idx: usize, val: f64) {
+        self.rhs[idx] = val;
+        if self.recording {
+            self.ops.push(StampOp::RhsSet {
+                idx: idx as u32,
+                val,
+            });
+        }
+    }
+
+    /// Discards all recorded static-stamp slots. Call at the start of
+    /// each Newton solve before recording the solve's static pattern.
+    pub fn static_log_clear(&mut self) {
+        self.ops.clear();
+        self.slots.clear();
+    }
+
+    /// Runs `f`, stamping into the system as usual while recording every
+    /// primitive it emits into a replayable slot. Returns the slot index
+    /// (slots are numbered in recording order).
+    pub fn record_static<F: FnOnce(&mut MnaSystem)>(&mut self, f: F) -> usize {
+        let start = self.ops.len() as u32;
+        self.recording = true;
+        f(self);
+        self.recording = false;
+        self.slots.push((start, self.ops.len() as u32));
+        self.slots.len() - 1
+    }
+
+    /// Replays a recorded slot: the identical primitive sequence with the
+    /// identical values, byte-exact with re-running the original stamp —
+    /// but without re-evaluating the element model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not recorded since the last
+    /// [`Self::static_log_clear`].
+    pub fn replay_static(&mut self, slot: usize) {
+        static STAMP_STATIC_HITS: felim_telemetry::CachedCounter =
+            felim_telemetry::CachedCounter::new("spice.stamp_static_hits");
+        STAMP_STATIC_HITS.inc();
+        let (start, end) = self.slots[slot];
+        for i in start as usize..end as usize {
+            match self.ops[i] {
+                StampOp::MatAdd { row, col, val } => {
+                    self.matrix.add(row as usize, col as usize, val);
+                }
+                StampOp::RhsAdd { idx, val } => self.rhs[idx as usize] += val,
+                StampOp::RhsSet { idx, val } => self.rhs[idx as usize] = val,
+            }
+        }
+    }
+
     /// Stamps a conductance `g` between nodes `p` and `n`.
     pub fn stamp_conductance(&mut self, p: NodeId, n: NodeId, g: f64) {
         if let Some(i) = p.index() {
-            self.matrix.add(i, i, g);
+            self.mat_add(i, i, g);
         }
         if let Some(j) = n.index() {
-            self.matrix.add(j, j, g);
+            self.mat_add(j, j, g);
         }
         if let (Some(i), Some(j)) = (p.index(), n.index()) {
-            self.matrix.add(i, j, -g);
-            self.matrix.add(j, i, -g);
+            self.mat_add(i, j, -g);
+            self.mat_add(j, i, -g);
         }
     }
 
@@ -96,11 +204,18 @@ impl MnaSystem {
     /// of `n`.
     pub fn stamp_current(&mut self, p: NodeId, n: NodeId, amps: f64) {
         if let Some(i) = p.index() {
-            self.rhs[i] += amps;
+            self.rhs_add(i, amps);
         }
         if let Some(j) = n.index() {
-            self.rhs[j] -= amps;
+            self.rhs_add(j, -amps);
         }
+    }
+
+    /// Stamps the `.ic` pinning network on one (non-ground) node: a
+    /// conductance `g` to ground pulling the node toward `volts`.
+    pub fn stamp_ic(&mut self, node: usize, g: f64, volts: f64) {
+        self.mat_add(node, node, g);
+        self.rhs_add(node, g * volts);
     }
 
     /// Stamps a linearised MOSFET: drain current `ids` at the candidate
@@ -120,25 +235,32 @@ impl MnaSystem {
     ) {
         // i_d(v) ≈ I0 + gm·(vg − vs) + gds·(vd − vs)
         let i0 = ids - gm * vgs - gds * vds;
-        let add = |m: &mut DenseMatrix, r: Option<usize>, c: Option<usize>, val: f64| {
-            if let (Some(r), Some(c)) = (r, c) {
-                m.add(r, c, val);
-            }
-        };
         let (di, gi, si) = (d.index(), g.index(), s.index());
         // KCL at drain: +i_d.
-        add(&mut self.matrix, di, gi, gm);
-        add(&mut self.matrix, di, di, gds);
-        add(&mut self.matrix, di, si, -(gm + gds));
+        if let (Some(r), Some(c)) = (di, gi) {
+            self.mat_add(r, c, gm);
+        }
+        if let Some(r) = di {
+            self.mat_add(r, r, gds);
+        }
+        if let (Some(r), Some(c)) = (di, si) {
+            self.mat_add(r, c, -(gm + gds));
+        }
         if let Some(i) = di {
-            self.rhs[i] -= i0;
+            self.rhs_add(i, -i0);
         }
         // KCL at source: −i_d.
-        add(&mut self.matrix, si, gi, -gm);
-        add(&mut self.matrix, si, di, -gds);
-        add(&mut self.matrix, si, si, gm + gds);
+        if let (Some(r), Some(c)) = (si, gi) {
+            self.mat_add(r, c, -gm);
+        }
+        if let (Some(r), Some(c)) = (si, di) {
+            self.mat_add(r, c, -gds);
+        }
+        if let Some(r) = si {
+            self.mat_add(r, r, gm + gds);
+        }
         if let Some(i) = si {
-            self.rhs[i] += i0;
+            self.rhs_add(i, i0);
         }
     }
 
@@ -147,14 +269,14 @@ impl MnaSystem {
     pub fn stamp_vsource(&mut self, k: usize, p: NodeId, n: NodeId, volts: f64) {
         let row = self.n_nodes + k;
         if let Some(i) = p.index() {
-            self.matrix.add(row, i, 1.0);
-            self.matrix.add(i, row, 1.0);
+            self.mat_add(row, i, 1.0);
+            self.mat_add(i, row, 1.0);
         }
         if let Some(j) = n.index() {
-            self.matrix.add(row, j, -1.0);
-            self.matrix.add(j, row, -1.0);
+            self.mat_add(row, j, -1.0);
+            self.mat_add(j, row, -1.0);
         }
-        self.rhs[row] = volts;
+        self.rhs_set(row, volts);
     }
 
     /// Solves the assembled system, returning the unknown vector (a view
@@ -168,15 +290,73 @@ impl MnaSystem {
     /// [`SingularPivot`] naming the dead elimination column if the
     /// system is numerically singular.
     pub fn solve(&mut self) -> Result<&[f64], SingularPivot> {
-        static LU_FACTORIZATIONS: felim_telemetry::CachedCounter =
-            felim_telemetry::CachedCounter::new("spice.lu_factorizations");
         LU_FACTORIZATIONS.inc();
         self.factors.copy_values_from(&self.matrix);
         self.x.copy_from_slice(&self.rhs);
         self.factors.solve_in_place_with(&mut self.x, &mut self.lu)?;
+        self.factors_valid = true;
         Ok(&self.x)
     }
+
+    /// Factorises the currently stamped matrix into the internal factor
+    /// buffer without solving anything, making the factors available for
+    /// [`Self::solve_with_stored_factors`].
+    ///
+    /// # Errors
+    ///
+    /// [`SingularPivot`] as for [`Self::solve`].
+    pub fn factorize(&mut self) -> Result<(), SingularPivot> {
+        LU_FACTORIZATIONS.inc();
+        self.factors.copy_values_from(&self.matrix);
+        self.factors.factorize_with(&mut self.lu)?;
+        self.factors_valid = true;
+        Ok(())
+    }
+
+    /// Whether a factorisation from a previous [`Self::solve`] or
+    /// [`Self::factorize`] is available for reuse.
+    pub fn has_factors(&self) -> bool {
+        self.factors_valid
+    }
+
+    /// Applies the stored LU factors to `b` in place (modified Newton:
+    /// the factors may be stale relative to the currently stamped
+    /// matrix, which is exactly the point — the caller trades a fresh
+    /// factorisation for a quasi-Newton step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no factorisation is available ([`Self::has_factors`]).
+    pub fn solve_with_stored_factors(&mut self, b: &mut [f64]) {
+        assert!(self.factors_valid, "no stored LU factors to reuse");
+        self.factors.substitute_with(b, &mut self.lu);
+    }
+
+    /// Writes the KCL residual `rhs − A·x` of the currently stamped
+    /// linearisation into `out`. For the companion-model stamps used
+    /// here this is exactly the negated sum of element currents at the
+    /// candidate solution `x`, so driving it to zero solves the step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `out` have the wrong length.
+    pub fn residual_into(&self, x: &[f64], out: &mut [f64]) {
+        let n = self.rhs.len();
+        assert_eq!(x.len(), n, "solution length mismatch");
+        assert_eq!(out.len(), n, "residual length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = self.matrix.row(i);
+            let mut acc = 0.0;
+            for (a, xj) in row.iter().zip(x) {
+                acc += a * xj;
+            }
+            *o = self.rhs[i] - acc;
+        }
+    }
 }
+
+static LU_FACTORIZATIONS: felim_telemetry::CachedCounter =
+    felim_telemetry::CachedCounter::new("spice.lu_factorizations");
 
 #[cfg(test)]
 mod tests {

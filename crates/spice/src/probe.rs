@@ -34,6 +34,21 @@ impl Trace {
         self.times.is_empty()
     }
 
+    /// Names of all recorded nodes, in recording order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// Names of all recorded voltage sources, in recording order.
+    pub fn source_names(&self) -> &[String] {
+        &self.source_names
+    }
+
+    /// Names of all recorded elements, in recording order.
+    pub fn element_names(&self) -> &[String] {
+        &self.element_names
+    }
+
     /// Voltage samples of the named node (`"0"`/`"gnd"` returns zeros).
     pub fn voltage(&self, node: &str) -> Option<&[f64]> {
         self.node_names

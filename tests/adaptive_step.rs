@@ -1,0 +1,63 @@
+//! Property test: LTE-adaptive stepping is an *accuracy-preserving*
+//! optimization.
+//!
+//! Over randomized cell-op pulse specs (TBA input pattern, read pulse
+//! width, nominal step, device granularity), the adaptive +
+//! modified-Newton path must reproduce the dense fixed-step reference's
+//! sensed RSL current within a small relative tolerance. The sensed
+//! current is the quantity every figure and margin study keys off, so
+//! agreement here is agreement where it matters.
+
+use felim::cell::netlists::{
+    run_with_solver, sensed_current, tba_testbench, NetlistConfig, SolverOptions,
+};
+use proptest::prelude::*;
+
+/// Dense-reference vs adaptive sensed current for one spec.
+fn sense_pair(cfg: &NetlistConfig, pattern: u8) -> (f64, usize, f64, usize) {
+    let mut tb = tba_testbench(cfg, pattern);
+    let trace = run_with_solver(&mut tb, cfg, &SolverOptions::default()).unwrap();
+    let dense = sensed_current(&trace, &tb.schedule).unwrap();
+    let dense_pts = trace.times().len();
+
+    let mut tb = tba_testbench(cfg, pattern);
+    let trace = run_with_solver(&mut tb, cfg, &SolverOptions::optimized()).unwrap();
+    let fast = sensed_current(&trace, &tb.schedule).unwrap();
+    let fast_pts = trace.times().len();
+    (dense, dense_pts, fast, fast_pts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    fn adaptive_matches_dense_sensed_current(
+        pattern in 0u8..8,
+        width_scale in 0.5f64..2.0,
+        dt_scale in 0.5f64..1.5,
+        n_domains in 16usize..64,
+    ) {
+        let mut cfg = NetlistConfig::fast();
+        cfg.read_width_s *= width_scale;
+        cfg.dt_s *= dt_scale;
+        cfg.mfm.n_domains = n_domains;
+
+        let (dense, dense_pts, fast, fast_pts) = sense_pair(&cfg, pattern);
+
+        // Sensed currents span decades across patterns (subthreshold
+        // reads sit near 1 fA); compare relatively with an absolute
+        // floor well below any sense margin in the repo.
+        let tol = 0.05 * dense.abs() + 1e-15;
+        prop_assert!(
+            (fast - dense).abs() <= tol,
+            "pattern {} dense {:e} vs adaptive {:e}",
+            pattern, dense, fast,
+        );
+        // The controller may locally refine below the nominal step where
+        // LTE demands it, but it must never blow the schedule up.
+        prop_assert!(
+            fast_pts <= 2 * dense_pts,
+            "adaptive recorded {} points, dense {}",
+            fast_pts, dense_pts,
+        );
+    }
+}

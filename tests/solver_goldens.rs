@@ -1,0 +1,82 @@
+//! Bit-identity pin for the transient solver's default path.
+//!
+//! Stamp splitting is always on, but `adaptive: off` / `newton: full`
+//! defaults must reproduce the seed engine's outputs **byte for byte**:
+//! every Fig 3/4/6 golden in the repo is derived from these traces. The
+//! hashes below were captured from the seed engine before the PR 4 solver
+//! rework; any default-path drift (step schedule, Newton trajectory,
+//! stamping order) flips them.
+
+use felim::cell::netlists::{self, NetlistConfig};
+use felim::ferro::Polarity;
+
+/// FNV-1a over the raw little-endian bit patterns of every recorded
+/// sample: times, node voltages, source currents, element currents.
+fn trace_fingerprint(trace: &felim::spice::Trace) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: f64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &t in trace.times() {
+        eat(t);
+    }
+    for name in trace.node_names() {
+        for &v in trace.voltage(name).unwrap() {
+            eat(v);
+        }
+    }
+    for name in trace.source_names() {
+        for &i in trace.source_current(name).unwrap() {
+            eat(i);
+        }
+    }
+    for name in trace.element_names() {
+        for &i in trace.element_current(name).unwrap() {
+            eat(i);
+        }
+    }
+    h
+}
+
+fn golden(cfg: &NetlistConfig, which: &str) -> (u64, u64) {
+    let mut tb = match which {
+        "read" => netlists::read_testbench(
+            cfg,
+            &[Polarity::Up, Polarity::Down, Polarity::Up],
+            &[0, 2],
+        ),
+        "not" => netlists::not_testbench(cfg, felim::cell::Bit::One),
+        "tba" => netlists::tba_testbench(cfg, 0b101),
+        other => panic!("unknown testbench {other}"),
+    };
+    let trace = netlists::run(&mut tb, cfg).unwrap();
+    let sensed = netlists::sensed_current(&trace, &tb.schedule).unwrap();
+    (trace_fingerprint(&trace), sensed.to_bits())
+}
+
+#[test]
+fn default_transient_reproduces_seed_goldens_bit_for_bit() {
+    let cfg = NetlistConfig::fast();
+    for (which, want_fp, want_sensed) in [
+        ("read", GOLD_READ.0, GOLD_READ.1),
+        ("not", GOLD_NOT.0, GOLD_NOT.1),
+        ("tba", GOLD_TBA.0, GOLD_TBA.1),
+    ] {
+        let (fp, sensed) = golden(&cfg, which);
+        assert_eq!(
+            (fp, sensed),
+            (want_fp, want_sensed),
+            "default-path transient drifted from the seed engine for {which}: \
+             got fp {fp:#018x} sensed {sensed:#018x}"
+        );
+    }
+}
+
+// Captured from the seed engine (commit ef10260) with
+// `NetlistConfig::fast()` and the default `TransientSpec`.
+const GOLD_READ: (u64, u64) = (0x868f_d0d2_c901_96f9, 0x3dc6_12d0_dca7_5e81);
+const GOLD_NOT: (u64, u64) = (0x72fc_5b12_c391_0073, 0x3daa_4464_ac41_f2c3);
+const GOLD_TBA: (u64, u64) = (0x49d0_f26c_201a_8dfd, 0x3e09_24c1_177e_f148);

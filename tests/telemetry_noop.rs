@@ -48,3 +48,35 @@ fn noop_build_keeps_the_registry_empty() {
         );
     }
 }
+
+#[test]
+fn transient_solver_counters_follow_the_feature_gate() {
+    use felim::cell::netlists::{run_with_solver, tba_testbench, NetlistConfig, SolverOptions};
+
+    // Exercise every PR4 fast path: static-stamp replay is always on;
+    // the optimized knobs add LU reuse and LTE-controlled stepping.
+    let cfg = NetlistConfig::fast();
+    let mut tb = tba_testbench(&cfg, 5);
+    run_with_solver(&mut tb, &cfg, &SolverOptions::optimized()).unwrap();
+
+    let report = telemetry::snapshot();
+    let counters = [
+        "spice.stamp_static_hits",
+        "spice.lu_reuse_hits",
+        "spice.lu_refactorizations",
+        "spice.lte_rejected_steps",
+    ];
+    if telemetry::enabled() {
+        // Replay and LU reuse fire on every solve; refactorizations and
+        // LTE rejections depend on the circuit, so only existence (not a
+        // positive count) is guaranteed for them.
+        assert!(report.counter("spice.stamp_static_hits").unwrap_or(0) > 0);
+        assert!(report.counter("spice.lu_reuse_hits").unwrap_or(0) > 0);
+        assert!(report.counter("spice.lu_factorizations").unwrap_or(0) > 0);
+    } else {
+        for name in counters {
+            assert_eq!(report.counter(name), None, "{name} in a no-op build");
+        }
+        assert!(report.is_empty(), "no-op build must record nothing");
+    }
+}
