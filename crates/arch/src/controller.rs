@@ -1,0 +1,635 @@
+//! The reliability controller: SECDED + patrol scrub + drift, composed.
+//!
+//! [`ReliabilityController`] wraps any [`BulkBackend`] and closes the
+//! storage-reliability loop that [`DegradationPolicy`](crate::fault::DegradationPolicy)
+//! leaves open. The degradation policy defends the *compute path* —
+//! transient sense and read-wire flips are outvoted, failed writes are
+//! retried and retired. It has no answer for *storage* decay: a bit that
+//! rots in place after a verified write reads back consistently wrong,
+//! so a majority vote over three reads of the same rotten cell happily
+//! confirms the corruption. The controller's three pieces close exactly
+//! that gap:
+//!
+//! * **SECDED** ([`crate::ecc`]) — every row written through the
+//!   controller carries a per-word (72,64) side-band. Reads repair
+//!   single-bit upsets transparently; double-bit upsets escalate as
+//!   [`ArchError::Uncorrectable`] instead of returning silent garbage.
+//! * **drift** ([`crate::drift`]) — the physics that rots the bits:
+//!   retention, imprint and read disturb, derived from `felim-ferro` and
+//!   advanced by [`ReliabilityController::tick`]. Upsets land in the
+//!   backing store through [`BulkBackend::decay_row`], costing nothing —
+//!   the environment did it, not a command.
+//! * **patrol scrub** ([`crate::scrub`]) — the repair loop: on its
+//!   period the controller re-reads every protected row (real reads,
+//!   real cost), rewrites any row that needed correction (real writes —
+//!   which also reset the row's retention/imprint hold clocks), and
+//!   proactively rewrites wear-hot scratch rows so the backend's
+//!   rotation machinery moves them to spares *before* they fail.
+//!
+//! With the controller disabled (i.e. not constructed) nothing in this
+//! module runs: backends, cost model and Fig 6 goldens are bit-identical
+//! to the pre-controller stack.
+
+use crate::drift::{DriftProcess, DriftSpec};
+use crate::ecc::RowCode;
+use crate::fault::ReliabilityStats;
+use crate::geometry::{MemoryGeometry, RowId};
+use crate::scrub::{PatrolScrubber, ScrubConfig};
+use crate::stats::ExecStats;
+use crate::{ArchError, BulkBackend};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// What the controller runs: ECC on/off, an optional scrub schedule, and
+/// the drift environment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControllerConfig {
+    /// Keep a SECDED side-band per written row, check on every read.
+    pub ecc: bool,
+    /// Patrol-scrub schedule; `None` disables scrubbing.
+    pub scrub: Option<ScrubConfig>,
+    /// The storage fault environment.
+    pub drift: DriftSpec,
+}
+
+impl ControllerConfig {
+    /// Full protection: ECC plus a patrol pass every `scrub_period_s`.
+    pub fn protected(drift: DriftSpec, scrub_period_s: f64) -> Self {
+        Self {
+            ecc: true,
+            scrub: Some(ScrubConfig::every(scrub_period_s)),
+            drift,
+        }
+    }
+
+    /// ECC only — detect and correct, never repair in place.
+    pub fn ecc_only(drift: DriftSpec) -> Self {
+        Self {
+            ecc: true,
+            scrub: None,
+            drift,
+        }
+    }
+
+    /// Neither ECC nor scrub: the drift environment runs against a bare
+    /// backend — the ablation baseline that quantifies silent corruption.
+    pub fn unprotected(drift: DriftSpec) -> Self {
+        Self {
+            ecc: false,
+            scrub: None,
+            drift,
+        }
+    }
+}
+
+/// Counters kept by the controller itself (the wrapped backend keeps its
+/// own [`ReliabilityStats`] and [`ExecStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct ControllerStats {
+    /// Data bits repaired by SECDED on reads and scrub passes.
+    pub corrected_bits: u64,
+    /// Check-bit upsets absorbed (data was never wrong).
+    pub corrected_check_bits: u64,
+    /// Words that decoded uncorrectable (each is also surfaced to the
+    /// caller as [`ArchError::Uncorrectable`]).
+    pub uncorrectable_words: u64,
+    /// Completed patrol passes.
+    pub scrub_passes: u64,
+    /// Rows rewritten by the patrol (corrections + hot-row rotation).
+    pub scrub_rewrites: u64,
+    /// Drift clock ticks taken.
+    pub drift_ticks: u64,
+    /// Storage bits the drift process flipped.
+    pub drift_flips: u64,
+}
+
+impl ControllerStats {
+    fn note_corrected(&mut self, bits: u64) {
+        self.corrected_bits += bits;
+        felim_telemetry::counter("arch.ecc.corrected").add(bits);
+    }
+
+    fn note_uncorrectable(&mut self, words: u64) {
+        self.uncorrectable_words += words;
+        felim_telemetry::counter("arch.ecc.uncorrectable").add(words);
+    }
+}
+
+/// A [`BulkBackend`] wrapper that adds SECDED ECC, time-driven storage
+/// drift, and patrol scrubbing. See the module docs for the division of
+/// labour against [`DegradationPolicy`](crate::fault::DegradationPolicy).
+#[derive(Debug, Clone)]
+pub struct ReliabilityController<B: BulkBackend> {
+    inner: B,
+    config: ControllerConfig,
+    drift: DriftProcess,
+    scrubber: Option<PatrolScrubber>,
+    /// SECDED side-bands for every row written through the controller.
+    codes: HashMap<u64, RowCode>,
+    stats: ControllerStats,
+}
+
+impl<B: BulkBackend> ReliabilityController<B> {
+    /// Wraps `inner` under `config`.
+    pub fn new(inner: B, config: ControllerConfig) -> Self {
+        let drift = DriftProcess::new(config.drift.clone());
+        let scrubber = config.scrub.map(PatrolScrubber::new);
+        Self {
+            inner,
+            config,
+            drift,
+            scrubber,
+            codes: HashMap::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwraps the controller, returning the backend.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The controller's own counters.
+    pub fn controller_stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// The drift process (clock, flip totals).
+    pub fn drift(&self) -> &DriftProcess {
+        &self.drift
+    }
+
+    /// The patrol scrubber, if scrubbing is enabled.
+    pub fn scrubber(&self) -> Option<&PatrolScrubber> {
+        self.scrubber.as_ref()
+    }
+
+    /// Re-encodes the side-band for a row that now holds fresh data and
+    /// restarts its drift clocks.
+    fn protect(&mut self, row: RowId) -> Result<(), ArchError> {
+        self.drift.note_write(row);
+        if !self.config.ecc {
+            return Ok(());
+        }
+        match self.inner.peek_row(row)? {
+            Some(stored) => {
+                self.codes.insert(row.0, RowCode::encode(&stored));
+            }
+            None => {
+                // The backend either holds implicit zeros or exposes no
+                // raw storage; encode over zeros in the first case and
+                // drop protection in the second (`peek_row` cannot
+                // distinguish them — both decode every all-zero read as
+                // clean, so the conservative choice is identical).
+                let zeros = vec![0u64; self.inner.geometry().row_words()];
+                self.codes.insert(row.0, RowCode::encode(&zeros));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the SECDED check over freshly read data, repairing in place.
+    /// Uncorrectable words escalate as [`ArchError::Uncorrectable`].
+    fn check_read(&mut self, row: RowId, data: &mut [u64]) -> Result<(), ArchError> {
+        if !self.config.ecc {
+            return Ok(());
+        }
+        let Some(code) = self.codes.get(&row.0) else {
+            return Ok(());
+        };
+        let outcome = code.check_row(data);
+        self.stats.corrected_check_bits += outcome.corrected_check_bits;
+        if outcome.corrected_bits > 0 {
+            self.stats.note_corrected(outcome.corrected_bits);
+        }
+        if !outcome.is_correctable() {
+            self.stats
+                .note_uncorrectable(outcome.uncorrectable_words.len() as u64);
+            return Err(ArchError::Uncorrectable {
+                row: row.0,
+                words: outcome.uncorrectable_words,
+            });
+        }
+        Ok(())
+    }
+
+    /// Advances process time by `dt_s`: drift upsets land in storage,
+    /// then any due patrol passes run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend errors from the decay/scrub row traffic.
+    /// Uncorrectable rows found *by the patrol* do not error — they are
+    /// counted and left for the owning read to escalate.
+    pub fn tick(&mut self, dt_s: f64) -> Result<(), ArchError> {
+        self.drift.tick(dt_s);
+        self.stats.drift_ticks += 1;
+        felim_telemetry::counter("arch.drift.ticks").inc();
+        let words = self.inner.geometry().row_words();
+        for row in self.drift.tracked_rows() {
+            let wear = self.inner.wear_fraction(row);
+            if let Some(mask) = self.drift.sample_row(row, words, dt_s, wear) {
+                self.inner.decay_row(row, &mask)?;
+            }
+        }
+        self.stats.drift_flips = self.drift.flips_injected();
+        if let Some(scrubber) = self.scrubber.as_mut() {
+            scrubber.advance(dt_s);
+            self.run_due_scrub_passes()?;
+        }
+        Ok(())
+    }
+
+    fn run_due_scrub_passes(&mut self) -> Result<(), ArchError> {
+        loop {
+            let tracked = self.drift.tracked_rows();
+            let Some(scrubber) = self.scrubber.as_mut() else {
+                return Ok(());
+            };
+            match scrubber.begin_pass(tracked.len()) {
+                Some((start, count)) => {
+                    for i in 0..count {
+                        let row = tracked[(start + i) % tracked.len()];
+                        self.scrub_row(row)?;
+                    }
+                }
+                // Due with nothing tracked: the pass was consumed empty —
+                // keep draining periods. Not due: done.
+                None if scrubber.due() => continue,
+                None => break,
+            }
+        }
+        if let Some(scrubber) = self.scrubber.as_ref() {
+            self.stats.scrub_passes = scrubber.passes();
+            self.stats.scrub_rewrites = scrubber.rewrites();
+        }
+        Ok(())
+    }
+
+    /// One patrol visit: read the row (real cost), repair what SECDED
+    /// can, rewrite when repair or wear-rotation calls for it.
+    fn scrub_row(&mut self, row: RowId) -> Result<(), ArchError> {
+        let mut data = self.inner.read_row(row)?;
+        let hot = self
+            .config
+            .scrub
+            .is_some_and(|s| self.inner.wear_fraction(row) >= s.hot_row_fraction);
+        let mut rewrite = hot;
+        if self.config.ecc {
+            if let Some(code) = self.codes.get(&row.0) {
+                let outcome = code.check_row(&mut data);
+                self.stats.corrected_check_bits += outcome.corrected_check_bits;
+                if outcome.corrected_bits > 0 {
+                    self.stats.note_corrected(outcome.corrected_bits);
+                }
+                if !outcome.is_correctable() {
+                    // Known-bad row: counted here, escalated by the next
+                    // host read. Rewriting would bless the corruption.
+                    self.stats
+                        .note_uncorrectable(outcome.uncorrectable_words.len() as u64);
+                    return Ok(());
+                }
+                rewrite |= !outcome.is_clean();
+            }
+        } else {
+            // Without ECC the patrol cannot see rot: it degrades to a
+            // refresh loop, rewriting each visited row as-read.
+            rewrite = true;
+        }
+        if rewrite {
+            self.write_row(row, &data)?;
+            if let Some(scrubber) = self.scrubber.as_mut() {
+                scrubber.note_rewrite();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<B: BulkBackend> BulkBackend for ReliabilityController<B> {
+    fn geometry(&self) -> &MemoryGeometry {
+        self.inner.geometry()
+    }
+
+    fn write_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.inner.write_row(row, data)?;
+        self.protect(row)
+    }
+
+    fn install_row(&mut self, row: RowId, data: &[u64]) -> Result<(), ArchError> {
+        self.inner.install_row(row, data)?;
+        self.protect(row)
+    }
+
+    fn read_row(&mut self, row: RowId) -> Result<Vec<u64>, ArchError> {
+        let mut data = self.inner.read_row(row)?;
+        self.drift.note_read(row);
+        self.check_read(row, &mut data)?;
+        Ok(data)
+    }
+
+    fn not(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.not(src, dst)?;
+        self.drift.note_read(src);
+        self.protect(dst)
+    }
+
+    fn and(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.and(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn or(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.or(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn nand(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.nand(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn nor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.nor(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn xor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        // Delegate so the wrapped technology keeps its native composition
+        // (and its native cost); the scratch intermediates stay outside
+        // the protected set — they never outlive the op.
+        self.inner.xor(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn xnor(&mut self, a: RowId, b: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.xnor(a, b, dst)?;
+        self.drift.note_read(a);
+        self.drift.note_read(b);
+        self.protect(dst)
+    }
+
+    fn copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
+        self.inner.copy(src, dst)?;
+        self.drift.note_read(src);
+        self.protect(dst)
+    }
+
+    fn scratch_rows(&self, count: usize) -> Vec<RowId> {
+        self.inner.scratch_rows(count)
+    }
+
+    fn stats(&self) -> &ExecStats {
+        self.inner.stats()
+    }
+
+    fn reliability(&self) -> Option<&ReliabilityStats> {
+        self.inner.reliability()
+    }
+
+    fn finish(&mut self) -> ExecStats {
+        self.inner.finish()
+    }
+
+    fn tech_name(&self) -> &'static str {
+        self.inner.tech_name()
+    }
+
+    fn peek_row(&self, row: RowId) -> Result<Option<Vec<u64>>, ArchError> {
+        self.inner.peek_row(row)
+    }
+
+    fn decay_row(&mut self, row: RowId, mask: &[u64]) -> Result<bool, ArchError> {
+        self.inner.decay_row(row, mask)
+    }
+
+    fn wear_fraction(&self, row: RowId) -> f64 {
+        self.inner.wear_fraction(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feram_backend::FeramBackend;
+
+    fn row_of(words: usize, word: u64) -> Vec<u64> {
+        vec![word; words]
+    }
+
+    fn protected(period_s: f64) -> ReliabilityController<FeramBackend> {
+        let spec = DriftSpec::accelerated(42, 390.0, 0.0);
+        ReliabilityController::new(
+            FeramBackend::tiny(),
+            ControllerConfig::protected(spec, period_s),
+        )
+    }
+
+    #[test]
+    fn clean_path_is_transparent() {
+        let mut c = protected(3600.0);
+        let words = c.geometry().row_words();
+        let (a, b, d) = (RowId(0), RowId(1), RowId(2));
+        c.write_row(a, &row_of(words, 0b1100)).unwrap();
+        c.write_row(b, &row_of(words, 0b1010)).unwrap();
+        c.nand(a, b, d).unwrap();
+        assert_eq!(c.read_row(d).unwrap()[0], !0b1000u64);
+        assert!(c.controller_stats().corrected_bits == 0);
+    }
+
+    #[test]
+    fn single_bit_upsets_are_corrected_on_read() {
+        let mut c = protected(3600.0);
+        let words = c.geometry().row_words();
+        let data = row_of(words, 0xDEAD_BEEF_F00D_CAFE);
+        c.write_row(RowId(0), &data).unwrap();
+        // One environmental flip.
+        let mut mask = vec![0u64; words];
+        mask[5] = 1 << 17;
+        assert!(c.decay_row(RowId(0), &mask).unwrap());
+        assert_eq!(c.read_row(RowId(0)).unwrap(), data, "repaired");
+        assert_eq!(c.controller_stats().corrected_bits, 1);
+    }
+
+    #[test]
+    fn double_bit_upsets_escalate_as_uncorrectable() {
+        let mut c = protected(3600.0);
+        let words = c.geometry().row_words();
+        c.write_row(RowId(0), &row_of(words, 0xAAAA)).unwrap();
+        let mut mask = vec![0u64; words];
+        mask[2] = (1 << 3) | (1 << 40);
+        c.decay_row(RowId(0), &mask).unwrap();
+        match c.read_row(RowId(0)) {
+            Err(ArchError::Uncorrectable { row: 0, words }) => assert_eq!(words, vec![2]),
+            other => panic!("expected Uncorrectable, got {other:?}"),
+        }
+        assert_eq!(c.controller_stats().uncorrectable_words, 1);
+    }
+
+    #[test]
+    fn scrub_repairs_before_upsets_accumulate() {
+        // Two single-bit upsets in the same word, separated by a scrub
+        // pass: each alone is correctable, together they would not be.
+        let mut c = protected(10.0);
+        let words = c.geometry().row_words();
+        let data = row_of(words, 0x1234_5678);
+        c.write_row(RowId(0), &data).unwrap();
+        let mut mask = vec![0u64; words];
+        mask[7] = 1 << 9;
+        c.decay_row(RowId(0), &mask).unwrap();
+        // The patrol pass lands between the two upsets and rewrites.
+        c.tick(10.0).unwrap();
+        assert!(c.scrubber().unwrap().passes() >= 1);
+        assert!(c.controller_stats().scrub_rewrites >= 1);
+        mask[7] = 1 << 45; // second upset, after repair
+        c.decay_row(RowId(0), &mask).unwrap();
+        assert_eq!(c.read_row(RowId(0)).unwrap(), data, "never two at once");
+    }
+
+    #[test]
+    fn skipping_scrub_lets_upsets_accumulate() {
+        // The same two upsets without the intervening patrol: double-bit.
+        let spec = DriftSpec::accelerated(42, 390.0, 0.0);
+        let mut c = ReliabilityController::new(
+            FeramBackend::tiny(),
+            ControllerConfig::ecc_only(spec),
+        );
+        let words = c.geometry().row_words();
+        c.write_row(RowId(0), &row_of(words, 0x1234_5678)).unwrap();
+        let mut mask = vec![0u64; words];
+        mask[7] = 1 << 9;
+        c.decay_row(RowId(0), &mask).unwrap();
+        c.tick(10.0).unwrap(); // no scrubber: nothing repairs
+        mask[7] = 1 << 45;
+        c.decay_row(RowId(0), &mask).unwrap();
+        assert!(matches!(
+            c.read_row(RowId(0)),
+            Err(ArchError::Uncorrectable { .. })
+        ));
+    }
+
+    #[test]
+    fn drift_ticks_decay_storage_through_the_backend() {
+        let mut c = protected(1e9); // scrub effectively off
+        let words = c.geometry().row_words();
+        c.write_row(RowId(0), &row_of(words, 0xFFFF_0000_FFFF_0000)).unwrap();
+        // Hours at 390 K under the accelerated spec: flips must land.
+        for _ in 0..10 {
+            c.tick(3600.0).unwrap();
+        }
+        assert!(c.drift().flips_injected() > 0);
+        assert_eq!(c.controller_stats().drift_ticks, 10);
+        // And the flips are visible in raw storage.
+        let raw = c.peek_row(RowId(0)).unwrap().unwrap();
+        assert_ne!(raw, row_of(words, 0xFFFF_0000_FFFF_0000));
+    }
+
+    #[test]
+    fn controller_results_match_bare_backend_when_quiet() {
+        // A quiet environment and no faults: the controller must neither
+        // change results nor charge differently than the bare backend.
+        let mut bare = FeramBackend::tiny();
+        let mut c = ReliabilityController::new(
+            FeramBackend::tiny(),
+            ControllerConfig::protected(DriftSpec::quiet(7), 3600.0),
+        );
+        let words = bare.geometry().row_words();
+        for m in [&mut bare as &mut dyn BulkBackend, &mut c] {
+            m.write_row(RowId(0), &row_of(words, 0xF0F0)).unwrap();
+            m.write_row(RowId(1), &row_of(words, 0x0FF0)).unwrap();
+            m.xor(RowId(0), RowId(1), RowId(2)).unwrap();
+        }
+        assert_eq!(
+            bare.read_row(RowId(2)).unwrap(),
+            c.read_row(RowId(2)).unwrap()
+        );
+        assert_eq!(bare.stats().total_cycles(), c.stats().total_cycles());
+        assert_eq!(
+            bare.stats().total_energy_nj(),
+            c.stats().total_energy_nj()
+        );
+    }
+
+    #[test]
+    fn hot_rows_are_rewritten_for_rotation() {
+        use crate::fault::{DegradationPolicy, FaultSpec};
+        // Tiny wear budget so scratch rows go hot fast, rotating policy.
+        let backend = FeramBackend::tiny()
+            .with_faults(FaultSpec::none(3).with_wear_budget(50))
+            .with_policy(DegradationPolicy {
+                scratch_rotation_fraction: 0.2,
+                ..DegradationPolicy::none()
+            });
+        let mut c = ReliabilityController::new(
+            backend,
+            ControllerConfig::protected(DriftSpec::quiet(3), 1.0),
+        );
+        let words = c.geometry().row_words();
+        c.write_row(RowId(0), &row_of(words, 0xAA)).unwrap();
+        c.write_row(RowId(1), &row_of(words, 0x55)).unwrap();
+        // Hammer a destination row hot, then let patrols rotate it.
+        for _ in 0..15 {
+            c.xor(RowId(0), RowId(1), RowId(2)).unwrap();
+        }
+        c.tick(1.0).unwrap();
+        assert!(c.controller_stats().scrub_rewrites > 0, "hot rows rewritten");
+        assert_eq!(c.read_row(RowId(2)).unwrap()[0], 0xAA ^ 0x55);
+    }
+
+    #[test]
+    fn scrub_without_ecc_degrades_to_refresh() {
+        let spec = DriftSpec::quiet(5);
+        let mut c = ReliabilityController::new(FeramBackend::tiny(), ControllerConfig {
+            ecc: false,
+            scrub: Some(ScrubConfig::every(1.0)),
+            drift: spec,
+        });
+        let words = c.geometry().row_words();
+        c.write_row(RowId(0), &row_of(words, 1)).unwrap();
+        c.write_row(RowId(1), &row_of(words, 2)).unwrap();
+        c.tick(1.0).unwrap();
+        // Every tracked row was rewritten blind.
+        assert_eq!(c.controller_stats().scrub_rewrites, 2);
+    }
+
+    #[test]
+    fn tick_composes_deterministically() {
+        let run = || {
+            let mut c = protected(100.0);
+            let words = c.geometry().row_words();
+            c.write_row(RowId(0), &row_of(words, 0xABCD)).unwrap();
+            c.write_row(RowId(1), &row_of(words, 0x1234)).unwrap();
+            for _ in 0..20 {
+                c.tick(60.0).unwrap();
+            }
+            (
+                c.peek_row(RowId(0)).unwrap(),
+                c.controller_stats().clone(),
+            )
+        };
+        let (a1, s1) = run();
+        let (a2, s2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(s1, s2);
+    }
+}

@@ -279,6 +279,27 @@ impl BulkBackend for DramBackend {
     fn tech_name(&self) -> &'static str {
         "1T-1C DRAM (Ambit AAP)"
     }
+
+    fn peek_row(&self, row: RowId) -> Result<Option<Vec<u64>>, ArchError> {
+        Ok(self.store.row(row)?.map(<[u64]>::to_vec))
+    }
+
+    fn decay_row(&mut self, row: RowId, mask: &[u64]) -> Result<bool, ArchError> {
+        if mask.len() != self.geometry.row_words() {
+            return Err(ArchError::RowSizeMismatch {
+                expected: self.geometry.row_words(),
+                got: mask.len(),
+            });
+        }
+        // Charge-leakage upset: flip the stored bits without issuing any
+        // command or charging the cost model.
+        let Some(stored) = self.store.row(row)? else {
+            return Ok(false);
+        };
+        let decayed: Vec<u64> = stored.iter().zip(mask).map(|(w, m)| w ^ m).collect();
+        self.store.write(row, &decayed)?;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,431 @@
+//! Time-advancing, physics-derived storage fault processes.
+//!
+//! PR 1's [`FaultSpec`](crate::fault::FaultSpec) drives faults from
+//! *static* per-operation rates; real FeRAM errors accumulate with
+//! *time*. This module closes the device-to-architecture loop: per-row
+//! flip probabilities are derived from `felim-ferro`'s calibrated
+//! models instead of hand-picked constants —
+//!
+//! * **retention** — the stretched-exponential decay of
+//!   [`RetentionModel`], applied as an incremental Weibull hazard over
+//!   each tick of hold time since the row's last write
+//!   ([`RetentionModel::bit_failure_hazard`]);
+//! * **imprint** — the logarithmic V_c shift of [`ImprintModel`] eating
+//!   the sense margin ([`ImprintModel::bit_upset_probability`]),
+//!   differenced per tick the same way;
+//! * **read disturb** — the QNRO tail: each sense since the last write
+//!   nudges the stored minority decision, at a per-read rate that can
+//!   be taken straight from a Monte-Carlo
+//!   [`MarginReport`] sense tail;
+//! * **wear acceleration** — rows near their Fig 4(f) endurance budget
+//!   decay faster: every probability above is scaled by
+//!   `1 + wear_acceleration · wear_fraction`.
+//!
+//! A [`DriftProcess`] owns the clock: the campaign driver (or the
+//! [`ReliabilityController`](crate::controller::ReliabilityController))
+//! steps it with `tick(dt)`, and the process deterministically samples
+//! per-row XOR masks from one seed, so a drift campaign reproduces bit
+//! for bit.
+
+use crate::geometry::RowId;
+use felim_cell::margin::MarginReport;
+use felim_ferro::imprint::ImprintModel;
+use felim_ferro::retention::RetentionModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// The drift environment: which physical processes run, how hot the die
+/// is, and the single seed the whole fault stream derives from.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DriftSpec {
+    /// Seed of the deterministic flip sampler.
+    pub seed: u64,
+    /// Die temperature, K (the Fig 7 stack point is 352 K).
+    pub temperature_k: f64,
+    /// Retention decay model (stretched-exponential, Arrhenius).
+    pub retention: RetentionModel,
+    /// Fraction of remanent polarization below which a bit no longer
+    /// senses — feeds the retention hazard.
+    pub sense_floor: f64,
+    /// Imprint (V_c shift) model.
+    pub imprint: ImprintModel,
+    /// Sense margin the imprint shift competes against, V.
+    pub sense_margin_v: f64,
+    /// Per-bit flip probability for each QNRO sense since the last
+    /// write — the Monte-Carlo margin study's sense-failure tail.
+    pub disturb_per_read: f64,
+    /// Extra decay multiplier at full wear: probabilities scale by
+    /// `1 + wear_acceleration · wear_fraction`.
+    pub wear_acceleration: f64,
+}
+
+impl DriftSpec {
+    /// A quiet environment: calibrated HfO₂ models at room temperature,
+    /// no disturb tail. At realistic timescales this injects nothing —
+    /// the paper's reliability claims, restated as a fault process.
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            temperature_k: 300.0,
+            retention: RetentionModel::hfo2_default(),
+            sense_floor: 0.5,
+            imprint: ImprintModel::hfo2_default(),
+            sense_margin_v: 0.4,
+            disturb_per_read: 0.0,
+            wear_acceleration: 1.0,
+        }
+    }
+
+    /// An accelerated-stress environment for campaigns: the same model
+    /// *shapes*, but with the retention constant compressed so that
+    /// decades of decay happen over simulated seconds, the die held at
+    /// `temperature_k`, and a nonzero QNRO disturb tail. This is the
+    /// lab's bake-oven protocol, not a different physics.
+    pub fn accelerated(seed: u64, temperature_k: f64, disturb_per_read: f64) -> Self {
+        Self {
+            seed,
+            temperature_k,
+            retention: RetentionModel {
+                // Compress τ(300 K) from ~8·10¹¹ s to 2·10⁹ s: at a
+                // 390 K bake the per-bit retention figure of merit drops
+                // to ~12 simulated hours, so hour-scale ticks sit on the
+                // rising part of the failure CDF instead of decades out.
+                tau_300k_s: 2e9,
+                ..RetentionModel::hfo2_default()
+            },
+            sense_floor: 0.5,
+            imprint: ImprintModel {
+                // Imprint onset compressed to match.
+                onset_s: 1e-3,
+                ..ImprintModel::hfo2_default()
+            },
+            sense_margin_v: 0.4,
+            disturb_per_read: disturb_per_read.clamp(0.0, 1.0),
+            wear_acceleration: 4.0,
+        }
+    }
+
+    /// Sets the disturb tail from a Monte-Carlo margin study: the
+    /// worst-case sense-failure rate becomes the per-read flip
+    /// probability.
+    pub fn with_margin_tail(mut self, report: &MarginReport) -> Self {
+        self.disturb_per_read = report.sense_failure_rate().clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Per-row drift bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct RowDrift {
+    /// Process-clock time of the row's last write, s.
+    last_write_s: f64,
+    /// QNRO senses absorbed since the last write.
+    reads_since_write: u64,
+    /// Reads already charged to the disturb process.
+    reads_charged: u64,
+}
+
+/// The seeded, time-stepped storage fault process.
+///
+/// Rows become *tracked* when [`DriftProcess::note_write`] is called
+/// (they now hold data that can decay); [`DriftProcess::tick`] advances
+/// the clock, and [`DriftProcess::sample_row`] draws each tracked row's
+/// XOR upset mask for the elapsed interval.
+#[derive(Debug, Clone)]
+pub struct DriftProcess {
+    spec: DriftSpec,
+    rng: StdRng,
+    now_s: f64,
+    rows: HashMap<u64, RowDrift>,
+    ticks: u64,
+    flips_injected: u64,
+}
+
+impl DriftProcess {
+    /// Creates a process at `t = 0` with no tracked rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `disturb_per_read` is a probability and
+    /// `sense_floor ∈ (0, 1)`.
+    pub fn new(spec: DriftSpec) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&spec.disturb_per_read),
+            "disturb rate must be a probability"
+        );
+        assert!(
+            spec.sense_floor > 0.0 && spec.sense_floor < 1.0,
+            "sense floor must be in (0, 1)"
+        );
+        let rng = StdRng::seed_from_u64(spec.seed);
+        Self {
+            spec,
+            rng,
+            now_s: 0.0,
+            rows: HashMap::new(),
+            ticks: 0,
+            flips_injected: 0,
+        }
+    }
+
+    /// The spec in force.
+    pub fn spec(&self) -> &DriftSpec {
+        &self.spec
+    }
+
+    /// Process-clock time, s.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total storage bits flipped by the process so far.
+    pub fn flips_injected(&self) -> u64 {
+        self.flips_injected
+    }
+
+    /// Marks `row` as freshly written: its hold time and disturb count
+    /// restart, and it is tracked from now on.
+    pub fn note_write(&mut self, row: RowId) {
+        let state = self.rows.entry(row.0).or_default();
+        state.last_write_s = self.now_s;
+        state.reads_since_write = 0;
+        state.reads_charged = 0;
+    }
+
+    /// Records one QNRO sense of `row` (only tracked rows accumulate
+    /// disturb — an unwritten row has nothing to disturb).
+    pub fn note_read(&mut self, row: RowId) {
+        if let Some(state) = self.rows.get_mut(&row.0) {
+            state.reads_since_write += 1;
+        }
+    }
+
+    /// Tracked rows in ascending order — the deterministic iteration
+    /// order every sampling pass must use.
+    pub fn tracked_rows(&self) -> Vec<RowId> {
+        let mut rows: Vec<RowId> = self.rows.keys().map(|&r| RowId(r)).collect();
+        rows.sort();
+        rows
+    }
+
+    /// Advances the process clock by `dt_s`. The caller then samples
+    /// each tracked row (in [`DriftProcess::tracked_rows`] order) with
+    /// [`DriftProcess::sample_row`] for the upset mask of this interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is negative or non-finite.
+    pub fn tick(&mut self, dt_s: f64) {
+        assert!(dt_s.is_finite() && dt_s >= 0.0, "bad tick dt {dt_s}");
+        self.now_s += dt_s;
+        self.ticks += 1;
+    }
+
+    /// The per-bit upset probability `row` accumulated over the last
+    /// tick interval `(now − dt, now]`, given its current wear
+    /// fraction. Pure — the sampling draw happens in
+    /// [`DriftProcess::sample_row`].
+    pub fn row_flip_probability(&self, row: RowId, dt_s: f64, wear_fraction: f64) -> f64 {
+        let Some(state) = self.rows.get(&row.0) else {
+            return 0.0;
+        };
+        let t_k = self.spec.temperature_k;
+        let hold_end = (self.now_s - state.last_write_s).max(0.0);
+        let hold_start = (hold_end - dt_s).max(0.0);
+        // Retention: incremental Weibull hazard over the tick.
+        let p_ret = self.spec.retention.bit_failure_hazard(
+            hold_start,
+            hold_end,
+            t_k,
+            self.spec.sense_floor,
+        );
+        // Imprint: the V_c-shift tail differenced over the tick.
+        let p_imp_end = self
+            .spec
+            .imprint
+            .bit_upset_probability(hold_end, t_k, self.spec.sense_margin_v);
+        let p_imp_start = self
+            .spec
+            .imprint
+            .bit_upset_probability(hold_start, t_k, self.spec.sense_margin_v);
+        let p_imp = (p_imp_end - p_imp_start).max(0.0);
+        // QNRO disturb: every not-yet-charged sense contributes.
+        let new_reads = state.reads_since_write - state.reads_charged;
+        let p_disturb = 1.0 - (1.0 - self.spec.disturb_per_read).powi(new_reads.min(1 << 30) as i32);
+        // Independent processes compose as survival products; wear
+        // acceleration scales the combined hazard.
+        let survive = (1.0 - p_ret) * (1.0 - p_imp) * (1.0 - p_disturb);
+        let p = 1.0 - survive;
+        let wear_scale = 1.0 + self.spec.wear_acceleration * wear_fraction.clamp(0.0, 1.0);
+        (p * wear_scale).clamp(0.0, 1.0)
+    }
+
+    /// Draws the upset XOR mask for one tracked row over the last tick:
+    /// each of the row's `words × 64` bits flips with
+    /// [`DriftProcess::row_flip_probability`]. Returns `None` when no
+    /// bit flipped (the overwhelmingly common case). Marks the row's
+    /// pending disturb reads as charged.
+    pub fn sample_row(
+        &mut self,
+        row: RowId,
+        words: usize,
+        dt_s: f64,
+        wear_fraction: f64,
+    ) -> Option<Vec<u64>> {
+        let p = self.row_flip_probability(row, dt_s, wear_fraction);
+        if let Some(state) = self.rows.get_mut(&row.0) {
+            state.reads_charged = state.reads_since_write;
+        }
+        if p <= 0.0 {
+            return None;
+        }
+        let mut mask = vec![0u64; words];
+        let mut flips = 0u64;
+        for word in mask.iter_mut() {
+            for bit in 0..64 {
+                if self.rng.gen_bool(p) {
+                    *word |= 1 << bit;
+                    flips += 1;
+                }
+            }
+        }
+        if flips == 0 {
+            return None;
+        }
+        self.flips_injected += flips;
+        felim_telemetry::counter("arch.drift.flips").add(flips);
+        Some(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(seed: u64) -> DriftSpec {
+        DriftSpec::accelerated(seed, 390.0, 1e-4)
+    }
+
+    #[test]
+    fn quiet_spec_injects_nothing_at_operating_conditions() {
+        let mut p = DriftProcess::new(DriftSpec::quiet(1));
+        p.note_write(RowId(0));
+        // A full simulated day at 300 K.
+        p.tick(86_400.0);
+        assert_eq!(p.sample_row(RowId(0), 16, 86_400.0, 0.0), None);
+        assert_eq!(p.flips_injected(), 0);
+    }
+
+    #[test]
+    fn accelerated_spec_decays_held_rows() {
+        let mut p = DriftProcess::new(hot(7));
+        p.note_write(RowId(3));
+        // Hours at 390 K under the compressed τ: decay must fire.
+        let mut total = 0u64;
+        for _ in 0..10 {
+            p.tick(3600.0);
+            if let Some(mask) = p.sample_row(RowId(3), 16, 3600.0, 0.0) {
+                total += mask.iter().map(|w| w.count_ones() as u64).sum::<u64>();
+            }
+        }
+        assert!(total > 0, "accelerated retention must flip bits");
+        assert_eq!(p.flips_injected(), total);
+        assert_eq!(p.ticks(), 10);
+    }
+
+    #[test]
+    fn untracked_rows_never_flip() {
+        let mut p = DriftProcess::new(hot(3));
+        p.tick(1e6);
+        assert_eq!(p.row_flip_probability(RowId(9), 1e6, 1.0), 0.0);
+        assert_eq!(p.sample_row(RowId(9), 16, 1e6, 1.0), None);
+    }
+
+    #[test]
+    fn rewrites_reset_the_hold_clock() {
+        let mut p = DriftProcess::new(hot(5));
+        p.note_write(RowId(0));
+        p.tick(7200.0);
+        let aged = p.row_flip_probability(RowId(0), 7200.0, 0.0);
+        assert!(aged > 0.0);
+        p.note_write(RowId(0)); // refresh
+        p.tick(1.0);
+        let fresh = p.row_flip_probability(RowId(0), 1.0, 0.0);
+        assert!(fresh < aged / 10.0, "{fresh} vs {aged}");
+    }
+
+    #[test]
+    fn reads_accumulate_disturb_and_are_charged_once() {
+        let mut p = DriftProcess::new(DriftSpec {
+            disturb_per_read: 0.01,
+            ..DriftSpec::quiet(11)
+        });
+        p.note_write(RowId(0));
+        for _ in 0..50 {
+            p.note_read(RowId(0));
+        }
+        p.tick(1e-9);
+        let with_reads = p.row_flip_probability(RowId(0), 1e-9, 0.0);
+        assert!(with_reads > 0.3, "50 reads at 1 % each: {with_reads}");
+        let _ = p.sample_row(RowId(0), 4, 1e-9, 0.0);
+        // Charged: the next tick sees no *new* reads.
+        p.tick(1e-9);
+        assert!(p.row_flip_probability(RowId(0), 1e-9, 0.0) < 1e-6);
+    }
+
+    #[test]
+    fn wear_accelerates_decay() {
+        let mut p = DriftProcess::new(hot(13));
+        p.note_write(RowId(0));
+        p.tick(3600.0);
+        let fresh = p.row_flip_probability(RowId(0), 3600.0, 0.0);
+        let worn = p.row_flip_probability(RowId(0), 3600.0, 1.0);
+        assert!(worn > 2.0 * fresh, "{worn} vs {fresh}");
+    }
+
+    #[test]
+    fn process_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = DriftProcess::new(hot(seed));
+            p.note_write(RowId(0));
+            p.note_write(RowId(1));
+            let mut masks = Vec::new();
+            for _ in 0..5 {
+                p.tick(3600.0);
+                for row in p.tracked_rows() {
+                    masks.push(p.sample_row(row, 16, 3600.0, 0.2));
+                }
+            }
+            masks
+        };
+        assert_eq!(run(2), run(2));
+        assert_ne!(run(2), run(3));
+    }
+
+    #[test]
+    fn margin_tail_feeds_disturb() {
+        use felim_cell::margin::MarginReport;
+        let report = MarginReport {
+            samples: 100,
+            tba_yield: 0.995,
+            not_yield: 0.999,
+            worst_level_separation: 1.5,
+            mean_level_separation: 2.0,
+        };
+        let spec = DriftSpec::quiet(1).with_margin_tail(&report);
+        assert!((spec.disturb_per_read - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad tick dt")]
+    fn rejects_negative_ticks() {
+        DriftProcess::new(DriftSpec::quiet(0)).tick(-1.0);
+    }
+}

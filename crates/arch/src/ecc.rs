@@ -1,0 +1,342 @@
+//! Per-row SECDED error-correcting code (Hamming 72,64 + overall parity).
+//!
+//! Every stored 64-bit word gets an 8-bit side-band code: seven Hamming
+//! check bits plus one overall-parity bit, the classic extended-Hamming
+//! (72,64) construction used by ECC DIMMs. The code corrects any
+//! single-bit upset in the 72-bit codeword (data *or* check bits) and
+//! detects — never miscorrects — every double-bit upset.
+//!
+//! The 72-bit codeword positions are numbered `0..72`:
+//!
+//! * position 0 — the overall parity bit (even parity over all 72 bits),
+//! * positions 1, 2, 4, 8, 16, 32, 64 — the seven Hamming check bits,
+//! * the remaining 64 positions — data bits, in ascending order.
+//!
+//! A single flip at position `p ≥ 1` produces syndrome `p` with odd
+//! overall parity; a double flip produces a nonzero syndrome with *even*
+//! overall parity (two flips cancel in the overall bit) and is reported
+//! as uncorrectable. This is exactly the decision table the
+//! [`decode_word`] doc-table spells out.
+//!
+//! The [`ReliabilityController`](crate::controller::ReliabilityController)
+//! stores one [`RowCode`] per protected row, re-encodes on every write,
+//! and checks on every read and patrol-scrub pass; double-bit detections
+//! escalate as [`ArchError::Uncorrectable`](crate::ArchError).
+
+use serde::Serialize;
+
+/// Bits in the extended codeword: 64 data + 7 Hamming + 1 overall parity.
+const CODEWORD_BITS: u32 = 72;
+
+/// Codeword positions of the seven Hamming check bits.
+const CHECK_POSITIONS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Codeword positions (ascending) that carry data bits: everything in
+/// `1..72` that is not a power of two.
+fn data_positions() -> impl Iterator<Item = u32> {
+    (1..CODEWORD_BITS).filter(|p| !p.is_power_of_two())
+}
+
+/// Expands `(data, check)` into the 72-bit codeword (bit `p` of the
+/// return value = codeword position `p`). Check-byte layout: bit 0 is
+/// the overall parity (position 0), bits 1..=7 are the Hamming check
+/// bits at positions 1, 2, 4, 8, 16, 32, 64 respectively.
+fn assemble(data: u64, check: u8) -> u128 {
+    let mut word: u128 = 0;
+    if check & 1 != 0 {
+        word |= 1;
+    }
+    for (i, &p) in CHECK_POSITIONS.iter().enumerate() {
+        if check >> (i + 1) & 1 != 0 {
+            word |= 1u128 << p;
+        }
+    }
+    for (bit, p) in data_positions().enumerate() {
+        if data >> bit & 1 != 0 {
+            word |= 1u128 << p;
+        }
+    }
+    word
+}
+
+/// Collapses a 72-bit codeword back into `(data, check)`.
+fn disassemble(word: u128) -> (u64, u8) {
+    let mut check = (word & 1) as u8;
+    for (i, &p) in CHECK_POSITIONS.iter().enumerate() {
+        if word >> p & 1 != 0 {
+            check |= 1 << (i + 1);
+        }
+    }
+    let mut data = 0u64;
+    for (bit, p) in data_positions().enumerate() {
+        if word >> p & 1 != 0 {
+            data |= 1 << bit;
+        }
+    }
+    (data, check)
+}
+
+/// Hamming syndrome of a codeword: XOR of the positions of all set bits.
+/// Zero for a valid codeword; equals the flipped position after any
+/// single-bit upset at position ≥ 1.
+fn syndrome(word: u128) -> u32 {
+    let mut s = 0u32;
+    let mut w = word;
+    while w != 0 {
+        let p = w.trailing_zeros();
+        s ^= p;
+        w &= w - 1;
+    }
+    s
+}
+
+/// Encodes the 8-bit SECDED check byte for one 64-bit data word.
+///
+/// ```
+/// use felim_arch::ecc::{decode_word, encode_word, WordDecode};
+/// let check = encode_word(0xDEAD_BEEF);
+/// assert_eq!(decode_word(0xDEAD_BEEF, check), WordDecode::Clean);
+/// ```
+pub fn encode_word(data: u64) -> u8 {
+    // Choose check bits so that every Hamming parity group XORs to zero
+    // (syndrome zero), then the overall bit so total parity is even.
+    let data_word = assemble(data, 0);
+    let s = syndrome(data_word);
+    let mut check = 0u8;
+    for (i, &p) in CHECK_POSITIONS.iter().enumerate() {
+        // Check bit at position p covers syndrome bit log2(p) = its index
+        // in the position numbering; setting it toggles that syndrome bit.
+        if s & p != 0 {
+            check |= 1 << (i + 1);
+        }
+    }
+    let with_checks = assemble(data, check);
+    if with_checks.count_ones() % 2 == 1 {
+        check |= 1; // overall parity bit at position 0
+    }
+    check
+}
+
+/// Outcome of decoding one `(data, check)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WordDecode {
+    /// The codeword is consistent: the stored data is trusted as-is.
+    Clean,
+    /// A single-bit upset in the *data* bits was corrected; the payload
+    /// is the repaired data word.
+    CorrectedData(u64),
+    /// A single-bit upset in the *check* bits (including the overall
+    /// parity bit) was corrected; the data was never wrong.
+    CorrectedCheck,
+    /// A double-bit upset (or worse): detected, not correctable. The
+    /// data must not be trusted.
+    Uncorrectable,
+}
+
+/// Decodes one data word against its SECDED check byte.
+///
+/// Decision table (`s` = Hamming syndrome, `P` = overall parity of the
+/// 72-bit codeword):
+///
+/// | `s`     | `P`  | verdict                                       |
+/// |---------|------|-----------------------------------------------|
+/// | 0       | even | clean                                         |
+/// | 0       | odd  | overall-parity bit flipped → corrected        |
+/// | 1..72   | odd  | single flip at position `s` → corrected       |
+/// | ≥ 72    | odd  | impossible for 1 flip → ≥3 flips, detected    |
+/// | nonzero | even | double flip → detected, uncorrectable         |
+pub fn decode_word(data: u64, check: u8) -> WordDecode {
+    let word = assemble(data, check);
+    let s = syndrome(word);
+    let parity_odd = word.count_ones() % 2 == 1;
+    match (s, parity_odd) {
+        (0, false) => WordDecode::Clean,
+        (0, true) => WordDecode::CorrectedCheck,
+        (s, true) if s < CODEWORD_BITS => {
+            if s.is_power_of_two() || s == 0 {
+                // The flipped bit is a check bit — data is intact.
+                WordDecode::CorrectedCheck
+            } else {
+                let fixed = word ^ (1u128 << s);
+                let (repaired, _) = disassemble(fixed);
+                WordDecode::CorrectedData(repaired)
+            }
+        }
+        // s >= 72 with odd parity: at least a triple error. s != 0 with
+        // even parity: the double-error signature. Both uncorrectable.
+        _ => WordDecode::Uncorrectable,
+    }
+}
+
+/// The SECDED side-band for one full row: one check byte per data word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RowCode {
+    checks: Vec<u8>,
+}
+
+impl RowCode {
+    /// Encodes the side-band for a full row of data.
+    pub fn encode(data: &[u64]) -> Self {
+        Self {
+            checks: data.iter().map(|&w| encode_word(w)).collect(),
+        }
+    }
+
+    /// Number of protected words.
+    pub fn words(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// The check byte of one word.
+    pub fn check(&self, word: usize) -> u8 {
+        self.checks[word]
+    }
+
+    /// Checks (and repairs, in place) a full row against this side-band.
+    ///
+    /// Single-bit upsets in data words are corrected in `data`;
+    /// check-bit upsets are recorded (the side-band itself is refreshed
+    /// by the next encode). Words with double-bit upsets are left
+    /// untouched and listed in [`RowCheck::uncorrectable_words`].
+    pub fn check_row(&self, data: &mut [u64]) -> RowCheck {
+        let mut outcome = RowCheck::default();
+        for (i, word) in data.iter_mut().enumerate() {
+            let check = self.checks.get(i).copied().unwrap_or_else(|| {
+                // Length mismatch means the row was resized under us —
+                // treat the tail as unprotected (clean by definition).
+                encode_word(*word)
+            });
+            match decode_word(*word, check) {
+                WordDecode::Clean => {}
+                WordDecode::CorrectedData(fixed) => {
+                    outcome.corrected_bits += (*word ^ fixed).count_ones() as u64;
+                    *word = fixed;
+                }
+                WordDecode::CorrectedCheck => outcome.corrected_check_bits += 1,
+                WordDecode::Uncorrectable => outcome.uncorrectable_words.push(i),
+            }
+        }
+        outcome
+    }
+}
+
+/// Result of checking one row against its SECDED side-band.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct RowCheck {
+    /// Data bits repaired in place.
+    pub corrected_bits: u64,
+    /// Check-bit upsets absorbed (data was never wrong).
+    pub corrected_check_bits: u64,
+    /// Word indices whose codewords hold ≥2 upsets — uncorrectable.
+    pub uncorrectable_words: Vec<usize>,
+}
+
+impl RowCheck {
+    /// Did the row decode without any uncorrectable word?
+    pub fn is_correctable(&self) -> bool {
+        self.uncorrectable_words.is_empty()
+    }
+
+    /// Did the row decode with no errors at all?
+    pub fn is_clean(&self) -> bool {
+        self.is_correctable() && self.corrected_bits == 0 && self.corrected_check_bits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_partition_the_codeword() {
+        let data: Vec<u32> = data_positions().collect();
+        assert_eq!(data.len(), 64);
+        for p in &CHECK_POSITIONS {
+            assert!(!data.contains(p));
+        }
+        assert!(!data.contains(&0));
+    }
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        for &(d, c) in &[(0u64, 0u8), (!0, 0xFF), (0xDEAD_BEEF_1234_5678, 0x5A)] {
+            assert_eq!(disassemble(assemble(d, c)), (d, c));
+        }
+    }
+
+    #[test]
+    fn clean_words_decode_clean() {
+        for &d in &[0u64, 1, !0, 0xAAAA_AAAA_AAAA_AAAA, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(decode_word(d, encode_word(d)), WordDecode::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_data_flip_is_corrected() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let check = encode_word(data);
+        for bit in 0..64 {
+            let corrupted = data ^ (1 << bit);
+            assert_eq!(
+                decode_word(corrupted, check),
+                WordDecode::CorrectedData(data),
+                "flip at data bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_check_flip_is_absorbed() {
+        let data = 0xF0E1_D2C3_B4A5_9687u64;
+        let check = encode_word(data);
+        for bit in 0..8 {
+            let corrupted = check ^ (1 << bit);
+            assert_eq!(
+                decode_word(data, corrupted),
+                WordDecode::CorrectedCheck,
+                "flip at check bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_flips_are_detected_never_miscorrected() {
+        let data = 0x5555_0000_FFFF_AAAAu64;
+        let check = encode_word(data);
+        let clean = assemble(data, check);
+        // All C(72,2) double flips across the full codeword.
+        for i in 0..CODEWORD_BITS {
+            for j in (i + 1)..CODEWORD_BITS {
+                let corrupted = clean ^ (1u128 << i) ^ (1u128 << j);
+                let (d, c) = disassemble(corrupted);
+                assert_eq!(
+                    decode_word(d, c),
+                    WordDecode::Uncorrectable,
+                    "double flip at positions {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_code_corrects_and_reports_per_word() {
+        let data = vec![0x1111u64, 0x2222, 0x3333, 0x4444];
+        let code = RowCode::encode(&data);
+        assert_eq!(code.words(), 4);
+
+        // One single flip in word 1, one double flip in word 3.
+        let mut stored = data.clone();
+        stored[1] ^= 1 << 7;
+        stored[3] ^= (1 << 3) | (1 << 40);
+        let outcome = code.check_row(&mut stored);
+        assert_eq!(outcome.corrected_bits, 1);
+        assert_eq!(outcome.uncorrectable_words, vec![3]);
+        assert!(!outcome.is_correctable());
+        assert_eq!(stored[1], data[1], "single flip repaired in place");
+        assert_ne!(stored[3], data[3], "double flip left untouched");
+
+        // A clean row decodes clean.
+        let mut clean = data.clone();
+        assert!(code.check_row(&mut clean).is_clean());
+    }
+}

@@ -13,6 +13,14 @@ impl fmt::Display for RowId {
     }
 }
 
+// Maps keyed by `RowId` serialize with the same stringified-number keys
+// as maps keyed by the raw `u64`.
+impl serde::JsonKey for RowId {
+    fn write_key(&self, out: &mut String) {
+        serde::JsonKey::write_key(&self.0, out);
+    }
+}
+
 /// Geometry of the simulated memory.
 ///
 /// The paper's configuration: 8 GB capacity, 8 KB rows, subarrays of 512

@@ -54,24 +54,32 @@
 
 pub mod bandwidth;
 pub mod command;
+pub mod controller;
 pub mod dram_backend;
+pub mod drift;
+pub mod ecc;
 pub mod energy;
 pub mod engine;
 pub mod fault;
 pub mod feram_backend;
 pub mod geometry;
 pub mod schedule;
+pub mod scrub;
 pub mod stats;
 pub mod wear;
 
 pub use bandwidth::{compute_bandwidth, ComputeBandwidth};
 pub use command::Command;
+pub use controller::{ControllerConfig, ControllerStats, ReliabilityController};
 pub use dram_backend::DramBackend;
+pub use drift::{DriftProcess, DriftSpec};
+pub use ecc::{RowCheck, RowCode, WordDecode};
 pub use energy::{EnergyModel, LatencyModel};
 pub use fault::{DegradationPolicy, FaultInjector, FaultSpec, ReliabilityStats};
 pub use feram_backend::FeramBackend;
 pub use geometry::{MemoryGeometry, RowId};
 pub use schedule::{schedule, ScheduleReport};
+pub use scrub::{PatrolScrubber, ScrubConfig};
 pub use stats::{CommandClass, ExecStats};
 pub use wear::{WearReport, WearTracker};
 
@@ -207,6 +215,39 @@ pub trait BulkBackend {
 
     /// Human-readable technology name.
     fn tech_name(&self) -> &'static str;
+
+    /// Maintenance view of a row's stored bits, free of charge and free
+    /// of fault injection — what an oracle (or the reliability
+    /// controller's ground-truth snapshot) sees. `Ok(None)` when the
+    /// backend does not expose raw storage (the default).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`].
+    fn peek_row(&self, _row: RowId) -> Result<Option<Vec<u64>>, ArchError> {
+        Ok(None)
+    }
+
+    /// XORs `mask` into the row's *stored* bits, modelling an
+    /// environmental upset (retention loss, imprint, read disturb). No
+    /// energy, cycles, wear or fault-injection paths are charged — the
+    /// physics did this, not a command. Returns `Ok(false)` when the
+    /// backend does not model raw storage (the default) or the row holds
+    /// no data yet.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchError::RowOutOfRange`] / [`ArchError::RowSizeMismatch`].
+    fn decay_row(&mut self, _row: RowId, _mask: &[u64]) -> Result<bool, ArchError> {
+        Ok(false)
+    }
+
+    /// Fraction of the row's write-endurance budget consumed so far,
+    /// in `[0, 1]`; `0.0` for backends without wear tracking (the
+    /// default).
+    fn wear_fraction(&self, _row: RowId) -> f64 {
+        0.0
+    }
 }
 
 /// Error type for architecture-level failures.
@@ -239,6 +280,15 @@ pub enum ArchError {
         /// The logical row that needed a spare.
         row: u64,
     },
+    /// SECDED decoding found a multi-bit upset it can detect but not
+    /// correct — the data is known-bad and the error is *reported*
+    /// rather than silently returned.
+    Uncorrectable {
+        /// The logical row holding the uncorrectable words.
+        row: u64,
+        /// Word indices within the row whose codewords failed.
+        words: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for ArchError {
@@ -258,6 +308,14 @@ impl std::fmt::Display for ArchError {
             }
             ArchError::SparesExhausted { row } => {
                 write!(f, "no spare rows left to retire row {row} to")
+            }
+            ArchError::Uncorrectable { row, words } => {
+                write!(
+                    f,
+                    "row {row} has {} uncorrectable SECDED word(s), first at index {}",
+                    words.len(),
+                    words.first().copied().unwrap_or(0)
+                )
             }
         }
     }

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 /// Per-row write counters with an endurance budget.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WearTracker {
-    writes: HashMap<u64, u64>,
+    writes: HashMap<RowId, u64>,
     endurance_budget: u64,
 }
 
@@ -30,8 +30,10 @@ pub struct WearReport {
     /// Fraction of the endurance budget consumed by the hottest row.
     pub worst_budget_fraction: f64,
     /// How many times the observed workload could repeat before the
-    /// hottest row reaches the budget (`inf` if nothing was written).
-    pub repeatable_runs: f64,
+    /// hottest row reaches the budget; `None` when nothing was written
+    /// (an unbounded figure — JSON has no representation for infinity,
+    /// so the report uses `null` rather than a sentinel number).
+    pub repeatable_runs: Option<f64>,
 }
 
 impl WearTracker {
@@ -55,12 +57,12 @@ impl WearTracker {
 
     /// Records one full write of `row`.
     pub fn record_write(&mut self, row: RowId) {
-        *self.writes.entry(row.0).or_insert(0) += 1;
+        *self.writes.entry(row).or_insert(0) += 1;
     }
 
     /// Write count of a row.
     pub fn writes(&self, row: RowId) -> u64 {
-        self.writes.get(&row.0).copied().unwrap_or(0)
+        self.writes.get(&row).copied().unwrap_or(0)
     }
 
     /// The endurance budget.
@@ -78,9 +80,9 @@ impl WearTracker {
             max_row_writes: max,
             worst_budget_fraction: max as f64 / self.endurance_budget as f64,
             repeatable_runs: if max == 0 {
-                f64::INFINITY
+                None
             } else {
-                self.endurance_budget as f64 / max as f64
+                Some(self.endurance_budget as f64 / max as f64)
             },
         }
     }
@@ -93,7 +95,7 @@ impl WearTracker {
             .writes
             .iter()
             .filter(|(_, &n)| n > threshold)
-            .map(|(&r, _)| RowId(r))
+            .map(|(&r, _)| r)
             .collect();
         rows.sort();
         rows
@@ -118,7 +120,7 @@ mod tests {
         assert_eq!(r.total_writes, 11);
         assert_eq!(r.max_row_writes, 10);
         assert!((r.worst_budget_fraction - 0.1).abs() < 1e-12);
-        assert!((r.repeatable_runs - 10.0).abs() < 1e-12);
+        assert!((r.repeatable_runs.unwrap() - 10.0).abs() < 1e-12);
     }
 
     #[test]
@@ -126,8 +128,49 @@ mod tests {
         let w = WearTracker::new();
         let r = w.report();
         assert_eq!(r.max_row_writes, 0);
-        assert!(r.repeatable_runs.is_infinite());
+        assert_eq!(r.repeatable_runs, None);
         assert_eq!(w.budget(), 1_000_000);
+    }
+
+    #[test]
+    fn wear_report_json_round_trips() {
+        // Regression: `repeatable_runs` used to be a bare f64 that held
+        // `f64::INFINITY` for an empty tracker — which serializes to JSON
+        // `null` and then failed to parse back as a number. The unbounded
+        // case must round-trip as an explicit null.
+        let empty = WearTracker::new().report();
+        let json = serde_json::to_string(&empty).unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(&json).expect("report JSON must parse");
+        assert!(
+            value
+                .get("repeatable_runs")
+                .is_some_and(|v| matches!(v, serde_json::Value::Null)),
+            "unbounded runs must be an explicit null: {json}"
+        );
+
+        let mut w = WearTracker::with_budget(100);
+        w.record_write(RowId(4));
+        let bounded = w.report();
+        let json = serde_json::to_string(&bounded).unwrap();
+        let value: serde_json::Value =
+            serde_json::from_str(&json).expect("report JSON must parse");
+        assert_eq!(
+            value.get("repeatable_runs").and_then(|v| v.as_f64()),
+            Some(100.0)
+        );
+        assert_eq!(value.get("total_writes").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn tracker_json_uses_stringified_row_keys() {
+        // The map moved from `u64` to `RowId` keys; the JSON shape must
+        // not change (stringified numeric keys).
+        let mut w = WearTracker::with_budget(10);
+        w.record_write(RowId(3));
+        w.record_write(RowId(3));
+        let json = serde_json::to_string(&w).unwrap();
+        assert!(json.contains(r#""writes":{"3":2}"#), "got {json}");
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! PR 6 reliability baseline: silent-corruption rate and energy/cycle
+//! overhead of the physics-driven reliability controller, swept over
+//! protection tier (ECC on/off, patrol scrub period) and QNRO disturb
+//! rate at the bake-oven operating point.
+//!
+//! This binary requires the `telemetry` feature and is the documented
+//! one-command producer of `results/BENCH_PR6.json`:
+//!
+//! ```text
+//! FELIM_THREADS=1 cargo run --release -p felim-bench --features telemetry --bin bench_pr6
+//! ```
+//!
+//! Every setting runs the full eight-kernel reliability campaign: each
+//! kernel executes through a `ReliabilityController`, its result rows
+//! dwell for 30 simulated minutes at the 390 K bake while the
+//! retention/imprint/disturb processes tick, and a readback classifies
+//! every row. The campaign is fully seeded, so the committed baseline
+//! reproduces bit for bit.
+
+use felim::arch::DegradationPolicy;
+use felim::telemetry;
+use felim::workloads::driver::{
+    run_reliability_campaign, ReliabilityCampaignSpec, ReliabilityTier,
+};
+use felim_bench::{header, results_dir};
+use serde::Serialize;
+
+const SIM_ROWS: u64 = 8;
+const SEED: u64 = 42;
+const KERNEL_SEED: u64 = 7;
+
+/// One protection setting's aggregate campaign outcome.
+#[derive(Debug, Serialize)]
+struct Setting {
+    tier: &'static str,
+    ecc: bool,
+    /// Patrol period, s; `null` when the scrubber is off.
+    scrub_period_s: Option<f64>,
+    disturb_per_read: f64,
+    rows_audited: u64,
+    drift_flips: u64,
+    corrected_bits: u64,
+    detected_rows: u64,
+    silent_rows: u64,
+    /// Silently corrupted rows per audited row.
+    silent_rate: f64,
+    scrub_passes: u64,
+    scrub_rewrites: u64,
+    cycles: u64,
+    energy_nj: f64,
+    /// Cycle overhead vs the unprotected tier at the same disturb rate.
+    cycle_overhead: f64,
+    /// Energy overhead vs the unprotected tier at the same disturb rate.
+    energy_overhead: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: &'static str,
+    sim_rows: u64,
+    seed: u64,
+    kernel_seed: u64,
+    threads: usize,
+    /// Five controller telemetry counters over the whole sweep.
+    telemetry: Vec<(String, u64)>,
+    settings: Vec<Setting>,
+}
+
+fn run_setting(
+    tier: ReliabilityTier,
+    scrub_period_s: Option<f64>,
+    disturb_per_read: f64,
+    baseline: Option<&Setting>,
+) -> Setting {
+    let mut spec = ReliabilityCampaignSpec::bake_oven(SEED, tier);
+    spec.drift.disturb_per_read = disturb_per_read;
+    if let Some(period) = scrub_period_s {
+        spec.scrub_period_s = period;
+    }
+    let outcomes =
+        run_reliability_campaign(SIM_ROWS, KERNEL_SEED, &spec, &DegradationPolicy::hardened());
+    assert!(
+        outcomes.iter().all(|o| o.completed),
+        "{}: every kernel must complete",
+        tier.name()
+    );
+    let sum = |f: fn(&felim::workloads::driver::ReliabilityOutcome) -> u64| -> u64 {
+        outcomes.iter().map(f).sum()
+    };
+    let rows_audited = sum(|o| o.rows_audited);
+    let silent_rows = sum(|o| o.silent_rows);
+    let cycles = sum(|o| o.cycles);
+    let energy_nj: f64 = outcomes.iter().map(|o| o.energy_nj).sum();
+    let overhead = |value: f64, base: f64| {
+        if base > 0.0 {
+            value / base - 1.0
+        } else {
+            0.0
+        }
+    };
+    Setting {
+        tier: tier.name(),
+        ecc: tier != ReliabilityTier::Unprotected,
+        scrub_period_s: (tier == ReliabilityTier::Protected)
+            .then(|| scrub_period_s.unwrap_or(300.0)),
+        disturb_per_read,
+        rows_audited,
+        drift_flips: sum(|o| o.drift_flips),
+        corrected_bits: sum(|o| o.corrected_bits),
+        detected_rows: sum(|o| o.detected_rows),
+        silent_rows,
+        silent_rate: silent_rows as f64 / rows_audited.max(1) as f64,
+        scrub_passes: sum(|o| o.scrub_passes),
+        scrub_rewrites: sum(|o| o.scrub_rewrites),
+        cycles,
+        energy_nj,
+        cycle_overhead: baseline
+            .map(|b| overhead(cycles as f64, b.cycles as f64))
+            .unwrap_or(0.0),
+        energy_overhead: baseline
+            .map(|b| overhead(energy_nj, b.energy_nj))
+            .unwrap_or(0.0),
+    }
+}
+
+fn main() {
+    assert!(
+        telemetry::enabled(),
+        "bench_pr6 must be built with --features telemetry"
+    );
+    header(
+        "BENCH_PR6",
+        "reliability controller: silent-corruption rate and scrub/ECC overhead",
+    );
+    telemetry::reset();
+
+    let mut settings = Vec::new();
+    for disturb in [0.0, 1e-4] {
+        let unprotected = run_setting(ReliabilityTier::Unprotected, None, disturb, None);
+        let ecc_only = run_setting(ReliabilityTier::EccOnly, None, disturb, Some(&unprotected));
+        let mut scrubbed: Vec<Setting> = [300.0, 600.0, 1200.0]
+            .into_iter()
+            .map(|period| {
+                run_setting(
+                    ReliabilityTier::Protected,
+                    Some(period),
+                    disturb,
+                    Some(&unprotected),
+                )
+            })
+            .collect();
+        // The PR 6 claim, enforced on every regeneration: the full
+        // controller never corrupts silently where unprotected leaks.
+        assert!(
+            unprotected.silent_rows > 0,
+            "operating point must make the unprotected tier leak"
+        );
+        for s in &scrubbed {
+            assert_eq!(s.silent_rows, 0, "ecc+scrub must never corrupt silently");
+        }
+        settings.push(unprotected);
+        settings.push(ecc_only);
+        settings.append(&mut scrubbed);
+    }
+
+    println!(
+        "  {:<12} {:>6} {:>8} {:>8} {:>7} {:>9} {:>7} {:>7} {:>9} {:>9}",
+        "tier", "scrub", "disturb", "flips", "fixed", "detected", "silent", "rate", "cyc ovhd",
+        "nrg ovhd"
+    );
+    for s in &settings {
+        println!(
+            "  {:<12} {:>6} {:>8.0e} {:>8} {:>7} {:>9} {:>7} {:>7.4} {:>8.1}% {:>8.1}%",
+            s.tier,
+            s.scrub_period_s
+                .map(|p| format!("{p:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            s.disturb_per_read,
+            s.drift_flips,
+            s.corrected_bits,
+            s.detected_rows,
+            s.silent_rows,
+            s.silent_rate,
+            s.cycle_overhead * 100.0,
+            s.energy_overhead * 100.0,
+        );
+    }
+
+    let snapshot = telemetry::snapshot();
+    let counters: Vec<(String, u64)> = [
+        "arch.ecc.corrected",
+        "arch.ecc.uncorrectable",
+        "arch.scrub.passes",
+        "arch.scrub.rewrites",
+        "arch.drift.ticks",
+    ]
+    .into_iter()
+    .map(|name| (name.to_owned(), snapshot.counter(name).unwrap_or(0)))
+    .collect();
+    for (name, value) in &counters {
+        println!("  {name:<24} {value}");
+    }
+
+    let baseline = Baseline {
+        schema: "felim-bench-pr6/v1",
+        sim_rows: SIM_ROWS,
+        seed: SEED,
+        kernel_seed: KERNEL_SEED,
+        threads: felim::exec::thread_count(),
+        telemetry: counters,
+        settings,
+    };
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_PR6.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PR6.json");
+    println!("\nwrote {}", path.display());
+}

@@ -74,6 +74,35 @@ impl ImprintModel {
     pub fn write_window_ok(&self, vc_v: f64, write_voltage_v: f64, hold_s: f64, t_k: f64) -> bool {
         vc_v + self.vc_shift_v(hold_s, t_k) < 0.8 * write_voltage_v
     }
+
+    /// Probability that the imprint accumulated over `hold_s` seconds at
+    /// `t_k` flips the *opposite*-state read of one bit, given a sense
+    /// margin of `margin_v` volts — the architecture-level
+    /// rate-derivation hook for drift-aware fault processes.
+    ///
+    /// The V_c shift eats into the sense margin, but a sense amplifier
+    /// tolerates any shift comfortably inside its window: upsets only
+    /// start once the shift crosses a guard band of half the margin
+    /// (design-rule headroom), then grow as the quadratic tail
+    /// `min(1, ((ΔV_c − margin/2) / (margin/2))²)` — exactly zero while
+    /// the shift sits in the guard band, certain once the full margin
+    /// is consumed. The paper's "no severe imprint impact" observation
+    /// corresponds to operating-envelope shifts never leaving the guard
+    /// band.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `margin_v > 0`.
+    pub fn bit_upset_probability(&self, hold_s: f64, t_k: f64, margin_v: f64) -> f64 {
+        assert!(margin_v > 0.0, "sense margin must be positive, got {margin_v}");
+        let guard = 0.5 * margin_v;
+        let shift = self.vc_shift_v(hold_s, t_k);
+        if shift <= guard {
+            return 0.0;
+        }
+        let ratio = (shift - guard) / (margin_v - guard);
+        (ratio * ratio).min(1.0)
+    }
 }
 
 impl Default for ImprintModel {
@@ -134,6 +163,28 @@ mod tests {
         assert!(model.write_window_ok(p.vc_mean_v, p.write_voltage_v, YEAR_S, 352.0));
         // Even at the 390 K measurement extreme.
         assert!(model.write_window_ok(p.vc_mean_v, p.write_voltage_v, YEAR_S, 390.0));
+    }
+
+    #[test]
+    fn bit_upset_probability_follows_the_margin_ratio() {
+        let model = m();
+        assert_eq!(model.bit_upset_probability(0.0, 300.0, 0.3), 0.0);
+        // Saturated shift against a margin no larger than the cap: upset
+        // certain; against a huge margin: exactly zero (guard band).
+        assert_eq!(model.bit_upset_probability(1e30, 390.0, model.max_shift_v), 1.0);
+        assert_eq!(model.bit_upset_probability(3600.0, 300.0, 10.0), 0.0);
+        // An hour at 300 K stays inside the guard band of a 0.25 V
+        // margin; at the 352 K stack temperature it pokes out of it.
+        let cool = model.bit_upset_probability(3600.0, 300.0, 0.25);
+        let hot = model.bit_upset_probability(3600.0, 352.0, 0.25);
+        assert_eq!(cool, 0.0);
+        assert!(hot > cool);
+    }
+
+    #[test]
+    #[should_panic(expected = "sense margin must be positive")]
+    fn rejects_bad_margin() {
+        let _ = m().bit_upset_probability(1.0, 300.0, 0.0);
     }
 
     #[test]

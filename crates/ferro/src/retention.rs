@@ -86,6 +86,56 @@ impl RetentionModel {
         let tau = self.tau_s(t_k);
         tau * (-floor.ln()).powf(1.0 / self.beta)
     }
+
+    /// Probability that one bit has decayed past the sense floor after
+    /// `t_s` seconds at `t_k` — the architecture-level rate-derivation
+    /// hook for drift-aware fault processes.
+    ///
+    /// The per-bit failure CDF is a Weibull `1 − exp(−(t/t_fail)^k)`
+    /// centred on `t_fail`, the [`RetentionModel::retention_time_s`] of
+    /// the given floor: at `t = t_fail` a fraction `1 − 1/e` of the bits
+    /// has crossed it. The shape `k` is NOT the Kohlrausch β: β < 1
+    /// describes the *population-average* polarization (weak domains
+    /// relax first), but one stored bit only fails when its own many-
+    /// domain average crosses the floor, and averaging narrows the
+    /// lifetime spread — so per-bit lifetimes cluster around `t_fail`
+    /// (shape 3) instead of inheriting the population's heavy early
+    /// tail. A β-shaped per-bit CDF would lose ~0.2 % of bits on day
+    /// one of a nominal ten-year part, which no retention-qualified
+    /// product exhibits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floor ∈ (0, 1)`.
+    pub fn bit_failure_probability(&self, t_s: f64, t_k: f64, floor: f64) -> f64 {
+        /// Weibull shape of the per-bit lifetime distribution.
+        const BIT_LIFETIME_SHAPE: f64 = 3.0;
+        if t_s <= 0.0 {
+            return 0.0;
+        }
+        let t_fail = self.retention_time_s(floor, t_k);
+        1.0 - (-(t_s / t_fail).powf(BIT_LIFETIME_SHAPE)).exp()
+    }
+
+    /// Incremental per-bit failure probability over the interval
+    /// `(t0_s, t1_s]` since the last write, conditioned on having
+    /// survived to `t0_s` — the hazard a time-stepped fault process
+    /// applies per tick so that accumulated ticks reproduce the
+    /// un-stepped CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `floor ∈ (0, 1)` or if `t1_s < t0_s`.
+    pub fn bit_failure_hazard(&self, t0_s: f64, t1_s: f64, t_k: f64, floor: f64) -> f64 {
+        assert!(t1_s >= t0_s, "interval must advance: {t0_s} → {t1_s}");
+        let f0 = self.bit_failure_probability(t0_s, t_k, floor);
+        let f1 = self.bit_failure_probability(t1_s, t_k, floor);
+        let survival = 1.0 - f0;
+        if survival <= f64::EPSILON {
+            return 1.0;
+        }
+        ((f1 - f0) / survival).clamp(0.0, 1.0)
+    }
 }
 
 impl Default for RetentionModel {
@@ -162,5 +212,46 @@ mod tests {
     #[should_panic(expected = "floor must be in")]
     fn rejects_bad_floor() {
         let _ = m().retention_time_s(1.5, 300.0);
+    }
+
+    #[test]
+    fn bit_failure_probability_tracks_the_weibull_cdf() {
+        let model = m();
+        assert_eq!(model.bit_failure_probability(0.0, 300.0, 0.5), 0.0);
+        let t_fail = model.retention_time_s(0.5, 300.0);
+        let at_fail = model.bit_failure_probability(t_fail, 300.0, 0.5);
+        assert!((at_fail - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+        // Monotone in time, and hotter fails sooner.
+        let early = model.bit_failure_probability(t_fail / 100.0, 300.0, 0.5);
+        assert!(early < at_fail);
+        assert!(
+            model.bit_failure_probability(1e9, 390.0, 0.5)
+                > model.bit_failure_probability(1e9, 300.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn hazard_ticks_compose_to_the_cdf() {
+        // Surviving three consecutive hazards must equal surviving the
+        // whole interval: Π(1 − h_i) == 1 − F(t3). The interval sits in
+        // the rising part of the CDF so the identity is non-degenerate.
+        let model = m();
+        let (t_k, floor) = (390.0, 0.5);
+        let ts = [0.0, 1e6, 2e6, 3e6];
+        let mut survival = 1.0;
+        for w in ts.windows(2) {
+            survival *= 1.0 - model.bit_failure_hazard(w[0], w[1], t_k, floor);
+        }
+        let direct = 1.0 - model.bit_failure_probability(ts[3], t_k, floor);
+        assert!((survival - direct).abs() < 1e-12, "{survival} vs {direct}");
+        assert!(direct < 1.0 - 1e-4, "interval must not be degenerate");
+    }
+
+    #[test]
+    fn day_one_bit_failures_are_negligible_at_room_temperature() {
+        // The reason the per-bit CDF is not β-shaped: a fresh part must
+        // not shed bits on day one.
+        let p = m().bit_failure_probability(86_400.0, 300.0, 0.5);
+        assert!(p < 1e-12, "day-one per-bit failure {p}");
     }
 }

@@ -6,8 +6,8 @@
 
 use crate::{Workload, WorkloadError};
 use felim_arch::{
-    BulkBackend, DegradationPolicy, DramBackend, ExecStats, FaultSpec, FeramBackend,
-    MemoryGeometry, ReliabilityStats,
+    ArchError, BulkBackend, ControllerConfig, DegradationPolicy, DramBackend, DriftSpec,
+    ExecStats, FaultSpec, FeramBackend, MemoryGeometry, ReliabilityController, ReliabilityStats,
 };
 use felim_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
@@ -313,6 +313,223 @@ pub fn campaign_silent_corruptions(outcomes: &[CampaignOutcome]) -> u64 {
     outcomes.iter().map(|o| o.silent_corruptions).sum()
 }
 
+/// Protection tier of a reliability campaign — one notch beyond the
+/// [`DegradationPolicy`] ladder. The degradation policy defends the
+/// *compute* path (verify-retry, triple sensing); these tiers defend
+/// *storage at rest* against the physics-driven drift processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ReliabilityTier {
+    /// Drift runs, nothing defends: even `DegradationPolicy::hardened`
+    /// is blind to storage decay, so this tier leaks silently.
+    Unprotected,
+    /// Per-row SECDED: single upsets corrected, doubles escalated.
+    EccOnly,
+    /// SECDED plus the patrol scrubber: upsets are repaired before a
+    /// second one can land in the same word.
+    Protected,
+}
+
+impl ReliabilityTier {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReliabilityTier::Unprotected => "unprotected",
+            ReliabilityTier::EccOnly => "ecc-only",
+            ReliabilityTier::Protected => "ecc+scrub",
+        }
+    }
+}
+
+/// Operating point of a reliability campaign: the drift environment,
+/// the protection tier, and the post-kernel dwell during which storage
+/// decays.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReliabilityCampaignSpec {
+    /// The drift environment (seed, temperature, physics models).
+    pub drift: DriftSpec,
+    /// Protection tier under test.
+    pub tier: ReliabilityTier,
+    /// Patrol period for [`ReliabilityTier::Protected`], s.
+    pub scrub_period_s: f64,
+    /// Length of one dwell tick, s.
+    pub tick_s: f64,
+    /// Number of dwell ticks after the kernel completes.
+    pub dwell_ticks: u32,
+}
+
+impl ReliabilityCampaignSpec {
+    /// The standard bake-oven operating point: the accelerated-stress
+    /// drift spec at a 390 K bake with the sense window opened to 0.6 V
+    /// so the smooth retention hazard dominates (the imprint burst stays
+    /// inside the guard band), a 300 s patrol, and a 30-minute dwell.
+    /// At this point the unprotected tier provably leaks silent
+    /// corruptions while ECC + scrub holds the line.
+    pub fn bake_oven(seed: u64, tier: ReliabilityTier) -> Self {
+        let mut drift = DriftSpec::accelerated(seed, 390.0, 0.0);
+        drift.sense_margin_v = 0.6;
+        Self {
+            drift,
+            tier,
+            scrub_period_s: 300.0,
+            tick_s: 300.0,
+            dwell_ticks: 6,
+        }
+    }
+}
+
+/// Outcome of one workload kernel under a drift-driven reliability
+/// campaign: the kernel runs, its results dwell at temperature while
+/// the fault processes tick, and a readback classifies every tracked
+/// row as intact, detected (typed [`ArchError::Uncorrectable`]) or
+/// silently corrupt.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ReliabilityOutcome {
+    /// Workload display name.
+    pub workload: String,
+    /// Protection tier the kernel ran under.
+    pub tier: ReliabilityTier,
+    /// Did the kernel itself run to completion and verify?
+    pub completed: bool,
+    /// The surfaced error, if any step failed.
+    pub error: Option<String>,
+    /// Rows snapshotted after the kernel and audited after the dwell.
+    pub rows_audited: u64,
+    /// Storage bits flipped by the drift processes.
+    pub drift_flips: u64,
+    /// Data bits repaired by SECDED across all reads.
+    pub corrected_bits: u64,
+    /// Readback rows that escalated as uncorrectable — reported escapes.
+    pub detected_rows: u64,
+    /// Readback rows that returned wrong data with no error — silent
+    /// corruption, which a protected memory must never produce.
+    pub silent_rows: u64,
+    /// Patrol passes completed during the dwell.
+    pub scrub_passes: u64,
+    /// Rows rewritten by the patrol.
+    pub scrub_rewrites: u64,
+    /// Total cycles charged, including scrub overhead.
+    pub cycles: u64,
+    /// Total energy charged, including scrub overhead, nJ.
+    pub energy_nj: f64,
+}
+
+/// Runs every paper workload under a physics-driven reliability
+/// campaign: execute the kernel through a
+/// [`ReliabilityController`] at the spec's protection tier, snapshot
+/// the rows it left behind, dwell while the drift processes tick, then
+/// read everything back and classify each row.
+///
+/// Per-kernel drift seeds derive deterministically from
+/// `spec.drift.seed`, so the whole campaign reproduces bit for bit;
+/// kernels are independent trials and fan out over the scoped thread
+/// pool.
+///
+/// # Examples
+///
+/// At the bake-oven operating point, ECC + scrub never corrupts
+/// silently:
+///
+/// ```
+/// use felim_workloads::driver::{
+///     campaign_silent_rows, run_reliability_campaign, ReliabilityCampaignSpec,
+///     ReliabilityTier,
+/// };
+/// use felim_arch::DegradationPolicy;
+///
+/// let spec = ReliabilityCampaignSpec::bake_oven(42, ReliabilityTier::Protected);
+/// let outcomes = run_reliability_campaign(8, 7, &spec, &DegradationPolicy::hardened());
+/// assert_eq!(outcomes.len(), 8); // one per paper workload
+/// assert_eq!(campaign_silent_rows(&outcomes), 0);
+/// ```
+pub fn run_reliability_campaign(
+    sim_rows: u64,
+    seed: u64,
+    spec: &ReliabilityCampaignSpec,
+    policy: &DegradationPolicy,
+) -> Vec<ReliabilityOutcome> {
+    let _span = telemetry::span("reliability_campaign");
+    let workloads = crate::all_workloads();
+    felim_exec::parallel_map(&workloads, |i, workload| {
+        // Distinct but deterministic drift stream per kernel.
+        let mut drift = spec.drift.clone();
+        drift.seed ^= (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let config = match spec.tier {
+            ReliabilityTier::Unprotected => ControllerConfig::unprotected(drift),
+            ReliabilityTier::EccOnly => ControllerConfig::ecc_only(drift),
+            ReliabilityTier::Protected => {
+                ControllerConfig::protected(drift, spec.scrub_period_s)
+            }
+        };
+        let backend = FeramBackend::new(MemoryGeometry::tiny()).with_policy(policy.clone());
+        let mut mem = ReliabilityController::new(backend, config);
+
+        let run = {
+            let _span = telemetry::span(workload.name());
+            workload.execute(&mut mem, sim_rows, seed)
+        };
+        let completed = run.is_ok();
+        let mut error = run.err().map(|e| e.to_string());
+
+        // Snapshot what the kernel left behind, dwell at temperature,
+        // then audit every snapshotted row.
+        let mut rows_audited = 0u64;
+        let mut detected_rows = 0u64;
+        let mut silent_rows = 0u64;
+        if completed {
+            let rows = mem.drift().tracked_rows();
+            let mut snapshots = Vec::with_capacity(rows.len());
+            for &row in &rows {
+                if let Ok(data) = mem.read_row(row) {
+                    snapshots.push((row, data));
+                }
+            }
+            for _ in 0..spec.dwell_ticks {
+                if let Err(e) = mem.tick(spec.tick_s) {
+                    error.get_or_insert_with(|| e.to_string());
+                    break;
+                }
+            }
+            rows_audited = snapshots.len() as u64;
+            for (row, golden) in &snapshots {
+                match mem.read_row(*row) {
+                    Ok(data) if data == *golden => {}
+                    Ok(_) => silent_rows += 1,
+                    Err(ArchError::Uncorrectable { .. }) => detected_rows += 1,
+                    Err(e) => {
+                        detected_rows += 1;
+                        error.get_or_insert_with(|| e.to_string());
+                    }
+                }
+            }
+        }
+
+        telemetry::counter("campaign.reliability_kernels").inc();
+        telemetry::counter("campaign.silent_rows").add(silent_rows);
+        let stats = mem.controller_stats().clone();
+        ReliabilityOutcome {
+            workload: workload.name().to_owned(),
+            tier: spec.tier,
+            completed,
+            error,
+            rows_audited,
+            drift_flips: mem.drift().flips_injected(),
+            corrected_bits: stats.corrected_bits,
+            detected_rows,
+            silent_rows,
+            scrub_passes: stats.scrub_passes,
+            scrub_rewrites: stats.scrub_rewrites,
+            cycles: mem.stats().total_cycles(),
+            energy_nj: mem.stats().total_energy_nj(),
+        }
+    })
+}
+
+/// Total silently corrupted rows across a reliability campaign — must
+/// be zero at any protected tier.
+pub fn campaign_silent_rows(outcomes: &[ReliabilityOutcome]) -> u64 {
+    outcomes.iter().map(|o| o.silent_rows).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +576,45 @@ mod tests {
         let b = run_fault_campaign(8, 7, &spec, &policy);
         assert_eq!(a, b, "same seed must reproduce bit for bit");
         assert!(a.iter().any(|o| o.injected_faults > 0), "no faults fired");
+    }
+
+    #[test]
+    fn reliability_campaign_is_reproducible() {
+        let spec = ReliabilityCampaignSpec::bake_oven(42, ReliabilityTier::Protected);
+        let policy = DegradationPolicy::hardened();
+        let a = run_reliability_campaign(8, 7, &spec, &policy);
+        let b = run_reliability_campaign(8, 7, &spec, &policy);
+        assert_eq!(a, b, "same seed must reproduce bit for bit");
+        assert!(a.iter().all(|o| o.completed));
+    }
+
+    #[test]
+    fn protected_tier_closes_the_gap_hardened_leaks() {
+        // The acceptance point: at the bake-oven operating point the
+        // hardened degradation policy alone (compute-path defence only)
+        // leaks silent storage corruption, while the controller's
+        // ECC + scrub tier reports every escape and corrupts nothing
+        // silently.
+        let policy = DegradationPolicy::hardened();
+        let leaky = ReliabilityCampaignSpec::bake_oven(42, ReliabilityTier::Unprotected);
+        let hardened = run_reliability_campaign(8, 7, &leaky, &policy);
+        assert!(
+            campaign_silent_rows(&hardened) >= 1,
+            "hardened must leak at this operating point"
+        );
+
+        let guarded = ReliabilityCampaignSpec::bake_oven(42, ReliabilityTier::Protected);
+        let protected = run_reliability_campaign(8, 7, &guarded, &policy);
+        assert_eq!(campaign_silent_rows(&protected), 0, "no silent corruption");
+        assert!(
+            protected.iter().map(|o| o.drift_flips).sum::<u64>() > 0,
+            "drift must actually fire"
+        );
+        assert!(
+            protected.iter().map(|o| o.corrected_bits).sum::<u64>() > 0,
+            "ECC must actually correct"
+        );
+        assert!(protected.iter().all(|o| o.completed));
     }
 
     #[test]

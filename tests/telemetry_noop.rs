@@ -50,6 +50,55 @@ fn noop_build_keeps_the_registry_empty() {
 }
 
 #[test]
+fn reliability_controller_counters_follow_the_feature_gate() {
+    use felim::arch::{
+        BulkBackend, ControllerConfig, DriftSpec, FeramBackend, MemoryGeometry,
+        ReliabilityController, RowId,
+    };
+
+    // Exercise all five PR 6 counters: one correction, one double-bit
+    // escalation, one drift tick carrying one patrol pass that rewrites
+    // the corrupted row.
+    let mut c = ReliabilityController::new(
+        FeramBackend::new(MemoryGeometry::tiny()),
+        ControllerConfig::protected(DriftSpec::quiet(9), 1.0),
+    );
+    let words = c.geometry().row_words();
+    c.write_row(RowId(0), &vec![0xABu64; words]).unwrap();
+    c.write_row(RowId(1), &vec![0xCDu64; words]).unwrap();
+    let mut mask = vec![0u64; words];
+    mask[0] = 1;
+    c.decay_row(RowId(0), &mask).unwrap();
+    let _ = c.read_row(RowId(0)).unwrap(); // corrected on the fly
+    mask[0] = 0b11 << 20;
+    c.decay_row(RowId(1), &mask).unwrap();
+    assert!(c.read_row(RowId(1)).is_err()); // escalated
+    c.tick(1.0).unwrap(); // drift tick + patrol pass + repair rewrite
+
+    let report = telemetry::snapshot();
+    let counters = [
+        "arch.ecc.corrected",
+        "arch.ecc.uncorrectable",
+        "arch.scrub.passes",
+        "arch.scrub.rewrites",
+        "arch.drift.ticks",
+    ];
+    if telemetry::enabled() {
+        for name in counters {
+            assert!(
+                report.counter(name).unwrap_or(0) >= 1,
+                "{name} must fire in this scenario"
+            );
+        }
+    } else {
+        for name in counters {
+            assert_eq!(report.counter(name), None, "{name} in a no-op build");
+        }
+        assert!(report.is_empty(), "no-op build must record nothing");
+    }
+}
+
+#[test]
 fn transient_solver_counters_follow_the_feature_gate() {
     use felim::cell::netlists::{run_with_solver, tba_testbench, NetlistConfig, SolverOptions};
 
