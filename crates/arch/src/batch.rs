@@ -1,0 +1,348 @@
+//! Batched row-operation dispatch: one entry point per *batch* instead
+//! of one trait call per operation.
+//!
+//! The service layer coalesces compatible same-shard commands and hands
+//! them to [`execute_batch`] as a slice of [`RowOp`]s. The batch runs
+//! front to back on one backend; each op succeeds or fails
+//! independently (a fault in one request of a coalesced batch must not
+//! poison its neighbours), and the report carries the per-op outcomes
+//! in input order plus the cycle/energy deltas for the whole batch —
+//! the numbers the service layer turns into latency accounting.
+//!
+//! ```
+//! use felim_arch::batch::{execute_batch, RowOp, RowOpOutput};
+//! use felim_arch::{BulkBackend, FeramBackend, RowId};
+//!
+//! let mut mem = FeramBackend::tiny();
+//! let words = mem.geometry().row_words();
+//! let report = execute_batch(
+//!     &mut mem,
+//!     &[
+//!         RowOp::Write { row: RowId(0), data: vec![0b1100; words] },
+//!         RowOp::Write { row: RowId(1), data: vec![0b1010; words] },
+//!         RowOp::Nand { a: RowId(0), b: RowId(1), dst: RowId(2) },
+//!         RowOp::Read { row: RowId(2) },
+//!     ],
+//! );
+//! assert_eq!(report.outputs.len(), 4);
+//! match report.outputs[3].as_ref().unwrap() {
+//!     RowOpOutput::Data(data) => assert_eq!(data[0], !0b1000u64),
+//!     RowOpOutput::Done => panic!("read must return data"),
+//! }
+//! assert!(report.cycles > 0 && report.energy_nj > 0.0);
+//! ```
+
+use crate::geometry::RowId;
+use crate::{ArchError, BulkBackend};
+use serde::Serialize;
+
+/// One row-level operation inside a batch. Rows are backend-local
+/// physical addresses — the caller (the shard router) has already
+/// resolved logical addresses to the owning backend.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RowOp {
+    /// `dst = NOT src`.
+    Not {
+        /// Source row.
+        src: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = a AND b`.
+    And {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = a OR b`.
+    Or {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = a XOR b`.
+    Xor {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = NOT (a AND b)`.
+    Nand {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = NOT (a OR b)`.
+    Nor {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// `dst = NOT (a XOR b)`.
+    Xnor {
+        /// First operand.
+        a: RowId,
+        /// Second operand.
+        b: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// Copies `src` into `dst`.
+    Copy {
+        /// Source row.
+        src: RowId,
+        /// Destination row.
+        dst: RowId,
+    },
+    /// Host write of a full row.
+    Write {
+        /// Destination row.
+        row: RowId,
+        /// Exactly `row_words()` words.
+        data: Vec<u64>,
+    },
+    /// Host read of a full row.
+    Read {
+        /// Source row.
+        row: RowId,
+    },
+}
+
+impl RowOp {
+    /// Short operation mnemonic (telemetry labels, error messages).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            RowOp::Not { .. } => "not",
+            RowOp::And { .. } => "and",
+            RowOp::Or { .. } => "or",
+            RowOp::Xor { .. } => "xor",
+            RowOp::Nand { .. } => "nand",
+            RowOp::Nor { .. } => "nor",
+            RowOp::Xnor { .. } => "xnor",
+            RowOp::Copy { .. } => "copy",
+            RowOp::Write { .. } => "write",
+            RowOp::Read { .. } => "read",
+        }
+    }
+}
+
+/// Successful result of one [`RowOp`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RowOpOutput {
+    /// The op completed; it produces no host-visible data.
+    Done,
+    /// The op completed and read this row back to the host.
+    Data(Vec<u64>),
+}
+
+/// Outcome of one batch: per-op results in input order plus the
+/// aggregate cost of the whole batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One entry per input op, in input order. Failed ops carry their
+    /// typed [`ArchError`]; later ops still run.
+    pub outputs: Vec<Result<RowOpOutput, ArchError>>,
+    /// Cycles charged by the backend across the batch (serial model).
+    pub cycles: u64,
+    /// Energy charged across the batch, nJ.
+    pub energy_nj: f64,
+}
+
+impl BatchReport {
+    /// Number of ops that failed.
+    pub fn failures(&self) -> usize {
+        self.outputs.iter().filter(|o| o.is_err()).count()
+    }
+}
+
+/// Runs `ops` front to back on `backend`, isolating per-op failures,
+/// and reports per-op outcomes plus the batch's cycle/energy deltas.
+pub fn execute_batch(backend: &mut dyn BulkBackend, ops: &[RowOp]) -> BatchReport {
+    let cycles_before = backend.stats().total_cycles();
+    let energy_before = backend.stats().total_energy_nj();
+    let outputs = ops
+        .iter()
+        .map(|op| match op {
+            RowOp::Not { src, dst } => backend.not(*src, *dst).map(|()| RowOpOutput::Done),
+            RowOp::And { a, b, dst } => backend.and(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Or { a, b, dst } => backend.or(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Xor { a, b, dst } => backend.xor(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Nand { a, b, dst } => backend.nand(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Nor { a, b, dst } => backend.nor(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Xnor { a, b, dst } => backend.xnor(*a, *b, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Copy { src, dst } => backend.copy(*src, *dst).map(|()| RowOpOutput::Done),
+            RowOp::Write { row, data } => {
+                backend.write_row(*row, data).map(|()| RowOpOutput::Done)
+            }
+            RowOp::Read { row } => backend.read_row(*row).map(RowOpOutput::Data),
+        })
+        .collect();
+    felim_telemetry::counter("arch.batch.dispatches").inc();
+    felim_telemetry::counter("arch.batch.ops").add(ops.len() as u64);
+    BatchReport {
+        outputs,
+        cycles: backend.stats().total_cycles() - cycles_before,
+        energy_nj: backend.stats().total_energy_nj() - energy_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feram_backend::FeramBackend;
+
+    #[test]
+    fn batch_matches_individual_calls() {
+        let words = FeramBackend::tiny().geometry().row_words();
+        let a = vec![0xF0F0_F0F0u64; words];
+        let b = vec![0x0FF0_0FF0u64; words];
+
+        let mut serial = FeramBackend::tiny();
+        serial.write_row(RowId(0), &a).unwrap();
+        serial.write_row(RowId(1), &b).unwrap();
+        serial.xor(RowId(0), RowId(1), RowId(2)).unwrap();
+        let want = serial.read_row(RowId(2)).unwrap();
+
+        let mut batched = FeramBackend::tiny();
+        let report = execute_batch(
+            &mut batched,
+            &[
+                RowOp::Write {
+                    row: RowId(0),
+                    data: a,
+                },
+                RowOp::Write {
+                    row: RowId(1),
+                    data: b,
+                },
+                RowOp::Xor {
+                    a: RowId(0),
+                    b: RowId(1),
+                    dst: RowId(2),
+                },
+                RowOp::Read { row: RowId(2) },
+            ],
+        );
+        assert_eq!(report.failures(), 0);
+        assert_eq!(
+            report.outputs[3],
+            Ok(RowOpOutput::Data(want)),
+            "batched result must match serial"
+        );
+        assert_eq!(report.cycles, serial.stats().total_cycles());
+        assert!((report.energy_nj - serial.stats().total_energy_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_failures_are_isolated() {
+        let mut mem = FeramBackend::tiny();
+        let words = mem.geometry().row_words();
+        let rows = mem.geometry().total_rows();
+        let report = execute_batch(
+            &mut mem,
+            &[
+                RowOp::Write {
+                    row: RowId(0),
+                    data: vec![7; words],
+                },
+                // Out of range: fails without aborting the batch.
+                RowOp::Read { row: RowId(rows) },
+                RowOp::Read { row: RowId(0) },
+            ],
+        );
+        assert_eq!(report.failures(), 1);
+        assert!(matches!(
+            report.outputs[1],
+            Err(ArchError::RowOutOfRange { .. })
+        ));
+        assert_eq!(report.outputs[2], Ok(RowOpOutput::Data(vec![7; words])));
+    }
+
+    #[test]
+    fn every_op_kind_dispatches() {
+        let mut mem = FeramBackend::tiny();
+        let words = mem.geometry().row_words();
+        let av = 0b1100u64;
+        let bv = 0b1010u64;
+        let ops = vec![
+            RowOp::Write {
+                row: RowId(0),
+                data: vec![av; words],
+            },
+            RowOp::Write {
+                row: RowId(1),
+                data: vec![bv; words],
+            },
+            RowOp::Not {
+                src: RowId(0),
+                dst: RowId(2),
+            },
+            RowOp::And {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(3),
+            },
+            RowOp::Or {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(4),
+            },
+            RowOp::Xor {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(5),
+            },
+            RowOp::Nand {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(6),
+            },
+            RowOp::Nor {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(7),
+            },
+            RowOp::Xnor {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(8),
+            },
+            RowOp::Copy {
+                src: RowId(3),
+                dst: RowId(9),
+            },
+        ];
+        let report = execute_batch(&mut mem, &ops);
+        assert_eq!(report.failures(), 0, "{:?}", report.outputs);
+        let expect: [(u64, u64); 8] = [
+            (2, !av),
+            (3, av & bv),
+            (4, av | bv),
+            (5, av ^ bv),
+            (6, !(av & bv)),
+            (7, !(av | bv)),
+            (8, !(av ^ bv)),
+            (9, av & bv),
+        ];
+        for (row, want) in expect {
+            assert_eq!(mem.read_row(RowId(row)).unwrap()[0], want, "row {row}");
+        }
+        assert_eq!(ops[0].mnemonic(), "write");
+        assert_eq!(ops[9].mnemonic(), "copy");
+    }
+}

@@ -29,6 +29,26 @@
 //! With the controller disabled (i.e. not constructed) nothing in this
 //! module runs: backends, cost model and Fig 6 goldens are bit-identical
 //! to the pre-controller stack.
+//!
+//! The controller is itself a [`BulkBackend`], so wrapping is the whole
+//! integration — callers keep issuing the same row ops:
+//!
+//! ```
+//! use felim_arch::{
+//!     BulkBackend, ControllerConfig, DriftSpec, FeramBackend, ReliabilityController, RowId,
+//! };
+//!
+//! let inner = FeramBackend::tiny();
+//! let config = ControllerConfig::protected(DriftSpec::quiet(42), 300.0);
+//! let mut mem = ReliabilityController::new(inner, config);
+//!
+//! let words = mem.geometry().row_words();
+//! mem.write_row(RowId(7), &vec![0xDEAD_BEEF; words])?;   // encodes SECDED side-band
+//! mem.tick(600.0)?;                                      // 10 min of drift + a patrol pass
+//! assert_eq!(mem.read_row(RowId(7))?[0], 0xDEAD_BEEF);   // decoded (and repaired) on read
+//! assert!(mem.controller_stats().scrub_passes >= 1);
+//! # Ok::<(), felim_arch::ArchError>(())
+//! ```
 
 use crate::drift::{DriftProcess, DriftSpec};
 use crate::ecc::RowCode;
@@ -147,6 +167,15 @@ impl<B: BulkBackend> ReliabilityController<B> {
     /// The wrapped backend.
     pub fn inner(&self) -> &B {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped backend — for maintenance paths
+    /// that live on the concrete type (e.g. clearing a command log
+    /// between batches). Mutating row *contents* through this handle
+    /// bypasses the SECDED side-band and will surface as corruption on
+    /// the next protected read.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
     }
 
     /// Unwraps the controller, returning the backend.

@@ -115,6 +115,15 @@ impl DramBackend {
         self.command_log.as_deref().unwrap_or(&[])
     }
 
+    /// Empties the command log (no-op when logging is off). Batch
+    /// dispatchers call this between batches so each batch's log — and
+    /// therefore its makespan replay — stands alone.
+    pub fn clear_command_log(&mut self) {
+        if let Some(log) = &mut self.command_log {
+            log.clear();
+        }
+    }
+
     /// AAP copy: ACTIVATE(src) + RowClone(dst) + PRECHARGE.
     fn aap_copy(&mut self, src: RowId, dst: RowId) -> Result<(), ArchError> {
         self.issue(Command::Activate(src));

@@ -216,6 +216,12 @@ impl FeramBackend {
         self.geometry.total_rows() - RESERVED_ROWS
     }
 
+    /// First reserved row: data rows live strictly below this boundary
+    /// (the top of the array holds compute, scratch and spare rows).
+    pub fn first_reserved_row(&self) -> RowId {
+        RowId(self.reserved_base())
+    }
+
     /// Physical row a logical row currently maps to.
     fn resolve(&self, row: RowId) -> u64 {
         *self.remap.get(&row.0).unwrap_or(&row.0)
@@ -272,6 +278,15 @@ impl FeramBackend {
     /// The logged command sequence (empty slice if logging is off).
     pub fn command_log(&self) -> &[Command] {
         self.command_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Empties the command log (no-op when logging is off). Batch
+    /// dispatchers call this between batches so each batch's log — and
+    /// therefore its makespan replay — stands alone.
+    pub fn clear_command_log(&mut self) {
+        if let Some(log) = &mut self.command_log {
+            log.clear();
+        }
     }
 
     /// Records a QNRO read on a group; issues a write-back if the disturb

@@ -50,9 +50,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bandwidth;
+pub mod batch;
 pub mod command;
 pub mod controller;
 pub mod dram_backend;
@@ -65,10 +66,12 @@ pub mod feram_backend;
 pub mod geometry;
 pub mod schedule;
 pub mod scrub;
+pub mod shard;
 pub mod stats;
 pub mod wear;
 
 pub use bandwidth::{compute_bandwidth, ComputeBandwidth};
+pub use batch::{execute_batch, BatchReport, RowOp, RowOpOutput};
 pub use command::Command;
 pub use controller::{ControllerConfig, ControllerStats, ReliabilityController};
 pub use dram_backend::DramBackend;
@@ -80,6 +83,7 @@ pub use feram_backend::FeramBackend;
 pub use geometry::{MemoryGeometry, RowId};
 pub use schedule::{schedule, ScheduleReport};
 pub use scrub::{PatrolScrubber, ScrubConfig};
+pub use shard::{ShardId, ShardMap};
 pub use stats::{CommandClass, ExecStats};
 pub use wear::{WearReport, WearTracker};
 
@@ -251,7 +255,7 @@ pub trait BulkBackend {
 }
 
 /// Error type for architecture-level failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub enum ArchError {
     /// A row address outside the memory.
     RowOutOfRange {

@@ -1,0 +1,169 @@
+//! Shard ownership: mapping a flat logical row space onto a pool of
+//! independent backend instances.
+//!
+//! The service layer (`felim-serve`) runs one [`BulkBackend`](crate::BulkBackend)
+//! per shard, each with its own private physical row space. Clients
+//! address a single *logical* row space; this module owns the arithmetic
+//! that splits it. Ownership is by contiguous range — shard `s` owns
+//! logical rows `[s · rows_per_shard, (s+1) · rows_per_shard)` — so a
+//! router can decide the owner of any row with one division and batch
+//! same-shard traffic together.
+//!
+//! ```
+//! use felim_arch::shard::{ShardId, ShardMap};
+//!
+//! let map = ShardMap::new(4, 256).unwrap();
+//! assert_eq!(map.total_rows(), 1024);
+//! assert_eq!(map.owner(700), ShardId(2));
+//! assert_eq!(map.local(700).0, 188);
+//! assert_eq!(map.logical(ShardId(2), felim_arch::RowId(188)), 700);
+//! ```
+
+use crate::geometry::RowId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Identifier of one shard (one backend instance in the pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard#{}", self.0)
+    }
+}
+
+/// Contiguous-range ownership of a flat logical row space by a pool of
+/// shards. See the module docs for the addressing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShardMap {
+    /// Number of shards in the pool.
+    pub shards: u32,
+    /// Logical rows owned by each shard.
+    pub rows_per_shard: u64,
+}
+
+impl ShardMap {
+    /// Builds a map of `shards` shards, each owning `rows_per_shard`
+    /// contiguous logical rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when either dimension is zero.
+    pub fn new(shards: u32, rows_per_shard: u64) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("shard pool needs at least one shard".into());
+        }
+        if rows_per_shard == 0 {
+            return Err("each shard must own at least one row".into());
+        }
+        Ok(Self {
+            shards,
+            rows_per_shard,
+        })
+    }
+
+    /// Total logical rows across the pool.
+    pub fn total_rows(&self) -> u64 {
+        u64::from(self.shards) * self.rows_per_shard
+    }
+
+    /// Is `logical` a valid logical row?
+    pub fn contains(&self, logical: u64) -> bool {
+        logical < self.total_rows()
+    }
+
+    /// The shard owning `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is outside the pool — routing must validate
+    /// addresses before asking for an owner.
+    pub fn owner(&self, logical: u64) -> ShardId {
+        assert!(
+            self.contains(logical),
+            "logical row {logical} outside pool of {} rows",
+            self.total_rows()
+        );
+        ShardId((logical / self.rows_per_shard) as u32)
+    }
+
+    /// The owner-local physical row of `logical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is outside the pool.
+    pub fn local(&self, logical: u64) -> RowId {
+        assert!(
+            self.contains(logical),
+            "logical row {logical} outside pool of {} rows",
+            self.total_rows()
+        );
+        RowId(logical % self.rows_per_shard)
+    }
+
+    /// Reassembles a logical row from its owner and owner-local address.
+    pub fn logical(&self, shard: ShardId, local: RowId) -> u64 {
+        u64::from(shard.0) * self.rows_per_shard + local.0
+    }
+
+    /// The logical row range owned by `shard`.
+    pub fn owned_range(&self, shard: ShardId) -> Range<u64> {
+        let start = u64::from(shard.0) * self.rows_per_shard;
+        start..start + self.rows_per_shard
+    }
+
+    /// Iterates all shard ids in the pool, in order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards).map(ShardId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_round_trips() {
+        let map = ShardMap::new(8, 100).unwrap();
+        for logical in [0, 1, 99, 100, 555, 799] {
+            let shard = map.owner(logical);
+            let local = map.local(logical);
+            assert_eq!(map.logical(shard, local), logical);
+            assert!(map.owned_range(shard).contains(&logical));
+        }
+    }
+
+    #[test]
+    fn ranges_partition_the_space() {
+        let map = ShardMap::new(3, 64).unwrap();
+        let mut covered = 0;
+        for shard in map.shard_ids() {
+            let range = map.owned_range(shard);
+            assert_eq!(range.start, covered);
+            covered = range.end;
+        }
+        assert_eq!(covered, map.total_rows());
+    }
+
+    #[test]
+    fn degenerate_maps_are_rejected() {
+        assert!(ShardMap::new(0, 10).is_err());
+        assert!(ShardMap::new(4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside pool")]
+    fn out_of_range_owner_panics() {
+        let _ = ShardMap::new(2, 10).unwrap().owner(20);
+    }
+
+    #[test]
+    fn display_and_serde() {
+        assert_eq!(ShardId(3).to_string(), "shard#3");
+        let map = ShardMap::new(2, 16).unwrap();
+        let json = serde_json::to_string(&map).unwrap();
+        assert!(json.contains("\"shards\":2"), "{json}");
+    }
+}

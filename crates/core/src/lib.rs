@@ -62,6 +62,9 @@ pub use felim_cell as cell;
 pub use felim_exec as exec;
 /// Device-physics substrate (re-export of `felim-ferro`).
 pub use felim_ferro as ferro;
+/// Multi-tenant bulk-bitwise request service (re-export of
+/// `felim-serve`): sharded backends, batching, backpressure.
+pub use felim_serve as serve;
 /// Circuit-simulation substrate (re-export of `felim-spice`).
 pub use felim_spice as spice;
 /// Observability layer (re-export of `felim-telemetry`). All metrics

@@ -30,6 +30,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod pool;
+
+pub use pool::ExecPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,339 @@
+//! A reusable worker pool: spawn once, dispatch many.
+//!
+//! [`parallel_map`](crate::parallel_map) spawns scoped threads on every
+//! call, which is the right trade for long campaigns that fan out once.
+//! A request service dispatches thousands of small shard batches per
+//! second; paying a spawn/join per dispatch would dwarf the work. An
+//! [`ExecPool`] keeps its workers parked on a condition variable between
+//! dispatches, so a dispatch costs one lock + one wake instead of a
+//! thread spawn.
+//!
+//! The pool keeps the workspace's determinism contract: [`ExecPool::map`]
+//! identifies every task by its input index, deposits results into their
+//! index slots, and returns them in input order — the output is
+//! bit-identical to the serial loop for any worker count or schedule.
+//! The calling thread always participates in the claim loop, so a map
+//! completes even on a pool with zero background workers (and a
+//! single-worker pool degenerates to the serial loop on the caller).
+//!
+//! Because the workers are long-lived (not scoped), tasks must own their
+//! inputs: `map` takes the items and the closure behind [`Arc`]s rather
+//! than borrowing them. Panics inside the closure are forwarded to the
+//! caller — the first captured payload is re-raised after every claimed
+//! index has settled.
+//!
+//! ```
+//! use felim_exec::ExecPool;
+//! use std::sync::Arc;
+//!
+//! let pool = ExecPool::new(2);
+//! let items = Arc::new((0u64..100).collect::<Vec<_>>());
+//! let doubled = pool.map(&items, Arc::new(|_i: usize, x: &u64| x * 2));
+//! assert_eq!(doubled[7], 14);
+//! assert_eq!(pool.workers(), 2);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: the job queue and the shutdown flag, guarded by
+/// one mutex with a condition variable for parked workers.
+struct PoolShared {
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    available: Condvar,
+}
+
+/// A persistent worker pool for repeated fan-out dispatch. See the
+/// module docs for the determinism contract and the ownership rules.
+pub struct ExecPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ExecPool {
+    /// Spawns a pool with `workers` background threads. Zero is valid —
+    /// every [`ExecPool::map`] then runs serially on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        #[cfg(feature = "telemetry")]
+        felim_telemetry::gauge("exec.pool.workers").set(workers as f64);
+        Self { shared, handles }
+    }
+
+    /// Spawns a pool sized by [`thread_count`](crate::thread_count)
+    /// (the `FELIM_THREADS` knob, else available parallelism), with the
+    /// calling thread counted as one of the workers: a `FELIM_THREADS=1`
+    /// pool has zero background threads and runs fully serial.
+    pub fn with_env_threads() -> Self {
+        Self::new(crate::thread_count().saturating_sub(1))
+    }
+
+    /// Number of background worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues one fire-and-forget job.
+    fn execute(&self, job: Job) {
+        let mut guard = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.0.push_back(job);
+        drop(guard);
+        self.shared.available.notify_one();
+    }
+
+    /// Maps `f` over `items` across the pool, returning results in input
+    /// order — bit-identical to the serial loop for any worker count.
+    /// `f` receives `(index, &item)`; callers that need randomness derive
+    /// a per-index stream (e.g. [`derive_seed`](crate::derive_seed)) so
+    /// values never depend on scheduling. The calling thread joins the
+    /// claim loop, so the map completes even if every background worker
+    /// is busy or the pool has none.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic captured inside `f` once every claimed
+    /// task has settled.
+    pub fn map<T, U, F>(&self, items: &Arc<Vec<T>>, f: Arc<F>) -> Vec<U>
+    where
+        T: Send + Sync + 'static,
+        U: Send + 'static,
+        F: Fn(usize, &T) -> U + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            felim_telemetry::counter("exec.pool.dispatches").inc();
+            felim_telemetry::counter("exec.pool.tasks").add(n as u64);
+        }
+        let next = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::<TaskResult<U>>();
+        let helpers = self.handles.len().min(n.saturating_sub(1));
+        for _ in 0..helpers {
+            let items = Arc::clone(items);
+            let f = Arc::clone(&f);
+            let next = Arc::clone(&next);
+            let tx = tx.clone();
+            self.execute(Box::new(move || claim_loop(&items, &f, &next, &tx)));
+        }
+
+        // The caller participates under the same claim counter; its own
+        // results (and any panic payload) go through the same channel.
+        claim_loop(items, &f, &next, &tx);
+        drop(tx);
+
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        let mut settled = 0usize;
+        let mut panic_payload: Option<Box<dyn Any + Send>> = None;
+        while settled < n {
+            match rx.recv().expect("every claimed task settles exactly once") {
+                Ok((idx, value)) => slots[idx] = Some(value),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+            settled += 1;
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index visited exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.1 = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already forwarded the payload
+            // through its task channel; the join error adds nothing.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One settled task: its index-tagged value, or the panic it raised.
+type TaskResult<U> = Result<(usize, U), Box<dyn Any + Send>>;
+
+/// Claims indices until the counter runs dry, sending one settled
+/// result per claimed index (panics are captured, not unwound through
+/// the pool).
+fn claim_loop<T, U, F>(items: &Arc<Vec<T>>, f: &Arc<F>, next: &AtomicUsize, tx: &Sender<TaskResult<U>>)
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U,
+{
+    let n = items.len();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map(|v| (i, v));
+        // The receiver hangs up only after all n results arrived; a
+        // straggler claiming late may find it gone, which is fine.
+        if tx.send(outcome).is_err() {
+            break;
+        }
+    }
+}
+
+/// Parks on the condition variable between jobs; exits on shutdown.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut guard = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = guard.0.pop_front() {
+                    break job;
+                }
+                if guard.1 {
+                    return;
+                }
+                guard = shared
+                    .available
+                    .wait(guard)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_is_order_preserving_at_any_size() {
+        let pool = ExecPool::new(3);
+        for n in [0usize, 1, 2, 7, 100, 257] {
+            let items = Arc::new((0..n as u64).collect::<Vec<_>>());
+            let got = pool.map(&items, Arc::new(|_i: usize, x: &u64| x * x + 1));
+            let want: Vec<u64> = (0..n as u64).map(|x| x * x + 1).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_on_the_caller() {
+        let pool = ExecPool::new(0);
+        let items = Arc::new(vec![1u32, 2, 3]);
+        let caller = std::thread::current().id();
+        let got = pool.map(
+            &items,
+            Arc::new(move |_i: usize, x: &u32| {
+                assert_eq!(std::thread::current().id(), caller);
+                x + 10
+            }),
+        );
+        assert_eq!(got, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_dispatches() {
+        let pool = ExecPool::new(2);
+        let mut acc = 0u64;
+        for round in 0..50u64 {
+            let items = Arc::new((0..16u64).collect::<Vec<_>>());
+            let got = pool.map(&items, Arc::new(move |_i: usize, x: &u64| x + round));
+            acc += got.iter().sum::<u64>();
+        }
+        let want: u64 = (0..50u64).map(|r| (0..16u64).map(|x| x + r).sum::<u64>()).sum();
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let pool = ExecPool::new(4);
+        let items = Arc::new((0..64usize).collect::<Vec<_>>());
+        let got = pool.map(
+            &items,
+            Arc::new(|i: usize, x: &usize| {
+                assert_eq!(i, *x);
+                i
+            }),
+        );
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_and_the_pool_survives() {
+        let pool = ExecPool::new(2);
+        let items = Arc::new(vec![1u32, 2, 3, 4]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(
+                &items,
+                Arc::new(|_i: usize, x: &u32| {
+                    assert!(*x != 3, "boom");
+                    *x
+                }),
+            )
+        }));
+        assert!(result.is_err());
+        // The pool must keep working after a task panicked.
+        let got = pool.map(&items, Arc::new(|_i: usize, x: &u32| x * 2));
+        assert_eq!(got, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn matches_parallel_map_results() {
+        let items_vec: Vec<u64> = (0..200).collect();
+        let scoped = crate::parallel_map_threads(&items_vec, 4, |i, x| {
+            crate::derive_seed(*x, i as u64)
+        });
+        let pool = ExecPool::new(4);
+        let items = Arc::new(items_vec);
+        let pooled = pool.map(
+            &items,
+            Arc::new(|i: usize, x: &u64| crate::derive_seed(*x, i as u64)),
+        );
+        assert_eq!(scoped, pooled);
+    }
+}

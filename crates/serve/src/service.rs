@@ -1,0 +1,1200 @@
+//! The multi-tenant bulk-bitwise service: admission, batching, sharded
+//! dispatch, and deterministic virtual time.
+//!
+//! # Execution model
+//!
+//! The service advances in *virtual ticks*. Each tick it promotes due
+//! retries, sheds requests whose deadline passed, takes up to
+//! `batch_window` requests FIFO from the pending queue, decomposes them
+//! through the [`Catalog`] into per-shard [`RowOp`] batches, and runs
+//! every shard's batch concurrently on a persistent
+//! [`felim_exec::ExecPool`]. The tick's *duration* is the
+//! slowest shard's subarray-parallel makespan, so simulated time shrinks
+//! as sharding spreads the same row-work wider — the scaling the PR-7
+//! benchmark measures. A request's latency is the simulated-cycle delta
+//! between admission and completion: queue wait plus execution.
+//!
+//! # Determinism
+//!
+//! Shard results reduce in shard-index order, responses are assembled in
+//! batch (request-id) order, and retry jitter derives from
+//! [`derive_seed`] — never from wall clocks or scheduling. Identical
+//! submissions therefore produce byte-identical serialised response
+//! logs at any `FELIM_THREADS` setting (pinned by `tests/service.rs`).
+//!
+//! # Admission control
+//!
+//! Submission is atomic: a request is either admitted to every shard
+//! queue it needs, or rejected with one typed [`ServeError`] and no
+//! state change. Bounded per-shard queues give
+//! [`ServeError::Overloaded`] backpressure; per-tenant fair-share
+//! quotas give [`ServeError::QuotaExceeded`]; stale requests shed with
+//! [`ServeError::DeadlineExceeded`] instead of executing late. Requests
+//! that hit an uncorrectable ECC escalation retry with deterministic
+//! jitter up to `max_retries` times before failing with
+//! [`ServeError::RetriesExhausted`]. Every submission — accepted or not
+//! — produces exactly one [`ServeResponse`].
+
+use crate::catalog::Catalog;
+use crate::request::{
+    fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId,
+};
+use crate::shard::{Shard, ShardBatchOutcome, Technology};
+use crate::ServeError;
+use felim_arch::batch::{RowOp, RowOpOutput};
+use felim_arch::drift::DriftSpec;
+use felim_arch::energy::LatencyModel;
+use felim_arch::geometry::{MemoryGeometry, RowId};
+use felim_arch::shard::{ShardId, ShardMap};
+use felim_arch::ArchError;
+use felim_exec::{derive_seed, ExecPool};
+use felim_telemetry as telemetry;
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Reliability tier the shard pool runs at.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ServiceTier {
+    /// Raw backends: no ECC, no scrub, no drift process.
+    Baseline,
+    /// Every shard wrapped in a protected
+    /// [`ReliabilityController`](felim_arch::ReliabilityController)
+    /// (SECDED ECC + patrol scrub) over the given drift physics.
+    Protected {
+        /// The drift/disturb fault process each shard runs.
+        drift: DriftSpec,
+        /// Patrol scrub period, seconds of virtual time.
+        scrub_period_s: f64,
+    },
+}
+
+impl ServiceTier {
+    /// Short label for reports and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceTier::Baseline => "baseline",
+            ServiceTier::Protected { .. } => "protected",
+        }
+    }
+}
+
+/// Static configuration of a [`BulkService`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServiceConfig {
+    /// Number of independent shards (backend instances).
+    pub shards: u32,
+    /// Memory technology behind every shard.
+    pub technology: Technology,
+    /// Reliability tier (baseline or ECC + scrub).
+    pub tier: ServiceTier,
+    /// Geometry of each shard's array.
+    pub shard_geometry: MemoryGeometry,
+    /// Bound on each shard's queue, in requests; admission beyond it is
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Requests coalesced per tick (the batching window).
+    pub batch_window: usize,
+    /// Number of tenant accounts.
+    pub tenants: u32,
+    /// Per-tenant cap on queued requests; `None` derives the fair share
+    /// `max(1, queue_depth / tenants)`.
+    pub tenant_quota: Option<usize>,
+    /// Retries granted to an uncorrectable-ECC escalation before the
+    /// request fails (0 disables retry).
+    pub max_retries: u32,
+    /// Upper bound on the deterministic retry jitter, in ticks.
+    pub retry_backoff_ticks: u64,
+    /// Virtual seconds of reliability time per dispatch tick (drives
+    /// drift and patrol scrub on protected tiers).
+    pub tick_s: f64,
+    /// Seed for every derived stream (retry jitter).
+    pub seed: u64,
+}
+
+impl ServiceConfig {
+    /// A small test-friendly configuration over `shards` tiny FeRAM
+    /// arrays: queue depth 32, batch window 8, 4 tenants, 3 retries.
+    pub fn small(shards: u32) -> Self {
+        Self {
+            shards,
+            technology: Technology::Feram,
+            tier: ServiceTier::Baseline,
+            shard_geometry: MemoryGeometry::tiny(),
+            queue_depth: 32,
+            batch_window: 8,
+            tenants: 4,
+            tenant_quota: None,
+            max_retries: 3,
+            retry_backoff_ticks: 4,
+            tick_s: 1e-3,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The effective per-tenant quota.
+    pub fn quota(&self) -> usize {
+        self.tenant_quota
+            .unwrap_or_else(|| (self.queue_depth / self.tenants.max(1) as usize).max(1))
+    }
+}
+
+/// An admitted request waiting for (or between) dispatches.
+struct PendingRequest {
+    id: RequestId,
+    tenant: TenantId,
+    op: LogicalOp,
+    deadline: Option<u64>,
+    submitted_tick: u64,
+    submit_cycles: u64,
+    attempts: u32,
+    not_before: u64,
+    involved: Vec<u32>,
+}
+
+/// Running totals over one shard's dispatches.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ShardLoad {
+    /// Batches dispatched to the shard.
+    pub batches: u64,
+    /// Row-ops it executed.
+    pub row_ops: u64,
+    /// Its summed batch makespans, cycles.
+    pub makespan_cycles: u64,
+    /// Largest queue depth observed at admission.
+    pub max_queue_depth: usize,
+}
+
+/// Counter block for one service lifetime.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ServiceStats {
+    /// Submissions offered (accepted + rejected).
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Rejections for shard-queue backpressure.
+    pub rejected_overloaded: u64,
+    /// Rejections for tenant quota.
+    pub rejected_quota: u64,
+    /// Rejections for malformed requests (unknown vector, shape…).
+    pub rejected_invalid: u64,
+    /// Requests shed at their deadline.
+    pub shed_deadline: u64,
+    /// Requests that failed on the backend (incl. retries exhausted).
+    pub failed: u64,
+    /// Retry dispatches consumed.
+    pub retries: u64,
+    /// Non-empty ticks dispatched.
+    pub batches: u64,
+    /// Maintenance (scrub/drift) faults recorded, not escalated.
+    pub maintenance_errors: u64,
+}
+
+/// Latency distribution over completed requests, in simulated cycles.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst case.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a set of latencies (all zeros when empty).
+    pub fn from_latencies(mut values: Vec<u64>) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        values.sort_unstable();
+        let n = values.len();
+        // Nearest-rank: the smallest value with at least q·n values ≤ it.
+        let pick = |q: f64| values[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+        Self {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: values[n - 1],
+            mean: values.iter().sum::<u64>() as f64 / n as f64,
+        }
+    }
+}
+
+/// End-of-run summary of a service lifetime (what the PR-7 benchmark
+/// sweeps and what `run_service_campaign` reports).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceReport {
+    /// Shards configured.
+    pub shards: u32,
+    /// Technology label.
+    pub technology: &'static str,
+    /// Tier label.
+    pub tier: &'static str,
+    /// Counter block.
+    pub stats: ServiceStats,
+    /// Total simulated cycles across all ticks (slowest-shard makespans).
+    pub sim_cycles: u64,
+    /// The same in seconds under the paper's clock.
+    pub sim_seconds: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Row-ops executed per simulated second.
+    pub row_ops_per_second: f64,
+    /// Latency distribution over completed requests.
+    pub latency: LatencySummary,
+    /// Total backend energy, millijoules.
+    pub energy_mj: f64,
+    /// Per-shard load totals.
+    pub per_shard: Vec<ShardLoad>,
+}
+
+/// The multi-tenant bulk-bitwise request service. See the [module
+/// docs](self) for the execution model; see the crate docs for a
+/// quickstart.
+pub struct BulkService {
+    config: ServiceConfig,
+    map: ShardMap,
+    catalog: Catalog,
+    shards: Arc<Vec<Mutex<Shard>>>,
+    pool: ExecPool,
+    latency_model: LatencyModel,
+    pending: VecDeque<PendingRequest>,
+    retries: Vec<PendingRequest>,
+    queued_per_tenant: Vec<usize>,
+    queued_per_shard: Vec<usize>,
+    responses: Vec<ServeResponse>,
+    shard_load: Vec<ShardLoad>,
+    stats: ServiceStats,
+    now: u64,
+    sim_cycles: u64,
+    energy_nj: f64,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for BulkService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BulkService")
+            .field("shards", &self.config.shards)
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl BulkService {
+    /// Builds the shard pool and its worker pool (sized by
+    /// `FELIM_THREADS`, minus the calling thread).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid geometries; the `Result` reserves
+    /// room for config validation to grow.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServeError> {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.batch_window > 0, "need a non-empty batch window");
+        assert!(config.queue_depth > 0, "need a non-empty queue");
+        let tier_config = match &config.tier {
+            ServiceTier::Baseline => None,
+            ServiceTier::Protected {
+                drift,
+                scrub_period_s,
+            } => Some((drift.clone(), *scrub_period_s)),
+        };
+        let shards: Vec<Mutex<Shard>> = (0..config.shards)
+            .map(|i| {
+                let tier = tier_config.clone().map(|(mut drift, period)| {
+                    // Each shard gets its own derived fault stream.
+                    drift.seed = derive_seed(drift.seed, u64::from(i));
+                    (drift, period)
+                });
+                Mutex::new(Shard::new(config.technology, config.shard_geometry, tier))
+            })
+            .collect();
+        let data_rows = shards[0]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .data_rows();
+        let map = ShardMap::new(config.shards, data_rows).expect("non-zero shards and rows");
+        let catalog = Catalog::new(config.shards, data_rows);
+        telemetry::gauge("serve.shards").set(f64::from(config.shards));
+        Ok(Self {
+            catalog,
+            map,
+            shards: Arc::new(shards),
+            pool: ExecPool::with_env_threads(),
+            latency_model: LatencyModel::paper_default(),
+            pending: VecDeque::new(),
+            retries: Vec::new(),
+            queued_per_tenant: vec![0; config.tenants as usize],
+            queued_per_shard: vec![0; config.shards as usize],
+            responses: Vec::new(),
+            shard_load: vec![ShardLoad::default(); config.shards as usize],
+            stats: ServiceStats::default(),
+            now: 0,
+            sim_cycles: 0,
+            energy_nj: 0.0,
+            next_id: 0,
+            config,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shard ownership map (contiguous row ranges per shard).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Simulated cycles elapsed (sum of per-tick slowest-shard
+    /// makespans).
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
+    }
+
+    /// The counter block so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Responses produced so far, in completion order.
+    pub fn responses(&self) -> &[ServeResponse] {
+        &self.responses
+    }
+
+    /// Takes (and clears) the response log.
+    pub fn take_responses(&mut self) -> Vec<ServeResponse> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Registers a named vector of `rows` rows, striped across shards.
+    ///
+    /// # Errors
+    ///
+    /// See [`Catalog::create`].
+    pub fn create_vector(&mut self, name: &str, rows: u64) -> Result<(), ServeError> {
+        self.catalog.create(name, rows).map(|_| ())
+    }
+
+    /// Submits one request for `tenant`, optionally with a deadline
+    /// `deadline_ticks` from now. Admission is atomic; rejected
+    /// submissions consume a [`RequestId`] and produce an immediate
+    /// error response in the log.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`], [`ServeError::QuotaExceeded`], or a
+    /// validation error ([`ServeError::UnknownVector`],
+    /// [`ServeError::ShapeMismatch`], [`ServeError::EmptyPattern`],
+    /// [`ServeError::UnknownTenant`]).
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        op: LogicalOp,
+        deadline_ticks: Option<u64>,
+    ) -> Result<RequestId, ServeError> {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.stats.submitted += 1;
+        telemetry::counter("serve.submitted").inc();
+
+        match self.admit(tenant, &op) {
+            Ok(involved) => {
+                for &s in &involved {
+                    let depth = &mut self.queued_per_shard[s as usize];
+                    *depth += 1;
+                    let load = &mut self.shard_load[s as usize];
+                    load.max_queue_depth = load.max_queue_depth.max(*depth);
+                }
+                self.queued_per_tenant[tenant.0 as usize] += 1;
+                self.pending.push_back(PendingRequest {
+                    id,
+                    tenant,
+                    op,
+                    deadline: deadline_ticks.map(|d| self.now + d),
+                    submitted_tick: self.now,
+                    submit_cycles: self.sim_cycles,
+                    attempts: 0,
+                    not_before: self.now,
+                    involved,
+                });
+                Ok(id)
+            }
+            Err(err) => {
+                match &err {
+                    ServeError::Overloaded { .. } => {
+                        self.stats.rejected_overloaded += 1;
+                        telemetry::counter("serve.rejected.overloaded").inc();
+                    }
+                    ServeError::QuotaExceeded { .. } => {
+                        self.stats.rejected_quota += 1;
+                        telemetry::counter("serve.rejected.quota").inc();
+                    }
+                    _ => {
+                        self.stats.rejected_invalid += 1;
+                        telemetry::counter("serve.rejected.invalid").inc();
+                    }
+                }
+                self.responses.push(ServeResponse {
+                    request: id,
+                    tenant,
+                    op: op.mnemonic(),
+                    outcome: Err(err.clone()),
+                    submitted_tick: self.now,
+                    completed_tick: self.now,
+                    latency_cycles: 0,
+                    retries: 0,
+                });
+                Err(err)
+            }
+        }
+    }
+
+    /// Validates a submission and returns the shards it will occupy.
+    fn admit(&self, tenant: TenantId, op: &LogicalOp) -> Result<Vec<u32>, ServeError> {
+        if tenant.0 >= self.config.tenants {
+            return Err(ServeError::UnknownTenant {
+                tenant,
+                tenants: self.config.tenants,
+            });
+        }
+        if let LogicalOp::Write { words, .. } = op {
+            if words.is_empty() {
+                return Err(ServeError::EmptyPattern);
+            }
+        }
+        let names = op.vectors();
+        let mut rows = None;
+        for name in &names {
+            let placement = self.catalog.get(name)?;
+            match rows {
+                None => rows = Some(placement.rows),
+                Some(r) if r != placement.rows => {
+                    return Err(ServeError::ShapeMismatch {
+                        left: names[0].to_owned(),
+                        left_rows: r,
+                        right: (*name).to_owned(),
+                        right_rows: placement.rows,
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        let rows = rows.expect("every op names at least one vector");
+        let placement = self.catalog.get(names[0])?;
+        let involved: Vec<u32> = (0..self.config.shards)
+            .filter(|&s| placement.rows_on_shard(ShardId(s), self.config.shards) > 0)
+            .collect();
+        debug_assert!(!involved.is_empty(), "{rows}-row vector spans no shard");
+        if self.queued_per_tenant[tenant.0 as usize] >= self.config.quota() {
+            return Err(ServeError::QuotaExceeded {
+                tenant,
+                queued: self.queued_per_tenant[tenant.0 as usize],
+                quota: self.config.quota(),
+            });
+        }
+        for &s in &involved {
+            if self.queued_per_shard[s as usize] >= self.config.queue_depth {
+                return Err(ServeError::Overloaded {
+                    shard: ShardId(s),
+                    depth: self.queued_per_shard[s as usize],
+                });
+            }
+        }
+        Ok(involved)
+    }
+
+    /// Advances one virtual tick: promote due retries, shed expired
+    /// requests, dispatch up to `batch_window` requests across the shard
+    /// pool, and charge the slowest shard's makespan to simulated time.
+    /// Returns the number of requests dispatched this tick.
+    pub fn step(&mut self) -> usize {
+        self.promote_due_retries();
+        let batch = self.collect_batch();
+        if batch.is_empty() {
+            self.now += 1;
+            return 0;
+        }
+        self.stats.batches += 1;
+        telemetry::counter("serve.batches").inc();
+
+        // Decompose each request into per-shard row-op runs.
+        let shard_count = self.config.shards as usize;
+        let mut shard_ops: Vec<Vec<RowOp>> = vec![Vec::new(); shard_count];
+        let mut spans: Vec<Vec<(usize, usize)>> = Vec::with_capacity(batch.len());
+        for req in &batch {
+            let mut req_spans = Vec::with_capacity(shard_count);
+            for (s, ops) in shard_ops.iter_mut().enumerate() {
+                let start = ops.len();
+                self.decompose_for_shard(&req.op, s as u32, ops);
+                req_spans.push((start, ops.len() - start));
+            }
+            spans.push(req_spans);
+        }
+
+        // Dispatch every shard (empty batches still tick the
+        // reliability clock) concurrently; reduce in shard order.
+        let work: Arc<Vec<(usize, Vec<RowOp>)>> =
+            Arc::new(shard_ops.into_iter().enumerate().collect());
+        let shards = Arc::clone(&self.shards);
+        let tick_s = self.config.tick_s;
+        let outcomes: Vec<ShardBatchOutcome> = self.pool.map(
+            &work,
+            Arc::new(move |_i: usize, (s, ops): &(usize, Vec<RowOp>)| {
+                shards[*s]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .execute(ops, tick_s)
+            }),
+        );
+
+        let makespan = outcomes
+            .iter()
+            .map(|o| o.makespan_cycles)
+            .max()
+            .unwrap_or(0);
+        self.sim_cycles += makespan;
+        telemetry::histogram("serve.tick.makespan_cycles").record(makespan);
+        for (s, outcome) in outcomes.iter().enumerate() {
+            let load = &mut self.shard_load[s];
+            load.batches += 1;
+            load.row_ops += outcome.outputs.len() as u64;
+            load.makespan_cycles += outcome.makespan_cycles;
+            self.energy_nj += outcome.energy_nj;
+            if outcome.maintenance_error.is_some() {
+                self.stats.maintenance_errors += 1;
+                telemetry::counter("serve.maintenance_errors").inc();
+            }
+        }
+
+        let dispatched = batch.len();
+        for (req, req_spans) in batch.into_iter().zip(spans) {
+            self.settle(req, &req_spans, &outcomes);
+        }
+        self.now += 1;
+        dispatched
+    }
+
+    /// Runs ticks until every queued and retrying request has settled.
+    pub fn drain(&mut self) {
+        while !self.pending.is_empty() || !self.retries.is_empty() {
+            self.step();
+        }
+    }
+
+    /// Replays a trace: submits each event at its tick, stepping once
+    /// per tick, then drains. Events must be sorted by `at_tick`.
+    /// Rejected submissions are already logged as responses — the replay
+    /// never aborts on them.
+    pub fn run_trace(&mut self, events: &[crate::trace::TraceEvent]) {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].at_tick <= w[1].at_tick),
+            "trace events must be sorted by tick"
+        );
+        let mut idx = 0;
+        while idx < events.len() {
+            while idx < events.len() && events[idx].at_tick <= self.now {
+                let ev = &events[idx];
+                let _ = self.submit(ev.tenant, ev.op.clone(), ev.deadline_ticks);
+                idx += 1;
+            }
+            self.step();
+        }
+        self.drain();
+    }
+
+    /// Reads a whole vector back, row-major, bypassing the request queue
+    /// (a maintenance path for verification and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownVector`] or a wrapped backend fault.
+    pub fn read_vector(&mut self, name: &str) -> Result<Vec<Vec<u64>>, ServeError> {
+        let placement = self.catalog.get(name)?.clone();
+        let mut rows = Vec::with_capacity(placement.rows as usize);
+        for i in 0..placement.rows {
+            let (shard, local) = placement.locate(i, self.config.shards);
+            debug_assert_eq!(
+                self.map.owner(self.map.logical(shard, local)),
+                shard,
+                "placement and ownership map disagree"
+            );
+            let data = self.shards[shard.0 as usize]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .read_local_row(local.0)
+                .map_err(|source| ServeError::Backend { source })?;
+            rows.push(data);
+        }
+        Ok(rows)
+    }
+
+    /// Summarises the run: counters, simulated throughput and latency
+    /// percentiles, energy, and per-shard load.
+    pub fn report(&self) -> ServiceReport {
+        let latencies: Vec<u64> = self
+            .responses
+            .iter()
+            .filter(|r| r.is_ok())
+            .map(|r| r.latency_cycles)
+            .collect();
+        let sim_seconds = self.latency_model.seconds(self.sim_cycles);
+        let row_ops: u64 = self.shard_load.iter().map(|l| l.row_ops).sum();
+        ServiceReport {
+            shards: self.config.shards,
+            technology: self.config.technology.label(),
+            tier: self.config.tier.label(),
+            stats: self.stats,
+            sim_cycles: self.sim_cycles,
+            sim_seconds,
+            throughput_rps: if sim_seconds > 0.0 {
+                self.stats.completed as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            row_ops_per_second: if sim_seconds > 0.0 {
+                row_ops as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_latencies(latencies),
+            energy_mj: self.energy_nj * 1e-6,
+            per_shard: self.shard_load.clone(),
+        }
+    }
+
+    /// Moves retries whose backoff expired to the head of the pending
+    /// queue, oldest request first.
+    fn promote_due_retries(&mut self) {
+        let now = self.now;
+        // `retries` is kept sorted by (not_before, id); due entries form
+        // a sorted prefix once partitioned.
+        let mut due: Vec<PendingRequest> = Vec::new();
+        let mut rest: Vec<PendingRequest> = Vec::new();
+        for r in self.retries.drain(..) {
+            if r.not_before <= now {
+                due.push(r);
+            } else {
+                rest.push(r);
+            }
+        }
+        self.retries = rest;
+        for r in due.into_iter().rev() {
+            self.pending.push_front(r);
+        }
+    }
+
+    /// Pops up to `batch_window` requests, shedding any whose deadline
+    /// already passed (they respond with `DeadlineExceeded`).
+    fn collect_batch(&mut self) -> Vec<PendingRequest> {
+        let mut batch = Vec::with_capacity(self.config.batch_window);
+        while batch.len() < self.config.batch_window {
+            let Some(req) = self.pending.pop_front() else {
+                break;
+            };
+            if let Some(deadline) = req.deadline {
+                if deadline < self.now {
+                    self.stats.shed_deadline += 1;
+                    telemetry::counter("serve.shed.deadline").inc();
+                    self.release(&req);
+                    self.responses.push(ServeResponse {
+                        request: req.id,
+                        tenant: req.tenant,
+                        op: req.op.mnemonic(),
+                        outcome: Err(ServeError::DeadlineExceeded {
+                            deadline_tick: deadline,
+                            now_tick: self.now,
+                        }),
+                        submitted_tick: req.submitted_tick,
+                        completed_tick: self.now,
+                        latency_cycles: self.sim_cycles - req.submit_cycles,
+                        retries: req.attempts,
+                    });
+                    continue;
+                }
+            }
+            batch.push(req);
+        }
+        batch
+    }
+
+    /// Appends the per-shard row-ops realising `op` on shard `s`.
+    fn decompose_for_shard(&self, op: &LogicalOp, s: u32, out: &mut Vec<RowOp>) {
+        let shards = self.config.shards;
+        let get = |name: &str| {
+            self.catalog
+                .get(name)
+                .expect("validated at admission")
+                .clone()
+        };
+        match op {
+            LogicalOp::Not { src, dst } | LogicalOp::Copy { src, dst } => {
+                let (ps, pd) = (get(src), get(dst));
+                let n = ps.rows_on_shard(ShardId(s), shards);
+                for k in 0..n {
+                    let a = RowId(ps.shard_base[s as usize] + k);
+                    let d = RowId(pd.shard_base[s as usize] + k);
+                    out.push(if matches!(op, LogicalOp::Not { .. }) {
+                        RowOp::Not { src: a, dst: d }
+                    } else {
+                        RowOp::Copy { src: a, dst: d }
+                    });
+                }
+            }
+            LogicalOp::And { a, b, dst }
+            | LogicalOp::Or { a, b, dst }
+            | LogicalOp::Xor { a, b, dst }
+            | LogicalOp::Nand { a, b, dst }
+            | LogicalOp::Nor { a, b, dst }
+            | LogicalOp::Xnor { a, b, dst } => {
+                let (pa, pb, pd) = (get(a), get(b), get(dst));
+                let n = pa.rows_on_shard(ShardId(s), shards);
+                for k in 0..n {
+                    let ra = RowId(pa.shard_base[s as usize] + k);
+                    let rb = RowId(pb.shard_base[s as usize] + k);
+                    let rd = RowId(pd.shard_base[s as usize] + k);
+                    out.push(match op {
+                        LogicalOp::And { .. } => RowOp::And { a: ra, b: rb, dst: rd },
+                        LogicalOp::Or { .. } => RowOp::Or { a: ra, b: rb, dst: rd },
+                        LogicalOp::Xor { .. } => RowOp::Xor { a: ra, b: rb, dst: rd },
+                        LogicalOp::Nand { .. } => RowOp::Nand { a: ra, b: rb, dst: rd },
+                        LogicalOp::Nor { .. } => RowOp::Nor { a: ra, b: rb, dst: rd },
+                        _ => RowOp::Xnor { a: ra, b: rb, dst: rd },
+                    });
+                }
+            }
+            LogicalOp::Write { dst, words } => {
+                let pd = get(dst);
+                let n = pd.rows_on_shard(ShardId(s), shards);
+                let words_per_row = self.config.shard_geometry.row_words();
+                for k in 0..n {
+                    let vector_row = u64::from(s) + k * u64::from(shards);
+                    let data: Vec<u64> = (0..words_per_row)
+                        .map(|j| words[(j as u64 + vector_row) as usize % words.len()])
+                        .collect();
+                    out.push(RowOp::Write {
+                        row: RowId(pd.shard_base[s as usize] + k),
+                        data,
+                    });
+                }
+            }
+            LogicalOp::Read { src } => {
+                let ps = get(src);
+                let n = ps.rows_on_shard(ShardId(s), shards);
+                for k in 0..n {
+                    out.push(RowOp::Read {
+                        row: RowId(ps.shard_base[s as usize] + k),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Settles one dispatched request: success response, retry
+    /// re-queue, or typed failure.
+    fn settle(
+        &mut self,
+        mut req: PendingRequest,
+        spans: &[(usize, usize)],
+        outcomes: &[ShardBatchOutcome],
+    ) {
+        // First error in shard-then-op order decides the outcome.
+        let mut first_error: Option<ArchError> = None;
+        'scan: for (s, &(start, count)) in spans.iter().enumerate() {
+            for r in &outcomes[s].outputs[start..start + count] {
+                if let Err(e) = r {
+                    first_error = Some(e.clone());
+                    break 'scan;
+                }
+            }
+        }
+
+        match first_error {
+            None => {
+                let payload = if let LogicalOp::Read { src } = &req.op {
+                    let placement = self
+                        .catalog
+                        .get(src)
+                        .expect("validated at admission")
+                        .clone();
+                    let shards = self.config.shards;
+                    let mut words = Vec::new();
+                    for i in 0..placement.rows {
+                        let (shard, _) = placement.locate(i, shards);
+                        let s = shard.0 as usize;
+                        let k = (i / u64::from(shards)) as usize;
+                        let (start, _) = spans[s];
+                        match &outcomes[s].outputs[start + k] {
+                            Ok(RowOpOutput::Data(row)) => words.extend_from_slice(row),
+                            other => unreachable!("read op yielded {other:?}"),
+                        }
+                    }
+                    ResponsePayload::Digest {
+                        rows: placement.rows,
+                        digest: fnv1a_words(&words),
+                    }
+                } else {
+                    ResponsePayload::Done
+                };
+                self.stats.completed += 1;
+                telemetry::counter("serve.completed").inc();
+                let latency = self.sim_cycles - req.submit_cycles;
+                telemetry::histogram("serve.latency_cycles").record(latency);
+                self.release(&req);
+                self.responses.push(ServeResponse {
+                    request: req.id,
+                    tenant: req.tenant,
+                    op: req.op.mnemonic(),
+                    outcome: Ok(payload),
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: self.now,
+                    latency_cycles: latency,
+                    retries: req.attempts,
+                });
+            }
+            Some(err @ ArchError::Uncorrectable { .. })
+                if req.attempts < self.config.max_retries =>
+            {
+                req.attempts += 1;
+                let jitter = if self.config.retry_backoff_ticks > 0 {
+                    derive_seed(
+                        self.config.seed,
+                        req.id.0.wrapping_mul(0x9e37).wrapping_add(u64::from(req.attempts)),
+                    ) % self.config.retry_backoff_ticks
+                } else {
+                    0
+                };
+                req.not_before = self.now + 1 + jitter;
+                self.stats.retries += 1;
+                telemetry::counter("serve.retries").inc();
+                let _ = err;
+                // Queue accounting stays held: a retrying request still
+                // occupies its shard slots, which is honest backpressure.
+                let pos = self
+                    .retries
+                    .partition_point(|r| (r.not_before, r.id) <= (req.not_before, req.id));
+                self.retries.insert(pos, req);
+            }
+            Some(err) => {
+                self.stats.failed += 1;
+                telemetry::counter("serve.failed").inc();
+                let outcome = match err {
+                    ArchError::Uncorrectable { .. } => ServeError::RetriesExhausted {
+                        attempts: req.attempts + 1,
+                        source: err,
+                    },
+                    other => ServeError::Backend { source: other },
+                };
+                self.release(&req);
+                self.responses.push(ServeResponse {
+                    request: req.id,
+                    tenant: req.tenant,
+                    op: req.op.mnemonic(),
+                    outcome: Err(outcome),
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: self.now,
+                    latency_cycles: self.sim_cycles - req.submit_cycles,
+                    retries: req.attempts,
+                });
+            }
+        }
+    }
+
+    /// Releases a settled request's queue accounting.
+    fn release(&mut self, req: &PendingRequest) {
+        for &s in &req.involved {
+            self.queued_per_shard[s as usize] -= 1;
+        }
+        self.queued_per_tenant[req.tenant.0 as usize] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(shards: u32) -> BulkService {
+        let mut svc = BulkService::new(ServiceConfig::small(shards)).unwrap();
+        svc.create_vector("a", 8).unwrap();
+        svc.create_vector("b", 8).unwrap();
+        svc.create_vector("d", 8).unwrap();
+        svc
+    }
+
+    fn write(svc: &mut BulkService, t: TenantId, dst: &str, words: Vec<u64>) {
+        svc.submit(t, LogicalOp::Write { dst: dst.into(), words }, None)
+            .unwrap();
+    }
+
+    #[test]
+    fn logic_ops_compute_correct_vectors() {
+        let mut svc = setup(2);
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![0b1100]);
+        write(&mut svc, t, "b", vec![0b1010]);
+        for (op, want) in [
+            (
+                LogicalOp::And {
+                    a: "a".into(),
+                    b: "b".into(),
+                    dst: "d".into(),
+                },
+                0b1000u64,
+            ),
+            (
+                LogicalOp::Xor {
+                    a: "a".into(),
+                    b: "b".into(),
+                    dst: "d".into(),
+                },
+                0b0110,
+            ),
+            (
+                LogicalOp::Nor {
+                    a: "a".into(),
+                    b: "b".into(),
+                    dst: "d".into(),
+                },
+                !0b1110,
+            ),
+        ] {
+            svc.submit(t, op, None).unwrap();
+            svc.drain();
+            let rows = svc.read_vector("d").unwrap();
+            assert_eq!(rows.len(), 8);
+            // Write pattern is cyclic with one word, so every word of
+            // every row holds the same operand value.
+            for row in &rows {
+                assert!(row.iter().all(|&w| w == want));
+            }
+        }
+        assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn read_digest_matches_read_vector() {
+        let mut svc = setup(2);
+        let t = TenantId(1);
+        write(&mut svc, t, "a", vec![1, 2, 3]);
+        svc.submit(t, LogicalOp::Read { src: "a".into() }, None)
+            .unwrap();
+        svc.drain();
+        let responses = svc.take_responses();
+        let digest = match &responses[1].outcome {
+            Ok(ResponsePayload::Digest { rows, digest }) => {
+                assert_eq!(*rows, 8);
+                *digest
+            }
+            other => panic!("expected digest, got {other:?}"),
+        };
+        let words: Vec<u64> = svc
+            .read_vector("a")
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(digest, fnv1a_words(&words));
+    }
+
+    #[test]
+    fn rejections_are_typed_and_logged() {
+        let mut svc = setup(1);
+        let t = TenantId(0);
+        assert!(matches!(
+            svc.submit(t, LogicalOp::Read { src: "nope".into() }, None),
+            Err(ServeError::UnknownVector { .. })
+        ));
+        assert!(matches!(
+            svc.submit(TenantId(99), LogicalOp::Read { src: "a".into() }, None),
+            Err(ServeError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            svc.submit(
+                t,
+                LogicalOp::Write {
+                    dst: "a".into(),
+                    words: vec![]
+                },
+                None
+            ),
+            Err(ServeError::EmptyPattern)
+        ));
+        svc.create_vector("short", 3).unwrap();
+        assert!(matches!(
+            svc.submit(
+                t,
+                LogicalOp::And {
+                    a: "a".into(),
+                    b: "short".into(),
+                    dst: "d".into()
+                },
+                None
+            ),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+        // Every rejection produced a response.
+        assert_eq!(svc.responses().len(), 4);
+        assert_eq!(svc.stats().rejected_invalid, 4);
+    }
+
+    #[test]
+    fn quota_and_overload_backpressure() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.queue_depth = 4;
+        cfg.tenants = 2;
+        cfg.tenant_quota = Some(3);
+        cfg.batch_window = 1;
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("v", 4).unwrap();
+        let op = || LogicalOp::Read { src: "v".into() };
+        let (t0, t1) = (TenantId(0), TenantId(1));
+        for _ in 0..3 {
+            svc.submit(t0, op(), None).unwrap();
+        }
+        assert!(matches!(
+            svc.submit(t0, op(), None),
+            Err(ServeError::QuotaExceeded { .. })
+        ));
+        svc.submit(t1, op(), None).unwrap(); // queue now full at 4
+        assert!(matches!(
+            svc.submit(t1, op(), None),
+            Err(ServeError::Overloaded { .. })
+        ));
+        svc.drain();
+        // Accounting drains back to zero: a fresh submission is accepted.
+        svc.submit(t1, op(), None).unwrap();
+        svc.drain();
+        let total = svc.responses().len() as u64;
+        assert_eq!(total, svc.stats().submitted);
+    }
+
+    #[test]
+    fn deadline_shedding_rejects_stale_requests() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.batch_window = 1;
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("v", 4).unwrap();
+        let t = TenantId(0);
+        // Three requests, one-per-tick service, deadline 0 ticks: the
+        // second and third expire before their turn.
+        for _ in 0..3 {
+            svc.submit(t, LogicalOp::Read { src: "v".into() }, Some(0))
+                .unwrap();
+        }
+        svc.drain();
+        assert_eq!(svc.stats().completed, 1);
+        assert_eq!(svc.stats().shed_deadline, 2);
+        assert!(svc
+            .responses()
+            .iter()
+            .any(|r| matches!(r.outcome, Err(ServeError::DeadlineExceeded { .. }))));
+    }
+
+    #[test]
+    fn multi_shard_equals_single_shard_results() {
+        let mut one = setup(1);
+        let mut four = setup(4);
+        let t = TenantId(2);
+        for svc in [&mut one, &mut four] {
+            write(svc, t, "a", vec![0xDEAD, 0xBEEF]);
+            write(svc, t, "b", vec![0x1234]);
+            svc.submit(
+                t,
+                LogicalOp::Xnor {
+                    a: "a".into(),
+                    b: "b".into(),
+                    dst: "d".into(),
+                },
+                None,
+            )
+            .unwrap();
+            svc.drain();
+        }
+        assert_eq!(
+            one.read_vector("d").unwrap(),
+            four.read_vector("d").unwrap(),
+            "sharding must not change results"
+        );
+        // More shards, shorter simulated time for the same work.
+        assert!(four.sim_cycles() < one.sim_cycles());
+    }
+
+    #[test]
+    fn protected_tier_serves_correctly() {
+        let mut cfg = ServiceConfig::small(2);
+        cfg.tier = ServiceTier::Protected {
+            drift: DriftSpec::quiet(11),
+            scrub_period_s: 0.5,
+        };
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("a", 6).unwrap();
+        svc.create_vector("d", 6).unwrap();
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![0xF0F0]);
+        svc.submit(
+            t,
+            LogicalOp::Not {
+                src: "a".into(),
+                dst: "d".into(),
+            },
+            None,
+        )
+        .unwrap();
+        svc.drain();
+        assert_eq!(svc.stats().completed, 2);
+        let rows = svc.read_vector("d").unwrap();
+        assert!(rows.iter().all(|r| r.iter().all(|&w| w == !0xF0F0u64)));
+    }
+
+    #[test]
+    fn report_summarises_the_run() {
+        let mut svc = setup(2);
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![1]);
+        write(&mut svc, t, "b", vec![2]);
+        svc.submit(
+            t,
+            LogicalOp::Or {
+                a: "a".into(),
+                b: "b".into(),
+                dst: "d".into(),
+            },
+            None,
+        )
+        .unwrap();
+        svc.drain();
+        let report = svc.report();
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.technology, "feram");
+        assert_eq!(report.stats.completed, 3);
+        assert!(report.sim_seconds > 0.0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.latency.max >= report.latency.p50);
+        assert!(report.energy_mj > 0.0);
+        assert_eq!(report.per_shard.len(), 2);
+        serde_json::to_string(&report).unwrap();
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_latencies((1..=100).collect());
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        let empty = LatencySummary::from_latencies(vec![]);
+        assert_eq!(empty.max, 0);
+    }
+}

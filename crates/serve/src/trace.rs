@@ -1,0 +1,177 @@
+//! Seeded synthetic request traces for tests, campaigns and benchmarks.
+//!
+//! A [`TraceSpec`] describes a multi-tenant workload shape — how many
+//! tenants, how many requests, how many arrive per tick, the op mix —
+//! and [`generate_trace`] expands it into the vector set to create plus
+//! a tick-sorted event list. Everything derives from the spec's seed via
+//! [`derive_seed`], so the same spec always produces the same trace:
+//! the benchmark sweeps replay *identical* offered load against every
+//! shard count, and the determinism suite replays identical load
+//! against every worker count.
+
+use crate::request::{LogicalOp, TenantId};
+use felim_exec::derive_seed;
+use serde::Serialize;
+
+/// One offered request in a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceEvent {
+    /// Virtual tick at which the client submits it.
+    pub at_tick: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// The request body.
+    pub op: LogicalOp,
+    /// Relative deadline in ticks (`None` = best-effort).
+    pub deadline_ticks: Option<u64>,
+}
+
+/// Shape of a synthetic multi-tenant workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TraceSpec {
+    /// Tenant accounts generating load (each gets its own vector set).
+    pub tenants: u32,
+    /// Rows per named vector.
+    pub vector_rows: u64,
+    /// Logic/read requests after the warm-up writes.
+    pub requests: u64,
+    /// Requests offered per tick (the load level).
+    pub per_tick: u32,
+    /// Relative deadline stamped on every request (`None` = none).
+    pub deadline_ticks: Option<u64>,
+    /// Seed of the op-mix stream.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// A small default: 2 tenants, 8-row vectors, 64 requests, 4 per
+    /// tick, best-effort deadlines.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            tenants: 2,
+            vector_rows: 8,
+            requests: 64,
+            per_tick: 4,
+            deadline_ticks: None,
+            seed,
+        }
+    }
+
+    /// Vector names for tenant `t`: two operands and a destination.
+    pub fn tenant_vectors(t: u32) -> [String; 3] {
+        [format!("t{t}.a"), format!("t{t}.b"), format!("t{t}.d")]
+    }
+}
+
+/// Expands a spec into `(vectors_to_create, events)`.
+///
+/// The trace opens with one `Write` per tenant vector (operand
+/// initialisation *through the service*, so warm-up is part of the
+/// offered load), then `requests` logic/read events round-robin across
+/// tenants, `per_tick` per tick, with a seeded op mix of the eight
+/// logic ops plus occasional reads.
+pub fn generate_trace(spec: &TraceSpec) -> (Vec<(String, u64)>, Vec<TraceEvent>) {
+    assert!(spec.tenants > 0, "need at least one tenant");
+    assert!(spec.per_tick > 0, "need a positive load level");
+    let mut vectors = Vec::new();
+    for t in 0..spec.tenants {
+        for name in TraceSpec::tenant_vectors(t) {
+            vectors.push((name, spec.vector_rows));
+        }
+    }
+
+    let mut events = Vec::new();
+    let mut tick = 0u64;
+    let mut in_tick = 0u32;
+    let mut push = |op: LogicalOp, tenant: TenantId, events: &mut Vec<TraceEvent>| {
+        events.push(TraceEvent {
+            at_tick: tick,
+            tenant,
+            op,
+            deadline_ticks: spec.deadline_ticks,
+        });
+        in_tick += 1;
+        if in_tick == spec.per_tick {
+            in_tick = 0;
+            tick += 1;
+        }
+    };
+
+    // Warm-up: seed every operand (and destination) with a derived
+    // pattern so reads are meaningful from the first tick.
+    for t in 0..spec.tenants {
+        let [a, b, d] = TraceSpec::tenant_vectors(t);
+        for (i, name) in [a, b, d].into_iter().enumerate() {
+            let w = derive_seed(spec.seed, u64::from(t) * 8 + i as u64);
+            push(
+                LogicalOp::Write {
+                    dst: name,
+                    words: vec![w, !w, w.rotate_left(17)],
+                },
+                TenantId(t),
+                &mut events,
+            );
+        }
+    }
+
+    for r in 0..spec.requests {
+        let t = (r % u64::from(spec.tenants)) as u32;
+        let [a, b, d] = TraceSpec::tenant_vectors(t);
+        let roll = derive_seed(spec.seed ^ 0x7_2ace, r) % 10;
+        let op = match roll {
+            0 => LogicalOp::And { a, b, dst: d },
+            1 => LogicalOp::Or { a, b, dst: d },
+            2 => LogicalOp::Xor { a, b, dst: d },
+            3 => LogicalOp::Nand { a, b, dst: d },
+            4 => LogicalOp::Nor { a, b, dst: d },
+            5 => LogicalOp::Xnor { a, b, dst: d },
+            6 => LogicalOp::Not { src: a, dst: d },
+            7 => LogicalOp::Copy { src: b, dst: d },
+            8 => LogicalOp::Read { src: d },
+            _ => LogicalOp::Write {
+                dst: a,
+                words: vec![derive_seed(spec.seed, r ^ 0x77), r + 1],
+            },
+        };
+        push(op, TenantId(t), &mut events);
+    }
+    (vectors, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let spec = TraceSpec::small(9);
+        let (v1, e1) = generate_trace(&spec);
+        let (v2, e2) = generate_trace(&spec);
+        assert_eq!(v1, v2);
+        assert_eq!(
+            serde_json::to_string(&e1).unwrap(),
+            serde_json::to_string(&e2).unwrap()
+        );
+        assert!(e1.windows(2).all(|w| w[0].at_tick <= w[1].at_tick));
+        assert_eq!(e1.len() as u64, spec.requests + u64::from(spec.tenants) * 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, e1) = generate_trace(&TraceSpec::small(1));
+        let (_, e2) = generate_trace(&TraceSpec::small(2));
+        assert_ne!(
+            serde_json::to_string(&e1).unwrap(),
+            serde_json::to_string(&e2).unwrap()
+        );
+    }
+
+    #[test]
+    fn load_level_packs_events_per_tick() {
+        let mut spec = TraceSpec::small(3);
+        spec.per_tick = 2;
+        let (_, events) = generate_trace(&spec);
+        let on_tick0 = events.iter().filter(|e| e.at_tick == 0).count();
+        assert_eq!(on_tick0, 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! Offered-load campaign against the `felim-serve` request service.
+//!
+//! The Fig 6 drivers evaluate kernels in isolation; this campaign
+//! evaluates the *service* wrapped around the same backends: it replays
+//! one seeded multi-tenant trace at a ladder of offered-load levels
+//! (requests per tick) and reports, per level, how admission control
+//! and batching respond — completions, typed rejections, deadline
+//! sheds, retries, simulated throughput and latency percentiles. The
+//! sweep makes the service's saturation behaviour a first-class,
+//! regression-testable artifact: below the knee everything completes;
+//! past it `Overloaded` rejections rise while completed-request latency
+//! stays bounded by the queue depth.
+
+use felim_serve::{
+    generate_trace, BulkService, LatencySummary, ServiceConfig, TraceSpec,
+};
+use felim_telemetry as telemetry;
+use serde::Serialize;
+
+/// Outcome of one offered-load level of a service campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceLoadOutcome {
+    /// Requests offered per tick at this level.
+    pub per_tick: u32,
+    /// Submissions offered in total.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Backpressure rejections (shard queues full).
+    pub rejected_overloaded: u64,
+    /// Fair-share quota rejections.
+    pub rejected_quota: u64,
+    /// Requests shed at their deadline.
+    pub shed_deadline: u64,
+    /// Backend failures (including exhausted retries).
+    pub failed: u64,
+    /// Retry dispatches consumed.
+    pub retries: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Row-ops executed per simulated second.
+    pub row_ops_per_second: f64,
+    /// Latency distribution over completed requests, cycles.
+    pub latency: LatencySummary,
+    /// Simulated seconds the replay spanned.
+    pub sim_seconds: f64,
+    /// Backend energy over the replay, mJ.
+    pub energy_mj: f64,
+}
+
+impl ServiceLoadOutcome {
+    /// Every submission is accounted: completions + rejections + sheds
+    /// + failures sum back to the offered count.
+    pub fn fully_accounted(&self, rejected_invalid: u64) -> bool {
+        self.completed
+            + self.rejected_overloaded
+            + self.rejected_quota
+            + self.shed_deadline
+            + self.failed
+            + rejected_invalid
+            == self.submitted
+    }
+}
+
+/// Replays the same seeded trace shape at each offered-load level in
+/// `loads` against a fresh service built from `config`, returning one
+/// outcome per level (in input order).
+///
+/// Levels run sequentially — each service already fans its shards out
+/// over the worker pool — and every level derives the *same* request
+/// mix from `trace.seed`, so levels differ only in arrival density and
+/// the sweep isolates the congestion response.
+///
+/// # Examples
+///
+/// ```
+/// use felim_serve::{ServiceConfig, TraceSpec};
+/// use felim_workloads::service_campaign::run_service_campaign;
+///
+/// let outcomes = run_service_campaign(
+///     &ServiceConfig::small(2),
+///     &TraceSpec::small(7),
+///     &[1, 8],
+/// );
+/// assert_eq!(outcomes.len(), 2);
+/// assert!(outcomes.iter().all(|o| o.fully_accounted(0)));
+/// // Identical work at denser arrivals: offered load never *reduces*
+/// // what the backends must execute.
+/// assert_eq!(outcomes[0].submitted, outcomes[1].submitted);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the service rejects its own configuration (a bug, not an
+/// operating condition).
+pub fn run_service_campaign(
+    config: &ServiceConfig,
+    trace: &TraceSpec,
+    loads: &[u32],
+) -> Vec<ServiceLoadOutcome> {
+    let _span = telemetry::span("service_campaign");
+    loads
+        .iter()
+        .map(|&per_tick| {
+            let mut spec = *trace;
+            spec.per_tick = per_tick;
+            let (vectors, events) = generate_trace(&spec);
+            let mut service =
+                BulkService::new(config.clone()).expect("campaign config must be valid");
+            for (name, rows) in &vectors {
+                service
+                    .create_vector(name, *rows)
+                    .expect("trace vectors must fit the shard pool");
+            }
+            service.run_trace(&events);
+            let report = service.report();
+            telemetry::counter("workloads.service_campaign.levels").inc();
+            ServiceLoadOutcome {
+                per_tick,
+                submitted: report.stats.submitted,
+                completed: report.stats.completed,
+                rejected_overloaded: report.stats.rejected_overloaded,
+                rejected_quota: report.stats.rejected_quota,
+                shed_deadline: report.stats.shed_deadline,
+                failed: report.stats.failed,
+                retries: report.stats.retries,
+                throughput_rps: report.throughput_rps,
+                row_ops_per_second: report.row_ops_per_second,
+                latency: report.latency,
+                sim_seconds: report.sim_seconds,
+                energy_mj: report.energy_mj,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_accounts_every_submission() {
+        let outcomes =
+            run_service_campaign(&ServiceConfig::small(2), &TraceSpec::small(3), &[2, 16]);
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.fully_accounted(0), "unaccounted submissions: {o:?}");
+            assert!(o.completed > 0);
+            assert!(o.sim_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn saturating_load_triggers_backpressure_not_loss() {
+        let mut config = ServiceConfig::small(1);
+        config.queue_depth = 4;
+        config.batch_window = 1;
+        config.tenant_quota = Some(4);
+        let mut trace = TraceSpec::small(5);
+        trace.requests = 96;
+        let outcomes = run_service_campaign(&config, &trace, &[32]);
+        let o = &outcomes[0];
+        assert!(
+            o.rejected_overloaded + o.rejected_quota > 0,
+            "a 32×-oversubscribed single shard must shed load: {o:?}"
+        );
+        assert!(o.fully_accounted(0));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            serde_json::to_string(&run_service_campaign(
+                &ServiceConfig::small(2),
+                &TraceSpec::small(11),
+                &[4],
+            ))
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link target exists.
+#
+#   ./scripts/check_links.sh docs/HANDBOOK.md README.md ...
+#
+# For each `[text](target)` in the given files, targets that are not
+# absolute URLs (http/https/mailto) or pure in-page anchors must resolve
+# to a file or directory, relative to the linking file's directory (or
+# to the repo root as a fallback, for links written root-relative).
+# Exits non-zero listing every dead link.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+for file in "$@"; do
+  if [ ! -f "$root/$file" ]; then
+    echo "check_links: no such file: $file" >&2
+    status=1
+    continue
+  fi
+  dir="$(dirname "$root/$file")"
+  # Extract link targets: [...](target), dropping any #fragment suffix.
+  grep -o '\[[^]]*\]([^)]*)' "$root/$file" | sed 's/.*(\(.*\))/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$root/$path" ]; then
+      echo "$file: dead link -> $target"
+    fi
+  done > /tmp/check_links_out.$$ || true
+  if [ -s /tmp/check_links_out.$$ ]; then
+    cat /tmp/check_links_out.$$
+    status=1
+  fi
+  rm -f /tmp/check_links_out.$$
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_links: all intra-repo links resolve"
+fi
+exit "$status"

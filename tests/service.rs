@@ -1,0 +1,220 @@
+//! Integration suite for the `felim-serve` request service.
+//!
+//! Two contracts matter above all others:
+//!
+//! 1. **Worker-count determinism** — the serialised response log of a
+//!    trace replay is byte-identical under 1 and 4 workers. The service
+//!    reduces shard outcomes in shard order and settles responses in
+//!    request order, so `FELIM_THREADS` must only affect scheduling.
+//! 2. **No silent drops** — a saturating trace produces typed
+//!    `Overloaded` rejections, never panics, deadlocks, or requests
+//!    that vanish: every submission has exactly one response.
+
+use felim::exec::THREADS_ENV;
+use felim::serve::{
+    generate_trace, BulkService, LogicalOp, ServeError, ServiceConfig, ServiceTier,
+    TenantId, TraceSpec,
+};
+use felim::arch::DriftSpec;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::env::set_var(THREADS_ENV, n.to_string());
+    let out = f();
+    std::env::remove_var(THREADS_ENV);
+    out
+}
+
+/// Replays one trace and returns the serialised response log plus the
+/// serialised end-of-run report.
+fn replay(config: ServiceConfig, trace: &TraceSpec) -> (String, String) {
+    let (vectors, events) = generate_trace(trace);
+    let mut service = BulkService::new(config).expect("valid config");
+    for (name, rows) in &vectors {
+        service.create_vector(name, *rows).expect("vectors fit");
+    }
+    service.run_trace(&events);
+    let report = serde_json::to_string(&service.report()).expect("report serializes");
+    let log = serde_json::to_string(&service.take_responses()).expect("log serializes");
+    (log, report)
+}
+
+#[test]
+fn response_log_bytes_identical_1_vs_4_workers() {
+    let trace = TraceSpec::small(42);
+    let run = |threads| with_threads(threads, || replay(ServiceConfig::small(4), &trace));
+    let (log1, report1) = run(1);
+    let (log4, report4) = run(4);
+    assert_eq!(log1, log4, "response log must not depend on worker count");
+    assert_eq!(report1, report4, "report must not depend on worker count");
+    assert!(log1.contains("\"Ok\""));
+}
+
+#[test]
+fn protected_tier_is_worker_count_deterministic_too() {
+    let mut trace = TraceSpec::small(7);
+    trace.requests = 32;
+    let config = || {
+        let mut c = ServiceConfig::small(2);
+        c.tier = ServiceTier::Protected {
+            drift: DriftSpec::quiet(13),
+            scrub_period_s: 0.25,
+        };
+        c
+    };
+    let run = |threads| with_threads(threads, || replay(config(), &trace).0);
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn saturating_trace_sheds_with_typed_overloads_and_no_silent_drops() {
+    // A single narrow shard, queue depth 4, one request per tick against
+    // 32 arrivals per tick: heavily oversubscribed.
+    let mut config = ServiceConfig::small(1);
+    config.queue_depth = 4;
+    config.batch_window = 1;
+    config.tenant_quota = Some(4);
+    let mut trace = TraceSpec::small(21);
+    trace.requests = 120;
+    trace.per_tick = 32;
+
+    let (vectors, events) = generate_trace(&trace);
+    let mut service = BulkService::new(config).expect("valid config");
+    for (name, rows) in &vectors {
+        service.create_vector(name, *rows).expect("vectors fit");
+    }
+    service.run_trace(&events);
+
+    let stats = *service.stats();
+    let responses = service.take_responses();
+
+    // Exactly one response per submission — nothing dropped silently.
+    assert_eq!(responses.len() as u64, stats.submitted);
+    assert_eq!(responses.len(), events.len());
+    let overloaded = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Err(ServeError::Overloaded { .. })))
+        .count() as u64;
+    assert!(
+        overloaded > 0,
+        "a 32×-oversubscribed shard must reject with Overloaded: {stats:?}"
+    );
+    assert_eq!(overloaded, stats.rejected_overloaded);
+    // The counter block sums back to the offered load.
+    assert_eq!(
+        stats.completed
+            + stats.rejected_overloaded
+            + stats.rejected_quota
+            + stats.rejected_invalid
+            + stats.shed_deadline
+            + stats.failed,
+        stats.submitted
+    );
+    // The queue itself kept serving: the accepted prefix completed.
+    assert!(stats.completed > 0);
+}
+
+#[test]
+fn sharding_preserves_results_and_shrinks_simulated_time() {
+    let trace = TraceSpec::small(9);
+    let digest_of = |shards: u32| {
+        let (vectors, events) = generate_trace(&trace);
+        let mut service = BulkService::new(ServiceConfig::small(shards)).expect("valid");
+        for (name, rows) in &vectors {
+            service.create_vector(name, *rows).expect("fit");
+        }
+        service.run_trace(&events);
+        let cycles = service.sim_cycles();
+        // Vector contents must be shard-count independent.
+        let mut contents = Vec::new();
+        for t in 0..trace.tenants {
+            for name in TraceSpec::tenant_vectors(t) {
+                contents.push(service.read_vector(&name).expect("readable"));
+            }
+        }
+        (contents, cycles)
+    };
+    let (one, cycles_one) = digest_of(1);
+    let (four, cycles_four) = digest_of(4);
+    assert_eq!(one, four, "sharding must not change any vector's bits");
+    assert!(
+        cycles_four < cycles_one,
+        "4 shards must finish the same work in less simulated time \
+         ({cycles_four} vs {cycles_one} cycles)"
+    );
+}
+
+#[test]
+fn deadlines_shed_and_quotas_bind_under_pressure() {
+    let mut config = ServiceConfig::small(1);
+    config.batch_window = 1;
+    config.queue_depth = 16;
+    config.tenant_quota = Some(2);
+    let mut service = BulkService::new(config).expect("valid config");
+    service.create_vector("v", 4).expect("fits");
+    let t = TenantId(0);
+    let read = || LogicalOp::Read { src: "v".into() };
+
+    // Quota binds at 2 queued.
+    service.submit(t, read(), Some(0)).expect("first accepted");
+    service.submit(t, read(), Some(0)).expect("second accepted");
+    assert!(matches!(
+        service.submit(t, read(), Some(0)),
+        Err(ServeError::QuotaExceeded { .. })
+    ));
+    // One-per-tick service with 0-tick deadlines: the second expires.
+    service.drain();
+    let responses = service.take_responses();
+    assert_eq!(responses.len(), 3);
+    assert!(responses
+        .iter()
+        .any(|r| matches!(r.outcome, Err(ServeError::DeadlineExceeded { .. }))));
+    // Accounting drained: the tenant can submit again.
+    service.submit(t, read(), None).expect("quota released");
+    service.drain();
+    assert!(service.take_responses().pop().expect("response").is_ok());
+}
+
+#[test]
+fn rejected_submissions_still_get_responses() {
+    let mut service = BulkService::new(ServiceConfig::small(2)).expect("valid config");
+    service.create_vector("a", 8).expect("fits");
+    service.create_vector("short", 2).expect("fits");
+    let t = TenantId(0);
+    let submissions: Vec<Result<_, _>> = vec![
+        service.submit(t, LogicalOp::Read { src: "ghost".into() }, None),
+        service.submit(
+            t,
+            LogicalOp::And {
+                a: "a".into(),
+                b: "short".into(),
+                dst: "a".into(),
+            },
+            None,
+        ),
+        service.submit(
+            TenantId(99),
+            LogicalOp::Read { src: "a".into() },
+            None,
+        ),
+        service.submit(
+            t,
+            LogicalOp::Write {
+                dst: "a".into(),
+                words: vec![],
+            },
+            None,
+        ),
+    ];
+    assert!(submissions.iter().all(Result::is_err));
+    let responses = service.take_responses();
+    assert_eq!(responses.len(), 4, "every rejection responds");
+    assert!(responses.iter().all(|r| !r.is_ok()));
+    assert_eq!(service.stats().rejected_invalid, 4);
+    assert_eq!(service.stats().submitted, 4);
+}

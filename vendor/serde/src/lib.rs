@@ -110,6 +110,24 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn json_write(&self, out: &mut String) {
+        // Real serde encodes Result externally tagged: {"Ok":…}/{"Err":…}.
+        match self {
+            Ok(v) => {
+                out.push_str("{\"Ok\":");
+                v.json_write(out);
+                out.push('}');
+            }
+            Err(e) => {
+                out.push_str("{\"Err\":");
+                e.json_write(out);
+                out.push('}');
+            }
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn json_write(&self, out: &mut String) {
         match self {
