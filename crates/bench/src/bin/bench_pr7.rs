@@ -86,12 +86,15 @@ fn run_cell(shards: u32, batch_window: usize, tier: ServiceTier) -> Mode {
         shard_geometry: felim::arch::MemoryGeometry::tiny(),
         queue_depth: 64,
         batch_window,
+        tenant_batch_window: Vec::new(),
         tenants: 4,
         tenant_quota: None,
         max_retries: 3,
         retry_backoff_ticks: 4,
         tick_s: 1e-3,
         seed: SEED,
+        kernel_scratch_rows: 64,
+        read_cache: true,
     };
     let (vectors, events) = generate_trace(&trace_spec());
     let mut service = BulkService::new(config).expect("valid sweep config");

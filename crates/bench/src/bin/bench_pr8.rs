@@ -1,0 +1,530 @@
+//! PR 8 kernel-compiler baseline: fused expression kernels vs
+//! op-at-a-time request streams, plus the content-addressed read cache.
+//!
+//! This binary requires the `telemetry` feature and is the documented
+//! one-command producer of `results/BENCH_PR8.json`:
+//!
+//! ```text
+//! FELIM_THREADS=1 cargo run --release -p felim-bench --features telemetry --bin bench_pr8
+//! ```
+//!
+//! Three workloads, all over the same striped vector shapes:
+//!
+//! * **crc8** — a bit-sliced CRC-8 (poly 0x07) over eight message-bit
+//!   slices. The kernel strategy ships the whole 72-statement update as
+//!   one fused program: renames are free, every XOR lowers to four
+//!   native NANDs over slot-interleaved scratch rows (96 sweeps that
+//!   spread across subarrays), and the whole program is one batch. The
+//!   per-op strategy issues the same update as 72 logical requests
+//!   where every shift is a materialised copy and every XOR takes the
+//!   backend's serialised 4-NAND composition.
+//! * **predicate** — an iterative sticky-bitmap refresh whose previous
+//!   value is kept via a rename (kernel) or an explicit copy (per-op).
+//! * **read_cache** — a repeated-read campaign replayed with the digest
+//!   cache on and off: identical responses, fewer simulated cycles.
+//!
+//! The headline metric is **simulated** throughput (programs per
+//! simulated second; each virtual tick costs the slowest shard's
+//! subarray-parallel makespan). The sweep asserts the PR 8 acceptance
+//! floor — ≥1.3× fused-vs-per-op CRC-8 throughput at 4 shards — and the
+//! cache campaign must report a nonzero hit rate.
+
+use felim::arch::DriftSpec;
+use felim::serve::{BulkService, LogicalOp, ServiceConfig, ServiceTier, TenantId};
+use felim::telemetry;
+use felim_bench::{header, results_dir};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 0x9b8;
+const ROWS: u64 = 16;
+/// CRC-8/ATM generator polynomial, x^8 + x^2 + x + 1.
+const POLY: u8 = 0x07;
+/// Programs (full CRC updates / predicate refreshes) per sweep cell.
+const PROGRAMS: usize = 12;
+/// Scratch reservation: the CRC-8 plan peaks at 19 live slots × a
+/// 16-row stripe on the 1-shard cell (304 rows), and the 17 catalog
+/// vectors (272 rows) still fit under `data_rows − 384`.
+const SCRATCH_ROWS: u64 = 384;
+
+/// One sweep cell: a fixed number of programs through one strategy.
+#[derive(Debug, Serialize)]
+struct Mode {
+    mode: String,
+    workload: &'static str,
+    /// `kernel` (one fused request per program) or `per_op` (one
+    /// logical request per statement); `on`/`off` for the cache cells.
+    strategy: &'static str,
+    shards: u32,
+    tier: &'static str,
+    /// Completed requests (the gate's work-unit count).
+    samples: u64,
+    /// Whole programs those requests implemented.
+    programs: u64,
+    /// Host wall-clock for the cell, ms (gate bookkeeping only).
+    wall_ms: f64,
+    /// Simulated time the cell spanned, s.
+    sim_seconds: f64,
+    /// Programs per simulated second — the headline.
+    programs_per_sim_s: f64,
+    /// Row-level ops the kernels fused (0 for per-op cells).
+    fused_ops: u64,
+    cse_hits: u64,
+    /// Simulated-throughput speedup vs the per-op cell of the same
+    /// workload, shard count, and tier (1.0 on per-op cells).
+    speedup_vs_per_op: f64,
+}
+
+/// The repeated-read campaign's cache accounting.
+#[derive(Debug, Serialize)]
+struct CacheSummary {
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    hit_rate: f64,
+    sim_seconds_on: f64,
+    sim_seconds_off: f64,
+    /// Simulated-time speedup of cache-on over cache-off.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: &'static str,
+    seed: u64,
+    threads: usize,
+    rows: u64,
+    programs_per_cell: usize,
+    cache: CacheSummary,
+    /// Service telemetry counters over the whole sweep.
+    telemetry: Vec<(String, u64)>,
+    modes: Vec<Mode>,
+}
+
+fn config(shards: u32, tier: ServiceTier) -> ServiceConfig {
+    let mut c = ServiceConfig::small(shards);
+    c.tier = tier;
+    c.queue_depth = 256;
+    c.tenant_quota = Some(256);
+    c.batch_window = 8;
+    c.kernel_scratch_rows = SCRATCH_ROWS;
+    c.seed = SEED;
+    c
+}
+
+/// The bit-sliced CRC-8 update as one DSL program: for each message bit,
+/// fold it into the running remainder and shift. Shifts are renames —
+/// free in the fused plan, materialised copies in the per-op stream.
+fn crc8_program() -> String {
+    let mut lines = Vec::new();
+    for i in 0..8 {
+        lines.push(format!("fb = c7 ^ m{i}"));
+        for k in (1..8).rev() {
+            if (POLY >> k) & 1 == 1 {
+                lines.push(format!("c{k} = c{} ^ fb", k - 1));
+            } else {
+                lines.push(format!("c{k} = c{}", k - 1));
+            }
+        }
+        lines.push("c0 = fb".to_string());
+    }
+    lines.join("\n")
+}
+
+/// The same update as an op-at-a-time request stream. Copies are
+/// `x OR x → dst`; the shift walks top-down so every read still sees the
+/// pre-shift value.
+fn crc8_requests() -> Vec<LogicalOp> {
+    let copy = |src: String, dst: String| LogicalOp::Or {
+        a: src.clone(),
+        b: src,
+        dst,
+    };
+    let mut ops = Vec::new();
+    for i in 0..8 {
+        ops.push(LogicalOp::Xor {
+            a: "c7".into(),
+            b: format!("m{i}"),
+            dst: "fb".into(),
+        });
+        for k in (1..8).rev() {
+            if (POLY >> k) & 1 == 1 {
+                ops.push(LogicalOp::Xor {
+                    a: format!("c{}", k - 1),
+                    b: "fb".into(),
+                    dst: format!("c{k}"),
+                });
+            } else {
+                ops.push(copy(format!("c{}", k - 1), format!("c{k}")));
+            }
+        }
+        ops.push(copy("fb".into(), "c0".into()));
+    }
+    ops
+}
+
+/// Sticky-bitmap refresh: keep rows that newly match or already matched
+/// with the sticky mask, and report what changed. The kernel keeps
+/// `prev` as a rename; the per-op stream must copy it out first.
+const PREDICATE_PROGRAM: &str = "prev = flagged\n\
+     flagged = (price & in_stock) | (flagged & sticky)\n\
+     changed = prev ^ flagged";
+
+fn predicate_requests() -> Vec<LogicalOp> {
+    vec![
+        LogicalOp::Or {
+            a: "flagged".into(),
+            b: "flagged".into(),
+            dst: "prev".into(),
+        },
+        LogicalOp::And {
+            a: "price".into(),
+            b: "in_stock".into(),
+            dst: "t1".into(),
+        },
+        LogicalOp::And {
+            a: "flagged".into(),
+            b: "sticky".into(),
+            dst: "t2".into(),
+        },
+        LogicalOp::Or {
+            a: "t1".into(),
+            b: "t2".into(),
+            dst: "flagged".into(),
+        },
+        LogicalOp::Xor {
+            a: "prev".into(),
+            b: "flagged".into(),
+            dst: "changed".into(),
+        },
+    ]
+}
+
+/// A program workload: the fused DSL form and its op-at-a-time twin
+/// over one shared vector layout.
+struct Workload {
+    name: &'static str,
+    vectors: Vec<String>,
+    bindings: Vec<(String, String)>,
+    program: String,
+    per_op: Vec<LogicalOp>,
+}
+
+/// Builds a service, seeds the workload's vectors with per-name
+/// patterns, then runs `PROGRAMS` repetitions of one strategy and
+/// reports the cell.
+fn run_cell(w: &Workload, strategy: &'static str, shards: u32, tier: ServiceTier) -> Mode {
+    let (workload, vectors, bindings) = (w.name, &w.vectors, &w.bindings);
+    let (program, per_op) = (&w.program, &w.per_op);
+    let tier_label = tier.label();
+    let mut svc = BulkService::new(config(shards, tier)).expect("valid config");
+    let t = TenantId(0);
+    for (i, name) in vectors.iter().enumerate() {
+        svc.create_vector(name, ROWS).expect("vector fits");
+        svc.submit(
+            t,
+            LogicalOp::Write {
+                dst: name.clone(),
+                words: vec![felim::exec::derive_seed(SEED, i as u64)],
+            },
+            None,
+        )
+        .expect("seed write admitted");
+        svc.drain();
+    }
+    let seeded = svc.stats().completed;
+
+    let started = Instant::now();
+    let mut fused_ops = 0u64;
+    let mut cse_hits = 0u64;
+    for _ in 0..PROGRAMS {
+        if strategy == "kernel" {
+            svc.submit(
+                t,
+                LogicalOp::Kernel {
+                    program: program.to_owned(),
+                    bindings: bindings.to_vec(),
+                },
+                None,
+            )
+            .expect("kernel admitted");
+        } else {
+            for op in per_op {
+                svc.submit(t, op.clone(), None).expect("op admitted");
+            }
+        }
+        svc.drain();
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = svc.report();
+    assert_eq!(
+        report.stats.completed, report.stats.submitted,
+        "{workload}/{strategy}/s{shards}: every request must complete"
+    );
+    for r in svc.take_responses() {
+        if let Ok(felim::serve::ResponsePayload::Kernel {
+            fused_ops: f,
+            cse_hits: c,
+            ..
+        }) = r.outcome
+        {
+            fused_ops += f;
+            cse_hits += c;
+        }
+    }
+    Mode {
+        mode: format!("{workload}_{strategy}_s{shards}_{tier_label}"),
+        workload,
+        strategy,
+        shards,
+        tier: tier_label,
+        samples: report.stats.completed - seeded,
+        programs: PROGRAMS as u64,
+        wall_ms,
+        sim_seconds: report.sim_seconds,
+        programs_per_sim_s: PROGRAMS as f64 / report.sim_seconds,
+        fused_ops,
+        cse_hits,
+        speedup_vs_per_op: 1.0, // filled once the per-op twin is known
+    }
+}
+
+fn crc8_workload() -> Workload {
+    let mut vectors = Vec::new();
+    let mut bindings = Vec::new();
+    for i in 0..8 {
+        for prefix in ["c", "m"] {
+            let name = format!("{prefix}{i}");
+            vectors.push(name.clone());
+            bindings.push((name.clone(), name));
+        }
+    }
+    vectors.push("fb".to_string()); // per-op temp; unbound in the kernel
+    Workload {
+        name: "crc8",
+        vectors,
+        bindings,
+        program: crc8_program(),
+        per_op: crc8_requests(),
+    }
+}
+
+fn predicate_workload() -> Workload {
+    let names = ["price", "in_stock", "sticky", "flagged", "prev", "changed"];
+    let vectors: Vec<String> = names
+        .iter()
+        .map(|n| n.to_string())
+        .chain(["t1".to_string(), "t2".to_string()])
+        .collect();
+    let bindings = names.iter().map(|n| (n.to_string(), n.to_string())).collect();
+    Workload {
+        name: "predicate",
+        vectors,
+        bindings,
+        program: PREDICATE_PROGRAM.to_owned(),
+        per_op: predicate_requests(),
+    }
+}
+
+/// Repeated-read campaign: 4 vectors, 8 read rounds each, one
+/// mid-campaign write. Returns the end-of-run report's stats and the
+/// wall/sim time. Window 1 so repeats land in later batches than the
+/// reads that fill the cache.
+fn run_cache_cell(read_cache: bool) -> (Mode, felim::serve::ServiceReport) {
+    let mut cfg = config(2, ServiceTier::Baseline);
+    cfg.batch_window = 1;
+    cfg.read_cache = read_cache;
+    let mut svc = BulkService::new(cfg).expect("valid config");
+    let t = TenantId(0);
+    let names = ["q0", "q1", "q2", "q3"];
+    for (i, name) in names.iter().enumerate() {
+        svc.create_vector(name, ROWS).expect("fits");
+        svc.submit(
+            t,
+            LogicalOp::Write {
+                dst: (*name).into(),
+                words: vec![felim::exec::derive_seed(SEED, 100 + i as u64)],
+            },
+            None,
+        )
+        .expect("admitted");
+        svc.drain();
+    }
+    let seeded = svc.stats().completed;
+    let started = Instant::now();
+    for round in 0..8 {
+        if round == 4 {
+            svc.submit(
+                t,
+                LogicalOp::Write {
+                    dst: "q0".into(),
+                    words: vec![0xF00D],
+                },
+                None,
+            )
+            .expect("admitted");
+            svc.drain();
+        }
+        for name in names {
+            svc.submit(t, LogicalOp::Read { src: name.into() }, None)
+                .expect("admitted");
+            svc.drain();
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = svc.report();
+    let strategy = if read_cache { "on" } else { "off" };
+    let mode = Mode {
+        mode: format!("read_cache_{strategy}_s2_baseline"),
+        workload: "read_cache",
+        strategy,
+        shards: 2,
+        tier: "baseline",
+        samples: report.stats.completed - seeded,
+        programs: 8,
+        wall_ms,
+        sim_seconds: report.sim_seconds,
+        programs_per_sim_s: 8.0 / report.sim_seconds,
+        fused_ops: 0,
+        cse_hits: 0,
+        speedup_vs_per_op: 1.0,
+    };
+    (mode, report)
+}
+
+fn main() {
+    assert!(
+        telemetry::enabled(),
+        "bench_pr8 must be built with --features telemetry"
+    );
+    header(
+        "BENCH_PR8",
+        "kernel compiler: fused DSL programs vs op-at-a-time, and the read-digest cache",
+    );
+    telemetry::reset();
+
+    type TierFn = fn() -> ServiceTier;
+    let tiers: [(&str, TierFn); 2] = [
+        ("baseline", || ServiceTier::Baseline),
+        ("protected", || ServiceTier::Protected {
+            drift: DriftSpec::quiet(SEED),
+            scrub_period_s: 1.0,
+        }),
+    ];
+
+    let mut modes: Vec<Mode> = Vec::new();
+    let crc8 = crc8_workload();
+    for (_, tier) in &tiers {
+        for shards in [1u32, 2, 4] {
+            let mut pair: Vec<Mode> = ["per_op", "kernel"]
+                .into_iter()
+                .map(|strategy| run_cell(&crc8, strategy, shards, tier()))
+                .collect();
+            pair[1].speedup_vs_per_op =
+                pair[1].programs_per_sim_s / pair[0].programs_per_sim_s;
+            modes.append(&mut pair);
+        }
+    }
+    let predicate = predicate_workload();
+    for shards in [1u32, 2, 4] {
+        let mut pair: Vec<Mode> = ["per_op", "kernel"]
+            .into_iter()
+            .map(|strategy| run_cell(&predicate, strategy, shards, ServiceTier::Baseline))
+            .collect();
+        pair[1].speedup_vs_per_op = pair[1].programs_per_sim_s / pair[0].programs_per_sim_s;
+        modes.append(&mut pair);
+    }
+
+    let (mode_off, report_off) = run_cache_cell(false);
+    let (mode_on, report_on) = run_cache_cell(true);
+    let hits = report_on.stats.cache_hits;
+    let misses = report_on.stats.cache_misses;
+    let cache = CacheSummary {
+        hits,
+        misses,
+        invalidations: report_on.stats.cache_invalidations,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        sim_seconds_on: report_on.sim_seconds,
+        sim_seconds_off: report_off.sim_seconds,
+        speedup: report_off.sim_seconds / report_on.sim_seconds,
+    };
+    modes.push(mode_off);
+    modes.push(mode_on);
+
+    println!(
+        "  {:<28} {:>8} {:>8} {:>10} {:>14} {:>9}",
+        "mode", "requests", "programs", "sim_s", "prog/sim_s", "speedup"
+    );
+    for m in &modes {
+        println!(
+            "  {:<28} {:>8} {:>8} {:>10.3e} {:>14.1} {:>8.2}x",
+            m.mode, m.samples, m.programs, m.sim_seconds, m.programs_per_sim_s,
+            m.speedup_vs_per_op,
+        );
+    }
+
+    // The PR 8 acceptance floors, enforced on every regeneration.
+    for (tier_label, _) in &tiers {
+        let fused = modes
+            .iter()
+            .find(|m| m.mode == format!("crc8_kernel_s4_{tier_label}"))
+            .expect("sweep covers the cell");
+        assert!(
+            fused.speedup_vs_per_op > 1.3,
+            "{tier_label}: fused CRC-8 at 4 shards must beat per-op by >1.3×, got {:.2}×",
+            fused.speedup_vs_per_op
+        );
+        println!(
+            "  {tier_label:<10} crc8 s4: fused vs per-op {:.2}× (floor 1.3×)",
+            fused.speedup_vs_per_op
+        );
+    }
+    assert!(cache.hits > 0, "repeated-read campaign must hit the cache");
+    assert!(
+        cache.speedup > 1.0,
+        "cache hits must shrink simulated time, got {:.3}×",
+        cache.speedup
+    );
+    println!(
+        "  read cache: {:.0}% hit rate, {:.2}× simulated-time speedup",
+        cache.hit_rate * 100.0,
+        cache.speedup
+    );
+
+    let snapshot = telemetry::snapshot();
+    let counters: Vec<(String, u64)> = [
+        "serve.kernel.requests",
+        "serve.kernel.fused_ops",
+        "serve.kernel.cse_hits",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.invalidations",
+        "serve.submitted",
+        "serve.completed",
+        "arch.batch.ops",
+    ]
+    .into_iter()
+    .map(|name| (name.to_owned(), snapshot.counter(name).unwrap_or(0)))
+    .collect();
+    for (name, value) in &counters {
+        println!("  {name:<26} {value}");
+    }
+
+    let baseline = Baseline {
+        schema: "felim-bench-pr8/v1",
+        seed: SEED,
+        threads: felim::exec::thread_count(),
+        rows: ROWS,
+        programs_per_cell: PROGRAMS,
+        cache,
+        telemetry: counters,
+        modes,
+    };
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_PR8.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PR8.json");
+    println!("\nwrote {}", path.display());
+}

@@ -91,24 +91,16 @@ pub struct TransientOutcome {
 /// The stored-state margin used for [`TransientOutcome::final_states`].
 const STATE_MARGIN: f64 = 0.25;
 
-/// FNV-1a over a string — stable, dependency-free content hash.
-fn fnv1a(s: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Fingerprints the full netlist configuration. The `Debug` rendering
 /// covers every field recursively (floats print in shortest round-trip
 /// form, which is injective), so two configs collide only if they are
-/// field-for-field identical.
+/// field-for-field identical. Hashing uses the workspace-shared FNV-1a
+/// in [`felim_exec::hash`] — the same digest family the service layer
+/// keys its read cache on.
 fn netlist_fingerprint(cfg: &NetlistConfig) -> u64 {
     let mut repr = String::new();
     let _ = write!(repr, "{cfg:?}");
-    fnv1a(&repr)
+    felim_exec::hash::fnv1a_str(&repr)
 }
 
 /// The drive-pulse spec portion of the key: every voltage level, pulse

@@ -32,8 +32,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod hash;
 pub mod pool;
 
+pub use hash::{fnv1a_bytes, fnv1a_str, fnv1a_words};
 pub use pool::ExecPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};

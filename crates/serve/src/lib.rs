@@ -17,6 +17,15 @@
 //!   per-op dispatch and letting the subarray-parallel
 //!   [`schedule`](felim_arch::schedule::schedule) replay price each
 //!   batch as a makespan rather than a serial sum.
+//! * **Kernel fusion** ([`dsl`], [`plan`]) — a [`LogicalOp::Kernel`]
+//!   request carries a multi-statement expression program
+//!   (`d = (a & b) ^ ~c`) compiled server-side into one fused per-shard
+//!   schedule: common subexpressions deduplicate, `~` fuses into the
+//!   array's inverting gates, and temporaries live in reserved scratch
+//!   rows instead of round-tripping through the catalog. A
+//!   content-addressed read cache keyed on [`fnv1a_words`] digests
+//!   skips backend row reads for vectors unchanged since their last
+//!   read (`serve.cache.*` telemetry).
 //! * **Concurrency with determinism** ([`service`]) — shards execute on
 //!   a persistent [`ExecPool`](felim_exec::ExecPool); results reduce in
 //!   shard-index order and responses in request order, so identical
@@ -58,12 +67,16 @@
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod dsl;
+pub mod plan;
 pub mod request;
 pub mod service;
 pub mod shard;
 pub mod trace;
 
 pub use catalog::{Catalog, VectorPlacement};
+pub use dsl::{KernelParseError, Program};
+pub use plan::{KernelPlan, KernelPlanError};
 pub use request::{fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId};
 pub use service::{BulkService, LatencySummary, ServiceConfig, ServiceReport, ServiceTier};
 pub use shard::Technology;
@@ -148,6 +161,33 @@ pub enum ServeError {
         /// Tenants configured.
         tenants: u32,
     },
+    /// A kernel request's program text failed to parse.
+    KernelParse {
+        /// Byte offset of the failure in the program text.
+        position: usize,
+        /// What the parser expected.
+        message: String,
+    },
+    /// A kernel parsed but could not be planned against its bindings
+    /// (unbound name, duplicate binding, or no outputs).
+    KernelPlan {
+        /// The planner's diagnosis.
+        message: String,
+    },
+    /// A kernel's temporaries need more reserved scratch rows per shard
+    /// than the service reserves.
+    ScratchExhausted {
+        /// Scratch rows the plan needs on the widest stripe.
+        needed_rows: u64,
+        /// Rows the configuration reserves per shard.
+        budget_rows: u64,
+    },
+    /// The service configuration is self-inconsistent and the service
+    /// was not built.
+    InvalidConfig {
+        /// What is wrong with it.
+        message: String,
+    },
     /// An [`ArchError::Uncorrectable`] escalation survived every
     /// jittered retry.
     RetriesExhausted {
@@ -203,6 +243,20 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::UnknownTenant { tenant, tenants } => {
                 write!(f, "{tenant} outside the configured {tenants} tenants")
+            }
+            ServeError::KernelParse { position, message } => {
+                write!(f, "kernel parse error at byte {position}: {message}")
+            }
+            ServeError::KernelPlan { message } => write!(f, "kernel plan error: {message}"),
+            ServeError::ScratchExhausted {
+                needed_rows,
+                budget_rows,
+            } => write!(
+                f,
+                "kernel needs {needed_rows} scratch rows per shard, budget is {budget_rows}"
+            ),
+            ServeError::InvalidConfig { message } => {
+                write!(f, "invalid service configuration: {message}")
             }
             ServeError::RetriesExhausted { attempts, source } => {
                 write!(f, "uncorrectable after {attempts} attempts: {source}")
@@ -261,6 +315,20 @@ mod tests {
             ServeError::UnknownTenant {
                 tenant: TenantId(9),
                 tenants: 4,
+            },
+            ServeError::KernelParse {
+                position: 7,
+                message: "expected `)`".into(),
+            },
+            ServeError::KernelPlan {
+                message: "kernel reads unbound name `x`".into(),
+            },
+            ServeError::ScratchExhausted {
+                needed_rows: 96,
+                budget_rows: 64,
+            },
+            ServeError::InvalidConfig {
+                message: "need at least one shard".into(),
             },
             ServeError::RetriesExhausted {
                 attempts: 4,

@@ -124,6 +124,22 @@ pub enum LogicalOp {
         /// Source vector name.
         src: String,
     },
+    /// A multi-statement kernel: an expression-DSL program compiled
+    /// server-side into one fused per-shard schedule (see
+    /// [`dsl`](crate::dsl) for the grammar and [`plan`](crate::plan) for
+    /// the compiler). `bindings` maps the program's free names to
+    /// catalog vector names; every bound vector must share one row
+    /// count. Temporaries never touch the catalog — they live in
+    /// reserved scratch rows for the duration of the batch.
+    Kernel {
+        /// DSL program text (statements `name = expr`, separated by
+        /// newlines or `;`).
+        program: String,
+        /// `(dsl_name, vector_name)` pairs binding program names to
+        /// catalog vectors. Names read by the program must be bound;
+        /// bound names assigned by the program are written back.
+        bindings: Vec<(String, String)>,
+    },
 }
 
 impl LogicalOp {
@@ -140,6 +156,7 @@ impl LogicalOp {
             LogicalOp::Copy { .. } => "copy",
             LogicalOp::Write { .. } => "write",
             LogicalOp::Read { .. } => "read",
+            LogicalOp::Kernel { .. } => "kernel",
         }
     }
 
@@ -155,6 +172,9 @@ impl LogicalOp {
             | LogicalOp::Xnor { a, b, dst } => vec![a, b, dst],
             LogicalOp::Write { dst, .. } => vec![dst],
             LogicalOp::Read { src } => vec![src],
+            LogicalOp::Kernel { bindings, .. } => {
+                bindings.iter().map(|(_, v)| v.as_str()).collect()
+            }
         }
     }
 }
@@ -171,6 +191,16 @@ pub enum ResponsePayload {
         rows: u64,
         /// FNV-1a 64-bit digest over all words, row-major.
         digest: u64,
+    },
+    /// A `Kernel` completed; carries the compiler's fusion counters so
+    /// clients (and the bench harness) can see what the plan saved.
+    Kernel {
+        /// Row-level ops actually scheduled across all shards.
+        fused_ops: u64,
+        /// DAG nodes eliminated by common-subexpression reuse.
+        cse_hits: u64,
+        /// Scratch row slots the plan needed per shard stripe.
+        scratch_slots: u64,
     },
 }
 
@@ -207,16 +237,11 @@ impl ServeResponse {
 }
 
 /// FNV-1a 64-bit over a word slice (row-major vector digests).
-pub fn fnv1a_words(words: &[u64]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for w in words {
-        for byte in w.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    hash
-}
+///
+/// Re-exported from the workspace-shared implementation in
+/// [`felim_exec::hash`] so the service, the transient memoizer, and the
+/// read cache all key on the exact same digest.
+pub use felim_exec::hash::fnv1a_words;
 
 #[cfg(test)]
 mod tests {
@@ -236,6 +261,16 @@ mod tests {
             words: vec![1],
         };
         assert_eq!(w.vectors(), vec!["x"]);
+        let k = LogicalOp::Kernel {
+            program: "d = a & b".into(),
+            bindings: vec![
+                ("a".into(), "va".into()),
+                ("b".into(), "vb".into()),
+                ("d".into(), "vd".into()),
+            ],
+        };
+        assert_eq!(k.mnemonic(), "kernel");
+        assert_eq!(k.vectors(), vec!["va", "vb", "vd"]);
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! — produces exactly one [`ServeResponse`].
 
 use crate::catalog::Catalog;
+use crate::dsl::Program;
+use crate::plan::KernelPlan;
 use crate::request::{
     fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId,
 };
@@ -50,7 +52,7 @@ use felim_arch::ArchError;
 use felim_exec::{derive_seed, ExecPool};
 use felim_telemetry as telemetry;
 use serde::Serialize;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// Reliability tier the shard pool runs at.
@@ -95,6 +97,13 @@ pub struct ServiceConfig {
     pub queue_depth: usize,
     /// Requests coalesced per tick (the batching window).
     pub batch_window: usize,
+    /// Per-tenant batch-window overrides as `(tenant, window)` pairs,
+    /// for latency-sensitive tenants opting out of coalescing (the
+    /// BENCH_PR7 w1/w8 tradeoff). A tick's effective window is the
+    /// minimum over the tenants it includes, so a window-1 tenant's
+    /// requests never share a tick. Validated when the service is
+    /// built: tenants must exist, windows must be non-zero.
+    pub tenant_batch_window: Vec<(u32, usize)>,
     /// Number of tenant accounts.
     pub tenants: u32,
     /// Per-tenant cap on queued requests; `None` derives the fair share
@@ -110,6 +119,14 @@ pub struct ServiceConfig {
     pub tick_s: f64,
     /// Seed for every derived stream (retry jitter).
     pub seed: u64,
+    /// Local rows per shard reserved at the top of the data region for
+    /// kernel temporaries (scratch slots stripe through them). Catalog
+    /// capacity shrinks by the same amount.
+    pub kernel_scratch_rows: u64,
+    /// Serve `Read` requests from the content-addressed digest cache
+    /// when the vector is unchanged since its last read (invalidated on
+    /// any write to it).
+    pub read_cache: bool,
 }
 
 impl ServiceConfig {
@@ -123,12 +140,15 @@ impl ServiceConfig {
             shard_geometry: MemoryGeometry::tiny(),
             queue_depth: 32,
             batch_window: 8,
+            tenant_batch_window: Vec::new(),
             tenants: 4,
             tenant_quota: None,
             max_retries: 3,
             retry_backoff_ticks: 4,
             tick_s: 1e-3,
             seed: 0x5eed,
+            kernel_scratch_rows: 64,
+            read_cache: true,
         }
     }
 
@@ -136,6 +156,15 @@ impl ServiceConfig {
     pub fn quota(&self) -> usize {
         self.tenant_quota
             .unwrap_or_else(|| (self.queue_depth / self.tenants.max(1) as usize).max(1))
+    }
+
+    /// The batch window governing `tenant`'s requests (its override, or
+    /// the global `batch_window`).
+    pub fn window_for(&self, tenant: TenantId) -> usize {
+        self.tenant_batch_window
+            .iter()
+            .find(|&&(t, _)| t == tenant.0)
+            .map_or(self.batch_window, |&(_, w)| w)
     }
 }
 
@@ -150,6 +179,14 @@ struct PendingRequest {
     attempts: u32,
     not_before: u64,
     involved: Vec<u32>,
+    /// Compiled schedule of a `Kernel` op (built once at admission).
+    plan: Option<Arc<KernelPlan>>,
+    /// A `Read` answered from the digest cache: `(rows, digest)` — the
+    /// request then dispatches zero row-ops.
+    cached_digest: Option<(u64, u64)>,
+    /// An executed `Read` may populate the cache at settlement (false
+    /// when a later request in the same batch overwrites the vector).
+    cache_fill: bool,
 }
 
 /// Running totals over one shard's dispatches.
@@ -188,6 +225,14 @@ pub struct ServiceStats {
     pub batches: u64,
     /// Maintenance (scrub/drift) faults recorded, not escalated.
     pub maintenance_errors: u64,
+    /// Kernel requests completed.
+    pub kernels: u64,
+    /// `Read` requests answered from the digest cache (zero row-ops).
+    pub cache_hits: u64,
+    /// `Read` requests that had to touch the backend.
+    pub cache_misses: u64,
+    /// Cache entries dropped because their vector was written.
+    pub cache_invalidations: u64,
 }
 
 /// Latency distribution over completed requests, in simulated cycles.
@@ -274,6 +319,12 @@ pub struct BulkService {
     sim_cycles: u64,
     energy_nj: f64,
     next_id: u64,
+    /// First local row of the per-shard kernel scratch region (the
+    /// catalog allocates strictly below it).
+    scratch_base: u64,
+    /// Content-addressed read cache: vector name → `(rows, digest)`,
+    /// valid while the vector is unwritten since the digest was taken.
+    read_cache: HashMap<String, (u64, u64)>,
 }
 
 impl std::fmt::Debug for BulkService {
@@ -292,12 +343,40 @@ impl BulkService {
     ///
     /// # Errors
     ///
-    /// Currently infallible for valid geometries; the `Result` reserves
-    /// room for config validation to grow.
+    /// [`ServeError::InvalidConfig`] for a self-inconsistent
+    /// configuration: zero shards, window, or queue; a per-tenant
+    /// window override naming an unknown tenant or a zero window; or a
+    /// scratch reservation that swallows the whole data region.
     pub fn new(config: ServiceConfig) -> Result<Self, ServeError> {
-        assert!(config.shards > 0, "need at least one shard");
-        assert!(config.batch_window > 0, "need a non-empty batch window");
-        assert!(config.queue_depth > 0, "need a non-empty queue");
+        let invalid = |message: &str| {
+            Err(ServeError::InvalidConfig {
+                message: message.to_owned(),
+            })
+        };
+        if config.shards == 0 {
+            return invalid("need at least one shard");
+        }
+        if config.batch_window == 0 {
+            return invalid("need a non-empty batch window");
+        }
+        if config.queue_depth == 0 {
+            return invalid("need a non-empty queue");
+        }
+        for &(tenant, window) in &config.tenant_batch_window {
+            if tenant >= config.tenants {
+                return Err(ServeError::InvalidConfig {
+                    message: format!(
+                        "batch-window override for tenant#{tenant} outside the configured {} tenants",
+                        config.tenants
+                    ),
+                });
+            }
+            if window == 0 {
+                return Err(ServeError::InvalidConfig {
+                    message: format!("batch-window override for tenant#{tenant} must be non-zero"),
+                });
+            }
+        }
         let tier_config = match &config.tier {
             ServiceTier::Baseline => None,
             ServiceTier::Protected {
@@ -319,8 +398,19 @@ impl BulkService {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .data_rows();
+        if config.kernel_scratch_rows >= data_rows {
+            return Err(ServeError::InvalidConfig {
+                message: format!(
+                    "kernel_scratch_rows {} swallows the whole {data_rows}-row data region",
+                    config.kernel_scratch_rows
+                ),
+            });
+        }
+        // Kernel scratch sits at the top of the data region; the
+        // catalog allocates strictly below it.
+        let scratch_base = data_rows - config.kernel_scratch_rows;
         let map = ShardMap::new(config.shards, data_rows).expect("non-zero shards and rows");
-        let catalog = Catalog::new(config.shards, data_rows);
+        let catalog = Catalog::new(config.shards, scratch_base);
         telemetry::gauge("serve.shards").set(f64::from(config.shards));
         Ok(Self {
             catalog,
@@ -339,6 +429,8 @@ impl BulkService {
             sim_cycles: 0,
             energy_nj: 0.0,
             next_id: 0,
+            scratch_base,
+            read_cache: HashMap::new(),
             config,
         })
     }
@@ -411,7 +503,7 @@ impl BulkService {
         telemetry::counter("serve.submitted").inc();
 
         match self.admit(tenant, &op) {
-            Ok(involved) => {
+            Ok((involved, plan)) => {
                 for &s in &involved {
                     let depth = &mut self.queued_per_shard[s as usize];
                     *depth += 1;
@@ -429,6 +521,9 @@ impl BulkService {
                     attempts: 0,
                     not_before: self.now,
                     involved,
+                    plan,
+                    cached_digest: None,
+                    cache_fill: false,
                 });
                 Ok(id)
             }
@@ -462,8 +557,14 @@ impl BulkService {
         }
     }
 
-    /// Validates a submission and returns the shards it will occupy.
-    fn admit(&self, tenant: TenantId, op: &LogicalOp) -> Result<Vec<u32>, ServeError> {
+    /// Validates a submission and returns the shards it will occupy,
+    /// plus the compiled plan for kernel requests.
+    #[allow(clippy::type_complexity)]
+    fn admit(
+        &self,
+        tenant: TenantId,
+        op: &LogicalOp,
+    ) -> Result<(Vec<u32>, Option<Arc<KernelPlan>>), ServeError> {
         if tenant.0 >= self.config.tenants {
             return Err(ServeError::UnknownTenant {
                 tenant,
@@ -475,6 +576,24 @@ impl BulkService {
                 return Err(ServeError::EmptyPattern);
             }
         }
+        // Kernels parse and plan at admission, before any queue state
+        // changes: a malformed program is rejected atomically, and the
+        // compiled plan rides with the request so dispatch just stamps
+        // it out per shard.
+        let plan = if let LogicalOp::Kernel { program, bindings } = op {
+            let parsed = Program::parse(program).map_err(|e| ServeError::KernelParse {
+                position: e.position,
+                message: e.message,
+            })?;
+            let plan = KernelPlan::compile(&parsed, bindings).map_err(|e| {
+                ServeError::KernelPlan {
+                    message: e.to_string(),
+                }
+            })?;
+            Some(Arc::new(plan))
+        } else {
+            None
+        };
         let names = op.vectors();
         let mut rows = None;
         for name in &names {
@@ -493,6 +612,15 @@ impl BulkService {
             }
         }
         let rows = rows.expect("every op names at least one vector");
+        if let Some(plan) = &plan {
+            let needed = plan.scratch_rows_needed(rows, self.config.shards);
+            if needed > self.config.kernel_scratch_rows {
+                return Err(ServeError::ScratchExhausted {
+                    needed_rows: needed,
+                    budget_rows: self.config.kernel_scratch_rows,
+                });
+            }
+        }
         let placement = self.catalog.get(names[0])?;
         let involved: Vec<u32> = (0..self.config.shards)
             .filter(|&s| placement.rows_on_shard(ShardId(s), self.config.shards) > 0)
@@ -513,7 +641,7 @@ impl BulkService {
                 });
             }
         }
-        Ok(involved)
+        Ok((involved, plan))
     }
 
     /// Advances one virtual tick: promote due retries, shed expired
@@ -522,13 +650,46 @@ impl BulkService {
     /// Returns the number of requests dispatched this tick.
     pub fn step(&mut self) -> usize {
         self.promote_due_retries();
-        let batch = self.collect_batch();
+        let mut batch = self.collect_batch();
         if batch.is_empty() {
             self.now += 1;
             return 0;
         }
         self.stats.batches += 1;
         telemetry::counter("serve.batches").inc();
+
+        // Cache maintenance runs in batch order *before* decomposition:
+        // a write earlier in the batch invalidates the digest a later
+        // read would otherwise hit, and a read followed by a write in
+        // the same batch must not populate the cache with the stale
+        // digest (`last_write` tracks that).
+        if self.config.read_cache {
+            let mut last_write: HashMap<String, usize> = HashMap::new();
+            for (i, req) in batch.iter().enumerate() {
+                for v in Self::written_vectors(req) {
+                    last_write.insert(v.to_owned(), i);
+                }
+            }
+            for (i, req) in batch.iter_mut().enumerate() {
+                for v in Self::written_vectors(req) {
+                    if self.read_cache.remove(v).is_some() {
+                        self.stats.cache_invalidations += 1;
+                        telemetry::counter("serve.cache.invalidations").inc();
+                    }
+                }
+                if let LogicalOp::Read { src } = &req.op {
+                    if let Some(&entry) = self.read_cache.get(src) {
+                        req.cached_digest = Some(entry);
+                        self.stats.cache_hits += 1;
+                        telemetry::counter("serve.cache.hits").inc();
+                    } else {
+                        req.cache_fill = last_write.get(src).is_none_or(|&j| j < i);
+                        self.stats.cache_misses += 1;
+                        telemetry::counter("serve.cache.misses").inc();
+                    }
+                }
+            }
+        }
 
         // Decompose each request into per-shard row-op runs.
         let shard_count = self.config.shards as usize;
@@ -538,7 +699,7 @@ impl BulkService {
             let mut req_spans = Vec::with_capacity(shard_count);
             for (s, ops) in shard_ops.iter_mut().enumerate() {
                 let start = ops.len();
-                self.decompose_for_shard(&req.op, s as u32, ops);
+                self.decompose_for_shard(req, s as u32, ops);
                 req_spans.push((start, ops.len() - start));
             }
             spans.push(req_spans);
@@ -698,12 +859,16 @@ impl BulkService {
 
     /// Pops up to `batch_window` requests, shedding any whose deadline
     /// already passed (they respond with `DeadlineExceeded`).
+    ///
+    /// The effective window tightens to the minimum of the windows of
+    /// the tenants already in the batch: once a window-1 tenant's
+    /// request is taken, the batch closes, and such a request never
+    /// joins a batch that already has members — latency-sensitive
+    /// tenants opt out of coalescing without stalling anyone else.
     fn collect_batch(&mut self) -> Vec<PendingRequest> {
-        let mut batch = Vec::with_capacity(self.config.batch_window);
-        while batch.len() < self.config.batch_window {
-            let Some(req) = self.pending.pop_front() else {
-                break;
-            };
+        let mut window = self.config.batch_window;
+        let mut batch = Vec::with_capacity(window);
+        while let Some(req) = self.pending.pop_front() {
             if let Some(deadline) = req.deadline {
                 if deadline < self.now {
                     self.stats.shed_deadline += 1;
@@ -725,13 +890,41 @@ impl BulkService {
                     continue;
                 }
             }
+            let proposed = window.min(self.config.window_for(req.tenant));
+            if batch.len() >= proposed {
+                self.pending.push_front(req);
+                break;
+            }
+            window = proposed;
             batch.push(req);
         }
         batch
     }
 
-    /// Appends the per-shard row-ops realising `op` on shard `s`.
-    fn decompose_for_shard(&self, op: &LogicalOp, s: u32, out: &mut Vec<RowOp>) {
+    /// Catalog vectors `req` writes (cache-invalidation set).
+    fn written_vectors(req: &PendingRequest) -> Vec<&str> {
+        match &req.op {
+            LogicalOp::Not { dst, .. }
+            | LogicalOp::Copy { dst, .. }
+            | LogicalOp::And { dst, .. }
+            | LogicalOp::Or { dst, .. }
+            | LogicalOp::Xor { dst, .. }
+            | LogicalOp::Nand { dst, .. }
+            | LogicalOp::Nor { dst, .. }
+            | LogicalOp::Xnor { dst, .. }
+            | LogicalOp::Write { dst, .. } => vec![dst.as_str()],
+            LogicalOp::Read { .. } => Vec::new(),
+            LogicalOp::Kernel { .. } => req
+                .plan
+                .as_ref()
+                .expect("kernels carry their plan")
+                .output_names()
+                .collect(),
+        }
+    }
+
+    /// Appends the per-shard row-ops realising `req` on shard `s`.
+    fn decompose_for_shard(&self, req: &PendingRequest, s: u32, out: &mut Vec<RowOp>) {
         let shards = self.config.shards;
         let get = |name: &str| {
             self.catalog
@@ -739,14 +932,14 @@ impl BulkService {
                 .expect("validated at admission")
                 .clone()
         };
-        match op {
+        match &req.op {
             LogicalOp::Not { src, dst } | LogicalOp::Copy { src, dst } => {
                 let (ps, pd) = (get(src), get(dst));
                 let n = ps.rows_on_shard(ShardId(s), shards);
                 for k in 0..n {
                     let a = RowId(ps.shard_base[s as usize] + k);
                     let d = RowId(pd.shard_base[s as usize] + k);
-                    out.push(if matches!(op, LogicalOp::Not { .. }) {
+                    out.push(if matches!(req.op, LogicalOp::Not { .. }) {
                         RowOp::Not { src: a, dst: d }
                     } else {
                         RowOp::Copy { src: a, dst: d }
@@ -765,7 +958,7 @@ impl BulkService {
                     let ra = RowId(pa.shard_base[s as usize] + k);
                     let rb = RowId(pb.shard_base[s as usize] + k);
                     let rd = RowId(pd.shard_base[s as usize] + k);
-                    out.push(match op {
+                    out.push(match req.op {
                         LogicalOp::And { .. } => RowOp::And { a: ra, b: rb, dst: rd },
                         LogicalOp::Or { .. } => RowOp::Or { a: ra, b: rb, dst: rd },
                         LogicalOp::Xor { .. } => RowOp::Xor { a: ra, b: rb, dst: rd },
@@ -791,6 +984,11 @@ impl BulkService {
                 }
             }
             LogicalOp::Read { src } => {
+                // A cache-hit read dispatches zero row-ops: the digest
+                // is served straight from the cache at settlement.
+                if req.cached_digest.is_some() {
+                    return;
+                }
                 let ps = get(src);
                 let n = ps.rows_on_shard(ShardId(s), shards);
                 for k in 0..n {
@@ -798,6 +996,19 @@ impl BulkService {
                         row: RowId(ps.shard_base[s as usize] + k),
                     });
                 }
+            }
+            LogicalOp::Kernel { .. } => {
+                let plan = req.plan.as_ref().expect("kernels carry their plan");
+                let bases: Vec<u64> = plan
+                    .vector_names()
+                    .map(|v| get(v).shard_base[s as usize])
+                    .collect();
+                let rows = plan
+                    .vector_names()
+                    .next()
+                    .map(|v| get(v).rows)
+                    .expect("plans touch at least one vector");
+                plan.emit_for_shard(s, shards, rows, &bases, self.scratch_base, out);
             }
         }
     }
@@ -823,30 +1034,63 @@ impl BulkService {
 
         match first_error {
             None => {
-                let payload = if let LogicalOp::Read { src } = &req.op {
-                    let placement = self
-                        .catalog
-                        .get(src)
-                        .expect("validated at admission")
-                        .clone();
-                    let shards = self.config.shards;
-                    let mut words = Vec::new();
-                    for i in 0..placement.rows {
-                        let (shard, _) = placement.locate(i, shards);
-                        let s = shard.0 as usize;
-                        let k = (i / u64::from(shards)) as usize;
-                        let (start, _) = spans[s];
-                        match &outcomes[s].outputs[start + k] {
-                            Ok(RowOpOutput::Data(row)) => words.extend_from_slice(row),
-                            other => unreachable!("read op yielded {other:?}"),
+                let payload = match (&req.op, req.cached_digest) {
+                    (LogicalOp::Read { .. }, Some((rows, digest))) => {
+                        // Served from the digest cache: no row was read.
+                        ResponsePayload::Digest { rows, digest }
+                    }
+                    (LogicalOp::Read { src }, None) => {
+                        let placement = self
+                            .catalog
+                            .get(src)
+                            .expect("validated at admission")
+                            .clone();
+                        let shards = self.config.shards;
+                        let mut words = Vec::new();
+                        for i in 0..placement.rows {
+                            let (shard, _) = placement.locate(i, shards);
+                            let s = shard.0 as usize;
+                            let k = (i / u64::from(shards)) as usize;
+                            let (start, _) = spans[s];
+                            match &outcomes[s].outputs[start + k] {
+                                Ok(RowOpOutput::Data(row)) => words.extend_from_slice(row),
+                                other => unreachable!("read op yielded {other:?}"),
+                            }
+                        }
+                        let digest = fnv1a_words(&words);
+                        if self.config.read_cache && req.cache_fill {
+                            self.read_cache
+                                .insert(src.clone(), (placement.rows, digest));
+                        }
+                        ResponsePayload::Digest {
+                            rows: placement.rows,
+                            digest,
                         }
                     }
-                    ResponsePayload::Digest {
-                        rows: placement.rows,
-                        digest: fnv1a_words(&words),
+                    (LogicalOp::Kernel { .. }, _) => {
+                        let plan = req.plan.as_ref().expect("kernels carry their plan");
+                        let rows = plan
+                            .vector_names()
+                            .next()
+                            .map(|v| {
+                                self.catalog
+                                    .get(v)
+                                    .expect("validated at admission")
+                                    .rows
+                            })
+                            .expect("plans touch at least one vector");
+                        let fused_ops = plan.vector_ops() * rows;
+                        self.stats.kernels += 1;
+                        telemetry::counter("serve.kernel.requests").inc();
+                        telemetry::counter("serve.kernel.fused_ops").add(fused_ops);
+                        telemetry::counter("serve.kernel.cse_hits").add(plan.cse_hits);
+                        ResponsePayload::Kernel {
+                            fused_ops,
+                            cse_hits: plan.cse_hits,
+                            scratch_slots: u64::from(plan.scratch_slots),
+                        }
                     }
-                } else {
-                    ResponsePayload::Done
+                    _ => ResponsePayload::Done,
                 };
                 self.stats.completed += 1;
                 telemetry::counter("serve.completed").inc();
@@ -1185,6 +1429,234 @@ mod tests {
         assert!(report.energy_mj > 0.0);
         assert_eq!(report.per_shard.len(), 2);
         serde_json::to_string(&report).unwrap();
+    }
+
+    #[test]
+    fn kernel_computes_fused_program_and_reports_counters() {
+        let mut svc = setup(2);
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![0b1100]);
+        write(&mut svc, t, "b", vec![0b1010]);
+        svc.submit(
+            t,
+            LogicalOp::Kernel {
+                program: "t = a & b\nd = t ^ ~b".into(),
+                bindings: vec![
+                    ("a".into(), "a".into()),
+                    ("b".into(), "b".into()),
+                    ("d".into(), "d".into()),
+                ],
+            },
+            None,
+        )
+        .unwrap();
+        svc.drain();
+        let responses = svc.take_responses();
+        match &responses[2].outcome {
+            Ok(ResponsePayload::Kernel {
+                fused_ops,
+                scratch_slots,
+                ..
+            }) => {
+                // 6 gates (AND, NOT, and the XOR's four-NAND network)
+                // × 8 rows, fused: every intermediate feeds the next
+                // gate without a catalog round-trip, and d
+                // direct-writes the network's final NAND.
+                assert_eq!(*fused_ops, 48);
+                assert!(*scratch_slots <= 3);
+            }
+            other => panic!("expected kernel payload, got {other:?}"),
+        }
+        assert_eq!(svc.stats().kernels, 1);
+        let want = (0b1100u64 & 0b1010) ^ !0b1010u64;
+        let rows = svc.read_vector("d").unwrap();
+        assert!(rows.iter().all(|r| r.iter().all(|&w| w == want)));
+    }
+
+    #[test]
+    fn kernel_rejections_are_typed() {
+        let mut svc = setup(1);
+        let t = TenantId(0);
+        let kernel = |program: &str, bindings: Vec<(&str, &str)>| LogicalOp::Kernel {
+            program: program.into(),
+            bindings: bindings
+                .into_iter()
+                .map(|(d, v)| (d.to_owned(), v.to_owned()))
+                .collect(),
+        };
+        assert!(matches!(
+            svc.submit(t, kernel("d = (a", vec![("a", "a"), ("d", "d")]), None),
+            Err(ServeError::KernelParse { .. })
+        ));
+        assert!(matches!(
+            svc.submit(t, kernel("d = ghost", vec![("d", "d")]), None),
+            Err(ServeError::KernelPlan { .. })
+        ));
+        assert!(matches!(
+            svc.submit(t, kernel("d = a", vec![("a", "nope"), ("d", "d")]), None),
+            Err(ServeError::UnknownVector { .. })
+        ));
+        // The XOR network peaks at two live scratch slots; 8-row
+        // vectors on one shard then need 16 scratch rows — more than a
+        // 4-row budget.
+        let mut cfg = ServiceConfig::small(1);
+        cfg.kernel_scratch_rows = 4;
+        let mut tight = BulkService::new(cfg).unwrap();
+        tight.create_vector("a", 8).unwrap();
+        tight.create_vector("b", 8).unwrap();
+        tight.create_vector("d", 8).unwrap();
+        tight.create_vector("e", 8).unwrap();
+        assert!(matches!(
+            tight.submit(
+                t,
+                kernel(
+                    "t = a ^ b\nd = t & a\ne = t | b",
+                    vec![("a", "a"), ("b", "b"), ("d", "d"), ("e", "e")],
+                ),
+                None
+            ),
+            Err(ServeError::ScratchExhausted {
+                needed_rows: 16,
+                budget_rows: 4,
+            })
+        ));
+    }
+
+    #[test]
+    fn read_cache_serves_repeats_and_invalidates_on_write() {
+        let mut svc = setup(2);
+        let t = TenantId(0);
+        let read = || LogicalOp::Read { src: "a".into() };
+        write(&mut svc, t, "a", vec![5, 6]);
+        for _ in 0..3 {
+            svc.submit(t, read(), None).unwrap();
+            svc.drain();
+        }
+        // First read misses and fills; the next two hit.
+        assert_eq!(svc.stats().cache_hits, 2);
+        assert_eq!(svc.stats().cache_misses, 1);
+        write(&mut svc, t, "a", vec![7]);
+        svc.submit(t, read(), None).unwrap();
+        svc.drain();
+        assert_eq!(svc.stats().cache_invalidations, 1);
+        assert_eq!(svc.stats().cache_misses, 2);
+        // Every response carries the digest of the vector as it was at
+        // that point — cached or not.
+        let digests: Vec<u64> = svc
+            .take_responses()
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                Ok(ResponsePayload::Digest { digest, .. }) => Some(*digest),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(digests.len(), 4);
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+        assert_ne!(digests[2], digests[3], "write must invalidate");
+    }
+
+    #[test]
+    fn cache_respects_same_batch_write_ordering() {
+        // Read then write coalesced into ONE batch: the read must not
+        // populate the cache with the pre-write digest.
+        let mut svc = setup(1);
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![1]);
+        svc.drain();
+        svc.submit(t, LogicalOp::Read { src: "a".into() }, None)
+            .unwrap();
+        svc.submit(
+            t,
+            LogicalOp::Write {
+                dst: "a".into(),
+                words: vec![2],
+            },
+            None,
+        )
+        .unwrap();
+        svc.drain(); // both in the same window-8 batch
+        svc.submit(t, LogicalOp::Read { src: "a".into() }, None)
+            .unwrap();
+        svc.drain();
+        // The trailing read must miss (no stale fill) and see the new
+        // contents.
+        assert_eq!(svc.stats().cache_hits, 0);
+        assert_eq!(svc.stats().cache_misses, 2);
+        let responses = svc.take_responses();
+        let digest = |i: usize| match &responses[i].outcome {
+            Ok(ResponsePayload::Digest { digest, .. }) => *digest,
+            other => panic!("expected digest, got {other:?}"),
+        };
+        assert_ne!(digest(1), digest(3));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.read_cache = false;
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("a", 4).unwrap();
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![9]);
+        for _ in 0..2 {
+            svc.submit(t, LogicalOp::Read { src: "a".into() }, None)
+                .unwrap();
+            svc.drain();
+        }
+        assert_eq!(svc.stats().cache_hits, 0);
+        assert_eq!(svc.stats().cache_misses, 0, "accounting off while disabled");
+        assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn per_tenant_window_override_prevents_coalescing() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.tenant_batch_window = vec![(1, 1)];
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("v", 4).unwrap();
+        let read = || LogicalOp::Read { src: "v".into() };
+        // 3 bulk-tenant requests, 1 latency-tenant, 3 bulk again: the
+        // override forces three batches (3 / 1 / 3) where the default
+        // window of 8 would take all seven at once.
+        for _ in 0..3 {
+            svc.submit(TenantId(0), read(), None).unwrap();
+        }
+        svc.submit(TenantId(1), read(), None).unwrap();
+        for _ in 0..3 {
+            svc.submit(TenantId(0), read(), None).unwrap();
+        }
+        svc.drain();
+        assert_eq!(svc.stats().batches, 3);
+        assert_eq!(svc.stats().completed, 7);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.shards = 0;
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let mut cfg = ServiceConfig::small(1);
+        cfg.tenant_batch_window = vec![(99, 1)];
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let mut cfg = ServiceConfig::small(1);
+        cfg.tenant_batch_window = vec![(0, 0)];
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let mut cfg = ServiceConfig::small(1);
+        cfg.kernel_scratch_rows = u64::MAX;
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

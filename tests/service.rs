@@ -180,6 +180,107 @@ fn deadlines_shed_and_quotas_bind_under_pressure() {
     assert!(service.take_responses().pop().expect("response").is_ok());
 }
 
+/// Builds a service with `shards` shards, runs a fixed mixed sequence of
+/// writes, fused kernels, and repeated reads, and returns the serialised
+/// response log, final vector contents, and simulated cycle count.
+fn kernel_campaign(mut config: ServiceConfig) -> (String, Vec<Vec<Vec<u64>>>, u64) {
+    // Window 1: repeated reads land in *later* batches than their first
+    // read, so the digest cache (which fills at settle) can serve them.
+    config.batch_window = 1;
+    config.tenant_quota = Some(32);
+    let mut service = BulkService::new(config).expect("valid config");
+    for name in ["a", "b", "c", "d"] {
+        service.create_vector(name, 8).expect("fits");
+    }
+    let t = TenantId(0);
+    let kernel = |program: &str| LogicalOp::Kernel {
+        program: program.into(),
+        bindings: ["a", "b", "c", "d"]
+            .iter()
+            .map(|n| (n.to_string(), n.to_string()))
+            .collect(),
+    };
+    let ops: Vec<LogicalOp> = vec![
+        LogicalOp::Write { dst: "a".into(), words: vec![0xDEAD_BEEF_0123_4567] },
+        LogicalOp::Write { dst: "b".into(), words: vec![0x0F0F_F0F0_AAAA_5555] },
+        LogicalOp::Write { dst: "c".into(), words: vec![0x8844_2211_CCCC_3333] },
+        kernel("t = a & b\nd = (t ^ ~c) | (a & b)\nc = c ^ t"),
+        LogicalOp::Read { src: "d".into() },
+        LogicalOp::Read { src: "d".into() }, // repeat: cache hit
+        LogicalOp::Read { src: "c".into() },
+        kernel("u = d | c\nd = u ^ a"), // invalidates d's cached digest
+        LogicalOp::Read { src: "d".into() },
+        LogicalOp::Read { src: "d".into() }, // repeat: cache hit again
+    ];
+    for op in ops {
+        service.submit(t, op, None).expect("admitted");
+    }
+    service.drain();
+    let log = serde_json::to_string(&service.take_responses()).expect("log serializes");
+    let contents = ["a", "b", "c", "d"]
+        .iter()
+        .map(|n| service.read_vector(n).expect("readable"))
+        .collect();
+    (log, contents, service.sim_cycles())
+}
+
+/// The per-response `outcome` fields of a serialised log — what a
+/// client observes, independent of how fast the service got there.
+fn outcomes(log: &str) -> Vec<serde_json::Value> {
+    let v: serde_json::Value = serde_json::from_str(log).expect("log parses");
+    v.as_array()
+        .expect("array")
+        .iter()
+        .map(|r| r.get("outcome").expect("outcome field").clone())
+        .collect()
+}
+
+#[test]
+fn kernel_responses_byte_identical_1_vs_4_workers() {
+    let run = |threads| with_threads(threads, || kernel_campaign(ServiceConfig::small(4)).0);
+    let (log1, log4) = (run(1), run(4));
+    assert_eq!(log1, log4, "kernel response log must not depend on worker count");
+    assert!(log1.contains("\"Kernel\""), "campaign must exercise the kernel path");
+}
+
+#[test]
+fn kernel_results_shard_count_independent() {
+    let (log1, contents1, cycles1) = kernel_campaign(ServiceConfig::small(1));
+    let (log2, contents2, _) = kernel_campaign(ServiceConfig::small(2));
+    let (log4, contents4, cycles4) = kernel_campaign(ServiceConfig::small(4));
+    assert_eq!(contents1, contents2, "sharding must not change kernel results");
+    assert_eq!(contents2, contents4, "sharding must not change kernel results");
+    // Latencies shrink with shard count, but every outcome — including
+    // the read digests riding in the responses — must be identical.
+    assert_eq!(outcomes(&log1), outcomes(&log2));
+    assert_eq!(outcomes(&log2), outcomes(&log4));
+    assert!(
+        cycles4 < cycles1,
+        "4 shards must finish the fused kernels in less simulated time \
+         ({cycles4} vs {cycles1} cycles)"
+    );
+}
+
+#[test]
+fn read_cache_is_transparent_and_saves_simulated_time() {
+    let cache_off = || {
+        let mut c = ServiceConfig::small(2);
+        c.read_cache = false;
+        c
+    };
+    let (log_on, contents_on, cycles_on) = kernel_campaign(ServiceConfig::small(2));
+    let (log_off, contents_off, cycles_off) = kernel_campaign(cache_off());
+    // The cache must be invisible in every observable outcome (the
+    // cached digests equal the recomputed ones)...
+    assert_eq!(outcomes(&log_on), outcomes(&log_off));
+    assert_eq!(contents_on, contents_off);
+    // ...except the simulated clock: cached repeats cost no row ops.
+    assert!(
+        cycles_on < cycles_off,
+        "cache hits must shrink simulated time ({cycles_on} vs {cycles_off})"
+    );
+}
+
 #[test]
 fn rejected_submissions_still_get_responses() {
     let mut service = BulkService::new(ServiceConfig::small(2)).expect("valid config");

@@ -99,6 +99,65 @@ fn reliability_controller_counters_follow_the_feature_gate() {
 }
 
 #[test]
+fn kernel_and_cache_counters_follow_the_feature_gate() {
+    use felim::serve::{BulkService, LogicalOp, ServiceConfig, TenantId};
+
+    // Exercise all six PR 8 counters: one fused kernel (with a CSE hit),
+    // a read that misses, a repeat that hits, and a write-invalidation.
+    let mut config = ServiceConfig::small(2);
+    config.batch_window = 1;
+    let mut svc = BulkService::new(config).unwrap();
+    for name in ["a", "b", "d"] {
+        svc.create_vector(name, 4).unwrap();
+    }
+    let t = TenantId(0);
+    let step = |svc: &mut BulkService, op| {
+        svc.submit(t, op, None).unwrap();
+        svc.drain();
+    };
+    step(&mut svc, LogicalOp::Write { dst: "a".into(), words: vec![3] });
+    step(&mut svc, LogicalOp::Write { dst: "b".into(), words: vec![5] });
+    step(
+        &mut svc,
+        LogicalOp::Kernel {
+            program: "t = a & b\nd = t ^ (a & b)".into(),
+            bindings: vec![
+                ("a".into(), "a".into()),
+                ("b".into(), "b".into()),
+                ("d".into(), "d".into()),
+            ],
+        },
+    );
+    step(&mut svc, LogicalOp::Read { src: "d".into() }); // miss + fill
+    step(&mut svc, LogicalOp::Read { src: "d".into() }); // hit
+    step(&mut svc, LogicalOp::Write { dst: "d".into(), words: vec![9] }); // invalidate
+    assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+
+    let report = telemetry::snapshot();
+    let counters = [
+        "serve.kernel.requests",
+        "serve.kernel.fused_ops",
+        "serve.kernel.cse_hits",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.cache.invalidations",
+    ];
+    if telemetry::enabled() {
+        for name in counters {
+            assert!(
+                report.counter(name).unwrap_or(0) >= 1,
+                "{name} must fire in this scenario"
+            );
+        }
+    } else {
+        for name in counters {
+            assert_eq!(report.counter(name), None, "{name} in a no-op build");
+        }
+        assert!(report.is_empty(), "no-op build must record nothing");
+    }
+}
+
+#[test]
 fn transient_solver_counters_follow_the_feature_gate() {
     use felim::cell::netlists::{run_with_solver, tba_testbench, NetlistConfig, SolverOptions};
 
