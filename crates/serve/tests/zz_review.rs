@@ -1,0 +1,38 @@
+use felim_serve::{BulkService, LogicalOp, Program, ServiceConfig, TenantId};
+use std::collections::BTreeMap;
+
+#[test]
+fn review_writeback_order() {
+    let program = "t = a\na = x\nd = t";
+    let parsed = Program::parse(program).unwrap();
+    let mut env = BTreeMap::new();
+    env.insert("a".to_owned(), 0xAAAAu64);
+    env.insert("x".to_owned(), 0x5555u64);
+    let expected = parsed.eval_words(&env);
+    assert_eq!(expected["d"], 0xAAAA);
+
+    let mut svc = BulkService::new(ServiceConfig::small(1)).unwrap();
+    for n in ["a", "x", "d"] {
+        svc.create_vector(n, 4).unwrap();
+    }
+    let t = TenantId(0);
+    svc.submit(t, LogicalOp::Write { dst: "a".into(), words: vec![0xAAAA] }, None).unwrap();
+    svc.submit(t, LogicalOp::Write { dst: "x".into(), words: vec![0x5555] }, None).unwrap();
+    svc.submit(
+        t,
+        LogicalOp::Kernel {
+            program: program.into(),
+            bindings: vec![
+                ("a".into(), "a".into()),
+                ("x".into(), "x".into()),
+                ("d".into(), "d".into()),
+            ],
+        },
+        None,
+    )
+    .unwrap();
+    svc.drain();
+    assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+    let d = svc.read_vector("d").unwrap();
+    assert_eq!(d[0][0], 0xAAAA, "d must hold OLD a; got {:#x}", d[0][0]);
+}
