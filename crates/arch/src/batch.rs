@@ -201,6 +201,209 @@ pub fn execute_batch(backend: &mut dyn BulkBackend, ops: &[RowOp]) -> BatchRepor
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire codecs
+//
+// The multi-node shard transport (`felim-serve`'s `wire` module) ships
+// batches of `RowOp`s and their outcomes between processes as
+// length-prefixed binary frames. The types that cross the link encode
+// themselves here — next to their definitions — so a new variant cannot
+// be added without the codec (and its round-trip property test)
+// noticing. All integers are little-endian; `f64` travels as its IEEE
+// bit pattern, so replies are bit-identical across the link.
+// ---------------------------------------------------------------------
+
+/// Appends a `u64` little-endian.
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u64` little-endian, advancing `pos`. `None` on short input.
+fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Appends a word slice as a count-prefixed run.
+fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    put_u64(out, words.len() as u64);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+/// Reads a count-prefixed word run. `None` on short input or a count
+/// that exceeds the remaining bytes (a corrupt length cannot allocate
+/// unboundedly).
+fn take_words(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
+    let n = take_u64(buf, pos)?;
+    if (buf.len() - *pos) as u64 / 8 < n {
+        return None;
+    }
+    (0..n).map(|_| take_u64(buf, pos)).collect()
+}
+
+impl RowOp {
+    /// Appends this op's wire encoding (tag byte + operand rows) to
+    /// `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let two = |out: &mut Vec<u8>, tag: u8, a: RowId, b: RowId| {
+            out.push(tag);
+            put_u64(out, a.0);
+            put_u64(out, b.0);
+        };
+        let three = |out: &mut Vec<u8>, tag: u8, a: RowId, b: RowId, d: RowId| {
+            out.push(tag);
+            put_u64(out, a.0);
+            put_u64(out, b.0);
+            put_u64(out, d.0);
+        };
+        match self {
+            RowOp::Not { src, dst } => two(out, 0, *src, *dst),
+            RowOp::And { a, b, dst } => three(out, 1, *a, *b, *dst),
+            RowOp::Or { a, b, dst } => three(out, 2, *a, *b, *dst),
+            RowOp::Xor { a, b, dst } => three(out, 3, *a, *b, *dst),
+            RowOp::Nand { a, b, dst } => three(out, 4, *a, *b, *dst),
+            RowOp::Nor { a, b, dst } => three(out, 5, *a, *b, *dst),
+            RowOp::Xnor { a, b, dst } => three(out, 6, *a, *b, *dst),
+            RowOp::Copy { src, dst } => two(out, 7, *src, *dst),
+            RowOp::Write { row, data } => {
+                out.push(8);
+                put_u64(out, row.0);
+                put_words(out, data);
+            }
+            RowOp::Read { row } => {
+                out.push(9);
+                put_u64(out, row.0);
+            }
+        }
+    }
+
+    /// Decodes one op from `buf` at `pos`, advancing `pos` past it.
+    /// Returns `None` on a truncated buffer or an unknown tag — the
+    /// caller maps that to a typed transport error.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<RowOp> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        let mut row = || take_u64(buf, pos).map(RowId);
+        Some(match tag {
+            0 => RowOp::Not { src: row()?, dst: row()? },
+            1 => RowOp::And { a: row()?, b: row()?, dst: row()? },
+            2 => RowOp::Or { a: row()?, b: row()?, dst: row()? },
+            3 => RowOp::Xor { a: row()?, b: row()?, dst: row()? },
+            4 => RowOp::Nand { a: row()?, b: row()?, dst: row()? },
+            5 => RowOp::Nor { a: row()?, b: row()?, dst: row()? },
+            6 => RowOp::Xnor { a: row()?, b: row()?, dst: row()? },
+            7 => RowOp::Copy { src: row()?, dst: row()? },
+            8 => RowOp::Write {
+                row: RowId(take_u64(buf, pos)?),
+                data: take_words(buf, pos)?,
+            },
+            9 => RowOp::Read {
+                row: RowId(take_u64(buf, pos)?),
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl RowOpOutput {
+    /// Appends this output's wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RowOpOutput::Done => out.push(0),
+            RowOpOutput::Data(words) => {
+                out.push(1);
+                put_words(out, words);
+            }
+        }
+    }
+
+    /// Decodes one output from `buf` at `pos`. `None` on malformed
+    /// input.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<RowOpOutput> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => RowOpOutput::Done,
+            1 => RowOpOutput::Data(take_words(buf, pos)?),
+            _ => return None,
+        })
+    }
+}
+
+impl ArchError {
+    /// Appends this error's wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ArchError::RowOutOfRange { row, rows } => {
+                out.push(0);
+                put_u64(out, *row);
+                put_u64(out, *rows);
+            }
+            ArchError::RowSizeMismatch { expected, got } => {
+                out.push(1);
+                put_u64(out, *expected as u64);
+                put_u64(out, *got as u64);
+            }
+            ArchError::UncorrectableWrite { row, attempts } => {
+                out.push(2);
+                put_u64(out, *row);
+                put_u64(out, u64::from(*attempts));
+            }
+            ArchError::SparesExhausted { row } => {
+                out.push(3);
+                put_u64(out, *row);
+            }
+            ArchError::Uncorrectable { row, words } => {
+                out.push(4);
+                put_u64(out, *row);
+                put_u64(out, words.len() as u64);
+                for &w in words {
+                    put_u64(out, w as u64);
+                }
+            }
+        }
+    }
+
+    /// Decodes one error from `buf` at `pos`. `None` on malformed
+    /// input.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<ArchError> {
+        let tag = *buf.get(*pos)?;
+        *pos += 1;
+        Some(match tag {
+            0 => ArchError::RowOutOfRange {
+                row: take_u64(buf, pos)?,
+                rows: take_u64(buf, pos)?,
+            },
+            1 => ArchError::RowSizeMismatch {
+                expected: take_u64(buf, pos)? as usize,
+                got: take_u64(buf, pos)? as usize,
+            },
+            2 => ArchError::UncorrectableWrite {
+                row: take_u64(buf, pos)?,
+                attempts: u32::try_from(take_u64(buf, pos)?).ok()?,
+            },
+            3 => ArchError::SparesExhausted {
+                row: take_u64(buf, pos)?,
+            },
+            4 => {
+                let row = take_u64(buf, pos)?;
+                let n = take_u64(buf, pos)?;
+                if (buf.len() - *pos) as u64 / 8 < n {
+                    return None;
+                }
+                let words = (0..n)
+                    .map(|_| take_u64(buf, pos).map(|w| w as usize))
+                    .collect::<Option<Vec<usize>>>()?;
+                ArchError::Uncorrectable { row, words }
+            }
+            _ => return None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +547,92 @@ mod tests {
         }
         assert_eq!(ops[0].mnemonic(), "write");
         assert_eq!(ops[9].mnemonic(), "copy");
+    }
+
+    /// One op of every kind, for codec coverage.
+    fn one_of_each() -> Vec<RowOp> {
+        let (a, b, d) = (RowId(3), RowId(5), RowId(9));
+        vec![
+            RowOp::Not { src: a, dst: d },
+            RowOp::And { a, b, dst: d },
+            RowOp::Or { a, b, dst: d },
+            RowOp::Xor { a, b, dst: d },
+            RowOp::Nand { a, b, dst: d },
+            RowOp::Nor { a, b, dst: d },
+            RowOp::Xnor { a, b, dst: d },
+            RowOp::Copy { src: b, dst: a },
+            RowOp::Write {
+                row: RowId(7),
+                data: vec![u64::MAX, 0, 0xDEAD_BEEF],
+            },
+            RowOp::Read { row: RowId(11) },
+        ]
+    }
+
+    #[test]
+    fn row_op_codec_round_trips_every_variant() {
+        let mut buf = Vec::new();
+        let ops = one_of_each();
+        for op in &ops {
+            op.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for op in &ops {
+            assert_eq!(RowOp::decode(&buf, &mut pos).as_ref(), Some(op));
+        }
+        assert_eq!(pos, buf.len(), "codec must consume exactly what it wrote");
+    }
+
+    #[test]
+    fn outcome_and_error_codecs_round_trip() {
+        let outputs = [RowOpOutput::Done, RowOpOutput::Data(vec![1, 2, u64::MAX])];
+        let errors = [
+            ArchError::RowOutOfRange { row: 9, rows: 4 },
+            ArchError::RowSizeMismatch { expected: 128, got: 3 },
+            ArchError::UncorrectableWrite { row: 1, attempts: 4 },
+            ArchError::SparesExhausted { row: 2 },
+            ArchError::Uncorrectable { row: 3, words: vec![0, 17] },
+        ];
+        let mut buf = Vec::new();
+        for o in &outputs {
+            o.encode(&mut buf);
+        }
+        for e in &errors {
+            e.encode(&mut buf);
+        }
+        let mut pos = 0;
+        for o in &outputs {
+            assert_eq!(RowOpOutput::decode(&buf, &mut pos).as_ref(), Some(o));
+        }
+        for e in &errors {
+            assert_eq!(ArchError::decode(&buf, &mut pos).as_ref(), Some(e));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn codecs_reject_truncation_and_bad_tags_without_panicking() {
+        let mut buf = Vec::new();
+        RowOp::Write {
+            row: RowId(1),
+            data: vec![7; 16],
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                RowOp::decode(&buf[..cut], &mut pos).is_none(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut pos = 0;
+        assert!(RowOp::decode(&[0xFF], &mut pos).is_none(), "unknown tag");
+        // A corrupt word count larger than the remaining payload must be
+        // rejected before any allocation is attempted.
+        let mut evil = vec![8u8]; // Write tag
+        evil.extend_from_slice(&0u64.to_le_bytes()); // row
+        evil.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd count
+        let mut pos = 0;
+        assert!(RowOp::decode(&evil, &mut pos).is_none());
     }
 }

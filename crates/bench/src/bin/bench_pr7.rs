@@ -95,6 +95,9 @@ fn run_cell(shards: u32, batch_window: usize, tier: ServiceTier) -> Mode {
         seed: SEED,
         kernel_scratch_rows: 64,
         read_cache: true,
+        remote_shards: Vec::new(),
+        remote_connect_attempts: 5,
+        remote_connect_backoff_ms: 20,
     };
     let (vectors, events) = generate_trace(&trace_spec());
     let mut service = BulkService::new(config).expect("valid sweep config");

@@ -1,0 +1,464 @@
+//! PR 9 transport baseline: loopback-TCP remote shard pools vs
+//! in-process pools, and the pipelined `RemoteShard` wire path.
+//!
+//! This binary requires the `telemetry` feature and is the documented
+//! one-command producer of `results/BENCH_PR9.json`:
+//!
+//! ```text
+//! FELIM_THREADS=1 cargo run --release -p felim-bench --features telemetry --bin bench_pr9
+//! ```
+//!
+//! Two sweeps, both against a single in-process [`ShardHost`] serving
+//! one fresh shard per loopback-TCP session (exactly what `felim-shardd`
+//! runs):
+//!
+//! * **trace** — the PR 7 multi-tenant trace replayed through
+//!   [`BulkService`] with every shard local and again with every shard
+//!   behind the wire, at 1/2/4 shards. The serialised response log and
+//!   report must be byte-identical per shard count (the PR 9 settlement
+//!   contract), so the *simulated* columns are transport-invariant and
+//!   the wall columns isolate the wire tax.
+//! * **pipeline** — the shard-level hot path: identical op batches
+//!   driven into raw [`Shard`]s and into [`RemoteShard`] sessions at
+//!   pipeline depth 1 (one round trip per batch) and depth 4 (four
+//!   batches in flight), at 1/2/4 shards. Outcome digests must match
+//!   the local run bit-for-bit.
+//!
+//! Wall-clock cells take the best of three runs to shed scheduler
+//! noise. The sweep asserts the PR 9 acceptance floors on every
+//! regeneration: depth-4 remote throughput within 1.3× of local at
+//! 4 shards, and ≥1.5× simulated scaling from 1 to 4 remote shards.
+
+use felim::arch::batch::{RowOp, RowOpOutput};
+use felim::arch::energy::LatencyModel;
+use felim::arch::geometry::{MemoryGeometry, RowId};
+use felim::exec::derive_seed;
+use felim::serve::shard::Shard;
+use felim::serve::{
+    generate_trace, BulkService, ConnectRetry, RemoteShard, ServiceConfig, ServiceTier,
+    ShardHost, Technology, TraceSpec,
+};
+use felim::telemetry;
+use felim_bench::{header, results_dir};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 0x9b9;
+/// Reliability tick charged per batch, s.
+const TICK_S: f64 = 1e-3;
+/// Trace shape: more rows and requests than the unit-test default so the
+/// wall columns measure work, not setup.
+const TRACE_ROWS: u64 = 32;
+const TRACE_REQUESTS: u64 = 96;
+/// Pipeline sweep: batches per shard and row-ops per batch. Batches are
+/// deliberately row-op-heavy (bulk-bitwise sweeps) so the cells measure
+/// the wire tax against real work, not against an empty tick.
+const BATCHES: u64 = 48;
+const BATCH_OPS: u64 = 192;
+/// Wall-clock cells keep the best of this many runs.
+const RUNS: usize = 3;
+
+/// One sweep cell.
+#[derive(Debug, Serialize)]
+struct Mode {
+    mode: String,
+    /// `trace` (full service replay) or `pipeline` (raw shard batches).
+    scenario: &'static str,
+    /// `local` or `remote`.
+    pool: &'static str,
+    shards: u32,
+    /// Batches in flight per shard (1 for local and trace cells).
+    depth: u32,
+    /// Completed requests (trace) or executed batches (pipeline) — the
+    /// gate's work-unit count.
+    samples: u64,
+    /// Best-of-three host wall-clock for the cell, ms.
+    wall_ms: f64,
+    /// Simulated time the cell spanned, s (transport-invariant).
+    sim_seconds: f64,
+    /// Work units per simulated second — the scaling headline.
+    samples_per_sim_s: f64,
+    /// Work units per wall second — the transport-tax headline.
+    samples_per_wall_s: f64,
+}
+
+/// The floor block recorded next to the cells.
+#[derive(Debug, Serialize)]
+struct Floors {
+    /// Depth-4 remote wall over local wall at 4 shards (floor ≤ 1.3).
+    remote_wall_ratio_s4: f64,
+    /// Remote simulated throughput at 4 shards over 1 shard (floor ≥ 1.5).
+    remote_sim_scaling_1_to_4: f64,
+    /// Depth-1 wall over depth-4 wall at 4 remote shards (informational).
+    pipeline_speedup_d1_to_d4: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: &'static str,
+    seed: u64,
+    threads: usize,
+    trace_rows: u64,
+    trace_requests: u64,
+    batches_per_shard: u64,
+    ops_per_batch: u64,
+    floors: Floors,
+    /// Transport telemetry counters over the whole sweep.
+    telemetry: Vec<(String, u64)>,
+    modes: Vec<Mode>,
+}
+
+fn trace_spec() -> TraceSpec {
+    let mut spec = TraceSpec::small(SEED);
+    spec.vector_rows = TRACE_ROWS;
+    spec.requests = TRACE_REQUESTS;
+    spec
+}
+
+fn config(shards: u32, remotes: Vec<(u32, String)>) -> ServiceConfig {
+    let mut c = ServiceConfig::small(shards);
+    c.tier = ServiceTier::Baseline;
+    c.queue_depth = 256;
+    c.tenant_quota = Some(256);
+    c.seed = SEED;
+    c.remote_shards = remotes;
+    c
+}
+
+/// Replays the trace once; returns the serialised `(responses, report)`
+/// pair plus the report's simulated/wall numbers.
+fn replay(shards: u32, remotes: Vec<(u32, String)>) -> (String, String, f64, u64, f64) {
+    let (vectors, events) = generate_trace(&trace_spec());
+    let mut svc = BulkService::new(config(shards, remotes)).expect("valid config");
+    for (name, rows) in &vectors {
+        svc.create_vector(name, *rows).expect("vectors fit");
+    }
+    let started = Instant::now();
+    svc.run_trace(&events);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = svc.report();
+    assert_eq!(report.stats.completed, report.stats.submitted, "trace must complete");
+    let report_json = serde_json::to_string(&report).expect("report serialises");
+    let log = serde_json::to_string(&svc.take_responses()).expect("log serialises");
+    (log, report_json, report.sim_seconds, report.stats.completed, wall_ms)
+}
+
+/// One trace cell, best-of-`RUNS` wall; also returns the (identical
+/// across runs) response log and report for the byte-identity check.
+fn run_trace_cell(pool: &'static str, shards: u32, addr: &str) -> (Mode, String, String) {
+    let remotes = |_: ()| -> Vec<(u32, String)> {
+        if pool == "remote" {
+            (0..shards).map(|s| (s, addr.to_owned())).collect()
+        } else {
+            Vec::new()
+        }
+    };
+    let mut best: Option<(String, String, f64, u64, f64)> = None;
+    for _ in 0..RUNS {
+        let run = replay(shards, remotes(()));
+        if let Some(prev) = &best {
+            assert_eq!(prev.0, run.0, "replay is deterministic across repeats");
+        }
+        best = match best {
+            Some(prev) if prev.4 <= run.4 => Some(prev),
+            _ => Some(run),
+        };
+    }
+    let (log, report, sim_seconds, completed, wall_ms) = best.expect("RUNS > 0");
+    let mode = Mode {
+        mode: format!("trace_{pool}_s{shards}"),
+        scenario: "trace",
+        pool,
+        shards,
+        depth: 1,
+        samples: completed,
+        wall_ms,
+        sim_seconds,
+        samples_per_sim_s: completed as f64 / sim_seconds,
+        samples_per_wall_s: completed as f64 / (wall_ms * 1e-3),
+    };
+    (mode, log, report)
+}
+
+/// Untimed warm-up: seeds every row region the timed batches read, so
+/// the measured stream is pure logic traffic (ops address rows, they
+/// don't carry them — the deployment the wire protocol is shaped for).
+fn seed_ops(row_words: usize) -> Vec<RowOp> {
+    (0..16)
+        .map(|r| RowOp::Write {
+            row: RowId((r / 2) * 96 + (r % 2) * 37),
+            data: vec![derive_seed(SEED, r); row_words],
+        })
+        .collect()
+}
+
+/// The `b`-th pipeline batch: a fixed mix of bulk-bitwise row ops, all
+/// inside the geometry's data region.
+fn batch_ops(b: u64) -> Vec<RowOp> {
+    let base = (b % 8) * 96;
+    let mut ops = Vec::with_capacity(BATCH_OPS as usize);
+    for i in 0..BATCH_OPS {
+        let a = RowId(base + (i * 3) % 64);
+        let c = RowId(base + (i * 5) % 64);
+        let d = RowId(base + 64 + (i % 32));
+        ops.push(match i % 4 {
+            0 => RowOp::Nand { a, b: c, dst: d },
+            1 => RowOp::Xor { a, b: c, dst: d },
+            2 => RowOp::And { a, b: c, dst: d },
+            _ => RowOp::Not { src: a, dst: d },
+        });
+    }
+    ops
+}
+
+/// Order-independent digest of a batch stream's outcomes: the
+/// settlement contract says the remote stream must reproduce the local
+/// one exactly, so the sums must match bit-for-bit.
+#[derive(Debug, Default, PartialEq)]
+struct OutcomeDigest {
+    serial_cycles: u64,
+    makespan_cycles: u64,
+    outputs: u64,
+}
+
+impl OutcomeDigest {
+    fn fold(&mut self, outcome: &felim::serve::shard::ShardBatchOutcome) {
+        self.serial_cycles += outcome.serial_cycles;
+        self.makespan_cycles += outcome.makespan_cycles;
+        self.outputs += outcome
+            .outputs
+            .iter()
+            .filter(|o| matches!(o, Ok(RowOpOutput::Done | RowOpOutput::Data(_))))
+            .count() as u64;
+    }
+}
+
+/// One pipeline cell: `BATCHES` batches into each of `shards` shards,
+/// local (`depth` ignored) or remote at the given pipeline depth.
+/// Returns the cell plus the outcome digest for the identity check.
+fn run_pipeline_cell(
+    pool: &'static str,
+    shards: u32,
+    depth: u32,
+    addr: &str,
+) -> (Mode, OutcomeDigest) {
+    // Paper-width 8 KB rows: a row op moves 1024 words, so the wire's
+    // ~26-byte op descriptors are amortised the way a real bulk-bitwise
+    // deployment amortises them (ops address rows, they don't carry them).
+    let geometry = MemoryGeometry {
+        capacity_bytes: 8 << 20,
+        row_bytes: 8 << 10,
+        rows_per_subarray: 64,
+    };
+    let row_words = geometry.row_words();
+    let mut best_wall = f64::INFINITY;
+    let mut digest = OutcomeDigest::default();
+    for run in 0..RUNS {
+        let mut d = OutcomeDigest::default();
+        let seeds = seed_ops(row_words);
+        let wall_ms = if pool == "local" {
+            let mut pool: Vec<Shard> = (0..shards)
+                .map(|_| Shard::new(Technology::Feram, geometry, None))
+                .collect();
+            for shard in &mut pool {
+                shard.execute(&seeds, TICK_S);
+            }
+            let started = Instant::now();
+            for b in 0..BATCHES {
+                let ops = batch_ops(b);
+                for shard in &mut pool {
+                    d.fold(&shard.execute(&ops, TICK_S));
+                }
+            }
+            started.elapsed().as_secs_f64() * 1e3
+        } else {
+            let mut pool: Vec<RemoteShard> = (0..shards)
+                .map(|_| {
+                    RemoteShard::connect(
+                        addr,
+                        Technology::Feram,
+                        geometry,
+                        None,
+                        ConnectRetry::default(),
+                    )
+                    .expect("loopback handshake succeeds")
+                })
+                .collect();
+            for shard in &mut pool {
+                shard.execute(&seeds, TICK_S).expect("seed batch lands");
+            }
+            let started = Instant::now();
+            for b in 0..BATCHES {
+                let ops = batch_ops(b);
+                for shard in &mut pool {
+                    while shard.inflight() >= depth as usize {
+                        d.fold(&shard.recv_batch().expect("reply arrives").1);
+                    }
+                    shard.send_batch(&ops, TICK_S).expect("batch sends");
+                }
+            }
+            for shard in &mut pool {
+                while shard.inflight() > 0 {
+                    d.fold(&shard.recv_batch().expect("reply arrives").1);
+                }
+            }
+            started.elapsed().as_secs_f64() * 1e3
+        };
+        if run == 0 {
+            digest = d;
+        } else {
+            assert_eq!(digest, d, "{pool}/s{shards}/d{depth}: repeats must agree");
+        }
+        best_wall = best_wall.min(wall_ms);
+    }
+    // Simulated time is transport-invariant. Every shard executes the
+    // identical batch stream, so the per-tick worst-shard makespan
+    // equals any one shard's — i.e. the digest total over the pool size.
+    let sim_seconds = LatencyModel::paper_default().seconds(digest.makespan_cycles / u64::from(shards));
+    let mode = Mode {
+        mode: format!("pipe_{pool}_s{shards}_d{depth}"),
+        scenario: "pipeline",
+        pool,
+        shards,
+        depth,
+        samples: BATCHES * u64::from(shards),
+        wall_ms: best_wall,
+        sim_seconds,
+        samples_per_sim_s: (BATCHES * u64::from(shards)) as f64 / sim_seconds,
+        samples_per_wall_s: (BATCHES * u64::from(shards)) as f64 / (best_wall * 1e-3),
+    };
+    (mode, digest)
+}
+
+fn main() {
+    assert!(
+        telemetry::enabled(),
+        "bench_pr9 must be built with --features telemetry"
+    );
+    header(
+        "BENCH_PR9",
+        "shard transport: loopback-TCP remote pools vs in-process, and wire pipelining",
+    );
+    telemetry::reset();
+
+    // One host backs every remote session in the sweep — exactly the
+    // `felim-shardd` serving loop, minus the child process.
+    let host = ShardHost::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = host.local_addr().to_string();
+    std::thread::spawn(move || {
+        let _ = host.serve_forever();
+    });
+
+    let mut modes: Vec<Mode> = Vec::new();
+
+    // Trace sweep: byte-identity plus simulated scaling.
+    for shards in [1u32, 2, 4] {
+        let (local, local_log, local_report) = run_trace_cell("local", shards, &addr);
+        let (remote, remote_log, remote_report) = run_trace_cell("remote", shards, &addr);
+        assert_eq!(
+            local_log, remote_log,
+            "s{shards}: remote response log must be byte-identical to local"
+        );
+        assert_eq!(
+            local_report, remote_report,
+            "s{shards}: remote report must be byte-identical to local"
+        );
+        modes.push(local);
+        modes.push(remote);
+    }
+
+    // Pipeline sweep: the raw wire path at depth 1 and 4.
+    for shards in [1u32, 2, 4] {
+        let (local, local_digest) = run_pipeline_cell("local", shards, 1, &addr);
+        modes.push(local);
+        for depth in [1u32, 4] {
+            let (remote, remote_digest) = run_pipeline_cell("remote", shards, depth, &addr);
+            assert_eq!(
+                local_digest, remote_digest,
+                "s{shards}/d{depth}: remote outcomes must reproduce local bit-for-bit"
+            );
+            modes.push(remote);
+        }
+    }
+
+    println!(
+        "  {:<22} {:>8} {:>10} {:>10} {:>14} {:>14}",
+        "mode", "samples", "wall_ms", "sim_s", "per_sim_s", "per_wall_s"
+    );
+    for m in &modes {
+        println!(
+            "  {:<22} {:>8} {:>10.2} {:>10.3e} {:>14.1} {:>14.0}",
+            m.mode, m.samples, m.wall_ms, m.sim_seconds, m.samples_per_sim_s,
+            m.samples_per_wall_s,
+        );
+    }
+
+    let cell = |name: &str| -> &Mode {
+        modes
+            .iter()
+            .find(|m| m.mode == name)
+            .expect("sweep covers the cell")
+    };
+    let remote_wall_ratio_s4 = cell("pipe_remote_s4_d4").wall_ms / cell("pipe_local_s4_d1").wall_ms;
+    let remote_sim_scaling_1_to_4 =
+        cell("trace_remote_s4").samples_per_sim_s / cell("trace_remote_s1").samples_per_sim_s;
+    let pipeline_speedup_d1_to_d4 =
+        cell("pipe_remote_s4_d1").wall_ms / cell("pipe_remote_s4_d4").wall_ms;
+    let floors = Floors {
+        remote_wall_ratio_s4,
+        remote_sim_scaling_1_to_4,
+        pipeline_speedup_d1_to_d4,
+    };
+
+    // The PR 9 acceptance floors, enforced on every regeneration.
+    assert!(
+        remote_wall_ratio_s4 <= 1.3,
+        "depth-4 remote at 4 shards must stay within 1.3× of local wall, got {remote_wall_ratio_s4:.2}×"
+    );
+    assert!(
+        remote_sim_scaling_1_to_4 >= 1.5,
+        "1→4 remote shards must scale simulated throughput ≥1.5×, got {remote_sim_scaling_1_to_4:.2}×"
+    );
+    println!(
+        "  floors: remote/local wall at s4 {remote_wall_ratio_s4:.2}× (ceiling 1.3×), \
+         sim scaling 1→4 {remote_sim_scaling_1_to_4:.2}× (floor 1.5×), \
+         pipelining d1→d4 {pipeline_speedup_d1_to_d4:.2}×"
+    );
+
+    let snapshot = telemetry::snapshot();
+    let counters: Vec<(String, u64)> = [
+        "serve.remote.sessions",
+        "serve.remote.batches_sent",
+        "serve.remote.connect_retries",
+        "serve.remote.transport_errors",
+        "serve.submitted",
+        "serve.completed",
+        "arch.batch.ops",
+    ]
+    .into_iter()
+    .map(|name| (name.to_owned(), snapshot.counter(name).unwrap_or(0)))
+    .collect();
+    for (name, value) in &counters {
+        println!("  {name:<30} {value}");
+    }
+
+    let baseline = Baseline {
+        schema: "felim-bench-pr9/v1",
+        seed: SEED,
+        threads: felim::exec::thread_count(),
+        trace_rows: TRACE_ROWS,
+        trace_requests: TRACE_REQUESTS,
+        batches_per_shard: BATCHES,
+        ops_per_batch: BATCH_OPS,
+        floors,
+        telemetry: counters,
+        modes,
+    };
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_PR9.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PR9.json");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,62 @@
+//! `felim-shardd` — a shard host daemon.
+//!
+//! Hosts [`Shard`](felim_serve::shard::Shard) instances behind the
+//! length-prefixed wire protocol ([`felim_serve::wire`]): one fresh
+//! shard per client session, constructed from the session's `Hello`
+//! parameters (technology, geometry, reliability tier with the
+//! client-derived drift seed), serving pipelined batch frames until
+//! `Shutdown` or peer loss.
+//!
+//! ```text
+//! felim-shardd --listen 127.0.0.1:4801
+//! felim-shardd --listen 127.0.0.1:0      # ephemeral port
+//! ```
+//!
+//! The daemon prints exactly one line to stdout before serving:
+//!
+//! ```text
+//! LISTENING 127.0.0.1:4801
+//! ```
+//!
+//! which is what [`ShardHostChild`](felim_serve::ShardHostChild) (and
+//! the CI remote suite) parses to discover an ephemeral port. Sessions
+//! run one thread each; the process serves until killed.
+
+use felim_serve::ShardHost;
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen = String::from("127.0.0.1:0");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => die("--listen needs an address (host:port)"),
+            },
+            "--help" | "-h" => {
+                println!("usage: felim-shardd [--listen HOST:PORT]");
+                println!("hosts felim-serve shards behind the wire protocol;");
+                println!("prints `LISTENING <addr>` once bound, then serves until killed");
+                return;
+            }
+            other => die(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let host = match ShardHost::bind(&listen) {
+        Ok(host) => host,
+        Err(e) => die(&format!("cannot bind {listen}: {e}")),
+    };
+    // The address line is the spawn handshake: flush it before serving
+    // so a parent process polling stdout never deadlocks.
+    println!("LISTENING {}", host.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = host.serve_forever() {
+        die(&format!("accept loop failed: {e}"));
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("felim-shardd: {message}");
+    std::process::exit(2);
+}

@@ -69,18 +69,22 @@
 pub mod catalog;
 pub mod dsl;
 pub mod plan;
+pub mod remote;
 pub mod request;
 pub mod service;
 pub mod shard;
 pub mod trace;
+pub mod wire;
 
 pub use catalog::{Catalog, VectorPlacement};
 pub use dsl::{KernelParseError, Program};
 pub use plan::{KernelPlan, KernelPlanError};
+pub use remote::{ConnectRetry, PoolMember, RemoteShard, ShardHost, ShardHostChild, ShardPool};
 pub use request::{fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId};
 pub use service::{BulkService, LatencySummary, ServiceConfig, ServiceReport, ServiceTier};
 pub use shard::Technology;
 pub use trace::{generate_trace, TraceEvent, TraceSpec};
+pub use wire::{Frame, TransportErrorKind, WireError, MAX_FRAME, WIRE_VERSION};
 
 use felim_arch::shard::ShardId;
 use felim_arch::ArchError;
@@ -201,6 +205,18 @@ pub enum ServeError {
         /// The underlying fault.
         source: ArchError,
     },
+    /// A remote shard's transport failed: torn frame, short read,
+    /// corrupt payload, version mismatch, or peer loss. The request is
+    /// failed honestly — never silently dropped or retried against a
+    /// shard whose state is unknown.
+    Transport {
+        /// The peer address (`host:port`) of the failing shard host.
+        peer: String,
+        /// The transport failure class.
+        kind: wire::TransportErrorKind,
+        /// Human-readable diagnosis from the wire layer.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -262,6 +278,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "uncorrectable after {attempts} attempts: {source}")
             }
             ServeError::Backend { source } => write!(f, "backend fault: {source}"),
+            ServeError::Transport { peer, kind, detail } => {
+                write!(f, "transport failure ({kind}) on shard host {peer}: {detail}")
+            }
         }
     }
 }
@@ -339,6 +358,11 @@ mod tests {
             },
             ServeError::Backend {
                 source: ArchError::RowOutOfRange { row: 99, rows: 10 },
+            },
+            ServeError::Transport {
+                peer: "127.0.0.1:4801".into(),
+                kind: wire::TransportErrorKind::ShortRead,
+                detail: "torn frame: eof after 3/8 bytes of payload".into(),
             },
         ];
         for e in cases {

@@ -349,9 +349,44 @@ impl KernelPlan {
             });
         }
 
+        // Write-back hazards: a copy whose source is an *input vector*
+        // that this kernel also overwrites (`t = a; a = x; d = t`, or a
+        // swap `t = a; a = b; b = t`) must not read it after the
+        // overwrite lands. Stage every such source into a scratch slot
+        // while its old value is intact — all staging copies precede all
+        // write-backs, so write-back order then never matters.
+        let out_vectors: Vec<usize> = outputs.iter().map(|&(v, _)| v).collect();
+        let mut staged: HashMap<usize, Loc> = HashMap::new();
+        for &(v, n) in &outputs {
+            if !matches!(nodes[n], Node::Input(_)) || staged.contains_key(&n) {
+                continue;
+            }
+            let Some(Loc::Vector(u)) = loc[n] else { continue };
+            if u != v && out_vectors.contains(&u) {
+                let s = if free.is_empty() {
+                    let s = next_slot;
+                    next_slot += 1;
+                    s
+                } else {
+                    free.remove(0)
+                };
+                steps.push(Step {
+                    kind: OpKind::Not, // ignored for copies
+                    a: Loc::Vector(u),
+                    b: None,
+                    dst: Loc::Scratch(s),
+                    copy: true,
+                });
+                staged.insert(n, Loc::Scratch(s));
+            }
+        }
+
         // Write-back copies for outputs not already written in place.
         for &(v, n) in &outputs {
-            let src = loc[n].expect("output node has a location");
+            let src = staged
+                .get(&n)
+                .copied()
+                .unwrap_or_else(|| loc[n].expect("output node has a location"));
             if src != Loc::Vector(v) {
                 steps.push(Step {
                     kind: OpKind::Not, // ignored for copies
@@ -693,6 +728,69 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    /// Write-backs must respect statement-order reads: a rename of an
+    /// input that the kernel also rebinds, and a full swap, both need
+    /// the old value staged before the overwrite lands.
+    #[test]
+    fn write_back_order_preserves_old_values() {
+        let check = |src: &str, pairs: &[(&str, &str)], inputs: &[(&str, u64)]| {
+            let program = Program::parse(src).unwrap();
+            let p = KernelPlan::compile(&program, &bind(pairs)).unwrap();
+            let rows = 2u64;
+            let mut backend = FeramBackend::new(MemoryGeometry::tiny());
+            let words = backend.geometry().row_words();
+            let bases: Vec<u64> = p
+                .vector_names()
+                .enumerate()
+                .map(|(i, _)| i as u64 * rows)
+                .collect();
+            let name_base: HashMap<String, u64> = p
+                .vector_names()
+                .map(String::from)
+                .zip(bases.iter().copied())
+                .collect();
+            let mut env = std::collections::BTreeMap::new();
+            for &(dsl, value) in inputs {
+                env.insert(dsl.to_owned(), value);
+                let vector = pairs.iter().find(|&&(d, _)| d == dsl).unwrap().1;
+                for k in 0..rows {
+                    let data = vec![value; words];
+                    backend
+                        .install_row(RowId(name_base[vector] + k), &data)
+                        .unwrap();
+                }
+            }
+            let mut ops = Vec::new();
+            p.emit_for_shard(0, 1, rows, &bases, 600, &mut ops);
+            let report = execute_batch(&mut backend, &ops);
+            assert!(report.outputs.iter().all(Result::is_ok));
+            let expect = program.eval_words(&env);
+            for &(dsl, vector) in pairs {
+                let Some(want) = expect.get(dsl) else { continue };
+                let got = backend.read_row(RowId(name_base[vector])).unwrap()[0];
+                assert_eq!(got, *want, "vector {vector} of `{src}`");
+            }
+        };
+        // Rename + rebind: d must hold the OLD a.
+        check(
+            "t = a\na = x\nd = t",
+            &[("a", "va"), ("x", "vx"), ("d", "vd")],
+            &[("a", 0xAAAA), ("x", 0x5555)],
+        );
+        // Full swap: a cyclic write-back dependency.
+        check(
+            "t = a\na = b\nb = t",
+            &[("a", "va"), ("b", "vb")],
+            &[("a", 0x1111), ("b", 0x2222)],
+        );
+        // Op-valued output feeding a rename stays direct-written.
+        check(
+            "d = a & b\ne = d\na = a | b",
+            &[("a", "va"), ("b", "vb"), ("d", "vd"), ("e", "ve")],
+            &[("a", 0xF0F0), ("b", 0x3C3C)],
+        );
     }
 
     /// Single-shard end-to-end: emit the plan onto a raw backend and

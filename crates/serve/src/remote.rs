@@ -1,0 +1,937 @@
+//! Remote shards: TCP clients, the mixed local/remote shard pool, and
+//! the daemon-side session loop behind `felim-shardd`.
+//!
+//! The [`wire`](crate::wire) module defines *what* crosses the link;
+//! this module defines *who talks*:
+//!
+//! * [`RemoteShard`] — the client end: one persistent `TcpStream` per
+//!   shard host, a [`Frame::Hello`] handshake that constructs the
+//!   hosted shard from exactly the parameters a local shard would get
+//!   (including the **already-derived** per-shard drift seed), then
+//!   pipelined seq-tagged batch frames with strictly ordered replies.
+//!   Any transport failure **poisons** the connection: a shardd's state
+//!   cannot be reconstructed mid-session, so reconnecting silently
+//!   would break the determinism contract — every later call returns
+//!   the same typed [`ServeError::Transport`] instead (honest
+//!   backpressure, never silent drops).
+//! * [`ShardPool`] — the dispatch surface the service runs against: a
+//!   vector of members, each either a local `Mutex<Shard>` or a
+//!   `Mutex<RemoteShard>`. Both arms expose the same
+//!   `execute`/`read_local_row` calls, so [`BulkService`] settles
+//!   responses identically whether a shard is in-process, across a
+//!   socket, or a mix (pinned by `tests/remote.rs`).
+//! * [`ShardHost`] + [`run_session`] — the daemon side: accept a
+//!   connection, build one fresh [`Shard`] per session from the Hello
+//!   parameters, answer batches until `Shutdown` or peer loss. One
+//!   shard per *connection* keeps the daemon state-safe: a new session
+//!   can never observe a previous client's rows.
+//! * [`ShardHostChild`] — test/bench helper that spawns a `felim-shardd`
+//!   child on an ephemeral loopback port, parses the advertised
+//!   address, and kills the daemon on drop so suites never leak
+//!   processes.
+//!
+//! [`BulkService`]: crate::BulkService
+
+use crate::shard::{Shard, ShardBatchOutcome, Technology};
+use crate::wire::{Frame, TransportErrorKind, WireError, WIRE_VERSION};
+use crate::ServeError;
+use felim_arch::batch::RowOp;
+use felim_arch::drift::DriftSpec;
+use felim_arch::geometry::MemoryGeometry;
+use felim_telemetry as telemetry;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Bounded-backoff policy for the initial connection to a shard host.
+///
+/// Only *connection establishment* retries: once a session is live, a
+/// transport failure poisons it (the remote shard's state is
+/// unrecoverable) and surfaces as [`ServeError::Transport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectRetry {
+    /// Connection attempts before giving up (at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt, doubling per attempt and
+    /// capped at one second.
+    pub base_backoff: Duration,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ConnectRetry {
+    /// The sleep before attempt `attempt` (0-based; attempt 0 never
+    /// sleeps). Deterministic: `base · 2^(attempt-1)`, capped at 1 s.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 1).min(10);
+        (self.base_backoff * factor).min(Duration::from_secs(1))
+    }
+}
+
+/// The client end of one shard-host session. See the [module
+/// docs](self) for the pipelining and poisoning contract.
+pub struct RemoteShard {
+    peer: String,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_seq: u64,
+    /// Sequence numbers written but not yet answered, oldest first —
+    /// replies must arrive in exactly this order.
+    inflight: VecDeque<u64>,
+    data_rows: u64,
+    /// Set on the first transport failure; every later call echoes it.
+    poisoned: Option<WireError>,
+}
+
+impl std::fmt::Debug for RemoteShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShard")
+            .field("peer", &self.peer)
+            .field("inflight", &self.inflight.len())
+            .field("poisoned", &self.poisoned.is_some())
+            .finish()
+    }
+}
+
+impl RemoteShard {
+    /// Connects to a shard host at `addr` (with bounded retry/backoff)
+    /// and performs the Hello handshake, constructing the hosted shard
+    /// from `technology`/`geometry`/`tier`. A protected tier's drift
+    /// seed must already be derived for this shard's index — the daemon
+    /// applies it verbatim, which is what makes a remote shard
+    /// bit-identical to the local shard it replaces.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`]: `PeerLost` when every connection
+    /// attempt failed, `VersionMismatch` when the daemon speaks a
+    /// different [`WIRE_VERSION`], `Protocol` on a malformed handshake.
+    pub fn connect(
+        addr: &str,
+        technology: Technology,
+        geometry: MemoryGeometry,
+        tier: Option<(DriftSpec, f64)>,
+        retry: ConnectRetry,
+    ) -> Result<Self, ServeError> {
+        let attempts = retry.attempts.max(1);
+        let mut last_err = None;
+        let mut stream = None;
+        for attempt in 0..attempts {
+            std::thread::sleep(retry.backoff(attempt));
+            if attempt > 0 {
+                telemetry::counter("serve.remote.connect_retries").inc();
+            }
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some(stream) = stream else {
+            return Err(ServeError::Transport {
+                peer: addr.to_owned(),
+                kind: TransportErrorKind::PeerLost,
+                detail: format!(
+                    "connect failed after {attempts} attempts: {}",
+                    last_err.map_or_else(|| "no error recorded".into(), |e| e.to_string())
+                ),
+            });
+        };
+        // Batches are latency-sensitive request/reply pairs; never sit
+        // on Nagle.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| ServeError::Transport {
+            peer: addr.to_owned(),
+            kind: TransportErrorKind::PeerLost,
+            detail: format!("cloning stream: {e}"),
+        })?);
+        let mut remote = Self {
+            peer: addr.to_owned(),
+            reader,
+            writer: BufWriter::new(stream),
+            next_seq: 0,
+            inflight: VecDeque::new(),
+            data_rows: 0,
+            poisoned: None,
+        };
+        let hello = Frame::Hello {
+            version: WIRE_VERSION,
+            technology,
+            geometry,
+            tier,
+        };
+        remote.write_frame(&hello)?;
+        match remote.read_frame()? {
+            Frame::HelloAck { version, data_rows } => {
+                if version != WIRE_VERSION {
+                    return Err(remote.poison(WireError::new(
+                        TransportErrorKind::VersionMismatch,
+                        format!("peer speaks wire v{version}, this build speaks v{WIRE_VERSION}"),
+                    )));
+                }
+                remote.data_rows = data_rows;
+                Ok(remote)
+            }
+            other => Err(remote.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("expected hello_ack, got {}", other.name()),
+            ))),
+        }
+    }
+
+    /// The peer address this session talks to.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Data rows of the hosted shard, from the handshake.
+    pub fn data_rows(&self) -> u64 {
+        self.data_rows
+    }
+
+    /// Batches written but not yet answered.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Maps a wire failure into the session-poisoning transport error.
+    fn poison(&mut self, e: WireError) -> ServeError {
+        telemetry::counter("serve.remote.transport_errors").inc();
+        let err = ServeError::Transport {
+            peer: self.peer.clone(),
+            kind: e.kind,
+            detail: e.detail.clone(),
+        };
+        self.poisoned.get_or_insert(e);
+        err
+    }
+
+    /// Errors out if a previous transport failure poisoned the session.
+    fn check_poison(&self) -> Result<(), ServeError> {
+        match &self.poisoned {
+            None => Ok(()),
+            Some(e) => Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: e.kind,
+                detail: format!("session poisoned by earlier failure: {}", e.detail),
+            }),
+        }
+    }
+
+    fn write_frame(&mut self, frame: &Frame) -> Result<(), ServeError> {
+        self.check_poison()?;
+        frame
+            .write_to(&mut self.writer)
+            .map_err(|e| self.poison(e))
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, ServeError> {
+        self.check_poison()?;
+        Frame::read_from(&mut self.reader).map_err(|e| self.poison(e))
+    }
+
+    /// Writes one batch frame **without waiting for its reply** and
+    /// returns its sequence number — the pipelining half. Replies
+    /// arrive strictly in send order via [`recv_batch`](Self::recv_batch).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] on a poisoned session or write failure.
+    pub fn send_batch(&mut self, ops: &[RowOp], tick_s: f64) -> Result<u64, ServeError> {
+        let seq = self.next_seq;
+        self.write_frame(&Frame::Batch {
+            seq,
+            tick_s,
+            ops: ops.to_vec(),
+        })?;
+        self.next_seq += 1;
+        self.inflight.push_back(seq);
+        telemetry::counter("serve.remote.batches_sent").inc();
+        Ok(seq)
+    }
+
+    /// Receives the oldest in-flight batch's outcome, enforcing the
+    /// (shard, sequence) settlement order: a reply for any other
+    /// sequence — or any other frame type — is a `Protocol` failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] on transport failure, out-of-order
+    /// reply, or when nothing is in flight.
+    pub fn recv_batch(&mut self) -> Result<(u64, ShardBatchOutcome), ServeError> {
+        let Some(expected) = self.inflight.front().copied() else {
+            return Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: TransportErrorKind::Protocol,
+                detail: "recv_batch with no batch in flight".into(),
+            });
+        };
+        match self.read_frame()? {
+            Frame::BatchReply { seq, outcome } if seq == expected => {
+                self.inflight.pop_front();
+                Ok((seq, outcome))
+            }
+            Frame::BatchReply { seq, .. } => Err(self.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("out-of-order reply: expected seq {expected}, got {seq}"),
+            ))),
+            other => Err(self.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("expected batch_reply, got {}", other.name()),
+            ))),
+        }
+    }
+
+    /// Depth-1 convenience: send one batch and wait for its outcome —
+    /// the call shape [`ShardPool`] dispatches through.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] as for
+    /// [`send_batch`](Self::send_batch)/[`recv_batch`](Self::recv_batch).
+    pub fn execute(&mut self, ops: &[RowOp], tick_s: f64) -> Result<ShardBatchOutcome, ServeError> {
+        let seq = self.send_batch(ops, tick_s)?;
+        let (got, outcome) = self.recv_batch()?;
+        debug_assert_eq!(got, seq, "depth-1 pipelines settle their own batch");
+        Ok(outcome)
+    }
+
+    /// Maintenance read of one shard-local row across the link.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] for link failures,
+    /// [`ServeError::Backend`] when the remote backend itself faulted.
+    pub fn read_local_row(&mut self, row: u64) -> Result<Vec<u64>, ServeError> {
+        if !self.inflight.is_empty() {
+            return Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: TransportErrorKind::Protocol,
+                detail: format!(
+                    "read_local_row with {} batches in flight",
+                    self.inflight.len()
+                ),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.write_frame(&Frame::ReadRow { seq, row })?;
+        match self.read_frame()? {
+            Frame::ReadRowReply { seq: got, result } if got == seq => {
+                result.map_err(|source| ServeError::Backend { source })
+            }
+            Frame::ReadRowReply { seq: got, .. } => Err(self.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("out-of-order read reply: expected seq {seq}, got {got}"),
+            ))),
+            other => Err(self.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("expected read_row_reply, got {}", other.name()),
+            ))),
+        }
+    }
+
+    /// Ends the session politely. Errors are ignored — the daemon drops
+    /// the shard either way when the stream closes.
+    pub fn shutdown(&mut self) {
+        if self.poisoned.is_none() {
+            let _ = Frame::Shutdown.write_to(&mut self.writer);
+        }
+    }
+}
+
+impl Drop for RemoteShard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One member of the service's shard pool.
+pub enum PoolMember {
+    /// An in-process shard, exactly as PR 7 built them.
+    Local(Mutex<Shard>),
+    /// A shard hosted behind a `felim-shardd` session.
+    Remote(Mutex<RemoteShard>),
+}
+
+/// The dispatch surface [`BulkService`](crate::BulkService) runs
+/// against: an indexable pool whose members answer `execute` and
+/// `read_local_row` identically whether local or remote. Settlement
+/// order is (tick, shard, sequence) — the service reduces outcomes in
+/// shard-index order every tick and each remote link settles its
+/// replies in sequence order, so the response log is byte-identical for
+/// any local/remote mix.
+pub struct ShardPool {
+    members: Vec<PoolMember>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.members.len())
+            .field("remote", &self.remote_count())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Wraps the members into a pool.
+    pub fn new(members: Vec<PoolMember>) -> Self {
+        Self { members }
+    }
+
+    /// Number of shards in the pool.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the pool has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of remote members.
+    pub fn remote_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| matches!(m, PoolMember::Remote(_)))
+            .count()
+    }
+
+    /// Is shard `s` remote?
+    pub fn is_remote(&self, s: usize) -> bool {
+        matches!(self.members[s], PoolMember::Remote(_))
+    }
+
+    /// Data rows of shard `s` (identical across members by
+    /// construction; validated by the service at build time).
+    pub fn data_rows(&self, s: usize) -> u64 {
+        match &self.members[s] {
+            PoolMember::Local(shard) => shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .data_rows(),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .data_rows(),
+        }
+    }
+
+    /// Executes one coalesced batch on shard `s`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when a remote member's link failed;
+    /// local members are infallible at this layer (their per-op faults
+    /// ride inside the outcome).
+    pub fn execute(
+        &self,
+        s: usize,
+        ops: &[RowOp],
+        tick_s: f64,
+    ) -> Result<ShardBatchOutcome, ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(shard) => Ok(shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .execute(ops, tick_s)),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .execute(ops, tick_s),
+        }
+    }
+
+    /// Maintenance read of shard `s`'s local `row`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backend`] for backend faults,
+    /// [`ServeError::Transport`] for remote link failures.
+    pub fn read_local_row(&self, s: usize, row: u64) -> Result<Vec<u64>, ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(shard) => shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .read_local_row(row)
+                .map_err(|source| ServeError::Backend { source }),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .read_local_row(row),
+        }
+    }
+}
+
+/// The daemon side: a bound listener serving shard sessions. Used by
+/// the `felim-shardd` binary and, in-process, by transport tests.
+#[derive(Debug)]
+pub struct ShardHost {
+    listener: TcpListener,
+}
+
+impl ShardHost {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, verbatim.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (what to advertise to clients).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: a bound listener has a local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Accepts and serves exactly one session on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// The accept failure, verbatim (session-level wire errors end the
+    /// session silently — the client owns failure reporting).
+    pub fn serve_once(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        run_session(stream);
+        Ok(())
+    }
+
+    /// Accepts sessions forever, one thread per connection — the
+    /// `felim-shardd` main loop. Only returns on accept failure.
+    ///
+    /// # Errors
+    ///
+    /// The accept failure, verbatim.
+    pub fn serve_forever(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            std::thread::spawn(move || run_session(stream));
+        }
+    }
+}
+
+/// Serves one client session: Hello → shard construction → batch loop.
+///
+/// One **fresh shard per session**: the shard is built from the Hello
+/// parameters and dropped when the session ends, so no client can
+/// observe another's rows and a reconnect always starts from a
+/// well-defined (empty) state. Wire failures end the session quietly —
+/// the client side owns turning them into typed errors.
+pub fn run_session(stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+
+    // Handshake: exactly one Hello, answered even on version mismatch
+    // so the client can diagnose `VersionMismatch` instead of a dead
+    // socket.
+    let (technology, geometry, tier) = match Frame::read_from(&mut reader) {
+        Ok(Frame::Hello {
+            version,
+            technology,
+            geometry,
+            tier,
+        }) => {
+            if version != WIRE_VERSION || geometry.validate().is_err() {
+                let _ = Frame::HelloAck {
+                    version: WIRE_VERSION,
+                    data_rows: 0,
+                }
+                .write_to(&mut writer);
+                return;
+            }
+            (technology, geometry, tier)
+        }
+        _ => return,
+    };
+    let mut shard = Shard::new(technology, geometry, tier);
+    let ack = Frame::HelloAck {
+        version: WIRE_VERSION,
+        data_rows: shard.data_rows(),
+    };
+    if ack.write_to(&mut writer).is_err() {
+        return;
+    }
+    telemetry::counter("serve.remote.sessions").inc();
+
+    loop {
+        match Frame::read_from(&mut reader) {
+            Ok(Frame::Batch { seq, tick_s, ops }) => {
+                let outcome = shard.execute(&ops, tick_s);
+                let reply = Frame::BatchReply { seq, outcome };
+                if reply.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::ReadRow { seq, row }) => {
+                let result = shard.read_local_row(row);
+                let reply = Frame::ReadRowReply { seq, result };
+                if reply.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Shutdown) => return,
+            // A second Hello, a reply frame, or any wire failure ends
+            // the session; the shard (and its state) drops here.
+            _ => return,
+        }
+    }
+}
+
+/// A `felim-shardd` child process on an ephemeral loopback port, killed
+/// on drop. The daemon advertises its bound address as the first stdout
+/// line (`LISTENING <addr>`), which `spawn` parses.
+#[derive(Debug)]
+pub struct ShardHostChild {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ShardHostChild {
+    /// Spawns `bin --listen 127.0.0.1:0` and waits for its address
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or a daemon that exits / prints garbage instead
+    /// of `LISTENING <addr>`.
+    pub fn spawn(bin: impl AsRef<std::ffi::OsStr>) -> std::io::Result<Self> {
+        let mut child = std::process::Command::new(bin.as_ref())
+            .args(["--listen", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line)?;
+        let addr = match line.trim().strip_prefix("LISTENING ") {
+            Some(addr) if !addr.is_empty() => addr.to_owned(),
+            _ => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("shardd did not advertise an address (got {line:?})"),
+                ));
+            }
+        };
+        Ok(Self { child, addr })
+    }
+
+    /// The daemon's advertised `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Kills the daemon now (tests that simulate peer loss).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardHostChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felim_arch::batch::RowOpOutput;
+    use felim_arch::geometry::RowId;
+
+    /// An in-process host serving `sessions` sessions on its own thread.
+    fn host(sessions: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let host = ShardHost::bind("127.0.0.1:0").unwrap();
+        let addr = host.local_addr();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..sessions {
+                host.serve_once().unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn remote_shard_matches_local_shard_bit_for_bit() {
+        let (addr, handle) = host(1);
+        let geometry = MemoryGeometry::tiny();
+        let mut local = Shard::new(Technology::Feram, geometry, None);
+        let mut remote = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            geometry,
+            None,
+            ConnectRetry::default(),
+        )
+        .unwrap();
+        assert_eq!(remote.data_rows(), local.data_rows());
+
+        let ops = vec![
+            RowOp::Write {
+                row: RowId(0),
+                data: vec![0b1100; 128],
+            },
+            RowOp::Write {
+                row: RowId(1),
+                data: vec![0b1010; 128],
+            },
+            RowOp::Nand {
+                a: RowId(0),
+                b: RowId(1),
+                dst: RowId(2),
+            },
+            RowOp::Read { row: RowId(2) },
+        ];
+        let want = local.execute(&ops, 1e-3);
+        let got = remote.execute(&ops, 1e-3).unwrap();
+        assert_eq!(got, want, "remote outcome must be bit-identical");
+        match &got.outputs[3] {
+            Ok(RowOpOutput::Data(words)) => assert_eq!(words[0], !0b1000u64),
+            other => panic!("expected data, got {other:?}"),
+        }
+        assert_eq!(
+            remote.read_local_row(2).unwrap(),
+            local.read_local_row(2).unwrap()
+        );
+        remote.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batches_settle_in_sequence_order() {
+        let (addr, handle) = host(1);
+        let mut remote = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            MemoryGeometry::tiny(),
+            None,
+            ConnectRetry::default(),
+        )
+        .unwrap();
+        // Queue four batches before reading any reply.
+        let mut seqs = Vec::new();
+        for i in 0..4u64 {
+            let ops = vec![RowOp::Write {
+                row: RowId(i),
+                data: vec![i; 128],
+            }];
+            seqs.push(remote.send_batch(&ops, 1e-3).unwrap());
+        }
+        assert_eq!(remote.inflight(), 4);
+        for want in seqs {
+            let (seq, outcome) = remote.recv_batch().unwrap();
+            assert_eq!(seq, want);
+            assert!(outcome.outputs.iter().all(Result::is_ok));
+        }
+        assert_eq!(remote.inflight(), 0);
+        remote.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn protected_tier_crosses_the_wire() {
+        let (addr, handle) = host(1);
+        let geometry = MemoryGeometry::tiny();
+        let tier = Some((DriftSpec::quiet(99), 0.5));
+        let mut local = Shard::new(Technology::Feram, geometry, tier.clone());
+        let mut remote = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            geometry,
+            tier,
+            ConnectRetry::default(),
+        )
+        .unwrap();
+        let ops = vec![
+            RowOp::Write {
+                row: RowId(5),
+                data: vec![0xF0F0; 128],
+            },
+            RowOp::Read { row: RowId(5) },
+        ];
+        assert_eq!(remote.execute(&ops, 0.5).unwrap(), local.execute(&ops, 0.5));
+        remote.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dead_peer_poisons_the_session_with_typed_errors() {
+        let (addr, handle) = host(1);
+        let mut remote = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            MemoryGeometry::tiny(),
+            None,
+            ConnectRetry::default(),
+        )
+        .unwrap();
+        // End the daemon side by shutting down, then keep using the
+        // session: the next call must be a typed Transport error, and
+        // every call after that echoes the poison.
+        remote.shutdown();
+        handle.join().unwrap();
+        let ops = vec![RowOp::Read { row: RowId(0) }];
+        // The send may still land in the OS buffer; the recv must fail.
+        let err = match remote.execute(&ops, 1e-3) {
+            Err(e) => e,
+            Ok(_) => panic!("session kept working after peer shutdown"),
+        };
+        match &err {
+            ServeError::Transport { kind, .. } => {
+                assert!(
+                    matches!(
+                        kind,
+                        TransportErrorKind::PeerLost | TransportErrorKind::ShortRead
+                    ),
+                    "got {kind:?}"
+                );
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+        assert!(matches!(
+            remote.execute(&ops, 1e-3),
+            Err(ServeError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_to_nothing_fails_after_bounded_retries() {
+        // Bind-then-drop to find a port with nothing listening.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let retry = ConnectRetry {
+            attempts: 2,
+            base_backoff: Duration::from_millis(1),
+        };
+        let err = RemoteShard::connect(
+            &format!("127.0.0.1:{port}"),
+            Technology::Feram,
+            MemoryGeometry::tiny(),
+            None,
+            retry,
+        )
+        .unwrap_err();
+        match err {
+            ServeError::Transport { kind, detail, .. } => {
+                assert_eq!(kind, TransportErrorKind::PeerLost);
+                assert!(detail.contains("2 attempts"), "{detail}");
+            }
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let retry = ConnectRetry::default();
+        assert_eq!(retry.backoff(0), Duration::ZERO);
+        assert_eq!(retry.backoff(1), Duration::from_millis(20));
+        assert_eq!(retry.backoff(2), Duration::from_millis(40));
+        assert_eq!(retry.backoff(30), Duration::from_secs(1), "capped");
+    }
+
+    #[test]
+    fn pool_mixes_local_and_remote_members_transparently() {
+        let (addr, handle) = host(1);
+        let geometry = MemoryGeometry::tiny();
+        let remote = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            geometry,
+            None,
+            ConnectRetry::default(),
+        )
+        .unwrap();
+        let pool = ShardPool::new(vec![
+            PoolMember::Local(Mutex::new(Shard::new(Technology::Feram, geometry, None))),
+            PoolMember::Remote(Mutex::new(remote)),
+        ]);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.remote_count(), 1);
+        assert!(!pool.is_remote(0));
+        assert!(pool.is_remote(1));
+        assert_eq!(pool.data_rows(0), pool.data_rows(1));
+        let ops = vec![
+            RowOp::Write {
+                row: RowId(0),
+                data: vec![42; 128],
+            },
+            RowOp::Read { row: RowId(0) },
+        ];
+        let a = pool.execute(0, &ops, 1e-3).unwrap();
+        let b = pool.execute(1, &ops, 1e-3).unwrap();
+        assert_eq!(a, b, "local and remote members must agree bit-for-bit");
+        assert_eq!(
+            pool.read_local_row(0, 0).unwrap(),
+            pool.read_local_row(1, 0).unwrap()
+        );
+        drop(pool);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_with_a_typed_error() {
+        // A raw listener that answers Hello with a wrong-version ack.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            assert!(matches!(
+                Frame::read_from(&mut reader).unwrap(),
+                Frame::Hello { .. }
+            ));
+            Frame::HelloAck {
+                version: WIRE_VERSION + 1,
+                data_rows: 0,
+            }
+            .write_to(&mut writer)
+            .unwrap();
+        });
+        let err = RemoteShard::connect(
+            &addr.to_string(),
+            Technology::Feram,
+            MemoryGeometry::tiny(),
+            None,
+            ConnectRetry::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Transport {
+                kind: TransportErrorKind::VersionMismatch,
+                ..
+            }
+        ));
+        handle.join().unwrap();
+    }
+}

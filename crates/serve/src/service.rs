@@ -38,6 +38,7 @@
 use crate::catalog::Catalog;
 use crate::dsl::Program;
 use crate::plan::KernelPlan;
+use crate::remote::{ConnectRetry, PoolMember, RemoteShard, ShardPool};
 use crate::request::{
     fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId,
 };
@@ -49,11 +50,12 @@ use felim_arch::energy::LatencyModel;
 use felim_arch::geometry::{MemoryGeometry, RowId};
 use felim_arch::shard::{ShardId, ShardMap};
 use felim_arch::ArchError;
-use felim_exec::{derive_seed, ExecPool};
+use felim_exec::{derive_seed, fnv1a_str, ExecPool};
 use felim_telemetry as telemetry;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Reliability tier the shard pool runs at.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -127,6 +129,18 @@ pub struct ServiceConfig {
     /// when the vector is unchanged since its last read (invalidated on
     /// any write to it).
     pub read_cache: bool,
+    /// Shards hosted remotely, as `(shard_index, "host:port")` pairs
+    /// pointing at `felim-shardd` daemons. Unlisted shards stay
+    /// in-process; the mix is transparent — response logs are
+    /// byte-identical for any placement. Validated when the service is
+    /// built: indices must be in range and unique.
+    pub remote_shards: Vec<(u32, String)>,
+    /// Connection attempts per remote shard before the build fails
+    /// (bounded backoff between attempts; at least 1).
+    pub remote_connect_attempts: u32,
+    /// Backoff before the second connection attempt, milliseconds
+    /// (doubling per attempt, capped at one second).
+    pub remote_connect_backoff_ms: u64,
 }
 
 impl ServiceConfig {
@@ -149,6 +163,17 @@ impl ServiceConfig {
             seed: 0x5eed,
             kernel_scratch_rows: 64,
             read_cache: true,
+            remote_shards: Vec::new(),
+            remote_connect_attempts: 5,
+            remote_connect_backoff_ms: 20,
+        }
+    }
+
+    /// The connection-retry policy derived from the remote knobs.
+    pub fn connect_retry(&self) -> ConnectRetry {
+        ConnectRetry {
+            attempts: self.remote_connect_attempts.max(1),
+            base_backoff: Duration::from_millis(self.remote_connect_backoff_ms),
         }
     }
 
@@ -233,6 +258,12 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Cache entries dropped because their vector was written.
     pub cache_invalidations: u64,
+    /// Kernel submissions whose compiled plan came from the plan cache
+    /// (same program digest and bindings — compilation skipped).
+    pub plan_cache_hits: u64,
+    /// Requests failed by a remote shard's transport (torn frame,
+    /// corrupt payload, peer loss) — never silently dropped.
+    pub transport_errors: u64,
 }
 
 /// Latency distribution over completed requests, in simulated cycles.
@@ -305,7 +336,7 @@ pub struct BulkService {
     config: ServiceConfig,
     map: ShardMap,
     catalog: Catalog,
-    shards: Arc<Vec<Mutex<Shard>>>,
+    shards: Arc<ShardPool>,
     pool: ExecPool,
     latency_model: LatencyModel,
     pending: VecDeque<PendingRequest>,
@@ -325,7 +356,15 @@ pub struct BulkService {
     /// Content-addressed read cache: vector name → `(rows, digest)`,
     /// valid while the vector is unwritten since the digest was taken.
     read_cache: HashMap<String, (u64, u64)>,
+    /// Compiled-kernel cache keyed on (program digest, bindings):
+    /// repeated `Kernel` submissions of the same program against the
+    /// same binding shape skip recompilation entirely.
+    plan_cache: HashMap<PlanKey, Arc<KernelPlan>>,
 }
+
+/// Plan-cache key: the kernel program's content digest plus the exact
+/// (dst, src) binding list it was compiled against.
+type PlanKey = (u64, Vec<(String, String)>);
 
 impl std::fmt::Debug for BulkService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -377,6 +416,21 @@ impl BulkService {
                 });
             }
         }
+        for (i, &(s, _)) in config.remote_shards.iter().enumerate() {
+            if s >= config.shards {
+                return Err(ServeError::InvalidConfig {
+                    message: format!(
+                        "remote placement for shard#{s} outside the configured {} shards",
+                        config.shards
+                    ),
+                });
+            }
+            if config.remote_shards[..i].iter().any(|&(t, _)| t == s) {
+                return Err(ServeError::InvalidConfig {
+                    message: format!("shard#{s} has two remote placements"),
+                });
+            }
+        }
         let tier_config = match &config.tier {
             ServiceTier::Baseline => None,
             ServiceTier::Protected {
@@ -384,20 +438,46 @@ impl BulkService {
                 scrub_period_s,
             } => Some((drift.clone(), *scrub_period_s)),
         };
-        let shards: Vec<Mutex<Shard>> = (0..config.shards)
+        let members: Vec<PoolMember> = (0..config.shards)
             .map(|i| {
                 let tier = tier_config.clone().map(|(mut drift, period)| {
-                    // Each shard gets its own derived fault stream.
+                    // Each shard gets its own derived fault stream —
+                    // derived HERE, before any placement decision, so a
+                    // remote shard receives exactly the seed its local
+                    // twin would have used.
                     drift.seed = derive_seed(drift.seed, u64::from(i));
                     (drift, period)
                 });
-                Mutex::new(Shard::new(config.technology, config.shard_geometry, tier))
+                match config.remote_shards.iter().find(|&&(s, _)| s == i) {
+                    None => Ok(PoolMember::Local(Mutex::new(Shard::new(
+                        config.technology,
+                        config.shard_geometry,
+                        tier,
+                    )))),
+                    Some((_, addr)) => RemoteShard::connect(
+                        addr,
+                        config.technology,
+                        config.shard_geometry,
+                        tier,
+                        config.connect_retry(),
+                    )
+                    .map(|r| PoolMember::Remote(Mutex::new(r))),
+                }
             })
-            .collect();
-        let data_rows = shards[0]
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .data_rows();
+            .collect::<Result<_, ServeError>>()?;
+        let shards = ShardPool::new(members);
+        let data_rows = shards.data_rows(0);
+        for s in 1..config.shards as usize {
+            if shards.data_rows(s) != data_rows {
+                return Err(ServeError::InvalidConfig {
+                    message: format!(
+                        "shard#{s} reports {} data rows, shard#0 reports {data_rows} — \
+                         a remote host was built with different parameters",
+                        shards.data_rows(s)
+                    ),
+                });
+            }
+        }
         if config.kernel_scratch_rows >= data_rows {
             return Err(ServeError::InvalidConfig {
                 message: format!(
@@ -412,6 +492,7 @@ impl BulkService {
         let map = ShardMap::new(config.shards, data_rows).expect("non-zero shards and rows");
         let catalog = Catalog::new(config.shards, scratch_base);
         telemetry::gauge("serve.shards").set(f64::from(config.shards));
+        telemetry::gauge("serve.remote.shards").set(shards.remote_count() as f64);
         Ok(Self {
             catalog,
             map,
@@ -431,6 +512,7 @@ impl BulkService {
             next_id: 0,
             scratch_base,
             read_cache: HashMap::new(),
+            plan_cache: HashMap::new(),
             config,
         })
     }
@@ -558,10 +640,11 @@ impl BulkService {
     }
 
     /// Validates a submission and returns the shards it will occupy,
-    /// plus the compiled plan for kernel requests.
+    /// plus the compiled plan for kernel requests (`&mut self` only to
+    /// feed the plan cache).
     #[allow(clippy::type_complexity)]
     fn admit(
-        &self,
+        &mut self,
         tenant: TenantId,
         op: &LogicalOp,
     ) -> Result<(Vec<u32>, Option<Arc<KernelPlan>>), ServeError> {
@@ -579,18 +662,28 @@ impl BulkService {
         // Kernels parse and plan at admission, before any queue state
         // changes: a malformed program is rejected atomically, and the
         // compiled plan rides with the request so dispatch just stamps
-        // it out per shard.
+        // it out per shard. Compilation is deterministic, so a plan
+        // keyed on (program digest, bindings) is reusable verbatim —
+        // repeated submissions of the same kernel skip the compiler.
         let plan = if let LogicalOp::Kernel { program, bindings } = op {
-            let parsed = Program::parse(program).map_err(|e| ServeError::KernelParse {
-                position: e.position,
-                message: e.message,
-            })?;
-            let plan = KernelPlan::compile(&parsed, bindings).map_err(|e| {
-                ServeError::KernelPlan {
-                    message: e.to_string(),
-                }
-            })?;
-            Some(Arc::new(plan))
+            let key = (fnv1a_str(program), bindings.clone());
+            if let Some(cached) = self.plan_cache.get(&key) {
+                self.stats.plan_cache_hits += 1;
+                telemetry::counter("serve.kernel.plan_cache_hits").inc();
+                Some(Arc::clone(cached))
+            } else {
+                let parsed = Program::parse(program).map_err(|e| ServeError::KernelParse {
+                    position: e.position,
+                    message: e.message,
+                })?;
+                let plan = Arc::new(KernelPlan::compile(&parsed, bindings).map_err(|e| {
+                    ServeError::KernelPlan {
+                        message: e.to_string(),
+                    }
+                })?);
+                self.plan_cache.insert(key, Arc::clone(&plan));
+                Some(plan)
+            }
         } else {
             None
         };
@@ -706,29 +799,30 @@ impl BulkService {
         }
 
         // Dispatch every shard (empty batches still tick the
-        // reliability clock) concurrently; reduce in shard order.
+        // reliability clock) concurrently; reduce in shard order. A
+        // remote member's dispatch can fail at the transport — the
+        // per-shard `Result` carries that without disturbing the other
+        // shards' outcomes.
         let work: Arc<Vec<(usize, Vec<RowOp>)>> =
             Arc::new(shard_ops.into_iter().enumerate().collect());
         let shards = Arc::clone(&self.shards);
         let tick_s = self.config.tick_s;
-        let outcomes: Vec<ShardBatchOutcome> = self.pool.map(
+        let outcomes: Vec<Result<ShardBatchOutcome, ServeError>> = self.pool.map(
             &work,
             Arc::new(move |_i: usize, (s, ops): &(usize, Vec<RowOp>)| {
-                shards[*s]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .execute(ops, tick_s)
+                shards.execute(*s, ops, tick_s)
             }),
         );
 
         let makespan = outcomes
             .iter()
-            .map(|o| o.makespan_cycles)
+            .filter_map(|o| o.as_ref().ok().map(|o| o.makespan_cycles))
             .max()
             .unwrap_or(0);
         self.sim_cycles += makespan;
         telemetry::histogram("serve.tick.makespan_cycles").record(makespan);
         for (s, outcome) in outcomes.iter().enumerate() {
+            let Ok(outcome) = outcome else { continue };
             let load = &mut self.shard_load[s];
             load.batches += 1;
             load.row_ops += outcome.outputs.len() as u64;
@@ -792,11 +886,7 @@ impl BulkService {
                 shard,
                 "placement and ownership map disagree"
             );
-            let data = self.shards[shard.0 as usize]
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .read_local_row(local.0)
-                .map_err(|source| ServeError::Backend { source })?;
+            let data = self.shards.read_local_row(shard.0 as usize, local.0)?;
             rows.push(data);
         }
         Ok(rows)
@@ -1019,12 +1109,49 @@ impl BulkService {
         &mut self,
         mut req: PendingRequest,
         spans: &[(usize, usize)],
-        outcomes: &[ShardBatchOutcome],
+        outcomes: &[Result<ShardBatchOutcome, ServeError>],
     ) {
+        // A transport failure on any shard this request dispatched to
+        // fails it honestly: the remote shard's post-failure state is
+        // unknown, so neither success nor retry would be truthful. The
+        // first failing shard in index order decides (determinism).
+        for (s, &(_, count)) in spans.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if let Err(err) = &outcomes[s] {
+                self.stats.failed += 1;
+                self.stats.transport_errors += 1;
+                telemetry::counter("serve.failed").inc();
+                telemetry::counter("serve.transport_errors").inc();
+                self.release(&req);
+                self.responses.push(ServeResponse {
+                    request: req.id,
+                    tenant: req.tenant,
+                    op: req.op.mnemonic(),
+                    outcome: Err(err.clone()),
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: self.now,
+                    latency_cycles: self.sim_cycles - req.submit_cycles,
+                    retries: req.attempts,
+                });
+                return;
+            }
+        }
+        // From here every shard this request touched has an outcome.
+        let outcome_at = |s: usize| -> &ShardBatchOutcome {
+            outcomes[s]
+                .as_ref()
+                .expect("transport failures settled above")
+        };
+
         // First error in shard-then-op order decides the outcome.
         let mut first_error: Option<ArchError> = None;
         'scan: for (s, &(start, count)) in spans.iter().enumerate() {
-            for r in &outcomes[s].outputs[start..start + count] {
+            if count == 0 {
+                continue;
+            }
+            for r in &outcome_at(s).outputs[start..start + count] {
                 if let Err(e) = r {
                     first_error = Some(e.clone());
                     break 'scan;
@@ -1052,7 +1179,7 @@ impl BulkService {
                             let s = shard.0 as usize;
                             let k = (i / u64::from(shards)) as usize;
                             let (start, _) = spans[s];
-                            match &outcomes[s].outputs[start + k] {
+                            match &outcome_at(s).outputs[start + k] {
                                 Ok(RowOpOutput::Data(row)) => words.extend_from_slice(row),
                                 other => unreachable!("read op yielded {other:?}"),
                             }
@@ -1657,6 +1784,122 @@ mod tests {
             BulkService::new(cfg),
             Err(ServeError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn kernel_plan_cache_skips_recompilation() {
+        let mut svc = setup(2);
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![0b1100]);
+        write(&mut svc, t, "b", vec![0b1010]);
+        let kernel = || LogicalOp::Kernel {
+            program: "d = a & ~b".into(),
+            bindings: vec![
+                ("a".into(), "a".into()),
+                ("b".into(), "b".into()),
+                ("d".into(), "d".into()),
+            ],
+        };
+        for _ in 0..3 {
+            svc.submit(t, kernel(), None).unwrap();
+            svc.drain();
+        }
+        // First submission compiles and fills; the next two hit.
+        assert_eq!(svc.stats().plan_cache_hits, 2);
+        let rows = svc.read_vector("d").unwrap();
+        let want = 0b1100u64 & !0b1010u64;
+        assert!(rows.iter().all(|r| r.iter().all(|&w| w == want)));
+        // A different binding shape is a different plan: no false hit.
+        svc.create_vector("e", 8).unwrap();
+        svc.submit(
+            t,
+            LogicalOp::Kernel {
+                program: "d = a & ~b".into(),
+                bindings: vec![
+                    ("a".into(), "b".into()),
+                    ("b".into(), "a".into()),
+                    ("d".into(), "e".into()),
+                ],
+            },
+            None,
+        )
+        .unwrap();
+        svc.drain();
+        assert_eq!(svc.stats().plan_cache_hits, 2);
+    }
+
+    #[test]
+    fn remote_placements_are_validated() {
+        let mut cfg = ServiceConfig::small(2);
+        cfg.remote_shards = vec![(7, "127.0.0.1:1".into())];
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let mut cfg = ServiceConfig::small(2);
+        cfg.remote_shards = vec![(0, "127.0.0.1:1".into()), (0, "127.0.0.1:2".into())];
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_remote_shard_fails_the_build_with_transport() {
+        // Bind-then-drop to get a dead port.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut cfg = ServiceConfig::small(1);
+        cfg.remote_shards = vec![(0, format!("127.0.0.1:{port}"))];
+        cfg.remote_connect_attempts = 2;
+        cfg.remote_connect_backoff_ms = 1;
+        assert!(matches!(
+            BulkService::new(cfg),
+            Err(ServeError::Transport { .. })
+        ));
+    }
+
+    #[test]
+    fn remote_shard_service_is_byte_identical_to_local() {
+        use crate::remote::ShardHost;
+
+        let host = ShardHost::bind("127.0.0.1:0").unwrap();
+        let addr = host.local_addr().to_string();
+        let server = std::thread::spawn(move || host.serve_once().unwrap());
+
+        let drive = |mut svc: BulkService| -> (String, Vec<Vec<u64>>) {
+            svc.create_vector("a", 8).unwrap();
+            svc.create_vector("b", 8).unwrap();
+            svc.create_vector("d", 8).unwrap();
+            let t = TenantId(0);
+            write(&mut svc, t, "a", vec![0xDEAD, 0xBEEF]);
+            write(&mut svc, t, "b", vec![0x1234]);
+            svc.submit(
+                t,
+                LogicalOp::Xor {
+                    a: "a".into(),
+                    b: "b".into(),
+                    dst: "d".into(),
+                },
+                None,
+            )
+            .unwrap();
+            svc.submit(t, LogicalOp::Read { src: "d".into() }, None)
+                .unwrap();
+            svc.drain();
+            let log = serde_json::to_string(&svc.take_responses()).unwrap();
+            (log, svc.read_vector("d").unwrap())
+        };
+
+        let mut remote_cfg = ServiceConfig::small(2);
+        remote_cfg.remote_shards = vec![(1, addr)];
+        let (remote_log, remote_rows) = drive(BulkService::new(remote_cfg).unwrap());
+        let (local_log, local_rows) = drive(BulkService::new(ServiceConfig::small(2)).unwrap());
+        assert_eq!(remote_log, local_log, "response logs must be byte-identical");
+        assert_eq!(remote_rows, local_rows);
+        server.join().unwrap();
     }
 
     #[test]

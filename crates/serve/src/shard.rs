@@ -48,8 +48,10 @@ enum ShardBackend {
     ReliableDram(Box<ReliabilityController<DramBackend>>),
 }
 
-/// Outcome of one batch dispatch on one shard.
-#[derive(Debug)]
+/// Outcome of one batch dispatch on one shard. `Clone + PartialEq` so
+/// outcomes can cross the [`wire`](crate::wire) protocol and be
+/// compared end-to-end in transport tests.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardBatchOutcome {
     /// Per-op results, in batch order (empty batches yield an empty
     /// vector — the dispatch still ticks the reliability clock).

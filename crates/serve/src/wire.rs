@@ -1,0 +1,878 @@
+//! The shard transport wire format: length-prefixed, CRC-32-guarded
+//! binary frames over any [`Read`]/[`Write`] byte stream.
+//!
+//! PR 7/8 stop at one process: every shard is a `Mutex<Shard>` in the
+//! service's own address space. This module is the first half of the
+//! multi-node story (the other half is [`remote`](crate::remote)): a
+//! vendored-only frame codec that carries the existing
+//! [`RowOp`] batch schedules and their [`ShardBatchOutcome`]s across a
+//! `std::net::TcpStream` — no async runtime, no serde-derived wire
+//! structs, every integer little-endian and every `f64` moved as its
+//! IEEE-754 bit pattern so outcomes are **bit-identical** on both ends.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────┬─────────────┐
+//! │ len: u32LE │ payload = tag: u8 ++ body    │ crc32: u32LE│
+//! └────────────┴──────────────────────────────┴─────────────┘
+//! ```
+//!
+//! * `len` counts the payload only (tag + body), capped at
+//!   [`MAX_FRAME`]; a larger prefix is rejected **before** any
+//!   allocation ([`TransportErrorKind::Oversize`]).
+//! * `crc32` is the IEEE CRC-32 of the payload. A mismatch — one
+//!   flipped bit anywhere in flight — is
+//!   [`TransportErrorKind::Corrupt`], never a mis-decoded frame.
+//! * EOF cleanly **between** frames is [`TransportErrorKind::PeerLost`]
+//!   (the peer went away); EOF **inside** a frame is
+//!   [`TransportErrorKind::ShortRead`] (a torn frame). The distinction
+//!   matters operationally: the first is a dead shardd, the second a
+//!   cut mid-sentence.
+//!
+//! Sessions open with a [`Frame::Hello`] / [`Frame::HelloAck`]
+//! handshake pinning [`WIRE_VERSION`] and the shard's construction
+//! parameters (technology, geometry, reliability tier **with the
+//! already-derived per-shard drift seed**), so a remote shard is built
+//! from exactly the same inputs as a local one — the root of the
+//! byte-identical settlement guarantee.
+
+use crate::shard::{ShardBatchOutcome, Technology};
+use felim_arch::batch::{RowOp, RowOpOutput};
+use felim_arch::drift::DriftSpec;
+use felim_arch::geometry::MemoryGeometry;
+use felim_arch::ArchError;
+use serde::Serialize;
+use std::io::{Read, Write};
+
+/// Protocol revision carried in every [`Frame::Hello`]. Bump on any
+/// frame-layout change; mismatched peers refuse each other with
+/// [`TransportErrorKind::VersionMismatch`] instead of mis-decoding.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload, bytes. A batch of row-writes
+/// against the paper's 8 KB rows stays far below this; anything larger
+/// on the wire is a corrupt or hostile length prefix.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// IEEE CRC-32 lookup table (reflected polynomial `0xEDB8_8320`).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the zlib/ethernet polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// How a transport interaction failed — the typed taxonomy behind
+/// [`ServeError::Transport`](crate::ServeError::Transport).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TransportErrorKind {
+    /// The stream ended inside a frame: a torn frame or short read.
+    ShortRead,
+    /// The frame arrived whole but failed its CRC or decoded to
+    /// nonsense (unknown tag, trailing bytes, malformed body).
+    Corrupt,
+    /// The length prefix exceeds [`MAX_FRAME`] — rejected before
+    /// allocation.
+    Oversize,
+    /// The peer speaks a different [`WIRE_VERSION`].
+    VersionMismatch,
+    /// The peer is gone: connection refused, reset, or closed at a
+    /// frame boundary.
+    PeerLost,
+    /// Framing was intact but the conversation was not: an unexpected
+    /// frame type or an out-of-order sequence number.
+    Protocol,
+}
+
+impl TransportErrorKind {
+    /// Stable lower-snake label for telemetry and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportErrorKind::ShortRead => "short_read",
+            TransportErrorKind::Corrupt => "corrupt",
+            TransportErrorKind::Oversize => "oversize",
+            TransportErrorKind::VersionMismatch => "version_mismatch",
+            TransportErrorKind::PeerLost => "peer_lost",
+            TransportErrorKind::Protocol => "protocol",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed transport failure: what went wrong plus a human diagnosis.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WireError {
+    /// The failure class.
+    pub kind: TransportErrorKind,
+    /// Human-readable diagnosis (offsets, expected/got values…).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Builds an error of `kind` with a formatted diagnosis.
+    pub fn new(kind: TransportErrorKind, detail: impl Into<String>) -> Self {
+        Self {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One protocol message. The session grammar:
+///
+/// ```text
+/// client: Hello ─────────▶            (version + shard construction)
+///            ◀───────── HelloAck      (version + data_rows)
+/// client: Batch{seq}* / ReadRow{seq}* ─▶   (pipelined, seq-tagged)
+///            ◀─ BatchReply{seq} / ReadRowReply{seq}  (in seq order)
+/// client: Shutdown ──────▶            (then both sides close)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → daemon: open a session and construct the hosted shard.
+    Hello {
+        /// The client's [`WIRE_VERSION`].
+        version: u32,
+        /// Memory technology of the hosted shard.
+        technology: Technology,
+        /// Geometry of the hosted shard's array.
+        geometry: MemoryGeometry,
+        /// `None` hosts a baseline shard; `Some((drift, scrub_s))` a
+        /// protected one. The drift seed must arrive **already derived
+        /// for this shard index** — the daemon applies it verbatim.
+        tier: Option<(DriftSpec, f64)>,
+    },
+    /// Daemon → client: session accepted.
+    HelloAck {
+        /// The daemon's [`WIRE_VERSION`].
+        version: u32,
+        /// Data rows of the constructed shard (client sanity-checks
+        /// this against its local shards).
+        data_rows: u64,
+    },
+    /// Client → daemon: execute one coalesced batch.
+    Batch {
+        /// Client-chosen sequence number; replies echo it.
+        seq: u64,
+        /// Virtual seconds to advance the reliability clock.
+        tick_s: f64,
+        /// The batch schedule, in execution order.
+        ops: Vec<RowOp>,
+    },
+    /// Daemon → client: one batch's outcome.
+    BatchReply {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// The full outcome — outputs, cycles, energy, maintenance.
+        outcome: ShardBatchOutcome,
+    },
+    /// Client → daemon: maintenance read of one local row.
+    ReadRow {
+        /// Client-chosen sequence number; the reply echoes it.
+        seq: u64,
+        /// The shard-local row to read.
+        row: u64,
+    },
+    /// Daemon → client: a maintenance read's result.
+    ReadRowReply {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// The row's words, or the backend's typed fault.
+        result: Result<Vec<u64>, ArchError>,
+    },
+    /// Client → daemon: end the session; the daemon drops the shard.
+    Shutdown,
+}
+
+// ---- body primitives (all little-endian; f64 as IEEE-754 bits) ----
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn take_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    take_u64(buf, pos).map(f64::from_bits)
+}
+
+fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    put_u64(out, words.len() as u64);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+fn take_words(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
+    let count = take_u64(buf, pos)?;
+    // A corrupt count must not drive allocation: every word needs 8
+    // bytes that must actually be present.
+    if count > ((buf.len() - *pos) / 8) as u64 {
+        return None;
+    }
+    let mut words = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        words.push(take_u64(buf, pos)?);
+    }
+    Some(words)
+}
+
+fn put_technology(out: &mut Vec<u8>, t: Technology) {
+    out.push(match t {
+        Technology::Feram => 0,
+        Technology::Dram => 1,
+    });
+}
+
+fn take_technology(buf: &[u8], pos: &mut usize) -> Option<Technology> {
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    match tag {
+        0 => Some(Technology::Feram),
+        1 => Some(Technology::Dram),
+        _ => None,
+    }
+}
+
+fn put_geometry(out: &mut Vec<u8>, g: &MemoryGeometry) {
+    put_u64(out, g.capacity_bytes);
+    put_u64(out, g.row_bytes);
+    put_u64(out, g.rows_per_subarray);
+}
+
+fn take_geometry(buf: &[u8], pos: &mut usize) -> Option<MemoryGeometry> {
+    Some(MemoryGeometry {
+        capacity_bytes: take_u64(buf, pos)?,
+        row_bytes: take_u64(buf, pos)?,
+        rows_per_subarray: take_u64(buf, pos)?,
+    })
+}
+
+fn put_drift(out: &mut Vec<u8>, d: &DriftSpec) {
+    put_u64(out, d.seed);
+    put_f64(out, d.temperature_k);
+    put_f64(out, d.retention.tau_300k_s);
+    put_f64(out, d.retention.beta);
+    put_f64(out, d.retention.activation_ev);
+    put_f64(out, d.sense_floor);
+    put_f64(out, d.imprint.shift_per_decade_v);
+    put_f64(out, d.imprint.onset_s);
+    put_f64(out, d.imprint.activation_ev);
+    put_f64(out, d.imprint.max_shift_v);
+    put_f64(out, d.sense_margin_v);
+    put_f64(out, d.disturb_per_read);
+    put_f64(out, d.wear_acceleration);
+}
+
+fn take_drift(buf: &[u8], pos: &mut usize) -> Option<DriftSpec> {
+    // Start from a stock spec and overwrite every field — serve does
+    // not depend on felim-ferro, so the nested model structs are
+    // reached through DriftSpec's public fields rather than by name.
+    let mut d = DriftSpec::quiet(take_u64(buf, pos)?);
+    d.temperature_k = take_f64(buf, pos)?;
+    d.retention.tau_300k_s = take_f64(buf, pos)?;
+    d.retention.beta = take_f64(buf, pos)?;
+    d.retention.activation_ev = take_f64(buf, pos)?;
+    d.sense_floor = take_f64(buf, pos)?;
+    d.imprint.shift_per_decade_v = take_f64(buf, pos)?;
+    d.imprint.onset_s = take_f64(buf, pos)?;
+    d.imprint.activation_ev = take_f64(buf, pos)?;
+    d.imprint.max_shift_v = take_f64(buf, pos)?;
+    d.sense_margin_v = take_f64(buf, pos)?;
+    d.disturb_per_read = take_f64(buf, pos)?;
+    d.wear_acceleration = take_f64(buf, pos)?;
+    Some(d)
+}
+
+fn put_row_result(out: &mut Vec<u8>, r: &Result<RowOpOutput, ArchError>) {
+    match r {
+        Ok(output) => {
+            out.push(0);
+            output.encode(out);
+        }
+        Err(e) => {
+            out.push(1);
+            e.encode(out);
+        }
+    }
+}
+
+fn take_row_result(buf: &[u8], pos: &mut usize) -> Option<Result<RowOpOutput, ArchError>> {
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    match tag {
+        0 => Some(Ok(RowOpOutput::decode(buf, pos)?)),
+        1 => Some(Err(ArchError::decode(buf, pos)?)),
+        _ => None,
+    }
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: &ShardBatchOutcome) {
+    put_u64(out, o.outputs.len() as u64);
+    for r in &o.outputs {
+        put_row_result(out, r);
+    }
+    put_u64(out, o.serial_cycles);
+    put_u64(out, o.makespan_cycles);
+    put_f64(out, o.energy_nj);
+    match &o.maintenance_error {
+        None => out.push(0),
+        Some(e) => {
+            out.push(1);
+            e.encode(out);
+        }
+    }
+}
+
+fn take_outcome(buf: &[u8], pos: &mut usize) -> Option<ShardBatchOutcome> {
+    let count = take_u64(buf, pos)?;
+    // Each output is at least 2 bytes (result tag + body tag).
+    if count > ((buf.len() - *pos) / 2) as u64 {
+        return None;
+    }
+    let mut outputs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        outputs.push(take_row_result(buf, pos)?);
+    }
+    let serial_cycles = take_u64(buf, pos)?;
+    let makespan_cycles = take_u64(buf, pos)?;
+    let energy_nj = take_f64(buf, pos)?;
+    let maintenance_error = match *buf.get(*pos)? {
+        0 => {
+            *pos += 1;
+            None
+        }
+        1 => {
+            *pos += 1;
+            Some(ArchError::decode(buf, pos)?)
+        }
+        _ => return None,
+    };
+    Some(ShardBatchOutcome {
+        outputs,
+        serial_cycles,
+        makespan_cycles,
+        energy_nj,
+        maintenance_error,
+    })
+}
+
+// ---- frame tags ----
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_BATCH: u8 = 3;
+const TAG_BATCH_REPLY: u8 = 4;
+const TAG_READ_ROW: u8 = 5;
+const TAG_READ_ROW_REPLY: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+impl Frame {
+    /// Short name of the frame type (diagnostics, `Protocol` errors).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloAck { .. } => "hello_ack",
+            Frame::Batch { .. } => "batch",
+            Frame::BatchReply { .. } => "batch_reply",
+            Frame::ReadRow { .. } => "read_row",
+            Frame::ReadRowReply { .. } => "read_row_reply",
+            Frame::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serialises the payload (tag + body) without framing — what the
+    /// CRC covers.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Frame::Hello {
+                version,
+                technology,
+                geometry,
+                tier,
+            } => {
+                out.push(TAG_HELLO);
+                put_u32(&mut out, *version);
+                put_technology(&mut out, *technology);
+                put_geometry(&mut out, geometry);
+                match tier {
+                    None => out.push(0),
+                    Some((drift, scrub_period_s)) => {
+                        out.push(1);
+                        put_drift(&mut out, drift);
+                        put_f64(&mut out, *scrub_period_s);
+                    }
+                }
+            }
+            Frame::HelloAck { version, data_rows } => {
+                out.push(TAG_HELLO_ACK);
+                put_u32(&mut out, *version);
+                put_u64(&mut out, *data_rows);
+            }
+            Frame::Batch { seq, tick_s, ops } => {
+                out.push(TAG_BATCH);
+                put_u64(&mut out, *seq);
+                put_f64(&mut out, *tick_s);
+                put_u64(&mut out, ops.len() as u64);
+                for op in ops {
+                    op.encode(&mut out);
+                }
+            }
+            Frame::BatchReply { seq, outcome } => {
+                out.push(TAG_BATCH_REPLY);
+                put_u64(&mut out, *seq);
+                put_outcome(&mut out, outcome);
+            }
+            Frame::ReadRow { seq, row } => {
+                out.push(TAG_READ_ROW);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *row);
+            }
+            Frame::ReadRowReply { seq, result } => {
+                out.push(TAG_READ_ROW_REPLY);
+                put_u64(&mut out, *seq);
+                match result {
+                    Ok(words) => {
+                        out.push(0);
+                        put_words(&mut out, words);
+                    }
+                    Err(e) => {
+                        out.push(1);
+                        e.encode(&mut out);
+                    }
+                }
+            }
+            Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a payload (tag + body) produced by
+    /// [`encode_payload`](Frame::encode_payload). The whole payload
+    /// must be consumed — trailing bytes are [`TransportErrorKind::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] of kind `Corrupt` on any malformed payload.
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+        let corrupt = |what: &str| WireError::new(TransportErrorKind::Corrupt, what);
+        let (&tag, body) = payload
+            .split_first()
+            .ok_or_else(|| corrupt("empty payload"))?;
+        let mut pos = 0usize;
+        let frame = match tag {
+            TAG_HELLO => {
+                let version =
+                    take_u32(body, &mut pos).ok_or_else(|| corrupt("hello: truncated version"))?;
+                let technology = take_technology(body, &mut pos)
+                    .ok_or_else(|| corrupt("hello: bad technology"))?;
+                let geometry = take_geometry(body, &mut pos)
+                    .ok_or_else(|| corrupt("hello: truncated geometry"))?;
+                let tier = match body.get(pos).copied() {
+                    Some(0) => {
+                        pos += 1;
+                        None
+                    }
+                    Some(1) => {
+                        pos += 1;
+                        let drift = take_drift(body, &mut pos)
+                            .ok_or_else(|| corrupt("hello: truncated drift spec"))?;
+                        let scrub = take_f64(body, &mut pos)
+                            .ok_or_else(|| corrupt("hello: truncated scrub period"))?;
+                        Some((drift, scrub))
+                    }
+                    _ => return Err(corrupt("hello: bad tier tag")),
+                };
+                Frame::Hello {
+                    version,
+                    technology,
+                    geometry,
+                    tier,
+                }
+            }
+            TAG_HELLO_ACK => Frame::HelloAck {
+                version: take_u32(body, &mut pos)
+                    .ok_or_else(|| corrupt("hello_ack: truncated version"))?,
+                data_rows: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("hello_ack: truncated data_rows"))?,
+            },
+            TAG_BATCH => {
+                let seq =
+                    take_u64(body, &mut pos).ok_or_else(|| corrupt("batch: truncated seq"))?;
+                let tick_s =
+                    take_f64(body, &mut pos).ok_or_else(|| corrupt("batch: truncated tick"))?;
+                let count =
+                    take_u64(body, &mut pos).ok_or_else(|| corrupt("batch: truncated count"))?;
+                // Every op is at least 1 tag byte.
+                if count > (body.len() - pos) as u64 {
+                    return Err(corrupt("batch: op count exceeds payload"));
+                }
+                let mut ops = Vec::with_capacity(count as usize);
+                for i in 0..count {
+                    ops.push(
+                        RowOp::decode(body, &mut pos)
+                            .ok_or_else(|| corrupt(&format!("batch: malformed op {i}")))?,
+                    );
+                }
+                Frame::Batch { seq, tick_s, ops }
+            }
+            TAG_BATCH_REPLY => Frame::BatchReply {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("batch_reply: truncated seq"))?,
+                outcome: take_outcome(body, &mut pos)
+                    .ok_or_else(|| corrupt("batch_reply: malformed outcome"))?,
+            },
+            TAG_READ_ROW => Frame::ReadRow {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("read_row: truncated seq"))?,
+                row: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("read_row: truncated row"))?,
+            },
+            TAG_READ_ROW_REPLY => {
+                let seq = take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("read_row_reply: truncated seq"))?;
+                let result = match body.get(pos).copied() {
+                    Some(0) => {
+                        pos += 1;
+                        Ok(take_words(body, &mut pos)
+                            .ok_or_else(|| corrupt("read_row_reply: truncated words"))?)
+                    }
+                    Some(1) => {
+                        pos += 1;
+                        Err(ArchError::decode(body, &mut pos)
+                            .ok_or_else(|| corrupt("read_row_reply: malformed error"))?)
+                    }
+                    _ => return Err(corrupt("read_row_reply: bad result tag")),
+                };
+                Frame::ReadRowReply { seq, result }
+            }
+            TAG_SHUTDOWN => Frame::Shutdown,
+            other => return Err(corrupt(&format!("unknown frame tag {other}"))),
+        };
+        if pos != payload.len() - 1 {
+            return Err(corrupt(&format!(
+                "{} bytes of trailing garbage after {} frame",
+                payload.len() - 1 - pos,
+                frame.name()
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Writes one framed message: `[len][payload][crc32]`, then flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportErrorKind::PeerLost`] when the underlying stream
+    /// fails, [`TransportErrorKind::Oversize`] when the payload exceeds
+    /// [`MAX_FRAME`].
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), WireError> {
+        let payload = self.encode_payload();
+        if payload.len() > MAX_FRAME {
+            return Err(WireError::new(
+                TransportErrorKind::Oversize,
+                format!("{}-byte {} frame exceeds {MAX_FRAME}", payload.len(), self.name()),
+            ));
+        }
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        put_u32(&mut framed, payload.len() as u32);
+        framed.extend_from_slice(&payload);
+        put_u32(&mut framed, crc32(&payload));
+        w.write_all(&framed)
+            .and_then(|()| w.flush())
+            .map_err(|e| {
+                WireError::new(
+                    TransportErrorKind::PeerLost,
+                    format!("writing {} frame: {e}", self.name()),
+                )
+            })
+    }
+
+    /// Reads one framed message, verifying length bound and CRC.
+    ///
+    /// # Errors
+    ///
+    /// * [`TransportErrorKind::PeerLost`] — EOF at a frame boundary, or
+    ///   a stream error.
+    /// * [`TransportErrorKind::ShortRead`] — EOF inside a frame.
+    /// * [`TransportErrorKind::Oversize`] — length prefix over
+    ///   [`MAX_FRAME`].
+    /// * [`TransportErrorKind::Corrupt`] — CRC mismatch or malformed
+    ///   payload.
+    pub fn read_from(r: &mut impl Read) -> Result<Frame, WireError> {
+        let mut len_bytes = [0u8; 4];
+        read_exact_at(r, &mut len_bytes, "length prefix", true)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::new(
+                TransportErrorKind::Oversize,
+                format!("{len}-byte length prefix exceeds {MAX_FRAME}"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        read_exact_at(r, &mut payload, "payload", false)?;
+        let mut crc_bytes = [0u8; 4];
+        read_exact_at(r, &mut crc_bytes, "crc", false)?;
+        let want = u32::from_le_bytes(crc_bytes);
+        let got = crc32(&payload);
+        if want != got {
+            return Err(WireError::new(
+                TransportErrorKind::Corrupt,
+                format!("crc mismatch: frame says {want:#010x}, payload hashes to {got:#010x}"),
+            ));
+        }
+        Frame::decode_payload(&payload)
+    }
+}
+
+/// `read_exact` with the boundary/mid-frame EOF distinction: EOF before
+/// the first byte of the *length prefix* is a closed peer
+/// ([`TransportErrorKind::PeerLost`]); EOF anywhere else is a torn
+/// frame ([`TransportErrorKind::ShortRead`]).
+fn read_exact_at(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: &str,
+    at_boundary: bool,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if at_boundary && filled == 0 {
+                    Err(WireError::new(
+                        TransportErrorKind::PeerLost,
+                        "peer closed the connection at a frame boundary",
+                    ))
+                } else {
+                    Err(WireError::new(
+                        TransportErrorKind::ShortRead,
+                        format!(
+                            "torn frame: eof after {filled}/{} bytes of {what}",
+                            buf.len()
+                        ),
+                    ))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                return Err(WireError::new(
+                    TransportErrorKind::PeerLost,
+                    format!("stream error reading {what}: {e}"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felim_arch::geometry::RowId;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+                technology: Technology::Feram,
+                geometry: MemoryGeometry::tiny(),
+                tier: None,
+            },
+            Frame::Hello {
+                version: WIRE_VERSION,
+                technology: Technology::Dram,
+                geometry: MemoryGeometry::paper_8gb(),
+                tier: Some((DriftSpec::accelerated(77, 390.0, 1e-9), 3600.0)),
+            },
+            Frame::HelloAck {
+                version: WIRE_VERSION,
+                data_rows: 1008,
+            },
+            Frame::Batch {
+                seq: 42,
+                tick_s: 1e-3,
+                ops: vec![
+                    RowOp::Write {
+                        row: RowId(3),
+                        data: vec![0xAB; 128],
+                    },
+                    RowOp::Nand {
+                        a: RowId(0),
+                        b: RowId(1),
+                        dst: RowId(2),
+                    },
+                    RowOp::Read { row: RowId(2) },
+                ],
+            },
+            Frame::BatchReply {
+                seq: 42,
+                outcome: ShardBatchOutcome {
+                    outputs: vec![
+                        Ok(RowOpOutput::Done),
+                        Ok(RowOpOutput::Data(vec![1, 2, 3])),
+                        Err(ArchError::Uncorrectable {
+                            row: 7,
+                            words: vec![0, 5],
+                        }),
+                    ],
+                    serial_cycles: 900,
+                    makespan_cycles: 300,
+                    energy_nj: 1.5,
+                    maintenance_error: Some(ArchError::SparesExhausted { row: 9 }),
+                },
+            },
+            Frame::ReadRow { seq: 7, row: 11 },
+            Frame::ReadRowReply {
+                seq: 7,
+                result: Ok(vec![u64::MAX, 0]),
+            },
+            Frame::ReadRowReply {
+                seq: 8,
+                result: Err(ArchError::RowOutOfRange { row: 99, rows: 10 }),
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_through_a_byte_stream() {
+        let mut stream = Vec::new();
+        let frames = sample_frames();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for f in &frames {
+            assert_eq!(&Frame::read_from(&mut cursor).unwrap(), f);
+        }
+        // Stream exhausted: the next read is a clean PeerLost.
+        let err = Frame::read_from(&mut cursor).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::PeerLost);
+    }
+
+    #[test]
+    fn crc_guards_every_payload_byte() {
+        for frame in sample_frames() {
+            let mut bytes = Vec::new();
+            frame.write_to(&mut bytes).unwrap();
+            // Flip one bit of the payload (skip the 4-byte length so
+            // the reader still finds the frame envelope).
+            let mid = 4 + (bytes.len() - 8) / 2;
+            bytes[mid] ^= 0x10;
+            let err = Frame::read_from(&mut &bytes[..]).unwrap_err();
+            assert_eq!(err.kind, TransportErrorKind::Corrupt, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_short_read() {
+        let mut bytes = Vec::new();
+        Frame::ReadRow { seq: 1, row: 2 }.write_to(&mut bytes).unwrap();
+        for cut in 1..bytes.len() {
+            let err = Frame::read_from(&mut &bytes[..cut]).unwrap_err();
+            assert_eq!(
+                err.kind,
+                TransportErrorKind::ShortRead,
+                "cut at {cut}/{}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, u32::MAX);
+        bytes.extend_from_slice(&[0; 16]);
+        let err = Frame::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind, TransportErrorKind::Oversize);
+    }
+
+    #[test]
+    fn trailing_garbage_and_unknown_tags_are_corrupt() {
+        let mut payload = Frame::Shutdown.encode_payload();
+        payload.push(0xEE);
+        assert_eq!(
+            Frame::decode_payload(&payload).unwrap_err().kind,
+            TransportErrorKind::Corrupt
+        );
+        assert_eq!(
+            Frame::decode_payload(&[0x7F]).unwrap_err().kind,
+            TransportErrorKind::Corrupt
+        );
+        assert_eq!(
+            Frame::decode_payload(&[]).unwrap_err().kind,
+            TransportErrorKind::Corrupt
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn drift_spec_survives_the_wire_bit_for_bit() {
+        let spec = DriftSpec::accelerated(0xDEAD_BEEF, 390.0, 2.5e-7);
+        let mut buf = Vec::new();
+        put_drift(&mut buf, &spec);
+        let mut pos = 0;
+        assert_eq!(take_drift(&buf, &mut pos), Some(spec));
+        assert_eq!(pos, buf.len());
+    }
+}

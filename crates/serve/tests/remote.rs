@@ -1,0 +1,227 @@
+//! Cross-process transport suite: a real `felim-shardd` daemon (spawned
+//! from this build's own binary), real loopback TCP, and the full
+//! [`BulkService`] running against local, remote, and mixed shard
+//! pools.
+//!
+//! The headline contract is the PR 9 acceptance criterion: the
+//! serialised response log of a trace replay is **byte-identical**
+//! whether every shard is in-process, every shard is behind a daemon,
+//! or the pool mixes both — on the Baseline tier and under the
+//! Protected tier's drift physics. The failure-path contract rides
+//! along: killing the daemon mid-session yields typed
+//! [`ServeError::Transport`] responses, never panics or silent drops.
+
+use felim_arch::drift::DriftSpec;
+use felim_serve::{
+    generate_trace, BulkService, ConnectRetry, LogicalOp, RemoteShard, ServeError,
+    ServiceConfig, ServiceTier, ShardHostChild, Technology, TenantId, TraceSpec,
+};
+
+/// Path of the `felim-shardd` binary Cargo built for this test run.
+const SHARDD: &str = env!("CARGO_BIN_EXE_felim-shardd");
+
+fn spawn_daemon() -> ShardHostChild {
+    ShardHostChild::spawn(SHARDD).expect("felim-shardd spawns and advertises an address")
+}
+
+/// Replays one trace against `config` and returns the serialised
+/// response log and report.
+fn replay(config: ServiceConfig, trace: &TraceSpec) -> (String, String) {
+    let (vectors, events) = generate_trace(trace);
+    let mut service = BulkService::new(config).expect("valid config");
+    for (name, rows) in &vectors {
+        service.create_vector(name, *rows).expect("vectors fit");
+    }
+    service.run_trace(&events);
+    let report = serde_json::to_string(&service.report()).expect("report serializes");
+    let log = serde_json::to_string(&service.take_responses()).expect("log serializes");
+    (log, report)
+}
+
+fn config_with_remotes(tier: ServiceTier, remotes: Vec<(u32, String)>) -> ServiceConfig {
+    let mut config = ServiceConfig::small(4);
+    config.tier = tier;
+    config.remote_shards = remotes;
+    config
+}
+
+#[test]
+fn response_log_is_byte_identical_across_local_remote_and_mixed_pools() {
+    // One daemon serves every remote session: each connection hosts its
+    // own fresh shard, so a single child can back a whole pool.
+    let daemon = spawn_daemon();
+    let addr = daemon.addr().to_owned();
+    let mut trace = TraceSpec::small(42);
+    trace.requests = 48;
+
+    type TierCase = (&'static str, fn() -> ServiceTier);
+    let tiers: [TierCase; 2] = [
+        ("baseline", || ServiceTier::Baseline),
+        ("protected", || ServiceTier::Protected {
+            drift: DriftSpec::quiet(13),
+            scrub_period_s: 0.25,
+        }),
+    ];
+    for (label, tier) in tiers {
+        let local = replay(config_with_remotes(tier(), Vec::new()), &trace);
+        let remote = replay(
+            config_with_remotes(
+                tier(),
+                (0..4).map(|s| (s, addr.clone())).collect(),
+            ),
+            &trace,
+        );
+        let mixed = replay(
+            config_with_remotes(tier(), vec![(1, addr.clone()), (3, addr.clone())]),
+            &trace,
+        );
+        assert_eq!(
+            local.0, remote.0,
+            "{label}: all-remote response log must match all-local"
+        );
+        assert_eq!(
+            local.0, mixed.0,
+            "{label}: mixed-pool response log must match all-local"
+        );
+        assert_eq!(local.1, remote.1, "{label}: reports must match");
+        assert_eq!(local.1, mixed.1, "{label}: reports must match");
+        assert!(local.0.contains("\"Ok\""), "{label}: replay must complete work");
+    }
+}
+
+#[test]
+fn pipelined_batches_settle_in_order_against_a_real_daemon() {
+    use felim_arch::batch::{RowOp, RowOpOutput};
+    use felim_arch::geometry::{MemoryGeometry, RowId};
+
+    let daemon = spawn_daemon();
+    let mut remote = RemoteShard::connect(
+        daemon.addr(),
+        Technology::Feram,
+        MemoryGeometry::tiny(),
+        None,
+        ConnectRetry::default(),
+    )
+    .expect("handshake succeeds");
+
+    // Queue four dependent batches without waiting — depth-4 pipeline.
+    let words = remote.data_rows(); // row width probe not needed; write row 0 with a recognisable word
+    assert!(words > 0);
+    let row_words = {
+        // Read an empty row to learn the width.
+        remote.read_local_row(0).expect("fresh shard row readable").len()
+    };
+    let pattern = |i: u64| vec![0x1111_1111_1111_1111 * (i + 1); row_words];
+    let mut seqs = Vec::new();
+    for i in 0..4u64 {
+        let ops = vec![
+            RowOp::Write { row: RowId(0), data: pattern(i) },
+            RowOp::Read { row: RowId(0) },
+        ];
+        seqs.push(remote.send_batch(&ops, 1e-3).expect("send pipelined"));
+    }
+    assert_eq!(remote.inflight(), 4);
+    for (i, want_seq) in seqs.into_iter().enumerate() {
+        let (seq, outcome) = remote.recv_batch().expect("reply in order");
+        assert_eq!(seq, want_seq, "replies settle strictly in sequence order");
+        match &outcome.outputs[1] {
+            Ok(RowOpOutput::Data(words)) => {
+                assert_eq!(words, &pattern(i as u64), "batch {i} sees its own write")
+            }
+            other => panic!("batch {i}: expected read data, got {other:?}"),
+        }
+    }
+    assert_eq!(remote.inflight(), 0);
+}
+
+#[test]
+fn every_session_gets_a_fresh_shard() {
+    use felim_arch::batch::RowOp;
+    use felim_arch::geometry::{MemoryGeometry, RowId};
+
+    let daemon = spawn_daemon();
+    let connect = || {
+        RemoteShard::connect(
+            daemon.addr(),
+            Technology::Feram,
+            MemoryGeometry::tiny(),
+            None,
+            ConnectRetry::default(),
+        )
+        .expect("handshake succeeds")
+    };
+    let mut first = connect();
+    let row_words = first.read_local_row(0).expect("readable").len();
+    first
+        .execute(
+            &[RowOp::Write { row: RowId(0), data: vec![u64::MAX; row_words] }],
+            1e-3,
+        )
+        .expect("write lands");
+    assert_eq!(first.read_local_row(0).unwrap(), vec![u64::MAX; row_words]);
+    drop(first);
+
+    // A new session must never observe the previous client's rows.
+    let mut second = connect();
+    assert_eq!(
+        second.read_local_row(0).unwrap(),
+        vec![0u64; row_words],
+        "a reconnect starts from a well-defined empty shard"
+    );
+}
+
+#[test]
+fn killing_the_daemon_mid_session_yields_typed_transport_errors() {
+    let mut daemon = spawn_daemon();
+    let mut config = ServiceConfig::small(1);
+    config.remote_shards = vec![(0, daemon.addr().to_owned())];
+    let mut service = BulkService::new(config).expect("remote pool builds");
+    service.create_vector("v", 4).expect("fits");
+    let t = TenantId(0);
+
+    // The link works before the kill.
+    service
+        .submit(t, LogicalOp::Write { dst: "v".into(), words: vec![7] }, None)
+        .expect("admitted");
+    service.drain();
+    assert!(
+        service.take_responses().iter().all(|r| r.is_ok()),
+        "pre-kill traffic completes"
+    );
+
+    daemon.kill();
+
+    // Post-kill traffic fails with typed Transport errors — exactly one
+    // response per submission, no panics, no hangs, no silent drops.
+    for _ in 0..3 {
+        service
+            .submit(t, LogicalOp::Write { dst: "v".into(), words: vec![9] }, None)
+            .expect("admission still works; failure surfaces at settlement");
+    }
+    service.drain();
+    let responses = service.take_responses();
+    assert_eq!(responses.len(), 3, "every submission gets a response");
+    for r in &responses {
+        match &r.outcome {
+            Err(ServeError::Transport { peer, kind, .. }) => {
+                assert_eq!(peer, daemon.addr());
+                // The first failure is the torn link; later ones echo
+                // the poisoned session. All are transport-class.
+                let label = kind.label();
+                assert!(
+                    ["peer_lost", "short_read", "protocol"].contains(&label),
+                    "unexpected transport kind {label}"
+                );
+            }
+            other => panic!("expected a typed Transport error, got {other:?}"),
+        }
+    }
+    assert!(service.stats().transport_errors >= 1);
+    assert_eq!(service.stats().failed, 3);
+
+    // Maintenance reads against the dead shard fail honestly too.
+    assert!(matches!(
+        service.read_vector("v"),
+        Err(ServeError::Transport { .. })
+    ));
+}

@@ -1,0 +1,294 @@
+//! Property suite for the shard-transport frame codec.
+//!
+//! Random frames of **every** [`Frame`] type — random op mixes, random
+//! outcome shapes, random drift specs — must survive
+//! `encode → decode` exactly, both at the payload layer and through
+//! the full `[len][payload][crc]` framing. And no corruption of the
+//! byte stream may ever panic or mis-decode: a flipped CRC byte, a
+//! truncated length prefix, a mid-frame disconnect, or arbitrary bit
+//! flips each yield a typed [`TransportErrorKind`], never a silent
+//! drop.
+
+use felim_arch::batch::{RowOp, RowOpOutput};
+use felim_arch::drift::DriftSpec;
+use felim_arch::geometry::{MemoryGeometry, RowId};
+use felim_arch::ArchError;
+use felim_exec::derive_seed;
+use felim_serve::shard::ShardBatchOutcome;
+use felim_serve::{Frame, Technology, TransportErrorKind};
+use proptest::prelude::*;
+
+/// Tiny deterministic generator over a splitmix64 stream: the vendored
+/// proptest hands each case a `u64` seed; everything else derives from
+/// it so failures replay exactly.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = derive_seed(self.state, 1);
+        self.state
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A finite, wire-exact f64 (NaN would break `PartialEq` round
+    /// trips even though the bits survive).
+    fn finite_f64(&mut self) -> f64 {
+        (self.next() % 1_000_003) as f64 / 7.0
+    }
+
+    fn row(&mut self) -> RowId {
+        RowId(self.below(1 << 20))
+    }
+
+    fn words(&mut self, max: u64) -> Vec<u64> {
+        (0..self.below(max)).map(|_| self.next()).collect()
+    }
+}
+
+fn gen_op(g: &mut Gen) -> RowOp {
+    match g.below(10) {
+        0 => RowOp::Not { src: g.row(), dst: g.row() },
+        1 => RowOp::And { a: g.row(), b: g.row(), dst: g.row() },
+        2 => RowOp::Or { a: g.row(), b: g.row(), dst: g.row() },
+        3 => RowOp::Xor { a: g.row(), b: g.row(), dst: g.row() },
+        4 => RowOp::Nand { a: g.row(), b: g.row(), dst: g.row() },
+        5 => RowOp::Nor { a: g.row(), b: g.row(), dst: g.row() },
+        6 => RowOp::Xnor { a: g.row(), b: g.row(), dst: g.row() },
+        7 => RowOp::Copy { src: g.row(), dst: g.row() },
+        8 => RowOp::Write { row: g.row(), data: g.words(9) },
+        _ => RowOp::Read { row: g.row() },
+    }
+}
+
+fn gen_arch_error(g: &mut Gen) -> ArchError {
+    match g.below(5) {
+        0 => ArchError::RowOutOfRange { row: g.next(), rows: g.next() },
+        1 => ArchError::RowSizeMismatch {
+            expected: g.below(1 << 16) as usize,
+            got: g.below(1 << 16) as usize,
+        },
+        2 => ArchError::UncorrectableWrite { row: g.next(), attempts: g.below(8) as u32 },
+        3 => ArchError::SparesExhausted { row: g.next() },
+        _ => ArchError::Uncorrectable {
+            row: g.next(),
+            words: (0..g.below(5)).map(|_| g.below(128) as usize).collect(),
+        },
+    }
+}
+
+fn gen_outcome(g: &mut Gen) -> ShardBatchOutcome {
+    let outputs = (0..g.below(6))
+        .map(|_| match g.below(3) {
+            0 => Ok(RowOpOutput::Done),
+            1 => Ok(RowOpOutput::Data(g.words(9))),
+            _ => Err(gen_arch_error(g)),
+        })
+        .collect();
+    ShardBatchOutcome {
+        outputs,
+        serial_cycles: g.next(),
+        makespan_cycles: g.next(),
+        energy_nj: g.finite_f64(),
+        maintenance_error: if g.below(3) == 0 { Some(gen_arch_error(g)) } else { None },
+    }
+}
+
+fn gen_drift(g: &mut Gen) -> DriftSpec {
+    let mut d = DriftSpec::quiet(g.next());
+    d.temperature_k = 250.0 + g.finite_f64() % 200.0;
+    d.sense_margin_v = g.finite_f64() / 1e6;
+    d.disturb_per_read = g.finite_f64() / 1e9;
+    d.retention.beta = 0.1 + g.finite_f64() % 1.0;
+    d.imprint.onset_s = 1.0 + g.finite_f64();
+    d
+}
+
+fn gen_geometry(g: &mut Gen) -> MemoryGeometry {
+    // Not necessarily *valid* — the codec must carry any field values
+    // faithfully; validation is the daemon's job.
+    MemoryGeometry {
+        capacity_bytes: g.next(),
+        row_bytes: g.next(),
+        rows_per_subarray: g.next(),
+    }
+}
+
+/// One random frame of the type picked by `which` — the suite cycles
+/// `which` over all seven frame types so every variant is exercised in
+/// every case.
+fn gen_frame(g: &mut Gen, which: u64) -> Frame {
+    match which % 7 {
+        0 => Frame::Hello {
+            version: g.next() as u32,
+            technology: if g.below(2) == 0 { Technology::Feram } else { Technology::Dram },
+            geometry: gen_geometry(g),
+            tier: if g.below(2) == 0 {
+                None
+            } else {
+                Some((gen_drift(g), g.finite_f64()))
+            },
+        },
+        1 => Frame::HelloAck { version: g.next() as u32, data_rows: g.next() },
+        2 => Frame::Batch {
+            seq: g.next(),
+            tick_s: g.finite_f64(),
+            ops: (0..g.below(7)).map(|_| gen_op(g)).collect(),
+        },
+        3 => Frame::BatchReply { seq: g.next(), outcome: gen_outcome(g) },
+        4 => Frame::ReadRow { seq: g.next(), row: g.next() },
+        5 => Frame::ReadRowReply {
+            seq: g.next(),
+            result: if g.below(2) == 0 {
+                Ok(g.words(9))
+            } else {
+                Err(gen_arch_error(g))
+            },
+        },
+        _ => Frame::Shutdown,
+    }
+}
+
+/// Encodes `frame` with full framing into a fresh byte buffer.
+fn framed_bytes(frame: &Frame) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    frame.write_to(&mut bytes).expect("in-memory write succeeds");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `encode_payload → decode_payload` is the identity for every
+    /// frame type, and the framed stream (`write_to → read_from`)
+    /// carries a whole random sequence of frames bit-for-bit.
+    fn every_frame_type_round_trips(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let frames: Vec<Frame> = (0..7).map(|i| gen_frame(&mut g, i)).collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            let payload = f.encode_payload();
+            prop_assert_eq!(&Frame::decode_payload(&payload).unwrap(), f);
+            f.write_to(&mut stream).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for f in &frames {
+            prop_assert_eq!(&Frame::read_from(&mut cursor).unwrap(), f);
+        }
+        // The drained stream reports a clean peer departure, not a
+        // phantom frame.
+        prop_assert_eq!(
+            Frame::read_from(&mut cursor).unwrap_err().kind,
+            TransportErrorKind::PeerLost
+        );
+    }
+
+    /// Flipping any bit of the trailing CRC word is always `Corrupt` —
+    /// the guard itself cannot be silently damaged.
+    fn a_flipped_crc_byte_is_always_corrupt(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let which = g.next();
+        let frame = gen_frame(&mut g, which);
+        let mut bytes = framed_bytes(&frame);
+        let n = bytes.len();
+        let crc_byte = n - 4 + (g.below(4) as usize);
+        bytes[crc_byte] ^= 1 << g.below(8);
+        let err = Frame::read_from(&mut &bytes[..]).unwrap_err();
+        prop_assert_eq!(err.kind, TransportErrorKind::Corrupt);
+    }
+
+    /// A truncated length prefix — the peer died mid-`len` — is a torn
+    /// frame (`ShortRead`), while a cut before any byte arrived is a
+    /// clean `PeerLost`. Nothing in between panics.
+    fn a_truncated_length_prefix_is_a_short_read(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let which = g.next();
+        let frame = gen_frame(&mut g, which);
+        let bytes = framed_bytes(&frame);
+        prop_assert_eq!(
+            Frame::read_from(&mut &bytes[..0]).unwrap_err().kind,
+            TransportErrorKind::PeerLost
+        );
+        for cut in 1..4 {
+            prop_assert_eq!(
+                Frame::read_from(&mut &bytes[..cut]).unwrap_err().kind,
+                TransportErrorKind::ShortRead,
+                "cut inside the length prefix at {}", cut
+            );
+        }
+    }
+
+    /// A disconnect anywhere inside the frame body or CRC is a
+    /// `ShortRead` — the reader never blocks on or invents the missing
+    /// bytes.
+    fn a_mid_frame_disconnect_is_a_short_read(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let which = g.next();
+        let frame = gen_frame(&mut g, which);
+        let bytes = framed_bytes(&frame);
+        let cut = 4 + (g.below((bytes.len() - 4) as u64) as usize);
+        let err = Frame::read_from(&mut &bytes[..cut]).unwrap_err();
+        prop_assert_eq!(
+            err.kind,
+            TransportErrorKind::ShortRead,
+            "cut at {}/{} of a {} frame", cut, bytes.len(), frame.name()
+        );
+    }
+
+    /// Flipping any single bit anywhere in the framed bytes yields a
+    /// typed transport error or decodes to a *different-but-valid*
+    /// stream that still fails somewhere (flips in the length prefix
+    /// shift framing) — it never panics and never silently returns the
+    /// original frame.
+    fn arbitrary_bit_flips_never_panic_or_pass_silently(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let which = g.next();
+        let frame = gen_frame(&mut g, which);
+        let mut bytes = framed_bytes(&frame);
+        let at = g.below(bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << g.below(8);
+        match Frame::read_from(&mut &bytes[..]) {
+            // A corrupted stream must not reproduce the original frame:
+            // the CRC catches payload flips, the length bound catches
+            // prefix flips.
+            Ok(decoded) => prop_assert_ne!(decoded, frame, "flip at byte {} went unnoticed", at),
+            Err(e) => prop_assert!(
+                matches!(
+                    e.kind,
+                    TransportErrorKind::Corrupt
+                        | TransportErrorKind::ShortRead
+                        | TransportErrorKind::Oversize
+                        | TransportErrorKind::PeerLost
+                ),
+                "unexpected error class {:?} for flip at byte {}", e, at
+            ),
+        }
+    }
+
+    /// Random garbage — arbitrary bytes that were never a frame — is
+    /// rejected with a typed error, never a panic or a runaway
+    /// allocation.
+    fn random_garbage_is_rejected_typed(seed in 0u64..u64::MAX) {
+        let mut g = Gen::new(seed);
+        let garbage: Vec<u8> = (0..g.below(96)).map(|_| g.next() as u8).collect();
+        let err = Frame::read_from(&mut &garbage[..]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err.kind,
+                TransportErrorKind::Corrupt
+                    | TransportErrorKind::ShortRead
+                    | TransportErrorKind::Oversize
+                    | TransportErrorKind::PeerLost
+            ),
+            "garbage produced {:?}", err
+        );
+    }
+}

@@ -9,16 +9,66 @@
 //! 2. **No silent drops** — a saturating trace produces typed
 //!    `Overloaded` rejections, never panics, deadlocks, or requests
 //!    that vanish: every submission has exactly one response.
+//!
+//! **Remote mode**: setting `FELIM_REMOTE_POOL=1` (with
+//! `FELIM_SHARDD_BIN` pointing at a built `felim-shardd`) reruns every
+//! test in this suite against shards hosted behind real loopback-TCP
+//! `felim-shardd` daemons instead of in-process `Mutex<Shard>`s. The
+//! assertions are unchanged — that is the point: the transport must be
+//! observationally invisible. CI runs the suite both ways.
 
 use felim::exec::THREADS_ENV;
 use felim::serve::{
-    generate_trace, BulkService, LogicalOp, ServeError, ServiceConfig, ServiceTier,
-    TenantId, TraceSpec,
+    generate_trace, BulkService, LogicalOp, Program, ServeError, ServiceConfig,
+    ServiceTier, ShardHostChild, TenantId, TraceSpec,
 };
 use felim::arch::DriftSpec;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// A service plus (in remote mode) the daemon hosting its shards: the
+/// child must outlive the sessions and is killed when the test drops
+/// this guard. Derefs to [`BulkService`] so tests read identically in
+/// both modes.
+struct TestService {
+    service: BulkService,
+    _daemon: Option<ShardHostChild>,
+}
+
+impl std::ops::Deref for TestService {
+    type Target = BulkService;
+    fn deref(&self) -> &BulkService {
+        &self.service
+    }
+}
+
+impl std::ops::DerefMut for TestService {
+    fn deref_mut(&mut self) -> &mut BulkService {
+        &mut self.service
+    }
+}
+
+/// Builds a service; under `FELIM_REMOTE_POOL=1` every shard is placed
+/// behind a freshly spawned `felim-shardd` daemon first.
+fn build(mut config: ServiceConfig) -> TestService {
+    let daemon = if std::env::var("FELIM_REMOTE_POOL").as_deref() == Ok("1") {
+        let bin = std::env::var("FELIM_SHARDD_BIN")
+            .expect("FELIM_REMOTE_POOL=1 needs FELIM_SHARDD_BIN=<path to felim-shardd>");
+        let daemon = ShardHostChild::spawn(&bin).expect("felim-shardd spawns");
+        config.remote_shards = (0..config.shards)
+            .map(|s| (s, daemon.addr().to_owned()))
+            .collect();
+        Some(daemon)
+    } else {
+        None
+    };
+    TestService {
+        service: BulkService::new(config).expect("valid config"),
+        _daemon: daemon,
+    }
+}
 
 fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
     let _guard = ENV_LOCK
@@ -34,7 +84,7 @@ fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
 /// serialised end-of-run report.
 fn replay(config: ServiceConfig, trace: &TraceSpec) -> (String, String) {
     let (vectors, events) = generate_trace(trace);
-    let mut service = BulkService::new(config).expect("valid config");
+    let mut service = build(config);
     for (name, rows) in &vectors {
         service.create_vector(name, *rows).expect("vectors fit");
     }
@@ -84,7 +134,7 @@ fn saturating_trace_sheds_with_typed_overloads_and_no_silent_drops() {
     trace.per_tick = 32;
 
     let (vectors, events) = generate_trace(&trace);
-    let mut service = BulkService::new(config).expect("valid config");
+    let mut service = build(config);
     for (name, rows) in &vectors {
         service.create_vector(name, *rows).expect("vectors fit");
     }
@@ -124,7 +174,7 @@ fn sharding_preserves_results_and_shrinks_simulated_time() {
     let trace = TraceSpec::small(9);
     let digest_of = |shards: u32| {
         let (vectors, events) = generate_trace(&trace);
-        let mut service = BulkService::new(ServiceConfig::small(shards)).expect("valid");
+        let mut service = build(ServiceConfig::small(shards));
         for (name, rows) in &vectors {
             service.create_vector(name, *rows).expect("fit");
         }
@@ -155,7 +205,7 @@ fn deadlines_shed_and_quotas_bind_under_pressure() {
     config.batch_window = 1;
     config.queue_depth = 16;
     config.tenant_quota = Some(2);
-    let mut service = BulkService::new(config).expect("valid config");
+    let mut service = build(config);
     service.create_vector("v", 4).expect("fits");
     let t = TenantId(0);
     let read = || LogicalOp::Read { src: "v".into() };
@@ -188,7 +238,7 @@ fn kernel_campaign(mut config: ServiceConfig) -> (String, Vec<Vec<Vec<u64>>>, u6
     // read, so the digest cache (which fills at settle) can serve them.
     config.batch_window = 1;
     config.tenant_quota = Some(32);
-    let mut service = BulkService::new(config).expect("valid config");
+    let mut service = build(config);
     for name in ["a", "b", "c", "d"] {
         service.create_vector(name, 8).expect("fits");
     }
@@ -283,7 +333,7 @@ fn read_cache_is_transparent_and_saves_simulated_time() {
 
 #[test]
 fn rejected_submissions_still_get_responses() {
-    let mut service = BulkService::new(ServiceConfig::small(2)).expect("valid config");
+    let mut service = build(ServiceConfig::small(2));
     service.create_vector("a", 8).expect("fits");
     service.create_vector("short", 2).expect("fits");
     let t = TenantId(0);
@@ -318,4 +368,45 @@ fn rejected_submissions_still_get_responses() {
     assert!(responses.iter().all(|r| !r.is_ok()));
     assert_eq!(service.stats().rejected_invalid, 4);
     assert_eq!(service.stats().submitted, 4);
+}
+
+#[test]
+fn kernel_write_back_preserves_read_before_write_order() {
+    // `d = t` must see the OLD value of `a` captured into `t` before
+    // `a = x` overwrites it — the plan's write-back copies must respect
+    // statement order, not last-writer-wins.
+    let program = "t = a\na = x\nd = t";
+    let parsed = Program::parse(program).expect("parses");
+    let mut env = BTreeMap::new();
+    env.insert("a".to_owned(), 0xAAAAu64);
+    env.insert("x".to_owned(), 0x5555u64);
+    let expected = parsed.eval_words(&env);
+    assert_eq!(expected["d"], 0xAAAA);
+
+    let mut svc = build(ServiceConfig::small(1));
+    for n in ["a", "x", "d"] {
+        svc.create_vector(n, 4).expect("fits");
+    }
+    let t = TenantId(0);
+    svc.submit(t, LogicalOp::Write { dst: "a".into(), words: vec![0xAAAA] }, None)
+        .expect("admitted");
+    svc.submit(t, LogicalOp::Write { dst: "x".into(), words: vec![0x5555] }, None)
+        .expect("admitted");
+    svc.submit(
+        t,
+        LogicalOp::Kernel {
+            program: program.into(),
+            bindings: vec![
+                ("a".into(), "a".into()),
+                ("x".into(), "x".into()),
+                ("d".into(), "d".into()),
+            ],
+        },
+        None,
+    )
+    .expect("admitted");
+    svc.drain();
+    assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+    let d = svc.read_vector("d").expect("readable");
+    assert_eq!(d[0][0], 0xAAAA, "d must hold OLD a; got {:#x}", d[0][0]);
 }

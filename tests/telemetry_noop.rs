@@ -158,6 +158,65 @@ fn kernel_and_cache_counters_follow_the_feature_gate() {
 }
 
 #[test]
+fn transport_and_plan_cache_counters_follow_the_feature_gate() {
+    use felim::serve::{BulkService, LogicalOp, ServiceConfig, ShardHost, TenantId};
+
+    // One shard behind an in-process wire session plus a kernel
+    // submitted twice: exercises the PR 9 counters — plan-cache hits on
+    // the recompilation-skip path and the remote session/batch counters
+    // on the transport path.
+    let host = ShardHost::bind("127.0.0.1:0").unwrap();
+    let addr = host.local_addr().to_string();
+    let server = std::thread::spawn(move || {
+        let _ = host.serve_once();
+    });
+
+    let mut config = ServiceConfig::small(1);
+    config.batch_window = 1;
+    config.remote_shards = vec![(0, addr)];
+    let mut svc = BulkService::new(config).unwrap();
+    for name in ["a", "d"] {
+        svc.create_vector(name, 4).unwrap();
+    }
+    let t = TenantId(0);
+    let kernel = || LogicalOp::Kernel {
+        program: "d = a & a".into(),
+        bindings: vec![("a".into(), "a".into()), ("d".into(), "d".into())],
+    };
+    svc.submit(t, LogicalOp::Write { dst: "a".into(), words: vec![3] }, None)
+        .unwrap();
+    svc.drain();
+    svc.submit(t, kernel(), None).unwrap(); // compiles + caches
+    svc.drain();
+    svc.submit(t, kernel(), None).unwrap(); // plan-cache hit
+    svc.drain();
+    assert!(svc.take_responses().iter().all(|r| r.is_ok()));
+    assert_eq!(svc.stats().plan_cache_hits, 1);
+    drop(svc); // Shutdown frame ends the hosted session.
+    server.join().unwrap();
+
+    let report = telemetry::snapshot();
+    let counters = [
+        "serve.kernel.plan_cache_hits",
+        "serve.remote.sessions",
+        "serve.remote.batches_sent",
+    ];
+    if telemetry::enabled() {
+        for name in counters {
+            assert!(
+                report.counter(name).unwrap_or(0) >= 1,
+                "{name} must fire in this scenario"
+            );
+        }
+    } else {
+        for name in counters {
+            assert_eq!(report.counter(name), None, "{name} in a no-op build");
+        }
+        assert!(report.is_empty(), "no-op build must record nothing");
+    }
+}
+
+#[test]
 fn transient_solver_counters_follow_the_feature_gate() {
     use felim::cell::netlists::{run_with_solver, tba_testbench, NetlistConfig, SolverOptions};
 
