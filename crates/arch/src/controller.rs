@@ -133,6 +133,57 @@ impl ControllerStats {
         self.uncorrectable_words += words;
         felim_telemetry::counter("arch.ecc.uncorrectable").add(words);
     }
+
+    /// Appends every counter to a state snapshot, in declaration order.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::put_u64;
+        for v in [
+            self.corrected_bits,
+            self.corrected_check_bits,
+            self.uncorrectable_words,
+            self.scrub_passes,
+            self.scrub_rewrites,
+            self.drift_ticks,
+            self.drift_flips,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    /// Decodes counters written by [`ControllerStats::encode_state`].
+    /// `None` on short input.
+    pub fn decode_state(buf: &[u8], pos: &mut usize) -> Option<ControllerStats> {
+        use crate::snapshot::take_u64;
+        Some(ControllerStats {
+            corrected_bits: take_u64(buf, pos)?,
+            corrected_check_bits: take_u64(buf, pos)?,
+            uncorrectable_words: take_u64(buf, pos)?,
+            scrub_passes: take_u64(buf, pos)?,
+            scrub_rewrites: take_u64(buf, pos)?,
+            drift_ticks: take_u64(buf, pos)?,
+            drift_flips: take_u64(buf, pos)?,
+        })
+    }
+}
+
+/// Point-in-time health of a protected memory, exported for the serving
+/// layer's replica manager: failover decisions compare these signals
+/// against configurable thresholds (see `felim-serve`'s
+/// `ReplicationConfig`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ControllerHealth {
+    /// Words that decoded uncorrectable — each one also surfaced to a
+    /// caller as [`ArchError::Uncorrectable`].
+    pub uncorrectable_words: u64,
+    /// Data bits SECDED repaired (a leading indicator: correction load
+    /// rises before escalations start).
+    pub corrected_bits: u64,
+    /// Rows the patrol rewrote (corrections plus hot-row rotation).
+    pub scrub_rewrites: u64,
+    /// Storage bits the drift environment flipped.
+    pub drift_flips: u64,
+    /// Worst wear fraction across all drift-tracked rows, in `[0, 1]`.
+    pub max_wear_fraction: f64,
 }
 
 /// A [`BulkBackend`] wrapper that adds SECDED ECC, time-driven storage
@@ -201,6 +252,22 @@ impl<B: BulkBackend> ReliabilityController<B> {
     /// The patrol scrubber, if scrubbing is enabled.
     pub fn scrubber(&self) -> Option<&PatrolScrubber> {
         self.scrubber.as_ref()
+    }
+
+    /// Current health signals, for replica managers deciding whether
+    /// this memory should keep serving as a primary.
+    pub fn health(&self) -> ControllerHealth {
+        let mut max_wear_fraction: f64 = 0.0;
+        for row in self.drift.tracked_rows() {
+            max_wear_fraction = max_wear_fraction.max(self.inner.wear_fraction(row));
+        }
+        ControllerHealth {
+            uncorrectable_words: self.stats.uncorrectable_words,
+            corrected_bits: self.stats.corrected_bits,
+            scrub_rewrites: self.stats.scrub_rewrites,
+            drift_flips: self.stats.drift_flips,
+            max_wear_fraction,
+        }
     }
 
     /// Re-encodes the side-band for a row that now holds fresh data and
@@ -454,6 +521,107 @@ impl<B: BulkBackend> BulkBackend for ReliabilityController<B> {
 
     fn wear_fraction(&self, row: RowId) -> f64 {
         self.inner.wear_fraction(row)
+    }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        use crate::snapshot::{put_bool, put_bytes, put_u64, put_u8};
+        let inner = self.inner.snapshot_state()?;
+        let mut out = Vec::new();
+        put_u8(&mut out, 1); // controller snapshot version
+        put_bool(&mut out, self.config.ecc);
+        self.drift.encode_state(&mut out);
+        match self.scrubber.as_ref() {
+            Some(s) => {
+                put_bool(&mut out, true);
+                s.encode_state(&mut out);
+            }
+            None => put_bool(&mut out, false),
+        }
+        let mut rows: Vec<u64> = self.codes.keys().copied().collect();
+        rows.sort_unstable();
+        put_u64(&mut out, rows.len() as u64);
+        for row in rows {
+            put_u64(&mut out, row);
+            put_bytes(&mut out, self.codes[&row].checks());
+        }
+        self.stats.encode_state(&mut out);
+        put_bytes(&mut out, &inner);
+        Some(out)
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> bool {
+        use crate::snapshot::{take_bool, take_bytes, take_u64, take_u8};
+        let buf = snapshot;
+        let mut pos = 0usize;
+        // Decode everything into temporaries first so a malformed
+        // snapshot leaves this controller untouched.
+        let Some(1) = take_u8(buf, &mut pos) else {
+            return false;
+        };
+        if take_bool(buf, &mut pos) != Some(self.config.ecc) {
+            return false;
+        }
+        let mut drift = self.drift.clone();
+        if drift.restore_state(buf, &mut pos).is_none() {
+            return false;
+        }
+        let scrubber = match take_bool(buf, &mut pos) {
+            Some(true) => {
+                let Some(mut s) = self.scrubber.clone() else {
+                    return false;
+                };
+                if s.restore_state(buf, &mut pos).is_none() {
+                    return false;
+                }
+                Some(s)
+            }
+            Some(false) => {
+                if self.scrubber.is_some() {
+                    return false;
+                }
+                None
+            }
+            None => return false,
+        };
+        let Some(n_codes) = take_u64(buf, &mut pos) else {
+            return false;
+        };
+        // Each code entry needs at least a row key and a length prefix.
+        if ((buf.len() - pos) as u64) / 16 < n_codes {
+            return false;
+        }
+        let mut codes = HashMap::with_capacity(n_codes as usize);
+        // One SECDED check byte per 64-bit word.
+        let check_bytes = self.inner.geometry().row_words();
+        for _ in 0..n_codes {
+            let Some(row) = take_u64(buf, &mut pos) else {
+                return false;
+            };
+            let Some(checks) = take_bytes(buf, &mut pos) else {
+                return false;
+            };
+            if checks.len() != check_bytes {
+                return false;
+            }
+            codes.insert(row, RowCode::from_checks(checks));
+        }
+        let Some(stats) = ControllerStats::decode_state(buf, &mut pos) else {
+            return false;
+        };
+        let Some(inner_bytes) = take_bytes(buf, &mut pos) else {
+            return false;
+        };
+        if pos != buf.len() {
+            return false;
+        }
+        if !self.inner.restore_state(&inner_bytes) {
+            return false;
+        }
+        self.drift = drift;
+        self.scrubber = scrubber;
+        self.codes = codes;
+        self.stats = stats;
+        true
     }
 }
 

@@ -309,6 +309,52 @@ impl BulkBackend for DramBackend {
         self.store.write(row, &decayed)?;
         Ok(true)
     }
+
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        use crate::snapshot::{put_bool, put_u64, put_u8};
+        let mut out = Vec::new();
+        put_u8(&mut out, 1); // DRAM snapshot version
+        put_u64(&mut out, self.geometry.total_rows());
+        put_u64(&mut out, self.geometry.row_words() as u64);
+        self.store.encode_state(&mut out);
+        self.stats.encode_state(&mut out);
+        put_bool(&mut out, self.refreshed);
+        Some(out)
+    }
+
+    fn restore_state(&mut self, snapshot: &[u8]) -> bool {
+        use crate::snapshot::{take_bool, take_u64, take_u8};
+        let buf = snapshot;
+        let mut pos = 0usize;
+        let Some(1) = take_u8(buf, &mut pos) else {
+            return false;
+        };
+        if take_u64(buf, &mut pos) != Some(self.geometry.total_rows())
+            || take_u64(buf, &mut pos) != Some(self.geometry.row_words() as u64)
+        {
+            return false;
+        }
+        let mut store = self.store.clone();
+        if store.restore_state(buf, &mut pos).is_none() {
+            return false;
+        }
+        let Some(stats) = ExecStats::decode_state(buf, &mut pos) else {
+            return false;
+        };
+        let Some(refreshed) = take_bool(buf, &mut pos) else {
+            return false;
+        };
+        if pos != buf.len() {
+            return false;
+        }
+        self.store = store;
+        self.stats = stats;
+        self.refreshed = refreshed;
+        if let Some(log) = self.command_log.as_mut() {
+            log.clear();
+        }
+        true
+    }
 }
 
 #[cfg(test)]

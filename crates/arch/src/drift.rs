@@ -137,6 +137,12 @@ struct RowDrift {
 pub struct DriftProcess {
     spec: DriftSpec,
     rng: StdRng,
+    /// Bernoulli draws consumed from `rng` so far. The RNG itself cannot
+    /// be serialised, but the stream is pure `seed → draws`, so a state
+    /// snapshot stores this count and a restore replays it: reseed, then
+    /// discard exactly this many draws. Every RNG consumption MUST go
+    /// through [`DriftProcess::bernoulli`] to keep the count exact.
+    draws: u64,
     now_s: f64,
     rows: HashMap<u64, RowDrift>,
     ticks: u64,
@@ -163,11 +169,24 @@ impl DriftProcess {
         Self {
             spec,
             rng,
+            draws: 0,
             now_s: 0.0,
             rows: HashMap::new(),
             ticks: 0,
             flips_injected: 0,
         }
+    }
+
+    /// One counted Bernoulli draw. Mirrors `Rng::gen_bool` exactly:
+    /// `p >= 1` is certainly true *without* consuming the stream (the
+    /// `Bernoulli` always-true fast path), anything else costs one
+    /// 64-bit draw.
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        self.draws += 1;
+        self.rng.gen_bool(p)
     }
 
     /// The spec in force.
@@ -288,9 +307,9 @@ impl DriftProcess {
         }
         let mut mask = vec![0u64; words];
         let mut flips = 0u64;
-        for word in mask.iter_mut() {
+        for word in &mut mask {
             for bit in 0..64 {
-                if self.rng.gen_bool(p) {
+                if self.bernoulli(p) {
                     *word |= 1 << bit;
                     flips += 1;
                 }
@@ -302,6 +321,72 @@ impl DriftProcess {
         self.flips_injected += flips;
         felim_telemetry::counter("arch.drift.flips").add(flips);
         Some(mask)
+    }
+
+    /// Appends the full process state (clock, counters, per-row
+    /// bookkeeping sorted by row, and the RNG draw count) to a state
+    /// snapshot. The spec seed travels for validation; the restored
+    /// process must have been built from the same spec.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_f64, put_u64};
+        put_u64(out, self.spec.seed);
+        put_u64(out, self.draws);
+        put_f64(out, self.now_s);
+        put_u64(out, self.ticks);
+        put_u64(out, self.flips_injected);
+        let mut keys: Vec<u64> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        put_u64(out, keys.len() as u64);
+        for k in keys {
+            let state = &self.rows[&k];
+            put_u64(out, k);
+            put_f64(out, state.last_write_s);
+            put_u64(out, state.reads_since_write);
+            put_u64(out, state.reads_charged);
+        }
+    }
+
+    /// Restores state written by [`DriftProcess::encode_state`]: the RNG
+    /// is reseeded from the spec and fast-forwarded by the recorded draw
+    /// count, so subsequent [`DriftProcess::sample_row`] calls produce
+    /// masks bit-identical to the snapshotted process's. `None` (process
+    /// unchanged) on malformed input or a seed mismatch.
+    pub fn restore_state(&mut self, buf: &[u8], pos: &mut usize) -> Option<()> {
+        use crate::snapshot::{take_f64, take_u64};
+        let mut probe = *pos;
+        if take_u64(buf, &mut probe)? != self.spec.seed {
+            return None;
+        }
+        let draws = take_u64(buf, &mut probe)?;
+        let now_s = take_f64(buf, &mut probe)?;
+        let ticks = take_u64(buf, &mut probe)?;
+        let flips_injected = take_u64(buf, &mut probe)?;
+        let n = take_u64(buf, &mut probe)?;
+        if ((buf.len() - probe) as u64) / 32 < n {
+            return None;
+        }
+        let mut rows = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            let key = take_u64(buf, &mut probe)?;
+            let state = RowDrift {
+                last_write_s: take_f64(buf, &mut probe)?,
+                reads_since_write: take_u64(buf, &mut probe)?,
+                reads_charged: take_u64(buf, &mut probe)?,
+            };
+            rows.insert(key, state);
+        }
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        for _ in 0..draws {
+            let _: u64 = rng.gen();
+        }
+        self.rng = rng;
+        self.draws = draws;
+        self.now_s = now_s;
+        self.ticks = ticks;
+        self.flips_injected = flips_injected;
+        self.rows = rows;
+        *pos = probe;
+        Some(())
     }
 }
 
@@ -427,5 +512,49 @@ mod tests {
     #[should_panic(expected = "bad tick dt")]
     fn rejects_negative_ticks() {
         DriftProcess::new(DriftSpec::quiet(0)).tick(-1.0);
+    }
+
+    #[test]
+    fn restored_process_replays_identical_masks() {
+        // Age a process far enough that its RNG stream has been consumed,
+        // snapshot it, restore into a fresh process, then run both
+        // forward: every subsequent mask must match bit for bit.
+        let mut original = DriftProcess::new(hot(21));
+        original.note_write(RowId(0));
+        original.note_write(RowId(5));
+        for _ in 0..6 {
+            original.tick(3600.0);
+            for row in original.tracked_rows() {
+                let _ = original.sample_row(row, 16, 3600.0, 0.1);
+            }
+        }
+        let mut snap = Vec::new();
+        original.encode_state(&mut snap);
+
+        let mut restored = DriftProcess::new(hot(21));
+        let mut pos = 0;
+        restored.restore_state(&snap, &mut pos).expect("restore");
+        assert_eq!(pos, snap.len(), "consume exactly what was written");
+        assert_eq!(restored.now_s(), original.now_s());
+        assert_eq!(restored.ticks(), original.ticks());
+        assert_eq!(restored.flips_injected(), original.flips_injected());
+
+        for _ in 0..6 {
+            original.tick(3600.0);
+            restored.tick(3600.0);
+            for row in original.tracked_rows() {
+                assert_eq!(
+                    original.sample_row(row, 16, 3600.0, 0.1),
+                    restored.sample_row(row, 16, 3600.0, 0.1),
+                    "row {row:?} diverged after restore"
+                );
+            }
+        }
+
+        // A seed mismatch must refuse, leaving the target untouched.
+        let mut wrong = DriftProcess::new(hot(22));
+        let mut pos = 0;
+        assert!(wrong.restore_state(&snap, &mut pos).is_none());
+        assert_eq!(pos, 0);
     }
 }

@@ -192,6 +192,18 @@ impl RowCode {
         self.checks[word]
     }
 
+    /// The raw side-band bytes, one per protected word — for state
+    /// snapshots.
+    pub fn checks(&self) -> &[u8] {
+        &self.checks
+    }
+
+    /// Rebuilds a side-band from raw check bytes (the inverse of
+    /// [`RowCode::checks`], used when restoring a state snapshot).
+    pub fn from_checks(checks: Vec<u8>) -> Self {
+        Self { checks }
+    }
+
     /// Checks (and repairs, in place) a full row against this side-band.
     ///
     /// Single-bit upsets in data words are corrected in `data`;

@@ -294,6 +294,40 @@ impl RowStore {
             .or_insert_with(|| vec![word; words]);
         Ok(())
     }
+
+    /// Appends every materialised row (sorted by address, so the
+    /// encoding is deterministic) to a state snapshot.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_u64, put_words};
+        let mut keys: Vec<u64> = self.rows.keys().copied().collect();
+        keys.sort_unstable();
+        put_u64(out, keys.len() as u64);
+        for k in keys {
+            put_u64(out, k);
+            put_words(out, &self.rows[&k]);
+        }
+    }
+
+    /// Replaces this store's contents from a snapshot produced by
+    /// [`RowStore::encode_state`] over the same geometry. `None` (with
+    /// the store unchanged) on malformed input.
+    pub fn restore_state(&mut self, buf: &[u8], pos: &mut usize) -> Option<()> {
+        use crate::snapshot::{take_u64, take_words};
+        let mut probe = *pos;
+        let n = take_u64(buf, &mut probe)?;
+        let mut rows = HashMap::with_capacity(n as usize);
+        for _ in 0..n {
+            let key = take_u64(buf, &mut probe)?;
+            let data = take_words(buf, &mut probe)?;
+            if data.len() != self.geometry.row_words() {
+                return None;
+            }
+            rows.insert(key, data);
+        }
+        self.rows = rows;
+        *pos = probe;
+        Some(())
+    }
 }
 
 /// Bitwise MAJORITY of three words (the TRA function).

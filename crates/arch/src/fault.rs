@@ -267,6 +267,31 @@ impl DegradationPolicy {
     pub fn rotates_scratch(&self) -> bool {
         self.scratch_rotation_fraction < 1.0
     }
+
+    /// Appends every knob to a state snapshot.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_bool, put_f64, put_u32};
+        put_bool(out, self.verify_writes);
+        put_u32(out, self.max_write_retries);
+        put_bool(out, self.redundant_sense);
+        put_bool(out, self.redundant_reads);
+        put_bool(out, self.retire_rows);
+        put_f64(out, self.scratch_rotation_fraction);
+    }
+
+    /// Decodes a policy written by [`DegradationPolicy::encode_state`].
+    /// `None` on malformed input.
+    pub fn decode_state(buf: &[u8], pos: &mut usize) -> Option<DegradationPolicy> {
+        use crate::snapshot::{take_bool, take_f64, take_u32};
+        Some(DegradationPolicy {
+            verify_writes: take_bool(buf, pos)?,
+            max_write_retries: take_u32(buf, pos)?,
+            redundant_sense: take_bool(buf, pos)?,
+            redundant_reads: take_bool(buf, pos)?,
+            retire_rows: take_bool(buf, pos)?,
+            scratch_rotation_fraction: take_f64(buf, pos)?,
+        })
+    }
 }
 
 impl Default for DegradationPolicy {
@@ -375,6 +400,45 @@ impl ReliabilityStats {
     pub(crate) fn note_escaped_fault(&mut self) {
         self.escaped_faults += 1;
         telemetry::counter("arch.reliability.escaped_faults").inc();
+    }
+
+    /// Appends every counter to a state snapshot, in declaration order.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::put_u64;
+        for v in [
+            self.injected_write_flips,
+            self.injected_read_flips,
+            self.injected_sense_flips,
+            self.sense_faults_corrected,
+            self.read_faults_corrected,
+            self.write_retries,
+            self.corrected_writes,
+            self.retired_rows,
+            self.scratch_rotations,
+            self.dead_row_writes,
+            self.escaped_faults,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    /// Decodes counters written by [`ReliabilityStats::encode_state`].
+    /// `None` on short input.
+    pub fn decode_state(buf: &[u8], pos: &mut usize) -> Option<ReliabilityStats> {
+        use crate::snapshot::take_u64;
+        Some(ReliabilityStats {
+            injected_write_flips: take_u64(buf, pos)?,
+            injected_read_flips: take_u64(buf, pos)?,
+            injected_sense_flips: take_u64(buf, pos)?,
+            sense_faults_corrected: take_u64(buf, pos)?,
+            read_faults_corrected: take_u64(buf, pos)?,
+            write_retries: take_u64(buf, pos)?,
+            corrected_writes: take_u64(buf, pos)?,
+            retired_rows: take_u64(buf, pos)?,
+            scratch_rotations: take_u64(buf, pos)?,
+            dead_row_writes: take_u64(buf, pos)?,
+            escaped_faults: take_u64(buf, pos)?,
+        })
     }
 
     /// Total injected fault events (bit flips plus dead-row writes).

@@ -67,13 +67,14 @@ pub mod geometry;
 pub mod schedule;
 pub mod scrub;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod wear;
 
 pub use bandwidth::{compute_bandwidth, ComputeBandwidth};
 pub use batch::{execute_batch, BatchReport, RowOp, RowOpOutput};
 pub use command::Command;
-pub use controller::{ControllerConfig, ControllerStats, ReliabilityController};
+pub use controller::{ControllerConfig, ControllerHealth, ControllerStats, ReliabilityController};
 pub use dram_backend::DramBackend;
 pub use drift::{DriftProcess, DriftSpec};
 pub use ecc::{RowCheck, RowCode, WordDecode};
@@ -251,6 +252,26 @@ pub trait BulkBackend {
     /// default).
     fn wear_fraction(&self, _row: RowId) -> f64 {
         0.0
+    }
+
+    /// Serialises the backend's complete behavioural state — row
+    /// contents, cost accounting, wear/disturb bookkeeping, and any
+    /// protection side-bands — into a self-contained byte blob that
+    /// [`BulkBackend::restore_state`] can replay onto a freshly built
+    /// backend of the same configuration. Returns `None` when the
+    /// backend cannot guarantee a bit-identical replay (the default, and
+    /// e.g. when an active fault injector holds untracked RNG state).
+    fn snapshot_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces this backend's state with a snapshot produced by
+    /// [`BulkBackend::snapshot_state`] on an identically configured
+    /// backend. Returns `false` (leaving this backend unchanged) on
+    /// malformed input, a configuration mismatch, or a backend that does
+    /// not support snapshots (the default).
+    fn restore_state(&mut self, _snapshot: &[u8]) -> bool {
+        false
     }
 }
 

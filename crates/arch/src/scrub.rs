@@ -134,6 +134,47 @@ impl PatrolScrubber {
         self.rewrites += 1;
         felim_telemetry::counter("arch.scrub.rewrites").inc();
     }
+
+    /// Appends the schedule state (clock, counters, cursor) to a state
+    /// snapshot. The config travels too, so a restore can verify the
+    /// receiving scrubber runs the same schedule.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_f64, put_u64};
+        put_f64(out, self.config.period_s);
+        put_u64(out, self.config.rows_per_pass as u64);
+        put_f64(out, self.config.hot_row_fraction);
+        put_f64(out, self.since_pass_s);
+        put_u64(out, self.passes);
+        put_u64(out, self.rewrites);
+        put_u64(out, self.cursor as u64);
+    }
+
+    /// Restores schedule state written by
+    /// [`PatrolScrubber::encode_state`]. `None` (scrubber unchanged) on
+    /// malformed input or a config that differs from this scrubber's.
+    pub fn restore_state(&mut self, buf: &[u8], pos: &mut usize) -> Option<()> {
+        use crate::snapshot::{take_f64, take_u64};
+        let mut probe = *pos;
+        let period_s = take_f64(buf, &mut probe)?;
+        let rows_per_pass = take_u64(buf, &mut probe)? as usize;
+        let hot_row_fraction = take_f64(buf, &mut probe)?;
+        if period_s.to_bits() != self.config.period_s.to_bits()
+            || rows_per_pass != self.config.rows_per_pass
+            || hot_row_fraction.to_bits() != self.config.hot_row_fraction.to_bits()
+        {
+            return None;
+        }
+        let since_pass_s = take_f64(buf, &mut probe)?;
+        let passes = take_u64(buf, &mut probe)?;
+        let rewrites = take_u64(buf, &mut probe)?;
+        let cursor = take_u64(buf, &mut probe)? as usize;
+        self.since_pass_s = since_pass_s;
+        self.passes = passes;
+        self.rewrites = rewrites;
+        self.cursor = cursor;
+        *pos = probe;
+        Some(())
+    }
 }
 
 #[cfg(test)]

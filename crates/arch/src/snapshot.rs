@@ -1,0 +1,173 @@
+//! Binary state-snapshot codec helpers.
+//!
+//! The replication layer (`felim-serve`'s `replica` module) rebuilds a
+//! standby shard by shipping the primary's *complete* backend state over
+//! the wire: row contents, cost accounting, wear, disturb counters, ECC
+//! side-bands, drift-process clocks — everything that influences future
+//! behaviour. Each stateful type encodes itself next to its definition
+//! (the same convention as the [`batch`](crate::batch) wire codecs) using
+//! the little-endian primitives in this module, so a restored backend is
+//! bit-identical to the snapshotted one and replays the same schedule to
+//! the same results.
+//!
+//! Two invariants every codec here keeps:
+//!
+//! * **determinism** — hash maps are always emitted sorted by key, so
+//!   `snapshot(restore(snapshot(x))) == snapshot(x)` byte for byte;
+//! * **allocation guards** — every count-prefixed run checks the count
+//!   against the remaining input before allocating, so a corrupt or
+//!   truncated snapshot is rejected (`None`) instead of aborting.
+
+/// Appends one byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Reads one byte, advancing `pos`. `None` on short input.
+pub fn take_u8(buf: &[u8], pos: &mut usize) -> Option<u8> {
+    let b = *buf.get(*pos)?;
+    *pos += 1;
+    Some(b)
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` little-endian, advancing `pos`. `None` on short input.
+pub fn take_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*pos..*pos + 4)?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u64` little-endian, advancing `pos`. `None` on short input.
+pub fn take_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (bit-exact round trip).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Reads an `f64` bit pattern, advancing `pos`. `None` on short input.
+pub fn take_f64(buf: &[u8], pos: &mut usize) -> Option<f64> {
+    take_u64(buf, pos).map(f64::from_bits)
+}
+
+/// Appends a bool as one byte (0 or 1).
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+
+/// Reads a bool byte, advancing `pos`. `None` on short input or a value
+/// other than 0/1 (a corrupt snapshot must not decode).
+pub fn take_bool(buf: &[u8], pos: &mut usize) -> Option<bool> {
+    match take_u8(buf, pos)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+/// Appends a word slice as a count-prefixed run.
+pub fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    put_u64(out, words.len() as u64);
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+/// Reads a count-prefixed word run. `None` on short input or a count
+/// that exceeds the remaining bytes (a corrupt length cannot allocate
+/// unboundedly).
+pub fn take_words(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
+    let n = take_u64(buf, pos)?;
+    if ((buf.len() - *pos) as u64) / 8 < n {
+        return None;
+    }
+    (0..n).map(|_| take_u64(buf, pos)).collect()
+}
+
+/// Appends a byte slice as a count-prefixed run.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a count-prefixed byte run, with the same allocation guard as
+/// [`take_words`].
+pub fn take_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let n = take_u64(buf, pos)?;
+    if ((buf.len() - *pos) as u64) < n {
+        return None;
+    }
+    let out = buf[*pos..*pos + n as usize].to_vec();
+    *pos += n as usize;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 0xAB);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, 1.5e-300);
+        put_bool(&mut buf, true);
+        put_bool(&mut buf, false);
+        put_words(&mut buf, &[1, 2, u64::MAX]);
+        put_bytes(&mut buf, b"snapshot");
+        let mut pos = 0;
+        assert_eq!(take_u8(&buf, &mut pos), Some(0xAB));
+        assert_eq!(take_u32(&buf, &mut pos), Some(0xDEAD_BEEF));
+        assert_eq!(take_u64(&buf, &mut pos), Some(u64::MAX - 3));
+        assert_eq!(take_f64(&buf, &mut pos).map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(take_f64(&buf, &mut pos), Some(1.5e-300));
+        assert_eq!(take_bool(&buf, &mut pos), Some(true));
+        assert_eq!(take_bool(&buf, &mut pos), Some(false));
+        assert_eq!(take_words(&buf, &mut pos), Some(vec![1, 2, u64::MAX]));
+        assert_eq!(take_bytes(&buf, &mut pos), Some(b"snapshot".to_vec()));
+        assert_eq!(pos, buf.len(), "codec must consume exactly what it wrote");
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let mut buf = Vec::new();
+        put_words(&mut buf, &[7; 9]);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(take_words(&buf[..cut], &mut pos).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_counts_cannot_allocate() {
+        let mut evil = Vec::new();
+        put_u64(&mut evil, u64::MAX);
+        let mut pos = 0;
+        assert!(take_words(&evil, &mut pos).is_none());
+        let mut pos = 0;
+        assert!(take_bytes(&evil, &mut pos).is_none());
+    }
+
+    #[test]
+    fn bad_bool_bytes_are_rejected() {
+        let mut pos = 0;
+        assert!(take_bool(&[2], &mut pos).is_none());
+    }
+}

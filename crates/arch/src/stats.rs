@@ -152,6 +152,38 @@ impl ExecStats {
         }
     }
 
+    /// Appends the per-class counters to a state snapshot (counts,
+    /// cycles, then energy bit patterns, each in class-index order).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_f64, put_u64};
+        for i in 0..6 {
+            put_u64(out, self.counts[i]);
+        }
+        for i in 0..6 {
+            put_u64(out, self.cycles[i]);
+        }
+        for i in 0..6 {
+            put_f64(out, self.energy_nj[i]);
+        }
+    }
+
+    /// Decodes counters written by [`ExecStats::encode_state`]. `None`
+    /// on short input.
+    pub fn decode_state(buf: &[u8], pos: &mut usize) -> Option<ExecStats> {
+        use crate::snapshot::{take_f64, take_u64};
+        let mut out = ExecStats::new();
+        for i in 0..6 {
+            out.counts[i] = take_u64(buf, pos)?;
+        }
+        for i in 0..6 {
+            out.cycles[i] = take_u64(buf, pos)?;
+        }
+        for i in 0..6 {
+            out.energy_nj[i] = take_f64(buf, pos)?;
+        }
+        Some(out)
+    }
+
     /// Multiplies all totals by a scalar — used to extrapolate a scaled-
     /// down functional simulation to the paper's full 1 GB workload size
     /// (primitive counts scale exactly linearly in row count).

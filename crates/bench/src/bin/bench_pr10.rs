@@ -1,0 +1,379 @@
+//! PR 10 replication baseline: hot-standby stripes vs unreplicated
+//! pools, and deterministic failover recovery time.
+//!
+//! This binary requires the `telemetry` feature and is the documented
+//! one-command producer of `results/BENCH_PR10.json`:
+//!
+//! ```text
+//! FELIM_THREADS=1 cargo run --release -p felim-bench --features telemetry --bin bench_pr10
+//! ```
+//!
+//! Two sweeps:
+//!
+//! * **trace** — the PR 7 multi-tenant trace replayed through
+//!   [`BulkService`] unreplicated and again with one hot standby per
+//!   stripe, at 1/2/4 shards, every member local. The serialised
+//!   response log must be **byte-identical** per shard count
+//!   (replication is invisible to settled responses), which pins the
+//!   headline floor: replicated *simulated* time is within 1.3× of
+//!   unreplicated at 4 shards — by construction it is exactly 1.0×,
+//!   because standbys never extend the settled makespan. The wall
+//!   column reports the honest host-side cost of executing every batch
+//!   twice (≈2× at one worker thread; amortised by `FELIM_THREADS`).
+//! * **failover** — a chaos proxy kills the remote primary's session
+//!   mid-campaign; the sweep measures the ticks from promotion to the
+//!   retired member rejoining as a rebuilt standby and asserts the
+//!   bound the design guarantees:
+//!   `ceil(snapshot_bytes / rebuild_chunk_bytes) + slack` virtual
+//!   ticks, independent of wall time. Snapshot size comes from the
+//!   run's own `rebuild_snapshot_bytes` counter (snapshots are sparse
+//!   — the size depends on how many rows the campaign touched).
+//!
+//! Wall-clock cells take the best of three runs to shed scheduler
+//! noise; the recovery cell is deterministic and measured once.
+
+use felim::serve::{
+    generate_trace, BulkService, ChaosProxy, ChaosSpec, ReplicationConfig, ServiceConfig,
+    ServiceTier, ShardHost, TraceSpec,
+};
+use felim::telemetry;
+use felim_bench::{header, results_dir};
+use serde::Serialize;
+use std::time::Instant;
+
+const SEED: u64 = 0xA10;
+/// Trace shape: more rows and requests than the unit-test default so
+/// the wall columns measure work, not setup.
+const TRACE_ROWS: u64 = 32;
+const TRACE_REQUESTS: u64 = 96;
+/// Rebuild pacing for the failover cell, bytes per tick — small enough
+/// that the transfer spans several ticks and the bound is exercised.
+const REBUILD_CHUNK: u64 = 1 << 14;
+/// Extra ticks allowed beyond the pure transfer time: one tick to
+/// observe the fault, one to snapshot, and scheduling slack.
+const RECOVERY_SLACK: u64 = 4;
+/// Wall-clock cells keep the best of this many runs.
+const RUNS: usize = 3;
+
+/// One sweep cell.
+#[derive(Debug, Serialize)]
+struct Mode {
+    mode: String,
+    /// `trace` (steady state) or `failover` (chaos kill + rebuild).
+    scenario: &'static str,
+    /// `plain` or `replicated`.
+    pool: &'static str,
+    shards: u32,
+    /// Completed requests — the gate's work-unit count.
+    samples: u64,
+    /// Best-of-three host wall-clock for the cell, ms.
+    wall_ms: f64,
+    /// Simulated time the cell spanned, s.
+    sim_seconds: f64,
+    /// Completed requests per simulated second.
+    samples_per_sim_s: f64,
+    /// Completed requests per wall second.
+    samples_per_wall_s: f64,
+    /// Standby-side energy, mJ (zero for plain cells) — accounted
+    /// outside the settled energy so the settled report stays
+    /// byte-identical.
+    standby_energy_mj: f64,
+}
+
+/// The floor block recorded next to the cells.
+#[derive(Debug, Serialize)]
+struct Floors {
+    /// Replicated simulated time over plain at 4 shards (ceiling 1.3;
+    /// by construction exactly 1.0).
+    replication_sim_ratio_s4: f64,
+    /// Replicated wall over plain at 4 shards (informational: the
+    /// honest dual-dispatch cost at this `FELIM_THREADS`).
+    replication_wall_ratio_s4: f64,
+    /// Ticks from promotion to the rebuilt standby rejoining.
+    failover_recovery_ticks: u64,
+    /// The asserted bound: `ceil(snapshot / chunk) + slack`.
+    failover_recovery_bound: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    schema: &'static str,
+    seed: u64,
+    threads: usize,
+    trace_rows: u64,
+    trace_requests: u64,
+    rebuild_chunk_bytes: u64,
+    floors: Floors,
+    /// Replication telemetry counters over the whole sweep.
+    telemetry: Vec<(String, u64)>,
+    modes: Vec<Mode>,
+}
+
+fn trace_spec() -> TraceSpec {
+    let mut spec = TraceSpec::small(SEED);
+    spec.vector_rows = TRACE_ROWS;
+    spec.requests = TRACE_REQUESTS;
+    spec
+}
+
+fn config(shards: u32, replicated: bool) -> ServiceConfig {
+    let mut c = ServiceConfig::small(shards);
+    c.tier = ServiceTier::Baseline;
+    c.queue_depth = 256;
+    c.tenant_quota = Some(256);
+    c.seed = SEED;
+    if replicated {
+        c.replication = Some(ReplicationConfig::default());
+    }
+    c
+}
+
+/// Replays the trace once; returns the serialised response log plus
+/// the cell's numbers.
+fn replay(config: ServiceConfig) -> (String, f64, u64, f64, f64) {
+    let (vectors, events) = generate_trace(&trace_spec());
+    let mut svc = BulkService::new(config).expect("valid config");
+    for (name, rows) in &vectors {
+        svc.create_vector(name, *rows).expect("vectors fit");
+    }
+    let started = Instant::now();
+    svc.run_trace(&events);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = svc.report();
+    assert_eq!(report.stats.completed, report.stats.submitted, "trace must complete");
+    let standby_mj = report.replica.map_or(0.0, |r| r.standby_energy_nj * 1e-6);
+    let log = serde_json::to_string(&svc.take_responses()).expect("log serialises");
+    (log, report.sim_seconds, report.stats.completed, wall_ms, standby_mj)
+}
+
+/// One trace cell, best-of-`RUNS` wall; also returns the (identical
+/// across runs) response log for the byte-identity check.
+fn run_trace_cell(pool: &'static str, shards: u32) -> (Mode, String) {
+    let mut best: Option<(String, f64, u64, f64, f64)> = None;
+    for _ in 0..RUNS {
+        let run = replay(config(shards, pool == "replicated"));
+        if let Some(prev) = &best {
+            assert_eq!(prev.0, run.0, "replay is deterministic across repeats");
+        }
+        best = match best {
+            Some(prev) if prev.3 <= run.3 => Some(prev),
+            _ => Some(run),
+        };
+    }
+    let (log, sim_seconds, completed, wall_ms, standby_mj) = best.expect("RUNS > 0");
+    let mode = Mode {
+        mode: format!("trace_{pool}_s{shards}"),
+        scenario: "trace",
+        pool,
+        shards,
+        samples: completed,
+        wall_ms,
+        sim_seconds,
+        samples_per_sim_s: completed as f64 / sim_seconds,
+        samples_per_wall_s: completed as f64 / (wall_ms * 1e-3),
+        standby_energy_mj: standby_mj,
+    };
+    (mode, log)
+}
+
+/// The failover cell: stripe 0's primary lives behind a chaos proxy
+/// that tears its session mid-frame partway through the campaign. The
+/// run is stepped manually so promotion and rebuild-completion ticks
+/// are observed exactly; returns the cell, the recovery tick count,
+/// the snapshot bytes the rebuild transferred, and the response log
+/// for the identity check.
+fn run_failover_cell(shards: u32) -> (Mode, u64, u64, String) {
+    let host = ShardHost::bind("127.0.0.1:0").expect("loopback bind");
+    let upstream = host.local_addr();
+    std::thread::spawn(move || {
+        let _ = host.serve_forever();
+    });
+    let chaos = ChaosProxy::start(
+        upstream,
+        ChaosSpec { seed: SEED, kill_mid_frame_at: Some(11), ..ChaosSpec::default() },
+    )
+    .expect("proxy binds");
+
+    let mut cfg = config(shards, true);
+    cfg.replication = Some(ReplicationConfig {
+        rebuild_chunk_bytes: REBUILD_CHUNK,
+        ..ReplicationConfig::default()
+    });
+    cfg.remote_shards = vec![(0, chaos.addr().to_string())];
+
+    let (vectors, events) = generate_trace(&trace_spec());
+    let mut svc = BulkService::new(cfg).expect("valid config");
+    for (name, rows) in &vectors {
+        svc.create_vector(name, *rows).expect("vectors fit");
+    }
+    let started = Instant::now();
+    let mut idx = 0;
+    let mut promoted_at: Option<u64> = None;
+    let mut rebuilt_at: Option<u64> = None;
+    let total = events.len() as u64;
+    for _ in 0..100_000u64 {
+        while idx < events.len() && events[idx].at_tick <= svc.now() {
+            let ev = &events[idx];
+            let _ = svc.submit(ev.tenant, ev.op.clone(), ev.deadline_ticks);
+            idx += 1;
+        }
+        svc.step();
+        let replica = svc.report().replica.expect("replication configured");
+        if promoted_at.is_none() && replica.failovers > 0 {
+            promoted_at = Some(svc.now());
+        }
+        if rebuilt_at.is_none() && replica.rebuilds_completed > 0 {
+            rebuilt_at = Some(svc.now());
+        }
+        if idx == events.len()
+            && svc.responses().len() as u64 >= total
+            && rebuilt_at.is_some()
+        {
+            break;
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let promoted_at = promoted_at.expect("the chaos kill fires mid-campaign");
+    let rebuilt_at = rebuilt_at.expect("the retired primary rebuilds");
+    let recovery_ticks = rebuilt_at - promoted_at;
+
+    let report = svc.report();
+    let replica = report.replica.expect("replication configured");
+    assert_eq!(replica.failovers, 1, "exactly one transport failover");
+    assert_eq!(report.stats.transport_errors, 0, "the standby absorbed the fault");
+    let log = serde_json::to_string(&svc.take_responses()).expect("log serialises");
+    let mode = Mode {
+        mode: format!("failover_s{shards}"),
+        scenario: "failover",
+        pool: "replicated",
+        shards,
+        samples: report.stats.completed,
+        wall_ms,
+        sim_seconds: report.sim_seconds,
+        samples_per_sim_s: report.stats.completed as f64 / report.sim_seconds,
+        samples_per_wall_s: report.stats.completed as f64 / (wall_ms * 1e-3),
+        standby_energy_mj: replica.standby_energy_nj * 1e-6,
+    };
+    (mode, recovery_ticks, replica.rebuild_snapshot_bytes, log)
+}
+
+fn main() {
+    assert!(
+        telemetry::enabled(),
+        "bench_pr10 must be built with --features telemetry"
+    );
+    header(
+        "BENCH_PR10",
+        "stripe replication: hot-standby overhead and deterministic failover recovery",
+    );
+    telemetry::reset();
+
+    let mut modes: Vec<Mode> = Vec::new();
+
+    // Steady-state sweep: byte-identity plus the simulated-time floor.
+    let mut sim_ratio_s4 = 0.0;
+    let mut wall_ratio_s4 = 0.0;
+    for shards in [1u32, 2, 4] {
+        let (plain, plain_log) = run_trace_cell("plain", shards);
+        let (replicated, replicated_log) = run_trace_cell("replicated", shards);
+        assert_eq!(
+            plain_log, replicated_log,
+            "s{shards}: replication must be invisible in the response log"
+        );
+        if shards == 4 {
+            sim_ratio_s4 = replicated.sim_seconds / plain.sim_seconds;
+            wall_ratio_s4 = replicated.wall_ms / plain.wall_ms;
+        }
+        modes.push(plain);
+        modes.push(replicated);
+    }
+
+    // Failover cell: recovery within the designed tick bound. The
+    // no-fault log at the same shard count doubles as the corruption
+    // check: the chaos run must reproduce it byte-for-byte.
+    let (fail_mode, recovery_ticks, snapshot_len, fail_log) = run_failover_cell(2);
+    let (_, nofault_log) = run_trace_cell("replicated", 2);
+    assert_eq!(
+        fail_log, nofault_log,
+        "the killed-primary run settles byte-identically to the no-fault run"
+    );
+    modes.push(fail_mode);
+
+    // The bound the design guarantees: the snapshot the rebuild actually
+    // transferred (snapshots are sparse, so its size depends on the
+    // campaign), paced at REBUILD_CHUNK per tick, plus fixed slack.
+    let recovery_bound = snapshot_len.div_ceil(REBUILD_CHUNK) + RECOVERY_SLACK;
+
+    println!(
+        "  {:<24} {:>8} {:>10} {:>10} {:>14} {:>14}",
+        "mode", "samples", "wall_ms", "sim_s", "per_sim_s", "per_wall_s"
+    );
+    for m in &modes {
+        println!(
+            "  {:<24} {:>8} {:>10.2} {:>10.3e} {:>14.1} {:>14.0}",
+            m.mode, m.samples, m.wall_ms, m.sim_seconds, m.samples_per_sim_s,
+            m.samples_per_wall_s,
+        );
+    }
+
+    // The PR 10 acceptance floors, enforced on every regeneration.
+    assert!(
+        sim_ratio_s4 <= 1.3,
+        "replicated simulated time at 4 shards must stay within 1.3× of plain, got {sim_ratio_s4:.3}×"
+    );
+    assert!(
+        recovery_ticks <= recovery_bound,
+        "failover recovery took {recovery_ticks} ticks, bound is {recovery_bound} \
+         (snapshot {snapshot_len} B at {REBUILD_CHUNK} B/tick)"
+    );
+    println!(
+        "  floors: replicated/plain sim at s4 {sim_ratio_s4:.3}× (ceiling 1.3×), \
+         wall {wall_ratio_s4:.2}× (informational), \
+         recovery {recovery_ticks} ticks (bound {recovery_bound})"
+    );
+
+    let snapshot = telemetry::snapshot();
+    let counters: Vec<(String, u64)> = [
+        "serve.replica.failovers",
+        "serve.replica.planned_failovers",
+        "serve.replica.divergences",
+        "serve.replica.rebuilds_started",
+        "serve.replica.rebuilds",
+        "serve.replica.snapshot_pulls",
+        "serve.replica.snapshot_pushes",
+        "serve.replica.revivals",
+        "serve.submitted",
+        "serve.completed",
+    ]
+    .into_iter()
+    .map(|name| (name.to_owned(), snapshot.counter(name).unwrap_or(0)))
+    .collect();
+    for (name, value) in &counters {
+        println!("  {name:<34} {value}");
+    }
+
+    let floors = Floors {
+        replication_sim_ratio_s4: sim_ratio_s4,
+        replication_wall_ratio_s4: wall_ratio_s4,
+        failover_recovery_ticks: recovery_ticks,
+        failover_recovery_bound: recovery_bound,
+    };
+    let baseline = Baseline {
+        schema: "felim-bench-pr10/v1",
+        seed: SEED,
+        threads: felim::exec::thread_count(),
+        trace_rows: TRACE_ROWS,
+        trace_requests: TRACE_REQUESTS,
+        rebuild_chunk_bytes: REBUILD_CHUNK,
+        floors,
+        telemetry: counters,
+        modes,
+    };
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_PR10.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialise baseline");
+    std::fs::write(&path, json + "\n").expect("write BENCH_PR10.json");
+    println!("\nwrote {}", path.display());
+}

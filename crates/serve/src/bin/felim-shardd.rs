@@ -1,11 +1,15 @@
 //! `felim-shardd` — a shard host daemon.
 //!
 //! Hosts [`Shard`](felim_serve::shard::Shard) instances behind the
-//! length-prefixed wire protocol ([`felim_serve::wire`]): one fresh
-//! shard per client session, constructed from the session's `Hello`
+//! length-prefixed wire protocol ([`felim_serve::wire`]): one daemon
+//! multiplexes many shards, keyed by the `Hello` frame's *slot*. A
+//! fresh session constructs its slot's shard from the `Hello`
 //! parameters (technology, geometry, reliability tier with the
-//! client-derived drift seed), serving pipelined batch frames until
-//! `Shutdown` or peer loss.
+//! client-derived drift seed); a `resume` session re-attaches to a
+//! shard that outlived its previous session — the path a failover
+//! rebuild uses to push a snapshot back onto a revived member. Each
+//! session serves pipelined batch, snapshot, and health frames until
+//! `Shutdown` or peer loss; shards stay registered across sessions.
 //!
 //! ```text
 //! felim-shardd --listen 127.0.0.1:4801

@@ -1,0 +1,267 @@
+//! Deterministic chaos proxy for wire-protocol tests.
+//!
+//! [`ChaosProxy`] sits between a client (`RemoteShard`) and a
+//! `felim-shardd` daemon as a plain TCP forwarder, with three seedable
+//! fault toggles on the **server → client** direction:
+//!
+//! * **delay** — every N-th reply frame is held for a fixed number of
+//!   milliseconds (exercises timeout paths without nondeterminism);
+//! * **drop** — at a chosen global frame index the connection is closed
+//!   *between* frames (a clean transport loss);
+//! * **kill mid-frame** — at a chosen global frame index, half the
+//!   frame is forwarded and the connection is cut (a torn frame: the
+//!   CRC/length guards must catch it, never a half-applied batch).
+//!
+//! Reply frames are parsed just enough to find their boundaries
+//! (`[len u32][payload][crc u32]`, the framing of [`crate::wire`]), and
+//! a single proxy-wide frame counter indexes faults, so a spec is fully
+//! deterministic for a given request schedule. The client → server
+//! direction is forwarded verbatim: faults on requests would be
+//! indistinguishable from reply loss to the client anyway, and keeping
+//! the daemon's view clean makes tests easier to reason about.
+//!
+//! After a faulted connection dies, *later* connections pass through
+//! untouched (each fault fires at most once) — which is exactly the
+//! shape of a failover test: kill the primary's session mid-campaign,
+//! then let the rebuild reconnect cleanly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use felim_exec::derive_seed;
+
+/// Deterministic fault schedule for a [`ChaosProxy`]. Frame indices are
+/// proxy-global (across all connections), counted over server → client
+/// reply frames only, starting at 0.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosSpec {
+    /// Seed for the delay pattern (mixed with the frame index via
+    /// [`derive_seed`], so two proxies with different seeds delay
+    /// different frames).
+    pub seed: u64,
+    /// When nonzero, roughly one in `delay_every` reply frames is held
+    /// for [`delay_ms`](Self::delay_ms) before forwarding.
+    pub delay_every: u64,
+    /// Hold time for delayed frames, milliseconds.
+    pub delay_ms: u64,
+    /// Close the connection cleanly *before* forwarding this reply
+    /// frame index (a whole-frame transport loss).
+    pub drop_at_frame: Option<u64>,
+    /// Forward only the first half of this reply frame index, then cut
+    /// the connection (a torn frame the CRC must reject).
+    pub kill_mid_frame_at: Option<u64>,
+}
+
+/// What the proxy did to one reply frame (recorded for test assertions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Forwarded untouched.
+    Forward,
+    /// Held for the configured delay, then forwarded.
+    Delay,
+    /// Connection closed before the frame.
+    Drop,
+    /// Half the frame forwarded, then the connection cut.
+    KillMidFrame,
+}
+
+/// A fault-injecting TCP proxy in front of a shard daemon. Construct
+/// with [`ChaosProxy::start`], point `RemoteShard` connections at
+/// [`addr`](Self::addr), and the spec's faults fire deterministically.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    frames: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds a listener on `127.0.0.1` and forwards every connection to
+    /// `upstream` under `spec`'s fault schedule.
+    pub fn start(upstream: SocketAddr, spec: ChaosSpec) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let frames = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_frames = Arc::clone(&frames);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { break };
+                let spec = spec.clone();
+                let frames = Arc::clone(&accept_frames);
+                std::thread::spawn(move || {
+                    let _ = run_connection(client, upstream, &spec, &frames);
+                });
+            }
+        });
+        Ok(Self {
+            addr,
+            frames,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Reply frames seen so far across all connections.
+    pub fn frames_forwarded(&self) -> u64 {
+        self.frames.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Decides the fate of reply frame `index` under `spec`.
+fn action_for(spec: &ChaosSpec, index: u64) -> ChaosAction {
+    if spec.kill_mid_frame_at == Some(index) {
+        return ChaosAction::KillMidFrame;
+    }
+    if spec.drop_at_frame == Some(index) {
+        return ChaosAction::Drop;
+    }
+    if spec.delay_every > 0 && derive_seed(spec.seed, index).is_multiple_of(spec.delay_every) {
+        return ChaosAction::Delay;
+    }
+    ChaosAction::Forward
+}
+
+/// Proxies one client connection: requests stream to the daemon
+/// verbatim; replies are re-framed and subjected to the fault schedule.
+fn run_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    spec: &ChaosSpec,
+    frames: &AtomicU64,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    client.set_nodelay(true)?;
+    server.set_nodelay(true)?;
+
+    // client → server: raw byte copy on its own thread.
+    let mut client_rx = client.try_clone()?;
+    let mut server_tx = server.try_clone()?;
+    let uplink = std::thread::spawn(move || {
+        let _ = std::io::copy(&mut client_rx, &mut server_tx);
+        let _ = server_tx.shutdown(std::net::Shutdown::Write);
+    });
+
+    // server → client: frame-aware forwarding with fault injection.
+    let mut server_rx = server;
+    let mut client_tx = client;
+    loop {
+        let mut frame = Vec::new();
+        if !read_frame(&mut server_rx, &mut frame)? {
+            break;
+        }
+        let index = frames.fetch_add(1, Ordering::SeqCst);
+        match action_for(spec, index) {
+            ChaosAction::Forward => client_tx.write_all(&frame)?,
+            ChaosAction::Delay => {
+                std::thread::sleep(Duration::from_millis(spec.delay_ms));
+                client_tx.write_all(&frame)?;
+            }
+            ChaosAction::Drop => break,
+            ChaosAction::KillMidFrame => {
+                let half = (frame.len() / 2).max(1);
+                client_tx.write_all(&frame[..half])?;
+                client_tx.flush()?;
+                break;
+            }
+        }
+    }
+    let _ = client_tx.shutdown(std::net::Shutdown::Both);
+    let _ = server_rx.shutdown(std::net::Shutdown::Both);
+    let _ = uplink.join();
+    Ok(())
+}
+
+/// Reads one `[len][payload][crc]` frame into `buf` (including the
+/// length prefix and CRC, ready to forward verbatim). Returns `false`
+/// on clean EOF before a frame starts.
+fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        let n = stream.read(&mut len_bytes[got..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    buf.clear();
+    buf.extend_from_slice(&len_bytes);
+    buf.resize(4 + len + 4, 0);
+    let mut pos = 4;
+    while pos < buf.len() {
+        let n = stream.read(&mut buf[pos..])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "upstream died mid-frame",
+            ));
+        }
+        pos += n;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_schedule_is_deterministic_and_faults_fire_once() {
+        let spec = ChaosSpec {
+            seed: 7,
+            drop_at_frame: Some(3),
+            kill_mid_frame_at: Some(5),
+            ..ChaosSpec::default()
+        };
+        let first: Vec<ChaosAction> = (0..8).map(|i| action_for(&spec, i)).collect();
+        let second: Vec<ChaosAction> = (0..8).map(|i| action_for(&spec, i)).collect();
+        assert_eq!(first, second);
+        assert_eq!(first[3], ChaosAction::Drop);
+        assert_eq!(first[5], ChaosAction::KillMidFrame);
+        assert_eq!(
+            first.iter().filter(|a| **a == ChaosAction::Drop).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn delay_pattern_depends_on_seed() {
+        let base = ChaosSpec {
+            seed: 1,
+            delay_every: 3,
+            delay_ms: 1,
+            ..ChaosSpec::default()
+        };
+        let other = ChaosSpec { seed: 2, ..base.clone() };
+        let a: Vec<ChaosAction> = (0..64).map(|i| action_for(&base, i)).collect();
+        let b: Vec<ChaosAction> = (0..64).map(|i| action_for(&other, i)).collect();
+        assert!(a.contains(&ChaosAction::Delay));
+        assert_ne!(a, b, "different seeds should delay different frames");
+    }
+}

@@ -67,9 +67,11 @@
 #![deny(missing_docs)]
 
 pub mod catalog;
+pub mod chaos;
 pub mod dsl;
 pub mod plan;
 pub mod remote;
+pub mod replica;
 pub mod request;
 pub mod service;
 pub mod shard;
@@ -77,9 +79,14 @@ pub mod trace;
 pub mod wire;
 
 pub use catalog::{Catalog, VectorPlacement};
+pub use chaos::{ChaosAction, ChaosProxy, ChaosSpec};
 pub use dsl::{KernelParseError, Program};
 pub use plan::{KernelPlan, KernelPlanError};
-pub use remote::{ConnectRetry, PoolMember, RemoteShard, ShardHost, ShardHostChild, ShardPool};
+pub use remote::{
+    ConnectRetry, PoolMember, RemoteShard, ShardHost, ShardHostChild, ShardPool, SlotRegistry,
+    SNAPSHOT_CHUNK_LEN,
+};
+pub use replica::{ReplicaStats, ReplicationConfig};
 pub use request::{fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId};
 pub use service::{BulkService, LatencySummary, ServiceConfig, ServiceReport, ServiceTier};
 pub use shard::Technology;

@@ -38,12 +38,18 @@ use crate::ServeError;
 use felim_arch::batch::RowOp;
 use felim_arch::drift::DriftSpec;
 use felim_arch::geometry::MemoryGeometry;
+use felim_arch::ControllerHealth;
 use felim_telemetry as telemetry;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Chunk size for snapshot transfer frames: large enough to amortise
+/// framing, small enough that one chunk never approaches
+/// [`MAX_FRAME`](crate::wire::MAX_FRAME).
+pub const SNAPSHOT_CHUNK_LEN: u64 = 1 << 20;
 
 /// Bounded-backoff policy for the initial connection to a shard host.
 ///
@@ -93,6 +99,21 @@ pub struct RemoteShard {
     data_rows: u64,
     /// Set on the first transport failure; every later call echoes it.
     poisoned: Option<WireError>,
+    /// Handshake parameters, retained so a replacement session can be
+    /// opened with [`reconnect_fresh`](Self::reconnect_fresh) after a
+    /// poisoning failure (failover rebuild).
+    params: ConnectParams,
+}
+
+/// Everything needed to reopen a session to the same hosted shard slot.
+#[derive(Debug, Clone)]
+struct ConnectParams {
+    addr: String,
+    technology: Technology,
+    geometry: MemoryGeometry,
+    tier: Option<(DriftSpec, f64)>,
+    retry: ConnectRetry,
+    slot: u64,
 }
 
 impl std::fmt::Debug for RemoteShard {
@@ -124,6 +145,31 @@ impl RemoteShard {
         geometry: MemoryGeometry,
         tier: Option<(DriftSpec, f64)>,
         retry: ConnectRetry,
+    ) -> Result<Self, ServeError> {
+        Self::connect_slot(addr, technology, geometry, tier, retry, 0, false)
+    }
+
+    /// [`connect`](Self::connect) addressing a specific daemon-local
+    /// `slot` — the connection-multiplexing handshake: one daemon hosts
+    /// many shards of one service, each session naming its slot.
+    /// `resume = true` attaches to the shard already at `slot` (failover
+    /// rebuild) instead of constructing a fresh one; the daemon refuses
+    /// (`data_rows == 0` in the ack, surfaced as `Protocol`) when the
+    /// slot is empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect), plus `Protocol` when a resume
+    /// targets an empty slot.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_slot(
+        addr: &str,
+        technology: Technology,
+        geometry: MemoryGeometry,
+        tier: Option<(DriftSpec, f64)>,
+        retry: ConnectRetry,
+        slot: u64,
+        resume: bool,
     ) -> Result<Self, ServeError> {
         let attempts = retry.attempts.max(1);
         let mut last_err = None;
@@ -167,12 +213,22 @@ impl RemoteShard {
             inflight: VecDeque::new(),
             data_rows: 0,
             poisoned: None,
+            params: ConnectParams {
+                addr: addr.to_owned(),
+                technology,
+                geometry,
+                tier: tier.clone(),
+                retry,
+                slot,
+            },
         };
         let hello = Frame::Hello {
             version: WIRE_VERSION,
             technology,
             geometry,
             tier,
+            slot,
+            resume,
         };
         remote.write_frame(&hello)?;
         match remote.read_frame()? {
@@ -181,6 +237,12 @@ impl RemoteShard {
                     return Err(remote.poison(WireError::new(
                         TransportErrorKind::VersionMismatch,
                         format!("peer speaks wire v{version}, this build speaks v{WIRE_VERSION}"),
+                    )));
+                }
+                if resume && data_rows == 0 {
+                    return Err(remote.poison(WireError::new(
+                        TransportErrorKind::Protocol,
+                        format!("daemon refused resume: no shard at slot {slot}"),
                     )));
                 }
                 remote.data_rows = data_rows;
@@ -345,6 +407,183 @@ impl RemoteShard {
         }
     }
 
+    /// The daemon-local slot this session addresses.
+    pub fn slot(&self) -> u64 {
+        self.params.slot
+    }
+
+    /// Opens a **replacement session** to the same address and slot with
+    /// the original handshake parameters (`resume = false`, so the
+    /// daemon constructs a fresh shard at the slot). Used by failover
+    /// rebuild after this session was poisoned; the replacement's state
+    /// is then restored via [`push_snapshot`](Self::push_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect).
+    pub fn reconnect_fresh(&self) -> Result<Self, ServeError> {
+        let p = &self.params;
+        Self::connect_slot(
+            &p.addr,
+            p.technology,
+            p.geometry,
+            p.tier.clone(),
+            p.retry,
+            p.slot,
+            false,
+        )
+    }
+
+    /// Pulls the hosted shard's complete state snapshot in
+    /// [`SNAPSHOT_CHUNK_LEN`]-byte chunks (back-to-back, so no batch can
+    /// interleave and tear the transfer). `None` when the shard cannot
+    /// snapshot. Requires an idle pipeline, like
+    /// [`read_local_row`](Self::read_local_row).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] on link failure, a non-chunk reply, or
+    /// chunks that do not assemble into the advertised total.
+    pub fn fetch_snapshot(&mut self) -> Result<Option<Vec<u8>>, ServeError> {
+        if !self.inflight.is_empty() {
+            return Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: TransportErrorKind::Protocol,
+                detail: format!("fetch_snapshot with {} batches in flight", self.inflight.len()),
+            });
+        }
+        let mut snapshot = Vec::new();
+        loop {
+            let offset = snapshot.len() as u64;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.write_frame(&Frame::SnapshotPull {
+                seq,
+                offset,
+                max_len: SNAPSHOT_CHUNK_LEN,
+            })?;
+            let (got_offset, total_len, data) = match self.read_frame()? {
+                Frame::SnapshotChunk {
+                    seq: got,
+                    offset,
+                    total_len,
+                    data,
+                } if got == seq => (offset, total_len, data),
+                other => {
+                    return Err(self.poison(WireError::new(
+                        TransportErrorKind::Protocol,
+                        format!("expected snapshot_chunk for seq {seq}, got {}", other.name()),
+                    )));
+                }
+            };
+            if total_len == 0 {
+                return Ok(None);
+            }
+            if got_offset != offset || data.is_empty() || offset + data.len() as u64 > total_len {
+                return Err(self.poison(WireError::new(
+                    TransportErrorKind::Protocol,
+                    format!(
+                        "snapshot chunk misassembled: offset {got_offset} (wanted {offset}), \
+                         {} bytes toward {total_len}",
+                        data.len()
+                    ),
+                )));
+            }
+            snapshot.extend_from_slice(&data);
+            if snapshot.len() as u64 == total_len {
+                telemetry::counter("serve.replica.snapshot_pulls").inc();
+                return Ok(Some(snapshot));
+            }
+        }
+    }
+
+    /// Pushes a state snapshot into the hosted shard in
+    /// [`SNAPSHOT_CHUNK_LEN`]-byte chunks; the daemon reassembles and
+    /// restores atomically on the final chunk. Returns whether the
+    /// restore succeeded. Requires an idle pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] on link failure or a rejected chunk.
+    pub fn push_snapshot(&mut self, snapshot: &[u8]) -> Result<bool, ServeError> {
+        if !self.inflight.is_empty() {
+            return Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: TransportErrorKind::Protocol,
+                detail: format!("push_snapshot with {} batches in flight", self.inflight.len()),
+            });
+        }
+        let total_len = snapshot.len() as u64;
+        let mut offset = 0u64;
+        loop {
+            let end = (offset + SNAPSHOT_CHUNK_LEN).min(total_len);
+            let chunk = &snapshot[offset as usize..end as usize];
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.write_frame(&Frame::SnapshotPush {
+                seq,
+                offset,
+                total_len,
+                data: chunk.to_vec(),
+            })?;
+            let ok = match self.read_frame()? {
+                Frame::SnapshotPushAck { seq: got, ok } if got == seq => ok,
+                other => {
+                    return Err(self.poison(WireError::new(
+                        TransportErrorKind::Protocol,
+                        format!("expected snapshot_push_ack for seq {seq}, got {}", other.name()),
+                    )));
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+            offset = end;
+            if offset >= total_len {
+                telemetry::counter("serve.replica.snapshot_pushes").inc();
+                return Ok(ok);
+            }
+        }
+    }
+
+    /// Polls the hosted shard's reliability-health counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] on link failure or a non-health reply.
+    pub fn health(&mut self) -> Result<ControllerHealth, ServeError> {
+        if !self.inflight.is_empty() {
+            return Err(ServeError::Transport {
+                peer: self.peer.clone(),
+                kind: TransportErrorKind::Protocol,
+                detail: format!("health poll with {} batches in flight", self.inflight.len()),
+            });
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.write_frame(&Frame::Health { seq })?;
+        match self.read_frame()? {
+            Frame::HealthReply {
+                seq: got,
+                uncorrectable_words,
+                corrected_bits,
+                scrub_rewrites,
+                drift_flips,
+                max_wear_fraction,
+            } if got == seq => Ok(ControllerHealth {
+                uncorrectable_words,
+                corrected_bits,
+                scrub_rewrites,
+                drift_flips,
+                max_wear_fraction,
+            }),
+            other => Err(self.poison(WireError::new(
+                TransportErrorKind::Protocol,
+                format!("expected health_reply for seq {seq}, got {}", other.name()),
+            ))),
+        }
+    }
+
     /// Ends the session politely. Errors are ignored — the daemon drops
     /// the shard either way when the stream closes.
     pub fn shutdown(&mut self) {
@@ -364,8 +603,10 @@ impl Drop for RemoteShard {
 pub enum PoolMember {
     /// An in-process shard, exactly as PR 7 built them.
     Local(Mutex<Shard>),
-    /// A shard hosted behind a `felim-shardd` session.
-    Remote(Mutex<RemoteShard>),
+    /// A shard hosted behind a `felim-shardd` session. Boxed: a
+    /// session (stream + frame buffers + poison record) dwarfs the
+    /// `Local` variant, and pools mix both.
+    Remote(Mutex<Box<RemoteShard>>),
 }
 
 /// The dispatch surface [`BulkService`](crate::BulkService) runs
@@ -476,13 +717,106 @@ impl ShardPool {
                 .read_local_row(row),
         }
     }
+
+    /// Pulls member `s`'s complete state snapshot (local: direct;
+    /// remote: chunked over the wire). `Ok(None)` when the backend
+    /// cannot snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] for remote link failures.
+    pub fn snapshot_state(&self, s: usize) -> Result<Option<Vec<u8>>, ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(shard) => Ok(shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .snapshot_state()),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .fetch_snapshot(),
+        }
+    }
+
+    /// Restores member `s` from a snapshot (local: direct; remote:
+    /// chunked push, restored atomically daemon-side). Returns whether
+    /// the restore succeeded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] for remote link failures.
+    pub fn restore_state(&self, s: usize, snapshot: &[u8]) -> Result<bool, ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(shard) => Ok(shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .restore_state(snapshot)),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_snapshot(snapshot),
+        }
+    }
+
+    /// Polls member `s`'s reliability-health counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] for remote link failures.
+    pub fn health(&self, s: usize) -> Result<ControllerHealth, ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(shard) => Ok(shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .health()),
+            PoolMember::Remote(remote) => remote
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .health(),
+        }
+    }
+
+    /// Revives member `s` after a poisoning transport failure by
+    /// opening a **fresh replacement session** to the same address and
+    /// slot (the daemon constructs an empty shard there; the caller
+    /// restores state next). A no-op for local members — their state
+    /// never left the process.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] when the replacement connection fails —
+    /// the member stays poisoned and can be revived again later.
+    pub fn revive(&self, s: usize) -> Result<(), ServeError> {
+        match &self.members[s] {
+            PoolMember::Local(_) => Ok(()),
+            PoolMember::Remote(remote) => {
+                let mut guard = remote
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let fresh = guard.reconnect_fresh()?;
+                telemetry::counter("serve.replica.revivals").inc();
+                **guard = fresh;
+                Ok(())
+            }
+        }
+    }
 }
 
+/// Shared slot registry of one daemon: the shards it hosts, keyed by
+/// the slot each session named at handshake. Shared across sessions so
+/// a reconnect can resume (or replace) a slot's shard — the
+/// connection-multiplexing surface behind `felim-shardd`.
+pub type SlotRegistry = Arc<Mutex<HashMap<u64, Arc<Mutex<Shard>>>>>;
+
 /// The daemon side: a bound listener serving shard sessions. Used by
-/// the `felim-shardd` binary and, in-process, by transport tests.
+/// the `felim-shardd` binary and, in-process, by transport tests. All
+/// sessions share one [`SlotRegistry`], so one daemon hosts many shards
+/// of one service (each session addresses its slot at handshake) and a
+/// rebuild can reconnect to a slot after its session died.
 #[derive(Debug)]
 pub struct ShardHost {
     listener: TcpListener,
+    registry: SlotRegistry,
 }
 
 impl ShardHost {
@@ -494,6 +828,7 @@ impl ShardHost {
     pub fn bind(addr: &str) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
+            registry: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -514,7 +849,7 @@ impl ShardHost {
     /// session silently — the client owns failure reporting).
     pub fn serve_once(&self) -> std::io::Result<()> {
         let (stream, _) = self.listener.accept()?;
-        run_session(stream);
+        run_session_mux(stream, &self.registry);
         Ok(())
     }
 
@@ -527,19 +862,36 @@ impl ShardHost {
     pub fn serve_forever(&self) -> std::io::Result<()> {
         loop {
             let (stream, _) = self.listener.accept()?;
-            std::thread::spawn(move || run_session(stream));
+            let registry = Arc::clone(&self.registry);
+            std::thread::spawn(move || run_session_mux(stream, &registry));
         }
     }
 }
 
-/// Serves one client session: Hello → shard construction → batch loop.
-///
-/// One **fresh shard per session**: the shard is built from the Hello
-/// parameters and dropped when the session ends, so no client can
-/// observe another's rows and a reconnect always starts from a
-/// well-defined (empty) state. Wire failures end the session quietly —
-/// the client side owns turning them into typed errors.
+/// Serves one client session against a **private** registry — the
+/// pre-multiplexing behaviour: the session's shard is built fresh from
+/// the Hello parameters and dropped when the session ends, so no client
+/// can observe another's rows. Kept for in-process tests that serve one
+/// session at a time; daemons use [`run_session_mux`] with a shared
+/// registry.
 pub fn run_session(stream: TcpStream) {
+    let registry: SlotRegistry = Arc::new(Mutex::new(HashMap::new()));
+    run_session_mux(stream, &registry);
+}
+
+/// Serves one client session: Hello → slot lookup/construction → batch
+/// loop. The daemon main loop runs one of these per connection, all
+/// sharing the daemon's [`SlotRegistry`].
+///
+/// A **fresh** Hello (`resume = false`) constructs a new shard at its
+/// slot, replacing any prior occupant — a reconnect without resume
+/// always starts from a well-defined (empty) state, and no client can
+/// observe a previous session's rows at that slot. A **resume** Hello
+/// attaches to the shard already at the slot (failover rebuild), and is
+/// refused (`data_rows == 0` ack) when the slot is empty. Wire failures
+/// end the session quietly — the client side owns turning them into
+/// typed errors; the shard stays in the registry for a later resume.
+pub fn run_session_mux(stream: TcpStream, registry: &SlotRegistry) {
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -550,54 +902,170 @@ pub fn run_session(stream: TcpStream) {
     // Handshake: exactly one Hello, answered even on version mismatch
     // so the client can diagnose `VersionMismatch` instead of a dead
     // socket.
-    let (technology, geometry, tier) = match Frame::read_from(&mut reader) {
+    let shard: Arc<Mutex<Shard>> = match Frame::read_from(&mut reader) {
         Ok(Frame::Hello {
             version,
             technology,
             geometry,
             tier,
+            slot,
+            resume,
         }) => {
-            if version != WIRE_VERSION || geometry.validate().is_err() {
+            let refuse = |writer: &mut BufWriter<TcpStream>| {
                 let _ = Frame::HelloAck {
                     version: WIRE_VERSION,
                     data_rows: 0,
                 }
-                .write_to(&mut writer);
+                .write_to(writer);
+            };
+            if version != WIRE_VERSION || geometry.validate().is_err() {
+                refuse(&mut writer);
                 return;
             }
-            (technology, geometry, tier)
+            let mut slots = registry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if resume {
+                match slots.get(&slot) {
+                    Some(existing) => Arc::clone(existing),
+                    None => {
+                        drop(slots);
+                        refuse(&mut writer);
+                        return;
+                    }
+                }
+            } else {
+                let fresh = Arc::new(Mutex::new(Shard::new(technology, geometry, tier)));
+                slots.insert(slot, Arc::clone(&fresh));
+                fresh
+            }
         }
         _ => return,
     };
-    let mut shard = Shard::new(technology, geometry, tier);
+    let data_rows = shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .data_rows();
     let ack = Frame::HelloAck {
         version: WIRE_VERSION,
-        data_rows: shard.data_rows(),
+        data_rows,
     };
     if ack.write_to(&mut writer).is_err() {
         return;
     }
     telemetry::counter("serve.remote.sessions").inc();
 
+    // Partial snapshot-push reassembly: strictly sequential chunks,
+    // restored atomically when complete.
+    let mut push_buf: Vec<u8> = Vec::new();
+    let mut push_total: u64 = 0;
+
     loop {
         match Frame::read_from(&mut reader) {
             Ok(Frame::Batch { seq, tick_s, ops }) => {
-                let outcome = shard.execute(&ops, tick_s);
+                let outcome = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .execute(&ops, tick_s);
                 let reply = Frame::BatchReply { seq, outcome };
                 if reply.write_to(&mut writer).is_err() {
                     return;
                 }
             }
             Ok(Frame::ReadRow { seq, row }) => {
-                let result = shard.read_local_row(row);
+                let result = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .read_local_row(row);
                 let reply = Frame::ReadRowReply { seq, result };
+                if reply.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::SnapshotPull { seq, offset, max_len }) => {
+                let snapshot = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .snapshot_state();
+                let reply = match snapshot {
+                    None => Frame::SnapshotChunk {
+                        seq,
+                        offset: 0,
+                        total_len: 0,
+                        data: Vec::new(),
+                    },
+                    Some(snap) => {
+                        let total_len = snap.len() as u64;
+                        let start = offset.min(total_len);
+                        let end = start.saturating_add(max_len).min(total_len);
+                        Frame::SnapshotChunk {
+                            seq,
+                            offset: start,
+                            total_len,
+                            data: snap[start as usize..end as usize].to_vec(),
+                        }
+                    }
+                };
+                if reply.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::SnapshotPush {
+                seq,
+                offset,
+                total_len,
+                data,
+            }) => {
+                // Chunks must arrive in order and agree on the total;
+                // anything else aborts the transfer (the client sees
+                // `ok = false` and owns the retry).
+                if offset == 0 {
+                    push_buf.clear();
+                    push_total = total_len;
+                }
+                let ok = if total_len != push_total || offset != push_buf.len() as u64 {
+                    push_buf.clear();
+                    push_total = 0;
+                    false
+                } else {
+                    push_buf.extend_from_slice(&data);
+                    if push_buf.len() as u64 >= push_total {
+                        let restored = shard
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .restore_state(&push_buf);
+                        push_buf = Vec::new();
+                        push_total = 0;
+                        restored
+                    } else {
+                        true
+                    }
+                };
+                let reply = Frame::SnapshotPushAck { seq, ok };
+                if reply.write_to(&mut writer).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Health { seq }) => {
+                let h = shard
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .health();
+                let reply = Frame::HealthReply {
+                    seq,
+                    uncorrectable_words: h.uncorrectable_words,
+                    corrected_bits: h.corrected_bits,
+                    scrub_rewrites: h.scrub_rewrites,
+                    drift_flips: h.drift_flips,
+                    max_wear_fraction: h.max_wear_fraction,
+                };
                 if reply.write_to(&mut writer).is_err() {
                     return;
                 }
             }
             Ok(Frame::Shutdown) => return,
             // A second Hello, a reply frame, or any wire failure ends
-            // the session; the shard (and its state) drops here.
+            // the session; the shard stays registered for a resume.
             _ => return,
         }
     }
@@ -872,7 +1340,7 @@ mod tests {
         .unwrap();
         let pool = ShardPool::new(vec![
             PoolMember::Local(Mutex::new(Shard::new(Technology::Feram, geometry, None))),
-            PoolMember::Remote(Mutex::new(remote)),
+            PoolMember::Remote(Mutex::new(Box::new(remote))),
         ]);
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.remote_count(), 1);

@@ -39,6 +39,7 @@ use crate::catalog::Catalog;
 use crate::dsl::Program;
 use crate::plan::KernelPlan;
 use crate::remote::{ConnectRetry, PoolMember, RemoteShard, ShardPool};
+use crate::replica::{ReplicaManager, ReplicaStats, ReplicationConfig};
 use crate::request::{
     fnv1a_words, LogicalOp, RequestId, ResponsePayload, ServeResponse, TenantId,
 };
@@ -141,6 +142,17 @@ pub struct ServiceConfig {
     /// Backoff before the second connection attempt, milliseconds
     /// (doubling per attempt, capped at one second).
     pub remote_connect_backoff_ms: u64,
+    /// Stripe replication: `Some` backs every stripe with hot standbys
+    /// and enables deterministic failover (see [`crate::replica`]).
+    /// `None` (the default) runs each stripe on a single member and is
+    /// byte-identical to replication being on — standbys are exact
+    /// copies and never influence settled responses.
+    pub replication: Option<ReplicationConfig>,
+    /// Adapt the batching window at runtime: widen it under sustained
+    /// queue pressure (throughput mode), narrow it when deadlines
+    /// tighten (latency mode). Off by default; when off,
+    /// [`batch_window`](Self::batch_window) is used verbatim.
+    pub adaptive_batch_window: bool,
 }
 
 impl ServiceConfig {
@@ -166,6 +178,8 @@ impl ServiceConfig {
             remote_shards: Vec::new(),
             remote_connect_attempts: 5,
             remote_connect_backoff_ms: 20,
+            replication: None,
+            adaptive_batch_window: false,
         }
     }
 
@@ -327,6 +341,8 @@ pub struct ServiceReport {
     pub energy_mj: f64,
     /// Per-shard load totals.
     pub per_shard: Vec<ShardLoad>,
+    /// Replication-layer counters, when replication is configured.
+    pub replica: Option<ReplicaStats>,
 }
 
 /// The multi-tenant bulk-bitwise request service. See the [module
@@ -360,6 +376,17 @@ pub struct BulkService {
     /// repeated `Kernel` submissions of the same program against the
     /// same binding shape skip recompilation entirely.
     plan_cache: HashMap<PlanKey, Arc<KernelPlan>>,
+    /// Replication state machine, when `config.replication` is set.
+    /// Pool members are laid out replica-major (member
+    /// `replica · shards + stripe`), so member indices 0..shards are
+    /// the primaries and all stripe-indexed bookkeeping is unchanged.
+    replicas: Option<ReplicaManager>,
+    /// Current adaptive batch window (tracks `config.batch_window`
+    /// when the auto-tuner is off).
+    tuned_window: usize,
+    /// Consecutive ticks of sustained queue pressure (auto-tuner
+    /// hysteresis).
+    pressure_ticks: u32,
 }
 
 /// Plan-cache key: the kernel program's content digest plus the exact
@@ -431,6 +458,40 @@ impl BulkService {
                 });
             }
         }
+        if let Some(repl) = &config.replication {
+            if repl.standbys == 0 {
+                return invalid("replication needs at least one standby");
+            }
+            if repl.epoch_ticks == 0 {
+                return invalid("replication epoch must be non-zero ticks");
+            }
+            if repl.rebuild_chunk_bytes == 0 {
+                return invalid("rebuild pacing needs a non-zero chunk");
+            }
+            for (i, &(s, r, _)) in repl.remote_standbys.iter().enumerate() {
+                if s >= config.shards {
+                    return Err(ServeError::InvalidConfig {
+                        message: format!(
+                            "remote standby for stripe#{s} outside the configured {} shards",
+                            config.shards
+                        ),
+                    });
+                }
+                if r == 0 || r > repl.standbys {
+                    return Err(ServeError::InvalidConfig {
+                        message: format!(
+                            "remote standby#{r} for stripe#{s} outside 1..={}",
+                            repl.standbys
+                        ),
+                    });
+                }
+                if repl.remote_standbys[..i].iter().any(|&(s2, r2, _)| (s2, r2) == (s, r)) {
+                    return Err(ServeError::InvalidConfig {
+                        message: format!("standby#{r} of stripe#{s} has two remote placements"),
+                    });
+                }
+            }
+        }
         let tier_config = match &config.tier {
             ServiceTier::Baseline => None,
             ServiceTier::Protected {
@@ -438,40 +499,73 @@ impl BulkService {
                 scrub_period_s,
             } => Some((drift.clone(), *scrub_period_s)),
         };
-        let members: Vec<PoolMember> = (0..config.shards)
-            .map(|i| {
+        // Pool layout is replica-major: member `r · shards + i` is
+        // stripe `i`'s replica `r`, so with replication off (one
+        // replica) member indices coincide with stripe indices and
+        // nothing downstream changes.
+        let replica_count = 1 + config.replication.as_ref().map_or(0, |r| r.standbys) as usize;
+        let mut members: Vec<PoolMember> =
+            Vec::with_capacity(replica_count * config.shards as usize);
+        for r in 0..replica_count {
+            for i in 0..config.shards {
                 let tier = tier_config.clone().map(|(mut drift, period)| {
-                    // Each shard gets its own derived fault stream —
-                    // derived HERE, before any placement decision, so a
+                    // Each STRIPE gets its own derived fault stream —
+                    // derived before any placement decision, so a
                     // remote shard receives exactly the seed its local
-                    // twin would have used.
+                    // twin would have used, and every replica of a
+                    // stripe shares its primary's virtual physics
+                    // (replicas must be byte-identical by
+                    // construction).
                     drift.seed = derive_seed(drift.seed, u64::from(i));
                     (drift, period)
                 });
-                match config.remote_shards.iter().find(|&&(s, _)| s == i) {
-                    None => Ok(PoolMember::Local(Mutex::new(Shard::new(
+                let addr = if r == 0 {
+                    config
+                        .remote_shards
+                        .iter()
+                        .find(|&&(s, _)| s == i)
+                        .map(|(_, a)| a)
+                } else {
+                    config.replication.as_ref().and_then(|repl| {
+                        repl.remote_standbys
+                            .iter()
+                            .find(|&&(s, sb, _)| s == i && sb as usize == r)
+                            .map(|(_, _, a)| a)
+                    })
+                };
+                let member = match addr {
+                    None => PoolMember::Local(Mutex::new(Shard::new(
                         config.technology,
                         config.shard_geometry,
                         tier,
-                    )))),
-                    Some((_, addr)) => RemoteShard::connect(
-                        addr,
-                        config.technology,
-                        config.shard_geometry,
-                        tier,
-                        config.connect_retry(),
-                    )
-                    .map(|r| PoolMember::Remote(Mutex::new(r))),
-                }
-            })
-            .collect::<Result<_, ServeError>>()?;
+                    ))),
+                    Some(addr) => {
+                        // The session slot is the member's pool index,
+                        // so one daemon can host any mix of primaries
+                        // and standbys.
+                        let slot = (r * config.shards as usize + i as usize) as u64;
+                        RemoteShard::connect_slot(
+                            addr,
+                            config.technology,
+                            config.shard_geometry,
+                            tier,
+                            config.connect_retry(),
+                            slot,
+                            false,
+                        )
+                        .map(|rs| PoolMember::Remote(Mutex::new(Box::new(rs))))?
+                    }
+                };
+                members.push(member);
+            }
+        }
         let shards = ShardPool::new(members);
         let data_rows = shards.data_rows(0);
-        for s in 1..config.shards as usize {
+        for s in 1..replica_count * config.shards as usize {
             if shards.data_rows(s) != data_rows {
                 return Err(ServeError::InvalidConfig {
                     message: format!(
-                        "shard#{s} reports {} data rows, shard#0 reports {data_rows} — \
+                        "pool member#{s} reports {} data rows, member#0 reports {data_rows} — \
                          a remote host was built with different parameters",
                         shards.data_rows(s)
                     ),
@@ -493,6 +587,13 @@ impl BulkService {
         let catalog = Catalog::new(config.shards, scratch_base);
         telemetry::gauge("serve.shards").set(f64::from(config.shards));
         telemetry::gauge("serve.remote.shards").set(shards.remote_count() as f64);
+        telemetry::gauge("serve.replica.standbys")
+            .set((replica_count - 1) as f64 * f64::from(config.shards));
+        let replicas = config
+            .replication
+            .clone()
+            .map(|repl| ReplicaManager::new(repl, config.shards as usize));
+        let tuned_window = config.batch_window;
         Ok(Self {
             catalog,
             map,
@@ -513,6 +614,9 @@ impl BulkService {
             scratch_base,
             read_cache: HashMap::new(),
             plan_cache: HashMap::new(),
+            replicas,
+            tuned_window,
+            pressure_ticks: 0,
             config,
         })
     }
@@ -743,8 +847,16 @@ impl BulkService {
     /// Returns the number of requests dispatched this tick.
     pub fn step(&mut self) -> usize {
         self.promote_due_retries();
+        if self.config.adaptive_batch_window {
+            self.tune_window();
+        }
         let mut batch = self.collect_batch();
         if batch.is_empty() {
+            // Idle ticks still pump replication upkeep: a background
+            // rebuild must finish even when no requests arrive.
+            if self.replicas.is_some() {
+                self.replica_maintenance(&[]);
+            }
             self.now += 1;
             return 0;
         }
@@ -798,21 +910,49 @@ impl BulkService {
             spans.push(req_spans);
         }
 
-        // Dispatch every shard (empty batches still tick the
-        // reliability clock) concurrently; reduce in shard order. A
-        // remote member's dispatch can fail at the transport — the
-        // per-shard `Result` carries that without disturbing the other
-        // shards' outcomes.
-        let work: Arc<Vec<(usize, Vec<RowOp>)>> =
-            Arc::new(shard_ops.into_iter().enumerate().collect());
+        // Dispatch every replica of every stripe (empty batches still
+        // tick the reliability clock) concurrently; reduce in stripe
+        // order. A remote member's dispatch can fail at the transport —
+        // the per-member `Result` carries that without disturbing the
+        // other outcomes. With replication off there is exactly one
+        // work item per stripe and the reduction is the identity.
+        if let Some(mgr) = &mut self.replicas {
+            for (s, ops) in shard_ops.iter().enumerate() {
+                // A mid-rebuild member misses this batch; it replays
+                // from the schedule log when its snapshot lands.
+                mgr.log_schedule(s, self.config.tick_s, ops);
+            }
+        }
+        let work: Arc<Vec<(usize, usize, Vec<RowOp>)>> = match &self.replicas {
+            None => Arc::new(
+                shard_ops
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, ops)| (s, 0, ops))
+                    .collect(),
+            ),
+            Some(mgr) => Arc::new(
+                shard_ops
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(s, ops)| {
+                        mgr.dispatch_replicas(s)
+                            .into_iter()
+                            .map(move |r| (s, r, ops.clone()))
+                    })
+                    .collect(),
+            ),
+        };
         let shards = Arc::clone(&self.shards);
         let tick_s = self.config.tick_s;
-        let outcomes: Vec<Result<ShardBatchOutcome, ServeError>> = self.pool.map(
+        let stripes = shard_count;
+        let raw: Vec<Result<ShardBatchOutcome, ServeError>> = self.pool.map(
             &work,
-            Arc::new(move |_i: usize, (s, ops): &(usize, Vec<RowOp>)| {
-                shards.execute(*s, ops, tick_s)
+            Arc::new(move |_i: usize, (s, r, ops): &(usize, usize, Vec<RowOp>)| {
+                shards.execute(r * stripes + s, ops, tick_s)
             }),
         );
+        let outcomes = self.reduce_outcomes(&work, raw);
 
         let makespan = outcomes
             .iter()
@@ -838,8 +978,203 @@ impl BulkService {
         for (req, req_spans) in batch.into_iter().zip(spans) {
             self.settle(req, &req_spans, &outcomes);
         }
+        if self.replicas.is_some() {
+            self.replica_maintenance(&outcomes);
+        }
         self.now += 1;
         dispatched
+    }
+
+    /// Reduces the raw per-member dispatch results to one outcome per
+    /// stripe. With replication off this is the identity (one item per
+    /// stripe, in stripe order). With replication on, every `Ok`
+    /// outcome folds into its replica's rolling digest, standby energy
+    /// moves to the replica-side account, and the stripe settles from
+    /// its active replica's outcome — unless the active faulted at the
+    /// transport, in which case the first healthy standby is promoted
+    /// *mid-tick* and the stripe settles from its already-computed,
+    /// byte-identical outcome. Exactly one outcome per stripe, exactly
+    /// one response per request, in either case.
+    fn reduce_outcomes(
+        &mut self,
+        work: &[(usize, usize, Vec<RowOp>)],
+        raw: Vec<Result<ShardBatchOutcome, ServeError>>,
+    ) -> Vec<Result<ShardBatchOutcome, ServeError>> {
+        let Some(mgr) = &mut self.replicas else {
+            return raw;
+        };
+        let shard_count = self.config.shards as usize;
+        let mut slots: Vec<Option<Result<ShardBatchOutcome, ServeError>>> =
+            raw.into_iter().map(Some).collect();
+        // (replica, raw index) per stripe, in dispatch order.
+        let mut by_stripe: Vec<Vec<(usize, usize)>> = vec![Vec::new(); shard_count];
+        for (i, &(s, r, _)) in work.iter().enumerate() {
+            by_stripe[s].push((r, i));
+            if let Some(Ok(o)) = &slots[i] {
+                mgr.note_outcome(s, r, o);
+            }
+        }
+        let mut reduced = Vec::with_capacity(shard_count);
+        for (s, entries) in by_stripe.iter().enumerate() {
+            let active = mgr.active_replica(s);
+            let active_idx = entries
+                .iter()
+                .find(|&&(r, _)| r == active)
+                .map(|&(_, i)| i)
+                .expect("the active replica always dispatches");
+            let chosen = if matches!(slots[active_idx], Some(Err(_))) {
+                let healthy: Vec<usize> = entries
+                    .iter()
+                    .filter(|&&(r, i)| r != active && matches!(slots[i], Some(Ok(_))))
+                    .map(|&(r, _)| r)
+                    .collect();
+                match mgr.promote_after_fault(s, &healthy) {
+                    Some(promoted) => {
+                        telemetry::counter("serve.replica.failovers").inc();
+                        entries
+                            .iter()
+                            .find(|&&(r, _)| r == promoted)
+                            .map(|&(_, i)| i)
+                            .expect("promotion picks a dispatched standby")
+                    }
+                    // No standby left: the stripe fails honestly with
+                    // the active's transport error.
+                    None => active_idx,
+                }
+            } else {
+                active_idx
+            };
+            for &(_, i) in entries {
+                if i != chosen {
+                    if let Some(Ok(o)) = &slots[i] {
+                        mgr.add_standby_energy(o.energy_nj);
+                    }
+                }
+            }
+            reduced.push(slots[chosen].take().expect("each slot is taken once"));
+        }
+        reduced
+    }
+
+    /// Post-settle replication upkeep, once per tick: roll the
+    /// uncorrectable streak (planned failover past the threshold),
+    /// audit digests and poll active-member health at epoch
+    /// boundaries, and pump background rebuilds by one paced chunk.
+    /// `outcomes` is empty on idle ticks (nothing dispatched).
+    fn replica_maintenance(&mut self, outcomes: &[Result<ShardBatchOutcome, ServeError>]) {
+        let shard_count = self.config.shards as usize;
+        let epoch = self
+            .replicas
+            .as_ref()
+            .is_some_and(|m| m.epoch_due(self.now + 1));
+        for s in 0..shard_count {
+            let any_uncorrectable = outcomes.get(s).is_some_and(|o| {
+                o.as_ref().is_ok_and(|o| {
+                    o.outputs
+                        .iter()
+                        .any(|out| matches!(out, Err(ArchError::Uncorrectable { .. })))
+                })
+            });
+            let mgr = self.replicas.as_mut().expect("caller checked");
+            if mgr.note_active_uncorrectable(s, any_uncorrectable)
+                && mgr.promote_planned(s).is_some()
+            {
+                telemetry::counter("serve.replica.planned_failovers").inc();
+            }
+            if epoch {
+                let divergent = mgr.audit_epoch(s);
+                for _ in &divergent {
+                    telemetry::counter("serve.replica.divergences").inc();
+                }
+                let member = mgr.active_member(s);
+                if let Ok(health) = self.shards.health(member) {
+                    let mgr = self.replicas.as_mut().expect("caller checked");
+                    if mgr.health_exceeded(&health) && mgr.promote_planned(s).is_some() {
+                        telemetry::counter("serve.replica.planned_failovers").inc();
+                    }
+                }
+            }
+            self.pump_rebuild(s);
+        }
+    }
+
+    /// Advances stripe `s`'s background rebuild by one tick: starts a
+    /// snapshot transfer for the oldest retired replica, paces the
+    /// in-flight transfer, and on completion restores the snapshot
+    /// (chunked over the wire for remote members), replays the missed
+    /// schedule log, and rejoins the member as a standby.
+    fn pump_rebuild(&mut self, s: usize) {
+        let mgr = self.replicas.as_mut().expect("caller checked");
+        if mgr.rebuild_in_progress(s).is_some() {
+            if let Some((replica, snapshot, pending)) = mgr.rebuild_step(s) {
+                let member = mgr.member(s, replica);
+                // A remote member's session may have died with the
+                // fault that retired it — revive opens a fresh session
+                // at the same slot before the snapshot lands.
+                let mut ok = self.shards.revive(member).is_ok()
+                    && self
+                        .shards
+                        .restore_state(member, &snapshot)
+                        .unwrap_or(false);
+                let mut replayed = 0;
+                if ok {
+                    for (tick_s, ops) in &pending {
+                        if self.shards.execute(member, ops, *tick_s).is_err() {
+                            ok = false;
+                            break;
+                        }
+                        replayed += 1;
+                    }
+                }
+                let mgr = self.replicas.as_mut().expect("caller checked");
+                mgr.complete_rebuild(s, replica, ok, replayed);
+                if ok {
+                    telemetry::counter("serve.replica.rebuilds").inc();
+                }
+            }
+        } else if let Some(replica) = mgr.needs_rebuild(s) {
+            let active = mgr.active_member(s);
+            // Snapshot the new active *after* the tick settled, so the
+            // schedule log starts exactly at the snapshot's state. An
+            // unavailable snapshot (transport hiccup) retries next tick.
+            if let Ok(Some(snapshot)) = self.shards.snapshot_state(active) {
+                let mgr = self.replicas.as_mut().expect("caller checked");
+                mgr.begin_rebuild(s, replica, snapshot);
+                telemetry::counter("serve.replica.rebuilds_started").inc();
+            }
+        }
+    }
+
+    /// Adapts the batching window one notch per tick: halve it when a
+    /// deadline near the queue head is about to expire (latency mode),
+    /// double it after sustained queue pressure (throughput mode), and
+    /// drift back toward the configured window when neither holds. The
+    /// window stays within `[1, max(queue_depth, batch_window)]`.
+    fn tune_window(&mut self) {
+        let deadline_tight = self
+            .pending
+            .iter()
+            .take(16)
+            .any(|r| r.deadline.is_some_and(|d| d <= self.now + 2));
+        if deadline_tight {
+            self.tuned_window = (self.tuned_window / 2).max(1);
+            self.pressure_ticks = 0;
+        } else if self.pending.len() > 2 * self.tuned_window {
+            self.pressure_ticks += 1;
+            if self.pressure_ticks >= 2 {
+                let cap = self.config.queue_depth.max(self.config.batch_window);
+                self.tuned_window = (self.tuned_window * 2).min(cap);
+                self.pressure_ticks = 0;
+            }
+        } else {
+            self.pressure_ticks = 0;
+            if self.pending.len() <= self.tuned_window / 2 {
+                // Relax halfway back toward the configured window.
+                self.tuned_window =
+                    usize::midpoint(self.tuned_window, self.config.batch_window).max(1);
+            }
+        }
+        telemetry::gauge("serve.window").set(self.tuned_window as f64);
     }
 
     /// Runs ticks until every queued and retrying request has settled.
@@ -886,7 +1221,11 @@ impl BulkService {
                 shard,
                 "placement and ownership map disagree"
             );
-            let data = self.shards.read_local_row(shard.0 as usize, local.0)?;
+            let member = self
+                .replicas
+                .as_ref()
+                .map_or(shard.0 as usize, |m| m.active_member(shard.0 as usize));
+            let data = self.shards.read_local_row(member, local.0)?;
             rows.push(data);
         }
         Ok(rows)
@@ -923,6 +1262,7 @@ impl BulkService {
             latency: LatencySummary::from_latencies(latencies),
             energy_mj: self.energy_nj * 1e-6,
             per_shard: self.shard_load.clone(),
+            replica: self.replicas.as_ref().map(|m| *m.stats()),
         }
     }
 
@@ -956,7 +1296,15 @@ impl BulkService {
     /// joins a batch that already has members — latency-sensitive
     /// tenants opt out of coalescing without stalling anyone else.
     fn collect_batch(&mut self) -> Vec<PendingRequest> {
-        let mut window = self.config.batch_window;
+        // The auto-tuned window replaces the configured default, but an
+        // explicit per-tenant override still clamps: a window-1 tenant
+        // stays uncoalesced no matter how wide the tuner goes.
+        let default_window = if self.config.adaptive_batch_window {
+            self.tuned_window
+        } else {
+            self.config.batch_window
+        };
+        let mut window = default_window;
         let mut batch = Vec::with_capacity(window);
         while let Some(req) = self.pending.pop_front() {
             if let Some(deadline) = req.deadline {
@@ -980,7 +1328,13 @@ impl BulkService {
                     continue;
                 }
             }
-            let proposed = window.min(self.config.window_for(req.tenant));
+            let tenant_window = self
+                .config
+                .tenant_batch_window
+                .iter()
+                .find(|&&(t, _)| t == req.tenant.0)
+                .map_or(default_window, |&(_, w)| w);
+            let proposed = window.min(tenant_window);
             if batch.len() >= proposed {
                 self.pending.push_front(req);
                 break;
@@ -1911,5 +2265,206 @@ mod tests {
         assert_eq!(s.max, 100);
         let empty = LatencySummary::from_latencies(vec![]);
         assert_eq!(empty.max, 0);
+    }
+
+    /// Drives the same small campaign through `svc` and returns the
+    /// serialised response log plus the final contents of `d`.
+    fn campaign(mut svc: BulkService) -> (String, Vec<Vec<u64>>) {
+        svc.create_vector("a", 8).unwrap();
+        svc.create_vector("b", 8).unwrap();
+        svc.create_vector("d", 8).unwrap();
+        let t = TenantId(0);
+        write(&mut svc, t, "a", vec![0xFACE, 0xCAFE]);
+        write(&mut svc, t, "b", vec![0xF0F0]);
+        for op in [
+            LogicalOp::Xor { a: "a".into(), b: "b".into(), dst: "d".into() },
+            LogicalOp::Nand { a: "d".into(), b: "b".into(), dst: "d".into() },
+            LogicalOp::Read { src: "d".into() },
+        ] {
+            svc.submit(t, op, None).unwrap();
+        }
+        svc.drain();
+        let log = serde_json::to_string(&svc.take_responses()).unwrap();
+        let rows = svc.read_vector("d").unwrap();
+        (log, rows)
+    }
+
+    #[test]
+    fn replication_on_is_byte_identical_to_replication_off() {
+        // Standbys are exact copies and never influence settled
+        // responses — the response log and readback must match the
+        // unreplicated service bit for bit, on both tiers.
+        for tier in [
+            ServiceTier::Baseline,
+            ServiceTier::Protected {
+                drift: DriftSpec::quiet(17),
+                scrub_period_s: 0.25,
+            },
+        ] {
+            let mut plain = ServiceConfig::small(2);
+            plain.tier = tier.clone();
+            let mut replicated = plain.clone();
+            replicated.replication = Some(ReplicationConfig {
+                standbys: 2,
+                ..ReplicationConfig::default()
+            });
+            let (log_off, rows_off) = campaign(BulkService::new(plain).unwrap());
+            let (log_on, rows_on) = campaign(BulkService::new(replicated).unwrap());
+            assert_eq!(log_on, log_off, "replication must be invisible in the log");
+            assert_eq!(rows_on, rows_off);
+        }
+    }
+
+    #[test]
+    fn replicated_report_accounts_standby_energy_separately() {
+        let mut cfg = ServiceConfig::small(2);
+        cfg.replication = Some(ReplicationConfig::default());
+        let svc_cfg = cfg.clone();
+        let mut svc = BulkService::new(svc_cfg).unwrap();
+        svc.create_vector("a", 4).unwrap();
+        write(&mut svc, TenantId(0), "a", vec![7]);
+        svc.drain();
+        let report = svc.report();
+        let replica = report.replica.expect("replication configured");
+        assert!(
+            replica.standby_energy_nj > 0.0,
+            "the standby executed the same batch and its energy lands here"
+        );
+        assert_eq!(replica.failovers, 0);
+        // The settled energy matches an unreplicated run (checked
+        // byte-for-byte by the identity test); standby energy rides
+        // outside it.
+        assert!(report.energy_mj > 0.0);
+    }
+
+    #[test]
+    fn replication_epoch_audit_passes_on_identical_replicas() {
+        let mut cfg = ServiceConfig::small(2);
+        cfg.tenant_quota = Some(32);
+        cfg.replication = Some(ReplicationConfig {
+            epoch_ticks: 2,
+            ..ReplicationConfig::default()
+        });
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("a", 8).unwrap();
+        for i in 0..12 {
+            write(&mut svc, TenantId(0), "a", vec![i]);
+        }
+        svc.drain();
+        let replica = svc.report().replica.unwrap();
+        assert_eq!(replica.divergences, 0, "identical replicas never diverge");
+        assert_eq!(replica.planned_failovers, 0);
+    }
+
+    #[test]
+    fn invalid_replication_configs_are_typed_errors() {
+        let cases: Vec<(&str, ReplicationConfig)> = vec![
+            ("zero standbys", ReplicationConfig { standbys: 0, ..ReplicationConfig::default() }),
+            ("zero epoch", ReplicationConfig { epoch_ticks: 0, ..ReplicationConfig::default() }),
+            (
+                "zero chunk",
+                ReplicationConfig { rebuild_chunk_bytes: 0, ..ReplicationConfig::default() },
+            ),
+            (
+                "stripe out of range",
+                ReplicationConfig {
+                    remote_standbys: vec![(9, 1, "127.0.0.1:1".into())],
+                    ..ReplicationConfig::default()
+                },
+            ),
+            (
+                "standby index out of range",
+                ReplicationConfig {
+                    remote_standbys: vec![(0, 2, "127.0.0.1:1".into())],
+                    ..ReplicationConfig::default()
+                },
+            ),
+            (
+                "duplicate placement",
+                ReplicationConfig {
+                    remote_standbys: vec![
+                        (0, 1, "127.0.0.1:1".into()),
+                        (0, 1, "127.0.0.1:2".into()),
+                    ],
+                    ..ReplicationConfig::default()
+                },
+            ),
+        ];
+        for (label, repl) in cases {
+            let mut cfg = ServiceConfig::small(2);
+            cfg.replication = Some(repl);
+            assert!(
+                matches!(BulkService::new(cfg), Err(ServeError::InvalidConfig { .. })),
+                "{label} must be rejected at build time"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_window_widens_under_pressure_and_narrows_for_deadlines() {
+        // Throughput mode: a deep queue with no deadlines should widen
+        // the window past the configured batch_window, finishing in
+        // fewer batches than the fixed-window service (the BENCH_PR7
+        // w1/w8 tradeoff, chosen automatically).
+        let drive = |adaptive: bool, deadlines: bool| -> (u64, usize) {
+            let mut cfg = ServiceConfig::small(2);
+            cfg.batch_window = 2;
+            cfg.queue_depth = 64;
+            cfg.tenant_quota = Some(64);
+            cfg.adaptive_batch_window = adaptive;
+            let mut svc = BulkService::new(cfg).unwrap();
+            svc.create_vector("a", 4).unwrap();
+            for i in 0..48u64 {
+                let deadline = if deadlines { Some(1 + i / 2) } else { None };
+                let _ = svc.submit(
+                    TenantId(0),
+                    LogicalOp::Write { dst: "a".into(), words: vec![i] },
+                    deadline,
+                );
+            }
+            svc.drain();
+            (svc.stats().batches, svc.tuned_window)
+        };
+        let (fixed_batches, _) = drive(false, false);
+        let (adaptive_batches, widened) = drive(true, false);
+        assert!(
+            adaptive_batches < fixed_batches,
+            "pressure must widen the window: {adaptive_batches} vs {fixed_batches} batches"
+        );
+        assert!(widened > 2, "window widened past the configured 2");
+        // Latency mode: imminent deadlines pull the window down to the
+        // floor instead of widening.
+        let (_, narrowed) = drive(true, true);
+        assert_eq!(narrowed, 1, "tight deadlines narrow the window to 1");
+    }
+
+    #[test]
+    fn adaptive_window_relaxes_back_when_pressure_clears() {
+        let mut cfg = ServiceConfig::small(1);
+        cfg.batch_window = 2;
+        cfg.queue_depth = 64;
+        cfg.tenant_quota = Some(64);
+        cfg.adaptive_batch_window = true;
+        let mut svc = BulkService::new(cfg).unwrap();
+        svc.create_vector("a", 4).unwrap();
+        for i in 0..40u64 {
+            let _ = svc.submit(
+                TenantId(0),
+                LogicalOp::Write { dst: "a".into(), words: vec![i] },
+                None,
+            );
+        }
+        svc.drain();
+        let widened = svc.tuned_window;
+        assert!(widened > 2);
+        // Idle ticks with an empty queue drift the window back toward
+        // the configured value.
+        for _ in 0..16 {
+            svc.step();
+        }
+        assert!(
+            svc.tuned_window < widened,
+            "an idle service relaxes toward batch_window"
+        );
     }
 }

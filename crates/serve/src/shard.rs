@@ -203,6 +203,36 @@ impl Shard {
         data
     }
 
+    /// Serialises the complete backend state (rows, wear, ECC
+    /// side-bands, drift clocks) for replica transfer. `None` when the
+    /// backend cannot snapshot (e.g. a fault injector is attached).
+    pub fn snapshot_state(&self) -> Option<Vec<u8>> {
+        match &self.backend {
+            ShardBackend::Feram(m) => BulkBackend::snapshot_state(m.as_ref()),
+            ShardBackend::Dram(m) => BulkBackend::snapshot_state(m.as_ref()),
+            ShardBackend::ReliableFeram(c) => BulkBackend::snapshot_state(c.as_ref()),
+            ShardBackend::ReliableDram(c) => BulkBackend::snapshot_state(c.as_ref()),
+        }
+    }
+
+    /// Restores the backend from a [`snapshot_state`](Self::snapshot_state)
+    /// buffer. `false` (state untouched) on any mismatch or corruption.
+    pub fn restore_state(&mut self, snapshot: &[u8]) -> bool {
+        self.backend_mut().restore_state(snapshot)
+    }
+
+    /// Current reliability-health counters. Raw (Baseline) shards report
+    /// all-zero health: nothing is tracked, so nothing can degrade.
+    pub fn health(&self) -> felim_arch::ControllerHealth {
+        match &self.backend {
+            ShardBackend::ReliableFeram(c) => c.health(),
+            ShardBackend::ReliableDram(c) => c.health(),
+            ShardBackend::Feram(_) | ShardBackend::Dram(_) => {
+                felim_arch::ControllerHealth::default()
+            }
+        }
+    }
+
     /// Cumulative backend statistics (cycles, energy, command mix).
     pub fn stats(&self) -> &felim_arch::stats::ExecStats {
         match &self.backend {

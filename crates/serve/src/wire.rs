@@ -48,7 +48,11 @@ use std::io::{Read, Write};
 /// Protocol revision carried in every [`Frame::Hello`]. Bump on any
 /// frame-layout change; mismatched peers refuse each other with
 /// [`TransportErrorKind::VersionMismatch`] instead of mis-decoding.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// Version history: v1 was the PR 9 batch/read transport; v2 adds the
+/// replication frames (slot-addressed sessions, snapshot transfer,
+/// health polling) for stripe failover.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload, bytes. A batch of row-writes
 /// against the paper's 8 KB rows stays far below this; anything larger
@@ -173,6 +177,16 @@ pub enum Frame {
         /// protected one. The drift seed must arrive **already derived
         /// for this shard index** — the daemon applies it verbatim.
         tier: Option<(DriftSpec, f64)>,
+        /// Daemon-local slot this session addresses. One daemon hosts
+        /// many shards of one service (connection multiplexing); each
+        /// session names its slot at handshake. Distinct sessions with
+        /// distinct slots coexist on one daemon.
+        slot: u64,
+        /// `false` (fresh) constructs a new shard at `slot`, replacing
+        /// any prior occupant; `true` (resume) attaches to the shard
+        /// already at `slot` — used by failover rebuild to reconnect and
+        /// restore state without losing the slot's identity.
+        resume: bool,
     },
     /// Daemon → client: session accepted.
     HelloAck {
@@ -214,6 +228,76 @@ pub enum Frame {
     },
     /// Client → daemon: end the session; the daemon drops the shard.
     Shutdown,
+    /// Client → daemon: request one chunk of the hosted shard's state
+    /// snapshot, starting at `offset`. Offset-addressed, so an
+    /// interrupted transfer resumes where it left off instead of
+    /// restarting.
+    SnapshotPull {
+        /// Client-chosen sequence number; the reply echoes it.
+        seq: u64,
+        /// Byte offset into the snapshot to start from.
+        offset: u64,
+        /// Upper bound on the chunk size the client will accept.
+        max_len: u64,
+    },
+    /// Daemon → client: one chunk of the snapshot. `total_len == 0`
+    /// means the shard cannot snapshot (e.g. a fault injector is
+    /// attached) and `data` is empty.
+    SnapshotChunk {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Byte offset of this chunk within the snapshot.
+        offset: u64,
+        /// Total snapshot length — the client knows when it has it all.
+        total_len: u64,
+        /// The chunk bytes (CRC-guarded by the frame envelope).
+        data: Vec<u8>,
+    },
+    /// Client → daemon: deliver one chunk of a snapshot to restore into
+    /// the hosted shard. When `offset + data.len() == total_len` the
+    /// daemon reassembles and restores atomically.
+    SnapshotPush {
+        /// Client-chosen sequence number; the ack echoes it.
+        seq: u64,
+        /// Byte offset of this chunk within the snapshot.
+        offset: u64,
+        /// Total snapshot length being transferred.
+        total_len: u64,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Daemon → client: push-chunk acknowledgement. On the final chunk
+    /// `ok` reports whether the reassembled snapshot restored cleanly;
+    /// on intermediate chunks it reports the chunk was accepted.
+    SnapshotPushAck {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Whether the chunk (and, on the last chunk, the restore)
+        /// succeeded.
+        ok: bool,
+    },
+    /// Client → daemon: poll the hosted shard's reliability health.
+    Health {
+        /// Client-chosen sequence number; the reply echoes it.
+        seq: u64,
+    },
+    /// Daemon → client: the shard's [`ControllerHealth`] counters.
+    ///
+    /// [`ControllerHealth`]: felim_arch::ControllerHealth
+    HealthReply {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Words no code could repair (data corruption reached a read).
+        uncorrectable_words: u64,
+        /// Single-bit data corrections (transparent repairs).
+        corrected_bits: u64,
+        /// Rows rewritten by patrol scrub after drift decay.
+        scrub_rewrites: u64,
+        /// Stored bits flipped by the drift fault processes.
+        drift_flips: u64,
+        /// Worst per-row wear fraction across drift-tracked rows.
+        max_wear_fraction: f64,
+    },
 }
 
 // ---- body primitives (all little-endian; f64 as IEEE-754 bits) ----
@@ -265,6 +349,22 @@ fn take_words(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
         words.push(take_u64(buf, pos)?);
     }
     Some(words)
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn take_bytes(buf: &[u8], pos: &mut usize) -> Option<Vec<u8>> {
+    let count = take_u64(buf, pos)?;
+    // Same allocation guard as take_words: the bytes must be present.
+    if count > (buf.len() - *pos) as u64 {
+        return None;
+    }
+    let bytes = buf[*pos..*pos + count as usize].to_vec();
+    *pos += count as usize;
+    Some(bytes)
 }
 
 fn put_technology(out: &mut Vec<u8>, t: Technology) {
@@ -416,6 +516,19 @@ const TAG_BATCH_REPLY: u8 = 4;
 const TAG_READ_ROW: u8 = 5;
 const TAG_READ_ROW_REPLY: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_SNAPSHOT_PULL: u8 = 8;
+const TAG_SNAPSHOT_CHUNK: u8 = 9;
+const TAG_SNAPSHOT_PUSH: u8 = 10;
+const TAG_SNAPSHOT_PUSH_ACK: u8 = 11;
+const TAG_HEALTH: u8 = 12;
+const TAG_HEALTH_REPLY: u8 = 13;
+
+/// Serialises a [`ShardBatchOutcome`] into `out` with the wire codec —
+/// the canonical byte form the replica layer digests to compare a
+/// standby's outcome against its primary's.
+pub(crate) fn encode_outcome(out: &mut Vec<u8>, o: &ShardBatchOutcome) {
+    put_outcome(out, o);
+}
 
 impl Frame {
     /// Short name of the frame type (diagnostics, `Protocol` errors).
@@ -428,6 +541,12 @@ impl Frame {
             Frame::ReadRow { .. } => "read_row",
             Frame::ReadRowReply { .. } => "read_row_reply",
             Frame::Shutdown => "shutdown",
+            Frame::SnapshotPull { .. } => "snapshot_pull",
+            Frame::SnapshotChunk { .. } => "snapshot_chunk",
+            Frame::SnapshotPush { .. } => "snapshot_push",
+            Frame::SnapshotPushAck { .. } => "snapshot_push_ack",
+            Frame::Health { .. } => "health",
+            Frame::HealthReply { .. } => "health_reply",
         }
     }
 
@@ -441,6 +560,8 @@ impl Frame {
                 technology,
                 geometry,
                 tier,
+                slot,
+                resume,
             } => {
                 out.push(TAG_HELLO);
                 put_u32(&mut out, *version);
@@ -454,6 +575,8 @@ impl Frame {
                         put_f64(&mut out, *scrub_period_s);
                     }
                 }
+                put_u64(&mut out, *slot);
+                out.push(u8::from(*resume));
             }
             Frame::HelloAck { version, data_rows } => {
                 out.push(TAG_HELLO_ACK);
@@ -494,6 +617,61 @@ impl Frame {
                 }
             }
             Frame::Shutdown => out.push(TAG_SHUTDOWN),
+            Frame::SnapshotPull { seq, offset, max_len } => {
+                out.push(TAG_SNAPSHOT_PULL);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *max_len);
+            }
+            Frame::SnapshotChunk {
+                seq,
+                offset,
+                total_len,
+                data,
+            } => {
+                out.push(TAG_SNAPSHOT_CHUNK);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *total_len);
+                put_bytes(&mut out, data);
+            }
+            Frame::SnapshotPush {
+                seq,
+                offset,
+                total_len,
+                data,
+            } => {
+                out.push(TAG_SNAPSHOT_PUSH);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *offset);
+                put_u64(&mut out, *total_len);
+                put_bytes(&mut out, data);
+            }
+            Frame::SnapshotPushAck { seq, ok } => {
+                out.push(TAG_SNAPSHOT_PUSH_ACK);
+                put_u64(&mut out, *seq);
+                out.push(u8::from(*ok));
+            }
+            Frame::Health { seq } => {
+                out.push(TAG_HEALTH);
+                put_u64(&mut out, *seq);
+            }
+            Frame::HealthReply {
+                seq,
+                uncorrectable_words,
+                corrected_bits,
+                scrub_rewrites,
+                drift_flips,
+                max_wear_fraction,
+            } => {
+                out.push(TAG_HEALTH_REPLY);
+                put_u64(&mut out, *seq);
+                put_u64(&mut out, *uncorrectable_words);
+                put_u64(&mut out, *corrected_bits);
+                put_u64(&mut out, *scrub_rewrites);
+                put_u64(&mut out, *drift_flips);
+                put_f64(&mut out, *max_wear_fraction);
+            }
         }
         out
     }
@@ -534,11 +712,21 @@ impl Frame {
                     }
                     _ => return Err(corrupt("hello: bad tier tag")),
                 };
+                let slot =
+                    take_u64(body, &mut pos).ok_or_else(|| corrupt("hello: truncated slot"))?;
+                let resume = match body.get(pos).copied() {
+                    Some(0) => false,
+                    Some(1) => true,
+                    _ => return Err(corrupt("hello: bad resume flag")),
+                };
+                pos += 1;
                 Frame::Hello {
                     version,
                     technology,
                     geometry,
                     tier,
+                    slot,
+                    resume,
                 }
             }
             TAG_HELLO_ACK => Frame::HelloAck {
@@ -598,6 +786,63 @@ impl Frame {
                 Frame::ReadRowReply { seq, result }
             }
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_SNAPSHOT_PULL => Frame::SnapshotPull {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_pull: truncated seq"))?,
+                offset: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_pull: truncated offset"))?,
+                max_len: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_pull: truncated max_len"))?,
+            },
+            TAG_SNAPSHOT_CHUNK => Frame::SnapshotChunk {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_chunk: truncated seq"))?,
+                offset: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_chunk: truncated offset"))?,
+                total_len: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_chunk: truncated total_len"))?,
+                data: take_bytes(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_chunk: truncated data"))?,
+            },
+            TAG_SNAPSHOT_PUSH => Frame::SnapshotPush {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_push: truncated seq"))?,
+                offset: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_push: truncated offset"))?,
+                total_len: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_push: truncated total_len"))?,
+                data: take_bytes(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_push: truncated data"))?,
+            },
+            TAG_SNAPSHOT_PUSH_ACK => {
+                let seq = take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("snapshot_push_ack: truncated seq"))?;
+                let ok = match body.get(pos).copied() {
+                    Some(0) => false,
+                    Some(1) => true,
+                    _ => return Err(corrupt("snapshot_push_ack: bad ok flag")),
+                };
+                pos += 1;
+                Frame::SnapshotPushAck { seq, ok }
+            }
+            TAG_HEALTH => Frame::Health {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health: truncated seq"))?,
+            },
+            TAG_HEALTH_REPLY => Frame::HealthReply {
+                seq: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated seq"))?,
+                uncorrectable_words: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated uncorrectable"))?,
+                corrected_bits: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated corrected"))?,
+                scrub_rewrites: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated rewrites"))?,
+                drift_flips: take_u64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated flips"))?,
+                max_wear_fraction: take_f64(body, &mut pos)
+                    .ok_or_else(|| corrupt("health_reply: truncated wear"))?,
+            },
             other => return Err(corrupt(&format!("unknown frame tag {other}"))),
         };
         if pos != payload.len() - 1 {
@@ -730,12 +975,16 @@ mod tests {
                 technology: Technology::Feram,
                 geometry: MemoryGeometry::tiny(),
                 tier: None,
+                slot: 0,
+                resume: false,
             },
             Frame::Hello {
                 version: WIRE_VERSION,
                 technology: Technology::Dram,
                 geometry: MemoryGeometry::paper_8gb(),
                 tier: Some((DriftSpec::accelerated(77, 390.0, 1e-9), 3600.0)),
+                slot: 11,
+                resume: true,
             },
             Frame::HelloAck {
                 version: WIRE_VERSION,
@@ -784,6 +1033,40 @@ mod tests {
                 result: Err(ArchError::RowOutOfRange { row: 99, rows: 10 }),
             },
             Frame::Shutdown,
+            Frame::SnapshotPull {
+                seq: 9,
+                offset: 4096,
+                max_len: 1 << 20,
+            },
+            Frame::SnapshotChunk {
+                seq: 9,
+                offset: 4096,
+                total_len: 9000,
+                data: vec![0xA5; 256],
+            },
+            Frame::SnapshotChunk {
+                seq: 10,
+                offset: 0,
+                total_len: 0,
+                data: Vec::new(),
+            },
+            Frame::SnapshotPush {
+                seq: 11,
+                offset: 128,
+                total_len: 384,
+                data: vec![0x5A; 128],
+            },
+            Frame::SnapshotPushAck { seq: 11, ok: true },
+            Frame::SnapshotPushAck { seq: 12, ok: false },
+            Frame::Health { seq: 13 },
+            Frame::HealthReply {
+                seq: 13,
+                uncorrectable_words: 2,
+                corrected_bits: 40,
+                scrub_rewrites: 7,
+                drift_flips: 55,
+                max_wear_fraction: 0.125,
+            },
         ]
     }
 

@@ -123,10 +123,10 @@ fn gen_geometry(g: &mut Gen) -> MemoryGeometry {
 }
 
 /// One random frame of the type picked by `which` — the suite cycles
-/// `which` over all seven frame types so every variant is exercised in
-/// every case.
+/// `which` over all fourteen frame types so every variant is exercised
+/// in every case.
 fn gen_frame(g: &mut Gen, which: u64) -> Frame {
-    match which % 7 {
+    match which % 14 {
         0 => Frame::Hello {
             version: g.next() as u32,
             technology: if g.below(2) == 0 { Technology::Feram } else { Technology::Dram },
@@ -136,6 +136,8 @@ fn gen_frame(g: &mut Gen, which: u64) -> Frame {
             } else {
                 Some((gen_drift(g), g.finite_f64()))
             },
+            slot: g.next(),
+            resume: g.below(2) == 0,
         },
         1 => Frame::HelloAck { version: g.next() as u32, data_rows: g.next() },
         2 => Frame::Batch {
@@ -152,6 +154,29 @@ fn gen_frame(g: &mut Gen, which: u64) -> Frame {
             } else {
                 Err(gen_arch_error(g))
             },
+        },
+        6 => Frame::SnapshotPull { seq: g.next(), offset: g.next(), max_len: g.next() },
+        7 => Frame::SnapshotChunk {
+            seq: g.next(),
+            offset: g.next(),
+            total_len: g.next(),
+            data: g.words(9).iter().map(|w| *w as u8).collect(),
+        },
+        8 => Frame::SnapshotPush {
+            seq: g.next(),
+            offset: g.next(),
+            total_len: g.next(),
+            data: g.words(9).iter().map(|w| *w as u8).collect(),
+        },
+        9 => Frame::SnapshotPushAck { seq: g.next(), ok: g.below(2) == 0 },
+        10 => Frame::Health { seq: g.next() },
+        11 => Frame::HealthReply {
+            seq: g.next(),
+            uncorrectable_words: g.next(),
+            corrected_bits: g.next(),
+            scrub_rewrites: g.next(),
+            drift_flips: g.next(),
+            max_wear_fraction: g.finite_f64(),
         },
         _ => Frame::Shutdown,
     }
@@ -172,7 +197,7 @@ proptest! {
     /// carries a whole random sequence of frames bit-for-bit.
     fn every_frame_type_round_trips(seed in 0u64..u64::MAX) {
         let mut g = Gen::new(seed);
-        let frames: Vec<Frame> = (0..7).map(|i| gen_frame(&mut g, i)).collect();
+        let frames: Vec<Frame> = (0..14).map(|i| gen_frame(&mut g, i)).collect();
         let mut stream = Vec::new();
         for f in &frames {
             let payload = f.encode_payload();
